@@ -1,0 +1,55 @@
+//! Criterion benches for the DSL layers in isolation: ViewCL parsing,
+//! ViewQL parse+execute, rendering, and vchat synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::LatencyProfile;
+use visualinux::{figures, Session};
+
+fn bench_dsl(c: &mut Criterion) {
+    // ViewCL parsing of the largest program.
+    let fig = figures::by_id("fig9-2").unwrap();
+    c.bench_function("viewcl/parse_fig9-2", |b| {
+        b.iter(|| std::hint::black_box(viewcl::parse_program(fig.viewcl).unwrap()))
+    });
+
+    // ViewQL on an extracted graph.
+    let session = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let (graph, _) = session
+        .extract(figures::by_id("fig3-4").unwrap().viewcl)
+        .unwrap();
+    let program = "a = SELECT task_struct FROM * WHERE mm == NULL\nUPDATE a WITH collapsed: true";
+    c.bench_function("viewql/select_update_fig3-4", |b| {
+        b.iter(|| {
+            let mut g = graph.clone();
+            let mut e = vql::Engine::new();
+            e.run(&mut g, program).unwrap();
+            std::hint::black_box(g.len())
+        })
+    });
+
+    // Renderers.
+    c.bench_function("render/text_fig3-4", |b| {
+        b.iter(|| std::hint::black_box(vrender::to_text(&graph).len()))
+    });
+    c.bench_function("render/svg_fig3-4", |b| {
+        b.iter(|| std::hint::black_box(vrender::to_svg(&graph).len()))
+    });
+
+    // vchat synthesis.
+    let schema = vchat::Schema::of(&graph);
+    c.bench_function("vchat/synthesize", |b| {
+        let synth = vchat::Synthesizer::new(schema.clone());
+        b.iter(|| {
+            std::hint::black_box(
+                synth
+                    .synthesize("shrink tasks that have no address space")
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_dsl);
+criterion_main!(benches);

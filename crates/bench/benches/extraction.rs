@@ -1,0 +1,37 @@
+//! Criterion benches: real wall-clock cost of ViewCL extraction for every
+//! Table 4 figure (one bench group per transport profile; the profile
+//! only changes virtual-time accounting, so wall clock measures the
+//! interpreter itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::LatencyProfile;
+use visualinux::{figures, Session};
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract");
+    group.sample_size(20);
+    let session = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    for id in bench::TABLE4_FIGURES {
+        let fig = figures::by_id(id).unwrap();
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let (graph, _stats) = session.extract(fig.viewcl).expect("extracts");
+                std::hint::black_box(graph.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_build(c: &mut Criterion) {
+    c.bench_function("workload/build_default", |b| {
+        b.iter(|| {
+            let w = build(&WorkloadConfig::default());
+            std::hint::black_box(w.roots.all_tasks.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_extraction, bench_workload_build);
+criterion_main!(benches);

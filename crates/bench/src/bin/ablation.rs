@@ -1,0 +1,182 @@
+//! Ablation: quantify the three simplification operators of §2.1 —
+//! *prune*, *flatten*, *distill* — by plotting the same state with and
+//! without each one and comparing extraction cost and plot size.
+
+use bench::{attach, TablePrinter};
+use vbridge::LatencyProfile;
+use visualinux::Session;
+
+struct Meas {
+    objects: u64,
+    texts: u64,
+    reads: u64,
+    ms: f64,
+}
+
+fn measure(session: &mut Session, src: &str) -> Meas {
+    let pane = session.vplot(src).expect("plot");
+    let s = session.plot_stats(pane).unwrap();
+    let g = session.graph(pane).unwrap();
+    let texts = g
+        .boxes()
+        .iter()
+        .flat_map(|b| &b.views)
+        .flat_map(|v| &v.items)
+        .filter(|i| matches!(i, vgraph::Item::Text { .. }))
+        .count() as u64;
+    Meas { objects: s.graph.objects, texts, reads: s.target.reads, ms: s.total_ms() }
+}
+
+/// Every field of our task_struct as Text — "just print the object".
+const UNPRUNED_TASKS: &str = r#"
+define Task as Box<task_struct> [
+    Text __state, flags, on_cpu, cpu, on_rq
+    Text prio, static_prio, normal_prio
+    Text se.load.weight, se.load.inv_weight, se.on_rq
+    Text se.exec_start, se.sum_exec_runtime, se.vruntime, se.prev_sum_exec_runtime
+    Text exit_state, exit_code, pid, tgid
+    Text utime, stime, start_time
+    Text<string> comm
+    Text<raw_ptr> stack
+    Text<raw_ptr> mm, active_mm, real_parent, parent, group_leader
+    Text<raw_ptr> thread_pid, fs, files, signal, sighand
+]
+tasks = List(${&init_task.tasks}).forEach |n| {
+    yield Task<task_struct.tasks>(@n)
+}
+plot @tasks
+"#;
+
+/// The paper's pruned box: four fields.
+const PRUNED_TASKS: &str = r#"
+define Task as Box<task_struct> [
+    Text pid, comm
+    Text<string> state: ${task_state(@this)}
+    Text se.vruntime
+]
+tasks = List(${&init_task.tasks}).forEach |n| {
+    yield Task<task_struct.tasks>(@n)
+}
+plot @tasks
+"#;
+
+/// Unflattened: every intermediate object on the task→socket path is a
+/// box of its own (file table, fd table, file, socket wrapper).
+const UNFLATTENED_SOCKETS: &str = r#"
+define Sock as Box<sock> [
+    Text dport: __sk_common.skc_dport
+]
+define Socket as Box<socket> [
+    Text type
+    Link sk -> Sock(${@this.sk})
+]
+define File as Box<file> [
+    Text<u64:x> f_mode
+    Link private_data -> Socket(${@this.private_data})
+]
+define FdTable as Box<fdtable> [
+    Text max_fds
+    Link sock_file -> File(${@this.fd[5]})
+]
+define Files as Box<files_struct> [
+    Text next_fd
+    Link fdt -> FdTable(${@this.fdt})
+]
+define Task as Box<task_struct> [
+    Text pid
+    Link files -> Files(${@this.files})
+]
+t = Task(${current_task})
+plot @t
+"#;
+
+/// Flattened: one dot-path expression skips three kernel objects.
+const FLATTENED_SOCKETS: &str = r#"
+define Sock as Box<sock> [
+    Text dport: __sk_common.skc_dport
+]
+define Task as Box<task_struct> [
+    Text pid
+    Link socket -> Sock(${((struct socket *)@this.files->fdt->fd[5]->private_data)->sk})
+]
+t = Task(${current_task})
+plot @t
+"#;
+
+fn main() {
+    println!("Ablation: the prune / flatten / distill operators (§2.1)\n");
+    let t = TablePrinter::new(&[34, 9, 8, 8, 9]);
+    t.row(&["configuration", "objects", "texts", "reads", "ms(qemu)"].map(String::from));
+    t.sep();
+
+    let mut session = attach(LatencyProfile::gdb_qemu());
+
+    let a = measure(&mut session, UNPRUNED_TASKS);
+    let b = measure(&mut session, PRUNED_TASKS);
+    for (name, m) in [("prune OFF (all 31 fields)", &a), ("prune ON  (paper's 4 fields)", &b)] {
+        t.row(&[
+            name.to_string(),
+            m.objects.to_string(),
+            m.texts.to_string(),
+            m.reads.to_string(),
+            format!("{:.1}", m.ms),
+        ]);
+    }
+    println!(
+        "  -> prune cuts {:.0}% of reads and {:.0}% of displayed text\n",
+        100.0 * (1.0 - b.reads as f64 / a.reads as f64),
+        100.0 * (1.0 - b.texts as f64 / a.texts as f64),
+    );
+
+    let c = measure(&mut session, UNFLATTENED_SOCKETS);
+    let d = measure(&mut session, FLATTENED_SOCKETS);
+    for (name, m) in [("flatten OFF (5 hops plotted)", &c), ("flatten ON  (1 dot-path link)", &d)] {
+        t.row(&[
+            name.to_string(),
+            m.objects.to_string(),
+            m.texts.to_string(),
+            m.reads.to_string(),
+            format!("{:.1}", m.ms),
+        ]);
+    }
+    println!(
+        "  -> flatten removes {} intermediate boxes from the plot\n",
+        c.objects - d.objects
+    );
+
+    // Distill: structural maple tree vs the selectFrom interval list.
+    let fig = visualinux::figures::by_id("fig9-2").unwrap();
+    let pane = session.vplot(fig.viewcl).unwrap();
+    session
+        .vctrl_refine(pane, "m = SELECT mm_struct FROM *\nUPDATE m WITH view: show_mt")
+        .unwrap();
+    let g = session.graph(pane).unwrap();
+    let structural: u64 = g
+        .boxes()
+        .iter()
+        .filter(|b| b.label == "MapleNode" || b.label == "Cell")
+        .count() as u64;
+    let distilled: u64 = g
+        .boxes()
+        .iter()
+        .filter(|b| b.ctype == "vm_area_struct")
+        .count() as u64;
+    t.row(&[
+        "distill OFF (tree + pivot cells)".to_string(),
+        format!("{}", structural + distilled),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t.row(&[
+        "distill ON  (sorted VMA list)".to_string(),
+        distilled.to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    t.sep();
+    println!(
+        "  -> distill shows the same {distilled} intervals without {structural} structural boxes"
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 7 harness: the Dirty Pipe object graph — page caches of all
+//! files and pipes of the current thread, with the §5.3 ViewQL isolating
+//! the one page shared between a file and a pipe.
+//!
+//! Writes `target/figures/fig7.{txt,dot,svg}`.
+
+use vbridge::LatencyProfile;
+use visualinux::casestudies;
+
+fn main() {
+    let report = casestudies::dirty_pipe(LatencyProfile::free()).expect("case study runs");
+    let text = report.session.render_text(report.pane).unwrap();
+    std::fs::create_dir_all("target/figures").expect("mkdir");
+    std::fs::write("target/figures/fig7.txt", &text).expect("write txt");
+    std::fs::write(
+        "target/figures/fig7.dot",
+        report.session.render_dot(report.pane).unwrap(),
+    )
+    .expect("write dot");
+    std::fs::write(
+        "target/figures/fig7.svg",
+        report.session.render_svg(report.pane).unwrap(),
+    )
+    .expect("write svg");
+
+    println!("{text}");
+    println!("Figure 7 (Dirty Pipe, CVE-2022-0847):");
+    println!(
+        "  pages visible after ViewQL: {} (expected: exactly the shared page)",
+        report.visible_pages.len()
+    );
+    println!(
+        "  shared page:                {:#x} (ground truth {:#x})",
+        report.visible_pages.first().copied().unwrap_or(0),
+        report.injected.shared_page
+    );
+    println!(
+        "  CAN_MERGE flag displayed:   {}",
+        if report.can_merge_flagged {
+            "yes — the bug is visible"
+        } else {
+            "NO"
+        }
+    );
+    println!("  outputs: target/figures/fig7.{{txt,dot,svg}}");
+    assert_eq!(report.visible_pages, vec![report.injected.shared_page]);
+    assert!(report.can_merge_flagged);
+}

@@ -1,0 +1,70 @@
+//! Table 2 harness: "revive" the 21 ULK figures on the simulated Linux
+//! 6.1 image and compare ViewCL effort with the paper.
+
+use bench::{attach, TablePrinter};
+use vbridge::LatencyProfile;
+use visualinux::figures;
+
+fn main() {
+    let mut session = attach(LatencyProfile::free());
+    println!("Table 2: representative ULK figures ported to (simulated) Linux 6.1\n");
+    let t = TablePrinter::new(&[4, 11, 42, 9, 9, 8, 7, 7, 5]);
+    t.row(
+        &[
+            "#",
+            "figure",
+            "description",
+            "loc(rs)",
+            "loc(ppr)",
+            "objects",
+            "links",
+            "membr",
+            "drift",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+
+    let mut ok = 0;
+    for (i, fig) in figures::all().iter().enumerate() {
+        let ours = viewcl::loc_of(fig.viewcl);
+        match session.vplot(fig.viewcl) {
+            Ok(pane) => {
+                ok += 1;
+                let s = session.plot_stats(pane).unwrap();
+                let paper = if fig.paper_loc == 0 {
+                    "-".to_string()
+                } else {
+                    fig.paper_loc.to_string()
+                };
+                t.row(&[
+                    format!("{}", i + 1),
+                    fig.ulk.to_string(),
+                    fig.title.to_string(),
+                    ours.to_string(),
+                    paper,
+                    s.graph.objects.to_string(),
+                    s.graph.links.to_string(),
+                    s.graph.memberships.to_string(),
+                    fig.delta.glyph().to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row(&[
+                    format!("{}", i + 1),
+                    fig.ulk.to_string(),
+                    fig.title.to_string(),
+                    ours.to_string(),
+                    fig.paper_loc.to_string(),
+                    format!("ERROR: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    t.sep();
+    println!("\n{ok}/21 figures extracted successfully (paper claim C1).");
+    println!("drift legend: o negligible | (.) vars changed | (|) fields/relations changed | (*) structure replaced");
+}

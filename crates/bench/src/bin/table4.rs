@@ -1,0 +1,120 @@
+//! Table 4 harness: visualization cost of every figure under the two
+//! debugging transports, in deterministic virtual time.
+//!
+//! Columns per transport: total ms | ms per object | ms per KiB of data
+//! structure — the same three the paper reports. Absolute values are the
+//! cost model's; the claims preserved are the *shape*: the KGDB/QEMU
+//! per-object ratio (~50x), the per-KB band, and the figure ranking.
+
+use bench::{attach, TablePrinter, TABLE4_FIGURES};
+use vbridge::LatencyProfile;
+
+struct Row {
+    id: &'static str,
+    qemu: (f64, f64, f64),
+    kgdb: (f64, f64, f64),
+}
+
+fn measure(profile: LatencyProfile) -> Vec<(f64, f64, f64)> {
+    let mut session = attach(profile);
+    TABLE4_FIGURES
+        .iter()
+        .map(|id| {
+            let pane = session.vplot_figure(id).expect("figure extracts");
+            let s = session.plot_stats(pane).unwrap();
+            (s.total_ms(), s.ms_per_object(), s.ms_per_kb())
+        })
+        .collect()
+}
+
+fn main() {
+    println!("Table 4: performance of plotting the ULK figures (virtual time)\n");
+    let qemu = measure(LatencyProfile::gdb_qemu());
+    let kgdb = measure(LatencyProfile::kgdb_rpi400());
+    let rows: Vec<Row> = TABLE4_FIGURES
+        .iter()
+        .zip(qemu.iter().zip(kgdb.iter()))
+        .map(|(id, (q, k))| Row {
+            id,
+            qemu: *q,
+            kgdb: *k,
+        })
+        .collect();
+
+    let t = TablePrinter::new(&[4, 11, 10, 9, 9, 12, 10, 10]);
+    t.row(
+        &[
+            "#", "figure", "qemu-ms", "/obj", "/KB", "kgdb-ms", "/obj", "/KB",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for (i, r) in rows.iter().enumerate() {
+        t.row(&[
+            format!("{}", i + 1),
+            r.id.to_string(),
+            format!("{:.1}", r.qemu.0),
+            format!("{:.2}", r.qemu.1),
+            format!("{:.1}", r.qemu.2),
+            format!("{:.1}", r.kgdb.0),
+            format!("{:.2}", r.kgdb.1),
+            format!("{:.1}", r.kgdb.2),
+        ]);
+    }
+    t.sep();
+
+    // Shape checks mirrored from the paper's observations.
+    let ratio: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.qemu.1 > 0.0)
+        .map(|r| r.kgdb.1 / r.qemu.1)
+        .collect();
+    let mean_ratio = ratio.iter().sum::<f64>() / ratio.len() as f64;
+    let max_q = rows.iter().map(|r| r.qemu.0).fold(0.0, f64::max);
+    let uint64_kgdb = LatencyProfile::kgdb_rpi400().cost_ns(8) as f64 / 1e6;
+
+    println!("\nshape checks vs. the paper:");
+    println!(
+        "  per-object KGDB/QEMU ratio: {mean_ratio:.0}x   (paper: ~50x slower)   {}",
+        band(mean_ratio, 30.0, 120.0)
+    );
+    println!(
+        "  KGDB uint64 retrieval:      {uint64_kgdb:.1} ms (paper: ~5 ms)          {}",
+        band(uint64_kgdb, 4.0, 6.5)
+    );
+    println!(
+        "  largest QEMU plot:          {max_q:.0} ms  (paper: 10-326 ms band)   {}",
+        band(max_q, 10.0, 400.0)
+    );
+    let kb_band = rows
+        .iter()
+        .filter(|r| (250.0..1500.0).contains(&r.kgdb.2))
+        .count();
+    println!(
+        "  KGDB ms/KB order of mag.:   {kb_band}/{} rows in 0.25-1.5 s/KB (paper: 0.81-1.41 s/KB)",
+        rows.len()
+    );
+    // Ranking: hash-table-heavy plots must be among the slowest, small
+    // single-struct plots among the fastest (paper's Fig 3-6 vs 12-3).
+    let slowest = rows
+        .iter()
+        .max_by(|a, b| a.kgdb.0.total_cmp(&b.kgdb.0))
+        .map(|r| r.id)
+        .unwrap_or("");
+    let fastest = rows
+        .iter()
+        .min_by(|a, b| a.kgdb.0.total_cmp(&b.kgdb.0))
+        .map(|r| r.id)
+        .unwrap_or("");
+    println!(
+        "  slowest/fastest KGDB plot:  {slowest} / {fastest} (paper: Fig 3-6 / Fig 12-3-class)"
+    );
+}
+
+fn band(v: f64, lo: f64, hi: f64) -> &'static str {
+    if (lo..=hi).contains(&v) {
+        "[in band]"
+    } else {
+        "[OUT OF BAND]"
+    }
+}

@@ -1,0 +1,1113 @@
+//! The ULK figure library: Table 2's 21 figures as ViewCL programs, plus
+//! the Table 3 debugging objectives (description + hand-written ViewQL).
+//!
+//! Each entry carries the paper-reported LoC and data-structure-drift
+//! class so the Table 2 harness can print the comparison. The ViewCL
+//! programs target the Linux 6.1 layouts of the simulated kernel — e.g.
+//! Fig 9-2 walks the *maple tree*, Fig 15-1 the *xarray*, Fig 8-4 *SLUB*:
+//! exactly the "underlying data structure underwent significant changes"
+//! rows of the paper.
+
+/// Kernel drift since ULK's Linux 2.6.11, per Table 2's Δ column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delta {
+    /// ○ — negligible changes.
+    Negligible,
+    /// ⊙ — some variables or fields changed.
+    Vars,
+    /// ◐ — fields, data structures or object relations changed.
+    Fields,
+    /// ● — the underlying data structure was replaced.
+    Major,
+}
+
+impl Delta {
+    /// The glyph used in Table 2.
+    pub fn glyph(self) -> &'static str {
+        match self {
+            Delta::Negligible => "o",
+            Delta::Vars => "(.)",
+            Delta::Fields => "(|)",
+            Delta::Major => "(*)",
+        }
+    }
+}
+
+/// A Table 3 debugging objective: a natural-language description plus the
+/// hand-written ViewQL that achieves it.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// The natural-language description fed to `vchat`.
+    pub description: &'static str,
+    /// The reference ViewQL program.
+    pub viewql: &'static str,
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Stable id (`fig3-4`, `workqueue`, …).
+    pub id: &'static str,
+    /// ULK figure number, or a dash for the added figures.
+    pub ulk: &'static str,
+    /// Diagram description from Table 2.
+    pub title: &'static str,
+    /// ViewCL LoC the paper reports.
+    pub paper_loc: u32,
+    /// Drift class from Table 2's Δ column.
+    pub delta: Delta,
+    /// The ViewCL program.
+    pub viewcl: &'static str,
+    /// The Table 3 objective for this figure, if any.
+    pub objective: Option<Objective>,
+}
+
+/// Look up a figure by id.
+pub fn by_id(id: &str) -> Option<Figure> {
+    all().into_iter().find(|f| f.id == id)
+}
+
+/// All 21 figures in Table 2 order.
+pub fn all() -> Vec<Figure> {
+    vec![
+        fig3_4(),
+        fig3_6(),
+        fig4_5(),
+        fig6_1(),
+        fig7_1(),
+        fig8_2(),
+        fig8_4(),
+        fig9_2(),
+        fig11_1(),
+        fig12_3(),
+        fig13_3(),
+        fig14_3(),
+        fig15_1(),
+        fig16_2(),
+        fig17_1(),
+        fig17_6(),
+        fig19_1(),
+        fig19_2(),
+        workqueue(),
+        proc2vfs(),
+        socketconn(),
+    ]
+}
+
+fn fig3_4() -> Figure {
+    Figure {
+        id: "fig3-4",
+        ulk: "Fig 3-4",
+        title: "process parenthood tree",
+        paper_loc: 27,
+        delta: Delta::Negligible,
+        viewcl: r#"
+define MM as Box<mm_struct> [
+    Text map_count, total_vm
+    Text<u64:x> mmap_base
+]
+define Task as Box<task_struct> {
+    :default [
+        Text pid, tgid
+        Text<string> comm
+        Text<string> state: ${task_state(@this)}
+        Link mm -> switch ${@this.mm != NULL} {
+            case ${true}: MM(${@this.mm})
+            otherwise: NULL
+        }
+        Container children: List(${&@this.children}).forEach |node| {
+            yield Task<task_struct.sibling>(@node)
+        }
+    ]
+    :default => :show_children [
+        Text ppid: ${@this.parent != NULL ? @this.parent->pid : 0}
+    ]
+    // The three-view example of §2.3: default / show_mm / full.
+    :default => :show_mm [
+        Text active_mm: ${@this.active_mm}
+    ]
+    :show_mm => :full [
+        Text prio, static_prio, normal_prio
+        Text se.vruntime
+        Text utime, stime, start_time
+        Text<u64:x> flags
+        Text on_cpu, cpu
+    ]
+}
+root = Task(${&init_task})
+plot @root
+"#,
+        objective: Some(Objective {
+            description: "Display view show_children of all tasks, and shrink tasks that have no address space",
+            viewql: r#"
+a = SELECT task_struct FROM *
+UPDATE a WITH view: show_children
+b = SELECT task_struct FROM * WHERE mm == NULL
+UPDATE b WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+fn fig3_6() -> Figure {
+    Figure {
+        id: "fig3-6",
+        ulk: "Fig 3-6",
+        title: "PID hash tables",
+        paper_loc: 48,
+        delta: Delta::Vars,
+        viewcl: r#"
+define TaskRef as Box<task_struct> [
+    Text pid
+    Text<string> comm
+]
+define PidEntry as Box<pid> [
+    Text nr: numbers[0].nr
+    Text count: count.refs.counter
+    Container tasks: HList(${&@this.tasks[0]}).forEach |node| {
+        yield TaskRef<task_struct.pid_links[0]>(@node)
+    }
+]
+buckets = Array(${pid_hash}).forEach |bucket| {
+    yield Box Bucket [
+        Container chain: HList(@bucket).forEach |node| {
+            yield PidEntry<pid.numbers[0].pid_chain>(@node)
+        }
+    ]
+}
+ht = Box HashTable [
+    Text size: ${PID_HASH_SIZE}
+    Container buckets: @buckets
+]
+plot @ht
+"#,
+        objective: Some(Objective {
+            description: "Shrink all pid entries except for pids 0 and 100",
+            viewql: r#"
+all = SELECT pid FROM *
+keep = SELECT pid FROM * WHERE nr == 0 OR nr == 100
+UPDATE all \ keep WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+fn fig4_5() -> Figure {
+    Figure {
+        id: "fig4-5",
+        ulk: "Fig 4-5",
+        title: "IRQ descriptors",
+        paper_loc: 59,
+        delta: Delta::Fields,
+        viewcl: r#"
+define IrqAction as Box<irqaction> [
+    Text irq
+    Text<fptr> handler
+    Text<string> name: ${@this.name}
+    Text<u64:x> flags
+    Link next -> switch ${@this.next != NULL} {
+        case ${true}: IrqAction(${@this.next})
+        otherwise: NULL
+    }
+]
+define IrqDesc as Box<irq_desc> [
+    Text irq: irq_data.irq
+    Text hwirq: irq_data.hwirq
+    Text<string> chip: ${@this.irq_data.chip->name}
+    Text depth
+    Link action -> switch ${@this.action != NULL} {
+        case ${true}: IrqAction(${@this.action})
+        otherwise: NULL
+    }
+]
+descs = Array(${irq_desc}).forEach |d| {
+    yield IrqDesc(@d)
+}
+table = Box IrqTable [
+    Text nr_irqs: ${NR_IRQS}
+    Container irqs: @descs
+]
+plot @table
+"#,
+        objective: Some(Objective {
+            description: "Shrink irq descriptors whose action is not configured",
+            viewql: r#"
+a = SELECT irq_desc FROM * WHERE action == NULL
+UPDATE a WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+fn fig6_1() -> Figure {
+    Figure {
+        id: "fig6-1",
+        ulk: "Fig 6-1",
+        title: "dynamic timers",
+        paper_loc: 46,
+        delta: Delta::Fields,
+        viewcl: r#"
+define Timer as Box<timer_list> [
+    Text expires
+    Text<fptr> function
+    Text<u64:x> flags
+]
+wheel = Array(${timer_base_of(0)->vectors}).forEach |bucket| {
+    yield switch ${@bucket.first != NULL} {
+        case ${true}: Box Bucket [
+            Container timers: HList(@bucket).forEach |n| {
+                yield Timer<timer_list.entry>(@n)
+            }
+        ]
+        otherwise: NULL
+    }
+}
+tb = Box TimerBase [
+    Text clk: ${timer_base_of(0)->clk}
+    Text next_expiry: ${timer_base_of(0)->next_expiry}
+    Text jiffies_now: ${jiffies}
+    Container wheel: @wheel
+]
+plot @tb
+"#,
+        objective: None,
+    }
+}
+
+fn fig7_1() -> Figure {
+    Figure {
+        id: "fig7-1",
+        ulk: "Fig 7-1",
+        title: "runqueue of CFS scheduler",
+        paper_loc: 35,
+        delta: Delta::Fields,
+        viewcl: r#"
+define Task as Box<task_struct> {
+    :default [
+        Text pid, comm
+        Text ppid: ${@this.parent != NULL ? @this.parent->pid : 0}
+        Text<string> state: ${task_state(@this)}
+    ]
+    :default => :sched [
+        Text se.vruntime
+        Text prio
+    ]
+}
+tree = Box RBTree [
+    Container nodes: RBTree(${&cpu_rq(0)->cfs.tasks_timeline}).forEach |node| {
+        yield Task<task_struct.se.run_node>(@node)
+    }
+]
+rq = Box RQ [
+    Text cpu: ${cpu_rq(0)->cpu}
+    Text nr_running: ${cpu_rq(0)->nr_running}
+    Text min_vruntime: ${cpu_rq(0)->cfs.min_vruntime}
+    Link tasks_timeline -> @tree
+]
+plot @rq
+"#,
+        objective: Some(Objective {
+            description:
+                "Display view sched of all processes, and display the red-black tree top-down",
+            viewql: r#"
+a = SELECT task_struct FROM *
+UPDATE a WITH view: sched
+b = SELECT RBTree FROM *
+UPDATE b WITH direction: vertical
+"#,
+        }),
+    }
+}
+
+fn fig8_2() -> Figure {
+    Figure {
+        id: "fig8-2",
+        ulk: "Fig 8-2",
+        title: "buddy system and pages",
+        paper_loc: 64,
+        delta: Delta::Vars,
+        viewcl: r#"
+define Page as Box<page> [
+    Text pfn: ${pfn_of_page(@this)}
+    Text order: private
+    Text<u64:x> flags
+]
+define FreeArea as Box<free_area> [
+    Text nr_free
+    Container unmovable: List(${&@this.free_list[0]}).forEach |n| {
+        yield Page<page.lru>(@n)
+    }
+    Container movable: List(${&@this.free_list[1]}).forEach |n| {
+        yield Page<page.lru>(@n)
+    }
+    Container reclaimable: List(${&@this.free_list[2]}).forEach |n| {
+        yield Page<page.lru>(@n)
+    }
+]
+define Zone as Box<zone> [
+    Text<string> name: ${@this.name}
+    Text managed_pages
+    Text low_wm: _watermark[0]
+    Container free_area: Array(${@this.free_area}).forEach |fa| {
+        yield FreeArea(@fa)
+    }
+]
+z = Zone(${zone_of(&contig_page_data, 1)})
+plot @z
+"#,
+        objective: None,
+    }
+}
+
+fn fig8_4() -> Figure {
+    Figure {
+        id: "fig8-4",
+        ulk: "Fig 8-4",
+        title: "kmem cache and slab allocator",
+        paper_loc: 102,
+        delta: Delta::Major,
+        viewcl: r#"
+define Slab as Box<slab> [
+    Text inuse, objects, frozen
+    Text<raw_ptr> freelist
+]
+define CacheNode as Box<kmem_cache_node> [
+    Text nr_partial
+    Container partial: List(${&@this.partial}).forEach |n| {
+        yield Slab<slab.slab_list>(@n)
+    }
+]
+define KmemCache as Box<kmem_cache> [
+    Text<string> name: ${@this.name}
+    Text object_size, size, min_partial
+    Link node -> CacheNode(${@this.node[0]})
+]
+caches = List(${&slab_caches}).forEach |n| {
+    yield KmemCache<kmem_cache.list>(@n)
+}
+reg = Box List [
+    Container caches: @caches
+]
+plot @reg
+"#,
+        objective: None,
+    }
+}
+
+fn fig9_2() -> Figure {
+    Figure {
+        id: "fig9-2",
+        ulk: "Fig 9-2",
+        title: "process address space",
+        paper_loc: 145,
+        delta: Delta::Major,
+        viewcl: r#"
+// The maple tree program of the paper's Figure 3, Linux 6.1 layouts.
+define FileRef as Box<file> [
+    Text<string> name: ${@this.f_path.dentry->d_iname}
+]
+define VMArea as Box<vm_area_struct> [
+    Text<u64:x> vm_start, vm_end
+    Text<flag:vm> vm_flags
+    Text is_writable: ${(@this.vm_flags & VM_WRITE) != 0}
+    Link vm_file -> switch ${@this.vm_file != NULL} {
+        case ${true}: FileRef(${@this.vm_file})
+        otherwise: NULL
+    }
+]
+define MapleNode as Box<maple_node> [
+    Text<enum:maple_type> ntype: ${mte_node_type(@this)}
+    Text is_leaf: ${mte_is_leaf(@this)}
+    Container slots: @slots
+    Container pivots: @pivots
+] where {
+    node = ${mte_to_node(@this)}
+    is_leaf = ${mte_is_leaf(@this)}
+    pivots = switch ${mte_node_type(@this)} {
+        case ${maple_arange_64}: Array(${@node->ma64.pivot}).forEach |p| {
+            yield Box Pivot [
+                Text<u64:x> value: @p
+            ]
+        }
+        otherwise: Array(${@node->mr64.pivot}).forEach |p| {
+            yield Box Pivot [
+                Text<u64:x> value: @p
+            ]
+        }
+    }
+    slots = switch ${mte_node_type(@this)} {
+        case ${maple_arange_64}:
+            Array(${@node->ma64.slot}).forEach |item| {
+                yield switch ${ma_slot_check(@item)} {
+                    case ${true}: MapleNode(@item)
+                    otherwise: NULL
+                }
+            }
+        otherwise:
+            Array(${@node->mr64.slot}).forEach |item| {
+                yield switch ${ma_slot_check(@item)} {
+                    case ${true}: switch @is_leaf {
+                        case ${true}: VMArea(@item)
+                        otherwise: MapleNode(@item)
+                    }
+                    otherwise: NULL
+                }
+            }
+    }
+}
+define MapleTree as Box<maple_tree> [
+    Text<u64:x> ma_flags
+    Link ma_root -> @root_box
+] where {
+    root_box = switch ${xa_is_node(@this.ma_root)} {
+        case ${true}: MapleNode(${@this.ma_root})
+        otherwise: switch ${@this.ma_root != NULL} {
+            case ${true}: VMArea(${@this.ma_root})
+            otherwise: NULL
+        }
+    }
+}
+define MMStruct as Box<mm_struct> {
+    :default [
+        Text<u64:x> mmap_base
+        Text mm_count: mm_count.counter
+        Text map_count
+    ]
+    :default => :show_mt [
+        Link mm_maple_tree -> @mm_mt_box
+    ]
+    :default => :show_addrspace [
+        Container mm_addr_space: Array.selectFrom(@mm_mt_box, VMArea)
+    ]
+    :dummy [
+    ] where {
+        mm_mt_box = MapleTree(${&@this.mm_mt})
+    }
+}
+mm = MMStruct(${current_task->mm})
+plot @mm
+"#,
+        objective: Some(Objective {
+            description: "Display view show_mt of mm_struct, collapse the slot pointer list, and shrink all writable vm_area_structs",
+            viewql: r#"
+a = SELECT mm_struct FROM *
+UPDATE a WITH view: show_mt
+slots = SELECT maple_node.slots FROM *
+UPDATE slots WITH collapsed: true
+w = SELECT vm_area_struct FROM * WHERE is_writable == true
+UPDATE w WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+fn fig11_1() -> Figure {
+    Figure {
+        id: "fig11-1",
+        ulk: "Fig 11-1",
+        title: "components for signal handling",
+        paper_loc: 71,
+        delta: Delta::Negligible,
+        viewcl: r#"
+define SigAction as Box<k_sigaction> [
+    Text<fptr> handler: sa.sa_handler
+    Text<u64:x> mask: sa.sa_mask.sig[0]
+    Text<u64:x> flags: sa.sa_flags
+]
+define SigQueue as Box<sigqueue> [
+    Text signo: info.si_signo
+    Text code: info.si_code
+]
+define SigHand as Box<sighand_struct> [
+    Text count: count.refs.counter
+    Container action: Array(${@this.action}).forEach |a| {
+        yield SigAction(@a)
+    }
+]
+define SignalStruct as Box<signal_struct> [
+    Text nr_threads
+    Text live: live.counter
+    Text<u64:x> pending_mask: shared_pending.signal.sig[0]
+    Container shared_pending: List(${&@this.shared_pending.list}).forEach |n| {
+        yield SigQueue<sigqueue.list>(@n)
+    }
+]
+define TaskSig as Box<task_struct> [
+    Text pid
+    Text<string> comm
+    Link signal -> SignalStruct(${@this.signal})
+    Link sighand -> SigHand(${@this.sighand})
+]
+t = TaskSig(${current_task})
+plot @t
+"#,
+        objective: Some(Objective {
+            description: "Shrink all non-configured sigactions",
+            viewql: r#"
+a = SELECT k_sigaction FROM * WHERE handler == 0
+UPDATE a WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+fn fig12_3() -> Figure {
+    Figure {
+        id: "fig12-3",
+        ulk: "Fig 12-3",
+        title: "the fd array",
+        paper_loc: 55,
+        delta: Delta::Fields,
+        viewcl: r#"
+define File as Box<file> [
+    Text<string> name: ${@this.f_path.dentry->d_iname}
+    Text pos: f_pos
+    Text count: f_count.counter
+    Text<u64:x> f_mode
+]
+define FdTable as Box<fdtable> [
+    Text max_fds
+    Container fd: Array(${@this.fd}, ${@this.max_fds}).forEach |f| {
+        yield switch ${@f != NULL} {
+            case ${true}: File(@f)
+            otherwise: NULL
+        }
+    }
+]
+define FilesStruct as Box<files_struct> [
+    Text count: count.counter
+    Text next_fd
+    Text<u64:b> open_fds: open_fds_init
+    Link fdt -> FdTable(${@this.fdt})
+]
+fs = FilesStruct(${current_task->files})
+plot @fs
+"#,
+        objective: None,
+    }
+}
+
+fn fig13_3() -> Figure {
+    Figure {
+        id: "fig13-3",
+        ulk: "Fig 13-3",
+        title: "device driver and kobject",
+        paper_loc: 55,
+        delta: Delta::Vars,
+        viewcl: r#"
+define Driver as Box<device_driver> [
+    Text<string> name: ${@this.name}
+    Text<string> bus: ${@this.bus->name}
+]
+define Device as Box<device> [
+    Text<string> name: ${@this.kobj.name}
+    Text refs: kobj.kref.refcount.refs.counter
+    Text<emoji:lock> in_sysfs: kobj.state_in_sysfs
+    Link driver -> switch ${@this.driver != NULL} {
+        case ${true}: Driver(${@this.driver})
+        otherwise: NULL
+    }
+    Link parent -> switch ${@this.parent != NULL} {
+        case ${true}: Device(${@this.parent})
+        otherwise: NULL
+    }
+]
+define Kset as Box<kset> [
+    Text<string> name: ${@this.kobj.name}
+    Container devices: List(${&@this.list}).forEach |n| {
+        yield Device<device.kobj.entry>(@n)
+    }
+]
+ks = Kset(${devices_kset})
+plot @ks
+"#,
+        objective: None,
+    }
+}
+
+fn fig14_3() -> Figure {
+    Figure {
+        id: "fig14-3",
+        ulk: "Fig 14-3",
+        title: "block device descriptors",
+        paper_loc: 75,
+        delta: Delta::Vars,
+        viewcl: r#"
+define Disk as Box<gendisk> [
+    Text<string> disk_name
+    Text major, minors
+]
+define BlockDevice as Box<block_device> [
+    Text bd_partno
+    Text bd_start_sect, bd_nr_sectors
+    Link bd_disk -> Disk(${@this.bd_disk})
+]
+define SuperBlock as Box<super_block> [
+    Text<string> s_id
+    Text<string> fstype: ${@this.s_type->name}
+    Text s_blocksize
+    Link s_bdev -> switch ${@this.s_bdev != NULL} {
+        case ${true}: BlockDevice(${@this.s_bdev})
+        otherwise: NULL
+    }
+]
+sbs = List(${&super_blocks}).forEach |n| {
+    yield SuperBlock<super_block.s_list>(@n)
+}
+lst = Box List [
+    Container super_blocks: @sbs
+]
+plot @lst
+"#,
+        objective: Some(Objective {
+            description: "Display the superblock list vertically, and collapse superblocks that are not connected to any block device",
+            viewql: r#"
+a = SELECT List FROM *
+UPDATE a WITH direction: vertical
+b = SELECT super_block FROM * WHERE s_bdev == NULL
+UPDATE b WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+fn fig15_1() -> Figure {
+    Figure {
+        id: "fig15-1",
+        ulk: "Fig 15-1",
+        title: "the radix tree managing page cache",
+        paper_loc: 70,
+        delta: Delta::Major,
+        viewcl: r#"
+define Page as Box<page> [
+    Text pfn: ${pfn_of_page(@this)}
+    Text index
+    Text<flag:page> flags
+]
+define XaNode as Box<xa_node> [
+    Text shift, count
+    Container slots: Array(${@this.slots}).forEach |e| {
+        yield switch ${@e != NULL} {
+            case ${true}: switch ${xa_is_node(@e)} {
+                case ${true}: XaNode(${xa_to_node(@e)})
+                otherwise: Page(@e)
+            }
+            otherwise: NULL
+        }
+    }
+]
+define AddressSpace as Box<address_space> [
+    Text nrpages
+    Link i_pages -> @root_box
+    Container pages: XArray(${&@this.i_pages}).forEach |e| {
+        yield Page(@e)
+    }
+] where {
+    head = ${@this.i_pages.xa_head}
+    root_box = switch ${xa_is_node(@head)} {
+        case ${true}: XaNode(${xa_to_node(@head)})
+        otherwise: switch ${@head != NULL} {
+            case ${true}: Page(@head)
+            otherwise: NULL
+        }
+    }
+}
+m = AddressSpace(${current_task->files->fd_array[0]->f_mapping})
+plot @m
+"#,
+        objective: Some(Objective {
+            description: "Shrink the extremely large page list in file mappings",
+            viewql: r#"
+a = SELECT address_space.pages FROM *
+UPDATE a WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+fn fig16_2() -> Figure {
+    Figure {
+        id: "fig16-2",
+        ulk: "Fig 16-2",
+        title: "file memory mapping",
+        paper_loc: 53,
+        delta: Delta::Vars,
+        viewcl: r#"
+define Page16 as Box<page> [
+    Text index
+    Text<flag:page> flags
+]
+define Mapping as Box<address_space> [
+    Text nrpages
+    Container pages: XArray(${&@this.i_pages}).forEach |e| {
+        yield Page16(@e)
+    }
+]
+define MappedFile as Box<file> [
+    Text<string> name: ${@this.f_path.dentry->d_iname}
+    Text count: f_count.counter
+    Link mapping -> switch ${@this.f_mapping != NULL && ((struct address_space *)@this.f_mapping)->nrpages > 0} {
+        case ${true}: Mapping(${@this.f_mapping})
+        otherwise: NULL
+    }
+]
+files = Array(${current_task->files->fdt->fd}, ${current_task->files->next_fd}).forEach |f| {
+    yield switch ${@f != NULL} {
+        case ${true}: MappedFile(@f)
+        otherwise: NULL
+    }
+}
+tbl = Box List [
+    Container files: @files
+]
+plot @tbl
+"#,
+        objective: Some(Objective {
+            description: "Shrink all files that have no memory mapping",
+            viewql: r#"
+a = SELECT file FROM * WHERE mapping == NULL
+UPDATE a WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+fn fig17_1() -> Figure {
+    Figure {
+        id: "fig17-1",
+        ulk: "Fig 17-1",
+        title: "reverse map of anonymous pages",
+        paper_loc: 154,
+        delta: Delta::Negligible,
+        viewcl: r#"
+define Vma17 as Box<vm_area_struct> {
+    :default [
+        Text<u64:x> vm_start, vm_end
+        Text<flag:vm> vm_flags
+    ]
+    :default => :show_chains [
+        Container anon_vma_chain: List(${&@this.anon_vma_chain}).forEach |n| {
+            yield Avc<anon_vma_chain.same_vma>(@n)
+        }
+    ]
+}
+define Avc as Box<anon_vma_chain> [
+    Text<u64:x> rb_subtree_last
+    Link vma -> Vma17(${@this.vma})
+    Link anon_vma -> AnonVma(${@this.anon_vma})
+]
+define AnonVma as Box<anon_vma> [
+    Text refcount: refcount.counter
+    Text num_active_vmas, num_children
+    Text<raw_ptr> root
+    Container rb_root: RBTree(${&@this.rb_root}).forEach |n| {
+        yield Avc<anon_vma_chain.rb>(@n)
+    }
+]
+av = AnonVma(${find_vma(current_task->mm, 0x500000)->anon_vma})
+plot @av
+"#,
+        objective: None,
+    }
+}
+
+fn fig17_6() -> Figure {
+    Figure {
+        id: "fig17-6",
+        ulk: "Fig 17-6",
+        title: "swap area descriptors",
+        paper_loc: 19,
+        delta: Delta::Negligible,
+        viewcl: r#"
+define SwapInfo as Box<swap_info_struct> [
+    Text prio, pages, inuse_pages
+    Text<flag:swp> flags
+    Text lowest_bit, highest_bit
+]
+areas = Array(${swap_info}).forEach |p| {
+    yield switch ${@p != NULL} {
+        case ${true}: SwapInfo(@p)
+        otherwise: NULL
+    }
+}
+reg = Box List [
+    Text nr_swapfiles: ${nr_swapfiles}
+    Container swap_info: @areas
+]
+plot @reg
+"#,
+        objective: None,
+    }
+}
+
+fn fig19_1() -> Figure {
+    Figure {
+        id: "fig19-1",
+        ulk: "Fig 19-1",
+        title: "IPC semaphore management",
+        paper_loc: 126,
+        delta: Delta::Fields,
+        viewcl: r#"
+define Sem as Box<sem> [
+    Text semval, sempid
+    Text<emoji:lock> lock: lock.locked
+]
+define SemArray as Box<sem_array> {
+    :default [
+        Text id: sem_perm.id
+        Text<u64:x> key: sem_perm.key
+        Text sem_nsems
+        Container sems: Array(${sem_base(@this)}, ${@this.sem_nsems}).forEach |s| {
+            yield Sem(@s)
+        }
+    ]
+    :default => :show_perm [
+        Text<u64:o> mode: sem_perm.mode
+        Text uid: sem_perm.uid
+        Text refs: sem_perm.refcount.refs.counter
+        Text complex_count
+    ]
+}
+sems = List(${&sem_ids.entries}).forEach |n| {
+    yield SemArray<sem_array.list_id>(@n)
+}
+reg = Box List [
+    Text in_use: ${sem_ids.in_use}
+    Container entries: @sems
+]
+plot @reg
+"#,
+        objective: None,
+    }
+}
+
+fn fig19_2() -> Figure {
+    Figure {
+        id: "fig19-2",
+        ulk: "Fig 19-2",
+        title: "IPC message queue management",
+        paper_loc: 0, // merged with Fig 19-1 in the paper's table
+        delta: Delta::Fields,
+        viewcl: r#"
+define MsgMsg as Box<msg_msg> [
+    Text m_type, m_ts
+]
+define MsgQueue as Box<msg_queue> [
+    Text id: q_perm.id
+    Text<u64:x> key: q_perm.key
+    Text q_qnum, q_cbytes, q_qbytes
+    Container messages: List(${&@this.q_messages}).forEach |n| {
+        yield MsgMsg<msg_msg.m_list>(@n)
+    }
+]
+queues = List(${&msg_ids.entries}).forEach |n| {
+    yield MsgQueue<msg_queue.list_id>(@n)
+}
+reg = Box List [
+    Text in_use: ${msg_ids.in_use}
+    Container entries: @queues
+]
+plot @reg
+"#,
+        objective: None,
+    }
+}
+
+fn workqueue() -> Figure {
+    Figure {
+        id: "workqueue",
+        ulk: "-",
+        title: "work queue",
+        paper_loc: 89,
+        delta: Delta::Fields,
+        viewcl: r#"
+// Heterogeneous work list: the enclosing type of each node is decided by
+// its function pointer (the paper's Figure 6).
+define Work as Box<work_struct> [
+    Text<fptr> func
+]
+define DelayedWork as Box<delayed_work> [
+    Text<fptr> func: work.func
+    Text expires: timer.expires
+]
+define Pool as Box<worker_pool> [
+    Text cpu, id, nr_workers, nr_idle
+    Container worklist: List(${&@this.worklist}).forEach |n| {
+        w = ${container_of(@n, struct work_struct, entry)}
+        yield switch ${fname_eq(@w->func, "vmstat_update")} {
+            case ${true}: DelayedWork<delayed_work.work.entry>(@n)
+            otherwise: Work<work_struct.entry>(@n)
+        }
+    }
+]
+define Pwq as Box<pool_workqueue> [
+    Text refcnt, max_active
+    Link pool -> Pool(${@this.pool})
+]
+define Wq as Box<workqueue_struct> [
+    Text<string> name
+    Container pwqs: List(${&@this.pwqs}).forEach |n| {
+        yield Pwq<pool_workqueue.pwqs_node>(@n)
+    }
+]
+wq = Wq(${&mm_percpu_wq})
+plot @wq
+"#,
+        objective: None,
+    }
+}
+
+fn proc2vfs() -> Figure {
+    Figure {
+        id: "proc2vfs",
+        ulk: "-",
+        title: "from process to VFS",
+        paper_loc: 96,
+        delta: Delta::Negligible,
+        viewcl: r#"
+define Sb20 as Box<super_block> [
+    Text<string> s_id
+    Text<string> fstype: ${@this.s_type->name}
+]
+define Inode20 as Box<inode> [
+    Text i_ino
+    Text<u64:o> i_mode
+    Text size: i_size
+    Link i_sb -> Sb20(${@this.i_sb})
+]
+define Dentry20 as Box<dentry> [
+    Text<string> name: ${@this.d_name}
+    Link d_inode -> switch ${@this.d_inode != NULL} {
+        case ${true}: Inode20(${@this.d_inode})
+        otherwise: NULL
+    }
+]
+define File20 as Box<file> [
+    Text<string> name: ${@this.f_path.dentry->d_iname}
+    Text pos: f_pos
+    Link dentry -> Dentry20(${@this.f_path.dentry})
+]
+define Fs20 as Box<fs_struct> [
+    Text users
+    Link root -> Dentry20(${@this.root.dentry})
+    Link pwd -> Dentry20(${@this.pwd.dentry})
+]
+define Files20 as Box<files_struct> [
+    Text next_fd
+    Container open_files: Array(${@this.fdt->fd}, ${@this.next_fd}).forEach |f| {
+        yield switch ${@f != NULL} {
+            case ${true}: File20(@f)
+            otherwise: NULL
+        }
+    }
+]
+define Task20 as Box<task_struct> [
+    Text pid
+    Text<string> comm
+    Link fs -> Fs20(${@this.fs})
+    Link files -> Files20(${@this.files})
+]
+t = Task20(${current_task})
+plot @t
+"#,
+        objective: None,
+    }
+}
+
+fn socketconn() -> Figure {
+    Figure {
+        id: "socketconn",
+        ulk: "-",
+        title: "socket connection",
+        paper_loc: 92,
+        delta: Delta::Vars,
+        viewcl: r#"
+define SkBuff as Box<sk_buff> [
+    Text len
+]
+define Sock as Box<sock> [
+    Text<string> saddr: ${ip4_str(@this.__sk_common.skc_rcv_saddr)}
+    Text sport: __sk_common.skc_num
+    Text<string> daddr: ${ip4_str(@this.__sk_common.skc_daddr)}
+    Text dport: __sk_common.skc_dport
+    Text state: __sk_common.skc_state
+    Text rmem: sk_rmem_alloc.counter
+    Container receive_queue: List(${&@this.sk_receive_queue}).forEach |n| {
+        yield SkBuff(@n)
+    }
+    Container write_queue: List(${&@this.sk_write_queue}).forEach |n| {
+        yield SkBuff(@n)
+    }
+]
+define Socket as Box<socket> [
+    Text state, type
+    Link sk -> Sock(${@this.sk})
+]
+socks = List(${&init_task.tasks}).forEach |n| {
+    t = ${container_of(@n, struct task_struct, tasks)}
+    yield switch ${@t->files != NULL && @t->pid == @t->tgid} {
+        case ${true}: Socket(${@t->files->fd_array[5]->private_data})
+        otherwise: NULL
+    }
+}
+all = Box List [
+    Container sockets: @socks
+]
+plot @all
+"#,
+        objective: Some(Objective {
+            description: "Shrink sockets whose write buffer and receive buffer are both empty",
+            viewql: r#"
+a = SELECT sock FROM * WHERE write_queue == 0 AND receive_queue == 0
+UPDATE a WITH collapsed: true
+"#,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_figures() {
+        assert_eq!(all().len(), 21);
+        let ids: std::collections::HashSet<&str> = all().iter().map(|f| f.id).collect();
+        assert_eq!(ids.len(), 21, "ids unique");
+    }
+
+    #[test]
+    fn ten_objectives_like_table_3() {
+        let n = all().iter().filter(|f| f.objective.is_some()).count();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn every_program_parses() {
+        for f in all() {
+            viewcl::parse_program(f.viewcl)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", f.id));
+        }
+    }
+
+    #[test]
+    fn every_objective_viewql_parses_and_is_short() {
+        for f in all() {
+            if let Some(o) = &f.objective {
+                vql::parse(o.viewql)
+                    .unwrap_or_else(|e| panic!("{} objective does not parse: {e}", f.id));
+                assert!(
+                    vql::loc_of(o.viewql) < 10,
+                    "{}: Table 3 promises <10 lines",
+                    f.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("fig9-2").is_some());
+        assert!(by_id("nope").is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Visualinux: visual interactive debugging of the (simulated) Linux
+//! kernel.
+//!
+//! This is the top-level crate of the Visualinux reproduction: it wires
+//! the kernel image ([`ksim`]), the debugger bridge ([`vbridge`]), the two
+//! DSLs ([`viewcl`], [`vql`]), the pane system ([`vpanels`]) and the
+//! renderers ([`vrender`]) into the tool the paper describes:
+//!
+//! * [`helpers`] registers the kernel helper functions (the ~500 lines of
+//!   GDB scripts in the paper) callable from `${...}` expressions;
+//! * [`figures`] is the ULK figure library: one ViewCL program per row of
+//!   Table 2, plus the Table 3 debugging objectives;
+//! * [`Session`] implements the three *v-commands* — `vplot`, `vctrl`,
+//!   `vchat` (§4) — over a pane tree;
+//! * [`casestudies`] drives the two CVE investigations of §5.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use ksim::workload::{build, WorkloadConfig};
+//! use visualinux::Session;
+//!
+//! let workload = build(&WorkloadConfig::default());
+//! let mut session = Session::attach(workload, vbridge::LatencyProfile::gdb_qemu());
+//! let pane = session.vplot_figure("fig7-1").unwrap();
+//! let text = session.render_text(pane).unwrap();
+//! assert!(text.contains("pid"));
+//! ```
+
+pub mod casestudies;
+pub mod figures;
+pub mod helpers;
+pub mod proto;
+mod session;
+
+pub use session::{PlotStats, Session, SessionError, VChatOutcome};
+
+// Re-export the full stack for examples and downstream users.
+pub use ksim;
+pub use ktypes;
+pub use vbridge;
+pub use vchat;
+pub use vgraph;
+pub use viewcl;
+pub use vpanels;
+pub use vql;
+pub use vrender;

@@ -1,0 +1,183 @@
+//! The v-command wire protocol (§4.2).
+//!
+//! The paper's GDB extension talks to the detached visualizer via HTTP
+//! POST; this module defines that payload: a JSON envelope carrying
+//! either a freshly extracted graph (`vplot`) or a pane-control request
+//! (`vctrl` with a ViewQL program or a pane operation). A front-end can
+//! consume these messages verbatim — the library stays transport-
+//! agnostic (any HTTP server can forward `VCommand::to_json` bodies).
+
+use serde::{Deserialize, Serialize};
+use vgraph::Graph;
+use vpanels::{PaneId, SplitDir};
+
+/// A message from the GDB side to the visualizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "command", rename_all = "snake_case")]
+pub enum VCommand {
+    /// `vplot`: display a new object graph.
+    Vplot {
+        /// The extracted graph.
+        graph: Graph,
+        /// The ViewCL source it came from (for session replay).
+        source: String,
+    },
+    /// `vctrl apply`: run a ViewQL program on a pane.
+    VctrlApply {
+        /// Target pane.
+        pane: PaneId,
+        /// The ViewQL program.
+        viewql: String,
+    },
+    /// `vctrl split`: split a pane.
+    VctrlSplit {
+        /// Pane to split.
+        pane: PaneId,
+        /// Orientation.
+        dir: SplitDir,
+    },
+    /// `vctrl focus`: search an object across panes.
+    VctrlFocus {
+        /// The object address.
+        addr: u64,
+    },
+    /// `vchat`: natural-language request (the visualizer synthesizes and
+    /// echoes back the ViewQL it ran).
+    Vchat {
+        /// Target pane.
+        pane: PaneId,
+        /// The user's message.
+        message: String,
+    },
+}
+
+/// The visualizer's reply.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum VResponse {
+    /// Success; `pane` identifies the created/affected pane.
+    Ok {
+        /// Affected pane.
+        pane: Option<PaneId>,
+        /// For `vchat`: the synthesized ViewQL.
+        synthesized: Option<String>,
+    },
+    /// Failure with a message.
+    Err {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl VCommand {
+    /// Serialize to the JSON body of the HTTP POST.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("command serialization cannot fail")
+    }
+
+    /// Parse a received command.
+    pub fn from_json(s: &str) -> serde_json::Result<VCommand> {
+        serde_json::from_str(s)
+    }
+}
+
+impl VResponse {
+    /// Serialize the reply.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("response serialization cannot fail")
+    }
+
+    /// Parse a reply.
+    pub fn from_json(s: &str) -> serde_json::Result<VResponse> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Dispatch a received command against a live [`crate::Session`] — what
+/// the visualizer's request handler does.
+pub fn dispatch(session: &mut crate::Session, cmd: &VCommand) -> VResponse {
+    let result: Result<VResponse, crate::SessionError> = (|| {
+        Ok(match cmd {
+            VCommand::Vplot { graph, .. } => {
+                // The GDB side already paid the extraction cost; adopt the
+                // shipped graph instead of re-extracting from `source`
+                // (which is carried for session replay only).
+                let pane = session.adopt_graph(graph.clone(), None)?;
+                VResponse::Ok { pane: Some(pane), synthesized: None }
+            }
+            VCommand::VctrlApply { pane, viewql } => {
+                session.vctrl_refine(*pane, viewql)?;
+                VResponse::Ok { pane: Some(*pane), synthesized: None }
+            }
+            VCommand::VctrlSplit { .. } => VResponse::Err {
+                message: "split requires a ViewCL source; use Session::vctrl_split".into(),
+            },
+            VCommand::VctrlFocus { addr } => {
+                let hits = session.focus(*addr);
+                VResponse::Ok { pane: hits.first().map(|h| h.pane), synthesized: None }
+            }
+            VCommand::Vchat { pane, message } => {
+                let out = session.vchat(*pane, message, true)?;
+                VResponse::Ok { pane: Some(*pane), synthesized: Some(out.viewql) }
+            }
+        })
+    })();
+    result.unwrap_or_else(|e| VResponse::Err { message: e.to_string() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::workload::{build, WorkloadConfig};
+    use vbridge::LatencyProfile;
+
+    #[test]
+    fn commands_round_trip_as_json() {
+        let cmd = VCommand::Vchat { pane: PaneId(0), message: "shrink idle tasks".into() };
+        let json = cmd.to_json();
+        assert!(json.contains("\"command\":\"vchat\""));
+        let back = VCommand::from_json(&json).unwrap();
+        assert!(matches!(back, VCommand::Vchat { .. }));
+    }
+
+    #[test]
+    fn dispatch_runs_the_full_v_command_path() {
+        let mut s =
+            crate::Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+        // vplot over the wire.
+        let fig = crate::figures::by_id("fig3-4").unwrap();
+        let (graph, _) = s.extract(fig.viewcl).unwrap();
+        let resp = dispatch(
+            &mut s,
+            &VCommand::Vplot { graph, source: fig.viewcl.to_string() },
+        );
+        let pane = match resp {
+            VResponse::Ok { pane: Some(p), .. } => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        // vctrl apply over the wire.
+        let resp = dispatch(
+            &mut s,
+            &VCommand::VctrlApply {
+                pane,
+                viewql: "a = SELECT task_struct FROM * WHERE mm == NULL\nUPDATE a WITH collapsed: true".into(),
+            },
+        );
+        assert!(matches!(resp, VResponse::Ok { .. }));
+        // vchat over the wire.
+        let resp = dispatch(
+            &mut s,
+            &VCommand::Vchat { pane, message: "shrink tasks that have no address space".into() },
+        );
+        match resp {
+            VResponse::Ok { synthesized: Some(v), .. } => assert!(v.contains("mm == NULL")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Errors come back as Err responses, not panics.
+        let resp = dispatch(
+            &mut s,
+            &VCommand::VctrlApply { pane, viewql: "UPDATE nope WITH x: 1".into() },
+        );
+        assert!(matches!(resp, VResponse::Err { .. }));
+    }
+}

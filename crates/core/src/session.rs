@@ -1,0 +1,475 @@
+//! The interactive debugging session and its v-commands (§4).
+
+use std::collections::HashMap;
+
+use ksim::workload::{AllTypes, Workload, WorkloadRoots};
+use ksim::KernelImage;
+use vbridge::{HelperRegistry, LatencyProfile, Target, TargetStats};
+use vgraph::{Graph, GraphStats};
+use vpanels::{FocusHit, PaneId, SplitDir};
+
+/// Errors surfaced by session operations.
+#[derive(Debug)]
+pub enum SessionError {
+    /// ViewCL parse/evaluation failure.
+    ViewCl(viewcl::VclError),
+    /// ViewQL failure.
+    ViewQl(vql::VqlError),
+    /// Pane operation failure.
+    Panel(vpanels::PanelError),
+    /// vchat synthesis failure.
+    Chat(vchat::VchatError),
+    /// No such figure / pane.
+    NotFound(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::ViewCl(e) => write!(f, "{e}"),
+            SessionError::ViewQl(e) => write!(f, "{e}"),
+            SessionError::Panel(e) => write!(f, "{e}"),
+            SessionError::Chat(e) => write!(f, "{e}"),
+            SessionError::NotFound(what) => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<viewcl::VclError> for SessionError {
+    fn from(e: viewcl::VclError) -> Self {
+        SessionError::ViewCl(e)
+    }
+}
+impl From<vql::VqlError> for SessionError {
+    fn from(e: vql::VqlError) -> Self {
+        SessionError::ViewQl(e)
+    }
+}
+impl From<vpanels::PanelError> for SessionError {
+    fn from(e: vpanels::PanelError) -> Self {
+        SessionError::Panel(e)
+    }
+}
+impl From<vchat::VchatError> for SessionError {
+    fn from(e: vchat::VchatError) -> Self {
+        SessionError::Chat(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SessionError>;
+
+/// Cost and size of one `vplot` extraction (the measurements of Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlotStats {
+    /// Graph composition.
+    pub graph: GraphStats,
+    /// Target access totals during extraction.
+    pub target: TargetStats,
+}
+
+impl PlotStats {
+    /// Total virtual extraction time in milliseconds (Table 4 column 1).
+    pub fn total_ms(&self) -> f64 {
+        self.target.virtual_ns as f64 / 1e6
+    }
+
+    /// Cost per plotted kernel object in milliseconds (column 2).
+    pub fn ms_per_object(&self) -> f64 {
+        if self.graph.kernel_objects == 0 {
+            return 0.0;
+        }
+        self.total_ms() / self.graph.kernel_objects as f64
+    }
+
+    /// Cost per KiB of data structure (column 3). "Data structure" here
+    /// is the bytes the debugger actually transferred — the quantity the
+    /// per-read packet cost is paid against, which is how the paper's
+    /// per-KB column scales relative to its per-object column.
+    pub fn ms_per_kb(&self) -> f64 {
+        if self.target.bytes == 0 {
+            return 0.0;
+        }
+        self.total_ms() / (self.target.bytes as f64 / 1024.0)
+    }
+}
+
+/// What `vchat` did with a message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VChatOutcome {
+    /// The synthesized ViewQL program.
+    pub viewql: String,
+    /// Whether it was applied to the pane.
+    pub applied: bool,
+}
+
+/// An attached Visualinux debugging session: one kernel image, a helper
+/// registry, and a pane tree. Implements the three v-commands.
+pub struct Session {
+    img: KernelImage,
+    /// Registered subsystem type handles.
+    pub types: AllTypes,
+    /// Interesting root addresses of the attached image.
+    pub roots: WorkloadRoots,
+    helpers: HelperRegistry,
+    profile: LatencyProfile,
+    panes: Option<vpanels::Session>,
+    stats: HashMap<PaneId, PlotStats>,
+}
+
+impl Session {
+    /// Attach to a built workload using the given latency profile.
+    pub fn attach(workload: Workload, profile: LatencyProfile) -> Session {
+        let (img, types, roots) = workload.finish();
+        Session {
+            img,
+            types,
+            roots,
+            helpers: crate::helpers::registry(),
+            profile,
+            panes: None,
+            stats: HashMap::new(),
+        }
+    }
+
+    /// The attached image (read-only).
+    pub fn image(&self) -> &KernelImage {
+        &self.img
+    }
+
+    /// The active latency profile.
+    pub fn profile(&self) -> LatencyProfile {
+        self.profile
+    }
+
+    /// Switch latency profile (affects subsequent plots).
+    pub fn set_profile(&mut self, profile: LatencyProfile) {
+        self.profile = profile;
+    }
+
+    /// Evaluate a ViewCL program against the stopped kernel, producing a
+    /// graph, without creating a pane. Returns the graph and its stats.
+    pub fn extract(&self, viewcl_src: &str) -> Result<(Graph, PlotStats)> {
+        let program = viewcl::parse_program(viewcl_src)?;
+        let target = Target::new(
+            &self.img.mem,
+            &self.img.types,
+            &self.img.symbols,
+            self.profile,
+        );
+        let mut interp = viewcl::Interp::new(&target, &self.helpers);
+        interp.run(&program)?;
+        let graph = interp.into_graph();
+        let stats = PlotStats {
+            graph: GraphStats::of(&graph),
+            target: target.stats(),
+        };
+        Ok((graph, stats))
+    }
+
+    /// *vplot*: extract an object graph and display it on a new primary
+    /// pane (the first plot creates the pane tree; later plots split).
+    pub fn vplot(&mut self, viewcl_src: &str) -> Result<PaneId> {
+        let (graph, stats) = self.extract(viewcl_src)?;
+        self.adopt_graph(graph, Some(stats))
+    }
+
+    /// *vplot* with synthesized "naive" ViewCL (§4: *vplot* "can also
+    /// synthesize naive ViewCL code for trivial debugging objectives"):
+    /// generate a box definition showing every scalar field of `ctype`
+    /// and plot the object at `root_expr`.
+    pub fn vplot_auto(&mut self, ctype: &str, root_expr: &str) -> Result<PaneId> {
+        let src = self.synthesize_viewcl(ctype, root_expr)?;
+        self.vplot(&src)
+    }
+
+    /// Generate the naive ViewCL program used by [`vplot_auto`]
+    /// (public so callers can inspect or edit it first).
+    ///
+    /// [`vplot_auto`]: Self::vplot_auto
+    pub fn synthesize_viewcl(&self, ctype: &str, root_expr: &str) -> Result<String> {
+        let ty = self
+            .img
+            .types
+            .find(ctype)
+            .ok_or_else(|| SessionError::NotFound(format!("type `{ctype}`")))?;
+        let def = self
+            .img
+            .types
+            .struct_def(ty)
+            .ok_or_else(|| SessionError::NotFound(format!("struct `{ctype}`")))?;
+        let mut items = String::new();
+        for f in &def.fields {
+            use ktypes::TypeKind;
+            match &self.img.types.get(f.ty).kind {
+                TypeKind::Prim(p) if p.size() > 0 => {
+                    items.push_str(&format!("    Text {}
+", f.name));
+                }
+                TypeKind::Enum(_) => {
+                    items.push_str(&format!("    Text {}
+", f.name));
+                }
+                TypeKind::Pointer(_) => {
+                    items.push_str(&format!("    Text<raw_ptr> {}
+", f.name));
+                }
+                TypeKind::Array { elem, .. }
+                    if matches!(
+                        self.img.types.get(*elem).kind,
+                        TypeKind::Prim(ktypes::Prim::Char)
+                    ) =>
+                {
+                    items.push_str(&format!("    Text<string> {}
+", f.name));
+                }
+                _ => {} // nested aggregates are beyond a naive plot
+            }
+        }
+        Ok(format!(
+            "define Auto as Box<{ctype}> [
+{items}]
+root = Auto(${{{root_expr}}})
+plot @root
+"
+        ))
+    }
+
+    /// *vctrl*: pick boxes from a pane into a new secondary pane.
+    pub fn vctrl_select(
+        &mut self,
+        origin: PaneId,
+        dir: SplitDir,
+        picks: Vec<vgraph::BoxId>,
+    ) -> Result<PaneId> {
+        Ok(self.panes_mut()?.select(origin, dir, picks)?)
+    }
+
+    /// Display an already-extracted graph on a new primary pane (the
+    /// receive path of the wire protocol: the GDB side extracted and
+    /// shipped the graph; re-extracting would double the metered cost).
+    pub fn adopt_graph(&mut self, graph: Graph, stats: Option<PlotStats>) -> Result<PaneId> {
+        let pane = match &mut self.panes {
+            None => {
+                self.panes = Some(vpanels::Session::new(graph));
+                PaneId(0)
+            }
+            Some(session) => {
+                let last = *session.layout.leaves().last().expect("non-empty layout");
+                session.split(last, SplitDir::Horizontal, graph)?
+            }
+        };
+        if let Some(s) = stats {
+            self.stats.insert(pane, s);
+        }
+        Ok(pane)
+    }
+
+    /// *vplot* of a library figure by id (e.g. `"fig7-1"`).
+    pub fn vplot_figure(&mut self, id: &str) -> Result<PaneId> {
+        let fig = crate::figures::by_id(id)
+            .ok_or_else(|| SessionError::NotFound(format!("figure `{id}`")))?;
+        self.vplot(fig.viewcl)
+    }
+
+    /// *vctrl*: apply a ViewQL program to a pane.
+    pub fn vctrl_refine(&mut self, pane: PaneId, viewql: &str) -> Result<()> {
+        self.panes_mut()?.refine(pane, viewql)?;
+        Ok(())
+    }
+
+    /// *vctrl*: split a pane with a fresh plot.
+    pub fn vctrl_split(&mut self, pane: PaneId, dir: SplitDir, viewcl_src: &str) -> Result<PaneId> {
+        let (graph, stats) = self.extract(viewcl_src)?;
+        let new = self.panes_mut()?.split(pane, dir, graph)?;
+        self.stats.insert(new, stats);
+        Ok(new)
+    }
+
+    /// *vctrl*: the focus operation — search an address in all panes.
+    pub fn focus(&self, addr: u64) -> Vec<FocusHit> {
+        match &self.panes {
+            Some(s) => s.focus(addr),
+            None => Vec::new(),
+        }
+    }
+
+    /// *vchat*: synthesize ViewQL from natural language against the
+    /// pane's plot schema and (optionally) apply it.
+    pub fn vchat(&mut self, pane: PaneId, message: &str, apply: bool) -> Result<VChatOutcome> {
+        let graph = self
+            .panes
+            .as_ref()
+            .and_then(|s| s.graph_of(pane))
+            .ok_or_else(|| SessionError::NotFound(format!("pane {pane:?}")))?;
+        let schema = vchat::Schema::of(graph);
+        let synth = vchat::Synthesizer::new(schema);
+        let viewql = synth.synthesize(message)?;
+        if apply {
+            self.vctrl_refine(pane, &viewql)?;
+        }
+        Ok(VChatOutcome {
+            viewql,
+            applied: apply,
+        })
+    }
+
+    /// The graph displayed on a pane.
+    pub fn graph(&self, pane: PaneId) -> Result<&Graph> {
+        self.panes
+            .as_ref()
+            .and_then(|s| s.graph_of(pane))
+            .ok_or_else(|| SessionError::NotFound(format!("pane {pane:?}")))
+    }
+
+    /// Extraction stats of a plotted pane.
+    pub fn plot_stats(&self, pane: PaneId) -> Option<PlotStats> {
+        self.stats.get(&pane).copied()
+    }
+
+    /// Render a pane as text.
+    pub fn render_text(&self, pane: PaneId) -> Result<String> {
+        Ok(vrender::to_text(self.graph(pane)?))
+    }
+
+    /// Render a pane as Graphviz DOT.
+    pub fn render_dot(&self, pane: PaneId) -> Result<String> {
+        Ok(vrender::to_dot(self.graph(pane)?))
+    }
+
+    /// Render a pane as SVG.
+    pub fn render_svg(&self, pane: PaneId) -> Result<String> {
+        Ok(vrender::to_svg(self.graph(pane)?))
+    }
+
+    /// Persist the pane tree.
+    pub fn save_panes(&self) -> Option<String> {
+        self.panes.as_ref().map(|s| s.save())
+    }
+
+    fn panes_mut(&mut self) -> Result<&mut vpanels::Session> {
+        self.panes
+            .as_mut()
+            .ok_or_else(|| SessionError::NotFound("no panes (plot something first)".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::workload::{build, WorkloadConfig};
+
+    fn session() -> Session {
+        Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free())
+    }
+
+    #[test]
+    fn vplot_figure_and_render() {
+        let mut s = session();
+        let pane = s.vplot_figure("fig7-1").unwrap();
+        let text = s.render_text(pane).unwrap();
+        assert!(text.contains("RQ"));
+        assert!(text.contains("worker-0"));
+        let stats = s.plot_stats(pane).unwrap();
+        assert!(stats.graph.objects > 3);
+    }
+
+    #[test]
+    fn vctrl_refine_applies_viewql() {
+        let mut s = session();
+        let pane = s.vplot_figure("fig3-4").unwrap();
+        s.vctrl_refine(
+            pane,
+            "a = SELECT task_struct FROM * WHERE mm == NULL\nUPDATE a WITH collapsed: true",
+        )
+        .unwrap();
+        let g = s.graph(pane).unwrap();
+        let collapsed = g.boxes().iter().filter(|b| b.attrs.collapsed).count();
+        assert!(collapsed >= 6, "kthreads collapsed, got {collapsed}");
+    }
+
+    #[test]
+    fn vchat_round_trip() {
+        let mut s = session();
+        let pane = s.vplot_figure("fig3-4").unwrap();
+        let out = s
+            .vchat(pane, "shrink tasks that have no address space", true)
+            .unwrap();
+        assert!(out.viewql.contains("mm == NULL"), "{}", out.viewql);
+        let g = s.graph(pane).unwrap();
+        assert!(g.boxes().iter().any(|b| b.attrs.collapsed));
+    }
+
+    #[test]
+    fn multiple_plots_split_panes_and_focus_finds_shared_objects() {
+        let mut s = session();
+        let p1 = s.vplot_figure("fig3-4").unwrap();
+        let p2 = s.vplot_figure("fig7-1").unwrap();
+        assert_ne!(p1, p2);
+        // A runnable leader appears in both the parent tree and the
+        // scheduler tree (paper Figure 2).
+        let leader = s.roots.leaders[0];
+        let hits = s.focus(leader);
+        let panes: std::collections::HashSet<_> = hits.iter().map(|h| h.pane).collect();
+        assert!(panes.len() >= 2, "expected hits in both panes: {hits:?}");
+    }
+
+    #[test]
+    fn vplot_auto_synthesizes_naive_viewcl() {
+        let mut s = session();
+        let src = s.synthesize_viewcl("vm_area_struct", "find_vma(current_task->mm, 0x400000)").unwrap();
+        assert!(src.contains("Text vm_start"), "{src}");
+        assert!(src.contains("Text<raw_ptr> vm_file"), "{src}");
+        let pane = s.vplot_auto("vm_area_struct", "find_vma(current_task->mm, 0x400000)").unwrap();
+        let g = s.graph(pane).unwrap();
+        assert_eq!(g.get(g.roots[0]).ctype, "vm_area_struct");
+        // The naive plot shows the real field values.
+        assert_eq!(g.get(g.roots[0]).member_raw("vm_start", g), Some(0x400000));
+        assert!(matches!(s.vplot_auto("no_such_type", "0"), Err(SessionError::NotFound(_))));
+    }
+
+    #[test]
+    fn vctrl_select_creates_secondary_pane() {
+        let mut s = session();
+        let pane = s.vplot_figure("fig7-1").unwrap();
+        let first = s.graph(pane).unwrap().roots[0];
+        let sec = s.vctrl_select(pane, SplitDir::Vertical, vec![first]).unwrap();
+        assert_ne!(sec, pane);
+        // The secondary pane resolves its origin's graph.
+        assert!(s.graph(sec).is_ok());
+    }
+
+    #[test]
+    fn lock_state_in_one_line_of_viewcl() {
+        // §5.1: "we can visualize the lock state within a single line of
+        // ViewCL" — the EMOJI decorator over a spinlock word.
+        let mut s = session();
+        let pane = s
+            .vplot(
+                r#"
+define MMLock as Box<mm_struct> [
+    Text<emoji:lock> page_table_lock: page_table_lock.locked
+]
+m = MMLock(${current_task->mm})
+plot @m
+"#,
+            )
+            .unwrap();
+        let g = s.graph(pane).unwrap();
+        match g.get(g.roots[0]).item("page_table_lock").unwrap() {
+            vgraph::Item::Text { value, .. } => assert_eq!(value, "🔓"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_figure_errors() {
+        let mut s = session();
+        assert!(matches!(
+            s.vplot_figure("fig0-0"),
+            Err(SessionError::NotFound(_))
+        ));
+    }
+}

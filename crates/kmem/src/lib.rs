@@ -1,0 +1,57 @@
+//! Simulated kernel target memory.
+//!
+//! `kmem` provides the byte-addressed, sparse memory image that stands in
+//! for the live kernel's RAM, plus the pieces a debugger needs around it:
+//! zone allocators for placing objects at kernel-like virtual addresses, a
+//! symbol table (the `System.map` of the simulated image), and a typed
+//! object writer that encodes values according to [`ktypes`] layouts.
+//!
+//! The image is written once by the kernel simulator (`ksim`) and then read
+//! through the debugger bridge (`vbridge`), exactly as GDB reads a stopped
+//! kernel: nothing in the visualization stack ever sees Rust objects, only
+//! raw bytes interpreted via type layouts.
+
+mod alloc;
+mod mem;
+mod obj;
+mod symbols;
+
+pub use alloc::Zone;
+pub use mem::{Mem, PAGE_SIZE};
+pub use obj::ObjWriter;
+pub use symbols::{Symbol, SymbolKind, SymbolTable};
+
+/// Errors produced when accessing the simulated memory image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// An access touched an address with no mapped page.
+    Unmapped {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// A typed access failed at the type-system level.
+    Type(ktypes::TypeError),
+    /// A field path string could not be parsed.
+    BadPath(String),
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "unmapped address {addr:#x}"),
+            MemError::Type(e) => write!(f, "type error: {e}"),
+            MemError::BadPath(p) => write!(f, "malformed field path `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<ktypes::TypeError> for MemError {
+    fn from(e: ktypes::TypeError) -> Self {
+        MemError::Type(e)
+    }
+}
+
+/// Convenience result alias for memory operations.
+pub type Result<T> = std::result::Result<T, MemError>;

@@ -1,0 +1,289 @@
+//! Typed object writer: encode struct fields into the memory image.
+
+use ktypes::{TypeId, TypeKind, TypeRegistry};
+
+use crate::mem::Mem;
+use crate::{MemError, Result};
+
+/// A cursor for writing fields of one object according to its C layout.
+///
+/// Field paths may traverse nested aggregates and index arrays, e.g.
+/// `"se.run_node.rb_left"` or `"slot[3]"`. Bitfields are read-modified-
+/// written within their storage unit, so sibling bitfields are preserved.
+pub struct ObjWriter<'a> {
+    mem: &'a mut Mem,
+    reg: &'a TypeRegistry,
+    addr: u64,
+    ty: TypeId,
+}
+
+/// One parsed component of a field path: a name plus optional indices.
+fn parse_path(path: &str) -> Result<Vec<(String, Vec<u64>)>> {
+    let mut comps = Vec::new();
+    for raw in path.split('.') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Err(MemError::BadPath(path.to_string()));
+        }
+        let (name, rest) = match raw.find('[') {
+            Some(i) => (&raw[..i], &raw[i..]),
+            None => (raw, ""),
+        };
+        let mut idx = Vec::new();
+        let mut rest = rest;
+        while let Some(stripped) = rest.strip_prefix('[') {
+            let close = stripped
+                .find(']')
+                .ok_or_else(|| MemError::BadPath(path.to_string()))?;
+            let n: u64 = stripped[..close]
+                .parse()
+                .map_err(|_| MemError::BadPath(path.to_string()))?;
+            idx.push(n);
+            rest = &stripped[close + 1..];
+        }
+        if !rest.is_empty() {
+            return Err(MemError::BadPath(path.to_string()));
+        }
+        comps.push((name.to_string(), idx));
+    }
+    Ok(comps)
+}
+
+/// Resolve a field path against a type, returning `(byte_offset, type,
+/// bitfield)` of the leaf.
+pub(crate) fn resolve_path(
+    reg: &TypeRegistry,
+    base: TypeId,
+    path: &str,
+) -> Result<(u64, TypeId, Option<ktypes::BitField>)> {
+    let mut ty = base;
+    let mut off = 0u64;
+    let mut bit = None;
+    for (name, indices) in parse_path(path)? {
+        let def = reg
+            .struct_def(ty)
+            .ok_or_else(|| MemError::Type(ktypes::TypeError::NotAggregate(reg.display_name(ty))))?;
+        let f = def.field(&name).ok_or_else(|| {
+            MemError::Type(ktypes::TypeError::UnknownField {
+                ty: def.name.clone(),
+                field: name.clone(),
+            })
+        })?;
+        off += f.offset;
+        ty = f.ty;
+        bit = f.bit;
+        for i in indices {
+            match &reg.get(ty).kind {
+                TypeKind::Array { elem, len } => {
+                    if i >= *len {
+                        return Err(MemError::Type(ktypes::TypeError::IndexOutOfRange {
+                            len: *len as usize,
+                            index: i as usize,
+                        }));
+                    }
+                    off += reg.size_of(*elem) * i;
+                    ty = *elem;
+                    bit = None;
+                }
+                _ => {
+                    return Err(MemError::Type(ktypes::TypeError::NotAggregate(
+                        reg.display_name(ty),
+                    )))
+                }
+            }
+        }
+    }
+    Ok((off, ty, bit))
+}
+
+impl<'a> ObjWriter<'a> {
+    /// Start writing the object of type `ty` at `addr`.
+    ///
+    /// Maps the pages covering the object, so read-modify-write accesses
+    /// (bitfields) work even before any field was written.
+    pub fn new(mem: &'a mut Mem, reg: &'a TypeRegistry, addr: u64, ty: TypeId) -> Self {
+        mem.map(addr, reg.size_of(ty).max(1));
+        ObjWriter { mem, reg, addr, ty }
+    }
+
+    /// The object's base address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// The object's type.
+    pub fn ty(&self) -> TypeId {
+        self.ty
+    }
+
+    /// Write an integer (or pointer-sized) value at `path`.
+    pub fn set(&mut self, path: &str, value: u64) -> Result<&mut Self> {
+        let (off, ty, bit) = resolve_path(self.reg, self.ty, path)?;
+        let addr = self.addr + off;
+        match bit {
+            Some(bf) => {
+                let size = bf.storage_size as usize;
+                let storage = self.mem.read_uint(addr, size)?;
+                let new = bf.insert(storage, value as i64);
+                self.mem.write_uint(addr, size, new);
+            }
+            None => {
+                let size = self.reg.size_of(ty) as usize;
+                let size = match &self.reg.get(ty).kind {
+                    TypeKind::Pointer(_) => 8,
+                    _ => size,
+                };
+                if size == 0 || size > 8 {
+                    return Err(MemError::Type(ktypes::TypeError::NotInteger(
+                        self.reg.display_name(ty),
+                    )));
+                }
+                self.mem.write_uint(addr, size, value);
+            }
+        }
+        Ok(self)
+    }
+
+    /// Write a signed integer at `path`.
+    pub fn set_i64(&mut self, path: &str, value: i64) -> Result<&mut Self> {
+        self.set(path, value as u64)
+    }
+
+    /// Write a fixed C string into a `char[N]` field at `path` (truncated
+    /// and NUL-terminated to fit).
+    pub fn set_str(&mut self, path: &str, value: &str) -> Result<&mut Self> {
+        let (off, ty, _) = resolve_path(self.reg, self.ty, path)?;
+        let cap = match &self.reg.get(ty).kind {
+            TypeKind::Array { len, .. } => *len as usize,
+            TypeKind::Pointer(_) => {
+                return Err(MemError::BadPath(format!(
+                    "`{path}` is a pointer; write a buffer and set the pointer instead"
+                )))
+            }
+            _ => {
+                return Err(MemError::Type(ktypes::TypeError::NotAggregate(
+                    self.reg.display_name(ty),
+                )))
+            }
+        };
+        let bytes = value.as_bytes();
+        let n = bytes.len().min(cap.saturating_sub(1));
+        self.mem.write(self.addr + off, &bytes[..n]);
+        self.mem.write(self.addr + off + n as u64, &[0]);
+        Ok(self)
+    }
+
+    /// Address of the (possibly nested) field at `path` — the simulator's
+    /// `&obj->field`, used to wire up embedded `list_head`s.
+    pub fn field_addr(&self, path: &str) -> Result<u64> {
+        let (off, _, _) = resolve_path(self.reg, self.ty, path)?;
+        Ok(self.addr + off)
+    }
+
+    /// Read back an unsigned integer field (for read-modify-write wiring).
+    pub fn get(&self, path: &str) -> Result<u64> {
+        let (off, ty, bit) = resolve_path(self.reg, self.ty, path)?;
+        let addr = self.addr + off;
+        match bit {
+            Some(bf) => {
+                let storage = self.mem.read_uint(addr, bf.storage_size as usize)?;
+                Ok(bf.extract(storage) as u64)
+            }
+            None => {
+                let size = match &self.reg.get(ty).kind {
+                    TypeKind::Pointer(_) => 8,
+                    _ => self.reg.size_of(ty) as usize,
+                };
+                self.mem.read_uint(addr, size)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktypes::{Prim, StructBuilder};
+
+    fn setup() -> (Mem, TypeRegistry, TypeId) {
+        let mut reg = TypeRegistry::new();
+        let u64_t = reg.prim(Prim::U64);
+        let u32_t = reg.prim(Prim::U32);
+        let char_t = reg.prim(Prim::Char);
+        let comm = reg.array_of(char_t, 16);
+        let node = StructBuilder::new("rb_node")
+            .field("rb_parent_color", u64_t)
+            .field("rb_right", u64_t)
+            .field("rb_left", u64_t)
+            .build(&mut reg);
+        let slots = reg.array_of(u64_t, 4);
+        let ty = StructBuilder::new("obj")
+            .field("pid", u32_t)
+            .bitfield("f_lo", u32_t, 4)
+            .bitfield("f_hi", u32_t, 4)
+            .field("comm", comm)
+            .field("run_node", node)
+            .field("slot", slots)
+            .build(&mut reg);
+        (Mem::new(), reg, ty)
+    }
+
+    #[test]
+    fn set_and_get_scalar() {
+        let (mut mem, reg, ty) = setup();
+        let mut w = ObjWriter::new(&mut mem, &reg, 0x1000, ty);
+        w.set("pid", 42).unwrap();
+        assert_eq!(w.get("pid").unwrap(), 42);
+    }
+
+    #[test]
+    fn bitfields_share_storage() {
+        let (mut mem, reg, ty) = setup();
+        let mut w = ObjWriter::new(&mut mem, &reg, 0x1000, ty);
+        w.set("f_lo", 0xa).unwrap();
+        w.set("f_hi", 0x5).unwrap();
+        assert_eq!(w.get("f_lo").unwrap(), 0xa);
+        assert_eq!(w.get("f_hi").unwrap(), 0x5);
+    }
+
+    #[test]
+    fn nested_path_and_field_addr() {
+        let (mut mem, reg, ty) = setup();
+        let mut w = ObjWriter::new(&mut mem, &reg, 0x2000, ty);
+        w.set("run_node.rb_left", 0xdead).unwrap();
+        let (off, _, _) = resolve_path(&reg, ty, "run_node.rb_left").unwrap();
+        assert_eq!(w.field_addr("run_node.rb_left").unwrap(), 0x2000 + off);
+        assert_eq!(mem.read_uint(0x2000 + off, 8).unwrap(), 0xdead);
+    }
+
+    #[test]
+    fn array_indexing() {
+        let (mut mem, reg, ty) = setup();
+        let mut w = ObjWriter::new(&mut mem, &reg, 0x3000, ty);
+        w.set("slot[2]", 0xbeef).unwrap();
+        assert_eq!(w.get("slot[2]").unwrap(), 0xbeef);
+        assert_eq!(w.get("slot[1]").unwrap(), 0);
+        assert!(w.set("slot[9]", 1).is_err());
+    }
+
+    #[test]
+    fn string_field_truncates_and_terminates() {
+        let (mut mem, reg, ty) = setup();
+        let mut w = ObjWriter::new(&mut mem, &reg, 0x4000, ty);
+        w.set_str("comm", "a-very-long-process-name").unwrap();
+        let (off, _, _) = resolve_path(&reg, ty, "comm").unwrap();
+        let s = mem.read_cstr(0x4000 + off, 16).unwrap();
+        assert_eq!(s.len(), 15);
+        assert!(s.starts_with("a-very-long"));
+    }
+
+    #[test]
+    fn bad_paths_are_rejected() {
+        let (mut mem, reg, ty) = setup();
+        let w = ObjWriter::new(&mut mem, &reg, 0x1000, ty);
+        assert!(w.get("nonexistent").is_err());
+        assert!(w.get("pid.sub").is_err());
+        assert!(w.get("slot[x]").is_err());
+        assert!(w.get("").is_err());
+    }
+}

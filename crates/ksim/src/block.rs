@@ -1,0 +1,167 @@
+//! Block devices and gendisks (ULK Fig 14-3).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockTypes {
+    /// `struct block_device`.
+    pub block_device: TypeId,
+    /// `struct gendisk`.
+    pub gendisk: TypeId,
+    /// `struct request_queue`.
+    pub request_queue: TypeId,
+}
+
+/// Register block-layer types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> BlockTypes {
+    let gd_fwd = reg.declare_struct("gendisk");
+    let gd_ptr = reg.pointer_to(gd_fwd);
+    let sb_fwd = reg.declare_struct("super_block");
+    let sb_ptr = reg.pointer_to(sb_fwd);
+    let inode_fwd = reg.declare_struct("inode");
+    let inode_ptr = reg.pointer_to(inode_fwd);
+
+    let request_queue = StructBuilder::new("request_queue")
+        .field("queuedata", common.void_ptr)
+        .field("nr_requests", common.u64_t)
+        .field("nr_hw_queues", common.u32_t)
+        .build(reg);
+    let rq_ptr = reg.pointer_to(request_queue);
+
+    let block_device = StructBuilder::new("block_device")
+        .field("bd_start_sect", common.u64_t)
+        .field("bd_nr_sectors", common.u64_t)
+        .field("bd_inode", inode_ptr)
+        .field("bd_super", sb_ptr)
+        .field("bd_openers", common.atomic)
+        .field("bd_dev", common.u32_t)
+        .field("bd_partno", common.u8_t)
+        .field("bd_disk", gd_ptr)
+        .field("bd_queue", rq_ptr)
+        .build(reg);
+    let bdev_ptr = reg.pointer_to(block_device);
+
+    let disk_name = reg.array_of(common.char_t, 32);
+    let gendisk = StructBuilder::new("gendisk")
+        .field("major", common.int_t)
+        .field("first_minor", common.int_t)
+        .field("minors", common.int_t)
+        .field("disk_name", disk_name)
+        .field("part0", bdev_ptr)
+        .field("queue", rq_ptr)
+        .field("private_data", common.void_ptr)
+        .build(reg);
+
+    BlockTypes {
+        block_device,
+        gendisk,
+        request_queue,
+    }
+}
+
+/// A created disk with partitions.
+#[derive(Debug, Clone)]
+pub struct BuiltDisk {
+    /// `gendisk` address.
+    pub disk: u64,
+    /// Whole-device `block_device` (part0).
+    pub part0: u64,
+    /// Partition `block_device`s.
+    pub parts: Vec<u64>,
+}
+
+/// Create a gendisk `name` (e.g. `sda`) with `nparts` partitions.
+pub fn create_disk(
+    kb: &mut KernelBuilder,
+    bt: &BlockTypes,
+    name: &str,
+    major: i64,
+    nparts: u64,
+) -> BuiltDisk {
+    let queue = kb.alloc(bt.request_queue);
+    kb.obj(queue, bt.request_queue)
+        .set("nr_requests", 256)
+        .unwrap();
+
+    let disk = kb.alloc(bt.gendisk);
+    let part0 = kb.alloc(bt.block_device);
+    {
+        let mut w = kb.obj(disk, bt.gendisk);
+        w.set_i64("major", major).unwrap();
+        w.set_i64("minors", 16).unwrap();
+        w.set_str("disk_name", name).unwrap();
+        w.set("part0", part0).unwrap();
+        w.set("queue", queue).unwrap();
+    }
+    {
+        let mut w = kb.obj(part0, bt.block_device);
+        w.set("bd_nr_sectors", 1 << 21).unwrap();
+        w.set("bd_dev", (major as u64) << 20).unwrap();
+        w.set("bd_disk", disk).unwrap();
+        w.set("bd_queue", queue).unwrap();
+    }
+    let mut parts = Vec::new();
+    let mut sect = 2048u64;
+    for p in 1..=nparts {
+        let bd = kb.alloc(bt.block_device);
+        let len = 1 << 18;
+        let mut w = kb.obj(bd, bt.block_device);
+        w.set("bd_start_sect", sect).unwrap();
+        w.set("bd_nr_sectors", len).unwrap();
+        w.set("bd_dev", ((major as u64) << 20) | p).unwrap();
+        w.set("bd_partno", p).unwrap();
+        w.set("bd_disk", disk).unwrap();
+        w.set("bd_queue", queue).unwrap();
+        sect += len;
+        parts.push(bd);
+    }
+    BuiltDisk { disk, part0, parts }
+}
+
+/// Point a partition at the superblock mounted on it (and vice versa via
+/// `super_block.s_bdev`, done by the VFS builder).
+pub fn attach_super(kb: &mut KernelBuilder, bt: &BlockTypes, bdev: u64, sb: u64) {
+    kb.obj(bdev, bt.block_device).set("bd_super", sb).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_and_partitions_share_queue() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let bt = register_types(&mut kb.types, &common);
+        let d = create_disk(&mut kb, &bt, "sda", 8, 2);
+        assert_eq!(d.parts.len(), 2);
+        let (q_off, _) = kb.types.field_path(bt.block_device, "bd_queue").unwrap();
+        let q0 = kb.mem.read_uint(d.part0 + q_off, 8).unwrap();
+        let q1 = kb.mem.read_uint(d.parts[0] + q_off, 8).unwrap();
+        assert_eq!(q0, q1);
+        // Partition numbers and offsets ascend.
+        let (pn_off, _) = kb.types.field_path(bt.block_device, "bd_partno").unwrap();
+        assert_eq!(kb.mem.read_uint(d.parts[1] + pn_off, 1).unwrap(), 2);
+        let (ss_off, _) = kb
+            .types
+            .field_path(bt.block_device, "bd_start_sect")
+            .unwrap();
+        let s1 = kb.mem.read_uint(d.parts[0] + ss_off, 8).unwrap();
+        let s2 = kb.mem.read_uint(d.parts[1] + ss_off, 8).unwrap();
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    fn disk_name_reads_back() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let bt = register_types(&mut kb.types, &common);
+        let d = create_disk(&mut kb, &bt, "nvme0n1", 259, 0);
+        let (dn_off, _) = kb.types.field_path(bt.gendisk, "disk_name").unwrap();
+        assert_eq!(kb.mem.read_cstr(d.disk + dn_off, 32).unwrap(), "nvme0n1");
+    }
+}

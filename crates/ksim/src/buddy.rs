@@ -1,0 +1,196 @@
+//! The buddy allocator: zones, free areas, and pages (ULK Fig 8-2).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::pagecache::{PageAllocator, PageTypes};
+use crate::structops;
+
+/// `MAX_ORDER` of the buddy system.
+pub const MAX_ORDER: u64 = 11;
+/// Migrate types per free area (simplified to the three hot ones).
+pub const MIGRATE_TYPES: u64 = 3;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct BuddyTypes {
+    /// `struct free_area`.
+    pub free_area: TypeId,
+    /// `struct zone`.
+    pub zone: TypeId,
+    /// `struct pglist_data`.
+    pub pglist_data: TypeId,
+}
+
+/// Register buddy-system types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> BuddyTypes {
+    let free_lists = reg.array_of(common.list_head, MIGRATE_TYPES);
+    let free_area = StructBuilder::new("free_area")
+        .field("free_list", free_lists)
+        .field("nr_free", common.u64_t)
+        .build(reg);
+
+    let areas = reg.array_of(free_area, MAX_ORDER);
+    let watermarks = reg.array_of(common.u64_t, 3);
+    let zone = StructBuilder::new("zone")
+        .field("_watermark", watermarks)
+        .field("lowmem_reserve", common.u64_t)
+        .field("zone_start_pfn", common.u64_t)
+        .field("managed_pages", common.u64_t)
+        .field("spanned_pages", common.u64_t)
+        .field("present_pages", common.u64_t)
+        .field("name", common.char_ptr)
+        .field("free_area", areas)
+        .field("lock", common.spinlock)
+        .build(reg);
+
+    let zones = reg.array_of(zone, 2);
+    let pglist_data = StructBuilder::new("pglist_data")
+        .field("node_zones", zones)
+        .field("nr_zones", common.int_t)
+        .field("node_id", common.int_t)
+        .field("node_start_pfn", common.u64_t)
+        .field("node_present_pages", common.u64_t)
+        .build(reg);
+
+    reg.define_const("MAX_ORDER", MAX_ORDER as i64);
+    reg.define_const("MIGRATE_UNMOVABLE", 0);
+    reg.define_const("MIGRATE_MOVABLE", 1);
+    reg.define_const("MIGRATE_RECLAIMABLE", 2);
+
+    BuddyTypes {
+        free_area,
+        zone,
+        pglist_data,
+    }
+}
+
+/// The built buddy state.
+#[derive(Debug, Clone)]
+pub struct BuddyState {
+    /// `contig_page_data` / NODE_DATA(0) address.
+    pub node_data: u64,
+    /// The Normal zone address.
+    pub zone_normal: u64,
+    /// Free block head pages per order (for tests).
+    pub free_blocks: Vec<(u64, u64)>,
+}
+
+/// Build NODE_DATA(0) with a DMA and a Normal zone; populate the Normal
+/// zone's free lists with `blocks_per_order` buddy blocks per order.
+pub fn create_buddy(
+    kb: &mut KernelBuilder,
+    bt: &BuddyTypes,
+    pt: &PageTypes,
+    pa: &mut PageAllocator,
+    blocks_per_order: u64,
+) -> BuddyState {
+    let node_data = kb.alloc_global("contig_page_data", bt.pglist_data);
+    {
+        let mut w = kb.obj(node_data, bt.pglist_data);
+        w.set_i64("nr_zones", 2).unwrap();
+        w.set("node_present_pages", 1 << 18).unwrap();
+    }
+    let (zones_off, _) = kb.types.field_path(bt.pglist_data, "node_zones").unwrap();
+    let zone_size = kb.types.size_of(bt.zone);
+
+    let names = ["DMA", "Normal"];
+    for (zi, zname) in names.iter().enumerate() {
+        let zaddr = node_data + zones_off + zi as u64 * zone_size;
+        let name_buf = kb.alloc_pagedata(zname.len() as u64 + 1);
+        kb.mem.write_cstr(name_buf, zname);
+        let mut w = kb.obj(zaddr, bt.zone);
+        w.set("name", name_buf).unwrap();
+        w.set("zone_start_pfn", (zi as u64) << 12).unwrap();
+        w.set("managed_pages", 1 << 17).unwrap();
+        w.set("_watermark[0]", 128).unwrap();
+        w.set("_watermark[1]", 256).unwrap();
+        w.set("_watermark[2]", 384).unwrap();
+        drop(w);
+        let (fa_off, _) = kb.types.field_path(bt.zone, "free_area").unwrap();
+        let fa_size = kb.types.size_of(bt.free_area);
+        for order in 0..MAX_ORDER {
+            let fa = zaddr + fa_off + order * fa_size;
+            for m in 0..MIGRATE_TYPES {
+                structops::list_init(&mut kb.mem, fa + m * 16);
+            }
+        }
+    }
+
+    let zone_normal = node_data + zones_off + zone_size;
+    let (fa_off, _) = kb.types.field_path(bt.zone, "free_area").unwrap();
+    let fa_size = kb.types.size_of(bt.free_area);
+    let (nr_free_off, _) = kb.types.field_path(bt.free_area, "nr_free").unwrap();
+    let (lru_off, _) = kb.types.field_path(pt.page, "lru").unwrap();
+    let (private_off, _) = kb.types.field_path(pt.page, "private").unwrap();
+
+    let mut free_blocks = Vec::new();
+    for order in 0..MAX_ORDER.min(5) {
+        let fa = zone_normal + fa_off + order * fa_size;
+        for b in 0..blocks_per_order {
+            // Head page of a free 2^order block: buddy order in `private`.
+            let pfn = pa.reserve(1 << order);
+            let page = pa.pfn_to_page(pfn);
+            kb.mem.map(page, pa.page_size());
+            kb.obj(page, pt.page).set("flags", 1 << 10).unwrap(); // PG_buddy-ish
+            kb.mem.write_uint(page + private_off, 8, order);
+            let migrate = b % MIGRATE_TYPES;
+            structops::list_add_tail(&mut kb.mem, page + lru_off, fa + migrate * 16);
+            free_blocks.push((order, page));
+        }
+        kb.mem.write_uint(fa + nr_free_off, 8, blocks_per_order);
+    }
+    BuddyState {
+        node_data,
+        zone_normal,
+        free_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagecache;
+
+    #[test]
+    fn free_lists_chain_head_pages_with_order_in_private() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let pt = pagecache::register_types(&mut kb.types, &common);
+        let bt = register_types(&mut kb.types, &common);
+        let mut pa = PageAllocator::new(&kb, &pt);
+        let st = create_buddy(&mut kb, &bt, &pt, &mut pa, 3);
+
+        let (fa_off, _) = kb.types.field_path(bt.zone, "free_area").unwrap();
+        let fa_size = kb.types.size_of(bt.free_area);
+        let (lru_off, _) = kb.types.field_path(pt.page, "lru").unwrap();
+        let (priv_off, _) = kb.types.field_path(pt.page, "private").unwrap();
+
+        let mut seen = 0;
+        for order in 0..5u64 {
+            let fa = st.zone_normal + fa_off + order * fa_size;
+            for m in 0..MIGRATE_TYPES {
+                for node in structops::list_iter(&kb.mem, fa + m * 16) {
+                    let page = structops::container_of(node, lru_off);
+                    assert_eq!(kb.mem.read_uint(page + priv_off, 8).unwrap(), order);
+                    seen += 1;
+                }
+            }
+        }
+        assert_eq!(seen, 15, "3 blocks x 5 orders");
+    }
+
+    #[test]
+    fn zone_names_resolve() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let pt = pagecache::register_types(&mut kb.types, &common);
+        let bt = register_types(&mut kb.types, &common);
+        let mut pa = PageAllocator::new(&kb, &pt);
+        let st = create_buddy(&mut kb, &bt, &pt, &mut pa, 1);
+        let (name_off, _) = kb.types.field_path(bt.zone, "name").unwrap();
+        let p = kb.mem.read_uint(st.zone_normal + name_off, 8).unwrap();
+        assert_eq!(kb.mem.read_cstr(p, 16).unwrap(), "Normal");
+    }
+}

@@ -1,0 +1,200 @@
+//! Base kernel types shared by every subsystem.
+//!
+//! These mirror `include/linux/types.h` and friends: intrusive list and
+//! tree nodes, the RCU callback head, spinlocks and atomics. Layouts match
+//! x86-64 Linux 6.1 (e.g. `struct list_head` is two pointers, `rb_node`
+//! packs the color bit into `__rb_parent_color`).
+
+use ktypes::{Prim, StructBuilder, TypeId, TypeRegistry};
+
+/// Type ids of the shared base types.
+#[derive(Debug, Clone, Copy)]
+pub struct CommonTypes {
+    /// `struct list_head { struct list_head *next, *prev; }`.
+    pub list_head: TypeId,
+    /// `struct hlist_head { struct hlist_node *first; }`.
+    pub hlist_head: TypeId,
+    /// `struct hlist_node { struct hlist_node *next, **pprev; }`.
+    pub hlist_node: TypeId,
+    /// `struct rb_node` with packed parent/color word.
+    pub rb_node: TypeId,
+    /// `struct rb_root { struct rb_node *rb_node; }`.
+    pub rb_root: TypeId,
+    /// `struct rb_root_cached { struct rb_root rb_root; struct rb_node *rb_leftmost; }`.
+    pub rb_root_cached: TypeId,
+    /// `struct callback_head { struct callback_head *next; void (*func)(...); }`
+    /// a.k.a. `struct rcu_head`.
+    pub callback_head: TypeId,
+    /// `spinlock_t` (simplified to its raw lock word + owner cpu).
+    pub spinlock: TypeId,
+    /// `atomic_t { int counter; }`.
+    pub atomic: TypeId,
+    /// `atomic64_t { s64 counter; }`.
+    pub atomic64: TypeId,
+    /// `refcount_t { atomic_t refs; }`.
+    pub refcount: TypeId,
+    /// Common scalar shorthands.
+    pub u8_t: TypeId,
+    /// `u16`.
+    pub u16_t: TypeId,
+    /// `u32`.
+    pub u32_t: TypeId,
+    /// `u64`.
+    pub u64_t: TypeId,
+    /// `int`.
+    pub int_t: TypeId,
+    /// `long`.
+    pub long_t: TypeId,
+    /// `bool`.
+    pub bool_t: TypeId,
+    /// `char`.
+    pub char_t: TypeId,
+    /// `void *`.
+    pub void_ptr: TypeId,
+    /// `char *`.
+    pub char_ptr: TypeId,
+}
+
+impl CommonTypes {
+    /// Register all base types into `reg`.
+    pub fn register(reg: &mut TypeRegistry) -> CommonTypes {
+        let u8_t = reg.prim(Prim::U8);
+        let u16_t = reg.prim(Prim::U16);
+        let u32_t = reg.prim(Prim::U32);
+        let u64_t = reg.prim(Prim::U64);
+        let int_t = reg.prim(Prim::I32);
+        let long_t = reg.prim(Prim::I64);
+        let bool_t = reg.prim(Prim::Bool);
+        let char_t = reg.prim(Prim::Char);
+        let void_t = reg.prim(Prim::Void);
+        let void_ptr = reg.pointer_to(void_t);
+        let char_ptr = reg.pointer_to(char_t);
+
+        let list_head = reg.declare_struct("list_head");
+        let list_head_ptr = reg.pointer_to(list_head);
+        let list_head = StructBuilder::new("list_head")
+            .field("next", list_head_ptr)
+            .field("prev", list_head_ptr)
+            .build(reg);
+
+        let hlist_node = reg.declare_struct("hlist_node");
+        let hlist_node_ptr = reg.pointer_to(hlist_node);
+        let hlist_node_ptr_ptr = reg.pointer_to(hlist_node_ptr);
+        let hlist_node = StructBuilder::new("hlist_node")
+            .field("next", hlist_node_ptr)
+            .field("pprev", hlist_node_ptr_ptr)
+            .build(reg);
+        let hlist_head = StructBuilder::new("hlist_head")
+            .field("first", hlist_node_ptr)
+            .build(reg);
+
+        let rb_node = reg.declare_struct("rb_node");
+        let rb_node_ptr = reg.pointer_to(rb_node);
+        let rb_node = StructBuilder::new("rb_node")
+            .field("__rb_parent_color", u64_t)
+            .field("rb_right", rb_node_ptr)
+            .field("rb_left", rb_node_ptr)
+            .build(reg);
+        let rb_root = StructBuilder::new("rb_root")
+            .field("rb_node", rb_node_ptr)
+            .build(reg);
+        let rb_root_cached = StructBuilder::new("rb_root_cached")
+            .field("rb_root", rb_root)
+            .field("rb_leftmost", rb_node_ptr)
+            .build(reg);
+
+        let callback_head = reg.declare_struct("callback_head");
+        let callback_head_ptr = reg.pointer_to(callback_head);
+        let rcu_func = reg.func("void (*)(struct callback_head *)");
+        let rcu_func_ptr = reg.pointer_to(rcu_func);
+        let callback_head = StructBuilder::new("callback_head")
+            .field("next", callback_head_ptr)
+            .field("func", rcu_func_ptr)
+            .build(reg);
+
+        let atomic = StructBuilder::new("atomic_t")
+            .field("counter", int_t)
+            .build(reg);
+        let atomic64 = StructBuilder::new("atomic64_t")
+            .field("counter", long_t)
+            .build(reg);
+        let refcount = StructBuilder::new("refcount_t")
+            .field("refs", atomic)
+            .build(reg);
+        let spinlock = StructBuilder::new("spinlock_t")
+            .field("locked", u8_t)
+            .field("owner_cpu", u8_t)
+            .build(reg);
+
+        // Ubiquitous macro constants.
+        reg.define_const("NULL", 0);
+        reg.define_const("true", 1);
+        reg.define_const("false", 0);
+
+        CommonTypes {
+            list_head,
+            hlist_head,
+            hlist_node,
+            rb_node,
+            rb_root,
+            rb_root_cached,
+            callback_head,
+            spinlock,
+            atomic,
+            atomic64,
+            refcount,
+            u8_t,
+            u16_t,
+            u32_t,
+            u64_t,
+            int_t,
+            long_t,
+            bool_t,
+            char_t,
+            void_ptr,
+            char_ptr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_match_x86_64_linux() {
+        let mut reg = TypeRegistry::new();
+        let c = CommonTypes::register(&mut reg);
+        assert_eq!(reg.size_of(c.list_head), 16);
+        assert_eq!(reg.size_of(c.hlist_node), 16);
+        assert_eq!(reg.size_of(c.hlist_head), 8);
+        assert_eq!(reg.size_of(c.rb_node), 24);
+        assert_eq!(reg.size_of(c.rb_root_cached), 16);
+        assert_eq!(reg.size_of(c.callback_head), 16);
+        assert_eq!(reg.size_of(c.atomic), 4);
+        assert_eq!(reg.size_of(c.refcount), 4);
+    }
+
+    #[test]
+    fn list_head_is_self_referential() {
+        let mut reg = TypeRegistry::new();
+        let c = CommonTypes::register(&mut reg);
+        let def = reg.struct_def(c.list_head).unwrap();
+        let next_ty = def.field("next").unwrap().ty;
+        assert_eq!(reg.pointee(next_ty).unwrap(), c.list_head);
+    }
+
+    #[test]
+    fn rcu_head_alias_resolves() {
+        let mut reg = TypeRegistry::new();
+        let c = CommonTypes::register(&mut reg);
+        assert_eq!(reg.lookup("callback_head").unwrap(), c.callback_head);
+    }
+
+    #[test]
+    fn null_constant_defined() {
+        let mut reg = TypeRegistry::new();
+        let _ = CommonTypes::register(&mut reg);
+        assert_eq!(reg.lookup_const("NULL").unwrap().value, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! `files_struct` and the fd array (ULK Fig 12-3).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+
+/// Default fd table capacity (one `BITS_PER_LONG` worth, like the kernel's
+/// embedded `fd_array`).
+pub const NR_OPEN_DEFAULT: u64 = 64;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct FdTypes {
+    /// `struct files_struct`.
+    pub files_struct: TypeId,
+    /// `struct fdtable`.
+    pub fdtable: TypeId,
+}
+
+/// Register fd-table types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> FdTypes {
+    let file = reg.declare_struct("file");
+    let file_ptr = reg.pointer_to(file);
+    let file_ptr_ptr = reg.pointer_to(file_ptr);
+    let ulong_ptr = reg.pointer_to(common.u64_t);
+
+    let fdtable = StructBuilder::new("fdtable")
+        .field("max_fds", common.u32_t)
+        .field("fd", file_ptr_ptr)
+        .field("close_on_exec", ulong_ptr)
+        .field("open_fds", ulong_ptr)
+        .field("full_fds_bits", ulong_ptr)
+        .field("rcu", common.callback_head)
+        .build(reg);
+    let fdtable_ptr = reg.pointer_to(fdtable);
+
+    let fd_array = reg.array_of(file_ptr, NR_OPEN_DEFAULT);
+    let files_struct = StructBuilder::new("files_struct")
+        .field("count", common.atomic)
+        .field("resize_in_progress", common.bool_t)
+        .field("fdt", fdtable_ptr)
+        .field("fdtab", fdtable)
+        .field("file_lock", common.spinlock)
+        .field("next_fd", common.u32_t)
+        .field("close_on_exec_init", common.u64_t)
+        .field("open_fds_init", common.u64_t)
+        .field("fd_array", fd_array)
+        .build(reg);
+
+    reg.define_const("NR_OPEN_DEFAULT", NR_OPEN_DEFAULT as i64);
+
+    FdTypes {
+        files_struct,
+        fdtable,
+    }
+}
+
+/// Create a `files_struct` whose `fdt` points at the embedded `fdtab`,
+/// whose `fd` points at the embedded `fd_array`, holding `files` at
+/// descriptors 0..n.
+pub fn create_files(kb: &mut KernelBuilder, ft: &FdTypes, files: &[u64]) -> u64 {
+    assert!(files.len() as u64 <= NR_OPEN_DEFAULT, "fd table overflow");
+    let fs = kb.alloc(ft.files_struct);
+    let (fdtab_off, _) = kb.types.field_path(ft.files_struct, "fdtab").unwrap();
+    let (fd_array_off, _) = kb.types.field_path(ft.files_struct, "fd_array").unwrap();
+    let (open_fds_init_off, _) = kb
+        .types
+        .field_path(ft.files_struct, "open_fds_init")
+        .unwrap();
+
+    let mut open_bits = 0u64;
+    {
+        let mut w = kb.obj(fs, ft.files_struct);
+        w.set_i64("count.counter", 1).unwrap();
+        w.set("fdt", fs + fdtab_off).unwrap();
+        w.set("fdtab.max_fds", NR_OPEN_DEFAULT).unwrap();
+        w.set("fdtab.fd", fs + fd_array_off).unwrap();
+        w.set("fdtab.open_fds", fs + open_fds_init_off).unwrap();
+        w.set("next_fd", files.len() as u64).unwrap();
+        for (i, &f) in files.iter().enumerate() {
+            w.set(&format!("fd_array[{i}]"), f).unwrap();
+            open_bits |= 1 << i;
+        }
+        w.set("open_fds_init", open_bits).unwrap();
+    }
+    fs
+}
+
+/// Read back the open files of a `files_struct` the way a debugger does:
+/// follow `fdt`, then `fd`, then index the array.
+pub fn open_files(kb: &KernelBuilder, ft: &FdTypes, files_struct: u64) -> Vec<u64> {
+    let (fdt_off, _) = kb.types.field_path(ft.files_struct, "fdt").unwrap();
+    let fdt = kb.mem.read_uint(files_struct + fdt_off, 8).unwrap();
+    let (maxfds_off, _) = kb.types.field_path(ft.fdtable, "max_fds").unwrap();
+    let (fd_off, _) = kb.types.field_path(ft.fdtable, "fd").unwrap();
+    let max = kb.mem.read_uint(fdt + maxfds_off, 4).unwrap();
+    let arr = kb.mem.read_uint(fdt + fd_off, 8).unwrap();
+    let mut out = Vec::new();
+    for i in 0..max {
+        let f = kb.mem.read_uint(arr + 8 * i, 8).unwrap();
+        if f != 0 {
+            out.push(f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fdt_points_at_embedded_fdtab_and_array() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let ft = register_types(&mut kb.types, &common);
+        let fake_files = vec![0xaaa0, 0xbbb0, 0xccc0];
+        let fs = create_files(&mut kb, &ft, &fake_files);
+        assert_eq!(open_files(&kb, &ft, fs), fake_files);
+        // open_fds bitmap has exactly three bits set.
+        let (bits_off, _) = kb
+            .types
+            .field_path(ft.files_struct, "open_fds_init")
+            .unwrap();
+        assert_eq!(kb.mem.read_uint(fs + bits_off, 8).unwrap(), 0b111);
+    }
+
+    #[test]
+    fn sparse_fd_slots_are_skipped() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let ft = register_types(&mut kb.types, &common);
+        let fs = create_files(&mut kb, &ft, &[0x111_000]);
+        // Clear fd 0, set fd 5 manually.
+        let (arr_off, _) = kb.types.field_path(ft.files_struct, "fd_array").unwrap();
+        kb.mem.write_uint(fs + arr_off, 8, 0);
+        kb.mem.write_uint(fs + arr_off + 8 * 5, 8, 0x222_000);
+        assert_eq!(open_files(&kb, &ft, fs), vec![0x222_000]);
+    }
+}

@@ -1,0 +1,298 @@
+//! System V IPC: semaphores and message queues (ULK Fig 19-1/19-2).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct IpcTypes {
+    /// `struct kern_ipc_perm`.
+    pub kern_ipc_perm: TypeId,
+    /// `struct sem_array`.
+    pub sem_array: TypeId,
+    /// `struct sem`.
+    pub sem: TypeId,
+    /// `struct msg_queue`.
+    pub msg_queue: TypeId,
+    /// `struct msg_msg`.
+    pub msg_msg: TypeId,
+    /// `struct ipc_ids` (the namespace-level registry).
+    pub ipc_ids: TypeId,
+}
+
+/// Register IPC types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> IpcTypes {
+    let kern_ipc_perm = StructBuilder::new("kern_ipc_perm")
+        .field("lock", common.spinlock)
+        .field("deleted", common.bool_t)
+        .field("id", common.int_t)
+        .field("key", common.int_t)
+        .field("uid", common.u32_t)
+        .field("gid", common.u32_t)
+        .field("cuid", common.u32_t)
+        .field("cgid", common.u32_t)
+        .field("mode", common.u16_t)
+        .field("seq", common.u64_t)
+        .field("refcount", common.refcount)
+        .build(reg);
+
+    let sem = StructBuilder::new("sem")
+        .field("semval", common.int_t)
+        .field("sempid", common.int_t)
+        .field("lock", common.spinlock)
+        .field("pending_alter", common.list_head)
+        .field("pending_const", common.list_head)
+        .field("sem_otime", common.long_t)
+        .build(reg);
+
+    let sem_array = StructBuilder::new("sem_array")
+        .field("sem_perm", kern_ipc_perm)
+        .field("sem_ctime", common.long_t)
+        .field("pending_alter", common.list_head)
+        .field("pending_const", common.list_head)
+        .field("list_id", common.list_head)
+        .field("sem_nsems", common.int_t)
+        .field("complex_count", common.int_t)
+        .build(reg);
+
+    let msg_msg = StructBuilder::new("msg_msg")
+        .field("m_list", common.list_head)
+        .field("m_type", common.long_t)
+        .field("m_ts", common.u64_t)
+        .field("next", common.void_ptr)
+        .field("security", common.void_ptr)
+        .build(reg);
+
+    let msg_queue = StructBuilder::new("msg_queue")
+        .field("q_perm", kern_ipc_perm)
+        .field("q_stime", common.long_t)
+        .field("q_rtime", common.long_t)
+        .field("q_ctime", common.long_t)
+        .field("q_cbytes", common.u64_t)
+        .field("q_qnum", common.u64_t)
+        .field("q_qbytes", common.u64_t)
+        .field("q_lspid", common.int_t)
+        .field("q_lrpid", common.int_t)
+        .field("list_id", common.list_head)
+        .field("q_messages", common.list_head)
+        .field("q_receivers", common.list_head)
+        .field("q_senders", common.list_head)
+        .build(reg);
+
+    let ipc_ids = StructBuilder::new("ipc_ids")
+        .field("in_use", common.int_t)
+        .field("seq", common.u16_t)
+        .field("entries", common.list_head)
+        .build(reg);
+
+    IpcTypes {
+        kern_ipc_perm,
+        sem_array,
+        sem,
+        msg_queue,
+        msg_msg,
+        ipc_ids,
+    }
+}
+
+/// The IPC namespace registries (globals `sem_ids` / `msg_ids`).
+#[derive(Debug, Clone)]
+pub struct IpcState {
+    /// Semaphore registry address.
+    pub sem_ids: u64,
+    /// Message-queue registry address.
+    pub msg_ids: u64,
+    /// Created semaphore arrays.
+    pub sems: Vec<u64>,
+    /// Created message queues.
+    pub msgs: Vec<u64>,
+    next_id: i64,
+}
+
+/// Create the namespace registries.
+pub fn create_ipc_state(kb: &mut KernelBuilder, it: &IpcTypes) -> IpcState {
+    let sem_ids = kb.alloc_global("sem_ids", it.ipc_ids);
+    let msg_ids = kb.alloc_global("msg_ids", it.ipc_ids);
+    for ids in [sem_ids, msg_ids] {
+        let e = kb.obj(ids, it.ipc_ids).field_addr("entries").unwrap();
+        structops::list_init(&mut kb.mem, e);
+    }
+    IpcState {
+        sem_ids,
+        msg_ids,
+        sems: Vec::new(),
+        msgs: Vec::new(),
+        next_id: 0,
+    }
+}
+
+/// Create a semaphore set of `nsems` semaphores with values `vals`.
+pub fn create_sem_array(
+    kb: &mut KernelBuilder,
+    it: &IpcTypes,
+    state: &mut IpcState,
+    key: i64,
+    vals: &[i64],
+) -> u64 {
+    // The kernel allocates sems[] inline after the struct; we mirror that
+    // flexible-array layout by over-allocating.
+    let base_size = kb.types.size_of(it.sem_array);
+    let sem_size = kb.types.size_of(it.sem);
+    let sa = {
+        let total = base_size + sem_size * vals.len() as u64;
+        let arr = kb.types.array_of(kb.common.u8_t, total);
+        kb.alloc(arr)
+    };
+    let id = state.next_id;
+    state.next_id += 1;
+    let list_node;
+    {
+        let mut w = kb.obj(sa, it.sem_array);
+        w.set_i64("sem_perm.id", id).unwrap();
+        w.set_i64("sem_perm.key", key).unwrap();
+        w.set("sem_perm.mode", 0o600).unwrap();
+        w.set_i64("sem_perm.refcount.refs.counter", 1).unwrap();
+        w.set_i64("sem_nsems", vals.len() as i64).unwrap();
+        list_node = w.field_addr("list_id").unwrap();
+        let pa = w.field_addr("pending_alter").unwrap();
+        let pc = w.field_addr("pending_const").unwrap();
+        drop(w);
+        structops::list_init(&mut kb.mem, pa);
+        structops::list_init(&mut kb.mem, pc);
+    }
+    for (i, &v) in vals.iter().enumerate() {
+        let s = sa + base_size + sem_size * i as u64;
+        let mut w = kb.obj(s, it.sem);
+        w.set_i64("semval", v).unwrap();
+        let pa = w.field_addr("pending_alter").unwrap();
+        let pc = w.field_addr("pending_const").unwrap();
+        drop(w);
+        structops::list_init(&mut kb.mem, pa);
+        structops::list_init(&mut kb.mem, pc);
+    }
+    let entries = kb
+        .obj(state.sem_ids, it.ipc_ids)
+        .field_addr("entries")
+        .unwrap();
+    structops::list_add_tail(&mut kb.mem, list_node, entries);
+    let n = state.sems.len() as i64 + 1;
+    kb.obj(state.sem_ids, it.ipc_ids)
+        .set_i64("in_use", n)
+        .unwrap();
+    state.sems.push(sa);
+    sa
+}
+
+/// Create a message queue holding messages of the given `(type, size)`s.
+pub fn create_msg_queue(
+    kb: &mut KernelBuilder,
+    it: &IpcTypes,
+    state: &mut IpcState,
+    key: i64,
+    messages: &[(i64, u64)],
+) -> u64 {
+    let mq = kb.alloc(it.msg_queue);
+    let id = state.next_id;
+    state.next_id += 1;
+    let (q_messages, q_receivers, q_senders, list_id);
+    {
+        let mut w = kb.obj(mq, it.msg_queue);
+        w.set_i64("q_perm.id", id).unwrap();
+        w.set_i64("q_perm.key", key).unwrap();
+        w.set("q_perm.mode", 0o600).unwrap();
+        w.set("q_qnum", messages.len() as u64).unwrap();
+        w.set("q_qbytes", 16384).unwrap();
+        q_messages = w.field_addr("q_messages").unwrap();
+        q_receivers = w.field_addr("q_receivers").unwrap();
+        q_senders = w.field_addr("q_senders").unwrap();
+        list_id = w.field_addr("list_id").unwrap();
+    }
+    let entries = kb
+        .obj(state.msg_ids, it.ipc_ids)
+        .field_addr("entries")
+        .unwrap();
+    structops::list_add_tail(&mut kb.mem, list_id, entries);
+    {
+        let n = state.msgs.len() as i64 + 1;
+        kb.obj(state.msg_ids, it.ipc_ids)
+            .set_i64("in_use", n)
+            .unwrap();
+    }
+    structops::list_init(&mut kb.mem, q_messages);
+    structops::list_init(&mut kb.mem, q_receivers);
+    structops::list_init(&mut kb.mem, q_senders);
+    let mut cbytes = 0u64;
+    for &(mtype, msize) in messages {
+        let m = kb.alloc(it.msg_msg);
+        let node;
+        {
+            let mut w = kb.obj(m, it.msg_msg);
+            w.set_i64("m_type", mtype).unwrap();
+            w.set("m_ts", msize).unwrap();
+            node = w.field_addr("m_list").unwrap();
+        }
+        structops::list_add_tail(&mut kb.mem, node, q_messages);
+        cbytes += msize;
+    }
+    kb.obj(mq, it.msg_queue).set("q_cbytes", cbytes).unwrap();
+    state.msgs.push(mq);
+    mq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KernelBuilder, IpcTypes, IpcState) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let it = register_types(&mut kb.types, &common);
+        let state = create_ipc_state(&mut kb, &it);
+        (kb, it, state)
+    }
+
+    #[test]
+    fn sem_array_inline_semaphores() {
+        let (mut kb, it, mut state) = setup();
+        let sa = create_sem_array(&mut kb, &it, &mut state, 0x1234, &[3, 0, 7]);
+        let base = kb.types.size_of(it.sem_array);
+        let ssize = kb.types.size_of(it.sem);
+        let (sv_off, _) = kb.types.field_path(it.sem, "semval").unwrap();
+        assert_eq!(kb.mem.read_int(sa + base + sv_off, 4).unwrap(), 3);
+        assert_eq!(
+            kb.mem.read_int(sa + base + ssize * 2 + sv_off, 4).unwrap(),
+            7
+        );
+        // Registry lists it.
+        let entries = kb
+            .obj(state.sem_ids, it.ipc_ids)
+            .field_addr("entries")
+            .unwrap();
+        assert_eq!(structops::list_iter(&kb.mem, entries).len(), 1);
+    }
+
+    #[test]
+    fn msg_queue_counts_bytes() {
+        let (mut kb, it, mut state) = setup();
+        let mq = create_msg_queue(&mut kb, &it, &mut state, 0x42, &[(1, 128), (2, 256)]);
+        let (cb_off, _) = kb.types.field_path(it.msg_queue, "q_cbytes").unwrap();
+        assert_eq!(kb.mem.read_uint(mq + cb_off, 8).unwrap(), 384);
+        let (qm_off, _) = kb.types.field_path(it.msg_queue, "q_messages").unwrap();
+        assert_eq!(structops::list_iter(&kb.mem, mq + qm_off).len(), 2);
+    }
+
+    #[test]
+    fn ids_are_unique_across_kinds() {
+        let (mut kb, it, mut state) = setup();
+        let sa = create_sem_array(&mut kb, &it, &mut state, 1, &[0]);
+        let mq = create_msg_queue(&mut kb, &it, &mut state, 2, &[]);
+        let (sid_off, _) = kb.types.field_path(it.sem_array, "sem_perm.id").unwrap();
+        let (qid_off, _) = kb.types.field_path(it.msg_queue, "q_perm.id").unwrap();
+        let a = kb.mem.read_int(sa + sid_off, 4).unwrap();
+        let b = kb.mem.read_int(mq + qid_off, 4).unwrap();
+        assert_ne!(a, b);
+    }
+}

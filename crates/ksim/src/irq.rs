@@ -1,0 +1,187 @@
+//! IRQ descriptors and action chains (ULK Fig 4-5).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+
+/// Number of simulated IRQ lines.
+pub const NR_IRQS: u64 = 16;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct IrqTypes {
+    /// `struct irq_desc`.
+    pub irq_desc: TypeId,
+    /// `struct irqaction`.
+    pub irqaction: TypeId,
+    /// `struct irq_data` (embedded).
+    pub irq_data: TypeId,
+    /// `struct irq_chip`.
+    pub irq_chip: TypeId,
+}
+
+/// Register IRQ types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> IrqTypes {
+    let irq_chip = StructBuilder::new("irq_chip")
+        .field("name", common.char_ptr)
+        .field("flags", common.u64_t)
+        .build(reg);
+    let chip_ptr = reg.pointer_to(irq_chip);
+
+    let irq_data = StructBuilder::new("irq_data")
+        .field("mask", common.u32_t)
+        .field("irq", common.u32_t)
+        .field("hwirq", common.u64_t)
+        .field("chip", chip_ptr)
+        .field("chip_data", common.void_ptr)
+        .build(reg);
+
+    let action_fwd = reg.declare_struct("irqaction");
+    let action_ptr = reg.pointer_to(action_fwd);
+    let handler_fn = reg.func("irqreturn_t (*)(int, void *)");
+    let handler_ptr = reg.pointer_to(handler_fn);
+    let irqaction = StructBuilder::new("irqaction")
+        .field("handler", handler_ptr)
+        .field("dev_id", common.void_ptr)
+        .field("next", action_ptr)
+        .field("irq", common.u32_t)
+        .field("flags", common.u32_t)
+        .field("name", common.char_ptr)
+        .build(reg);
+
+    let irq_desc = StructBuilder::new("irq_desc")
+        .field("irq_data", irq_data)
+        .field("kstat_irqs", common.void_ptr)
+        .field("handle_irq", common.void_ptr)
+        .field("action", action_ptr)
+        .field("status_use_accessors", common.u32_t)
+        .field("depth", common.u32_t)
+        .field("irq_count", common.u32_t)
+        .field("name", common.char_ptr)
+        .build(reg);
+
+    reg.define_const("NR_IRQS", NR_IRQS as i64);
+    reg.define_const("IRQF_SHARED", 0x80);
+
+    IrqTypes {
+        irq_desc,
+        irqaction,
+        irq_data,
+        irq_chip,
+    }
+}
+
+/// The built IRQ table.
+#[derive(Debug, Clone)]
+pub struct IrqState {
+    /// Address of the `irq_desc[NR_IRQS]` global array.
+    pub table: u64,
+    /// Size of one descriptor.
+    pub desc_size: u64,
+}
+
+impl IrqState {
+    /// Address of descriptor `irq`.
+    pub fn desc(&self, irq: u64) -> u64 {
+        self.table + irq * self.desc_size
+    }
+}
+
+/// Allocate the global `irq_desc` array and one shared `irq_chip`.
+pub fn create_irq_table(kb: &mut KernelBuilder, it: &IrqTypes) -> IrqState {
+    let chip = kb.alloc(it.irq_chip);
+    let chip_name = kb.alloc_pagedata(8);
+    kb.mem.write_cstr(chip_name, "IO-APIC");
+    kb.obj(chip, it.irq_chip).set("name", chip_name).unwrap();
+
+    let arr = kb.types.array_of(it.irq_desc, NR_IRQS);
+    let table = kb.alloc_global("irq_desc", arr);
+    let desc_size = kb.types.size_of(it.irq_desc);
+    for irq in 0..NR_IRQS {
+        let mut w = kb.obj(table + irq * desc_size, it.irq_desc);
+        w.set("irq_data.irq", irq).unwrap();
+        w.set("irq_data.hwirq", irq).unwrap();
+        w.set("irq_data.chip", chip).unwrap();
+        w.set("depth", 1).unwrap();
+    }
+    IrqState { table, desc_size }
+}
+
+/// Register `handlers` on line `irq` as a shared action chain.
+pub fn request_irq(
+    kb: &mut KernelBuilder,
+    it: &IrqTypes,
+    state: &IrqState,
+    irq: u64,
+    handlers: &[(&str, &str)],
+) {
+    let desc = state.desc(irq);
+    let mut prev: u64 = 0;
+    for (i, (sym, name)) in handlers.iter().enumerate() {
+        let act = kb.alloc(it.irqaction);
+        let f = kb.func_sym(sym);
+        let name_buf = kb.alloc_pagedata(name.len() as u64 + 1);
+        kb.mem.write_cstr(name_buf, name);
+        let mut w = kb.obj(act, it.irqaction);
+        w.set("handler", f).unwrap();
+        w.set("irq", irq).unwrap();
+        w.set("name", name_buf).unwrap();
+        if handlers.len() > 1 {
+            w.set("flags", 0x80).unwrap(); // IRQF_SHARED
+        }
+        if i == 0 {
+            kb.obj(desc, it.irq_desc).set("action", act).unwrap();
+            kb.obj(desc, it.irq_desc).set("depth", 0).unwrap();
+        } else {
+            kb.obj(prev, it.irqaction).set("next", act).unwrap();
+        }
+        prev = act;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_chain_links_shared_handlers() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let it = register_types(&mut kb.types, &common);
+        let state = create_irq_table(&mut kb, &it);
+        request_irq(
+            &mut kb,
+            &it,
+            &state,
+            11,
+            &[("e1000_intr", "eth0"), ("usb_hcd_irq", "ehci_hcd")],
+        );
+        let (action_off, _) = kb.types.field_path(it.irq_desc, "action").unwrap();
+        let a1 = kb.mem.read_uint(state.desc(11) + action_off, 8).unwrap();
+        assert_ne!(a1, 0);
+        let (next_off, _) = kb.types.field_path(it.irqaction, "next").unwrap();
+        let a2 = kb.mem.read_uint(a1 + next_off, 8).unwrap();
+        assert_ne!(a2, 0);
+        assert_eq!(kb.mem.read_uint(a2 + next_off, 8).unwrap(), 0);
+        // Handler symbol resolves.
+        let (h_off, _) = kb.types.field_path(it.irqaction, "handler").unwrap();
+        let h = kb.mem.read_uint(a1 + h_off, 8).unwrap();
+        assert_eq!(kb.symbols.name_at(h), Some("e1000_intr"));
+        // Unconfigured line has no action (Table 3 Fig 4-5 objective).
+        let a0 = kb.mem.read_uint(state.desc(3) + action_off, 8).unwrap();
+        assert_eq!(a0, 0);
+    }
+
+    #[test]
+    fn descriptors_are_indexed_by_irq() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let it = register_types(&mut kb.types, &common);
+        let state = create_irq_table(&mut kb, &it);
+        let (irq_off, _) = kb.types.field_path(it.irq_desc, "irq_data.irq").unwrap();
+        for irq in 0..NR_IRQS {
+            assert_eq!(kb.mem.read_uint(state.desc(irq) + irq_off, 4).unwrap(), irq);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! kobjects, ksets, devices and drivers (ULK Fig 13-3).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct KobjTypes {
+    /// `struct kobject`.
+    pub kobject: TypeId,
+    /// `struct kset`.
+    pub kset: TypeId,
+    /// `struct device`.
+    pub device: TypeId,
+    /// `struct device_driver`.
+    pub device_driver: TypeId,
+    /// `struct bus_type`.
+    pub bus_type: TypeId,
+}
+
+/// Register the driver-model types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> KobjTypes {
+    let kobj_fwd = reg.declare_struct("kobject");
+    let kobj_ptr = reg.pointer_to(kobj_fwd);
+    let kset_fwd = reg.declare_struct("kset");
+    let kset_ptr = reg.pointer_to(kset_fwd);
+
+    let kref = StructBuilder::new("kref")
+        .field("refcount", common.refcount)
+        .build(reg);
+
+    let kobject = StructBuilder::new("kobject")
+        .field("name", common.char_ptr)
+        .field("entry", common.list_head)
+        .field("parent", kobj_ptr)
+        .field("kset", kset_ptr)
+        .field("ktype", common.void_ptr)
+        .field("sd", common.void_ptr)
+        .field("kref", kref)
+        .bitfield("state_initialized", common.u32_t, 1)
+        .bitfield("state_in_sysfs", common.u32_t, 1)
+        .bitfield("state_add_uevent_sent", common.u32_t, 1)
+        .bitfield("state_remove_uevent_sent", common.u32_t, 1)
+        .bitfield("uevent_suppress", common.u32_t, 1)
+        .build(reg);
+
+    let kset = StructBuilder::new("kset")
+        .field("list", common.list_head)
+        .field("list_lock", common.spinlock)
+        .field("kobj", kobject)
+        .build(reg);
+
+    let bus_type = StructBuilder::new("bus_type")
+        .field("name", common.char_ptr)
+        .field("dev_name", common.char_ptr)
+        .build(reg);
+    let bus_ptr = reg.pointer_to(bus_type);
+
+    let drv_fwd = reg.declare_struct("device_driver");
+    let drv_ptr = reg.pointer_to(drv_fwd);
+    let dev_fwd = reg.declare_struct("device");
+    let dev_ptr = reg.pointer_to(dev_fwd);
+
+    let device_driver = StructBuilder::new("device_driver")
+        .field("name", common.char_ptr)
+        .field("bus", bus_ptr)
+        .field("owner", common.void_ptr)
+        .field("mod_name", common.char_ptr)
+        .build(reg);
+
+    let device = StructBuilder::new("device")
+        .field("kobj", kobject)
+        .field("parent", dev_ptr)
+        .field("init_name", common.char_ptr)
+        .field("bus", bus_ptr)
+        .field("driver", drv_ptr)
+        .field("platform_data", common.void_ptr)
+        .field("devt", common.u32_t)
+        .build(reg);
+
+    KobjTypes {
+        kobject,
+        kset,
+        device,
+        device_driver,
+        bus_type,
+    }
+}
+
+/// Allocate a kset named `name`, registering the symbol `sym` if nonempty.
+pub fn create_kset(kb: &mut KernelBuilder, kt: &KobjTypes, name: &str, sym: &str) -> u64 {
+    let ks = kb.alloc(kt.kset);
+    if !sym.is_empty() {
+        kb.symbols.define_object(sym, ks, kt.kset);
+    }
+    let name_buf = kb.alloc_pagedata(name.len() as u64 + 1);
+    kb.mem.write_cstr(name_buf, name);
+    let list;
+    {
+        let mut w = kb.obj(ks, kt.kset);
+        w.set("kobj.name", name_buf).unwrap();
+        w.set_i64("kobj.kref.refcount.refs.counter", 1).unwrap();
+        w.set("kobj.state_initialized", 1).unwrap();
+        list = w.field_addr("list").unwrap();
+    }
+    structops::list_init(&mut kb.mem, list);
+    ks
+}
+
+/// Create a device named `name` on `bus`, bound to `driver`, joining
+/// `kset` (its kobject chains into the kset list).
+pub fn create_device(
+    kb: &mut KernelBuilder,
+    kt: &KobjTypes,
+    name: &str,
+    kset: u64,
+    bus: u64,
+    driver: u64,
+    parent_dev: u64,
+) -> u64 {
+    let dev = kb.alloc(kt.device);
+    let name_buf = kb.alloc_pagedata(name.len() as u64 + 1);
+    kb.mem.write_cstr(name_buf, name);
+    let (kset_kobj_off, _) = kb.types.field_path(kt.kset, "kobj").unwrap();
+    let parent_kobj = if parent_dev != 0 {
+        let (kobj_off, _) = kb.types.field_path(kt.device, "kobj").unwrap();
+        parent_dev + kobj_off
+    } else {
+        kset + kset_kobj_off
+    };
+    let entry;
+    {
+        let mut w = kb.obj(dev, kt.device);
+        w.set("kobj.name", name_buf).unwrap();
+        w.set("kobj.parent", parent_kobj).unwrap();
+        w.set("kobj.kset", kset).unwrap();
+        w.set_i64("kobj.kref.refcount.refs.counter", 2).unwrap();
+        w.set("kobj.state_initialized", 1).unwrap();
+        w.set("kobj.state_in_sysfs", 1).unwrap();
+        w.set("init_name", name_buf).unwrap();
+        w.set("bus", bus).unwrap();
+        w.set("driver", driver).unwrap();
+        w.set("parent", parent_dev).unwrap();
+        entry = w.field_addr("kobj.entry").unwrap();
+    }
+    let (list_off, _) = kb.types.field_path(kt.kset, "list").unwrap();
+    structops::list_add_tail(&mut kb.mem, entry, kset + list_off);
+    dev
+}
+
+/// Create a driver named `name` on `bus`.
+pub fn create_driver(kb: &mut KernelBuilder, kt: &KobjTypes, name: &str, bus: u64) -> u64 {
+    let drv = kb.alloc(kt.device_driver);
+    let name_buf = kb.alloc_pagedata(name.len() as u64 + 1);
+    kb.mem.write_cstr(name_buf, name);
+    let mut w = kb.obj(drv, kt.device_driver);
+    w.set("name", name_buf).unwrap();
+    w.set("bus", bus).unwrap();
+    drv
+}
+
+/// Create a bus named `name`.
+pub fn create_bus(kb: &mut KernelBuilder, kt: &KobjTypes, name: &str) -> u64 {
+    let bus = kb.alloc(kt.bus_type);
+    let name_buf = kb.alloc_pagedata(name.len() as u64 + 1);
+    kb.mem.write_cstr(name_buf, name);
+    kb.obj(bus, kt.bus_type).set("name", name_buf).unwrap();
+    bus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_hierarchy_through_kobjects() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let kt = register_types(&mut kb.types, &common);
+        let kset = create_kset(&mut kb, &kt, "devices", "devices_kset");
+        let bus = create_bus(&mut kb, &kt, "pci");
+        let drv = create_driver(&mut kb, &kt, "e1000e", bus);
+        let root = create_device(&mut kb, &kt, "pci0000:00", kset, bus, 0, 0);
+        let nic = create_device(&mut kb, &kt, "0000:00:1f.6", kset, bus, drv, root);
+
+        // The kset list holds both devices' kobjects.
+        let (list_off, _) = kb.types.field_path(kt.kset, "list").unwrap();
+        let (entry_off, _) = kb.types.field_path(kt.device, "kobj.entry").unwrap();
+        let devs: Vec<u64> = structops::list_iter(&kb.mem, kset + list_off)
+            .into_iter()
+            .map(|n| structops::container_of(n, entry_off))
+            .collect();
+        assert_eq!(devs, vec![root, nic]);
+
+        // Child kobject's parent is the parent device's kobject.
+        let (kp_off, _) = kb.types.field_path(kt.device, "kobj.parent").unwrap();
+        let (kobj_off, _) = kb.types.field_path(kt.device, "kobj").unwrap();
+        assert_eq!(kb.mem.read_uint(nic + kp_off, 8).unwrap(), root + kobj_off);
+
+        // Driver binding readable.
+        let (drv_off, _) = kb.types.field_path(kt.device, "driver").unwrap();
+        assert_eq!(kb.mem.read_uint(nic + drv_off, 8).unwrap(), drv);
+    }
+
+    #[test]
+    fn kobject_state_bitfields() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let kt = register_types(&mut kb.types, &common);
+        let kset = create_kset(&mut kb, &kt, "block", "block_kset");
+        let dev = create_device(&mut kb, &kt, "sda", kset, 0, 0, 0);
+        let w = kb.obj(dev, kt.device);
+        assert_eq!(w.get("kobj.state_initialized").unwrap(), 1);
+        assert_eq!(w.get("kobj.state_in_sysfs").unwrap(), 1);
+        assert_eq!(w.get("kobj.uevent_suppress").unwrap(), 0);
+    }
+}

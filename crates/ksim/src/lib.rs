@@ -1,0 +1,50 @@
+//! A simulated Linux 6.1 kernel memory image.
+//!
+//! `ksim` builds, byte-for-byte, the runtime state that Visualinux debugs:
+//! kernel objects laid out with real C struct layouts in a sparse virtual
+//! address space, connected exactly like the live kernel connects them —
+//! embedded `list_head`s traversed via `container_of`, red-black trees with
+//! color bits packed into parent pointers, tagged maple-tree node pointers,
+//! per-CPU runqueues, slab caches, page-cache xarrays, and so on.
+//!
+//! One module per subsystem (mirroring the kernel source tree loosely);
+//! the [`workload`] module generates the populated image the paper's
+//! evaluation plots (5 processes × 2 threads exercising IPC, mmap, files,
+//! pipes and sockets), and [`scenarios`] injects the two CVE case studies.
+//!
+//! Nothing here is visible to the visualization stack except through raw
+//! memory reads: the image is debugged, not queried.
+
+// Builders `drop(writer)` to end the writer's borrow of the image between
+// wiring steps; the writer intentionally has no `Drop` impl.
+#![allow(clippy::drop_non_drop)]
+
+pub mod block;
+pub mod buddy;
+pub mod common;
+pub mod fdtable;
+pub mod image;
+pub mod ipc;
+pub mod irq;
+pub mod kobject;
+pub mod maple;
+pub mod mm;
+pub mod net;
+pub mod pagecache;
+pub mod pid;
+pub mod pipe;
+pub mod rcu;
+pub mod rmap;
+pub mod scenarios;
+pub mod sched;
+pub mod signals;
+pub mod slab;
+pub mod structops;
+pub mod swap;
+pub mod tasks;
+pub mod timers;
+pub mod vfs;
+pub mod workload;
+pub mod workqueue;
+
+pub use image::{KernelBuilder, KernelImage, KernelLayout};

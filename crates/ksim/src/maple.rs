@@ -1,0 +1,647 @@
+//! The maple tree (Linux 6.1 `lib/maple_tree.c`), byte-compatible subset.
+//!
+//! The maple tree is the range-based B-tree that replaced the VMA red-black
+//! tree in Linux 6.1 and the centerpiece of the paper's motivating example
+//! (§1, §3.1, Figure 3/4) and of the StackRot case study (§3.2). This
+//! module reproduces the parts a debugger sees:
+//!
+//! * `struct maple_node` — a 256-byte union of per-type layouts
+//!   (`maple_range_64` with 16 slots / 15 pivots, `maple_arange_64` with
+//!   10 slots / 9 pivots / 10 gaps);
+//! * tagged node pointers (`maple_enode`): the node type is packed into
+//!   bits 3–6 and bit 1 marks "this is a node" (`xa_is_node`);
+//! * parent pointers that mark the root by pointing at the tree with bit 0.
+//!
+//! Builders produce trees whose raw bytes decode exactly like a stopped
+//! kernel's, which is what makes the ViewCL program of Figure 3 meaningful.
+
+use ktypes::{EnumDef, StructBuilder, TypeId, TypeRegistry};
+
+use crate::image::KernelBuilder;
+
+/// Slots in a `maple_range_64` node.
+pub const MAPLE_RANGE64_SLOTS: u64 = 16;
+/// Slots in a `maple_arange_64` node.
+pub const MAPLE_ARANGE64_SLOTS: u64 = 10;
+/// Low-bit mask that must be cleared to recover a node address.
+pub const MAPLE_NODE_MASK: u64 = 255;
+/// Branching factor used by the builder (leaves kept slack like a real
+/// tree that grew by insertion).
+pub const BUILD_FANOUT: usize = 8;
+
+/// `enum maple_type` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapleType {
+    /// Dense leaf (consecutive indices).
+    Dense = 0,
+    /// 64-bit sparse leaf.
+    Leaf64 = 1,
+    /// Internal range node.
+    Range64 = 2,
+    /// Internal range node with gap tracking (used by `mm_mt`).
+    Arange64 = 3,
+}
+
+/// Encode a node address + type into a `maple_enode` tagged pointer.
+pub fn mt_mk_node(addr: u64, ty: MapleType) -> u64 {
+    debug_assert_eq!(
+        addr & MAPLE_NODE_MASK,
+        0,
+        "maple nodes are 256-byte aligned"
+    );
+    addr | ((ty as u64) << 3) | 2
+}
+
+/// Recover the `maple_node` address from a tagged pointer.
+pub fn mte_to_node(enode: u64) -> u64 {
+    enode & !MAPLE_NODE_MASK
+}
+
+/// Extract the node type from a tagged pointer.
+pub fn mte_node_type(enode: u64) -> u64 {
+    (enode >> 3) & 0x0f
+}
+
+/// Whether a node type is a leaf type.
+pub fn ma_is_leaf(node_type: u64) -> bool {
+    node_type < MapleType::Range64 as u64
+}
+
+/// Whether an entry stored in `ma_root` (or a slot) is an internal node
+/// pointer rather than a value entry (kernel `xa_is_node`).
+pub fn xa_is_node(entry: u64) -> bool {
+    entry & 3 == 2 && entry > 4096
+}
+
+/// Type ids registered for the maple tree.
+#[derive(Debug, Clone, Copy)]
+pub struct MapleTypes {
+    /// `struct maple_tree`.
+    pub maple_tree: TypeId,
+    /// `union maple_node` (256 bytes).
+    pub maple_node: TypeId,
+    /// `struct maple_range_64`.
+    pub maple_range_64: TypeId,
+    /// `struct maple_arange_64`.
+    pub maple_arange_64: TypeId,
+}
+
+/// Register the maple-tree types and constants.
+pub fn register_types(reg: &mut TypeRegistry, common: &crate::common::CommonTypes) -> MapleTypes {
+    let u8_t = common.u8_t;
+    let u64_t = common.u64_t;
+    let void_ptr = common.void_ptr;
+
+    reg.intern_enum(EnumDef {
+        name: "maple_type".into(),
+        variants: vec![
+            ("maple_dense".into(), MapleType::Dense as i64),
+            ("maple_leaf_64".into(), MapleType::Leaf64 as i64),
+            ("maple_range_64".into(), MapleType::Range64 as i64),
+            ("maple_arange_64".into(), MapleType::Arange64 as i64),
+        ],
+        size: 4,
+    });
+    reg.define_const("MAPLE_NODE_MASK", MAPLE_NODE_MASK as i64);
+    reg.define_const("MAPLE_RANGE64_SLOTS", MAPLE_RANGE64_SLOTS as i64);
+    reg.define_const("MAPLE_ARANGE64_SLOTS", MAPLE_ARANGE64_SLOTS as i64);
+    reg.define_const("MT_FLAGS_ALLOC_RANGE", 0x01);
+    reg.define_const("MA_ROOT_PARENT", 1);
+
+    let pivot15 = reg.array_of(u64_t, MAPLE_RANGE64_SLOTS - 1);
+    let slot16 = reg.array_of(void_ptr, MAPLE_RANGE64_SLOTS);
+    let maple_range_64 = StructBuilder::new("maple_range_64")
+        .field("parent", void_ptr)
+        .field("pivot", pivot15)
+        .field("slot", slot16)
+        .build(reg);
+
+    let pivot9 = reg.array_of(u64_t, MAPLE_ARANGE64_SLOTS - 1);
+    let slot10 = reg.array_of(void_ptr, MAPLE_ARANGE64_SLOTS);
+    let gap10 = reg.array_of(u64_t, MAPLE_ARANGE64_SLOTS);
+    let maple_arange_64 = StructBuilder::new("maple_arange_64")
+        .field("parent", void_ptr)
+        .field("pivot", pivot9)
+        .field("slot", slot10)
+        .field("gap", gap10)
+        .field("meta_end", u8_t)
+        .field("meta_gap", u8_t)
+        .build(reg);
+
+    let slot31 = reg.array_of(void_ptr, 31);
+    let maple_node_any = StructBuilder::new("maple_node_any")
+        .field("parent", void_ptr)
+        .field("slot", slot31)
+        .build(reg);
+
+    let rcu_part = StructBuilder::new("maple_node_rcu")
+        .field("pad", void_ptr)
+        .field("rcu", common.callback_head)
+        .field("piv_parent", void_ptr)
+        .field("parent_slot", u8_t)
+        .field("ma_type", common.u32_t)
+        .field("slot_len", u8_t)
+        .field("ma_flags", common.u32_t)
+        .build(reg);
+
+    let maple_node = StructBuilder::union("maple_node")
+        .field("parent", void_ptr)
+        .field("any", maple_node_any)
+        .field("prcu", rcu_part)
+        .field("mr64", maple_range_64)
+        .field("ma64", maple_arange_64)
+        .build(reg);
+
+    let maple_tree = StructBuilder::new("maple_tree")
+        .field("ma_lock", common.spinlock)
+        .field("ma_flags", common.u32_t)
+        .field("ma_root", void_ptr)
+        .build(reg);
+
+    MapleTypes {
+        maple_tree,
+        maple_node,
+        maple_range_64,
+        maple_arange_64,
+    }
+}
+
+/// One stored range: entry `value` occupies `[first, last]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapleEntry {
+    /// First index of the range.
+    pub first: u64,
+    /// Last index of the range (inclusive).
+    pub last: u64,
+    /// The stored pointer (0 encodes an explicit NULL/gap range).
+    pub value: u64,
+}
+
+/// Result of building a tree: the root entry plus bookkeeping for tests
+/// and scenarios.
+#[derive(Debug, Clone)]
+pub struct BuiltMaple {
+    /// The value written to `ma_root` (a tagged node pointer, a plain
+    /// entry, or 0 for an empty tree).
+    pub root: u64,
+    /// Addresses of all allocated `maple_node`s, leaves first.
+    pub nodes: Vec<u64>,
+    /// Addresses of the leaf nodes only.
+    pub leaves: Vec<u64>,
+}
+
+/// Build a maple tree over `entries` (sorted, non-overlapping, gaps
+/// allowed) and store its root into the `maple_tree` object at `tree_addr`.
+///
+/// Explicit NULL ranges are synthesized for gaps between entries so every
+/// index up to the last entry maps to a slot, like a real VMA tree.
+///
+/// # Panics
+///
+/// Panics if `entries` is not sorted by `first` or contains overlapping
+/// ranges — the builder's contract, not a runtime condition.
+pub fn build_tree(
+    kb: &mut KernelBuilder,
+    mt: &MapleTypes,
+    tree_addr: u64,
+    entries: &[MapleEntry],
+) -> BuiltMaple {
+    for w in entries.windows(2) {
+        assert!(
+            w[0].last < w[1].first,
+            "maple entries must be sorted and disjoint: {:?} vs {:?}",
+            w[0],
+            w[1]
+        );
+    }
+
+    // Write the tree header.
+    {
+        let mut w = kb.obj(tree_addr, mt.maple_tree);
+        w.set("ma_flags", 0x01).unwrap(); // MT_FLAGS_ALLOC_RANGE, like mm_mt.
+    }
+
+    // Interleave explicit NULL ranges for the gaps.
+    let mut ranges: Vec<MapleEntry> = Vec::new();
+    let mut cursor = 0u64;
+    for e in entries {
+        if e.first > cursor {
+            ranges.push(MapleEntry {
+                first: cursor,
+                last: e.first - 1,
+                value: 0,
+            });
+        }
+        ranges.push(*e);
+        cursor = e.last + 1;
+    }
+
+    if ranges.is_empty() {
+        kb.obj(tree_addr, mt.maple_tree).set("ma_root", 0).unwrap();
+        return BuiltMaple {
+            root: 0,
+            nodes: vec![],
+            leaves: vec![],
+        };
+    }
+    if entries.len() == 1 && ranges.len() == 1 {
+        // Single-entry tree: the root slot holds the entry directly.
+        let root = entries[0].value;
+        kb.obj(tree_addr, mt.maple_tree)
+            .set("ma_root", root)
+            .unwrap();
+        return BuiltMaple {
+            root,
+            nodes: vec![],
+            leaves: vec![],
+        };
+    }
+
+    let mut all_nodes = Vec::new();
+
+    // Level 0: leaves.
+    #[derive(Clone, Copy)]
+    struct Child {
+        enode: u64,
+        max: u64,
+        gap: u64,
+    }
+    let mut level: Vec<Child> = Vec::new();
+    for chunk in ranges.chunks(BUILD_FANOUT.min(MAPLE_RANGE64_SLOTS as usize)) {
+        let node = kb.alloc_aligned(mt.maple_node, 256);
+        all_nodes.push(node);
+        let mut w = kb.obj(node, mt.maple_node);
+        let mut gap = 0u64;
+        for (i, e) in chunk.iter().enumerate() {
+            w.set(&format!("mr64.slot[{i}]"), e.value).unwrap();
+            if i + 1 < MAPLE_RANGE64_SLOTS as usize {
+                w.set(&format!("mr64.pivot[{i}]"), e.last).unwrap();
+            }
+            if e.value == 0 {
+                gap = gap.max(e.last - e.first + 1);
+            }
+        }
+        level.push(Child {
+            enode: mt_mk_node(node, MapleType::Leaf64),
+            max: chunk.last().unwrap().last,
+            gap,
+        });
+    }
+    let leaves = all_nodes.clone();
+
+    // Upper levels: arange_64 internal nodes (mm_mt tracks gaps).
+    while level.len() > 1 {
+        let mut next: Vec<Child> = Vec::new();
+        for chunk in level.chunks(BUILD_FANOUT.min(MAPLE_ARANGE64_SLOTS as usize)) {
+            let node = kb.alloc_aligned(mt.maple_node, 256);
+            all_nodes.push(node);
+            let mut w = kb.obj(node, mt.maple_node);
+            let mut gap = 0u64;
+            for (i, c) in chunk.iter().enumerate() {
+                w.set(&format!("ma64.slot[{i}]"), c.enode).unwrap();
+                if i + 1 < MAPLE_ARANGE64_SLOTS as usize {
+                    w.set(&format!("ma64.pivot[{i}]"), c.max).unwrap();
+                }
+                w.set(&format!("ma64.gap[{i}]"), c.gap).unwrap();
+                gap = gap.max(c.gap);
+            }
+            w.set("ma64.meta_end", chunk.len() as u64 - 1).unwrap();
+            next.push(Child {
+                enode: mt_mk_node(node, MapleType::Arange64),
+                max: chunk.last().unwrap().max,
+                gap,
+            });
+        }
+        // Wire child parents now that this level's nodes exist.
+        let parents: Vec<(u64, u64)> = {
+            let mut v = Vec::new();
+            let mut idx = 0;
+            for p in &next {
+                let pnode = mte_to_node(p.enode);
+                for _ in 0..BUILD_FANOUT.min(MAPLE_ARANGE64_SLOTS as usize) {
+                    if idx < level.len() {
+                        v.push((mte_to_node(level[idx].enode), pnode | 2));
+                        idx += 1;
+                    }
+                }
+            }
+            v
+        };
+        for (child, parent) in parents {
+            kb.obj(child, mt.maple_node).set("parent", parent).unwrap();
+        }
+        level = next;
+    }
+
+    let root = level[0].enode;
+    // Root node's parent points back at the tree with MA_ROOT_PARENT set.
+    kb.obj(mte_to_node(root), mt.maple_node)
+        .set("parent", tree_addr | 1)
+        .unwrap();
+    kb.obj(tree_addr, mt.maple_tree)
+        .set("ma_root", root)
+        .unwrap();
+
+    BuiltMaple {
+        root,
+        nodes: all_nodes,
+        leaves,
+    }
+}
+
+/// Walk a built tree collecting `(first, last, value)` for every non-NULL
+/// entry — used by tests and by `Array.selectFrom` (distill, §3.2).
+pub fn walk_entries(mem: &kmem::Mem, root: u64) -> Vec<MapleEntry> {
+    let mut out = Vec::new();
+    if root == 0 {
+        return out;
+    }
+    if !xa_is_node(root) {
+        out.push(MapleEntry {
+            first: 0,
+            last: 0,
+            value: root,
+        });
+        return out;
+    }
+    walk(mem, root, 0, u64::MAX, &mut out);
+    out
+}
+
+fn walk(mem: &kmem::Mem, enode: u64, min: u64, max: u64, out: &mut Vec<MapleEntry>) {
+    let node = mte_to_node(enode);
+    let ty = mte_node_type(enode);
+    let (nslots, pivot_off, slot_off) = if ty == MapleType::Arange64 as u64 {
+        (
+            MAPLE_ARANGE64_SLOTS,
+            8u64,
+            8 + 8 * (MAPLE_ARANGE64_SLOTS - 1),
+        )
+    } else {
+        (MAPLE_RANGE64_SLOTS, 8u64, 8 + 8 * (MAPLE_RANGE64_SLOTS - 1))
+    };
+    let mut lo = min;
+    for i in 0..nslots {
+        let slot = mem
+            .read_uint(node + slot_off + 8 * i, 8)
+            .expect("maple node mapped");
+        let piv = if i + 1 < nslots {
+            mem.read_uint(node + pivot_off + 8 * i, 8)
+                .expect("maple node mapped")
+        } else {
+            max
+        };
+        let hi = if piv == 0 && i > 0 { max } else { piv };
+        if slot == 0 && (piv == 0 && i > 0) {
+            break; // trailing empty slots
+        }
+        if ma_is_leaf(ty) {
+            if slot != 0 {
+                out.push(MapleEntry {
+                    first: lo,
+                    last: hi,
+                    value: slot,
+                });
+            }
+        } else if slot != 0 {
+            walk(mem, slot, lo, hi, out);
+        }
+        if piv == 0 && i > 0 {
+            break;
+        }
+        lo = hi.wrapping_add(1);
+        if lo == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KernelBuilder, MapleTypes) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let mt = register_types(&mut kb.types, &common);
+        (kb, mt)
+    }
+
+    #[test]
+    fn node_is_256_bytes() {
+        let (kb, mt) = setup();
+        assert_eq!(kb.types.size_of(mt.maple_node), 256);
+        assert_eq!(kb.types.size_of(mt.maple_range_64), 256);
+    }
+
+    #[test]
+    fn enode_tagging_round_trips() {
+        let addr = 0xffff_8880_0400_1100u64 & !MAPLE_NODE_MASK;
+        for ty in [MapleType::Leaf64, MapleType::Range64, MapleType::Arange64] {
+            let e = mt_mk_node(addr, ty);
+            assert_eq!(mte_to_node(e), addr);
+            assert_eq!(mte_node_type(e), ty as u64);
+            assert!(xa_is_node(e));
+        }
+        assert!(!xa_is_node(addr), "plain pointers are not nodes");
+        assert!(!xa_is_node(0));
+    }
+
+    #[test]
+    fn leaf_types_classified() {
+        assert!(ma_is_leaf(MapleType::Dense as u64));
+        assert!(ma_is_leaf(MapleType::Leaf64 as u64));
+        assert!(!ma_is_leaf(MapleType::Range64 as u64));
+        assert!(!ma_is_leaf(MapleType::Arange64 as u64));
+    }
+
+    #[test]
+    fn empty_tree_has_null_root() {
+        let (mut kb, mt) = setup();
+        let tree = kb.alloc(mt.maple_tree);
+        let built = build_tree(&mut kb, &mt, tree, &[]);
+        assert_eq!(built.root, 0);
+        assert_eq!(walk_entries(&kb.mem, built.root), vec![]);
+    }
+
+    #[test]
+    fn single_entry_tree_stores_entry_in_root() {
+        let (mut kb, mt) = setup();
+        let tree = kb.alloc(mt.maple_tree);
+        let built = build_tree(
+            &mut kb,
+            &mt,
+            tree,
+            &[MapleEntry {
+                first: 0,
+                last: 99,
+                value: 0x5000,
+            }],
+        );
+        assert_eq!(built.root, 0x5000);
+        assert!(!xa_is_node(built.root));
+    }
+
+    fn mk_entries(n: u64) -> Vec<MapleEntry> {
+        (0..n)
+            .map(|i| MapleEntry {
+                first: 0x1_0000 * (i + 1),
+                last: 0x1_0000 * (i + 1) + 0xffff,
+                value: 0xffff_8880_0500_0000 + i * 0x200,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_level_tree_walks_back_to_entries() {
+        let (mut kb, mt) = setup();
+        let tree = kb.alloc(mt.maple_tree);
+        let entries = mk_entries(100);
+        let built = build_tree(&mut kb, &mt, tree, &entries);
+        assert!(xa_is_node(built.root));
+        let walked = walk_entries(&kb.mem, built.root);
+        let got: Vec<u64> = walked.iter().map(|e| e.value).collect();
+        let want: Vec<u64> = entries.iter().map(|e| e.value).collect();
+        assert_eq!(got, want);
+        // Ranges survive too.
+        assert_eq!(walked[0].first, entries[0].first);
+        assert_eq!(walked[99].last, entries[99].last);
+    }
+
+    #[test]
+    fn root_parent_marks_tree() {
+        let (mut kb, mt) = setup();
+        let tree = kb.alloc(mt.maple_tree);
+        let built = build_tree(&mut kb, &mt, tree, &mk_entries(30));
+        let root_node = mte_to_node(built.root);
+        let parent = kb.mem.read_uint(root_node, 8).unwrap();
+        assert_eq!(parent & 1, 1, "root parent carries MA_ROOT_PARENT");
+        assert_eq!(parent & !1, tree);
+    }
+
+    #[test]
+    fn internal_nodes_track_gaps() {
+        let (mut kb, mt) = setup();
+        let tree = kb.alloc(mt.maple_tree);
+        // Two entries with a big hole between them.
+        let entries = vec![
+            MapleEntry {
+                first: 0x1000,
+                last: 0x1fff,
+                value: 0xaaaa_0000,
+            },
+            MapleEntry {
+                first: 0x100_0000,
+                last: 0x100_0fff,
+                value: 0xbbbb_0000,
+            },
+            MapleEntry {
+                first: 0x200_0000,
+                last: 0x200_0fff,
+                value: 0xcccc_0000,
+            },
+            MapleEntry {
+                first: 0x300_0000,
+                last: 0x300_0fff,
+                value: 0xdddd_0000,
+            },
+            MapleEntry {
+                first: 0x400_0000,
+                last: 0x400_0fff,
+                value: 0xeeee_0000,
+            },
+            MapleEntry {
+                first: 0x500_0000,
+                last: 0x500_0fff,
+                value: 0xffff_0000,
+            },
+        ];
+        let built = build_tree(&mut kb, &mt, tree, &entries);
+        // With interleaved NULL ranges (6 entries + 6 gaps = 12 ranges) we
+        // get 2 leaves and 1 arange_64 root tracking a nonzero gap.
+        assert!(xa_is_node(built.root));
+        assert_eq!(mte_node_type(built.root), MapleType::Arange64 as u64);
+        let root_node = mte_to_node(built.root);
+        let w = ObjReader { mem: &kb.mem };
+        let gap0 = w.u64(root_node + 8 + 8 * (MAPLE_ARANGE64_SLOTS - 1) + 8 * MAPLE_ARANGE64_SLOTS);
+        assert!(gap0 > 0, "root gap[0] must reflect the hole, got {gap0}");
+    }
+
+    struct ObjReader<'a> {
+        mem: &'a kmem::Mem,
+    }
+    impl ObjReader<'_> {
+        fn u64(&self, addr: u64) -> u64 {
+            self.mem.read_uint(addr, 8).unwrap()
+        }
+    }
+
+    #[test]
+    fn ten_thousand_ranges_stay_consistent() {
+        let (mut kb, mt) = setup();
+        let tree = kb.alloc(mt.maple_tree);
+        let entries: Vec<MapleEntry> = (0..2000)
+            .map(|i| MapleEntry {
+                first: i * 0x2000,
+                last: i * 0x2000 + 0xfff,
+                value: 0xffff_8880_0600_0000 + i * 0x100,
+            })
+            .collect();
+        let built = build_tree(&mut kb, &mt, tree, &entries);
+        let walked = walk_entries(&kb.mem, built.root);
+        assert_eq!(walked.len(), 2000);
+        assert!(built.nodes.len() > 250, "expect a deep tree");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    //! Property: any sorted, disjoint range set round-trips through the
+    //! raw-byte maple tree.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_entries() -> impl Strategy<Value = Vec<MapleEntry>> {
+        // Random gaps and lengths, then prefix-sum into disjoint ranges.
+        proptest::collection::vec((1u64..0x10_000, 1u64..0x10_000), 0..120).prop_map(|segs| {
+            let mut cursor = 0u64;
+            let mut out = Vec::new();
+            for (i, (gap, len)) in segs.into_iter().enumerate() {
+                let first = cursor + gap;
+                let last = first + len - 1;
+                cursor = last + 1;
+                out.push(MapleEntry {
+                    first,
+                    last,
+                    value: 0xffff_8880_1000_0000 + (i as u64) * 0x100,
+                });
+            }
+            out
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_build_walk_round_trip(entries in arb_entries()) {
+            let mut kb = crate::image::KernelBuilder::new();
+            let common = kb.common;
+            let mt = register_types(&mut kb.types, &common);
+            let tree = kb.alloc(mt.maple_tree);
+            let built = build_tree(&mut kb, &mt, tree, &entries);
+            let walked = walk_entries(&kb.mem, built.root);
+            prop_assert_eq!(walked.len(), entries.len());
+            for (w, e) in walked.iter().zip(&entries) {
+                prop_assert_eq!(w.value, e.value);
+                prop_assert_eq!(w.first, e.first);
+                prop_assert_eq!(w.last, e.last);
+            }
+            // Every interior node keeps the 256-byte slab alignment the
+            // tagged-pointer encoding depends on.
+            for n in &built.nodes {
+                prop_assert_eq!(n & MAPLE_NODE_MASK, 0);
+            }
+        }
+    }
+}

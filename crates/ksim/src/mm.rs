@@ -1,0 +1,354 @@
+//! `mm_struct` and VMAs over a maple tree (ULK Fig 9-2, paper §3.1/§3.2).
+//!
+//! In Linux 6.1 a process address space is an `mm_struct` whose memory
+//! areas live in the `mm_mt` maple tree keyed by byte range. The builder
+//! here lays out realistic VMA sets (code, data, heap, mmaps, stack) and
+//! hands the range set to [`crate::maple::build_tree`].
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::maple::{self, MapleEntry, MapleTypes};
+
+/// `vm_flags` bits (`include/linux/mm.h`).
+pub const VM_READ: u64 = 0x0001;
+/// Writable mapping.
+pub const VM_WRITE: u64 = 0x0002;
+/// Executable mapping.
+pub const VM_EXEC: u64 = 0x0004;
+/// Shared mapping.
+pub const VM_SHARED: u64 = 0x0008;
+/// Stack-like mapping that grows downwards.
+pub const VM_GROWSDOWN: u64 = 0x0100;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct MmTypes {
+    /// `struct mm_struct`.
+    pub mm_struct: TypeId,
+    /// `struct vm_area_struct`.
+    pub vm_area_struct: TypeId,
+}
+
+/// Register address-space types (requires maple types registered).
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> MmTypes {
+    let maple_tree = reg
+        .lookup("maple_tree")
+        .expect("maple types registered first");
+    let task = reg.declare_struct("task_struct");
+    let task_ptr = reg.pointer_to(task);
+    let file = reg.declare_struct("file");
+    let file_ptr = reg.pointer_to(file);
+    let anon_vma = reg.declare_struct("anon_vma");
+    let anon_vma_ptr = reg.pointer_to(anon_vma);
+    let mm_fwd = reg.declare_struct("mm_struct");
+    let mm_ptr = reg.pointer_to(mm_fwd);
+
+    let vm_area_struct = StructBuilder::new("vm_area_struct")
+        .field("vm_start", common.u64_t)
+        .field("vm_end", common.u64_t)
+        .field("vm_mm", mm_ptr)
+        .field("vm_page_prot", common.u64_t)
+        .field("vm_flags", common.u64_t)
+        .field("anon_vma_chain", common.list_head)
+        .field("anon_vma", anon_vma_ptr)
+        .field("vm_ops", common.void_ptr)
+        .field("vm_pgoff", common.u64_t)
+        .field("vm_file", file_ptr)
+        .build(reg);
+
+    let mm_struct = StructBuilder::new("mm_struct")
+        .field("mm_mt", maple_tree)
+        .field("mmap_base", common.u64_t)
+        .field("task_size", common.u64_t)
+        .field("pgd", common.void_ptr)
+        .field("mm_users", common.atomic)
+        .field("mm_count", common.atomic)
+        .field("map_count", common.int_t)
+        .field("page_table_lock", common.spinlock)
+        .field("mmap_lock_count", common.atomic64)
+        .field("hiwater_rss", common.u64_t)
+        .field("total_vm", common.u64_t)
+        .field("stack_vm", common.u64_t)
+        .field("data_vm", common.u64_t)
+        .field("exec_vm", common.u64_t)
+        .field("start_code", common.u64_t)
+        .field("end_code", common.u64_t)
+        .field("start_data", common.u64_t)
+        .field("end_data", common.u64_t)
+        .field("start_brk", common.u64_t)
+        .field("brk", common.u64_t)
+        .field("start_stack", common.u64_t)
+        .field("arg_start", common.u64_t)
+        .field("arg_end", common.u64_t)
+        .field("env_start", common.u64_t)
+        .field("env_end", common.u64_t)
+        .field("owner", task_ptr)
+        .build(reg);
+
+    reg.define_const("VM_READ", VM_READ as i64);
+    reg.define_const("VM_WRITE", VM_WRITE as i64);
+    reg.define_const("VM_EXEC", VM_EXEC as i64);
+    reg.define_const("VM_SHARED", VM_SHARED as i64);
+    reg.define_const("VM_GROWSDOWN", VM_GROWSDOWN as i64);
+
+    MmTypes {
+        mm_struct,
+        vm_area_struct,
+    }
+}
+
+/// One requested memory area.
+#[derive(Debug, Clone)]
+pub struct VmaSpec {
+    /// Start address (page aligned).
+    pub start: u64,
+    /// End address (exclusive, page aligned).
+    pub end: u64,
+    /// `vm_flags`.
+    pub flags: u64,
+    /// Backing file object address (0 for anonymous).
+    pub file: u64,
+    /// File page offset.
+    pub pgoff: u64,
+}
+
+/// A built address space.
+#[derive(Debug, Clone)]
+pub struct BuiltMm {
+    /// `mm_struct` address.
+    pub mm: u64,
+    /// Created VMA addresses, in address order.
+    pub vmas: Vec<u64>,
+    /// The maple tree built over them.
+    pub tree: maple::BuiltMaple,
+}
+
+/// Create an `mm_struct` with the given memory areas in its maple tree.
+///
+/// # Panics
+///
+/// Panics if `specs` is not sorted by `start` with disjoint ranges (the
+/// builder contract, mirrored from [`maple::build_tree`]).
+pub fn create_mm(
+    kb: &mut KernelBuilder,
+    mt: &MmTypes,
+    maple_t: &MapleTypes,
+    owner_task: u64,
+    specs: &[VmaSpec],
+) -> BuiltMm {
+    let mm = kb.alloc(mt.mm_struct);
+
+    let mut vmas = Vec::with_capacity(specs.len());
+    let mut entries = Vec::with_capacity(specs.len());
+    for s in specs {
+        let vma = kb.alloc(mt.vm_area_struct);
+        let mut w = kb.obj(vma, mt.vm_area_struct);
+        w.set("vm_start", s.start).unwrap();
+        w.set("vm_end", s.end).unwrap();
+        w.set("vm_mm", mm).unwrap();
+        w.set("vm_flags", s.flags).unwrap();
+        w.set("vm_file", s.file).unwrap();
+        w.set("vm_pgoff", s.pgoff).unwrap();
+        w.set("vm_page_prot", prot_of(s.flags)).unwrap();
+        vmas.push(vma);
+        entries.push(MapleEntry {
+            first: s.start,
+            last: s.end - 1,
+            value: vma,
+        });
+    }
+
+    let (tree_off, _) = kb.types.field_path(mt.mm_struct, "mm_mt").unwrap();
+    let tree = maple::build_tree(kb, maple_t, mm + tree_off, &entries);
+
+    let total_vm: u64 = specs.iter().map(|s| (s.end - s.start) / 4096).sum();
+    let stack_vm: u64 = specs
+        .iter()
+        .filter(|s| s.flags & VM_GROWSDOWN != 0)
+        .map(|s| (s.end - s.start) / 4096)
+        .sum();
+    let mut w = kb.obj(mm, mt.mm_struct);
+    w.set("owner", owner_task).unwrap();
+    w.set_i64("map_count", specs.len() as i64).unwrap();
+    w.set("total_vm", total_vm).unwrap();
+    w.set("stack_vm", stack_vm).unwrap();
+    w.set("task_size", 0x7fff_ffff_f000).unwrap();
+    w.set("mmap_base", 0x7f00_0000_0000).unwrap();
+    w.set_i64("mm_users.counter", 1).unwrap();
+    w.set_i64("mm_count.counter", 1).unwrap();
+    if let Some(first) = specs.first() {
+        w.set("start_code", first.start).unwrap();
+        w.set("end_code", first.end).unwrap();
+    }
+    if let Some(last) = specs.last() {
+        w.set("start_stack", last.start).unwrap();
+    }
+
+    BuiltMm { mm, vmas, tree }
+}
+
+fn prot_of(flags: u64) -> u64 {
+    // A pgprot-like encoding: present | rw | nx bits, enough for display.
+    let mut p = 0x8000_0000_0000_0025u64;
+    if flags & VM_WRITE != 0 {
+        p |= 0x2;
+    }
+    if flags & VM_EXEC == 0 {
+        p |= 1 << 63;
+    }
+    p
+}
+
+/// A typical small process address space: code, rodata, data, heap, a few
+/// file mappings, libc, stack.
+pub fn typical_vmas(file_objs: &[u64], extra_anon: usize) -> Vec<VmaSpec> {
+    let mut v = vec![
+        VmaSpec {
+            start: 0x40_0000,
+            end: 0x40_2000,
+            flags: VM_READ | VM_EXEC,
+            file: file_objs.first().copied().unwrap_or(0),
+            pgoff: 0,
+        },
+        VmaSpec {
+            start: 0x40_2000,
+            end: 0x40_3000,
+            flags: VM_READ,
+            file: file_objs.first().copied().unwrap_or(0),
+            pgoff: 2,
+        },
+        VmaSpec {
+            start: 0x40_3000,
+            end: 0x40_5000,
+            flags: VM_READ | VM_WRITE,
+            file: file_objs.first().copied().unwrap_or(0),
+            pgoff: 3,
+        },
+        VmaSpec {
+            start: 0x50_0000,
+            end: 0x52_0000,
+            flags: VM_READ | VM_WRITE,
+            file: 0,
+            pgoff: 0,
+        },
+    ];
+    let mut base = 0x7f00_0000_0000u64;
+    for (i, f) in file_objs.iter().skip(1).enumerate() {
+        v.push(VmaSpec {
+            start: base,
+            end: base + 0x4000,
+            flags: if i % 2 == 0 {
+                VM_READ
+            } else {
+                VM_READ | VM_WRITE | VM_SHARED
+            },
+            file: *f,
+            pgoff: 0,
+        });
+        base += 0x10_0000;
+    }
+    for _ in 0..extra_anon {
+        v.push(VmaSpec {
+            start: base,
+            end: base + 0x2000,
+            flags: VM_READ | VM_WRITE,
+            file: 0,
+            pgoff: 0,
+        });
+        base += 0x10_0000;
+    }
+    v.push(VmaSpec {
+        start: 0x7ffc_0000_0000,
+        end: 0x7ffc_0002_0000,
+        flags: VM_READ | VM_WRITE | VM_GROWSDOWN,
+        file: 0,
+        pgoff: 0,
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maple;
+
+    fn setup() -> (KernelBuilder, MmTypes, MapleTypes) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let maple_t = maple::register_types(&mut kb.types, &common);
+        let mt = register_types(&mut kb.types, &common);
+        (kb, mt, maple_t)
+    }
+
+    #[test]
+    fn mm_mt_is_embedded_at_offset_zero() {
+        let (kb, mt, _) = setup();
+        let (off, ty) = kb.types.field_path(mt.mm_struct, "mm_mt").unwrap();
+        assert_eq!(off, 0, "mm_mt is the first field like Linux 6.1");
+        assert_eq!(kb.types.tag_name(ty), Some("maple_tree"));
+    }
+
+    #[test]
+    fn create_mm_builds_walkable_tree() {
+        let (mut kb, mt, maple_t) = setup();
+        let specs = typical_vmas(&[], 3);
+        let built = create_mm(&mut kb, &mt, &maple_t, 0, &specs);
+        assert_eq!(built.vmas.len(), specs.len());
+
+        let (root_off, _) = kb.types.field_path(mt.mm_struct, "mm_mt.ma_root").unwrap();
+        let root = kb.mem.read_uint(built.mm + root_off, 8).unwrap();
+        assert!(maple::xa_is_node(root));
+        let walked = maple::walk_entries(&kb.mem, root);
+        let got: Vec<u64> = walked.iter().map(|e| e.value).collect();
+        assert_eq!(got, built.vmas);
+        // Ranges round-trip through pivots.
+        assert_eq!(walked[0].first, specs[0].start);
+        assert_eq!(walked[0].last, specs[0].end - 1);
+    }
+
+    #[test]
+    fn vma_fields_read_back() {
+        let (mut kb, mt, maple_t) = setup();
+        let specs = vec![VmaSpec {
+            start: 0x1000,
+            end: 0x3000,
+            flags: VM_READ | VM_WRITE,
+            file: 0xdead_beef_00,
+            pgoff: 7,
+        }];
+        let built = create_mm(&mut kb, &mt, &maple_t, 0x1234, &specs);
+        let vma = built.vmas[0];
+        let r = |path: &str| {
+            let (off, ty) = kb.types.field_path(mt.vm_area_struct, path).unwrap();
+            let size = match kb.types.size_of(ty) {
+                0 => 8,
+                n => n.min(8),
+            };
+            kb.mem.read_uint(vma + off, size as usize).unwrap()
+        };
+        assert_eq!(r("vm_start"), 0x1000);
+        assert_eq!(r("vm_end"), 0x3000);
+        assert_eq!(r("vm_flags"), VM_READ | VM_WRITE);
+        assert_eq!(r("vm_file"), 0xdead_beef_00);
+        assert_eq!(r("vm_pgoff"), 7);
+    }
+
+    #[test]
+    fn counters_are_derived() {
+        let (mut kb, mt, maple_t) = setup();
+        let specs = typical_vmas(&[], 0);
+        let built = create_mm(&mut kb, &mt, &maple_t, 0, &specs);
+        let (mc_off, _) = kb.types.field_path(mt.mm_struct, "map_count").unwrap();
+        assert_eq!(
+            kb.mem.read_int(built.mm + mc_off, 4).unwrap(),
+            specs.len() as i64
+        );
+        let (sv_off, _) = kb.types.field_path(mt.mm_struct, "stack_vm").unwrap();
+        assert_eq!(
+            kb.mem.read_uint(built.mm + sv_off, 8).unwrap(),
+            0x20000 / 4096
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Sockets and sk_buff queues (the paper's added socket-connection figure).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+
+/// TCP states (subset of `enum tcp_state`).
+pub const TCP_ESTABLISHED: u64 = 1;
+/// Listening socket.
+pub const TCP_LISTEN: u64 = 10;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct NetTypes {
+    /// `struct socket`.
+    pub socket: TypeId,
+    /// `struct sock`.
+    pub sock: TypeId,
+    /// `struct sk_buff`.
+    pub sk_buff: TypeId,
+    /// `struct sk_buff_head`.
+    pub sk_buff_head: TypeId,
+}
+
+/// Register networking types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> NetTypes {
+    let file_fwd = reg.declare_struct("file");
+    let file_ptr = reg.pointer_to(file_fwd);
+    let sk_fwd = reg.declare_struct("sock");
+    let sk_ptr = reg.pointer_to(sk_fwd);
+    let skb_fwd = reg.declare_struct("sk_buff");
+    let skb_ptr = reg.pointer_to(skb_fwd);
+
+    let sk_buff_head = StructBuilder::new("sk_buff_head")
+        .field("next", skb_ptr)
+        .field("prev", skb_ptr)
+        .field("qlen", common.u32_t)
+        .field("lock", common.spinlock)
+        .build(reg);
+
+    let sk_buff = StructBuilder::new("sk_buff")
+        .field("next", skb_ptr)
+        .field("prev", skb_ptr)
+        .field("sk", sk_ptr)
+        .field("len", common.u32_t)
+        .field("data_len", common.u32_t)
+        .field("protocol", common.u16_t)
+        .field("data", common.void_ptr)
+        .field("head", common.void_ptr)
+        .build(reg);
+
+    let sock_common = StructBuilder::new("sock_common")
+        .field("skc_daddr", common.u32_t)
+        .field("skc_rcv_saddr", common.u32_t)
+        .field("skc_dport", common.u16_t)
+        .field("skc_num", common.u16_t)
+        .field("skc_family", common.u16_t)
+        .field("skc_state", common.u8_t)
+        .build(reg);
+
+    let sock = StructBuilder::new("sock")
+        .field("__sk_common", sock_common)
+        .field("sk_receive_queue", sk_buff_head)
+        .field("sk_write_queue", sk_buff_head)
+        .field("sk_rcvbuf", common.int_t)
+        .field("sk_sndbuf", common.int_t)
+        .field("sk_rmem_alloc", common.atomic)
+        .field("sk_wmem_alloc", common.atomic)
+        .field("sk_socket", common.void_ptr)
+        .build(reg);
+    let sock_ptr = reg.pointer_to(sock);
+
+    let socket = StructBuilder::new("socket")
+        .field("state", common.u16_t)
+        .field("type", common.u16_t)
+        .field("flags", common.u64_t)
+        .field("file", file_ptr)
+        .field("sk", sock_ptr)
+        .field("ops", common.void_ptr)
+        .build(reg);
+
+    reg.define_const("TCP_ESTABLISHED", TCP_ESTABLISHED as i64);
+    reg.define_const("TCP_LISTEN", TCP_LISTEN as i64);
+    reg.define_const("AF_INET", 2);
+
+    NetTypes {
+        socket,
+        sock,
+        sk_buff,
+        sk_buff_head,
+    }
+}
+
+/// Queue specification: packet lengths for each queued skb.
+#[derive(Debug, Clone, Default)]
+pub struct SockSpec {
+    /// IPv4 peer address.
+    pub daddr: u32,
+    /// IPv4 local address.
+    pub saddr: u32,
+    /// Peer port.
+    pub dport: u16,
+    /// Local port.
+    pub sport: u16,
+    /// TCP state.
+    pub state: u64,
+    /// Lengths of packets in the receive queue.
+    pub rx: Vec<u32>,
+    /// Lengths of packets in the write queue.
+    pub tx: Vec<u32>,
+}
+
+/// Create a connected `socket`/`sock` pair with populated queues.
+pub fn create_socket(kb: &mut KernelBuilder, nt: &NetTypes, spec: &SockSpec) -> u64 {
+    let sk = kb.alloc(nt.sock);
+    {
+        let mut w = kb.obj(sk, nt.sock);
+        w.set("__sk_common.skc_daddr", spec.daddr as u64).unwrap();
+        w.set("__sk_common.skc_rcv_saddr", spec.saddr as u64)
+            .unwrap();
+        w.set("__sk_common.skc_dport", spec.dport as u64).unwrap();
+        w.set("__sk_common.skc_num", spec.sport as u64).unwrap();
+        w.set("__sk_common.skc_family", 2).unwrap();
+        w.set("__sk_common.skc_state", spec.state).unwrap();
+        w.set_i64("sk_rcvbuf", 212992).unwrap();
+        w.set_i64("sk_sndbuf", 212992).unwrap();
+    }
+    for (queue, pkts) in [("sk_receive_queue", &spec.rx), ("sk_write_queue", &spec.tx)] {
+        let (q_off, _) = kb.types.field_path(nt.sock, queue).unwrap();
+        let head = sk + q_off;
+        // sk_buff_head is a degenerate sk_buff: next/prev at offsets 0/8.
+        kb.mem.write_uint(head, 8, head);
+        kb.mem.write_uint(head + 8, 8, head);
+        let mut bytes = 0u64;
+        for &len in pkts.iter() {
+            let skb = kb.alloc(nt.sk_buff);
+            let data = kb.alloc_pagedata(len.max(1) as u64);
+            {
+                let mut w = kb.obj(skb, nt.sk_buff);
+                w.set("sk", sk).unwrap();
+                w.set("len", len as u64).unwrap();
+                w.set("data", data).unwrap();
+                w.set("head", data).unwrap();
+            }
+            // Splice at tail of the circular skb list.
+            let prev = kb.mem.read_uint(head + 8, 8).unwrap();
+            kb.mem.write_uint(skb, 8, head);
+            kb.mem.write_uint(skb + 8, 8, prev);
+            kb.mem.write_uint(prev, 8, skb);
+            kb.mem.write_uint(head + 8, 8, skb);
+            bytes += len as u64;
+        }
+        let (qlen_off, _) = kb.types.field_path(nt.sk_buff_head, "qlen").unwrap();
+        kb.mem.write_uint(head + qlen_off, 4, pkts.len() as u64);
+        let alloc_field = if queue == "sk_receive_queue" {
+            "sk_rmem_alloc"
+        } else {
+            "sk_wmem_alloc"
+        };
+        kb.obj(sk, nt.sock)
+            .set_i64(&format!("{alloc_field}.counter"), bytes as i64)
+            .unwrap();
+    }
+
+    let sock = kb.alloc(nt.socket);
+    {
+        let mut w = kb.obj(sock, nt.socket);
+        w.set("state", 3).unwrap(); // SS_CONNECTED
+        w.set("type", 1).unwrap(); // SOCK_STREAM
+        w.set("sk", sk).unwrap();
+    }
+    kb.obj(sk, nt.sock).set("sk_socket", sock).unwrap();
+    sock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skb_queues_chain_and_count() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let nt = register_types(&mut kb.types, &common);
+        let sock = create_socket(
+            &mut kb,
+            &nt,
+            &SockSpec {
+                daddr: 0x0100_007f,
+                saddr: 0x0100_007f,
+                dport: 80,
+                sport: 54321,
+                state: TCP_ESTABLISHED,
+                rx: vec![1500, 1500, 66],
+                tx: vec![512],
+            },
+        );
+        let (sk_off, _) = kb.types.field_path(nt.socket, "sk").unwrap();
+        let sk = kb.mem.read_uint(sock + sk_off, 8).unwrap();
+        let (rq_off, _) = kb.types.field_path(nt.sock, "sk_receive_queue").unwrap();
+        let head = sk + rq_off;
+        // Walk the circular skb list.
+        let mut cur = kb.mem.read_uint(head, 8).unwrap();
+        let mut lens = Vec::new();
+        let (len_off, _) = kb.types.field_path(nt.sk_buff, "len").unwrap();
+        while cur != head {
+            lens.push(kb.mem.read_uint(cur + len_off, 4).unwrap());
+            cur = kb.mem.read_uint(cur, 8).unwrap();
+        }
+        assert_eq!(lens, vec![1500, 1500, 66]);
+        let (qlen_off, _) = kb.types.field_path(nt.sk_buff_head, "qlen").unwrap();
+        assert_eq!(kb.mem.read_uint(head + qlen_off, 4).unwrap(), 3);
+        // rmem accounting matches.
+        let (rmem_off, _) = kb
+            .types
+            .field_path(nt.sock, "sk_rmem_alloc.counter")
+            .unwrap();
+        assert_eq!(kb.mem.read_int(sk + rmem_off, 4).unwrap(), 3066);
+    }
+}

@@ -1,0 +1,369 @@
+//! `struct page`, the vmemmap, and the page-cache xarray
+//! (ULK Fig 15-1 "radix tree", Fig 16-2 file memory mapping, Dirty Pipe).
+//!
+//! Linux 6.1 stores the page cache in an **xarray**: a radix tree of
+//! `xa_node`s with 64 slots each, whose internal-node pointers are tagged
+//! with low-bit 2 — the same tagging discipline as the maple tree. Pages
+//! themselves live in the vmemmap so `pfn_to_page` is pure arithmetic.
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::{KernelBuilder, VMEMMAP_BASE};
+
+/// Slots per `xa_node` (`XA_CHUNK_SIZE`).
+pub const XA_CHUNK_SIZE: u64 = 64;
+/// Bits per xarray level (`XA_CHUNK_SHIFT`).
+pub const XA_CHUNK_SHIFT: u64 = 6;
+
+/// `page.flags` bits (positions mirror `enum pageflags`).
+pub const PG_LOCKED: u64 = 1 << 0;
+/// Page contains valid data.
+pub const PG_UPTODATE: u64 = 1 << 2;
+/// Dirty page.
+pub const PG_DIRTY: u64 = 1 << 3;
+/// Page is on an LRU list.
+pub const PG_LRU: u64 = 1 << 4;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct PageTypes {
+    /// `struct page` (64 bytes, vmemmap-resident).
+    pub page: TypeId,
+    /// `struct xa_node`.
+    pub xa_node: TypeId,
+}
+
+/// Register page and xarray-node types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> PageTypes {
+    let as_fwd = reg.declare_struct("address_space");
+    let as_ptr = reg.pointer_to(as_fwd);
+
+    let page = StructBuilder::new("page")
+        .field("flags", common.u64_t)
+        .field("lru", common.list_head)
+        .field("mapping", as_ptr)
+        .field("index", common.u64_t)
+        .field("private", common.u64_t)
+        .field("_mapcount", common.atomic)
+        .field("_refcount", common.atomic)
+        .field("memcg_data", common.u64_t)
+        .build(reg);
+
+    let xa_node_fwd = reg.declare_struct("xa_node");
+    let xa_node_ptr = reg.pointer_to(xa_node_fwd);
+    let xarray_fwd = reg.declare_struct("xarray");
+    let xarray_ptr = reg.pointer_to(xarray_fwd);
+    let slots = reg.array_of(common.void_ptr, XA_CHUNK_SIZE);
+    let xa_node = StructBuilder::new("xa_node")
+        .field("shift", common.u8_t)
+        .field("offset", common.u8_t)
+        .field("count", common.u8_t)
+        .field("nr_values", common.u8_t)
+        .field("parent", xa_node_ptr)
+        .field("array", xarray_ptr)
+        .field("private_list", common.list_head)
+        .field("slots", slots)
+        .build(reg);
+
+    reg.define_const("XA_CHUNK_SIZE", XA_CHUNK_SIZE as i64);
+    reg.define_const("PG_locked", 0);
+    reg.define_const("PG_uptodate", 2);
+    reg.define_const("PG_dirty", 3);
+    reg.define_const("PG_lru", 4);
+
+    PageTypes { page, xa_node }
+}
+
+/// Page-frame bookkeeping: hands out pfns and their `struct page`s.
+#[derive(Debug)]
+pub struct PageAllocator {
+    next_pfn: u64,
+    page_size: u64,
+}
+
+impl PageAllocator {
+    /// Create an allocator starting at pfn 16 (skip low memory).
+    pub fn new(kb: &KernelBuilder, pt: &PageTypes) -> Self {
+        PageAllocator {
+            next_pfn: 16,
+            page_size: kb.types.size_of(pt.page),
+        }
+    }
+
+    /// `pfn_to_page`: vmemmap arithmetic.
+    pub fn pfn_to_page(&self, pfn: u64) -> u64 {
+        VMEMMAP_BASE + pfn * self.page_size
+    }
+
+    /// `page_to_pfn`.
+    pub fn page_to_pfn(&self, page: u64) -> u64 {
+        (page - VMEMMAP_BASE) / self.page_size
+    }
+
+    /// Allocate one page frame: maps its `struct page` in the vmemmap and
+    /// returns `(pfn, page_addr)`.
+    pub fn alloc_page(&mut self, kb: &mut KernelBuilder, pt: &PageTypes) -> (u64, u64) {
+        let pfn = self.next_pfn;
+        self.next_pfn += 1;
+        let addr = self.pfn_to_page(pfn);
+        kb.mem.map(addr, self.page_size);
+        let mut w = kb.obj(addr, pt.page);
+        w.set("flags", PG_UPTODATE).unwrap();
+        w.set_i64("_refcount.counter", 1).unwrap();
+        w.set_i64("_mapcount.counter", -1).unwrap();
+        (pfn, addr)
+    }
+
+    /// Reserve `n` consecutive pfns without initializing their pages
+    /// (used by the buddy allocator for free blocks).
+    pub fn reserve(&mut self, n: u64) -> u64 {
+        let pfn = self.next_pfn;
+        self.next_pfn += n;
+        pfn
+    }
+
+    /// The size of one `struct page`.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+}
+
+/// Tag an `xa_node` pointer as an internal entry (kernel `xa_mk_node`).
+pub fn xa_mk_node(node: u64) -> u64 {
+    node | 2
+}
+
+/// Untag an internal entry (kernel `xa_to_node`).
+pub fn xa_to_node(entry: u64) -> u64 {
+    entry & !3
+}
+
+/// Whether an entry is an internal node pointer.
+pub fn xa_is_node(entry: u64) -> bool {
+    entry & 3 == 2 && entry > 4096
+}
+
+/// Populate an `xarray` at `xa_addr` with `entries[i] = (index, ptr)`.
+///
+/// Builds a real multi-level radix tree once any index exceeds one chunk.
+/// Returns the addresses of all allocated `xa_node`s.
+pub fn xa_store_many(
+    kb: &mut KernelBuilder,
+    pt: &PageTypes,
+    xa_addr: u64,
+    entries: &[(u64, u64)],
+) -> Vec<u64> {
+    let (head_off, _) = {
+        let xarray = kb.types.find("xarray").expect("vfs types registered");
+        kb.types.field_path(xarray, "xa_head").unwrap()
+    };
+    let mut nodes = Vec::new();
+    if entries.is_empty() {
+        kb.mem.write_uint(xa_addr + head_off, 8, 0);
+        return nodes;
+    }
+    let max_index = entries.iter().map(|(i, _)| *i).max().unwrap();
+    if max_index == 0 && entries.len() == 1 {
+        // Single entry at index 0 is stored directly in the head.
+        kb.mem.write_uint(xa_addr + head_off, 8, entries[0].1);
+        return nodes;
+    }
+
+    // Number of levels needed.
+    let mut levels = 1;
+    while max_index >> (levels * XA_CHUNK_SHIFT) != 0 {
+        levels += 1;
+    }
+
+    fn build(
+        kb: &mut KernelBuilder,
+        pt: &PageTypes,
+        nodes: &mut Vec<u64>,
+        entries: &[(u64, u64)],
+        shift: u64,
+        base: u64,
+        offset_in_parent: u64,
+    ) -> u64 {
+        let node = kb.alloc(pt.xa_node);
+        nodes.push(node);
+        let mut count = 0u64;
+        {
+            let mut w = kb.obj(node, pt.xa_node);
+            w.set("shift", shift).unwrap();
+            w.set("offset", offset_in_parent).unwrap();
+        }
+        for slot in 0..XA_CHUNK_SIZE {
+            let lo = base + (slot << shift);
+            let hi = lo + (1u64 << shift) - 1;
+            let sub: Vec<(u64, u64)> = entries
+                .iter()
+                .copied()
+                .filter(|(i, _)| *i >= lo && *i <= hi)
+                .collect();
+            if sub.is_empty() {
+                continue;
+            }
+            count += 1;
+            let value = if shift == 0 {
+                debug_assert_eq!(sub.len(), 1);
+                sub[0].1
+            } else {
+                let child = build(kb, pt, nodes, &sub, shift - XA_CHUNK_SHIFT, lo, slot);
+                xa_mk_node(child)
+            };
+            kb.obj(node, pt.xa_node)
+                .set(&format!("slots[{slot}]"), value)
+                .unwrap();
+        }
+        kb.obj(node, pt.xa_node).set("count", count).unwrap();
+        node
+    }
+
+    let root_shift = (levels - 1) * XA_CHUNK_SHIFT;
+    let root = build(kb, pt, &mut nodes, entries, root_shift, 0, 0);
+    kb.mem.write_uint(xa_addr + head_off, 8, xa_mk_node(root));
+    nodes
+}
+
+/// Look up `index` in the xarray at `xa_addr` by walking raw memory.
+pub fn xa_load(kb: &KernelBuilder, pt: &PageTypes, xa_addr: u64, index: u64) -> u64 {
+    let xarray_ty = kb.types.find("xarray").expect("vfs types registered");
+    let (head_off, _) = kb.types.field_path(xarray_ty, "xa_head").unwrap();
+    let head = kb.mem.read_uint(xa_addr + head_off, 8).unwrap();
+    if head == 0 {
+        return 0;
+    }
+    if !xa_is_node(head) {
+        return if index == 0 { head } else { 0 };
+    }
+    let (shift_off, slots_off) = {
+        let def = kb.types.struct_def(pt.xa_node).unwrap();
+        (
+            def.field("shift").unwrap().offset,
+            def.field("slots").unwrap().offset,
+        )
+    };
+    let mut node = xa_to_node(head);
+    loop {
+        let shift = kb.mem.read_uint(node + shift_off, 1).unwrap();
+        let slot = (index >> shift) & (XA_CHUNK_SIZE - 1);
+        let entry = kb.mem.read_uint(node + slots_off + 8 * slot, 8).unwrap();
+        if shift == 0 || !xa_is_node(entry) {
+            return if shift == 0 { entry } else { 0 };
+        }
+        node = xa_to_node(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs;
+
+    fn setup() -> (KernelBuilder, PageTypes, vfs::VfsTypes) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let vt = vfs::register_types(&mut kb.types, &common);
+        let pt = register_types(&mut kb.types, &common);
+        (kb, pt, vt)
+    }
+
+    #[test]
+    fn page_struct_is_64_bytes() {
+        let (kb, pt, _) = setup();
+        assert_eq!(kb.types.size_of(pt.page), 64);
+    }
+
+    #[test]
+    fn pfn_page_round_trip() {
+        let (mut kb, pt, _) = setup();
+        let mut pa = PageAllocator::new(&kb, &pt);
+        let (pfn, page) = pa.alloc_page(&mut kb, &pt);
+        assert_eq!(pa.page_to_pfn(page), pfn);
+        assert_eq!(pa.pfn_to_page(pfn), page);
+    }
+
+    #[test]
+    fn single_chunk_xarray() {
+        let (mut kb, pt, vt) = setup();
+        let xa = kb.alloc(vt.xarray);
+        let entries: Vec<(u64, u64)> = (0..20).map(|i| (i, 0xf000 + i * 0x40)).collect();
+        let nodes = xa_store_many(&mut kb, &pt, xa, &entries);
+        assert_eq!(nodes.len(), 1, "20 indices fit one chunk");
+        for (i, v) in entries {
+            assert_eq!(xa_load(&kb, &pt, xa, i), v, "index {i}");
+        }
+        assert_eq!(xa_load(&kb, &pt, xa, 21), 0);
+    }
+
+    #[test]
+    fn multi_level_xarray() {
+        let (mut kb, pt, vt) = setup();
+        let xa = kb.alloc(vt.xarray);
+        // Indices crossing two levels (64..4096) and three (>4096).
+        let entries: Vec<(u64, u64)> = vec![
+            (0, 0x10_000),
+            (63, 0x10_040),
+            (64, 0x10_080),
+            (4095, 0x10_0c0),
+            (5000, 0x10_100),
+        ];
+        let nodes = xa_store_many(&mut kb, &pt, xa, &entries);
+        assert!(
+            nodes.len() >= 4,
+            "expect a multi-node tree, got {}",
+            nodes.len()
+        );
+        for (i, v) in entries {
+            assert_eq!(xa_load(&kb, &pt, xa, i), v, "index {i}");
+        }
+        assert_eq!(xa_load(&kb, &pt, xa, 100), 0);
+    }
+
+    #[test]
+    fn single_index_zero_is_inline() {
+        let (mut kb, pt, vt) = setup();
+        let xa = kb.alloc(vt.xarray);
+        let nodes = xa_store_many(&mut kb, &pt, xa, &[(0, 0xabcd00)]);
+        assert!(nodes.is_empty());
+        assert_eq!(xa_load(&kb, &pt, xa, 0), 0xabcd00);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    //! Property: sparse index sets round-trip through the xarray.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_xarray_round_trip(
+            indices in proptest::collection::btree_set(0u64..300_000, 0..80)
+        ) {
+            let mut kb = KernelBuilder::new();
+            let common = kb.common;
+            let vt = crate::vfs::register_types(&mut kb.types, &common);
+            let pt = register_types(&mut kb.types, &common);
+            let xa = kb.alloc(vt.xarray);
+            let entries: Vec<(u64, u64)> = indices
+                .iter()
+                .enumerate()
+                .map(|(i, &idx)| (idx, 0xffff_8880_2000_0000 + 0x40 * i as u64))
+                .collect();
+            xa_store_many(&mut kb, &pt, xa, &entries);
+            for (idx, val) in &entries {
+                prop_assert_eq!(xa_load(&kb, &pt, xa, *idx), *val);
+            }
+            // A handful of absent indices stay absent.
+            for probe in [1u64, 63, 64, 4095, 4096, 299_999] {
+                if !indices.contains(&probe) {
+                    prop_assert_eq!(xa_load(&kb, &pt, xa, probe), 0);
+                }
+            }
+        }
+    }
+}

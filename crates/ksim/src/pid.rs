@@ -1,0 +1,211 @@
+//! `struct pid` and the PID hash table (ULK Fig 3-6).
+//!
+//! Modern kernels moved PID lookup to an IDR, but the paper ports ULK's
+//! Fig 3-6 — the *hash table* view — to Linux 6; we model the classic
+//! `pid_hash` array of `hlist_head`s whose chains thread through
+//! `struct pid`, each pid holding per-type hlists of tasks. The Δ column
+//! of Table 2 marks this figure as "some fields changed", which is exactly
+//! what this module reproduces.
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+use crate::tasks::TaskTypes;
+
+/// Number of buckets in the simulated `pid_hash`.
+pub const PID_HASH_SIZE: u64 = 16;
+
+/// `enum pid_type` values.
+pub const PIDTYPE_PID: u64 = 0;
+/// Thread-group id.
+pub const PIDTYPE_TGID: u64 = 1;
+/// Process-group id.
+pub const PIDTYPE_PGID: u64 = 2;
+/// Session id.
+pub const PIDTYPE_SID: u64 = 3;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct PidTypes {
+    /// `struct pid`.
+    pub pid: TypeId,
+    /// `struct upid` (the hash-chained numeric id).
+    pub upid: TypeId,
+}
+
+/// Register pid types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> PidTypes {
+    let upid = StructBuilder::new("upid")
+        .field("nr", common.int_t)
+        .field("ns", common.void_ptr)
+        .field("pid_chain", common.hlist_node)
+        .build(reg);
+
+    let tasks4 = reg.array_of(common.hlist_head, 4);
+    let upid1 = reg.array_of(upid, 1);
+    let pid = StructBuilder::new("pid")
+        .field("count", common.refcount)
+        .field("level", common.u32_t)
+        .field("tasks", tasks4)
+        .field("rcu", common.callback_head)
+        .field("numbers", upid1)
+        .build(reg);
+
+    reg.define_const("PIDTYPE_PID", PIDTYPE_PID as i64);
+    reg.define_const("PIDTYPE_TGID", PIDTYPE_TGID as i64);
+    reg.define_const("PIDTYPE_PGID", PIDTYPE_PGID as i64);
+    reg.define_const("PIDTYPE_SID", PIDTYPE_SID as i64);
+    reg.define_const("PID_HASH_SIZE", PID_HASH_SIZE as i64);
+
+    PidTypes { pid, upid }
+}
+
+/// The built PID hash table.
+#[derive(Debug, Clone)]
+pub struct PidHash {
+    /// Address of the `hlist_head pid_hash[PID_HASH_SIZE]` global.
+    pub table: u64,
+    /// Created `struct pid` addresses, indexed by creation order.
+    pub pids: Vec<u64>,
+}
+
+/// The hash function (a simple multiplicative hash like `pid_hashfn`).
+pub fn pid_hashfn(nr: u64) -> u64 {
+    (nr.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) % PID_HASH_SIZE
+}
+
+/// Allocate the global `pid_hash` table.
+pub fn create_pid_hash(kb: &mut KernelBuilder, common: &CommonTypes) -> PidHash {
+    let arr = kb.types.array_of(common.hlist_head, PID_HASH_SIZE);
+    let table = kb.alloc_global("pid_hash", arr);
+    for i in 0..PID_HASH_SIZE {
+        structops::hlist_init(&mut kb.mem, table + i * 8);
+    }
+    PidHash {
+        table,
+        pids: Vec::new(),
+    }
+}
+
+/// Allocate a `struct pid` for `nr`, chain it into the hash table, and
+/// attach `task` to its `tasks[PIDTYPE_PID]` list.
+pub fn attach_pid(
+    kb: &mut KernelBuilder,
+    pt: &PidTypes,
+    tt: &TaskTypes,
+    hash: &mut PidHash,
+    task: u64,
+    nr: i32,
+) -> u64 {
+    let pid = kb.alloc(pt.pid);
+    let chain;
+    let tasks0;
+    {
+        let mut w = kb.obj(pid, pt.pid);
+        w.set_i64("count.refs.counter", 1).unwrap();
+        w.set_i64("numbers[0].nr", nr as i64).unwrap();
+        chain = w.field_addr("numbers[0].pid_chain").unwrap();
+        tasks0 = w.field_addr("tasks[0]").unwrap();
+    }
+    let bucket = hash.table + pid_hashfn(nr as u64) * 8;
+    structops::hlist_add_head(&mut kb.mem, chain, bucket);
+
+    structops::hlist_init(&mut kb.mem, tasks0);
+    let link;
+    {
+        let mut w = kb.obj(task, tt.task_struct);
+        w.set("thread_pid", pid).unwrap();
+        link = w.field_addr("pid_links[0]").unwrap();
+    }
+    structops::hlist_add_head(&mut kb.mem, link, tasks0);
+    hash.pids.push(pid);
+    pid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{self, TaskParams};
+
+    fn setup() -> (KernelBuilder, PidTypes, TaskTypes) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let tt = tasks::register_types(&mut kb.types, &common);
+        let pt = register_types(&mut kb.types, &common);
+        (kb, pt, tt)
+    }
+
+    #[test]
+    fn hash_is_stable_and_in_range() {
+        for nr in 0..500 {
+            assert!(pid_hashfn(nr) < PID_HASH_SIZE);
+        }
+        assert_eq!(pid_hashfn(42), pid_hashfn(42));
+    }
+
+    #[test]
+    fn attach_pid_chains_into_bucket() {
+        let (mut kb, pt, tt) = setup();
+        let common = kb.common;
+        let mut hash = create_pid_hash(&mut kb, &common);
+        let task = tasks::create_task(
+            &mut kb,
+            &tt,
+            &TaskParams {
+                pid: 42,
+                ..Default::default()
+            },
+        );
+        let pid = attach_pid(&mut kb, &pt, &tt, &mut hash, task, 42);
+
+        let bucket = hash.table + pid_hashfn(42) * 8;
+        let chains = structops::hlist_iter(&kb.mem, bucket);
+        let (chain_off, _) = kb.types.field_path(pt.pid, "numbers[0].pid_chain").unwrap();
+        assert_eq!(chains.len(), 1);
+        assert_eq!(structops::container_of(chains[0], chain_off), pid);
+
+        // The pid's task list leads back to the task.
+        let (tasks_off, _) = kb.types.field_path(pt.pid, "tasks[0]").unwrap();
+        let links = structops::hlist_iter(&kb.mem, pid + tasks_off);
+        let (link_off, _) = kb.types.field_path(tt.task_struct, "pid_links[0]").unwrap();
+        assert_eq!(structops::container_of(links[0], link_off), task);
+
+        // nr is readable.
+        let (nr_off, _) = kb.types.field_path(pt.pid, "numbers[0].nr").unwrap();
+        assert_eq!(kb.mem.read_int(pid + nr_off, 4).unwrap(), 42);
+    }
+
+    #[test]
+    fn colliding_pids_share_a_bucket() {
+        let (mut kb, pt, tt) = setup();
+        let common = kb.common;
+        let mut hash = create_pid_hash(&mut kb, &common);
+        // Find two numbers that collide.
+        let a = 1u64;
+        let b = (2..10_000)
+            .find(|&n| pid_hashfn(n) == pid_hashfn(a))
+            .unwrap();
+        let ta = tasks::create_task(
+            &mut kb,
+            &tt,
+            &TaskParams {
+                pid: a as i32,
+                ..Default::default()
+            },
+        );
+        let tb = tasks::create_task(
+            &mut kb,
+            &tt,
+            &TaskParams {
+                pid: b as i32,
+                ..Default::default()
+            },
+        );
+        attach_pid(&mut kb, &pt, &tt, &mut hash, ta, a as i32);
+        attach_pid(&mut kb, &pt, &tt, &mut hash, tb, b as i32);
+        let bucket = hash.table + pid_hashfn(a) * 8;
+        assert_eq!(structops::hlist_iter(&kb.mem, bucket).len(), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Pipes and their ring of `pipe_buffer`s (Dirty Pipe, CVE-2022-0847).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+
+/// The Dirty Pipe flag: buffer may be merged into (i.e. written through).
+pub const PIPE_BUF_FLAG_CAN_MERGE: u64 = 0x10;
+/// Default ring size.
+pub const PIPE_DEF_BUFFERS: u64 = 16;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct PipeTypes {
+    /// `struct pipe_inode_info`.
+    pub pipe_inode_info: TypeId,
+    /// `struct pipe_buffer`.
+    pub pipe_buffer: TypeId,
+}
+
+/// Register pipe types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> PipeTypes {
+    let page_fwd = reg.declare_struct("page");
+    let page_ptr = reg.pointer_to(page_fwd);
+
+    let pipe_buffer = StructBuilder::new("pipe_buffer")
+        .field("page", page_ptr)
+        .field("offset", common.u32_t)
+        .field("len", common.u32_t)
+        .field("ops", common.void_ptr)
+        .field("flags", common.u32_t)
+        .field("private", common.u64_t)
+        .build(reg);
+    let buf_ptr = reg.pointer_to(pipe_buffer);
+
+    let pipe_inode_info = StructBuilder::new("pipe_inode_info")
+        .field("mutex", common.atomic64)
+        .field("head", common.u32_t)
+        .field("tail", common.u32_t)
+        .field("max_usage", common.u32_t)
+        .field("ring_size", common.u32_t)
+        .field("nr_accounted", common.u32_t)
+        .field("readers", common.u32_t)
+        .field("writers", common.u32_t)
+        .field("files", common.u32_t)
+        .field("r_counter", common.u32_t)
+        .field("w_counter", common.u32_t)
+        .field("bufs", buf_ptr)
+        .build(reg);
+
+    reg.define_const("PIPE_BUF_FLAG_CAN_MERGE", PIPE_BUF_FLAG_CAN_MERGE as i64);
+
+    PipeTypes {
+        pipe_inode_info,
+        pipe_buffer,
+    }
+}
+
+/// One occupied slot in a pipe ring.
+#[derive(Debug, Clone, Copy)]
+pub struct PipeBufSpec {
+    /// Backing `struct page` address.
+    pub page: u64,
+    /// Byte offset of valid data.
+    pub offset: u32,
+    /// Valid byte count.
+    pub len: u32,
+    /// Buffer flags (e.g. [`PIPE_BUF_FLAG_CAN_MERGE`]).
+    pub flags: u32,
+}
+
+/// Create a `pipe_inode_info` whose ring holds `bufs` starting at tail 0.
+pub fn create_pipe(kb: &mut KernelBuilder, pt: &PipeTypes, bufs: &[PipeBufSpec]) -> u64 {
+    let pipe = kb.alloc(pt.pipe_inode_info);
+    let ring_ty = kb.types.array_of(pt.pipe_buffer, PIPE_DEF_BUFFERS);
+    let ring = kb.alloc(ring_ty);
+    let buf_size = kb.types.size_of(pt.pipe_buffer);
+    for (i, b) in bufs.iter().enumerate() {
+        let addr = ring + buf_size * i as u64;
+        let mut w = kb.obj(addr, pt.pipe_buffer);
+        w.set("page", b.page).unwrap();
+        w.set("offset", b.offset as u64).unwrap();
+        w.set("len", b.len as u64).unwrap();
+        w.set("flags", b.flags as u64).unwrap();
+    }
+    let mut w = kb.obj(pipe, pt.pipe_inode_info);
+    w.set("head", bufs.len() as u64).unwrap();
+    w.set("tail", 0).unwrap();
+    w.set("ring_size", PIPE_DEF_BUFFERS).unwrap();
+    w.set("max_usage", PIPE_DEF_BUFFERS).unwrap();
+    w.set("readers", 1).unwrap();
+    w.set("writers", 1).unwrap();
+    w.set("bufs", ring).unwrap();
+    pipe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_occupancy_and_flags() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let pt = register_types(&mut kb.types, &common);
+        let pipe = create_pipe(
+            &mut kb,
+            &pt,
+            &[
+                PipeBufSpec {
+                    page: 0xf00d00,
+                    offset: 0,
+                    len: 512,
+                    flags: 0,
+                },
+                PipeBufSpec {
+                    page: 0xf00d40,
+                    offset: 0,
+                    len: 4096,
+                    flags: PIPE_BUF_FLAG_CAN_MERGE as u32,
+                },
+            ],
+        );
+        let (bufs_off, _) = kb.types.field_path(pt.pipe_inode_info, "bufs").unwrap();
+        let ring = kb.mem.read_uint(pipe + bufs_off, 8).unwrap();
+        let bsz = kb.types.size_of(pt.pipe_buffer);
+        let (flags_off, _) = kb.types.field_path(pt.pipe_buffer, "flags").unwrap();
+        assert_eq!(kb.mem.read_uint(ring + flags_off, 4).unwrap(), 0);
+        assert_eq!(
+            kb.mem.read_uint(ring + bsz + flags_off, 4).unwrap(),
+            PIPE_BUF_FLAG_CAN_MERGE
+        );
+        let (head_off, _) = kb.types.field_path(pt.pipe_inode_info, "head").unwrap();
+        assert_eq!(kb.mem.read_uint(pipe + head_off, 4).unwrap(), 2);
+    }
+}

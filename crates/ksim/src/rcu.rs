@@ -1,0 +1,158 @@
+//! The RCU callback list (StackRot case study, §3.2).
+//!
+//! Models per-CPU `rcu_data.cblist`: a singly linked chain of `rcu_head`s
+//! whose `func` names the deferred destructor. The StackRot scenario moves
+//! a maple node here (via its embedded `rcu` field) while another CPU still
+//! holds a reference — the state the paper visualizes.
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct RcuTypes {
+    /// `struct rcu_segcblist` (simplified to head/tail/len).
+    pub rcu_segcblist: TypeId,
+    /// `struct rcu_data` (per CPU).
+    pub rcu_data: TypeId,
+}
+
+/// Register RCU types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> RcuTypes {
+    let cb_ptr = {
+        let cb = common.callback_head;
+        reg.pointer_to(cb)
+    };
+
+    let rcu_segcblist = StructBuilder::new("rcu_segcblist")
+        .field("head", cb_ptr)
+        .field("tail", cb_ptr)
+        .field("len", common.long_t)
+        .build(reg);
+
+    let rcu_data = StructBuilder::new("rcu_data")
+        .field("gp_seq", common.u64_t)
+        .field("gp_seq_needed", common.u64_t)
+        .field("cblist", rcu_segcblist)
+        .field("cpu", common.int_t)
+        .build(reg);
+
+    RcuTypes {
+        rcu_segcblist,
+        rcu_data,
+    }
+}
+
+/// The per-CPU RCU state.
+#[derive(Debug, Clone)]
+pub struct RcuState {
+    /// `rcu_data` per-CPU array base.
+    pub base: u64,
+    /// Size of one `rcu_data`.
+    pub size: u64,
+}
+
+impl RcuState {
+    /// `rcu_data` of `cpu`.
+    pub fn cpu(&self, cpu: u64) -> u64 {
+        self.base + cpu * self.size
+    }
+}
+
+/// Allocate the per-CPU `rcu_data` array.
+pub fn create_rcu_state(kb: &mut KernelBuilder, rt: &RcuTypes) -> RcuState {
+    let ncpus = crate::sched::NR_CPUS;
+    let arr = kb.types.array_of(rt.rcu_data, ncpus);
+    let base = kb.alloc_percpu(arr);
+    kb.symbols.define_object("rcu_data", base, arr);
+    let size = kb.types.size_of(rt.rcu_data);
+    for cpu in 0..ncpus {
+        let mut w = kb.obj(base + cpu * size, rt.rcu_data);
+        w.set_i64("cpu", cpu as i64).unwrap();
+        w.set("gp_seq", 0x1000 + cpu * 4).unwrap();
+    }
+    RcuState { base, size }
+}
+
+/// `call_rcu`: enqueue the `rcu_head` at `head_addr` (embedded in some
+/// dying object) with destructor `func_sym` on `cpu`'s callback list.
+pub fn call_rcu(
+    kb: &mut KernelBuilder,
+    rt: &RcuTypes,
+    state: &RcuState,
+    cpu: u64,
+    head_addr: u64,
+    func_sym: &str,
+) {
+    let f = kb.func_sym(func_sym);
+    kb.mem.write_uint(head_addr, 8, 0); // next = NULL
+    kb.mem.write_uint(head_addr + 8, 8, f);
+
+    let rd = state.cpu(cpu);
+    let (head_off, _) = kb.types.field_path(rt.rcu_data, "cblist.head").unwrap();
+    let (len_off, _) = kb.types.field_path(rt.rcu_data, "cblist.len").unwrap();
+    // Append at tail of the singly linked chain.
+    let mut cur = kb.mem.read_uint(rd + head_off, 8).unwrap();
+    if cur == 0 {
+        kb.mem.write_uint(rd + head_off, 8, head_addr);
+    } else {
+        loop {
+            let next = kb.mem.read_uint(cur, 8).unwrap();
+            if next == 0 {
+                break;
+            }
+            cur = next;
+        }
+        kb.mem.write_uint(cur, 8, head_addr);
+    }
+    let len = kb.mem.read_uint(rd + len_off, 8).unwrap();
+    kb.mem.write_uint(rd + len_off, 8, len + 1);
+}
+
+/// Collect `(rcu_head_addr, func)` pairs on `cpu`'s callback list.
+pub fn pending_callbacks(
+    kb: &KernelBuilder,
+    rt: &RcuTypes,
+    state: &RcuState,
+    cpu: u64,
+) -> Vec<(u64, u64)> {
+    let rd = state.cpu(cpu);
+    let (head_off, _) = kb.types.field_path(rt.rcu_data, "cblist.head").unwrap();
+    let mut cur = kb.mem.read_uint(rd + head_off, 8).unwrap();
+    let mut out = Vec::new();
+    while cur != 0 {
+        let func = kb.mem.read_uint(cur + 8, 8).unwrap();
+        out.push((cur, func));
+        cur = kb.mem.read_uint(cur, 8).unwrap();
+        if out.len() > 100_000 {
+            panic!("rcu callback list does not terminate");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn callbacks_enqueue_in_order() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let rt = register_types(&mut kb.types, &common);
+        let state = create_rcu_state(&mut kb, &rt);
+        let h1 = kb.alloc(common.callback_head);
+        let h2 = kb.alloc(common.callback_head);
+        call_rcu(&mut kb, &rt, &state, 0, h1, "mt_free_rcu");
+        call_rcu(&mut kb, &rt, &state, 0, h2, "i_callback");
+        let cbs = pending_callbacks(&kb, &rt, &state, 0);
+        assert_eq!(cbs.len(), 2);
+        assert_eq!(cbs[0].0, h1);
+        assert_eq!(kb.symbols.name_at(cbs[0].1), Some("mt_free_rcu"));
+        assert_eq!(kb.symbols.name_at(cbs[1].1), Some("i_callback"));
+        // Other CPU list untouched.
+        assert!(pending_callbacks(&kb, &rt, &state, 1).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Reverse mapping of anonymous pages (ULK Fig 17-1).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct RmapTypes {
+    /// `struct anon_vma`.
+    pub anon_vma: TypeId,
+    /// `struct anon_vma_chain`.
+    pub anon_vma_chain: TypeId,
+}
+
+/// Register rmap types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> RmapTypes {
+    let av_fwd = reg.declare_struct("anon_vma");
+    let av_ptr = reg.pointer_to(av_fwd);
+    let vma_fwd = reg.declare_struct("vm_area_struct");
+    let vma_ptr = reg.pointer_to(vma_fwd);
+
+    let anon_vma = StructBuilder::new("anon_vma")
+        .field("root", av_ptr)
+        .field("parent", av_ptr)
+        .field("refcount", common.atomic)
+        .field("num_children", common.u64_t)
+        .field("num_active_vmas", common.u64_t)
+        .field("rb_root", common.rb_root_cached)
+        .build(reg);
+
+    let anon_vma_chain = StructBuilder::new("anon_vma_chain")
+        .field("vma", vma_ptr)
+        .field("anon_vma", av_ptr)
+        .field("same_vma", common.list_head)
+        .field("rb", common.rb_node)
+        .field("rb_subtree_last", common.u64_t)
+        .build(reg);
+
+    RmapTypes {
+        anon_vma,
+        anon_vma_chain,
+    }
+}
+
+/// Create an `anon_vma` with interval-tree chains for `vmas`, wiring each
+/// VMA's `anon_vma` pointer and `anon_vma_chain` list back.
+pub fn create_anon_vma(
+    kb: &mut KernelBuilder,
+    rt: &RmapTypes,
+    mm_vma_ty: TypeId,
+    vmas: &[u64],
+) -> u64 {
+    let av = kb.alloc(rt.anon_vma);
+    {
+        let mut w = kb.obj(av, rt.anon_vma);
+        w.set("root", av).unwrap();
+        w.set_i64("refcount.counter", 1 + vmas.len() as i64)
+            .unwrap();
+        w.set("num_active_vmas", vmas.len() as u64).unwrap();
+    }
+    let (rb_root_off, _) = kb
+        .types
+        .field_path(rt.anon_vma, "rb_root.rb_root.rb_node")
+        .unwrap();
+    let (leftmost_off, _) = kb
+        .types
+        .field_path(rt.anon_vma, "rb_root.rb_leftmost")
+        .unwrap();
+    let (rb_off, _) = kb.types.field_path(rt.anon_vma_chain, "rb").unwrap();
+
+    let mut rb_nodes = Vec::new();
+    for &vma in vmas {
+        let avc = kb.alloc(rt.anon_vma_chain);
+        let same_vma;
+        {
+            let mut w = kb.obj(avc, rt.anon_vma_chain);
+            w.set("vma", vma).unwrap();
+            w.set("anon_vma", av).unwrap();
+            same_vma = w.field_addr("same_vma").unwrap();
+        }
+        structops::list_init(&mut kb.mem, same_vma);
+        // Wire VMA -> anon_vma and VMA.anon_vma_chain -> avc.same_vma.
+        let (av_field_off, _) = kb.types.field_path(mm_vma_ty, "anon_vma").unwrap();
+        kb.mem.write_uint(vma + av_field_off, 8, av);
+        let (avc_list_off, _) = kb.types.field_path(mm_vma_ty, "anon_vma_chain").unwrap();
+        structops::list_init(&mut kb.mem, vma + avc_list_off);
+        structops::list_add_tail(&mut kb.mem, same_vma, vma + avc_list_off);
+        rb_nodes.push(avc + rb_off);
+    }
+    let leftmost = structops::rb_build(&mut kb.mem, av + rb_root_off, &rb_nodes);
+    kb.mem.write_uint(av + leftmost_off, 8, leftmost);
+    av
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{maple, mm};
+
+    #[test]
+    fn interval_tree_chains_point_both_ways() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let maple_t = maple::register_types(&mut kb.types, &common);
+        let mmt = mm::register_types(&mut kb.types, &common);
+        let rt = register_types(&mut kb.types, &common);
+
+        let built = mm::create_mm(&mut kb, &mmt, &maple_t, 0, &mm::typical_vmas(&[], 2));
+        let anon: Vec<u64> = built.vmas.iter().copied().take(3).collect();
+        let av = create_anon_vma(&mut kb, &rt, mmt.vm_area_struct, &anon);
+
+        // Walk the interval tree and recover VMAs.
+        let (rb_root_off, _) = kb
+            .types
+            .field_path(rt.anon_vma, "rb_root.rb_root.rb_node")
+            .unwrap();
+        let top = kb.mem.read_uint(av + rb_root_off, 8).unwrap();
+        let (rb_off, _) = kb.types.field_path(rt.anon_vma_chain, "rb").unwrap();
+        let (vma_off, _) = kb.types.field_path(rt.anon_vma_chain, "vma").unwrap();
+        let got: Vec<u64> = structops::rb_inorder(&kb.mem, top)
+            .into_iter()
+            .map(|n| {
+                let avc = structops::container_of(n, rb_off);
+                kb.mem.read_uint(avc + vma_off, 8).unwrap()
+            })
+            .collect();
+        assert_eq!(got, anon);
+
+        // Each VMA points back to the anon_vma.
+        let (av_off, _) = kb.types.field_path(mmt.vm_area_struct, "anon_vma").unwrap();
+        for &vma in &anon {
+            assert_eq!(kb.mem.read_uint(vma + av_off, 8).unwrap(), av);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! CVE case-study scenarios (§3.2, §5.3): bug-state injection.
+//!
+//! Each scenario takes the built [`crate::workload::Workload`] and mutates
+//! the image into the state the paper debugs at its breakpoint:
+//!
+//! * **StackRot** (CVE-2023-3269): a maple-tree node that CPU 1 still
+//!   reaches through `mas_walk` has been handed to `call_rcu` by CPU 0 —
+//!   the node sits simultaneously in the tree and on the RCU callback
+//!   list, destructor `mt_free_rcu`.
+//! * **Dirty Pipe** (CVE-2022-0847): a pipe buffer points at a page-cache
+//!   page of `test.txt` *and* carries `PIPE_BUF_FLAG_CAN_MERGE`, the
+//!   uninitialized-flag state that makes the page writable through the
+//!   pipe.
+
+use crate::maple;
+use crate::pipe::PIPE_BUF_FLAG_CAN_MERGE;
+use crate::rcu;
+use crate::workload::Workload;
+
+/// Outcome of the StackRot injection.
+#[derive(Debug, Clone)]
+pub struct StackRot {
+    /// The `mm_struct` whose tree is affected.
+    pub mm: u64,
+    /// The victim leaf `maple_node` (still reachable from the tree).
+    pub victim_node: u64,
+    /// The node's embedded `rcu_head` address (on CPU 0's callback list).
+    pub rcu_head: u64,
+    /// The CPU whose callback list holds the deferred free.
+    pub free_cpu: u64,
+    /// The CPU concurrently reading the node.
+    pub reader_cpu: u64,
+}
+
+/// Inject the StackRot state into process 0's address space.
+///
+/// # Panics
+///
+/// Panics if the workload has no user process with a multi-node maple
+/// tree (the default config always has one).
+pub fn inject_stackrot(w: &mut Workload) -> StackRot {
+    let t = w.types;
+    let kb = &mut w.kb;
+    let leader = w.roots.leaders[0];
+    let (mm_off, _) = kb.types.field_path(t.task.task_struct, "mm").unwrap();
+    let mm = kb.mem.read_uint(leader + mm_off, 8).unwrap();
+    let (root_off, _) = kb
+        .types
+        .field_path(t.mm.mm_struct, "mm_mt.ma_root")
+        .unwrap();
+    let root = kb.mem.read_uint(mm + root_off, 8).unwrap();
+    assert!(maple::xa_is_node(root), "expected a multi-node tree");
+
+    // Find the first leaf under the root.
+    let mut enode = root;
+    while !maple::ma_is_leaf(maple::mte_node_type(enode)) {
+        let node = maple::mte_to_node(enode);
+        // arange_64 slots start after parent + 9 pivots.
+        let slot0 = node + 8 + 8 * (maple::MAPLE_ARANGE64_SLOTS - 1);
+        enode = kb.mem.read_uint(slot0, 8).unwrap();
+    }
+    let victim = maple::mte_to_node(enode);
+
+    // The node's union rcu_head lives at offset 8 (after `pad`).
+    let (rcu_off, _) = kb.types.field_path(t.maple.maple_node, "prcu.rcu").unwrap();
+    let rcu_head = victim + rcu_off;
+
+    // CPU 0 defers the free; note this *corrupts* the node's slot[0..2]
+    // area exactly like ma_free_rcu does in the real kernel.
+    let rcu_state = rcu::RcuState {
+        base: kb.symbols.lookup("rcu_data").unwrap().addr,
+        size: kb.types.size_of(t.rcu.rcu_data),
+    };
+    rcu::call_rcu(kb, &t.rcu, &rcu_state, 0, rcu_head, "mt_free_rcu");
+
+    StackRot {
+        mm,
+        victim_node: victim,
+        rcu_head,
+        free_cpu: 0,
+        reader_cpu: 1,
+    }
+}
+
+/// Outcome of the Dirty Pipe injection.
+#[derive(Debug, Clone)]
+pub struct DirtyPipe {
+    /// The victim file (`test.txt`).
+    pub file: u64,
+    /// The shared page (in the file's page cache *and* the pipe ring).
+    pub shared_page: u64,
+    /// The pipe whose buffer aliases the page.
+    pub pipe: u64,
+    /// Index of the corrupted `pipe_buffer` in the ring.
+    pub buf_index: u64,
+    /// The task owning the pipe (pid of the paper's figure: the process
+    /// that ran `splice`).
+    pub task: u64,
+}
+
+/// Inject the Dirty Pipe state: `splice` moved a page of `test.txt` into
+/// process 0's pipe ring zero-copy, and `copy_page_to_iter_pipe` left
+/// `PIPE_BUF_FLAG_CAN_MERGE` set.
+pub fn inject_dirty_pipe(w: &mut Workload) -> DirtyPipe {
+    let t = w.types;
+    let kb = &mut w.kb;
+    let file = w.roots.test_txt_file;
+    assert_ne!(file, 0, "workload must have opened test.txt");
+
+    // First page of the file's page cache.
+    let (f_mapping_off, _) = kb.types.field_path(t.vfs.file, "f_mapping").unwrap();
+    let mapping = kb.mem.read_uint(file + f_mapping_off, 8).unwrap();
+    let (i_pages_off, _) = kb.types.field_path(t.vfs.address_space, "i_pages").unwrap();
+    let page = crate::pagecache::xa_load(kb, &t.page, mapping + i_pages_off, 0);
+    assert_ne!(page, 0, "test.txt must have a cached page");
+
+    // Overwrite the pipe's buffer 0: zero-copy alias + CAN_MERGE.
+    let pipe = w.roots.pipes[0];
+    let (bufs_off, _) = kb.types.field_path(t.pipe.pipe_inode_info, "bufs").unwrap();
+    let ring = kb.mem.read_uint(pipe + bufs_off, 8).unwrap();
+    {
+        let mut wbuf = kb.obj(ring, t.pipe.pipe_buffer);
+        wbuf.set("page", page).unwrap();
+        wbuf.set("offset", 0).unwrap();
+        wbuf.set("len", 4096).unwrap();
+        wbuf.set("flags", PIPE_BUF_FLAG_CAN_MERGE).unwrap();
+    }
+
+    DirtyPipe {
+        file,
+        shared_page: page,
+        pipe,
+        buf_index: 0,
+        task: w.roots.leaders[0],
+    }
+}
+
+/// Let the RCU grace period expire for the StackRot victim: run the
+/// deferred `mt_free_rcu`, i.e. *actually free* the node's memory
+/// (`kmem_cache_free` recycles the slab page — we unmap it, so any later
+/// dereference faults exactly like the paper's Figure 5 line 15).
+///
+/// After this, the maple tree still holds a dangling tagged pointer to
+/// the node: the use-after-free is armed, and CPU 1's `mas_prev()` —
+/// or a debugger walking the tree — will touch freed memory.
+pub fn expire_rcu_grace_period(w: &mut Workload, sr: &StackRot) {
+    let t = w.types;
+    let kb = &mut w.kb;
+    // Pop the callback from CPU 0's list (rcu_do_batch).
+    let rcu_state = rcu::RcuState {
+        base: kb.symbols.lookup("rcu_data").unwrap().addr,
+        size: kb.types.size_of(t.rcu.rcu_data),
+    };
+    let rd = rcu_state.cpu(sr.free_cpu);
+    let (head_off, _) = kb.types.field_path(t.rcu.rcu_data, "cblist.head").unwrap();
+    let next = kb.mem.read_uint(sr.rcu_head, 8).unwrap_or(0);
+    let head = kb.mem.read_uint(rd + head_off, 8).unwrap();
+    if head == sr.rcu_head {
+        kb.mem.write_uint(rd + head_off, 8, next);
+    }
+    // kmem_cache_free with SLAB poisoning: the node's 256 bytes are
+    // overwritten with POISON_FREE (0x6b), like a debug kernel recycling
+    // the object. (Unmapping the page would also fault the *neighboring*
+    // slab objects, which a recycled slab page does not do.)
+    kb.mem.write(sr.victim_node, &[0x6b; 256]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{self, WorkloadConfig};
+
+    #[test]
+    fn stackrot_node_is_in_tree_and_on_rcu_list() {
+        let mut w = workload::build(&WorkloadConfig::default());
+        let t = w.types;
+        let sr = inject_stackrot(&mut w);
+
+        // Still reachable from the tree root...
+        let (root_off, _) =
+            w.kb.types
+                .field_path(t.mm.mm_struct, "mm_mt.ma_root")
+                .unwrap();
+        let root = w.kb.mem.read_uint(sr.mm + root_off, 8).unwrap();
+        let node0 = maple::mte_to_node(root);
+        let slot0 = node0 + 8 + 8 * (maple::MAPLE_ARANGE64_SLOTS - 1);
+        let child = w.kb.mem.read_uint(slot0, 8).unwrap();
+        assert_eq!(maple::mte_to_node(child), sr.victim_node);
+
+        // ...and on CPU 0's RCU callback list with mt_free_rcu.
+        let rcu_state = rcu::RcuState {
+            base: w.kb.symbols.lookup("rcu_data").unwrap().addr,
+            size: w.kb.types.size_of(t.rcu.rcu_data),
+        };
+        let cbs = rcu::pending_callbacks(&w.kb, &t.rcu, &rcu_state, 0);
+        let found = cbs
+            .iter()
+            .any(|&(h, f)| h == sr.rcu_head && w.kb.symbols.name_at(f) == Some("mt_free_rcu"));
+        assert!(found, "victim rcu_head must be queued with mt_free_rcu");
+    }
+
+    #[test]
+    fn expired_grace_period_arms_the_uaf() {
+        let mut w = workload::build(&WorkloadConfig::default());
+        let sr = inject_stackrot(&mut w);
+        expire_rcu_grace_period(&mut w, &sr);
+        // The tree still points at the node (dangling), but the memory is
+        // gone: the defining state of CVE-2023-3269.
+        let (root_off, _) = w
+            .kb
+            .types
+            .field_path(w.types.mm.mm_struct, "mm_mt.ma_root")
+            .unwrap();
+        let root = w.kb.mem.read_uint(sr.mm + root_off, 8).unwrap();
+        let node0 = maple::mte_to_node(root);
+        let slot0 = node0 + 8 + 8 * (maple::MAPLE_ARANGE64_SLOTS - 1);
+        let child = w.kb.mem.read_uint(slot0, 8).unwrap();
+        assert_eq!(maple::mte_to_node(child), sr.victim_node, "dangling link remains");
+        // Dereferencing the freed node now reads slab poison.
+        assert_eq!(
+            w.kb.mem.read_uint(sr.victim_node, 8).unwrap(),
+            0x6b6b_6b6b_6b6b_6b6b,
+            "the node is POISON_FREE"
+        );
+    }
+
+    #[test]
+    fn dirty_pipe_shares_exactly_one_page() {
+        let mut w = workload::build(&WorkloadConfig::default());
+        let t = w.types;
+        let dp = inject_dirty_pipe(&mut w);
+
+        // The shared page is in the file's page cache at index 0.
+        let (f_mapping_off, _) = w.kb.types.field_path(t.vfs.file, "f_mapping").unwrap();
+        let mapping = w.kb.mem.read_uint(dp.file + f_mapping_off, 8).unwrap();
+        let (i_pages_off, _) =
+            w.kb.types
+                .field_path(t.vfs.address_space, "i_pages")
+                .unwrap();
+        assert_eq!(
+            crate::pagecache::xa_load(&w.kb, &t.page, mapping + i_pages_off, 0),
+            dp.shared_page
+        );
+
+        // The pipe buffer aliases it with CAN_MERGE set.
+        let (bufs_off, _) =
+            w.kb.types
+                .field_path(t.pipe.pipe_inode_info, "bufs")
+                .unwrap();
+        let ring = w.kb.mem.read_uint(dp.pipe + bufs_off, 8).unwrap();
+        let (page_off, _) = w.kb.types.field_path(t.pipe.pipe_buffer, "page").unwrap();
+        let (flags_off, _) = w.kb.types.field_path(t.pipe.pipe_buffer, "flags").unwrap();
+        assert_eq!(
+            w.kb.mem.read_uint(ring + page_off, 8).unwrap(),
+            dp.shared_page
+        );
+        assert_eq!(
+            w.kb.mem.read_uint(ring + flags_off, 4).unwrap() & PIPE_BUF_FLAG_CAN_MERGE,
+            PIPE_BUF_FLAG_CAN_MERGE
+        );
+
+        // No *other* pipe buffer aliases a page-cache page: the shared page
+        // is unique, which is what Figure 7's ViewQL isolates.
+        let mut aliased = 0;
+        for &pipe in &w.roots.pipes {
+            let ring = w.kb.mem.read_uint(pipe + bufs_off, 8).unwrap();
+            let bsz = w.kb.types.size_of(t.pipe.pipe_buffer);
+            for i in 0..crate::pipe::PIPE_DEF_BUFFERS {
+                let pg = w.kb.mem.read_uint(ring + i * bsz + page_off, 8).unwrap();
+                if pg != 0 && w.roots.pages.contains(&pg) {
+                    aliased += 1;
+                }
+            }
+        }
+        assert_eq!(aliased, 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-CPU runqueues and the CFS timeline (ULK Fig 7-1, paper §1 example).
+//!
+//! Mirrors `kernel/sched/sched.h`: each CPU has a `struct rq` embedding a
+//! `struct cfs_rq` whose `tasks_timeline` is an `rb_root_cached` of
+//! `sched_entity.run_node`s ordered by `vruntime` — exactly what the
+//! ViewCL program in the paper's introduction plots via
+//! `cpu_rq(0)->cfs.tasks_timeline`.
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+use crate::tasks::TaskTypes;
+
+/// Number of simulated CPUs.
+pub const NR_CPUS: u64 = 2;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedTypes {
+    /// `struct cfs_rq`.
+    pub cfs_rq: TypeId,
+    /// `struct rq`.
+    pub rq: TypeId,
+}
+
+/// Register runqueue types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> SchedTypes {
+    let task = reg.declare_struct("task_struct");
+    let task_ptr = reg.pointer_to(task);
+    let load_weight = reg
+        .lookup("load_weight")
+        .expect("tasks types registered first");
+    let se = reg
+        .lookup("sched_entity")
+        .expect("tasks types registered first");
+    let se_ptr = reg.pointer_to(se);
+
+    let cfs_rq = StructBuilder::new("cfs_rq")
+        .field("load", load_weight)
+        .field("nr_running", common.u32_t)
+        .field("h_nr_running", common.u32_t)
+        .field("exec_clock", common.u64_t)
+        .field("min_vruntime", common.u64_t)
+        .field("tasks_timeline", common.rb_root_cached)
+        .field("curr", se_ptr)
+        .field("next", se_ptr)
+        .build(reg);
+
+    let rq = StructBuilder::new("rq")
+        .field("__lock", common.spinlock)
+        .field("nr_running", common.u32_t)
+        .field("nr_switches", common.u64_t)
+        .field("cfs", cfs_rq)
+        .field("curr", task_ptr)
+        .field("idle", task_ptr)
+        .field("clock", common.u64_t)
+        .field("cpu", common.int_t)
+        .build(reg);
+
+    reg.define_const("NR_CPUS", NR_CPUS as i64);
+
+    SchedTypes { cfs_rq, rq }
+}
+
+/// The built per-CPU runqueues.
+#[derive(Debug, Clone)]
+pub struct RunQueues {
+    /// Address of the `rq[NR_CPUS]` per-CPU array (symbol `runqueues`).
+    pub base: u64,
+    /// Size of one `struct rq`.
+    pub rq_size: u64,
+}
+
+impl RunQueues {
+    /// Address of CPU `cpu`'s runqueue (the simulated `cpu_rq()`).
+    pub fn cpu_rq(&self, cpu: u64) -> u64 {
+        self.base + cpu * self.rq_size
+    }
+}
+
+/// Allocate the per-CPU `runqueues` array and register its symbol.
+pub fn create_runqueues(kb: &mut KernelBuilder, st: &SchedTypes) -> RunQueues {
+    let rq_size = kb.types.size_of(st.rq);
+    let arr = kb.types.array_of(st.rq, NR_CPUS);
+    let base = kb.alloc_percpu(arr);
+    kb.symbols.define_object("runqueues", base, arr);
+    for cpu in 0..NR_CPUS {
+        let addr = base + cpu * rq_size;
+        let mut w = kb.obj(addr, st.rq);
+        w.set_i64("cpu", cpu as i64).unwrap();
+        w.set("clock", 1_000_000 + cpu * 137).unwrap();
+    }
+    RunQueues { base, rq_size }
+}
+
+/// Enqueue `task_addrs` (pre-sorted by ascending `se.vruntime`) on CPU
+/// `cpu`'s CFS timeline, wiring the red-black tree the way
+/// `enqueue_entity` leaves it.
+pub fn enqueue_fair(
+    kb: &mut KernelBuilder,
+    st: &SchedTypes,
+    tt: &TaskTypes,
+    rqs: &RunQueues,
+    cpu: u64,
+    task_addrs: &[u64],
+) {
+    let rq_addr = rqs.cpu_rq(cpu);
+    let (run_node_off, _) = kb.types.field_path(tt.task_struct, "se.run_node").unwrap();
+    let nodes: Vec<u64> = task_addrs.iter().map(|t| t + run_node_off).collect();
+
+    let (timeline_off, _) = kb
+        .types
+        .field_path(st.rq, "cfs.tasks_timeline.rb_root.rb_node")
+        .unwrap();
+    let (leftmost_off, _) = kb
+        .types
+        .field_path(st.rq, "cfs.tasks_timeline.rb_leftmost")
+        .unwrap();
+    let leftmost = structops::rb_build(&mut kb.mem, rq_addr + timeline_off, &nodes);
+    kb.mem.write_uint(rq_addr + leftmost_off, 8, leftmost);
+
+    let mut w = kb.obj(rq_addr, st.rq);
+    w.set("nr_running", task_addrs.len() as u64).unwrap();
+    w.set("cfs.nr_running", task_addrs.len() as u64).unwrap();
+    w.set("cfs.h_nr_running", task_addrs.len() as u64).unwrap();
+    if let Some(&first) = task_addrs.first() {
+        w.set("cfs.min_vruntime", 0).unwrap();
+        w.set("curr", first).unwrap();
+        let se_addr = first + kb.types.field_path(tt.task_struct, "se").unwrap().0;
+        kb.obj(rq_addr, st.rq).set("cfs.curr", se_addr).unwrap();
+    }
+    for &t in task_addrs {
+        let mut tw = kb.obj(t, tt.task_struct);
+        tw.set_i64("on_rq", 1).unwrap();
+        tw.set_i64("cpu", cpu as i64).unwrap();
+        tw.set("se.on_rq", 1).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::{self, TaskParams};
+
+    fn setup() -> (KernelBuilder, SchedTypes, TaskTypes) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let tt = tasks::register_types(&mut kb.types, &common);
+        let st = register_types(&mut kb.types, &common);
+        (kb, st, tt)
+    }
+
+    #[test]
+    fn runqueues_symbol_and_percpu_layout() {
+        let (mut kb, st, _tt) = setup();
+        let rqs = create_runqueues(&mut kb, &st);
+        let sym = kb.symbols.lookup("runqueues").unwrap();
+        assert_eq!(sym.addr, rqs.base);
+        assert_eq!(rqs.cpu_rq(1) - rqs.cpu_rq(0), kb.types.size_of(st.rq));
+        // Each rq knows its own cpu index.
+        let (cpu_off, _) = kb.types.field_path(st.rq, "cpu").unwrap();
+        assert_eq!(kb.mem.read_int(rqs.cpu_rq(1) + cpu_off, 4).unwrap(), 1);
+    }
+
+    #[test]
+    fn cfs_timeline_orders_by_vruntime() {
+        let (mut kb, st, tt) = setup();
+        let rqs = create_runqueues(&mut kb, &st);
+        let mut addrs = Vec::new();
+        for (i, vr) in [100u64, 250, 400, 800, 1600].iter().enumerate() {
+            addrs.push(tasks::create_task(
+                &mut kb,
+                &tt,
+                &TaskParams {
+                    pid: 10 + i as i32,
+                    vruntime: *vr,
+                    ..Default::default()
+                },
+            ));
+        }
+        enqueue_fair(&mut kb, &st, &tt, &rqs, 0, &addrs);
+
+        // Walk the rb-tree from raw memory and recover tasks via
+        // container_of, checking in-order == vruntime order.
+        let (timeline_off, _) = kb
+            .types
+            .field_path(st.rq, "cfs.tasks_timeline.rb_root.rb_node")
+            .unwrap();
+        let top = kb.mem.read_uint(rqs.cpu_rq(0) + timeline_off, 8).unwrap();
+        let (run_node_off, _) = kb.types.field_path(tt.task_struct, "se.run_node").unwrap();
+        let got: Vec<u64> = structops::rb_inorder(&kb.mem, top)
+            .into_iter()
+            .map(|n| structops::container_of(n, run_node_off))
+            .collect();
+        assert_eq!(got, addrs);
+
+        let (nr_off, _) = kb.types.field_path(st.rq, "cfs.nr_running").unwrap();
+        assert_eq!(kb.mem.read_uint(rqs.cpu_rq(0) + nr_off, 4).unwrap(), 5);
+    }
+
+    #[test]
+    fn leftmost_cache_points_at_min_vruntime() {
+        let (mut kb, st, tt) = setup();
+        let rqs = create_runqueues(&mut kb, &st);
+        let addrs: Vec<u64> = (0..7)
+            .map(|i| {
+                tasks::create_task(
+                    &mut kb,
+                    &tt,
+                    &TaskParams {
+                        pid: 20 + i,
+                        vruntime: 100 * (i as u64 + 1),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        enqueue_fair(&mut kb, &st, &tt, &rqs, 1, &addrs);
+        let (lm_off, _) = kb
+            .types
+            .field_path(st.rq, "cfs.tasks_timeline.rb_leftmost")
+            .unwrap();
+        let (rn_off, _) = kb.types.field_path(tt.task_struct, "se.run_node").unwrap();
+        let lm = kb.mem.read_uint(rqs.cpu_rq(1) + lm_off, 8).unwrap();
+        assert_eq!(structops::container_of(lm, rn_off), addrs[0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Signal handling structures (ULK Fig 11-1).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// Number of signals (`_NSIG`).
+pub const NSIG: u64 = 64;
+/// `SIG_DFL` handler value.
+pub const SIG_DFL: u64 = 0;
+/// `SIG_IGN` handler value.
+pub const SIG_IGN: u64 = 1;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct SignalTypes {
+    /// `struct signal_struct` (shared by a thread group).
+    pub signal_struct: TypeId,
+    /// `struct sighand_struct` (the handler table).
+    pub sighand_struct: TypeId,
+    /// `struct k_sigaction`.
+    pub k_sigaction: TypeId,
+    /// `struct sigpending`.
+    pub sigpending: TypeId,
+    /// `struct sigqueue`.
+    pub sigqueue: TypeId,
+}
+
+/// Register signal types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> SignalTypes {
+    let sigset_t = StructBuilder::new("sigset_t")
+        .field("sig", {
+            let u64_t = common.u64_t;
+            reg.array_of(u64_t, 1)
+        })
+        .build(reg);
+
+    let handler_fn = reg.func("void (*)(int)");
+    let handler_ptr = reg.pointer_to(handler_fn);
+    let sigaction = StructBuilder::new("sigaction")
+        .field("sa_handler", handler_ptr)
+        .field("sa_flags", common.u64_t)
+        .field("sa_restorer", common.void_ptr)
+        .field("sa_mask", sigset_t)
+        .build(reg);
+    let k_sigaction = StructBuilder::new("k_sigaction")
+        .field("sa", sigaction)
+        .build(reg);
+
+    let siginfo = StructBuilder::new("kernel_siginfo")
+        .field("si_signo", common.int_t)
+        .field("si_errno", common.int_t)
+        .field("si_code", common.int_t)
+        .build(reg);
+    let sigqueue = StructBuilder::new("sigqueue")
+        .field("list", common.list_head)
+        .field("flags", common.int_t)
+        .field("info", siginfo)
+        .build(reg);
+
+    let sigpending = StructBuilder::new("sigpending")
+        .field("list", common.list_head)
+        .field("signal", sigset_t)
+        .build(reg);
+
+    let actions = reg.array_of(k_sigaction, NSIG);
+    let sighand_struct = StructBuilder::new("sighand_struct")
+        .field("count", common.refcount)
+        .field("action", actions)
+        .field("siglock", common.spinlock)
+        .build(reg);
+
+    let signal_struct = StructBuilder::new("signal_struct")
+        .field("sigcnt", common.refcount)
+        .field("live", common.atomic)
+        .field("nr_threads", common.int_t)
+        .field("group_exit_code", common.int_t)
+        .field("shared_pending", sigpending)
+        .field("group_stop_count", common.int_t)
+        .field("flags", common.u32_t)
+        .build(reg);
+
+    reg.define_const("SIG_DFL", SIG_DFL as i64);
+    reg.define_const("SIG_IGN", SIG_IGN as i64);
+    reg.define_const("SIGKILL", 9);
+    reg.define_const("SIGSEGV", 11);
+    reg.define_const("SIGTERM", 15);
+    reg.define_const("SIGCHLD", 17);
+    reg.define_const("_NSIG", NSIG as i64);
+
+    SignalTypes {
+        signal_struct,
+        sighand_struct,
+        k_sigaction,
+        sigpending,
+        sigqueue,
+    }
+}
+
+/// Create a `sighand_struct`; `configured[(signo, handler_sym)]` installs
+/// custom handlers, the rest stay `SIG_DFL`.
+pub fn create_sighand(kb: &mut KernelBuilder, st: &SignalTypes, configured: &[(u64, &str)]) -> u64 {
+    let sh = kb.alloc(st.sighand_struct);
+    kb.obj(sh, st.sighand_struct)
+        .set_i64("count.refs.counter", 1)
+        .unwrap();
+    for (signo, sym) in configured {
+        assert!((1..=NSIG).contains(signo));
+        let f = kb.func_sym(sym);
+        kb.obj(sh, st.sighand_struct)
+            .set(&format!("action[{}].sa.sa_handler", signo - 1), f)
+            .unwrap();
+    }
+    sh
+}
+
+/// Create a `signal_struct` for a thread group of `nr_threads`, with
+/// `pending` signal numbers queued on `shared_pending`.
+pub fn create_signal(
+    kb: &mut KernelBuilder,
+    st: &SignalTypes,
+    nr_threads: i64,
+    pending: &[u64],
+) -> u64 {
+    let sig = kb.alloc(st.signal_struct);
+    let list_head;
+    {
+        let mut w = kb.obj(sig, st.signal_struct);
+        w.set_i64("sigcnt.refs.counter", 1).unwrap();
+        w.set_i64("live.counter", nr_threads).unwrap();
+        w.set_i64("nr_threads", nr_threads).unwrap();
+        list_head = w.field_addr("shared_pending.list").unwrap();
+    }
+    structops::list_init(&mut kb.mem, list_head);
+    let mut mask = 0u64;
+    for &signo in pending {
+        let q = kb.alloc(st.sigqueue);
+        let node;
+        {
+            let mut w = kb.obj(q, st.sigqueue);
+            w.set_i64("info.si_signo", signo as i64).unwrap();
+            node = w.field_addr("list").unwrap();
+        }
+        structops::list_add_tail(&mut kb.mem, node, list_head);
+        mask |= 1 << (signo - 1);
+    }
+    kb.obj(sig, st.signal_struct)
+        .set("shared_pending.signal.sig[0]", mask)
+        .unwrap();
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KernelBuilder, SignalTypes) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let st = register_types(&mut kb.types, &common);
+        (kb, st)
+    }
+
+    #[test]
+    fn action_table_has_64_entries() {
+        let (kb, st) = setup();
+        let def = kb.types.struct_def(st.sighand_struct).unwrap();
+        let action = def.field("action").unwrap();
+        let ksize = kb.types.size_of(st.k_sigaction);
+        assert_eq!(kb.types.size_of(action.ty), ksize * NSIG);
+    }
+
+    #[test]
+    fn configured_handlers_resolve_to_function_symbols() {
+        let (mut kb, st) = setup();
+        let sh = create_sighand(
+            &mut kb,
+            &st,
+            &[(15, "my_sigterm_handler"), (17, "my_sigchld")],
+        );
+        let (off15, _) = kb
+            .types
+            .field_path(st.sighand_struct, "action[14].sa.sa_handler")
+            .unwrap();
+        let h = kb.mem.read_uint(sh + off15, 8).unwrap();
+        assert_eq!(kb.symbols.name_at(h), Some("my_sigterm_handler"));
+        // Unconfigured entries stay SIG_DFL (0).
+        let (off9, _) = kb
+            .types
+            .field_path(st.sighand_struct, "action[8].sa.sa_handler")
+            .unwrap();
+        assert_eq!(kb.mem.read_uint(sh + off9, 8).unwrap(), SIG_DFL);
+    }
+
+    #[test]
+    fn pending_queue_and_mask() {
+        let (mut kb, st) = setup();
+        let sig = create_signal(&mut kb, &st, 3, &[9, 17]);
+        let (list_off, _) = kb
+            .types
+            .field_path(st.signal_struct, "shared_pending.list")
+            .unwrap();
+        assert_eq!(structops::list_iter(&kb.mem, sig + list_off).len(), 2);
+        let (mask_off, _) = kb
+            .types
+            .field_path(st.signal_struct, "shared_pending.signal.sig[0]")
+            .unwrap();
+        let mask = kb.mem.read_uint(sig + mask_off, 8).unwrap();
+        assert_eq!(mask, (1 << 8) | (1 << 16));
+    }
+}

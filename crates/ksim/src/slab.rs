@@ -1,0 +1,214 @@
+//! SLUB caches and slabs (ULK Fig 8-4, ported to the 6.1 allocator).
+//!
+//! Linux 6.1 replaced SLAB with SLUB; Table 2 marks Fig 8-4 as "underlying
+//! data structure underwent significant changes". We model the SLUB view:
+//! `kmem_cache` → per-node partial `slab` list, with `inuse`/`objects`/
+//! `frozen` packed as real bitfields and an in-slab freelist chain.
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct SlabTypes {
+    /// `struct kmem_cache`.
+    pub kmem_cache: TypeId,
+    /// `struct kmem_cache_node`.
+    pub kmem_cache_node: TypeId,
+    /// `struct slab` (the page-overlay descriptor).
+    pub slab: TypeId,
+}
+
+/// Register SLUB types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> SlabTypes {
+    let kc_fwd = reg.declare_struct("kmem_cache");
+    let kc_ptr = reg.pointer_to(kc_fwd);
+
+    let slab = StructBuilder::new("slab")
+        .field("__page_flags", common.u64_t)
+        .field("slab_cache", kc_ptr)
+        .field("slab_list", common.list_head)
+        .field("freelist", common.void_ptr)
+        .bitfield("inuse", common.u32_t, 16)
+        .bitfield("objects", common.u32_t, 15)
+        .bitfield("frozen", common.u32_t, 1)
+        .build(reg);
+
+    let kmem_cache_node = StructBuilder::new("kmem_cache_node")
+        .field("list_lock", common.spinlock)
+        .field("nr_partial", common.u64_t)
+        .field("partial", common.list_head)
+        .build(reg);
+    let node_ptr = reg.pointer_to(kmem_cache_node);
+    let nodes = reg.array_of(node_ptr, 1);
+
+    let kmem_cache = StructBuilder::new("kmem_cache")
+        .field("cpu_slab", common.void_ptr)
+        .field("flags", common.u32_t)
+        .field("min_partial", common.u64_t)
+        .field("size", common.u32_t)
+        .field("object_size", common.u32_t)
+        .field("offset", common.u32_t)
+        .field("oo", common.u32_t)
+        .field("name", common.char_ptr)
+        .field("list", common.list_head)
+        .field("node", nodes)
+        .build(reg);
+
+    SlabTypes {
+        kmem_cache,
+        kmem_cache_node,
+        slab,
+    }
+}
+
+/// The global cache registry.
+#[derive(Debug, Clone)]
+pub struct SlabState {
+    /// `slab_caches` list head address.
+    pub slab_caches: u64,
+    /// Created caches.
+    pub caches: Vec<u64>,
+}
+
+/// Create the global `slab_caches` list.
+pub fn create_slab_state(kb: &mut KernelBuilder, common: &CommonTypes) -> SlabState {
+    let head = kb.alloc_global("slab_caches", common.list_head);
+    structops::list_init(&mut kb.mem, head);
+    SlabState {
+        slab_caches: head,
+        caches: Vec::new(),
+    }
+}
+
+/// Create a `kmem_cache` named `name` with `nslabs` partial slabs, each
+/// holding `objects` objects of `object_size` bytes with `inuse` used.
+#[allow(clippy::too_many_arguments)] // Mirrors kmem_cache_create's shape.
+pub fn create_cache(
+    kb: &mut KernelBuilder,
+    st: &SlabTypes,
+    state: &mut SlabState,
+    name: &str,
+    object_size: u64,
+    nslabs: u64,
+    objects: u64,
+    inuse: u64,
+) -> u64 {
+    let kc = kb.alloc(st.kmem_cache);
+    let name_buf = kb.alloc_pagedata(name.len() as u64 + 1);
+    kb.mem.write_cstr(name_buf, name);
+
+    let node = kb.alloc(st.kmem_cache_node);
+    let partial_head;
+    {
+        let mut w = kb.obj(node, st.kmem_cache_node);
+        w.set("nr_partial", nslabs).unwrap();
+        partial_head = w.field_addr("partial").unwrap();
+    }
+    structops::list_init(&mut kb.mem, partial_head);
+
+    let list_node;
+    {
+        let mut w = kb.obj(kc, st.kmem_cache);
+        w.set("name", name_buf).unwrap();
+        w.set("object_size", object_size).unwrap();
+        w.set("size", object_size.next_power_of_two().max(8))
+            .unwrap();
+        w.set("min_partial", 5).unwrap();
+        w.set("node[0]", node).unwrap();
+        list_node = w.field_addr("list").unwrap();
+    }
+    structops::list_add_tail(&mut kb.mem, list_node, state.slab_caches);
+
+    let size = object_size.next_power_of_two().max(8);
+    for _ in 0..nslabs {
+        let slab = kb.alloc(st.slab);
+        // Back the slab with a data page holding the freelist chain.
+        let data = kb.alloc_pagedata(4096);
+        let mut free_head = 0u64;
+        for i in (inuse..objects).rev() {
+            let obj = data + i * size;
+            kb.mem.write_uint(obj, 8, free_head);
+            free_head = obj;
+        }
+        let slab_node;
+        {
+            let mut w = kb.obj(slab, st.slab);
+            w.set("slab_cache", kc).unwrap();
+            w.set("freelist", free_head).unwrap();
+            w.set("inuse", inuse).unwrap();
+            w.set("objects", objects).unwrap();
+            w.set("frozen", 0).unwrap();
+            slab_node = w.field_addr("slab_list").unwrap();
+        }
+        structops::list_add_tail(&mut kb.mem, slab_node, partial_head);
+    }
+
+    state.caches.push(kc);
+    kc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KernelBuilder, SlabTypes, SlabState) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let st = register_types(&mut kb.types, &common);
+        let state = create_slab_state(&mut kb, &common);
+        (kb, st, state)
+    }
+
+    #[test]
+    fn slab_bitfields_pack_into_one_word() {
+        let (kb, st, _) = setup();
+        let def = kb.types.struct_def(st.slab).unwrap();
+        let inuse = def.field("inuse").unwrap();
+        let objects = def.field("objects").unwrap();
+        let frozen = def.field("frozen").unwrap();
+        assert_eq!(inuse.offset, objects.offset);
+        assert_eq!(objects.offset, frozen.offset);
+        assert_eq!(inuse.bit.unwrap().shift, 0);
+        assert_eq!(objects.bit.unwrap().shift, 16);
+        assert_eq!(frozen.bit.unwrap().shift, 31);
+    }
+
+    #[test]
+    fn freelist_chains_free_objects() {
+        let (mut kb, st, mut state) = setup();
+        let kc = create_cache(&mut kb, &st, &mut state, "kmalloc-64", 64, 1, 8, 3);
+        let (node_off, _) = kb.types.field_path(st.kmem_cache, "node[0]").unwrap();
+        let node = kb.mem.read_uint(kc + node_off, 8).unwrap();
+        let (partial_off, _) = kb.types.field_path(st.kmem_cache_node, "partial").unwrap();
+        let slabs = structops::list_iter(&kb.mem, node + partial_off);
+        assert_eq!(slabs.len(), 1);
+        let (sl_off, _) = kb.types.field_path(st.slab, "slab_list").unwrap();
+        let slab = structops::container_of(slabs[0], sl_off);
+        let (fl_off, _) = kb.types.field_path(st.slab, "freelist").unwrap();
+        let mut cur = kb.mem.read_uint(slab + fl_off, 8).unwrap();
+        let mut count = 0;
+        while cur != 0 {
+            cur = kb.mem.read_uint(cur, 8).unwrap();
+            count += 1;
+            assert!(count < 100);
+        }
+        assert_eq!(count, 5, "8 objects - 3 in use = 5 free");
+    }
+
+    #[test]
+    fn caches_list_in_creation_order() {
+        let (mut kb, st, mut state) = setup();
+        let a = create_cache(&mut kb, &st, &mut state, "task_struct", 2048, 2, 16, 10);
+        let b = create_cache(&mut kb, &st, &mut state, "maple_node", 256, 1, 16, 12);
+        let (list_off, _) = kb.types.field_path(st.kmem_cache, "list").unwrap();
+        let got: Vec<u64> = structops::list_iter(&kb.mem, state.slab_caches)
+            .into_iter()
+            .map(|n| structops::container_of(n, list_off))
+            .collect();
+        assert_eq!(got, vec![a, b]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Wiring for intrusive kernel data structures.
+//!
+//! These functions manipulate raw target memory the way the kernel's
+//! `list_add_tail`, `hlist_add_head` and `rb_insert_color` leave it, so the
+//! image is indistinguishable from a stopped live kernel to anything that
+//! only reads memory.
+
+use kmem::Mem;
+
+/// Offset of `next` / `first` within `list_head` / `hlist_head`.
+const NEXT: u64 = 0;
+/// Offset of `prev` / `pprev` within `list_head` / `hlist_node`.
+const PREV: u64 = 8;
+
+/// `container_of`: recover the enclosing object address from the address of
+/// an embedded member at byte `offset`.
+pub fn container_of(member_addr: u64, offset: u64) -> u64 {
+    member_addr.wrapping_sub(offset)
+}
+
+/// Initialize a `list_head` to the empty circular list (`next == prev ==
+/// &head`).
+pub fn list_init(mem: &mut Mem, head: u64) {
+    mem.write_uint(head + NEXT, 8, head);
+    mem.write_uint(head + PREV, 8, head);
+}
+
+/// Insert `node` at the tail of the circular list `head`
+/// (kernel `list_add_tail`).
+pub fn list_add_tail(mem: &mut Mem, node: u64, head: u64) {
+    let prev = mem
+        .read_uint(head + PREV, 8)
+        .expect("list head must be mapped");
+    // prev <-> node <-> head
+    mem.write_uint(node + NEXT, 8, head);
+    mem.write_uint(node + PREV, 8, prev);
+    mem.write_uint(prev + NEXT, 8, node);
+    mem.write_uint(head + PREV, 8, node);
+}
+
+/// Collect the node addresses of a circular list, excluding the head.
+pub fn list_iter(mem: &Mem, head: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut cur = mem
+        .read_uint(head + NEXT, 8)
+        .expect("list head must be mapped");
+    while cur != head && cur != 0 {
+        out.push(cur);
+        cur = mem
+            .read_uint(cur + NEXT, 8)
+            .expect("list node must be mapped");
+        if out.len() > 1_000_000 {
+            panic!("list at {head:#x} does not terminate");
+        }
+    }
+    out
+}
+
+/// Initialize an `hlist_head` to empty.
+pub fn hlist_init(mem: &mut Mem, head: u64) {
+    mem.write_uint(head, 8, 0);
+}
+
+/// Insert `node` at the head of the hash list `head`
+/// (kernel `hlist_add_head`).
+pub fn hlist_add_head(mem: &mut Mem, node: u64, head: u64) {
+    let first = mem.read_uint(head, 8).expect("hlist head must be mapped");
+    mem.write_uint(node + NEXT, 8, first);
+    if first != 0 {
+        // first->pprev = &node->next
+        mem.write_uint(first + PREV, 8, node + NEXT);
+    }
+    mem.write_uint(head, 8, node);
+    // node->pprev = &head->first
+    mem.write_uint(node + PREV, 8, head);
+}
+
+/// Collect the node addresses of an hlist.
+pub fn hlist_iter(mem: &Mem, head: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut cur = mem.read_uint(head, 8).expect("hlist head must be mapped");
+    while cur != 0 {
+        out.push(cur);
+        cur = mem
+            .read_uint(cur + NEXT, 8)
+            .expect("hlist node must be mapped");
+        if out.len() > 1_000_000 {
+            panic!("hlist at {head:#x} does not terminate");
+        }
+    }
+    out
+}
+
+/// Offsets within `struct rb_node`.
+const RB_PARENT_COLOR: u64 = 0;
+/// `rb_right` offset.
+const RB_RIGHT: u64 = 8;
+/// `rb_left` offset.
+const RB_LEFT: u64 = 16;
+/// Color bit values packed into `__rb_parent_color` (kernel encoding).
+pub const RB_RED: u64 = 0;
+/// Black color bit.
+pub const RB_BLACK: u64 = 1;
+
+/// Build a valid red-black tree over `nodes` (addresses of embedded
+/// `rb_node`s, already sorted by key ascending) and link it under
+/// `root` (`struct rb_root`, i.e. a single `rb_node *` slot).
+///
+/// The shape is the balanced BST over the sorted sequence; nodes on the
+/// deepest (incomplete) level are colored red, all others black, which
+/// satisfies every red-black invariant. Returns the leftmost node (for
+/// `rb_root_cached.rb_leftmost`), or 0 if empty.
+pub fn rb_build(mem: &mut Mem, root: u64, nodes: &[u64]) -> u64 {
+    fn depth_of(n: usize) -> u32 {
+        // Depth of a complete balanced BST over n nodes.
+        usize::BITS - n.leading_zeros()
+    }
+    fn build(mem: &mut Mem, nodes: &[u64], parent: u64, level: u32, max: u32) -> u64 {
+        if nodes.is_empty() {
+            return 0;
+        }
+        let mid = nodes.len() / 2;
+        let node = nodes[mid];
+        let color = if level == max { RB_RED } else { RB_BLACK };
+        mem.write_uint(node + RB_PARENT_COLOR, 8, parent | color);
+        let left = build(mem, &nodes[..mid], node, level + 1, max);
+        let right = build(mem, &nodes[mid + 1..], node, level + 1, max);
+        mem.write_uint(node + RB_LEFT, 8, left);
+        mem.write_uint(node + RB_RIGHT, 8, right);
+        node
+    }
+    let max = depth_of(nodes.len());
+    let top = build(mem, nodes, 0, 1, max);
+    mem.write_uint(root, 8, top);
+    nodes.first().copied().unwrap_or(0)
+}
+
+/// In-order traversal of an rb-tree given its top node address.
+pub fn rb_inorder(mem: &Mem, node: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    fn walk(mem: &Mem, n: u64, out: &mut Vec<u64>) {
+        if n == 0 {
+            return;
+        }
+        let left = mem.read_uint(n + RB_LEFT, 8).expect("rb node mapped");
+        let right = mem.read_uint(n + RB_RIGHT, 8).expect("rb node mapped");
+        walk(mem, left, out);
+        out.push(n);
+        walk(mem, right, out);
+    }
+    walk(mem, node, &mut out);
+    out
+}
+
+/// The color of an rb node (RB_RED or RB_BLACK).
+pub fn rb_color(mem: &Mem, node: u64) -> u64 {
+    mem.read_uint(node + RB_PARENT_COLOR, 8)
+        .expect("rb node mapped")
+        & 1
+}
+
+/// The parent of an rb node (0 for the top node).
+pub fn rb_parent(mem: &Mem, node: u64) -> u64 {
+    mem.read_uint(node + RB_PARENT_COLOR, 8)
+        .expect("rb node mapped")
+        & !3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mem_with(addrs: &[u64]) -> Mem {
+        let mut m = Mem::new();
+        for &a in addrs {
+            m.map(a, 24);
+        }
+        m
+    }
+
+    #[test]
+    fn empty_list_is_self_cycle() {
+        let mut m = Mem::new();
+        m.map(0x1000, 16);
+        list_init(&mut m, 0x1000);
+        assert_eq!(list_iter(&m, 0x1000), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn list_add_tail_preserves_order() {
+        let mut m = mem_with(&[0x1000, 0x2000, 0x3000, 0x4000]);
+        list_init(&mut m, 0x1000);
+        for n in [0x2000, 0x3000, 0x4000] {
+            list_add_tail(&mut m, n, 0x1000);
+        }
+        assert_eq!(list_iter(&m, 0x1000), vec![0x2000, 0x3000, 0x4000]);
+        // Backward links are consistent.
+        assert_eq!(m.read_uint(0x1000 + PREV, 8).unwrap(), 0x4000);
+        assert_eq!(m.read_uint(0x3000 + PREV, 8).unwrap(), 0x2000);
+    }
+
+    #[test]
+    fn hlist_add_head_reverses_order() {
+        let mut m = mem_with(&[0x1000, 0x2000, 0x3000]);
+        hlist_init(&mut m, 0x1000);
+        hlist_add_head(&mut m, 0x2000, 0x1000);
+        hlist_add_head(&mut m, 0x3000, 0x1000);
+        assert_eq!(hlist_iter(&m, 0x1000), vec![0x3000, 0x2000]);
+        // pprev of the first node points back at the head slot.
+        assert_eq!(m.read_uint(0x3000 + PREV, 8).unwrap(), 0x1000);
+        assert_eq!(m.read_uint(0x2000 + PREV, 8).unwrap(), 0x3000 + NEXT);
+    }
+
+    #[test]
+    fn container_of_inverts_member_address() {
+        assert_eq!(container_of(0x2010, 0x10), 0x2000);
+    }
+
+    fn black_height(mem: &Mem, n: u64) -> u32 {
+        if n == 0 {
+            return 1;
+        }
+        let l = mem.read_uint(n + RB_LEFT, 8).unwrap();
+        let r = mem.read_uint(n + RB_RIGHT, 8).unwrap();
+        let (hl, hr) = (black_height(mem, l), black_height(mem, r));
+        assert_eq!(hl, hr, "black height must match at {n:#x}");
+        hl + (rb_color(mem, n) == RB_BLACK) as u32
+    }
+
+    fn no_red_red(mem: &Mem, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let l = mem.read_uint(n + RB_LEFT, 8).unwrap();
+        let r = mem.read_uint(n + RB_RIGHT, 8).unwrap();
+        if rb_color(mem, n) == RB_RED {
+            for c in [l, r] {
+                if c != 0 {
+                    assert_eq!(rb_color(mem, c), RB_BLACK, "red node has red child");
+                }
+            }
+        }
+        no_red_red(mem, l);
+        no_red_red(mem, r);
+    }
+
+    #[test]
+    fn rb_build_small_trees_are_valid() {
+        for n in 0..20u64 {
+            let addrs: Vec<u64> = (0..n).map(|i| 0x1_0000 + i * 0x100).collect();
+            let mut m = mem_with(&addrs);
+            m.map(0x500, 8);
+            let leftmost = rb_build(&mut m, 0x500, &addrs);
+            let top = m.read_uint(0x500, 8).unwrap();
+            assert_eq!(rb_inorder(&m, top), addrs, "inorder must equal input");
+            if n > 0 {
+                assert_eq!(leftmost, addrs[0]);
+                assert_eq!(rb_parent(&m, top), 0);
+            }
+            black_height(&m, top);
+            no_red_red(&m, top);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rb_build_is_valid_red_black(n in 0usize..200) {
+            let addrs: Vec<u64> = (0..n as u64).map(|i| 0x10_0000 + i * 0x40).collect();
+            let mut m = mem_with(&addrs);
+            m.map(0x500, 8);
+            rb_build(&mut m, 0x500, &addrs);
+            let top = m.read_uint(0x500, 8).unwrap();
+            prop_assert_eq!(rb_inorder(&m, top), addrs);
+            black_height(&m, top);
+            no_red_red(&m, top);
+        }
+
+        #[test]
+        fn prop_list_round_trip(n in 0usize..64) {
+            let head = 0x8000u64;
+            let nodes: Vec<u64> = (0..n as u64).map(|i| 0x9000 + i * 0x20).collect();
+            let mut m = mem_with(&nodes);
+            m.map(head, 16);
+            list_init(&mut m, head);
+            for &nd in &nodes {
+                list_add_tail(&mut m, nd, head);
+            }
+            prop_assert_eq!(list_iter(&m, head), nodes);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Swap area descriptors (ULK Fig 17-6).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+
+/// `MAX_SWAPFILES` (simplified).
+pub const MAX_SWAPFILES: u64 = 4;
+/// `SWP_USED` flag.
+pub const SWP_USED: u64 = 0x01;
+/// `SWP_WRITEOK` flag.
+pub const SWP_WRITEOK: u64 = 0x02;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct SwapTypes {
+    /// `struct swap_info_struct`.
+    pub swap_info_struct: TypeId,
+}
+
+/// Register swap types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> SwapTypes {
+    let bdev_fwd = reg.declare_struct("block_device");
+    let bdev_ptr = reg.pointer_to(bdev_fwd);
+    let file_fwd = reg.declare_struct("file");
+    let file_ptr = reg.pointer_to(file_fwd);
+    let u8_ptr = reg.pointer_to(common.u8_t);
+
+    let swap_info_struct = StructBuilder::new("swap_info_struct")
+        .field("lock", common.spinlock)
+        .field("flags", common.u64_t)
+        .field("prio", common.int_t)
+        .field("type", common.int_t)
+        .field("max", common.u32_t)
+        .field("swap_map", u8_ptr)
+        .field("lowest_bit", common.u32_t)
+        .field("highest_bit", common.u32_t)
+        .field("pages", common.u32_t)
+        .field("inuse_pages", common.u32_t)
+        .field("bdev", bdev_ptr)
+        .field("swap_file", file_ptr)
+        .build(reg);
+
+    reg.define_const("SWP_USED", SWP_USED as i64);
+    reg.define_const("SWP_WRITEOK", SWP_WRITEOK as i64);
+    reg.define_const("MAX_SWAPFILES", MAX_SWAPFILES as i64);
+
+    SwapTypes { swap_info_struct }
+}
+
+/// Swap registry: the `swap_info` pointer array and `nr_swapfiles`.
+#[derive(Debug, Clone)]
+pub struct SwapState {
+    /// `swap_info[MAX_SWAPFILES]` array address.
+    pub swap_info: u64,
+    /// `nr_swapfiles` global address.
+    pub nr_swapfiles: u64,
+    /// Created descriptors.
+    pub areas: Vec<u64>,
+}
+
+/// Create the `swap_info` global array.
+pub fn create_swap_state(kb: &mut KernelBuilder, st: &SwapTypes) -> SwapState {
+    let ptr = kb.types.pointer_to(st.swap_info_struct);
+    let arr = kb.types.array_of(ptr, MAX_SWAPFILES);
+    let swap_info = kb.alloc_global("swap_info", arr);
+    let nr = kb.alloc_global("nr_swapfiles", kb.common.int_t);
+    SwapState {
+        swap_info,
+        nr_swapfiles: nr,
+        areas: Vec::new(),
+    }
+}
+
+/// Register a swap area of `pages` pages with `inuse` in use.
+pub fn create_swap_area(
+    kb: &mut KernelBuilder,
+    st: &SwapTypes,
+    state: &mut SwapState,
+    prio: i64,
+    pages: u64,
+    inuse: u64,
+    bdev: u64,
+) -> u64 {
+    let idx = state.areas.len() as u64;
+    assert!(idx < MAX_SWAPFILES);
+    let si = kb.alloc(st.swap_info_struct);
+    // The swap_map: one byte refcount per slot.
+    let map = kb.alloc_pagedata(pages.max(1));
+    for i in 0..inuse {
+        kb.mem.write(map + i, &[1]);
+    }
+    {
+        let mut w = kb.obj(si, st.swap_info_struct);
+        w.set("flags", SWP_USED | SWP_WRITEOK).unwrap();
+        w.set_i64("prio", prio).unwrap();
+        w.set_i64("type", idx as i64).unwrap();
+        w.set("max", pages).unwrap();
+        w.set("swap_map", map).unwrap();
+        w.set("lowest_bit", 1).unwrap();
+        w.set("highest_bit", pages.saturating_sub(1)).unwrap();
+        w.set("pages", pages).unwrap();
+        w.set("inuse_pages", inuse).unwrap();
+        w.set("bdev", bdev).unwrap();
+    }
+    kb.mem.write_uint(state.swap_info + idx * 8, 8, si);
+    state.areas.push(si);
+    let n = state.areas.len() as u64;
+    kb.mem.write_uint(state.nr_swapfiles, 4, n);
+    si
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_info_array_holds_descriptors() {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let st = register_types(&mut kb.types, &common);
+        let mut state = create_swap_state(&mut kb, &st);
+        let a = create_swap_area(&mut kb, &st, &mut state, -2, 1024, 100, 0);
+        let b = create_swap_area(&mut kb, &st, &mut state, -3, 2048, 0, 0);
+        assert_eq!(kb.mem.read_uint(state.swap_info, 8).unwrap(), a);
+        assert_eq!(kb.mem.read_uint(state.swap_info + 8, 8).unwrap(), b);
+        assert_eq!(kb.mem.read_uint(state.nr_swapfiles, 4).unwrap(), 2);
+        // swap_map bytes reflect inuse.
+        let (map_off, _) = kb
+            .types
+            .field_path(st.swap_info_struct, "swap_map")
+            .unwrap();
+        let map = kb.mem.read_uint(a + map_off, 8).unwrap();
+        assert_eq!(kb.mem.read_uint(map, 1).unwrap(), 1);
+        assert_eq!(kb.mem.read_uint(map + 100, 1).unwrap(), 0);
+    }
+}

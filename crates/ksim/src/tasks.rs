@@ -1,0 +1,388 @@
+//! `task_struct` and the process tree (ULK Fig 3-4 substrate).
+//!
+//! The simulated `task_struct` carries the subset of Linux 6.1's ~700
+//! fields that the paper's figures display: identity, state, scheduling
+//! entity, parent/children/sibling links, the global task list, and
+//! pointers into every other subsystem (mm, files, fs, signal, pid).
+//! Layout is computed with real C rules, so `container_of(ptr, task_struct,
+//! tasks)` arithmetic works on raw addresses.
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// Task state bits (`include/linux/sched.h`).
+pub const TASK_RUNNING: u64 = 0x0000;
+/// Interruptible sleep.
+pub const TASK_INTERRUPTIBLE: u64 = 0x0001;
+/// Uninterruptible sleep.
+pub const TASK_UNINTERRUPTIBLE: u64 = 0x0002;
+/// Stopped.
+pub const TASK_STOPPED: u64 = 0x0004;
+/// Kernel thread flag in `task_struct.flags` (`PF_KTHREAD`).
+pub const PF_KTHREAD: u64 = 0x0020_0000;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskTypes {
+    /// `struct task_struct`.
+    pub task_struct: TypeId,
+    /// `struct sched_entity` (embedded in `task_struct`).
+    pub sched_entity: TypeId,
+    /// `struct load_weight`.
+    pub load_weight: TypeId,
+}
+
+/// Register `task_struct` and its embedded types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> TaskTypes {
+    let load_weight = StructBuilder::new("load_weight")
+        .field("weight", common.u64_t)
+        .field("inv_weight", common.u32_t)
+        .build(reg);
+
+    let sched_entity = StructBuilder::new("sched_entity")
+        .field("load", load_weight)
+        .field("run_node", common.rb_node)
+        .field("group_node", common.list_head)
+        .field("on_rq", common.u32_t)
+        .field("exec_start", common.u64_t)
+        .field("sum_exec_runtime", common.u64_t)
+        .field("vruntime", common.u64_t)
+        .field("prev_sum_exec_runtime", common.u64_t)
+        .build(reg);
+
+    // Forward declarations for the subsystems a task points into.
+    let task_fwd = reg.declare_struct("task_struct");
+    let task_ptr = reg.pointer_to(task_fwd);
+    let mm = reg.declare_struct("mm_struct");
+    let mm_ptr = reg.pointer_to(mm);
+    let files = reg.declare_struct("files_struct");
+    let files_ptr = reg.pointer_to(files);
+    let fs = reg.declare_struct("fs_struct");
+    let fs_ptr = reg.pointer_to(fs);
+    let signal = reg.declare_struct("signal_struct");
+    let signal_ptr = reg.pointer_to(signal);
+    let sighand = reg.declare_struct("sighand_struct");
+    let sighand_ptr = reg.pointer_to(sighand);
+    let pid_s = reg.declare_struct("pid");
+    let pid_ptr = reg.pointer_to(pid_s);
+
+    let comm = reg.array_of(common.char_t, 16);
+    let pid_links = reg.array_of(common.hlist_node, 4);
+
+    let task_struct = StructBuilder::new("task_struct")
+        .field("__state", common.u32_t)
+        .field("stack", common.void_ptr)
+        .field("flags", common.u32_t)
+        .field("on_cpu", common.int_t)
+        .field("cpu", common.int_t)
+        .field("on_rq", common.int_t)
+        .field("prio", common.int_t)
+        .field("static_prio", common.int_t)
+        .field("normal_prio", common.int_t)
+        .field("se", sched_entity)
+        .field("tasks", common.list_head)
+        .field("mm", mm_ptr)
+        .field("active_mm", mm_ptr)
+        .field("exit_state", common.int_t)
+        .field("exit_code", common.int_t)
+        .field("pid", common.int_t)
+        .field("tgid", common.int_t)
+        .field("real_parent", task_ptr)
+        .field("parent", task_ptr)
+        .field("children", common.list_head)
+        .field("sibling", common.list_head)
+        .field("group_leader", task_ptr)
+        .field("thread_group", common.list_head)
+        .field("thread_pid", pid_ptr)
+        .field("pid_links", pid_links)
+        .field("utime", common.u64_t)
+        .field("stime", common.u64_t)
+        .field("start_time", common.u64_t)
+        .field("comm", comm)
+        .field("fs", fs_ptr)
+        .field("files", files_ptr)
+        .field("signal", signal_ptr)
+        .field("sighand", sighand_ptr)
+        .build(reg);
+
+    reg.define_const("TASK_RUNNING", TASK_RUNNING as i64);
+    reg.define_const("TASK_INTERRUPTIBLE", TASK_INTERRUPTIBLE as i64);
+    reg.define_const("TASK_UNINTERRUPTIBLE", TASK_UNINTERRUPTIBLE as i64);
+    reg.define_const("TASK_STOPPED", TASK_STOPPED as i64);
+    reg.define_const("PF_KTHREAD", PF_KTHREAD as i64);
+
+    TaskTypes {
+        task_struct,
+        sched_entity,
+        load_weight,
+    }
+}
+
+/// Parameters for creating one task.
+#[derive(Debug, Clone)]
+pub struct TaskParams {
+    /// Process id.
+    pub pid: i32,
+    /// Thread-group id (equals `pid` for group leaders).
+    pub tgid: i32,
+    /// Command name (truncated to 15 bytes).
+    pub comm: String,
+    /// `__state` word.
+    pub state: u64,
+    /// `flags` word (e.g. [`PF_KTHREAD`]).
+    pub flags: u64,
+    /// Dynamic priority.
+    pub prio: i32,
+    /// CFS virtual runtime.
+    pub vruntime: u64,
+    /// CPU the task last ran on.
+    pub cpu: i32,
+}
+
+impl Default for TaskParams {
+    fn default() -> Self {
+        TaskParams {
+            pid: 0,
+            tgid: 0,
+            comm: "swapper/0".into(),
+            state: TASK_RUNNING,
+            flags: 0,
+            prio: 120,
+            vruntime: 0,
+            cpu: 0,
+        }
+    }
+}
+
+/// Create a `task_struct` on the heap with empty child/thread lists.
+pub fn create_task(kb: &mut KernelBuilder, tt: &TaskTypes, p: &TaskParams) -> u64 {
+    let addr = kb.alloc(tt.task_struct);
+    init_task_at(kb, tt, addr, p);
+    addr
+}
+
+/// Initialize a `task_struct` at a fixed address (used for the `init_task`
+/// global).
+pub fn init_task_at(kb: &mut KernelBuilder, tt: &TaskTypes, addr: u64, p: &TaskParams) {
+    let children;
+    let sibling;
+    let thread_group;
+    let tasks;
+    {
+        let mut w = kb.obj(addr, tt.task_struct);
+        w.set("__state", p.state).unwrap();
+        w.set_i64("pid", p.pid as i64).unwrap();
+        w.set_i64("tgid", p.tgid as i64).unwrap();
+        w.set("flags", p.flags).unwrap();
+        w.set_i64("prio", p.prio as i64).unwrap();
+        w.set_i64("static_prio", 120).unwrap();
+        w.set_i64("normal_prio", p.prio as i64).unwrap();
+        w.set_i64("cpu", p.cpu as i64).unwrap();
+        w.set("se.vruntime", p.vruntime).unwrap();
+        w.set("se.load.weight", 1024 * 1024).unwrap();
+        w.set_str("comm", &p.comm).unwrap();
+        w.set("group_leader", addr).unwrap();
+        children = w.field_addr("children").unwrap();
+        sibling = w.field_addr("sibling").unwrap();
+        thread_group = w.field_addr("thread_group").unwrap();
+        tasks = w.field_addr("tasks").unwrap();
+    }
+    structops::list_init(&mut kb.mem, children);
+    structops::list_init(&mut kb.mem, sibling);
+    structops::list_init(&mut kb.mem, thread_group);
+    structops::list_init(&mut kb.mem, tasks);
+}
+
+/// Make `child` a child of `parent`: set parent pointers and splice the
+/// child's `sibling` node into the parent's `children` list.
+pub fn adopt(kb: &mut KernelBuilder, tt: &TaskTypes, child: u64, parent: u64) {
+    let children_head = kb
+        .obj(parent, tt.task_struct)
+        .field_addr("children")
+        .unwrap();
+    let sibling_node;
+    {
+        let mut w = kb.obj(child, tt.task_struct);
+        w.set("parent", parent).unwrap();
+        w.set("real_parent", parent).unwrap();
+        sibling_node = w.field_addr("sibling").unwrap();
+    }
+    structops::list_add_tail(&mut kb.mem, sibling_node, children_head);
+}
+
+/// Add `thread` to `leader`'s thread group.
+pub fn join_thread_group(kb: &mut KernelBuilder, tt: &TaskTypes, thread: u64, leader: u64) {
+    let head = kb
+        .obj(leader, tt.task_struct)
+        .field_addr("thread_group")
+        .unwrap();
+    let node;
+    {
+        let mut w = kb.obj(thread, tt.task_struct);
+        w.set("group_leader", leader).unwrap();
+        node = w.field_addr("thread_group").unwrap();
+    }
+    structops::list_add_tail(&mut kb.mem, node, head);
+}
+
+/// Splice `task` into the global task list headed at `init_task.tasks`.
+pub fn link_global(kb: &mut KernelBuilder, tt: &TaskTypes, task: u64, init_task: u64) {
+    let head = kb
+        .obj(init_task, tt.task_struct)
+        .field_addr("tasks")
+        .unwrap();
+    let node = kb.obj(task, tt.task_struct).field_addr("tasks").unwrap();
+    structops::list_add_tail(&mut kb.mem, node, head);
+}
+
+/// Read back a task's children addresses by walking the sibling list —
+/// the same `container_of` walk `list_for_each_entry` compiles to.
+pub fn children_of(kb: &KernelBuilder, tt: &TaskTypes, parent: u64) -> Vec<u64> {
+    let reg = &kb.types;
+    let (children_off, _) = reg.field_path(tt.task_struct, "children").unwrap();
+    let (sibling_off, _) = reg.field_path(tt.task_struct, "sibling").unwrap();
+    structops::list_iter(&kb.mem, parent + children_off)
+        .into_iter()
+        .map(|n| structops::container_of(n, sibling_off))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KernelBuilder, TaskTypes) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let tt = register_types(&mut kb.types, &common);
+        (kb, tt)
+    }
+
+    #[test]
+    fn task_struct_layout_is_nontrivial() {
+        let (kb, tt) = setup();
+        let size = kb.types.size_of(tt.task_struct);
+        assert!(
+            size > 200,
+            "task_struct should be a large object, got {size}"
+        );
+        let def = kb.types.struct_def(tt.task_struct).unwrap();
+        // comm is a char[16] like the real kernel.
+        let comm = def.field("comm").unwrap();
+        assert_eq!(kb.types.size_of(comm.ty), 16);
+    }
+
+    #[test]
+    fn create_and_read_back_through_memory() {
+        let (mut kb, tt) = setup();
+        let t = create_task(
+            &mut kb,
+            &tt,
+            &TaskParams {
+                pid: 42,
+                tgid: 42,
+                comm: "bash".into(),
+                ..Default::default()
+            },
+        );
+        let reg = &kb.types;
+        let (pid_off, _) = reg.field_path(tt.task_struct, "pid").unwrap();
+        let (comm_off, _) = reg.field_path(tt.task_struct, "comm").unwrap();
+        assert_eq!(kb.mem.read_int(t + pid_off, 4).unwrap(), 42);
+        assert_eq!(kb.mem.read_cstr(t + comm_off, 16).unwrap(), "bash");
+    }
+
+    #[test]
+    fn parenthood_tree_walks_via_container_of() {
+        let (mut kb, tt) = setup();
+        let init = create_task(
+            &mut kb,
+            &tt,
+            &TaskParams {
+                pid: 1,
+                ..Default::default()
+            },
+        );
+        let mut kids = Vec::new();
+        for pid in 2..6 {
+            let c = create_task(
+                &mut kb,
+                &tt,
+                &TaskParams {
+                    pid,
+                    ..Default::default()
+                },
+            );
+            adopt(&mut kb, &tt, c, init);
+            kids.push(c);
+        }
+        assert_eq!(children_of(&kb, &tt, init), kids);
+        // Parent pointer is readable from raw memory.
+        let (parent_off, _) = kb.types.field_path(tt.task_struct, "parent").unwrap();
+        assert_eq!(kb.mem.read_uint(kids[0] + parent_off, 8).unwrap(), init);
+    }
+
+    #[test]
+    fn thread_group_links() {
+        let (mut kb, tt) = setup();
+        let leader = create_task(
+            &mut kb,
+            &tt,
+            &TaskParams {
+                pid: 10,
+                tgid: 10,
+                ..Default::default()
+            },
+        );
+        let t1 = create_task(
+            &mut kb,
+            &tt,
+            &TaskParams {
+                pid: 11,
+                tgid: 10,
+                ..Default::default()
+            },
+        );
+        join_thread_group(&mut kb, &tt, t1, leader);
+        let (tg_off, _) = kb.types.field_path(tt.task_struct, "thread_group").unwrap();
+        let nodes = structops::list_iter(&kb.mem, leader + tg_off);
+        assert_eq!(nodes, vec![t1 + tg_off]);
+        let (gl_off, _) = kb.types.field_path(tt.task_struct, "group_leader").unwrap();
+        assert_eq!(kb.mem.read_uint(t1 + gl_off, 8).unwrap(), leader);
+    }
+
+    #[test]
+    fn global_task_list_collects_everyone() {
+        let (mut kb, tt) = setup();
+        let init = create_task(
+            &mut kb,
+            &tt,
+            &TaskParams {
+                pid: 1,
+                ..Default::default()
+            },
+        );
+        let mut expect = Vec::new();
+        for pid in 2..8 {
+            let t = create_task(
+                &mut kb,
+                &tt,
+                &TaskParams {
+                    pid,
+                    ..Default::default()
+                },
+            );
+            link_global(&mut kb, &tt, t, init);
+            expect.push(t);
+        }
+        let (tasks_off, _) = kb.types.field_path(tt.task_struct, "tasks").unwrap();
+        let got: Vec<u64> = structops::list_iter(&kb.mem, init + tasks_off)
+            .into_iter()
+            .map(|n| structops::container_of(n, tasks_off))
+            .collect();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,180 @@
+//! The timer wheel (ULK Fig 6-1, "dynamic timers").
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// Buckets in the simulated wheel (the real kernel has 576; the figure
+/// only needs enough to show the bucketing structure).
+pub const WHEEL_SIZE: u64 = 64;
+/// Bits per wheel level.
+pub const LVL_BITS: u64 = 6;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct TimerTypes {
+    /// `struct timer_list`.
+    pub timer_list: TypeId,
+    /// `struct timer_base` (per CPU).
+    pub timer_base: TypeId,
+}
+
+/// Register timer types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> TimerTypes {
+    let timer_fn = reg.func("void (*)(struct timer_list *)");
+    let timer_fn_ptr = reg.pointer_to(timer_fn);
+    let timer_list = StructBuilder::new("timer_list")
+        .field("entry", common.hlist_node)
+        .field("expires", common.u64_t)
+        .field("function", timer_fn_ptr)
+        .field("flags", common.u32_t)
+        .build(reg);
+    let timer_ptr = reg.pointer_to(timer_list);
+
+    let vectors = reg.array_of(common.hlist_head, WHEEL_SIZE);
+    let timer_base = StructBuilder::new("timer_base")
+        .field("lock", common.spinlock)
+        .field("running_timer", timer_ptr)
+        .field("clk", common.u64_t)
+        .field("next_expiry", common.u64_t)
+        .field("cpu", common.u32_t)
+        .field("timers_pending", common.bool_t)
+        .field("vectors", vectors)
+        .build(reg);
+
+    reg.define_const("WHEEL_SIZE", WHEEL_SIZE as i64);
+
+    TimerTypes {
+        timer_list,
+        timer_base,
+    }
+}
+
+/// The built per-CPU timer bases plus the `jiffies` global.
+#[derive(Debug, Clone)]
+pub struct TimerState {
+    /// `timer_bases` per-cpu array address.
+    pub bases: u64,
+    /// Size of one base.
+    pub base_size: u64,
+    /// Address of the `jiffies` global.
+    pub jiffies: u64,
+}
+
+impl TimerState {
+    /// The timer base of `cpu`.
+    pub fn base(&self, cpu: u64) -> u64 {
+        self.bases + cpu * self.base_size
+    }
+}
+
+/// Allocate per-CPU timer bases and the `jiffies` counter.
+pub fn create_timer_bases(kb: &mut KernelBuilder, tt: &TimerTypes, jiffies: u64) -> TimerState {
+    let ncpus = crate::sched::NR_CPUS;
+    let arr = kb.types.array_of(tt.timer_base, ncpus);
+    let bases = kb.alloc_percpu(arr);
+    kb.symbols.define_object("timer_bases", bases, arr);
+    let base_size = kb.types.size_of(tt.timer_base);
+
+    let jf = kb.alloc_global("jiffies", kb.common.u64_t);
+    kb.mem.write_uint(jf, 8, jiffies);
+
+    for cpu in 0..ncpus {
+        let addr = bases + cpu * base_size;
+        let mut w = kb.obj(addr, tt.timer_base);
+        w.set("cpu", cpu).unwrap();
+        w.set("clk", jiffies).unwrap();
+        drop(w);
+        let (v_off, _) = kb.types.field_path(tt.timer_base, "vectors").unwrap();
+        for i in 0..WHEEL_SIZE {
+            structops::hlist_init(&mut kb.mem, addr + v_off + 8 * i);
+        }
+    }
+    TimerState {
+        bases,
+        base_size,
+        jiffies: jf,
+    }
+}
+
+/// Bucket index for an expiry time (single-level approximation of
+/// `calc_wheel_index`).
+pub fn wheel_index(expires: u64) -> u64 {
+    expires & (WHEEL_SIZE - 1)
+}
+
+/// Arm a timer expiring at `expires` running `func_sym` on `cpu`.
+pub fn add_timer(
+    kb: &mut KernelBuilder,
+    tt: &TimerTypes,
+    state: &TimerState,
+    cpu: u64,
+    expires: u64,
+    func_sym: &str,
+) -> u64 {
+    let timer = kb.alloc(tt.timer_list);
+    let f = kb.func_sym(func_sym);
+    let entry;
+    {
+        let mut w = kb.obj(timer, tt.timer_list);
+        w.set("expires", expires).unwrap();
+        w.set("function", f).unwrap();
+        w.set("flags", cpu).unwrap();
+        entry = w.field_addr("entry").unwrap();
+    }
+    let (v_off, _) = kb.types.field_path(tt.timer_base, "vectors").unwrap();
+    let bucket = state.base(cpu) + v_off + 8 * wheel_index(expires);
+    structops::hlist_add_head(&mut kb.mem, entry, bucket);
+    let mut w = kb.obj(state.base(cpu), tt.timer_base);
+    w.set("timers_pending", 1).unwrap();
+    let next = w.get("next_expiry").unwrap();
+    if next == 0 || expires < next {
+        w.set("next_expiry", expires).unwrap();
+    }
+    timer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KernelBuilder, TimerTypes, TimerState) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let tt = register_types(&mut kb.types, &common);
+        let state = create_timer_bases(&mut kb, &tt, 4_295_000_000);
+        (kb, tt, state)
+    }
+
+    #[test]
+    fn jiffies_symbol_exists() {
+        let (kb, _, state) = setup();
+        assert_eq!(kb.symbols.lookup("jiffies").unwrap().addr, state.jiffies);
+        assert_eq!(kb.mem.read_uint(state.jiffies, 8).unwrap(), 4_295_000_000);
+    }
+
+    #[test]
+    fn timers_land_in_their_bucket() {
+        let (mut kb, tt, state) = setup();
+        let e1 = 4_295_000_010u64;
+        let t1 = add_timer(&mut kb, &tt, &state, 0, e1, "process_timeout");
+        let t2 = add_timer(&mut kb, &tt, &state, 0, e1, "delayed_work_timer_fn");
+        let (v_off, _) = kb.types.field_path(tt.timer_base, "vectors").unwrap();
+        let bucket = state.base(0) + v_off + 8 * wheel_index(e1);
+        let got = structops::hlist_iter(&kb.mem, bucket);
+        // entry is at offset 0 in timer_list, so nodes == timers.
+        assert_eq!(got, vec![t2, t1]);
+    }
+
+    #[test]
+    fn next_expiry_tracks_minimum() {
+        let (mut kb, tt, state) = setup();
+        add_timer(&mut kb, &tt, &state, 1, 5000, "a");
+        add_timer(&mut kb, &tt, &state, 1, 3000, "b");
+        add_timer(&mut kb, &tt, &state, 1, 9000, "c");
+        let (ne_off, _) = kb.types.field_path(tt.timer_base, "next_expiry").unwrap();
+        assert_eq!(kb.mem.read_uint(state.base(1) + ne_off, 8).unwrap(), 3000);
+    }
+}

@@ -1,0 +1,411 @@
+//! VFS objects: files, dentries, inodes, superblocks (ULK Fig 12/14/16,
+//! the "from process to VFS" figure, and the Dirty Pipe case study).
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// File mode bits (subset of `S_IFMT`).
+pub const S_IFREG: u64 = 0o100000;
+/// Directory.
+pub const S_IFDIR: u64 = 0o040000;
+/// FIFO (pipes).
+pub const S_IFIFO: u64 = 0o010000;
+/// Socket.
+pub const S_IFSOCK: u64 = 0o140000;
+
+/// `file.f_mode` bits.
+pub const FMODE_READ: u64 = 0x1;
+/// Writable file.
+pub const FMODE_WRITE: u64 = 0x2;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct VfsTypes {
+    /// `struct super_block`.
+    pub super_block: TypeId,
+    /// `struct inode`.
+    pub inode: TypeId,
+    /// `struct dentry`.
+    pub dentry: TypeId,
+    /// `struct file`.
+    pub file: TypeId,
+    /// `struct address_space`.
+    pub address_space: TypeId,
+    /// `struct xarray`.
+    pub xarray: TypeId,
+    /// `struct fs_struct`.
+    pub fs_struct: TypeId,
+    /// `struct path`.
+    pub path: TypeId,
+    /// `struct vfsmount`.
+    pub vfsmount: TypeId,
+    /// `struct file_system_type`.
+    pub file_system_type: TypeId,
+}
+
+/// Register VFS types.
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> VfsTypes {
+    let sb_fwd = reg.declare_struct("super_block");
+    let sb_ptr = reg.pointer_to(sb_fwd);
+    let inode_fwd = reg.declare_struct("inode");
+    let inode_ptr = reg.pointer_to(inode_fwd);
+    let dentry_fwd = reg.declare_struct("dentry");
+    let dentry_ptr = reg.pointer_to(dentry_fwd);
+    let bdev_fwd = reg.declare_struct("block_device");
+    let bdev_ptr = reg.pointer_to(bdev_fwd);
+    let as_fwd = reg.declare_struct("address_space");
+    let as_ptr = reg.pointer_to(as_fwd);
+
+    let xarray = StructBuilder::new("xarray")
+        .field("xa_lock", common.spinlock)
+        .field("xa_flags", common.u32_t)
+        .field("xa_head", common.void_ptr)
+        .build(reg);
+
+    let address_space = StructBuilder::new("address_space")
+        .field("host", inode_ptr)
+        .field("i_pages", xarray)
+        .field("invalidate_lock", common.atomic64)
+        .field("gfp_mask", common.u32_t)
+        .field("i_mmap_writable", common.atomic)
+        .field("nrpages", common.u64_t)
+        .field("writeback_index", common.u64_t)
+        .field("a_ops", common.void_ptr)
+        .field("flags", common.u64_t)
+        .build(reg);
+
+    let fst = StructBuilder::new("file_system_type")
+        .field("name", common.char_ptr)
+        .field("fs_flags", common.int_t)
+        .field("next", common.void_ptr)
+        .build(reg);
+    let fst_ptr = reg.pointer_to(fst);
+
+    let s_id_arr = reg.array_of(common.char_t, 32);
+    let super_block = StructBuilder::new("super_block")
+        .field("s_list", common.list_head)
+        .field("s_dev", common.u32_t)
+        .field("s_blocksize_bits", common.u8_t)
+        .field("s_blocksize", common.u64_t)
+        .field("s_maxbytes", common.long_t)
+        .field("s_type", fst_ptr)
+        .field("s_flags", common.u64_t)
+        .field("s_magic", common.u64_t)
+        .field("s_root", dentry_ptr)
+        .field("s_count", common.int_t)
+        .field("s_active", common.atomic)
+        .field("s_bdev", bdev_ptr)
+        .field("s_id", s_id_arr)
+        .field("s_inodes", common.list_head)
+        .build(reg);
+
+    let inode = StructBuilder::new("inode")
+        .field("i_mode", common.u16_t)
+        .field("i_opflags", common.u16_t)
+        .field("i_uid", common.u32_t)
+        .field("i_gid", common.u32_t)
+        .field("i_flags", common.u32_t)
+        .field("i_ino", common.u64_t)
+        .field("i_size", common.long_t)
+        .field("i_blocks", common.u64_t)
+        .field("i_count", common.atomic)
+        .field("i_sb", sb_ptr)
+        .field("i_mapping", as_ptr)
+        .field("i_data", address_space)
+        .field("i_sb_list", common.list_head)
+        .field("i_private", common.void_ptr)
+        .build(reg);
+
+    let dname = reg.array_of(common.char_t, 32);
+    let dentry = StructBuilder::new("dentry")
+        .field("d_flags", common.u32_t)
+        .field("d_parent", dentry_ptr)
+        .field("d_name_hash", common.u32_t)
+        .field("d_name_len", common.u32_t)
+        .field("d_name", common.char_ptr)
+        .field("d_inode", inode_ptr)
+        .field("d_iname", dname)
+        .field("d_sb", sb_ptr)
+        .field("d_child", common.list_head)
+        .field("d_subdirs", common.list_head)
+        .build(reg);
+
+    let vfsmount = StructBuilder::new("vfsmount")
+        .field("mnt_root", dentry_ptr)
+        .field("mnt_sb", sb_ptr)
+        .field("mnt_flags", common.int_t)
+        .build(reg);
+    let vfsmount_ptr = reg.pointer_to(vfsmount);
+
+    let path = StructBuilder::new("path")
+        .field("mnt", vfsmount_ptr)
+        .field("dentry", dentry_ptr)
+        .build(reg);
+
+    let file = StructBuilder::new("file")
+        .field("f_lock", common.spinlock)
+        .field("f_mode", common.u32_t)
+        .field("f_count", common.atomic64)
+        .field("f_pos", common.long_t)
+        .field("f_flags", common.u32_t)
+        .field("f_path", path)
+        .field("f_inode", inode_ptr)
+        .field("f_op", common.void_ptr)
+        .field("f_mapping", as_ptr)
+        .field("private_data", common.void_ptr)
+        .build(reg);
+
+    let fs_struct = StructBuilder::new("fs_struct")
+        .field("users", common.int_t)
+        .field("lock", common.spinlock)
+        .field("umask", common.int_t)
+        .field("in_exec", common.int_t)
+        .field("root", path)
+        .field("pwd", path)
+        .build(reg);
+
+    reg.define_const("S_IFREG", S_IFREG as i64);
+    reg.define_const("S_IFDIR", S_IFDIR as i64);
+    reg.define_const("S_IFIFO", S_IFIFO as i64);
+    reg.define_const("S_IFSOCK", S_IFSOCK as i64);
+    reg.define_const("FMODE_READ", FMODE_READ as i64);
+    reg.define_const("FMODE_WRITE", FMODE_WRITE as i64);
+
+    VfsTypes {
+        super_block,
+        inode,
+        dentry,
+        file,
+        address_space,
+        xarray,
+        fs_struct,
+        path,
+        vfsmount,
+        file_system_type: fst,
+    }
+}
+
+/// The global `super_blocks` list plus registered filesystems.
+#[derive(Debug, Clone)]
+pub struct VfsState {
+    /// Address of the `super_blocks` list head global.
+    pub super_blocks: u64,
+    /// Created superblocks.
+    pub sbs: Vec<u64>,
+}
+
+/// Create the global `super_blocks` list head.
+pub fn create_vfs_state(kb: &mut KernelBuilder, common: &CommonTypes) -> VfsState {
+    let head = kb.alloc_global("super_blocks", common.list_head);
+    structops::list_init(&mut kb.mem, head);
+    VfsState {
+        super_blocks: head,
+        sbs: Vec::new(),
+    }
+}
+
+/// Create a superblock for filesystem `fsname`, chained into
+/// `super_blocks`; `bdev` is 0 for virtual filesystems.
+pub fn create_super_block(
+    kb: &mut KernelBuilder,
+    vt: &VfsTypes,
+    state: &mut VfsState,
+    fsname: &str,
+    s_id: &str,
+    bdev: u64,
+) -> u64 {
+    let fst = kb.alloc(vt.file_system_type);
+    let name_buf = kb.alloc_pagedata(fsname.len() as u64 + 1);
+    kb.mem.write_cstr(name_buf, fsname);
+    kb.obj(fst, vt.file_system_type)
+        .set("name", name_buf)
+        .unwrap();
+
+    let sb = kb.alloc(vt.super_block);
+    let (s_list, s_inodes);
+    {
+        let mut w = kb.obj(sb, vt.super_block);
+        w.set("s_type", fst).unwrap();
+        w.set("s_bdev", bdev).unwrap();
+        w.set("s_blocksize", 4096).unwrap();
+        w.set("s_blocksize_bits", 12).unwrap();
+        w.set_i64("s_count", 1).unwrap();
+        w.set_i64("s_active.counter", 1).unwrap();
+        w.set_str("s_id", s_id).unwrap();
+        s_list = w.field_addr("s_list").unwrap();
+        s_inodes = w.field_addr("s_inodes").unwrap();
+    }
+    structops::list_init(&mut kb.mem, s_inodes);
+    structops::list_add_tail(&mut kb.mem, s_list, state.super_blocks);
+    state.sbs.push(sb);
+    sb
+}
+
+/// Create an inode on `sb` with `i_mapping` pointing at its embedded
+/// `i_data`, chained into `sb->s_inodes`.
+pub fn create_inode(
+    kb: &mut KernelBuilder,
+    vt: &VfsTypes,
+    sb: u64,
+    ino: u64,
+    mode: u64,
+    size: i64,
+) -> u64 {
+    let inode = kb.alloc(vt.inode);
+    let (i_data_off, _) = kb.types.field_path(vt.inode, "i_data").unwrap();
+    let sb_list_node;
+    {
+        let mut w = kb.obj(inode, vt.inode);
+        w.set("i_ino", ino).unwrap();
+        w.set("i_mode", mode).unwrap();
+        w.set_i64("i_size", size).unwrap();
+        w.set_i64("i_count.counter", 1).unwrap();
+        w.set("i_sb", sb).unwrap();
+        w.set("i_mapping", inode + i_data_off).unwrap();
+        w.set("i_data.host", inode).unwrap();
+        sb_list_node = w.field_addr("i_sb_list").unwrap();
+    }
+    if sb != 0 {
+        let (s_inodes_off, _) = kb.types.field_path(vt.super_block, "s_inodes").unwrap();
+        structops::list_add_tail(&mut kb.mem, sb_list_node, sb + s_inodes_off);
+    }
+    inode
+}
+
+/// Create a dentry named `name` for `inode` under `parent` (0 for root).
+pub fn create_dentry(
+    kb: &mut KernelBuilder,
+    vt: &VfsTypes,
+    name: &str,
+    inode: u64,
+    parent: u64,
+    sb: u64,
+) -> u64 {
+    let dentry = kb.alloc(vt.dentry);
+    let (d_iname_off, _) = kb.types.field_path(vt.dentry, "d_iname").unwrap();
+    let (d_child, d_subdirs);
+    {
+        let mut w = kb.obj(dentry, vt.dentry);
+        w.set_str("d_iname", name).unwrap();
+        w.set("d_name", dentry + d_iname_off).unwrap();
+        w.set("d_name_len", name.len() as u64).unwrap();
+        w.set("d_inode", inode).unwrap();
+        w.set("d_sb", sb).unwrap();
+        w.set("d_parent", if parent == 0 { dentry } else { parent })
+            .unwrap();
+        d_child = w.field_addr("d_child").unwrap();
+        d_subdirs = w.field_addr("d_subdirs").unwrap();
+    }
+    structops::list_init(&mut kb.mem, d_child);
+    structops::list_init(&mut kb.mem, d_subdirs);
+    if parent != 0 {
+        let (subdirs_off, _) = kb.types.field_path(vt.dentry, "d_subdirs").unwrap();
+        structops::list_add_tail(&mut kb.mem, d_child, parent + subdirs_off);
+    }
+    dentry
+}
+
+/// Create an open `struct file` over `dentry` (reads `d_inode` from the
+/// image, like `dentry_open`).
+pub fn create_file(kb: &mut KernelBuilder, vt: &VfsTypes, dentry: u64, f_mode: u64) -> u64 {
+    let (d_inode_off, _) = kb.types.field_path(vt.dentry, "d_inode").unwrap();
+    let inode = kb.mem.read_uint(dentry + d_inode_off, 8).unwrap();
+    let (i_mapping_off, _) = kb.types.field_path(vt.inode, "i_mapping").unwrap();
+    let mapping = if inode != 0 {
+        kb.mem.read_uint(inode + i_mapping_off, 8).unwrap()
+    } else {
+        0
+    };
+
+    let file = kb.alloc(vt.file);
+    let mut w = kb.obj(file, vt.file);
+    w.set("f_mode", f_mode).unwrap();
+    w.set_i64("f_count.counter", 1).unwrap();
+    w.set("f_path.dentry", dentry).unwrap();
+    w.set("f_inode", inode).unwrap();
+    w.set("f_mapping", mapping).unwrap();
+    file
+}
+
+/// Create an `fs_struct` whose root and pwd point at `root_dentry`.
+pub fn create_fs_struct(kb: &mut KernelBuilder, vt: &VfsTypes, root_dentry: u64) -> u64 {
+    let fs = kb.alloc(vt.fs_struct);
+    let mut w = kb.obj(fs, vt.fs_struct);
+    w.set_i64("users", 1).unwrap();
+    w.set_i64("umask", 0o022).unwrap();
+    w.set("root.dentry", root_dentry).unwrap();
+    w.set("pwd.dentry", root_dentry).unwrap();
+    fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KernelBuilder, VfsTypes, VfsState) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let vt = register_types(&mut kb.types, &common);
+        let state = create_vfs_state(&mut kb, &common);
+        (kb, vt, state)
+    }
+
+    #[test]
+    fn super_blocks_list_collects_filesystems() {
+        let (mut kb, vt, mut state) = setup();
+        let sb1 = create_super_block(&mut kb, &vt, &mut state, "ext4", "sda1", 0x999);
+        let sb2 = create_super_block(&mut kb, &vt, &mut state, "tmpfs", "tmpfs", 0);
+        let (s_list_off, _) = kb.types.field_path(vt.super_block, "s_list").unwrap();
+        let got: Vec<u64> = structops::list_iter(&kb.mem, state.super_blocks)
+            .into_iter()
+            .map(|n| structops::container_of(n, s_list_off))
+            .collect();
+        assert_eq!(got, vec![sb1, sb2]);
+        // s_bdev differentiates disk-backed from virtual (Table 3 #14-3).
+        let (bdev_off, _) = kb.types.field_path(vt.super_block, "s_bdev").unwrap();
+        assert_eq!(kb.mem.read_uint(sb1 + bdev_off, 8).unwrap(), 0x999);
+        assert_eq!(kb.mem.read_uint(sb2 + bdev_off, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn inode_i_mapping_points_to_embedded_i_data() {
+        let (mut kb, vt, mut state) = setup();
+        let sb = create_super_block(&mut kb, &vt, &mut state, "ext4", "sda1", 0);
+        let inode = create_inode(&mut kb, &vt, sb, 1234, S_IFREG | 0o644, 8192);
+        let (map_off, _) = kb.types.field_path(vt.inode, "i_mapping").unwrap();
+        let (data_off, _) = kb.types.field_path(vt.inode, "i_data").unwrap();
+        assert_eq!(
+            kb.mem.read_uint(inode + map_off, 8).unwrap(),
+            inode + data_off
+        );
+        // host back-pointer.
+        let (host_off, _) = kb.types.field_path(vt.inode, "i_data.host").unwrap();
+        assert_eq!(kb.mem.read_uint(inode + host_off, 8).unwrap(), inode);
+    }
+
+    #[test]
+    fn dentry_tree_and_file_open() {
+        let (mut kb, vt, mut state) = setup();
+        let sb = create_super_block(&mut kb, &vt, &mut state, "ext4", "sda1", 0);
+        let root_ino = create_inode(&mut kb, &vt, sb, 2, S_IFDIR | 0o755, 4096);
+        let root = create_dentry(&mut kb, &vt, "/", root_ino, 0, sb);
+        let ino = create_inode(&mut kb, &vt, sb, 77, S_IFREG | 0o644, 100);
+        let d = create_dentry(&mut kb, &vt, "test.txt", ino, root, sb);
+        let f = create_file(&mut kb, &vt, d, FMODE_READ | FMODE_WRITE);
+
+        let (fi_off, _) = kb.types.field_path(vt.file, "f_inode").unwrap();
+        assert_eq!(kb.mem.read_uint(f + fi_off, 8).unwrap(), ino);
+        let (fd_off, _) = kb.types.field_path(vt.file, "f_path.dentry").unwrap();
+        assert_eq!(kb.mem.read_uint(f + fd_off, 8).unwrap(), d);
+        // The dentry name reads back through d_name indirection.
+        let (dn_off, _) = kb.types.field_path(vt.dentry, "d_name").unwrap();
+        let name_ptr = kb.mem.read_uint(d + dn_off, 8).unwrap();
+        assert_eq!(kb.mem.read_cstr(name_ptr, 32).unwrap(), "test.txt");
+        // Root is a subdir parent.
+        let (subdirs_off, _) = kb.types.field_path(vt.dentry, "d_subdirs").unwrap();
+        assert_eq!(structops::list_iter(&kb.mem, root + subdirs_off).len(), 1);
+    }
+}

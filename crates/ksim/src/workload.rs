@@ -1,0 +1,796 @@
+//! The evaluation workload: a fully populated kernel image.
+//!
+//! The paper's performance evaluation (§5.4) runs a ~500-LoC workload that
+//! "creates five processes (each process creates two threads), with each
+//! thread repeatedly calling the operating system for IPCs, mapping/
+//! unmapping files and anonymous pages, etc.", then plots every Table 2
+//! figure against the resulting state. This module builds the equivalent
+//! state deterministically: same population, same connectivity, seeded
+//! randomness for sizes and counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::{KernelBuilder, KernelImage};
+use crate::{
+    block, buddy, fdtable, ipc, irq, kobject, maple, mm, net, pagecache, pid, pipe, rcu, rmap,
+    sched, signals, slab, structops, swap, tasks, timers, vfs, workqueue,
+};
+
+/// Type handles for every registered subsystem.
+#[derive(Debug, Clone, Copy)]
+pub struct AllTypes {
+    /// Task / process tree types.
+    pub task: tasks::TaskTypes,
+    /// Scheduler types.
+    pub sched: sched::SchedTypes,
+    /// Maple tree types.
+    pub maple: maple::MapleTypes,
+    /// Address-space types.
+    pub mm: mm::MmTypes,
+    /// VFS types.
+    pub vfs: vfs::VfsTypes,
+    /// fd-table types.
+    pub fd: fdtable::FdTypes,
+    /// Page / xarray types.
+    pub page: pagecache::PageTypes,
+    /// Buddy types.
+    pub buddy: buddy::BuddyTypes,
+    /// SLUB types.
+    pub slab: slab::SlabTypes,
+    /// Signal types.
+    pub signal: signals::SignalTypes,
+    /// PID types.
+    pub pid: pid::PidTypes,
+    /// IRQ types.
+    pub irq: irq::IrqTypes,
+    /// Timer types.
+    pub timer: timers::TimerTypes,
+    /// Workqueue types.
+    pub wq: workqueue::WqTypes,
+    /// Driver-model types.
+    pub kobj: kobject::KobjTypes,
+    /// Block types.
+    pub block: block::BlockTypes,
+    /// Reverse-map types.
+    pub rmap: rmap::RmapTypes,
+    /// Swap types.
+    pub swap: swap::SwapTypes,
+    /// IPC types.
+    pub ipc: ipc::IpcTypes,
+    /// Pipe types.
+    pub pipe: pipe::PipeTypes,
+    /// Net types.
+    pub net: net::NetTypes,
+    /// RCU types.
+    pub rcu: rcu::RcuTypes,
+}
+
+/// Register every subsystem's types in dependency order.
+pub fn register_all(kb: &mut KernelBuilder) -> AllTypes {
+    let common = kb.common;
+    let task = tasks::register_types(&mut kb.types, &common);
+    let sched_t = sched::register_types(&mut kb.types, &common);
+    let maple_t = maple::register_types(&mut kb.types, &common);
+    let mm_t = mm::register_types(&mut kb.types, &common);
+    let vfs_t = vfs::register_types(&mut kb.types, &common);
+    let fd_t = fdtable::register_types(&mut kb.types, &common);
+    let page_t = pagecache::register_types(&mut kb.types, &common);
+    let buddy_t = buddy::register_types(&mut kb.types, &common);
+    let slab_t = slab::register_types(&mut kb.types, &common);
+    let signal_t = signals::register_types(&mut kb.types, &common);
+    let pid_t = pid::register_types(&mut kb.types, &common);
+    let irq_t = irq::register_types(&mut kb.types, &common);
+    let timer_t = timers::register_types(&mut kb.types, &common);
+    let wq_t = workqueue::register_types(&mut kb.types, &common);
+    let kobj_t = kobject::register_types(&mut kb.types, &common);
+    let block_t = block::register_types(&mut kb.types, &common);
+    let rmap_t = rmap::register_types(&mut kb.types, &common);
+    let swap_t = swap::register_types(&mut kb.types, &common);
+    let ipc_t = ipc::register_types(&mut kb.types, &common);
+    let pipe_t = pipe::register_types(&mut kb.types, &common);
+    let net_t = net::register_types(&mut kb.types, &common);
+    let rcu_t = rcu::register_types(&mut kb.types, &common);
+    // Casts in debugger expressions need pointer types pre-interned (the
+    // evaluator cannot grow the shared registry).
+    kb.types.ensure_pointers();
+    AllTypes {
+        task,
+        sched: sched_t,
+        maple: maple_t,
+        mm: mm_t,
+        vfs: vfs_t,
+        fd: fd_t,
+        page: page_t,
+        buddy: buddy_t,
+        slab: slab_t,
+        signal: signal_t,
+        pid: pid_t,
+        irq: irq_t,
+        timer: timer_t,
+        wq: wq_t,
+        kobj: kobj_t,
+        block: block_t,
+        rmap: rmap_t,
+        swap: swap_t,
+        ipc: ipc_t,
+        pipe: pipe_t,
+        net: net_t,
+        rcu: rcu_t,
+    }
+}
+
+/// Knobs for the workload generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// User processes (the paper uses 5).
+    pub processes: usize,
+    /// Threads per process beyond the leader (the paper uses 2 threads
+    /// total, i.e. 1 extra).
+    pub extra_threads: usize,
+    /// Regular files each process opens.
+    pub files_per_process: usize,
+    /// Page-cache pages per file.
+    pub pages_per_file: usize,
+    /// Anonymous mappings per process.
+    pub anon_vmas: usize,
+    /// Kernel threads (kworkers etc.).
+    pub kthreads: usize,
+    /// RNG seed (determinism for tests and benches).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            processes: 5,
+            extra_threads: 1,
+            files_per_process: 3,
+            pages_per_file: 8,
+            anon_vmas: 4,
+            kthreads: 6,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Addresses of the interesting roots in the built image.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadRoots {
+    /// `init_task` (swapper, pid 0).
+    pub init_task: u64,
+    /// All task addresses (incl. init_task), creation order.
+    pub all_tasks: Vec<u64>,
+    /// User thread-group leaders.
+    pub leaders: Vec<u64>,
+    /// `runqueues` info.
+    pub rq_base: u64,
+    /// One `struct rq` size.
+    pub rq_size: u64,
+    /// Open regular files (all processes pooled).
+    pub files: Vec<u64>,
+    /// The "test.txt" file used by the Dirty Pipe scenario.
+    pub test_txt_file: u64,
+    /// All page-cache page addresses.
+    pub pages: Vec<u64>,
+    /// Pipes (pipe_inode_info addresses).
+    pub pipes: Vec<u64>,
+    /// Sockets.
+    pub sockets: Vec<u64>,
+    /// Superblocks.
+    pub super_blocks: Vec<u64>,
+    /// The built disk.
+    pub disk: Option<block::BuiltDisk>,
+}
+
+/// The fully built workload: builder (still mutable for scenarios),
+/// registered types, and root addresses.
+pub struct Workload {
+    /// The kernel builder holding the image.
+    pub kb: KernelBuilder,
+    /// All registered type handles.
+    pub types: AllTypes,
+    /// Root object addresses.
+    pub roots: WorkloadRoots,
+}
+
+impl Workload {
+    /// Freeze into an immutable [`KernelImage`].
+    pub fn finish(self) -> (KernelImage, AllTypes, WorkloadRoots) {
+        (self.kb.finish(), self.types, self.roots)
+    }
+}
+
+/// Build the evaluation workload.
+pub fn build(cfg: &WorkloadConfig) -> Workload {
+    let mut kb = KernelBuilder::new();
+    let t = register_all(&mut kb);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut roots = WorkloadRoots::default();
+    let common = kb.common;
+
+    // --- Global infrastructure -------------------------------------------
+    let rqs = sched::create_runqueues(&mut kb, &t.sched);
+    roots.rq_base = rqs.base;
+    roots.rq_size = rqs.rq_size;
+    let mut pid_hash = pid::create_pid_hash(&mut kb, &common);
+    let mut vfs_state = vfs::create_vfs_state(&mut kb, &common);
+    let mut pa = pagecache::PageAllocator::new(&kb, &t.page);
+    let timer_state = timers::create_timer_bases(&mut kb, &t.timer, 4_295_100_000);
+    let wq_head = workqueue::create_wq_state(&mut kb, &common);
+    let mut slab_state = slab::create_slab_state(&mut kb, &common);
+    let mut swap_state = swap::create_swap_state(&mut kb, &t.swap);
+    let mut ipc_state = ipc::create_ipc_state(&mut kb, &t.ipc);
+    let rcu_state = rcu::create_rcu_state(&mut kb, &t.rcu);
+    let irq_state = irq::create_irq_table(&mut kb, &t.irq);
+
+    // --- Block + filesystems ---------------------------------------------
+    let disk = block::create_disk(&mut kb, &t.block, "sda", 8, 2);
+    let sb_root = vfs::create_super_block(
+        &mut kb,
+        &t.vfs,
+        &mut vfs_state,
+        "ext4",
+        "sda1",
+        disk.parts[0],
+    );
+    block::attach_super(&mut kb, &t.block, disk.parts[0], sb_root);
+    let sb_tmp = vfs::create_super_block(&mut kb, &t.vfs, &mut vfs_state, "tmpfs", "tmpfs", 0);
+    let sb_proc = vfs::create_super_block(&mut kb, &t.vfs, &mut vfs_state, "proc", "proc", 0);
+    roots.super_blocks = vec![sb_root, sb_tmp, sb_proc];
+    roots.disk = Some(disk);
+
+    let root_ino = vfs::create_inode(&mut kb, &t.vfs, sb_root, 2, vfs::S_IFDIR | 0o755, 4096);
+    let root_dentry = vfs::create_dentry(&mut kb, &t.vfs, "/", root_ino, 0, sb_root);
+    kb.obj(sb_root, t.vfs.super_block)
+        .set("s_root", root_dentry)
+        .unwrap();
+    let fs_struct = vfs::create_fs_struct(&mut kb, &t.vfs, root_dentry);
+
+    // --- Device model ------------------------------------------------------
+    {
+        let kset = kobject::create_kset(&mut kb, &t.kobj, "devices", "devices_kset");
+        let bus = kobject::create_bus(&mut kb, &t.kobj, "pci");
+        let sd_drv = kobject::create_driver(&mut kb, &t.kobj, "sd", bus);
+        let nic_drv = kobject::create_driver(&mut kb, &t.kobj, "e1000e", bus);
+        let host = kobject::create_device(&mut kb, &t.kobj, "pci0000:00", kset, bus, 0, 0);
+        let _sda = kobject::create_device(&mut kb, &t.kobj, "0:0:0:0", kset, bus, sd_drv, host);
+        let _nic =
+            kobject::create_device(&mut kb, &t.kobj, "0000:00:1f.6", kset, bus, nic_drv, host);
+    }
+
+    // --- IRQ lines ----------------------------------------------------------
+    irq::request_irq(
+        &mut kb,
+        &t.irq,
+        &irq_state,
+        1,
+        &[("atkbd_interrupt", "i8042")],
+    );
+    irq::request_irq(
+        &mut kb,
+        &t.irq,
+        &irq_state,
+        11,
+        &[("e1000_intr", "eth0"), ("usb_hcd_irq", "ehci_hcd")],
+    );
+    irq::request_irq(
+        &mut kb,
+        &t.irq,
+        &irq_state,
+        14,
+        &[("ata_bmdma_interrupt", "ata_piix")],
+    );
+
+    // --- Timers --------------------------------------------------------------
+    for (i, sym) in [
+        "process_timeout",
+        "delayed_work_timer_fn",
+        "commit_timeout",
+        "neigh_timer_handler",
+        "tcp_keepalive_timer",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let cpu = (i % sched::NR_CPUS as usize) as u64;
+        timers::add_timer(
+            &mut kb,
+            &t.timer,
+            &timer_state,
+            cpu,
+            4_295_100_000 + 13 * (i as u64 + 1),
+            sym,
+        );
+    }
+
+    // --- Workqueues ------------------------------------------------------------
+    workqueue::create_workqueue(
+        &mut kb,
+        &t.wq,
+        wq_head,
+        "mm_percpu_wq",
+        &[
+            workqueue::WorkItem::Delayed("vmstat_update", 4_295_100_040),
+            workqueue::WorkItem::Plain("lru_add_drain_per_cpu"),
+            workqueue::WorkItem::Delayed("vmstat_update", 4_295_100_080),
+        ],
+    );
+    workqueue::create_workqueue(
+        &mut kb,
+        &t.wq,
+        wq_head,
+        "events",
+        &[
+            workqueue::WorkItem::Plain("flush_to_ldisc"),
+            workqueue::WorkItem::Plain("console_callback"),
+        ],
+    );
+
+    // --- Buddy, slab, swap -----------------------------------------------------
+    buddy::create_buddy(&mut kb, &t.buddy, &t.page, &mut pa, 3);
+    let task_size = kb.types.size_of(t.task.task_struct);
+    slab::create_cache(
+        &mut kb,
+        &t.slab,
+        &mut slab_state,
+        "task_struct",
+        task_size,
+        2,
+        12,
+        9,
+    );
+    slab::create_cache(
+        &mut kb,
+        &t.slab,
+        &mut slab_state,
+        "maple_node",
+        256,
+        2,
+        16,
+        11,
+    );
+    slab::create_cache(
+        &mut kb,
+        &t.slab,
+        &mut slab_state,
+        "kmalloc-64",
+        64,
+        3,
+        64,
+        40,
+    );
+    slab::create_cache(&mut kb, &t.slab, &mut slab_state, "dentry", 192, 2, 21, 15);
+    swap::create_swap_area(
+        &mut kb,
+        &t.swap,
+        &mut swap_state,
+        -2,
+        1 << 18,
+        1 << 12,
+        roots.disk.as_ref().unwrap().parts[1],
+    );
+
+    // --- init_task and kernel threads -------------------------------------------
+    let init_task = kb.alloc_global("init_task", t.task.task_struct);
+    tasks::init_task_at(
+        &mut kb,
+        &t.task,
+        init_task,
+        &tasks::TaskParams {
+            pid: 0,
+            tgid: 0,
+            comm: "swapper/0".into(),
+            flags: tasks::PF_KTHREAD,
+            ..Default::default()
+        },
+    );
+    roots.init_task = init_task;
+    roots.all_tasks.push(init_task);
+    pid::attach_pid(&mut kb, &t.pid, &t.task, &mut pid_hash, init_task, 0);
+
+    let shared_sighand = signals::create_sighand(&mut kb, &t.signal, &[]);
+    let kthread_signal = signals::create_signal(&mut kb, &t.signal, 1, &[]);
+    let make_kthread =
+        |kb: &mut KernelBuilder, pid_no: i32, comm: &str, hash: &mut pid::PidHash| {
+            let task = tasks::create_task(
+                kb,
+                &t.task,
+                &tasks::TaskParams {
+                    pid: pid_no,
+                    tgid: pid_no,
+                    comm: comm.into(),
+                    state: tasks::TASK_INTERRUPTIBLE,
+                    flags: tasks::PF_KTHREAD,
+                    prio: 120,
+                    vruntime: 0,
+                    cpu: (pid_no % 2),
+                },
+            );
+            let mut w = kb.obj(task, t.task.task_struct);
+            w.set("signal", kthread_signal).unwrap();
+            w.set("sighand", shared_sighand).unwrap();
+            drop(w);
+            tasks::adopt(kb, &t.task, task, init_task);
+            tasks::link_global(kb, &t.task, task, init_task);
+            pid::attach_pid(kb, &t.pid, &t.task, hash, task, pid_no);
+            task
+        };
+    let kthread_names = [
+        "kthreadd",
+        "rcu_sched",
+        "kworker/0:1",
+        "kworker/1:1",
+        "ksoftirqd/0",
+        "kswapd0",
+        "migration/0",
+        "migration/1",
+    ];
+    for (i, name) in kthread_names.iter().enumerate().take(cfg.kthreads) {
+        let task = make_kthread(&mut kb, 2 + i as i32, name, &mut pid_hash);
+        roots.all_tasks.push(task);
+    }
+
+    // --- User processes -----------------------------------------------------------
+    let mut runnable: Vec<Vec<u64>> = vec![Vec::new(); sched::NR_CPUS as usize];
+    let mut next_pid = 100i32;
+    for p in 0..cfg.processes {
+        let comm = format!("worker-{p}");
+        let pid_no = next_pid;
+        next_pid += 10;
+
+        // Files: each process opens a few regular files with page cache.
+        let mut file_objs = Vec::new();
+        for fi in 0..cfg.files_per_process {
+            let name = if p == 0 && fi == 0 {
+                "test.txt".to_string()
+            } else {
+                format!("data-{p}-{fi}.bin")
+            };
+            let npages = rng.gen_range(1..=cfg.pages_per_file);
+            let ino = vfs::create_inode(
+                &mut kb,
+                &t.vfs,
+                sb_root,
+                100 + (p * 16 + fi) as u64,
+                vfs::S_IFREG | 0o644,
+                (npages * 4096) as i64,
+            );
+            let dentry = vfs::create_dentry(&mut kb, &t.vfs, &name, ino, root_dentry, sb_root);
+            let file =
+                vfs::create_file(&mut kb, &t.vfs, dentry, vfs::FMODE_READ | vfs::FMODE_WRITE);
+            // Populate the page cache xarray.
+            let (i_data_off, _) = kb.types.field_path(t.vfs.inode, "i_data").unwrap();
+            let (i_pages_off, _) = kb.types.field_path(t.vfs.address_space, "i_pages").unwrap();
+            let mut entries = Vec::new();
+            for idx in 0..npages {
+                let (_, page) = pa.alloc_page(&mut kb, &t.page);
+                let mut w = kb.obj(page, t.page.page);
+                w.set("mapping", ino + i_data_off).unwrap();
+                w.set("index", idx as u64).unwrap();
+                w.set("flags", pagecache::PG_UPTODATE | pagecache::PG_LRU)
+                    .unwrap();
+                drop(w);
+                entries.push((idx as u64, page));
+                roots.pages.push(page);
+            }
+            pagecache::xa_store_many(&mut kb, &t.page, ino + i_data_off + i_pages_off, &entries);
+            kb.obj(ino + i_data_off, t.vfs.address_space)
+                .set("nrpages", entries.len() as u64)
+                .unwrap();
+            if p == 0 && fi == 0 {
+                roots.test_txt_file = file;
+            }
+            file_objs.push(file);
+            roots.files.push(file);
+        }
+
+        // A pipe per process (two file objects share one pipe_inode_info).
+        let (_, pipe_page) = pa.alloc_page(&mut kb, &t.page);
+        let pipe_obj = pipe::create_pipe(
+            &mut kb,
+            &t.pipe,
+            &[pipe::PipeBufSpec {
+                page: pipe_page,
+                offset: 0,
+                len: rng.gen_range(64..4096),
+                flags: 0,
+            }],
+        );
+        roots.pipes.push(pipe_obj);
+        let pipe_ino = vfs::create_inode(
+            &mut kb,
+            &t.vfs,
+            sb_tmp,
+            9000 + p as u64,
+            vfs::S_IFIFO | 0o600,
+            0,
+        );
+        let pipe_dentry = vfs::create_dentry(&mut kb, &t.vfs, "pipe:", pipe_ino, 0, sb_tmp);
+        let pipe_r = vfs::create_file(&mut kb, &t.vfs, pipe_dentry, vfs::FMODE_READ);
+        let pipe_w = vfs::create_file(&mut kb, &t.vfs, pipe_dentry, vfs::FMODE_WRITE);
+        for f in [pipe_r, pipe_w] {
+            kb.obj(f, t.vfs.file).set("private_data", pipe_obj).unwrap();
+        }
+
+        // A socket per process.
+        let sock = net::create_socket(
+            &mut kb,
+            &t.net,
+            &net::SockSpec {
+                daddr: 0x0a00_0002 + p as u32,
+                saddr: 0x0a00_0001,
+                dport: 443,
+                sport: 40000 + p as u16,
+                state: net::TCP_ESTABLISHED,
+                // Process 2's connection is deliberately idle (both queues
+                // empty) so Table 3's "shrink idle sockets" objective always
+                // has a target; the rest queue random traffic.
+                rx: if p == 2 {
+                    vec![]
+                } else {
+                    (1..rng.gen_range(2..5))
+                        .map(|_| rng.gen_range(66..1500))
+                        .collect()
+                },
+                tx: if p == 2 {
+                    vec![]
+                } else {
+                    (0..rng.gen_range(0..3))
+                        .map(|_| rng.gen_range(66..1500))
+                        .collect()
+                },
+            },
+        );
+        roots.sockets.push(sock);
+        let sock_ino = vfs::create_inode(
+            &mut kb,
+            &t.vfs,
+            sb_tmp,
+            9500 + p as u64,
+            vfs::S_IFSOCK | 0o777,
+            0,
+        );
+        let sock_dentry = vfs::create_dentry(&mut kb, &t.vfs, "socket:", sock_ino, 0, sb_tmp);
+        let sock_file = vfs::create_file(
+            &mut kb,
+            &t.vfs,
+            sock_dentry,
+            vfs::FMODE_READ | vfs::FMODE_WRITE,
+        );
+        kb.obj(sock_file, t.vfs.file)
+            .set("private_data", sock)
+            .unwrap();
+        kb.obj(sock, t.net.socket).set("file", sock_file).unwrap();
+
+        // fd table: files + pipe ends + socket.
+        let mut fds = file_objs.clone();
+        fds.push(pipe_r);
+        fds.push(pipe_w);
+        fds.push(sock_file);
+        let files_struct = fdtable::create_files(&mut kb, &t.fd, &fds);
+
+        // Address space with file-backed and anonymous mappings.
+        let specs = mm::typical_vmas(&file_objs, cfg.anon_vmas);
+        let leader = tasks::create_task(
+            &mut kb,
+            &t.task,
+            &tasks::TaskParams {
+                pid: pid_no,
+                tgid: pid_no,
+                comm: comm.clone(),
+                state: if p % 2 == 0 {
+                    tasks::TASK_RUNNING
+                } else {
+                    tasks::TASK_INTERRUPTIBLE
+                },
+                flags: 0,
+                prio: 120,
+                vruntime: rng.gen_range(1000..100_000),
+                cpu: (p % 2) as i32,
+            },
+        );
+        let built_mm = mm::create_mm(&mut kb, &t.mm, &t.maple, leader, &specs);
+
+        // Reverse map for the anonymous VMAs.
+        let anon_vmas: Vec<u64> = specs
+            .iter()
+            .zip(&built_mm.vmas)
+            .filter(|(s, _)| s.file == 0)
+            .map(|(_, v)| *v)
+            .collect();
+        if !anon_vmas.is_empty() {
+            rmap::create_anon_vma(&mut kb, &t.rmap, t.mm.vm_area_struct, &anon_vmas);
+        }
+
+        // Signals: one custom handler + maybe one pending.
+        let sighand = signals::create_sighand(
+            &mut kb,
+            &t.signal,
+            &[(15, "worker_sigterm"), (17, "worker_sigchld")],
+        );
+        let pending: Vec<u64> = if p == 1 { vec![17] } else { vec![] };
+        let signal =
+            signals::create_signal(&mut kb, &t.signal, 1 + cfg.extra_threads as i64, &pending);
+
+        {
+            let mut w = kb.obj(leader, t.task.task_struct);
+            w.set("mm", built_mm.mm).unwrap();
+            w.set("active_mm", built_mm.mm).unwrap();
+            w.set("files", files_struct).unwrap();
+            w.set("fs", fs_struct).unwrap();
+            w.set("signal", signal).unwrap();
+            w.set("sighand", sighand).unwrap();
+        }
+        tasks::adopt(&mut kb, &t.task, leader, init_task);
+        tasks::link_global(&mut kb, &t.task, leader, init_task);
+        pid::attach_pid(&mut kb, &t.pid, &t.task, &mut pid_hash, leader, pid_no);
+        roots.all_tasks.push(leader);
+        roots.leaders.push(leader);
+        if p % 2 == 0 {
+            runnable[p % 2].push(leader);
+        }
+
+        // Extra threads share mm/files/signal.
+        for th in 0..cfg.extra_threads {
+            let tpid = pid_no + 1 + th as i32;
+            let thread = tasks::create_task(
+                &mut kb,
+                &t.task,
+                &tasks::TaskParams {
+                    pid: tpid,
+                    tgid: pid_no,
+                    comm: comm.clone(),
+                    state: tasks::TASK_RUNNING,
+                    flags: 0,
+                    prio: 120,
+                    vruntime: rng.gen_range(1000..100_000),
+                    cpu: ((p + th + 1) % 2) as i32,
+                },
+            );
+            let mut w = kb.obj(thread, t.task.task_struct);
+            w.set("mm", built_mm.mm).unwrap();
+            w.set("active_mm", built_mm.mm).unwrap();
+            w.set("files", files_struct).unwrap();
+            w.set("fs", fs_struct).unwrap();
+            w.set("signal", signal).unwrap();
+            w.set("sighand", sighand).unwrap();
+            drop(w);
+            tasks::adopt(&mut kb, &t.task, thread, init_task);
+            tasks::join_thread_group(&mut kb, &t.task, thread, leader);
+            tasks::link_global(&mut kb, &t.task, thread, init_task);
+            pid::attach_pid(&mut kb, &t.pid, &t.task, &mut pid_hash, thread, tpid);
+            roots.all_tasks.push(thread);
+            runnable[(p + th + 1) % 2].push(thread);
+        }
+
+        // IPC: every process gets a semaphore set; odd ones a message queue.
+        ipc::create_sem_array(&mut kb, &t.ipc, &mut ipc_state, 0x6100 + p as i64, &[1, 0]);
+        if p % 2 == 1 {
+            ipc::create_msg_queue(
+                &mut kb,
+                &t.ipc,
+                &mut ipc_state,
+                0x7100 + p as i64,
+                &[(1, 128), (2, 64)],
+            );
+        }
+    }
+
+    // Enqueue runnable tasks on their CPUs, sorted by vruntime.
+    let (vr_off, _) = kb
+        .types
+        .field_path(t.task.task_struct, "se.vruntime")
+        .unwrap();
+    for (cpu, mut list) in runnable.into_iter().enumerate() {
+        list.sort_by_key(|&task| kb.mem.read_uint(task + vr_off, 8).unwrap());
+        sched::enqueue_fair(&mut kb, &t.sched, &t.task, &rqs, cpu as u64, &list);
+    }
+
+    // The `current_task` per-CPU pointer (collapsed to CPU 0's current):
+    // a global pointer variable debuggers use as the anchor "what is
+    // running now". Points at the first user leader.
+    {
+        let task_ptr_ty = {
+            let task_ty = t.task.task_struct;
+            kb.types.pointer_to(task_ty)
+        };
+        let cur = kb.alloc_global("current_task", task_ptr_ty);
+        let first_leader = roots.leaders[0];
+        kb.mem.write_uint(cur, 8, first_leader);
+    }
+
+    // RCU: a couple of innocuous pending callbacks.
+    let h1 = kb.alloc(common.callback_head);
+    rcu::call_rcu(&mut kb, &t.rcu, &rcu_state, 0, h1, "i_callback");
+    let h2 = kb.alloc(common.callback_head);
+    rcu::call_rcu(&mut kb, &t.rcu, &rcu_state, 1, h2, "file_free_rcu");
+
+    // A tiny sanity pass: every task's global-list walk must terminate.
+    let (tasks_off, _) = kb.types.field_path(t.task.task_struct, "tasks").unwrap();
+    let n = structops::list_iter(&kb.mem, init_task + tasks_off).len();
+    debug_assert_eq!(n + 1, roots.all_tasks.len());
+
+    Workload {
+        kb,
+        types: t,
+        roots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_workload_population() {
+        let w = build(&WorkloadConfig::default());
+        // 1 swapper + 6 kthreads + 5 leaders + 5 threads = 17 tasks.
+        assert_eq!(w.roots.all_tasks.len(), 17);
+        assert_eq!(w.roots.leaders.len(), 5);
+        assert_eq!(w.roots.files.len(), 15);
+        assert_eq!(w.roots.pipes.len(), 5);
+        assert_eq!(w.roots.sockets.len(), 5);
+        assert!(w.roots.test_txt_file != 0);
+        assert!(!w.roots.pages.is_empty());
+        assert_eq!(w.roots.super_blocks.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = build(&WorkloadConfig::default());
+        let b = build(&WorkloadConfig::default());
+        assert_eq!(a.roots.all_tasks, b.roots.all_tasks);
+        assert_eq!(a.roots.pages.len(), b.roots.pages.len());
+        assert_eq!(a.kb.mem.mapped_pages(), b.kb.mem.mapped_pages());
+    }
+
+    #[test]
+    fn init_task_symbol_resolves() {
+        let w = build(&WorkloadConfig::default());
+        let sym = w.kb.symbols.lookup("init_task").unwrap();
+        assert_eq!(sym.addr, w.roots.init_task);
+        // And comm reads back as swapper/0.
+        let (comm_off, _) =
+            w.kb.types
+                .field_path(w.types.task.task_struct, "comm")
+                .unwrap();
+        assert_eq!(
+            w.kb.mem
+                .read_cstr(w.roots.init_task + comm_off, 16)
+                .unwrap(),
+            "swapper/0"
+        );
+    }
+
+    #[test]
+    fn threads_share_address_space() {
+        let w = build(&WorkloadConfig::default());
+        let (mm_off, _) =
+            w.kb.types
+                .field_path(w.types.task.task_struct, "mm")
+                .unwrap();
+        let leader = w.roots.leaders[0];
+        let leader_mm = w.kb.mem.read_uint(leader + mm_off, 8).unwrap();
+        assert_ne!(leader_mm, 0);
+        // The next task created after a leader is its thread.
+        let idx = w.roots.all_tasks.iter().position(|&t| t == leader).unwrap();
+        let thread = w.roots.all_tasks[idx + 1];
+        let thread_mm = w.kb.mem.read_uint(thread + mm_off, 8).unwrap();
+        assert_eq!(leader_mm, thread_mm);
+    }
+
+    #[test]
+    fn scaled_workload_grows() {
+        let small = build(&WorkloadConfig {
+            processes: 2,
+            ..Default::default()
+        });
+        let big = build(&WorkloadConfig {
+            processes: 10,
+            ..Default::default()
+        });
+        assert!(big.roots.all_tasks.len() > small.roots.all_tasks.len());
+        assert!(big.kb.mem.mapped_pages() > small.kb.mem.mapped_pages());
+    }
+}

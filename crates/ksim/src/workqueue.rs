@@ -1,0 +1,267 @@
+//! Workqueues with heterogeneous `container_of` work lists
+//! (the paper's Figure 6: `mm_percpu_wq`).
+//!
+//! A worker pool's `worklist` chains `work_struct.entry` nodes whose
+//! *enclosing* objects have different types — plain `work_struct`s and
+//! `delayed_work`s — distinguishable only through the `func` pointer,
+//! which is exactly the polymorphism headache ViewCL's `switch` handles.
+
+use ktypes::{StructBuilder, TypeId, TypeRegistry};
+
+use crate::common::CommonTypes;
+use crate::image::KernelBuilder;
+use crate::structops;
+
+/// Type ids registered by this module.
+#[derive(Debug, Clone, Copy)]
+pub struct WqTypes {
+    /// `struct work_struct`.
+    pub work_struct: TypeId,
+    /// `struct delayed_work` (embeds a `work_struct` and a timer).
+    pub delayed_work: TypeId,
+    /// `struct worker_pool`.
+    pub worker_pool: TypeId,
+    /// `struct pool_workqueue`.
+    pub pool_workqueue: TypeId,
+    /// `struct workqueue_struct`.
+    pub workqueue_struct: TypeId,
+}
+
+/// Register workqueue types (requires timer types).
+pub fn register_types(reg: &mut TypeRegistry, common: &CommonTypes) -> WqTypes {
+    let work_fn = reg.func("void (*)(struct work_struct *)");
+    let work_fn_ptr = reg.pointer_to(work_fn);
+    let work_struct = StructBuilder::new("work_struct")
+        .field("data", common.atomic64)
+        .field("entry", common.list_head)
+        .field("func", work_fn_ptr)
+        .build(reg);
+
+    let timer_list = reg
+        .find("timer_list")
+        .expect("timer types registered first");
+    let delayed_work = StructBuilder::new("delayed_work")
+        .field("work", work_struct)
+        .field("timer", timer_list)
+        .field("wq", common.void_ptr)
+        .field("cpu", common.int_t)
+        .build(reg);
+
+    let worker_pool = StructBuilder::new("worker_pool")
+        .field("lock", common.spinlock)
+        .field("cpu", common.int_t)
+        .field("node", common.int_t)
+        .field("id", common.int_t)
+        .field("flags", common.u32_t)
+        .field("worklist", common.list_head)
+        .field("nr_workers", common.int_t)
+        .field("nr_idle", common.int_t)
+        .build(reg);
+    let pool_ptr = reg.pointer_to(worker_pool);
+
+    let wq_fwd = reg.declare_struct("workqueue_struct");
+    let wq_ptr = reg.pointer_to(wq_fwd);
+    let pool_workqueue = StructBuilder::new("pool_workqueue")
+        .field("pool", pool_ptr)
+        .field("wq", wq_ptr)
+        .field("refcnt", common.int_t)
+        .field("nr_active", common.int_t)
+        .field("max_active", common.int_t)
+        .field("pwqs_node", common.list_head)
+        .build(reg);
+
+    let name24 = reg.array_of(common.char_t, 24);
+    let workqueue_struct = StructBuilder::new("workqueue_struct")
+        .field("pwqs", common.list_head)
+        .field("list", common.list_head)
+        .field("flags", common.u32_t)
+        .field("name", name24)
+        .build(reg);
+
+    WqTypes {
+        work_struct,
+        delayed_work,
+        worker_pool,
+        pool_workqueue,
+        workqueue_struct,
+    }
+}
+
+/// One scheduled work item.
+#[derive(Debug, Clone)]
+pub enum WorkItem {
+    /// A plain `work_struct` running the named function.
+    Plain(&'static str),
+    /// A `delayed_work` running the named function after `expires`.
+    Delayed(&'static str, u64),
+}
+
+/// A built workqueue.
+#[derive(Debug, Clone)]
+pub struct BuiltWq {
+    /// `workqueue_struct` address.
+    pub wq: u64,
+    /// Its `pool_workqueue`s (one per CPU).
+    pub pwqs: Vec<u64>,
+    /// The per-CPU worker pools.
+    pub pools: Vec<u64>,
+    /// Work object addresses (the enclosing objects, not the list nodes).
+    pub works: Vec<u64>,
+}
+
+/// Create the global `workqueues` list head.
+pub fn create_wq_state(kb: &mut KernelBuilder, common: &CommonTypes) -> u64 {
+    let head = kb.alloc_global("workqueues", common.list_head);
+    structops::list_init(&mut kb.mem, head);
+    head
+}
+
+/// Create a workqueue named `name`, register it as a symbol, and queue
+/// `items` on CPU 0's pool.
+pub fn create_workqueue(
+    kb: &mut KernelBuilder,
+    wt: &WqTypes,
+    workqueues_head: u64,
+    name: &str,
+    items: &[WorkItem],
+) -> BuiltWq {
+    let wq = kb.alloc(wt.workqueue_struct);
+    kb.symbols.define_object(name, wq, wt.workqueue_struct);
+    let (pwqs_head, list_node);
+    {
+        let mut w = kb.obj(wq, wt.workqueue_struct);
+        w.set_str("name", name).unwrap();
+        pwqs_head = w.field_addr("pwqs").unwrap();
+        list_node = w.field_addr("list").unwrap();
+    }
+    structops::list_init(&mut kb.mem, pwqs_head);
+    structops::list_add_tail(&mut kb.mem, list_node, workqueues_head);
+
+    let mut pwqs = Vec::new();
+    let mut pools = Vec::new();
+    for cpu in 0..crate::sched::NR_CPUS {
+        let pool = kb.alloc(wt.worker_pool);
+        let worklist;
+        {
+            let mut w = kb.obj(pool, wt.worker_pool);
+            w.set_i64("cpu", cpu as i64).unwrap();
+            w.set_i64("id", (cpu * 2) as i64).unwrap();
+            w.set_i64("nr_workers", 2).unwrap();
+            w.set_i64("nr_idle", 1).unwrap();
+            worklist = w.field_addr("worklist").unwrap();
+        }
+        structops::list_init(&mut kb.mem, worklist);
+        let pwq = kb.alloc(wt.pool_workqueue);
+        let pwqs_node;
+        {
+            let mut w = kb.obj(pwq, wt.pool_workqueue);
+            w.set("pool", pool).unwrap();
+            w.set("wq", wq).unwrap();
+            w.set_i64("refcnt", 1).unwrap();
+            w.set_i64("max_active", 256).unwrap();
+            pwqs_node = w.field_addr("pwqs_node").unwrap();
+        }
+        structops::list_add_tail(&mut kb.mem, pwqs_node, pwqs_head);
+        pwqs.push(pwq);
+        pools.push(pool);
+    }
+
+    // Queue the items on CPU 0's pool with heterogeneous enclosing types.
+    let (worklist_off, _) = kb.types.field_path(wt.worker_pool, "worklist").unwrap();
+    let worklist = pools[0] + worklist_off;
+    let mut works = Vec::new();
+    for item in items {
+        let (obj, entry) = match item {
+            WorkItem::Plain(sym) => {
+                let wkr = kb.alloc(wt.work_struct);
+                let f = kb.func_sym(sym);
+                let mut w = kb.obj(wkr, wt.work_struct);
+                w.set("func", f).unwrap();
+                w.set_i64("data.counter", 0x15).unwrap(); // pending bits
+                let e = w.field_addr("entry").unwrap();
+                (wkr, e)
+            }
+            WorkItem::Delayed(sym, expires) => {
+                let dw = kb.alloc(wt.delayed_work);
+                let f = kb.func_sym(sym);
+                let tf = kb.func_sym("delayed_work_timer_fn");
+                let mut w = kb.obj(dw, wt.delayed_work);
+                w.set("work.func", f).unwrap();
+                w.set("timer.expires", *expires).unwrap();
+                w.set("timer.function", tf).unwrap();
+                let e = w.field_addr("work.entry").unwrap();
+                (dw, e)
+            }
+        };
+        structops::list_add_tail(&mut kb.mem, entry, worklist);
+        works.push(obj);
+    }
+    BuiltWq {
+        wq,
+        pwqs,
+        pools,
+        works,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timers;
+
+    fn setup() -> (KernelBuilder, WqTypes) {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        let _tt = timers::register_types(&mut kb.types, &common);
+        let wt = register_types(&mut kb.types, &common);
+        (kb, wt)
+    }
+
+    #[test]
+    fn heterogeneous_worklist_types_resolved_by_func() {
+        let (mut kb, wt) = setup();
+        let common = kb.common;
+        let head = create_wq_state(&mut kb, &common);
+        let built = create_workqueue(
+            &mut kb,
+            &wt,
+            head,
+            "mm_percpu_wq",
+            &[
+                WorkItem::Delayed("vmstat_update", 12345),
+                WorkItem::Plain("lru_add_drain_per_cpu"),
+                WorkItem::Delayed("vmstat_update", 23456),
+            ],
+        );
+        let (worklist_off, _) = kb.types.field_path(wt.worker_pool, "worklist").unwrap();
+        let (entry_off, _) = kb.types.field_path(wt.work_struct, "entry").unwrap();
+        let nodes = structops::list_iter(&kb.mem, built.pools[0] + worklist_off);
+        assert_eq!(nodes.len(), 3);
+        // Each node recovers its work_struct whose func names its type.
+        let (func_off, _) = kb.types.field_path(wt.work_struct, "func").unwrap();
+        let names: Vec<&str> = nodes
+            .iter()
+            .map(|n| {
+                let ws = structops::container_of(*n, entry_off);
+                let f = kb.mem.read_uint(ws + func_off, 8).unwrap();
+                kb.symbols.name_at(f).unwrap()
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec!["vmstat_update", "lru_add_drain_per_cpu", "vmstat_update"]
+        );
+    }
+
+    #[test]
+    fn workqueue_symbol_and_pwq_chain() {
+        let (mut kb, wt) = setup();
+        let common = kb.common;
+        let head = create_wq_state(&mut kb, &common);
+        let built = create_workqueue(&mut kb, &wt, head, "mm_percpu_wq", &[]);
+        assert_eq!(kb.symbols.lookup("mm_percpu_wq").unwrap().addr, built.wq);
+        let (pwqs_off, _) = kb.types.field_path(wt.workqueue_struct, "pwqs").unwrap();
+        let chain = structops::list_iter(&kb.mem, built.wq + pwqs_off);
+        assert_eq!(chain.len(), crate::sched::NR_CPUS as usize);
+    }
+}

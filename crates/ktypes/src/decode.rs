@@ -1,0 +1,184 @@
+//! Little-endian scalar encoding/decoding and bitfield extraction.
+
+/// A C bitfield: `width` bits starting at `shift` within an integer storage
+/// unit of `storage_size` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitField {
+    /// Bit offset of the least-significant bit within the storage unit.
+    pub shift: u8,
+    /// Number of bits.
+    pub width: u8,
+    /// Size of the storage unit in bytes (1, 2, 4 or 8).
+    pub storage_size: u8,
+    /// Whether the field is sign-extended on read.
+    pub signed: bool,
+}
+
+impl BitField {
+    /// Extract the bitfield value from its storage unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift + width` exceeds the storage unit width; such a
+    /// bitfield cannot be produced by [`crate::StructBuilder`].
+    pub fn extract(&self, storage: u64) -> i64 {
+        let total = self.storage_size as u32 * 8;
+        assert!(self.shift as u32 + self.width as u32 <= total);
+        let raw = (storage >> self.shift) & mask(self.width);
+        if self.signed && self.width < 64 && (raw >> (self.width - 1)) & 1 == 1 {
+            (raw | !mask(self.width)) as i64
+        } else {
+            raw as i64
+        }
+    }
+
+    /// Insert `value` into `storage`, returning the new storage unit.
+    pub fn insert(&self, storage: u64, value: i64) -> u64 {
+        let m = mask(self.width) << self.shift;
+        (storage & !m) | (((value as u64) << self.shift) & m)
+    }
+}
+
+fn mask(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Read an unsigned little-endian integer of `size` bytes from `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() < size` or `size > 8`.
+pub fn read_uint(bytes: &[u8], size: usize) -> u64 {
+    assert!(size <= 8, "integer wider than 8 bytes");
+    let mut v: u64 = 0;
+    for (i, b) in bytes[..size].iter().enumerate() {
+        v |= (*b as u64) << (8 * i);
+    }
+    v
+}
+
+/// Read a signed little-endian integer of `size` bytes from `bytes`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len() < size` or `size > 8`.
+pub fn read_int(bytes: &[u8], size: usize) -> i64 {
+    let u = read_uint(bytes, size);
+    if size == 8 {
+        return u as i64;
+    }
+    let sign_bit = 1u64 << (size * 8 - 1);
+    if u & sign_bit != 0 {
+        (u | !((1u64 << (size * 8)) - 1)) as i64
+    } else {
+        u as i64
+    }
+}
+
+/// Write `value` as a little-endian integer of `size` bytes into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() < size` or `size > 8`.
+pub fn write_int(out: &mut [u8], size: usize, value: u64) {
+    assert!(size <= 8, "integer wider than 8 bytes");
+    for (i, b) in out.iter_mut().enumerate().take(size) {
+        *b = ((value >> (8 * i)) & 0xff) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uint_round_trip_small() {
+        let mut buf = [0u8; 8];
+        write_int(&mut buf, 4, 0xdead_beef);
+        assert_eq!(read_uint(&buf, 4), 0xdead_beef);
+        assert_eq!(buf[0], 0xef, "little endian");
+    }
+
+    #[test]
+    fn int_sign_extension() {
+        let mut buf = [0u8; 8];
+        write_int(&mut buf, 2, 0xffff);
+        assert_eq!(read_int(&buf, 2), -1);
+        write_int(&mut buf, 2, 0x7fff);
+        assert_eq!(read_int(&buf, 2), 0x7fff);
+        write_int(&mut buf, 1, 0x80);
+        assert_eq!(read_int(&buf, 1), -128);
+    }
+
+    #[test]
+    fn bitfield_extract_unsigned() {
+        let bf = BitField {
+            shift: 4,
+            width: 3,
+            storage_size: 4,
+            signed: false,
+        };
+        assert_eq!(bf.extract(0b0111_0000), 0b111);
+        assert_eq!(bf.extract(0b1000_1111), 0);
+    }
+
+    #[test]
+    fn bitfield_extract_signed() {
+        let bf = BitField {
+            shift: 0,
+            width: 3,
+            storage_size: 1,
+            signed: true,
+        };
+        assert_eq!(bf.extract(0b100), -4);
+        assert_eq!(bf.extract(0b011), 3);
+    }
+
+    #[test]
+    fn bitfield_insert_preserves_neighbors() {
+        let bf = BitField {
+            shift: 8,
+            width: 8,
+            storage_size: 4,
+            signed: false,
+        };
+        let s = bf.insert(0xffff_ffff, 0x12);
+        assert_eq!(s, 0xffff_12ff);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_uint_round_trip(v: u64, size in 1usize..=8) {
+            let trunc = if size == 8 { v } else { v & ((1u64 << (size * 8)) - 1) };
+            let mut buf = [0u8; 8];
+            write_int(&mut buf, size, trunc);
+            prop_assert_eq!(read_uint(&buf, size), trunc);
+        }
+
+        #[test]
+        fn prop_bitfield_round_trip(
+            storage: u64,
+            shift in 0u8..60,
+            width in 1u8..32,
+        ) {
+            prop_assume!(shift + width <= 64);
+            let bf = BitField { shift, width, storage_size: 8, signed: false };
+            let value = storage & ((1u64 << width) - 1);
+            let s = bf.insert(0, value as i64);
+            prop_assert_eq!(bf.extract(s) as u64, value);
+        }
+
+        #[test]
+        fn prop_bitfield_insert_is_local(storage: u64, v: u64) {
+            // Writing bits [8, 16) must not disturb any other bit.
+            let bf = BitField { shift: 8, width: 8, storage_size: 8, signed: false };
+            let s = bf.insert(storage, v as i64);
+            prop_assert_eq!(s & !0xff00, storage & !0xff00);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Struct/union layout computation following the x86-64 System V ABI.
+
+use crate::decode::BitField;
+use crate::registry::TypeRegistry;
+use crate::ty::{Field, StructDef, TypeId};
+
+/// Incremental builder for a struct or union layout.
+///
+/// Fields are appended in declaration order; offsets, padding and the final
+/// size are computed with the same rules the C compiler applies when building
+/// the real kernel image.
+///
+/// # Examples
+///
+/// ```
+/// use ktypes::{Prim, StructBuilder, TypeRegistry};
+///
+/// let mut reg = TypeRegistry::new();
+/// let u64_t = reg.prim(Prim::U64);
+/// let u8_t = reg.prim(Prim::U8);
+/// let ty = StructBuilder::new("pair")
+///     .field("flag", u8_t)
+///     .field("value", u64_t)
+///     .build(&mut reg);
+/// // `value` is aligned to 8, so the struct is 16 bytes with 7 bytes padding.
+/// assert_eq!(reg.size_of(ty), 16);
+/// ```
+pub struct StructBuilder {
+    name: String,
+    is_union: bool,
+    fields: Vec<(String, TypeId, Option<u8>)>,
+}
+
+impl StructBuilder {
+    /// Start building a struct with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        StructBuilder {
+            name: name.into(),
+            is_union: false,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Start building a union with the given tag name.
+    pub fn union(name: impl Into<String>) -> Self {
+        StructBuilder {
+            name: name.into(),
+            is_union: true,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field of type `ty`.
+    pub fn field(mut self, name: impl Into<String>, ty: TypeId) -> Self {
+        self.fields.push((name.into(), ty, None));
+        self
+    }
+
+    /// Append a bitfield of `width` bits whose storage unit has type `ty`.
+    ///
+    /// Adjacent bitfields sharing the same storage type are packed into the
+    /// same unit, matching GCC behaviour for the kernel's flag words.
+    pub fn bitfield(mut self, name: impl Into<String>, ty: TypeId, width: u8) -> Self {
+        self.fields.push((name.into(), ty, Some(width)));
+        self
+    }
+
+    /// Compute the layout and intern the finished type into `reg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bitfield is declared with a non-integer storage type or a
+    /// width exceeding the storage unit.
+    pub fn build(self, reg: &mut TypeRegistry) -> TypeId {
+        let mut fields: Vec<Field> = Vec::with_capacity(self.fields.len());
+        let mut size: u64 = 0;
+        let mut align: u64 = 1;
+        // Bit cursor within the current bitfield storage unit, if any:
+        // (unit_offset, unit_size, next_bit).
+        let mut bit_cursor: Option<(u64, u64, u8)> = None;
+
+        for (name, ty, width) in self.fields {
+            let fsize = reg.size_of(ty);
+            let falign = reg.align_of(ty);
+            align = align.max(falign);
+
+            if self.is_union {
+                let bit = width.map(|w| {
+                    assert!(
+                        w as u64 <= fsize * 8,
+                        "bitfield `{name}` wider than storage unit"
+                    );
+                    BitField {
+                        shift: 0,
+                        width: w,
+                        storage_size: fsize as u8,
+                        signed: reg.is_signed(ty),
+                    }
+                });
+                fields.push(Field {
+                    name,
+                    ty,
+                    offset: 0,
+                    bit,
+                });
+                size = size.max(fsize);
+                continue;
+            }
+
+            match width {
+                None => {
+                    bit_cursor = None;
+                    let offset = round_up(size, falign);
+                    fields.push(Field {
+                        name,
+                        ty,
+                        offset,
+                        bit: None,
+                    });
+                    size = offset + fsize;
+                }
+                Some(w) => {
+                    assert!(fsize > 0 && fsize <= 8, "bad bitfield storage for `{name}`");
+                    assert!(
+                        w as u64 <= fsize * 8,
+                        "bitfield `{name}` wider than storage unit"
+                    );
+                    let signed = reg.is_signed(ty);
+                    let (unit_off, shift) = match bit_cursor {
+                        Some((off, unit, next))
+                            if unit == fsize && next as u64 + w as u64 <= unit * 8 =>
+                        {
+                            (off, next)
+                        }
+                        _ => {
+                            let off = round_up(size, falign);
+                            size = off + fsize;
+                            (off, 0)
+                        }
+                    };
+                    bit_cursor = Some((unit_off, fsize, shift + w));
+                    fields.push(Field {
+                        name,
+                        ty,
+                        offset: unit_off,
+                        bit: Some(BitField {
+                            shift,
+                            width: w,
+                            storage_size: fsize as u8,
+                            signed,
+                        }),
+                    });
+                }
+            }
+        }
+
+        let size = round_up(size, align);
+        reg.intern_struct(StructDef {
+            name: self.name,
+            fields,
+            size,
+            align,
+            is_union: self.is_union,
+        })
+    }
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::Prim;
+
+    fn reg() -> TypeRegistry {
+        TypeRegistry::new()
+    }
+
+    #[test]
+    fn padding_between_fields() {
+        let mut r = reg();
+        let (u8_t, u32_t, u64_t) = (r.prim(Prim::U8), r.prim(Prim::U32), r.prim(Prim::U64));
+        let ty = StructBuilder::new("s")
+            .field("a", u8_t)
+            .field("b", u32_t)
+            .field("c", u64_t)
+            .build(&mut r);
+        let s = r.struct_def(ty).unwrap();
+        assert_eq!(s.field("a").unwrap().offset, 0);
+        assert_eq!(s.field("b").unwrap().offset, 4);
+        assert_eq!(s.field("c").unwrap().offset, 8);
+        assert_eq!(s.size, 16);
+        assert_eq!(s.align, 8);
+    }
+
+    #[test]
+    fn trailing_padding_rounds_to_alignment() {
+        let mut r = reg();
+        let (u64_t, u8_t) = (r.prim(Prim::U64), r.prim(Prim::U8));
+        let ty = StructBuilder::new("s")
+            .field("a", u64_t)
+            .field("b", u8_t)
+            .build(&mut r);
+        assert_eq!(r.size_of(ty), 16);
+    }
+
+    #[test]
+    fn union_overlays_members() {
+        let mut r = reg();
+        let (u32_t, u64_t) = (r.prim(Prim::U32), r.prim(Prim::U64));
+        let arr = r.array_of(u32_t, 4);
+        let ty = StructBuilder::union("u")
+            .field("a", u64_t)
+            .field("b", arr)
+            .build(&mut r);
+        let s = r.struct_def(ty).unwrap();
+        assert!(s.is_union);
+        assert_eq!(s.field("a").unwrap().offset, 0);
+        assert_eq!(s.field("b").unwrap().offset, 0);
+        assert_eq!(s.size, 16);
+    }
+
+    #[test]
+    fn adjacent_bitfields_pack() {
+        let mut r = reg();
+        let u32_t = r.prim(Prim::U32);
+        let ty = StructBuilder::new("flags")
+            .bitfield("a", u32_t, 3)
+            .bitfield("b", u32_t, 5)
+            .bitfield("c", u32_t, 24)
+            .build(&mut r);
+        let s = r.struct_def(ty).unwrap();
+        let a = s.field("a").unwrap();
+        let b = s.field("b").unwrap();
+        let c = s.field("c").unwrap();
+        assert_eq!((a.offset, a.bit.unwrap().shift), (0, 0));
+        assert_eq!((b.offset, b.bit.unwrap().shift), (0, 3));
+        assert_eq!((c.offset, c.bit.unwrap().shift), (0, 8));
+        assert_eq!(s.size, 4);
+    }
+
+    #[test]
+    fn bitfield_overflow_starts_new_unit() {
+        let mut r = reg();
+        let u32_t = r.prim(Prim::U32);
+        let ty = StructBuilder::new("flags")
+            .bitfield("a", u32_t, 30)
+            .bitfield("b", u32_t, 8)
+            .build(&mut r);
+        let s = r.struct_def(ty).unwrap();
+        assert_eq!(s.field("a").unwrap().offset, 0);
+        assert_eq!(s.field("b").unwrap().offset, 4);
+        assert_eq!(s.size, 8);
+    }
+
+    #[test]
+    fn nested_struct_alignment_propagates() {
+        let mut r = reg();
+        let (u8_t, u64_t) = (r.prim(Prim::U8), r.prim(Prim::U64));
+        let inner = StructBuilder::new("inner").field("x", u64_t).build(&mut r);
+        let outer = StructBuilder::new("outer")
+            .field("tag", u8_t)
+            .field("body", inner)
+            .build(&mut r);
+        let s = r.struct_def(outer).unwrap();
+        assert_eq!(s.field("body").unwrap().offset, 8);
+        assert_eq!(s.size, 16);
+    }
+
+    #[test]
+    fn empty_struct_is_zero_sized() {
+        let mut r = reg();
+        let ty = StructBuilder::new("empty").build(&mut r);
+        assert_eq!(r.size_of(ty), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Primitive C scalar types of the simulated x86-64 target.
+
+/// A primitive C scalar type.
+///
+/// Sizes and signedness match the LP64 data model used by the Linux kernel
+/// on x86-64 (`long` is 8 bytes, `int` is 4, pointers are 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prim {
+    /// `void` (zero-sized; only meaningful behind a pointer).
+    Void,
+    /// `_Bool`.
+    Bool,
+    /// `char` (signed on x86-64 Linux).
+    Char,
+    /// `signed char` / `s8`.
+    I8,
+    /// `unsigned char` / `u8`.
+    U8,
+    /// `short` / `s16`.
+    I16,
+    /// `unsigned short` / `u16`.
+    U16,
+    /// `int` / `s32`.
+    I32,
+    /// `unsigned int` / `u32`.
+    U32,
+    /// `long` / `long long` / `s64`.
+    I64,
+    /// `unsigned long` / `u64` / `size_t`.
+    U64,
+}
+
+impl Prim {
+    /// Size of the type in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            Prim::Void => 0,
+            Prim::Bool | Prim::Char | Prim::I8 | Prim::U8 => 1,
+            Prim::I16 | Prim::U16 => 2,
+            Prim::I32 | Prim::U32 => 4,
+            Prim::I64 | Prim::U64 => 8,
+        }
+    }
+
+    /// Alignment of the type in bytes (natural alignment on x86-64).
+    pub fn align(self) -> u64 {
+        self.size().max(1)
+    }
+
+    /// Whether the type is signed when interpreted as an integer.
+    pub fn signed(self) -> bool {
+        matches!(
+            self,
+            Prim::Char | Prim::I8 | Prim::I16 | Prim::I32 | Prim::I64
+        )
+    }
+
+    /// The canonical C spelling of the type.
+    pub fn c_name(self) -> &'static str {
+        match self {
+            Prim::Void => "void",
+            Prim::Bool => "bool",
+            Prim::Char => "char",
+            Prim::I8 => "s8",
+            Prim::U8 => "u8",
+            Prim::I16 => "s16",
+            Prim::U16 => "u16",
+            Prim::I32 => "int",
+            Prim::U32 => "unsigned int",
+            Prim::I64 => "long",
+            Prim::U64 => "unsigned long",
+        }
+    }
+
+    /// Look up a primitive by (one of) its C spellings.
+    ///
+    /// Accepts both kernel typedef names (`u32`, `s64`, …) and plain C
+    /// spellings (`int`, `unsigned long`, …).
+    pub fn from_name(name: &str) -> Option<Prim> {
+        Some(match name {
+            "void" => Prim::Void,
+            "bool" | "_Bool" => Prim::Bool,
+            "char" => Prim::Char,
+            "s8" | "signed char" | "i8" => Prim::I8,
+            "u8" | "unsigned char" | "__u8" => Prim::U8,
+            "s16" | "short" | "i16" => Prim::I16,
+            "u16" | "unsigned short" | "__u16" => Prim::U16,
+            "s32" | "int" | "i32" | "pid_t" | "gfp_t" => Prim::I32,
+            "u32" | "unsigned int" | "unsigned" | "__u32" | "uint" => Prim::U32,
+            "s64" | "long" | "long long" | "i64" | "ssize_t" | "loff_t" => Prim::I64,
+            "u64" | "unsigned long" | "unsigned long long" | "__u64" | "size_t" | "sector_t" => {
+                Prim::U64
+            }
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_follow_lp64() {
+        assert_eq!(Prim::Char.size(), 1);
+        assert_eq!(Prim::I32.size(), 4);
+        assert_eq!(Prim::I64.size(), 8);
+        assert_eq!(Prim::U64.size(), 8);
+        assert_eq!(Prim::Void.size(), 0);
+    }
+
+    #[test]
+    fn alignment_is_natural() {
+        for p in [Prim::Bool, Prim::U16, Prim::U32, Prim::U64] {
+            assert_eq!(p.align(), p.size());
+        }
+        // `void` still has alignment 1 so pointer arithmetic stays sane.
+        assert_eq!(Prim::Void.align(), 1);
+    }
+
+    #[test]
+    fn signedness() {
+        assert!(Prim::Char.signed());
+        assert!(Prim::I64.signed());
+        assert!(!Prim::U8.signed());
+        assert!(!Prim::Bool.signed());
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for p in [
+            Prim::Void,
+            Prim::Bool,
+            Prim::Char,
+            Prim::I8,
+            Prim::U8,
+            Prim::I16,
+            Prim::U16,
+            Prim::I32,
+            Prim::U32,
+            Prim::I64,
+            Prim::U64,
+        ] {
+            assert_eq!(Prim::from_name(p.c_name()), Some(p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn kernel_typedefs_resolve() {
+        assert_eq!(Prim::from_name("pid_t"), Some(Prim::I32));
+        assert_eq!(Prim::from_name("size_t"), Some(Prim::U64));
+        assert_eq!(Prim::from_name("nonsense"), None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Type descriptors: the nodes of the type graph.
+
+use crate::decode::BitField;
+use crate::prim::Prim;
+
+/// An interned handle to a [`Type`] inside a [`crate::TypeRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub(crate) u32);
+
+impl TypeId {
+    /// The raw index of this id inside its registry.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A member of a struct or union.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Member name as written in the C source.
+    pub name: String,
+    /// Member type.
+    pub ty: TypeId,
+    /// Byte offset from the start of the enclosing aggregate.
+    pub offset: u64,
+    /// Present when the member is a C bitfield packed into the storage unit
+    /// located at `offset`.
+    pub bit: Option<BitField>,
+}
+
+/// A struct or union definition with computed layout.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Tag name (e.g. `task_struct`).
+    pub name: String,
+    /// Members, in declaration order.
+    pub fields: Vec<Field>,
+    /// Total size in bytes, including trailing padding.
+    pub size: u64,
+    /// Alignment in bytes.
+    pub align: u64,
+    /// True for unions (all members at offset 0).
+    pub is_union: bool,
+}
+
+impl StructDef {
+    /// Find a member by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A C `enum` definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Tag name (e.g. `maple_type`).
+    pub name: String,
+    /// Enumerators in declaration order as `(name, value)` pairs.
+    pub variants: Vec<(String, i64)>,
+    /// Storage size in bytes (4 unless widened).
+    pub size: u64,
+}
+
+impl EnumDef {
+    /// Resolve an enumerator name to its value.
+    pub fn value_of(&self, name: &str) -> Option<i64> {
+        self.variants
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Resolve a value to the first enumerator carrying it.
+    pub fn name_of(&self, value: i64) -> Option<&str> {
+        self.variants
+            .iter()
+            .find(|(_, v)| *v == value)
+            .map(|(n, _)| n.as_str())
+    }
+}
+
+/// The shape of a type.
+#[derive(Debug, Clone)]
+pub enum TypeKind {
+    /// A primitive scalar.
+    Prim(Prim),
+    /// A pointer to another type.
+    Pointer(TypeId),
+    /// A fixed-length array.
+    Array {
+        /// Element type.
+        elem: TypeId,
+        /// Number of elements.
+        len: u64,
+    },
+    /// A struct or union with computed layout.
+    Struct(StructDef),
+    /// An enumeration.
+    Enum(EnumDef),
+    /// A function type (only meaningful behind a pointer); carries a
+    /// human-readable signature for display.
+    Func(String),
+}
+
+/// A fully described type.
+#[derive(Debug, Clone)]
+pub struct Type {
+    /// The shape.
+    pub kind: TypeKind,
+}
+
+impl Type {
+    /// Size of a value of this type in bytes.
+    pub fn size(&self, sizes: impl Fn(TypeId) -> u64) -> u64 {
+        match &self.kind {
+            TypeKind::Prim(p) => p.size(),
+            TypeKind::Pointer(_) => crate::PTR_SIZE,
+            TypeKind::Array { elem, len } => sizes(*elem) * len,
+            TypeKind::Struct(s) => s.size,
+            TypeKind::Enum(e) => e.size,
+            TypeKind::Func(_) => 0,
+        }
+    }
+
+    /// Whether values of this type are integers (including enums and bools).
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            &self.kind,
+            TypeKind::Prim(p) if p.size() > 0
+        ) || matches!(&self.kind, TypeKind::Enum(_))
+    }
+}

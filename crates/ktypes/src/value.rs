@@ -1,0 +1,134 @@
+//! Typed values produced by decoding target memory.
+
+use crate::ty::TypeId;
+
+/// A value decoded from target memory, carrying its C type.
+///
+/// `CValue` is the currency of the C-expression evaluator: every
+/// sub-expression evaluates to one of these. Aggregates are represented as
+/// *lvalues* (an address plus a type) since copying a whole `task_struct`
+/// out of the target would be wasteful and is never needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CValue {
+    /// An integer (includes bools, chars and enum values).
+    Int {
+        /// The numeric value, sign-extended if the type is signed.
+        value: i64,
+        /// The static type.
+        ty: TypeId,
+    },
+    /// A pointer value.
+    Ptr {
+        /// The target address stored in the pointer.
+        addr: u64,
+        /// The *pointer* type (not the pointee).
+        ty: TypeId,
+    },
+    /// An aggregate (struct/union/array) lvalue living in target memory.
+    LValue {
+        /// Address of the object.
+        addr: u64,
+        /// The aggregate type.
+        ty: TypeId,
+    },
+    /// A string that was already fetched from the target (e.g. `comm`).
+    Str(String),
+    /// The unit value (e.g. result of a helper with no result).
+    Void,
+}
+
+impl CValue {
+    /// The value as an integer, treating pointers as their address.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CValue::Int { value, .. } => Some(*value),
+            CValue::Ptr { addr, .. } => Some(*addr as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned 64-bit integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_int().map(|v| v as u64)
+    }
+
+    /// The address of the value if it denotes (or points to) target memory.
+    pub fn address(&self) -> Option<u64> {
+        match self {
+            CValue::Ptr { addr, .. } => Some(*addr),
+            CValue::LValue { addr, .. } => Some(*addr),
+            _ => None,
+        }
+    }
+
+    /// The static type, if the value carries one.
+    pub fn type_id(&self) -> Option<TypeId> {
+        match self {
+            CValue::Int { ty, .. } | CValue::Ptr { ty, .. } | CValue::LValue { ty, .. } => {
+                Some(*ty)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the value is "truthy" in the C sense (non-zero / non-null).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            CValue::Int { value, .. } => *value != 0,
+            CValue::Ptr { addr, .. } => *addr != 0,
+            CValue::LValue { .. } => true,
+            CValue::Str(s) => !s.is_empty(),
+            CValue::Void => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u32) -> TypeId {
+        // Fabricate ids for unit tests; only identity matters here.
+        TypeId(n)
+    }
+
+    #[test]
+    fn int_accessors() {
+        let v = CValue::Int {
+            value: -5,
+            ty: tid(0),
+        };
+        assert_eq!(v.as_int(), Some(-5));
+        assert_eq!(v.as_u64(), Some(-5i64 as u64));
+        assert_eq!(v.address(), None);
+        assert!(v.is_truthy());
+    }
+
+    #[test]
+    fn null_pointer_is_falsy() {
+        let v = CValue::Ptr {
+            addr: 0,
+            ty: tid(1),
+        };
+        assert!(!v.is_truthy());
+        assert_eq!(v.as_int(), Some(0));
+    }
+
+    #[test]
+    fn lvalue_address() {
+        let v = CValue::LValue {
+            addr: 0xffff_8880_0000_1000,
+            ty: tid(2),
+        };
+        assert_eq!(v.address(), Some(0xffff_8880_0000_1000));
+        assert!(v.is_truthy());
+    }
+
+    #[test]
+    fn void_and_str() {
+        assert!(!CValue::Void.is_truthy());
+        assert!(CValue::Str("swapper".into()).is_truthy());
+        assert!(!CValue::Str(String::new()).is_truthy());
+        assert_eq!(CValue::Void.type_id(), None);
+    }
+}

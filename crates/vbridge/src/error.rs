@@ -1,0 +1,53 @@
+//! Bridge error type.
+
+/// Errors surfaced while debugging the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BridgeError {
+    /// A target memory access failed (e.g. a dangling pointer).
+    Mem(kmem::MemError),
+    /// A type-system operation failed.
+    Type(ktypes::TypeError),
+    /// A C expression failed to parse.
+    Parse {
+        /// The offending expression text.
+        expr: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A C expression parsed but could not be evaluated.
+    Eval(String),
+    /// An identifier did not resolve to a symbol, constant or binding.
+    UnknownIdent(String),
+    /// A called function is not a registered helper.
+    UnknownHelper(String),
+}
+
+impl std::fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BridgeError::Mem(e) => write!(f, "target memory error: {e}"),
+            BridgeError::Type(e) => write!(f, "type error: {e}"),
+            BridgeError::Parse { expr, msg } => write!(f, "parse error in `{expr}`: {msg}"),
+            BridgeError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            BridgeError::UnknownIdent(n) => write!(f, "unknown identifier `{n}`"),
+            BridgeError::UnknownHelper(n) => write!(f, "unknown helper function `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+impl From<kmem::MemError> for BridgeError {
+    fn from(e: kmem::MemError) -> Self {
+        BridgeError::Mem(e)
+    }
+}
+
+impl From<ktypes::TypeError> for BridgeError {
+    fn from(e: ktypes::TypeError) -> Self {
+        BridgeError::Type(e)
+    }
+}
+
+/// Result alias for bridge operations.
+pub type Result<T> = std::result::Result<T, BridgeError>;

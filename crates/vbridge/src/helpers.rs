@@ -1,0 +1,69 @@
+//! Registered helper functions — the "GDB script" layer.
+//!
+//! The paper ships ~500 lines of GDB scripts exposing kernel functions
+//! that are invisible to the debugger (static inlines, macros):
+//! `cpu_rq()`, `mte_to_node()`, `task_state()` and friends. Here those
+//! are Rust closures registered by name; `${...}` expressions call them
+//! like C functions.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ktypes::CValue;
+
+use crate::target::Target;
+use crate::Result;
+
+/// A helper callable from C expressions.
+pub type HelperFn = Rc<dyn Fn(&Target<'_>, &[CValue]) -> Result<CValue>>;
+
+/// Name → helper map.
+#[derive(Default, Clone)]
+pub struct HelperRegistry {
+    map: HashMap<String, HelperFn>,
+}
+
+impl HelperRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `f` under `name` (replacing any previous registration).
+    pub fn register<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&Target<'_>, &[CValue]) -> Result<CValue> + 'static,
+    {
+        self.map.insert(name.into(), Rc::new(f));
+    }
+
+    /// Look up a helper.
+    pub fn get(&self, name: &str) -> Option<&HelperFn> {
+        self.map.get(name)
+    }
+
+    /// Number of registered helpers.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no helpers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Registered helper names (unsorted).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(|s| s.as_str())
+    }
+}
+
+impl std::fmt::Debug for HelperRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&str> = self.names().collect();
+        names.sort_unstable();
+        f.debug_struct("HelperRegistry")
+            .field("helpers", &names)
+            .finish()
+    }
+}

@@ -1,0 +1,27 @@
+//! The debugger bridge: Visualinux's stand-in for GDB.
+//!
+//! `vbridge` attaches to a [`kmem`] memory image the way GDB attaches to a
+//! stopped QEMU guest or a KGDB serial target:
+//!
+//! * every byte flows through [`Target::read`], which *meters virtual
+//!   time* according to a [`LatencyProfile`] — the per-packet/per-byte
+//!   cost model that reproduces the paper's Table 4 (GDB-QEMU localhost
+//!   vs. KGDB on a Raspberry Pi 400, ~50× slower per object);
+//! * C expressions in ViewCL's `${...}` escapes are evaluated by
+//!   [`eval::Evaluator`] against the type registry (the DWARF stand-in),
+//!   supporting `->`/`.`/`[]`, casts, arithmetic, comparisons,
+//!   `container_of`, and calls into registered [`HelperFn`]s — the
+//!   equivalent of the paper's ~500 lines of GDB scripts that expose
+//!   inline kernel functions like `cpu_rq()` and `mte_to_node()`.
+
+mod error;
+pub mod eval;
+mod helpers;
+mod profile;
+mod target;
+
+pub use error::{BridgeError, Result};
+pub use eval::Evaluator;
+pub use helpers::{HelperFn, HelperRegistry};
+pub use profile::LatencyProfile;
+pub use target::{Target, TargetStats};

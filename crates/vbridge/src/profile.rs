@@ -1,0 +1,80 @@
+//! Latency cost models for the two debugging transports of the paper.
+
+/// Virtual-time cost of target memory accesses.
+///
+/// The paper's Table 4 compares plotting cost on two transports; their
+/// ratio is dominated by per-read round trips ("even retrieving a uint64
+/// via KGDB costs approximately 5ms"). A profile charges
+/// `base_ns + len * per_byte_ns` per read, in *virtual* nanoseconds, so
+/// benchmarks are deterministic and machine-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyProfile {
+    /// Human-readable transport name.
+    pub name: &'static str,
+    /// Fixed cost per read request (packet round trip + ptrace overhead).
+    pub base_ns: u64,
+    /// Marginal cost per byte transferred.
+    pub per_byte_ns: u64,
+}
+
+impl LatencyProfile {
+    /// GDB attached to a localhost QEMU (TCG) guest — the paper's fast
+    /// scenario. Calibrated so that per-object costs land in Table 4's
+    /// 0.1–1.1 ms band for the evaluation workload.
+    pub fn gdb_qemu() -> Self {
+        LatencyProfile {
+            name: "GDB (QEMU)",
+            base_ns: 85_000,
+            per_byte_ns: 30,
+        }
+    }
+
+    /// KGDB over serial on a Raspberry Pi 400 — the paper's slow scenario:
+    /// a uint64 retrieval costs ~5 ms, making it ~50–90× slower per object.
+    pub fn kgdb_rpi400() -> Self {
+        LatencyProfile {
+            name: "KGDB (rpi-400)",
+            base_ns: 4_900_000,
+            per_byte_ns: 12_000,
+        }
+    }
+
+    /// Zero-cost profile for correctness tests.
+    pub fn free() -> Self {
+        LatencyProfile {
+            name: "free",
+            base_ns: 0,
+            per_byte_ns: 0,
+        }
+    }
+
+    /// Cost of one read of `len` bytes.
+    pub fn cost_ns(&self, len: u64) -> u64 {
+        self.base_ns + len * self.per_byte_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kgdb_uint64_costs_about_5ms() {
+        let p = LatencyProfile::kgdb_rpi400();
+        let ms = p.cost_ns(8) as f64 / 1e6;
+        assert!((4.0..6.5).contains(&ms), "got {ms} ms");
+    }
+
+    #[test]
+    fn kgdb_is_tens_of_times_slower_than_qemu() {
+        let q = LatencyProfile::gdb_qemu();
+        let k = LatencyProfile::kgdb_rpi400();
+        let ratio = k.cost_ns(8) as f64 / q.cost_ns(8) as f64;
+        assert!((30.0..120.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn free_profile_is_free() {
+        assert_eq!(LatencyProfile::free().cost_ns(4096), 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The metered debug target.
+
+use std::cell::Cell;
+
+use kmem::{Mem, SymbolTable};
+use ktypes::{CValue, TypeId, TypeKind, TypeRegistry};
+
+use crate::profile::LatencyProfile;
+use crate::{BridgeError, Result};
+
+/// Cumulative access statistics (virtual time, reads, bytes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TargetStats {
+    /// Number of read requests issued.
+    pub reads: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Accumulated virtual time in nanoseconds.
+    pub virtual_ns: u64,
+}
+
+/// A debugger's view of the stopped kernel.
+///
+/// Couples the raw memory image with its debug info and symbol table, and
+/// meters every access through a [`LatencyProfile`]. All reads take
+/// `&self`; the counters are interior-mutable, mirroring how observing a
+/// stopped target does not change it.
+pub struct Target<'a> {
+    mem: &'a Mem,
+    /// Type registry (the debug info).
+    pub types: &'a TypeRegistry,
+    /// Symbol table.
+    pub symbols: &'a SymbolTable,
+    profile: LatencyProfile,
+    reads: Cell<u64>,
+    bytes: Cell<u64>,
+    virtual_ns: Cell<u64>,
+}
+
+impl<'a> Target<'a> {
+    /// Attach to an image with the given latency profile.
+    pub fn new(
+        mem: &'a Mem,
+        types: &'a TypeRegistry,
+        symbols: &'a SymbolTable,
+        profile: LatencyProfile,
+    ) -> Self {
+        Target {
+            mem,
+            types,
+            symbols,
+            profile,
+            reads: Cell::new(0),
+            bytes: Cell::new(0),
+            virtual_ns: Cell::new(0),
+        }
+    }
+
+    /// The active latency profile.
+    pub fn profile(&self) -> LatencyProfile {
+        self.profile
+    }
+
+    /// Snapshot the access statistics.
+    pub fn stats(&self) -> TargetStats {
+        TargetStats {
+            reads: self.reads.get(),
+            bytes: self.bytes.get(),
+            virtual_ns: self.virtual_ns.get(),
+        }
+    }
+
+    /// Reset the access statistics (e.g. between benchmark plots).
+    pub fn reset_stats(&self) {
+        self.reads.set(0);
+        self.bytes.set(0);
+        self.virtual_ns.set(0);
+    }
+
+    fn account(&self, len: u64) {
+        self.reads.set(self.reads.get() + 1);
+        self.bytes.set(self.bytes.get() + len);
+        self.virtual_ns
+            .set(self.virtual_ns.get() + self.profile.cost_ns(len));
+    }
+
+    /// Read raw bytes (metered).
+    pub fn read(&self, addr: u64, out: &mut [u8]) -> Result<()> {
+        self.account(out.len() as u64);
+        self.mem.read(addr, out).map_err(BridgeError::from)
+    }
+
+    /// Read an unsigned little-endian integer of `size` bytes (metered).
+    pub fn read_uint(&self, addr: u64, size: usize) -> Result<u64> {
+        self.account(size as u64);
+        self.mem.read_uint(addr, size).map_err(BridgeError::from)
+    }
+
+    /// Read a signed integer (metered).
+    pub fn read_int(&self, addr: u64, size: usize) -> Result<i64> {
+        self.account(size as u64);
+        self.mem.read_int(addr, size).map_err(BridgeError::from)
+    }
+
+    /// Read a NUL-terminated C string, metered as one packet per chunk.
+    pub fn read_cstr(&self, addr: u64, max: usize) -> Result<String> {
+        self.account((max as u64).min(64));
+        self.mem.read_cstr(addr, max).map_err(BridgeError::from)
+    }
+
+    /// Whether `addr` is mapped (metered as a 1-byte probe).
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.account(1);
+        self.mem.is_mapped(addr)
+    }
+
+    /// Load a value of type `ty` from `addr`, decoding scalars and
+    /// returning aggregates as lvalues.
+    pub fn load(&self, addr: u64, ty: TypeId) -> Result<CValue> {
+        match &self.types.get(ty).kind {
+            TypeKind::Prim(p) => {
+                let size = p.size() as usize;
+                if size == 0 {
+                    return Ok(CValue::Int { value: 0, ty });
+                }
+                let v = if p.signed() {
+                    self.read_int(addr, size)?
+                } else {
+                    self.read_uint(addr, size)? as i64
+                };
+                Ok(CValue::Int { value: v, ty })
+            }
+            TypeKind::Enum(e) => {
+                let v = self.read_int(addr, e.size as usize)?;
+                Ok(CValue::Int { value: v, ty })
+            }
+            TypeKind::Pointer(_) => {
+                let v = self.read_uint(addr, 8)?;
+                Ok(CValue::Ptr { addr: v, ty })
+            }
+            TypeKind::Struct(_) | TypeKind::Array { .. } => Ok(CValue::LValue { addr, ty }),
+            TypeKind::Func(_) => Ok(CValue::Ptr { addr, ty }),
+        }
+    }
+
+    /// Resolve a global symbol to an lvalue of its declared type.
+    pub fn symbol_value(&self, name: &str) -> Result<CValue> {
+        let sym = self
+            .symbols
+            .lookup(name)
+            .ok_or_else(|| BridgeError::UnknownIdent(name.to_string()))?;
+        match sym.ty {
+            Some(ty) => Ok(CValue::LValue { addr: sym.addr, ty }),
+            None => Ok(CValue::Int {
+                value: sym.addr as i64,
+                ty: self.u64_type()?,
+            }),
+        }
+    }
+
+    fn u64_type(&self) -> Result<TypeId> {
+        self.types
+            .find("unsigned long")
+            .ok_or_else(|| BridgeError::Eval("u64 type not interned".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::workload::{self, WorkloadConfig};
+
+    #[test]
+    fn reads_accumulate_virtual_time() {
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let target = Target::new(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+        );
+        let _ = target.read_uint(roots.init_task, 8).unwrap();
+        let s = target.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes, 8);
+        assert!(s.virtual_ns >= 4_900_000);
+        target.reset_stats();
+        assert_eq!(target.stats(), TargetStats::default());
+    }
+
+    #[test]
+    fn symbol_value_gives_typed_lvalue() {
+        let (img, t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let target = Target::new(&img.mem, &img.types, &img.symbols, LatencyProfile::free());
+        let v = target.symbol_value("init_task").unwrap();
+        assert_eq!(v.address(), Some(roots.init_task));
+        assert_eq!(v.type_id(), Some(t.task.task_struct));
+        assert!(matches!(
+            target.symbol_value("no_such_global"),
+            Err(BridgeError::UnknownIdent(_))
+        ));
+    }
+
+    #[test]
+    fn load_decodes_scalars_by_type() {
+        let (img, t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let target = Target::new(&img.mem, &img.types, &img.symbols, LatencyProfile::free());
+        let (pid_off, pid_ty) = img.types.field_path(t.task.task_struct, "pid").unwrap();
+        let v = target.load(roots.init_task + pid_off, pid_ty).unwrap();
+        assert_eq!(v.as_int(), Some(0));
+        // Aggregates come back as lvalues.
+        let v = target.load(roots.init_task, t.task.task_struct).unwrap();
+        assert!(matches!(v, CValue::LValue { .. }));
+    }
+
+    #[test]
+    fn dangling_pointer_read_faults() {
+        let (img, _t, _roots) = workload::build(&WorkloadConfig::default()).finish();
+        let target = Target::new(&img.mem, &img.types, &img.symbols, LatencyProfile::free());
+        assert!(matches!(
+            target.read_uint(0xdead_0000_0000, 8),
+            Err(BridgeError::Mem(_))
+        ));
+    }
+}

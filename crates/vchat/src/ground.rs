@@ -1,0 +1,195 @@
+//! Noun and member grounding against the schema.
+
+use crate::schema::{MemberKind, Schema, SchemaType};
+
+/// Lowercase, collapse whitespace, strip decorative punctuation.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            '"' | '\'' | '“' | '”' | '.' | '!' | '?' => {}
+            ',' => out.push(','),
+            _ => out.push(c),
+        }
+    }
+    out.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Strip a plural/underscore-mangled word down to candidate stems.
+fn stems(word: &str) -> Vec<String> {
+    let w = word.trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_');
+    let mut out = vec![w.to_string()];
+    if let Some(s) = w.strip_suffix("es") {
+        out.push(s.to_string());
+    }
+    if let Some(s) = w.strip_suffix('s') {
+        out.push(s.to_string());
+    }
+    out
+}
+
+/// Domain synonyms: how people name kernel types in prose.
+fn type_synonyms(word: &str) -> &[&str] {
+    match word {
+        "task" | "process" | "thread" => &["task_struct"],
+        "superblock" | "filesystem" => &["super_block"],
+        "file" => &["file"],
+        "socket" | "connection" => &["sock", "socket"],
+        "vma" | "area" | "mapping" => &["vm_area_struct"],
+        "page" => &["page"],
+        "irq" | "interrupt" | "descriptor" => &["irq_desc"],
+        "pid" | "entry" => &["pid", "upid"],
+        "pipe" => &["pipe_inode_info"],
+        "node" => &["maple_node"],
+        "sigaction" | "handler" => &["k_sigaction", "sigaction"],
+        "timer" => &["timer_list"],
+        "inode" => &["inode"],
+        "dentry" => &["dentry"],
+        "list" => &["List"],
+        "tree" | "red-black" | "rbtree" => &["RBTree"],
+        "table" | "hash" => &["HashTable"],
+        "wheel" | "bucket" => &["TimerBase", "Bucket"],
+        _ => &[],
+    }
+}
+
+/// All plausible groundings of a noun phrase, best first.
+pub fn ground_type_candidates<'s>(schema: &'s Schema, phrase: &str) -> Vec<&'s SchemaType> {
+    let words: Vec<String> = phrase.split_whitespace().flat_map(stems).collect();
+    let mut out: Vec<&SchemaType> = Vec::new();
+    let push = |t: &'s SchemaType, out: &mut Vec<&'s SchemaType>| {
+        if !out.iter().any(|e| e.ctype == t.ctype && e.label == t.label) {
+            out.push(t);
+        }
+    };
+    for w in &words {
+        for t in &schema.types {
+            if t.ctype == *w
+                || t.label == *w
+                || t.label.eq_ignore_ascii_case(w)
+                || t.ctype.eq_ignore_ascii_case(w)
+            {
+                push(t, &mut out);
+            }
+        }
+    }
+    for w in &words {
+        for syn in type_synonyms(w) {
+            if let Some(t) = schema.type_named(syn) {
+                push(t, &mut out);
+            }
+        }
+    }
+    for t in &schema.types {
+        if words.iter().any(|w| {
+            !t.ctype.is_empty()
+                && w.len() > 3
+                && (t.ctype.contains(w.as_str()) || (t.ctype.len() > 3 && w.contains(&t.ctype)))
+        }) {
+            push(t, &mut out);
+        }
+    }
+    out
+}
+
+/// Ground a noun phrase to a schema type. Tries exact ctype/label tokens
+/// first, then synonyms, then substring containment.
+pub fn ground_type<'s>(schema: &'s Schema, phrase: &str) -> Option<&'s SchemaType> {
+    let words: Vec<String> = phrase.split_whitespace().flat_map(stems).collect();
+    // Exact ctype or label word.
+    for w in &words {
+        if let Some(t) = schema.types.iter().find(|t| t.ctype == *w || t.label == *w) {
+            return Some(t);
+        }
+        // Case-insensitive label.
+        if let Some(t) = schema
+            .types
+            .iter()
+            .find(|t| t.label.eq_ignore_ascii_case(w) || t.ctype.eq_ignore_ascii_case(w))
+        {
+            return Some(t);
+        }
+    }
+    // Synonyms.
+    for w in &words {
+        for syn in type_synonyms(w) {
+            if let Some(t) = schema.type_named(syn) {
+                return Some(t);
+            }
+        }
+    }
+    // Substring containment (e.g. "maple node" → maple_node).
+    let joined = words.join("_");
+    schema.types.iter().find(|t| {
+        (!t.ctype.is_empty() && (joined.contains(&t.ctype) || t.ctype.contains(&joined)))
+            || words
+                .iter()
+                .any(|w| !t.ctype.is_empty() && t.ctype.contains(w.as_str()) && w.len() > 3)
+    })
+}
+
+/// Member synonyms within a type.
+fn member_synonyms(word: &str) -> &[&str] {
+    match word {
+        "address" | "space" | "memory" => &["mm"],
+        "mapping" => &["mm", "f_mapping", "mapping"],
+        "device" => &["s_bdev", "bdev"],
+        "action" | "configured" => &["action", "sa_handler", "handler"],
+        "write" | "send" => &["sk_write_queue", "wq"],
+        "receive" | "read" => &["sk_receive_queue", "rq"],
+        "buffer" => &["sk_write_queue", "sk_receive_queue", "bufs"],
+        "slot" | "pointer" => &["slots"],
+        "page" => &["pages", "i_pages", "pagecache"],
+        "children" | "child" => &["children"],
+        "writable" => &["is_writable"],
+        "handler" => &["sa_handler"],
+        _ => &[],
+    }
+}
+
+/// Ground a member phrase against a type's member list.
+pub fn ground_member<'t>(ty: &'t SchemaType, phrase: &str) -> Option<&'t str> {
+    let words: Vec<String> = phrase.split_whitespace().flat_map(stems).collect();
+    for w in &words {
+        if let Some(m) = ty.members.iter().find(|m| m.name == *w) {
+            return Some(&m.name);
+        }
+    }
+    for w in &words {
+        for syn in member_synonyms(w) {
+            if let Some(m) = ty.members.iter().find(|m| m.name == *syn) {
+                return Some(&m.name);
+            }
+        }
+    }
+    // Substring match.
+    for w in &words {
+        if w.len() > 3 {
+            if let Some(m) = ty.members.iter().find(|m| m.name.contains(w.as_str())) {
+                return Some(&m.name);
+            }
+        }
+    }
+    None
+}
+
+/// Ground a member phrase preferring containers (for "collapse the X list").
+pub fn ground_container<'t>(ty: &'t SchemaType, phrase: &str) -> Option<&'t str> {
+    let words: Vec<String> = phrase.split_whitespace().flat_map(stems).collect();
+    let containers = ty
+        .members
+        .iter()
+        .filter(|m| m.kind == MemberKind::Container);
+    for m in containers {
+        for w in &words {
+            let hit = m.name == *w
+                || member_synonyms(w).contains(&m.name.as_str())
+                || (w.len() > 3 && m.name.contains(w.as_str()));
+            if hit {
+                return Some(&m.name);
+            }
+        }
+    }
+    None
+}

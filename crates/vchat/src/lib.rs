@@ -1,0 +1,45 @@
+//! `vchat`: natural language → ViewQL synthesis (paper §2.4, §4.2).
+//!
+//! The paper pastes the user's description into a prompt (graph schema +
+//! ViewQL grammar + in-context examples) and lets an LLM (DeepSeek-V2)
+//! emit a ViewQL program, reporting 10/10 success on the Table 3
+//! objectives. This crate is the deterministic stand-in: the same
+//! *information flow* — a graph-derived [`Schema`] grounds the nouns, a
+//! grammar of intent templates maps clauses to `SELECT`/`UPDATE` pairs —
+//! with a rule engine in place of the network call. The claim being
+//! reproduced is about the target language (ViewQL is small enough to
+//! synthesize reliably), not about any particular model.
+
+mod ground;
+mod rules;
+mod schema;
+
+pub use ground::normalize;
+pub use rules::Synthesizer;
+pub use schema::{MemberKind, Schema, SchemaMember, SchemaType};
+
+/// Errors from synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VchatError {
+    /// No intent rule matched the description.
+    NoIntent(String),
+    /// A noun could not be grounded in the graph schema.
+    UnknownNoun(String),
+    /// The produced program failed ViewQL validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for VchatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VchatError::NoIntent(d) => write!(f, "no intent matched: `{d}`"),
+            VchatError::UnknownNoun(n) => write!(f, "cannot ground `{n}` in the plot"),
+            VchatError::Invalid(m) => write!(f, "synthesized invalid ViewQL: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VchatError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, VchatError>;

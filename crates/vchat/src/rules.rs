@@ -1,0 +1,606 @@
+//! The intent rule engine.
+
+use crate::ground::{
+    ground_container, ground_member, ground_type, ground_type_candidates, normalize,
+};
+use crate::schema::Schema;
+use crate::{Result, VchatError};
+
+/// Synthesizes ViewQL from natural-language descriptions against a plot
+/// schema.
+pub struct Synthesizer {
+    schema: Schema,
+    next_var: std::cell::Cell<u8>,
+}
+
+impl Synthesizer {
+    /// Create a synthesizer for a plot with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Synthesizer {
+            schema,
+            next_var: std::cell::Cell::new(0),
+        }
+    }
+
+    fn fresh(&self) -> String {
+        let n = self.next_var.get();
+        self.next_var.set(n + 1);
+        format!("{}", (b'a' + n % 26) as char)
+    }
+
+    /// Synthesize a ViewQL program for `desc`; the result is validated by
+    /// the ViewQL parser before being returned (the rule-engine analogue
+    /// of the LLM's retry-on-parse-error loop).
+    pub fn synthesize(&self, desc: &str) -> Result<String> {
+        self.next_var.set(0);
+        let norm = normalize(desc);
+        let mut out: Vec<String> = Vec::new();
+        for clause in split_clauses(&norm) {
+            // Pronoun clauses ("and collapse them") re-target the previous
+            // selection instead of grounding a new noun.
+            if let Some(attr) = pronoun_attr(&clause) {
+                let last = out
+                    .iter()
+                    .rev()
+                    .find_map(|s| s.split(" = SELECT").next().filter(|v| !v.contains(' ')))
+                    .map(str::to_string);
+                if let Some(var) = last {
+                    out.push(format!("UPDATE {var} WITH {attr}: true"));
+                    continue;
+                }
+            }
+            let stmts = self.clause(&clause)?;
+            out.extend(stmts);
+        }
+        if out.is_empty() {
+            return Err(VchatError::NoIntent(desc.to_string()));
+        }
+        let program = out.join("\n");
+        vql::parse(&program).map_err(|e| VchatError::Invalid(e.to_string()))?;
+        Ok(program)
+    }
+
+    fn clause(&self, clause: &str) -> Result<Vec<String>> {
+        let c = clause.trim();
+        if c.is_empty() {
+            return Ok(vec![]);
+        }
+        // D. "find me all T whose address is not N" [+ "collapse them"]
+        if let Some(stmts) = self.rule_address_pin(c)? {
+            return Ok(stmts);
+        }
+        // A. "display view V of NOUN" / "display NOUN with the V view" /
+        //    "display the NOUNs that COND with the V view".
+        if let Some(stmts) = self.rule_view(c)? {
+            return Ok(stmts);
+        }
+        // B. "display the NOUN (list) vertically / top-down".
+        if let Some(stmts) = self.rule_direction(c)? {
+            return Ok(stmts);
+        }
+        // C. shrink/collapse/trim + noun + optional condition.
+        if let Some(stmts) = self.rule_prune(c)? {
+            return Ok(stmts);
+        }
+        Err(VchatError::NoIntent(c.to_string()))
+    }
+
+    // "find me all vm_area_struct whose address is not 12345 and collapse them"
+    fn rule_address_pin(&self, c: &str) -> Result<Option<Vec<String>>> {
+        let Some(pos) = c.find("whose address is not") else {
+            return Ok(None);
+        };
+        let head = &c[..pos];
+        let tail = &c[pos + "whose address is not".len()..];
+        let ty = ground_type(&self.schema, head)
+            .ok_or_else(|| VchatError::UnknownNoun(head.to_string()))?;
+        let addr = tail
+            .split_whitespace()
+            .find_map(parse_number)
+            .ok_or_else(|| VchatError::NoIntent(format!("no address in `{tail}`")))?;
+        let v = self.fresh();
+        let name = type_ref(ty);
+        let addr = addr as u64;
+        let mut stmts = vec![format!(
+            "{v} = SELECT {name} FROM * AS obj WHERE obj != {addr}"
+        )];
+        // The update may ride along in this clause ("… and collapse them")
+        // or arrive as a separate pronoun clause; emit it here only when
+        // the tail names the action.
+        if tail.contains("trim") || tail.contains("invisible") || tail.contains("remove") {
+            stmts.push(format!("UPDATE {v} WITH trimmed: true"));
+        } else if tail.contains("collapse") || tail.contains("shrink") {
+            stmts.push(format!("UPDATE {v} WITH collapsed: true"));
+        }
+        Ok(Some(stmts))
+    }
+
+    // "display view show_children of all tasks"
+    // "display the task_structs that have non-null mm members with the show_mm view"
+    fn rule_view(&self, c: &str) -> Result<Option<Vec<String>>> {
+        if !c.starts_with("display") && !c.starts_with("show") && !c.starts_with("let") {
+            return Ok(None);
+        }
+        // Extract the view name.
+        let view = if let Some(pos) = c.find("view ") {
+            let rest = &c[pos + 5..];
+            let w = rest.split_whitespace().next().unwrap_or("");
+            if w == "of" {
+                None
+            } else {
+                Some(w.to_string())
+            }
+        } else {
+            None
+        };
+        let view = view.or_else(|| {
+            // "... with the V view" form.
+            let pos = c.find(" view")?;
+            let before = &c[..pos];
+            before
+                .split_whitespace()
+                .last()
+                .map(|s| s.to_string())
+                .filter(|w| w != "the")
+        });
+        let Some(view) = view else { return Ok(None) };
+
+        // The noun phrase: after "of", or before "with the … view".
+        let noun = if let Some(pos) = c.find(" of ") {
+            c[pos + 4..].to_string()
+        } else {
+            c.replace("display the", "").replace("display", "")
+        };
+        let ty = ground_type(&self.schema, &noun)
+            .ok_or_else(|| VchatError::UnknownNoun(noun.clone()))?;
+        let name = type_ref(ty);
+        // Optional condition ("that have non-null mm members").
+        let cond = if noun.contains("non-null") || noun.contains("nonnull") {
+            let member =
+                ground_member(ty, &noun).ok_or_else(|| VchatError::UnknownNoun(noun.clone()))?;
+            Some(format!("{member} != NULL"))
+        } else if let Some(pos) = noun
+            .find("that have no ")
+            .or_else(|| noun.find("that has no "))
+        {
+            let phrase = &noun[pos + 13..];
+            let member = ground_member(ty, phrase)
+                .ok_or_else(|| VchatError::UnknownNoun(phrase.to_string()))?;
+            Some(format!("{member} == NULL"))
+        } else {
+            None
+        };
+        let v = self.fresh();
+        let select = match cond {
+            Some(w) => format!("{v} = SELECT {name} FROM * WHERE {w}"),
+            None => format!("{v} = SELECT {name} FROM *"),
+        };
+        Ok(Some(vec![select, format!("UPDATE {v} WITH view: {view}")]))
+    }
+
+    // "display the superblock list vertically" / "display the red-black tree top-down"
+    fn rule_direction(&self, c: &str) -> Result<Option<Vec<String>>> {
+        if !(c.contains("vertical") || c.contains("top-down") || c.contains("top down")) {
+            return Ok(None);
+        }
+        let noun = c
+            .replace("display the", "")
+            .replace("display", "")
+            .replace("vertically", "")
+            .replace("top-down", "")
+            .replace("top down", "");
+        // Direction applies to the *structure* (the list/tree container),
+        // so structural labels win over the element type.
+        let candidates = ground_type_candidates(&self.schema, &noun);
+        let ty = candidates
+            .iter()
+            .find(|t| {
+                matches!(
+                    t.label.as_str(),
+                    "List" | "RBTree" | "HashTable" | "TimerBase"
+                )
+            })
+            .copied()
+            .or_else(|| candidates.first().copied())
+            .ok_or_else(|| VchatError::UnknownNoun(noun.clone()))?;
+        let v = self.fresh();
+        let name = type_ref(ty);
+        Ok(Some(vec![
+            format!("{v} = SELECT {name} FROM *"),
+            format!("UPDATE {v} WITH direction: vertical"),
+        ]))
+    }
+
+    // shrink / collapse / trim with conditions
+    fn rule_prune(&self, c: &str) -> Result<Option<Vec<String>>> {
+        let attr = if c.starts_with("shrink") || c.starts_with("collapse") {
+            "collapsed"
+        } else if c.starts_with("trim")
+            || c.starts_with("remove")
+            || c.starts_with("hide")
+            || c.starts_with("make")
+        {
+            "trimmed"
+        } else {
+            return Ok(None);
+        };
+        let body = c
+            .trim_start_matches("shrink")
+            .trim_start_matches("collapse")
+            .trim_start_matches("trim")
+            .trim_start_matches("remove")
+            .trim_start_matches("hide")
+            .trim_start_matches("make")
+            .replace("invisible", "");
+        let body = body
+            .trim()
+            .trim_start_matches("all ")
+            .trim_start_matches("the ");
+
+        // "… except for pids 2 and 100" — keep-set difference.
+        if let Some(pos) = body.find("except") {
+            let (head, tail) = body.split_at(pos);
+            let ty = ground_type(&self.schema, head)
+                .ok_or_else(|| VchatError::UnknownNoun(head.to_string()))?;
+            let name = type_ref(ty);
+            let nums: Vec<i64> = tail.split_whitespace().filter_map(parse_number).collect();
+            if nums.is_empty() {
+                return Err(VchatError::NoIntent(format!("no values in `{tail}`")));
+            }
+            let member = ground_member(ty, "pid nr id")
+                .or_else(|| ty.members.first().map(|m| m.name.as_str()))
+                .ok_or_else(|| VchatError::UnknownNoun(head.to_string()))?;
+            let cond = nums
+                .iter()
+                .map(|n| format!("{member} == {n}"))
+                .collect::<Vec<_>>()
+                .join(" OR ");
+            let all = self.fresh();
+            let keep = self.fresh();
+            return Ok(Some(vec![
+                format!("{all} = SELECT {name} FROM *"),
+                format!("{keep} = SELECT {name} FROM * WHERE {cond}"),
+                format!("UPDATE {all} \\ {keep} WITH {attr}: true"),
+            ]));
+        }
+
+        // "… the X list in/of Y" — container member select.
+        if body.contains("list") {
+            // Search all types for a matching container member.
+            for ty in &self.schema.types {
+                if let Some(member) = ground_container(ty, body) {
+                    let v = self.fresh();
+                    let name = type_ref(ty);
+                    return Ok(Some(vec![
+                        format!("{v} = SELECT {name}.{member} FROM *"),
+                        format!("UPDATE {v} WITH {attr}: true"),
+                    ]));
+                }
+            }
+        }
+
+        // Conditions may only ground on one of several plausible types
+        // ("sockets whose write buffer…" grounds the condition on `sock`,
+        // not `socket`); try candidates in priority order.
+        let candidates = ground_type_candidates(&self.schema, body);
+        if candidates.is_empty() {
+            return Err(VchatError::UnknownNoun(body.to_string()));
+        }
+        let mut choice = None;
+        let mut last_err = None;
+        for ty in &candidates {
+            match self.prune_condition(ty, body) {
+                Ok(c) => {
+                    choice = Some((*ty, c));
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let (ty, cond) = match choice {
+            Some(x) => x,
+            None => return Err(last_err.expect("at least one candidate tried")),
+        };
+        let name = type_ref(ty);
+        let v = self.fresh();
+        let select = match cond {
+            Some(w) => format!("{v} = SELECT {name} FROM * WHERE {w}"),
+            None => format!("{v} = SELECT {name} FROM *"),
+        };
+        Ok(Some(vec![select, format!("UPDATE {v} WITH {attr}: true")]))
+    }
+
+    fn prune_condition(
+        &self,
+        ty: &crate::schema::SchemaType,
+        body: &str,
+    ) -> Result<Option<String>> {
+        // "whose X and Y are both empty".
+        if body.contains("both empty") || body.contains("are empty") {
+            let mut members = Vec::new();
+            for phrase in body.split(['/', ' ']) {
+                if let Some(m) = ground_member(ty, phrase) {
+                    if !members.contains(&m) {
+                        members.push(m);
+                    }
+                }
+            }
+            if members.is_empty() {
+                return Err(VchatError::UnknownNoun(body.to_string()));
+            }
+            let cond = members
+                .iter()
+                .map(|m| format!("{m} == 0"))
+                .collect::<Vec<_>>()
+                .join(" AND ");
+            return Ok(Some(cond));
+        }
+        // Negative-possession: "that have no X", "whose X is not configured",
+        // "that are not connected to any X", "with no X", "non-configured".
+        for marker in [
+            "that have no ",
+            "that has no ",
+            "with no ",
+            "without ",
+            "whose ",
+            "that are not connected to any ",
+            "not connected to any ",
+        ] {
+            if let Some(pos) = body.find(marker) {
+                let phrase = &body[pos + marker.len()..];
+                let member = ground_member(ty, phrase)
+                    .ok_or_else(|| VchatError::UnknownNoun(phrase.to_string()))?;
+                let negated = marker.contains("no")
+                    || phrase.contains("not configured")
+                    || phrase.contains("is not");
+                let op = if negated { "==" } else { "!=" };
+                return Ok(Some(format!("{member} {op} NULL")));
+            }
+        }
+        if body.contains("non-configured") || body.contains("unconfigured") {
+            let member = ground_member(ty, "handler action")
+                .ok_or_else(|| VchatError::UnknownNoun(body.to_string()))?;
+            return Ok(Some(format!("{member} == 0")));
+        }
+        if body.contains("writable") {
+            if let Some(member) = ground_member(ty, "writable") {
+                return Ok(Some(format!("{member} == true")));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// `collapse them` / `trim those` style pronoun clauses.
+fn pronoun_attr(clause: &str) -> Option<&'static str> {
+    let c = clause.trim();
+    let pronoun = c.ends_with("them") || c.ends_with("these") || c.ends_with("those");
+    if !pronoun {
+        return None;
+    }
+    if c.starts_with("collapse") || c.starts_with("shrink") {
+        Some("collapsed")
+    } else if c.starts_with("trim") || c.starts_with("remove") || c.starts_with("hide") {
+        Some("trimmed")
+    } else {
+        None
+    }
+}
+
+fn type_ref(ty: &crate::schema::SchemaType) -> &str {
+    if ty.ctype.is_empty() {
+        &ty.label
+    } else {
+        &ty.ctype
+    }
+}
+
+fn parse_number(w: &str) -> Option<i64> {
+    let w = w.trim_matches(|c: char| !c.is_ascii_alphanumeric());
+    if let Some(hex) = w.strip_prefix("0x") {
+        return u64::from_str_radix(hex, 16).ok().map(|v| v as i64);
+    }
+    w.parse::<u64>().ok().map(|v| v as i64)
+}
+
+/// Split a description into intent clauses: `, and VERB` / `and VERB` /
+/// `, VERB` boundaries only, so noun-level "and"s survive.
+fn split_clauses(s: &str) -> Vec<String> {
+    const VERBS: [&str; 9] = [
+        "display", "shrink", "collapse", "trim", "remove", "hide", "make", "show", "find",
+    ];
+    let words: Vec<&str> = s.split_whitespace().collect();
+    let mut clauses = Vec::new();
+    let mut cur: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < words.len() {
+        let w = words[i];
+        let trimmed = w.trim_end_matches(',');
+        let boundary = !cur.is_empty() && (w == "and" || trimmed != w) && i + 1 < words.len() && {
+            let next = words[i + 1];
+            let next = if trimmed != w && next == "and" {
+                *words.get(i + 2).unwrap_or(&"")
+            } else {
+                next
+            };
+            VERBS.contains(&next)
+        };
+        if boundary {
+            cur.push(trimmed.to_string());
+            if w == "and" {
+                cur.pop();
+            }
+            clauses.push(cur.join(" "));
+            cur = Vec::new();
+            if trimmed != w && words.get(i + 1) == Some(&"and") {
+                i += 1; // skip the "and" after a comma
+            }
+            i += 1;
+            continue;
+        }
+        cur.push(trimmed.to_string());
+        i += 1;
+    }
+    if !cur.is_empty() {
+        clauses.push(cur.join(" "));
+    }
+    clauses
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{MemberKind, SchemaMember, SchemaType};
+
+    fn schema() -> Schema {
+        let t = |ctype: &str, label: &str, members: &[(&str, MemberKind)]| SchemaType {
+            ctype: ctype.into(),
+            label: label.into(),
+            members: members
+                .iter()
+                .map(|(n, k)| SchemaMember {
+                    name: (*n).into(),
+                    kind: *k,
+                })
+                .collect(),
+            count: 4,
+        };
+        use MemberKind::*;
+        Schema {
+            types: vec![
+                t(
+                    "task_struct",
+                    "Task",
+                    &[
+                        ("pid", Text),
+                        ("comm", Text),
+                        ("mm", Link),
+                        ("children", Container),
+                    ],
+                ),
+                t(
+                    "vm_area_struct",
+                    "VMArea",
+                    &[("vm_start", Text), ("is_writable", Text)],
+                ),
+                t(
+                    "super_block",
+                    "SuperBlock",
+                    &[("s_id", Text), ("s_bdev", Link)],
+                ),
+                t("irq_desc", "IrqDesc", &[("irq", Text), ("action", Link)]),
+                t(
+                    "socket",
+                    "Socket",
+                    &[
+                        ("sk_receive_queue", Container),
+                        ("sk_write_queue", Container),
+                    ],
+                ),
+                t(
+                    "maple_node",
+                    "MapleNode",
+                    &[("slots", Container), ("pivots", Container)],
+                ),
+                t("", "List", &[("members", Container)]),
+                t("pid", "Pid", &[("nr", Text)]),
+                t("address_space", "AddressSpace", &[("pages", Container)]),
+                t("file", "File", &[("f_mapping", Link)]),
+                t("k_sigaction", "SigAction", &[("sa_handler", Text)]),
+            ],
+        }
+    }
+
+    fn synth(desc: &str) -> String {
+        Synthesizer::new(schema()).synthesize(desc).unwrap()
+    }
+
+    #[test]
+    fn section_2_4_example() {
+        // Paper §2.4: the canonical vchat example.
+        let p =
+            synth("display the task_structs that have non-null mm members with the show_mm view");
+        assert!(
+            p.contains("SELECT task_struct FROM * WHERE mm != NULL"),
+            "{p}"
+        );
+        assert!(p.contains("WITH view: show_mm"), "{p}");
+    }
+
+    #[test]
+    fn view_plus_shrink_composite() {
+        let p = synth(
+            "Display view show_children of all tasks and shrink tasks that have no address space",
+        );
+        assert!(p.contains("WITH view: show_children"), "{p}");
+        assert!(p.contains("WHERE mm == NULL"), "{p}");
+        assert!(p.contains("WITH collapsed: true"), "{p}");
+    }
+
+    #[test]
+    fn except_pids_difference() {
+        let p = synth("Shrink all PID hash table entries except for pids 2 and 100");
+        assert!(p.contains("WHERE nr == 2 OR nr == 100"), "{p}");
+        assert!(p.contains("\\"), "{p}");
+    }
+
+    #[test]
+    fn address_pin_from_section_3_2() {
+        let p = synth(
+            "Find me all vm_area_struct whose address is not 0xffff888004001000, and collapse them",
+        );
+        assert!(
+            p.contains("AS obj WHERE obj != 18446612682137145344"),
+            "{p}"
+        );
+        assert!(p.contains("collapsed: true"), "{p}");
+    }
+
+    #[test]
+    fn both_empty_condition() {
+        let p = synth("Shrink sockets whose write buffer and receive buffer are both empty");
+        assert!(
+            p.contains("sk_write_queue == 0 AND sk_receive_queue == 0"),
+            "{p}"
+        );
+    }
+
+    #[test]
+    fn direction_vertical() {
+        let p = synth("Display the superblock list vertically, and collapse superblocks that are not connected to any block device");
+        assert!(p.contains("direction: vertical"), "{p}");
+        assert!(p.contains("s_bdev == NULL"), "{p}");
+    }
+
+    #[test]
+    fn container_member_collapse() {
+        let p = synth("collapse the slot pointer list");
+        assert!(p.contains("SELECT maple_node.slots FROM *"), "{p}");
+    }
+
+    #[test]
+    fn unknown_noun_is_reported() {
+        let s = Synthesizer::new(schema());
+        assert!(matches!(
+            s.synthesize("shrink all flux capacitors"),
+            Err(VchatError::UnknownNoun(_))
+        ));
+        assert!(matches!(
+            s.synthesize("frobnicate"),
+            Err(VchatError::NoIntent(_))
+        ));
+    }
+
+    #[test]
+    fn output_always_parses_as_viewql() {
+        for desc in [
+            "shrink irq descriptors whose action is not configured",
+            "shrink all non-configured sigactions",
+            "shrink all writable vm_area_structs",
+            "shrink all files that have no memory mapping",
+        ] {
+            let p = synth(desc);
+            vql::parse(&p).unwrap();
+        }
+    }
+}

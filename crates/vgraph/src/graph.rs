@@ -1,0 +1,481 @@
+//! Graph data model.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a box within its [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BoxId(pub u32);
+
+/// How a container's members are logically related (the result of the
+/// *distill* operation, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContainerKind {
+    /// An ordered sequence (lists, rb-tree in-order, sorted VMAs).
+    Sequence,
+    /// An unordered set (hash tables).
+    Set,
+}
+
+/// One item of a view: a text line, an edge, or a member collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Item {
+    /// A displayed scalar.
+    Text {
+        /// Display name (field name or ViewCL-defined name).
+        name: String,
+        /// Decorated display string (e.g. `0xffff8880…`, `vmstat_update`).
+        value: String,
+        /// Raw integer value for ViewQL `WHERE` comparisons.
+        raw: Option<i64>,
+    },
+    /// An edge to another box.
+    Link {
+        /// Link label.
+        name: String,
+        /// Target box.
+        target: BoxId,
+    },
+    /// A link whose target was NULL (kept for display as `∅`).
+    NullLink {
+        /// Link label.
+        name: String,
+    },
+    /// A collection of member boxes.
+    Container {
+        /// Container label.
+        name: String,
+        /// Sequence or set.
+        kind: ContainerKind,
+        /// Member boxes in order.
+        members: Vec<BoxId>,
+        /// Display attributes private to this item (ViewQL can select
+        /// `type.member` and collapse just the container).
+        attrs: Attrs,
+    },
+}
+
+impl Item {
+    /// The item's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Item::Text { name, .. }
+            | Item::Link { name, .. }
+            | Item::NullLink { name }
+            | Item::Container { name, .. } => name,
+        }
+    }
+}
+
+/// Display attributes, the domain of ViewQL `UPDATE` (§2.3, §4.2).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Attrs {
+    /// Which view to display (`None` = default).
+    pub view: Option<String>,
+    /// Remove the object and its descendants from the plot.
+    pub trimmed: bool,
+    /// Display as a small click-to-expand button.
+    pub collapsed: bool,
+    /// Container plotting direction (`horizontal` default, or `vertical`).
+    pub direction: Option<String>,
+    /// Free-form attributes (forward compatibility with new front-ends).
+    pub extra: HashMap<String, serde_json::Value>,
+}
+
+impl Attrs {
+    /// Set an attribute by name, coercing the JSON value; unknown names
+    /// land in `extra`.
+    pub fn set(&mut self, key: &str, value: serde_json::Value) {
+        match key {
+            "view" => self.view = value.as_str().map(|s| s.to_string()),
+            "trimmed" => self.trimmed = as_truthy(&value),
+            "collapsed" => self.collapsed = as_truthy(&value),
+            "direction" => self.direction = value.as_str().map(|s| s.to_string()),
+            _ => {
+                self.extra.insert(key.to_string(), value);
+            }
+        }
+    }
+}
+
+fn as_truthy(v: &serde_json::Value) -> bool {
+    match v {
+        serde_json::Value::Bool(b) => *b,
+        serde_json::Value::Number(n) => n.as_i64().unwrap_or(0) != 0,
+        serde_json::Value::String(s) => s == "true" || s == "1",
+        _ => false,
+    }
+}
+
+/// One named view of a box (§2.2: a customized layout to plot an object).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViewInst {
+    /// View name (`default` unless declared otherwise).
+    pub name: String,
+    /// Items in declaration order.
+    pub items: Vec<Item>,
+}
+
+/// A vertex: one plotted kernel object (or virtual box).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxNode {
+    /// Stable id within the graph.
+    pub id: BoxId,
+    /// ViewCL box-type label (`Task`, `MapleNode`, …).
+    pub label: String,
+    /// Underlying C type tag (`task_struct`, …; empty for virtual boxes).
+    pub ctype: String,
+    /// Object address (0 for virtual boxes).
+    pub addr: u64,
+    /// Object size in bytes (0 for virtual boxes).
+    pub size: u64,
+    /// All materialized views, first is the default.
+    pub views: Vec<ViewInst>,
+    /// Display attributes.
+    pub attrs: Attrs,
+}
+
+impl BoxNode {
+    /// The view selected by `attrs.view`, falling back to the first.
+    pub fn active_view(&self) -> Option<&ViewInst> {
+        match &self.attrs.view {
+            Some(name) => self
+                .views
+                .iter()
+                .find(|v| &v.name == name)
+                .or_else(|| self.views.first()),
+            None => self.views.first(),
+        }
+    }
+
+    /// Look up an item by name across all views (ViewQL member access).
+    pub fn item(&self, name: &str) -> Option<&Item> {
+        self.views
+            .iter()
+            .flat_map(|v| &v.items)
+            .find(|i| i.name() == name)
+    }
+
+    /// The raw comparison value of a member: text raw, link target address
+    /// marker, or `None`.
+    pub fn member_raw(&self, name: &str, graph: &Graph) -> Option<i64> {
+        match self.item(name)? {
+            Item::Text { raw, .. } => *raw,
+            Item::Link { target, .. } => Some(graph.get(*target).addr as i64),
+            Item::NullLink { .. } => Some(0),
+            Item::Container { members, .. } => Some(members.len() as i64),
+        }
+    }
+}
+
+/// The object graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    boxes: Vec<BoxNode>,
+    /// Plot roots (the `plot` statements' arguments).
+    pub roots: Vec<BoxId>,
+    #[serde(skip)]
+    by_key: HashMap<(u64, String), BoxId>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a box for `(addr, label)`; returns `(id, true)` when newly
+    /// created. Virtual boxes (addr 0) are never deduplicated.
+    pub fn intern(&mut self, addr: u64, label: &str, ctype: &str, size: u64) -> (BoxId, bool) {
+        if addr != 0 {
+            if let Some(&id) = self.by_key.get(&(addr, label.to_string())) {
+                return (id, false);
+            }
+        }
+        let id = BoxId(self.boxes.len() as u32);
+        self.boxes.push(BoxNode {
+            id,
+            label: label.to_string(),
+            ctype: ctype.to_string(),
+            addr,
+            size,
+            views: Vec::new(),
+            attrs: Attrs::default(),
+        });
+        if addr != 0 {
+            self.by_key.insert((addr, label.to_string()), id);
+        }
+        (id, true)
+    }
+
+    /// Get a box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn get(&self, id: BoxId) -> &BoxNode {
+        &self.boxes[id.0 as usize]
+    }
+
+    /// Get a box mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn get_mut(&mut self, id: BoxId) -> &mut BoxNode {
+        &mut self.boxes[id.0 as usize]
+    }
+
+    /// All boxes.
+    pub fn boxes(&self) -> &[BoxNode] {
+        &self.boxes
+    }
+
+    /// Mutable access to all boxes.
+    pub fn boxes_mut(&mut self) -> &mut [BoxNode] {
+        &mut self.boxes
+    }
+
+    /// Number of boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Whether the graph has no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Ids of the boxes a box points at (links + container members).
+    pub fn neighbors(&self, id: BoxId) -> Vec<BoxId> {
+        let mut out = Vec::new();
+        for view in &self.get(id).views {
+            for item in &view.items {
+                match item {
+                    Item::Link { target, .. } => out.push(*target),
+                    Item::Container { members, .. } => out.extend(members.iter().copied()),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive closure of `seeds` over links and containers
+    /// (ViewQL's `REACHABLE`).
+    pub fn reachable(&self, seeds: &[BoxId]) -> Vec<BoxId> {
+        let mut seen = vec![false; self.boxes.len()];
+        let mut stack: Vec<BoxId> = seeds.to_vec();
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            if seen[id.0 as usize] {
+                continue;
+            }
+            seen[id.0 as usize] = true;
+            out.push(id);
+            stack.extend(self.neighbors(id));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Serialize to the JSON wire format (the visualizer protocol).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("graph serialization cannot fail")
+    }
+
+    /// Deserialize from the JSON wire format.
+    pub fn from_json(s: &str) -> serde_json::Result<Graph> {
+        let mut g: Graph = serde_json::from_str(s)?;
+        // Rebuild the intern index.
+        for b in &g.boxes {
+            if b.addr != 0 {
+                g.by_key.insert((b.addr, b.label.clone()), b.id);
+            }
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let (a, _) = g.intern(0x1000, "Task", "task_struct", 100);
+        let (b, _) = g.intern(0x2000, "Task", "task_struct", 100);
+        let (c, _) = g.intern(0x3000, "MM", "mm_struct", 50);
+        g.get_mut(a).views.push(ViewInst {
+            name: "default".into(),
+            items: vec![
+                Item::Text {
+                    name: "pid".into(),
+                    value: "1".into(),
+                    raw: Some(1),
+                },
+                Item::Link {
+                    name: "mm".into(),
+                    target: c,
+                },
+                Item::Container {
+                    name: "children".into(),
+                    kind: ContainerKind::Sequence,
+                    members: vec![b],
+                    attrs: Attrs::default(),
+                },
+            ],
+        });
+        g.get_mut(b).views.push(ViewInst {
+            name: "default".into(),
+            items: vec![Item::Text {
+                name: "pid".into(),
+                value: "2".into(),
+                raw: Some(2),
+            }],
+        });
+        g.roots.push(a);
+        g
+    }
+
+    #[test]
+    fn interning_deduplicates_by_addr_and_label() {
+        let mut g = Graph::new();
+        let (a, fresh_a) = g.intern(0x1000, "Task", "task_struct", 10);
+        let (b, fresh_b) = g.intern(0x1000, "Task", "task_struct", 10);
+        assert_eq!(a, b);
+        assert!(fresh_a);
+        assert!(!fresh_b);
+        // Same address, different box type is a distinct vertex.
+        let (c, _) = g.intern(0x1000, "TaskSched", "task_struct", 10);
+        assert_ne!(a, c);
+        // Virtual boxes never deduplicate.
+        let (v1, _) = g.intern(0, "V", "", 0);
+        let (v2, _) = g.intern(0, "V", "", 0);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn reachable_closure() {
+        let g = sample();
+        let r = g.reachable(&[BoxId(0)]);
+        assert_eq!(r.len(), 3, "root reaches everything");
+        let r = g.reachable(&[BoxId(1)]);
+        assert_eq!(r, vec![BoxId(1)]);
+    }
+
+    #[test]
+    fn member_raw_variants() {
+        let g = sample();
+        let a = g.get(BoxId(0));
+        assert_eq!(a.member_raw("pid", &g), Some(1));
+        assert_eq!(a.member_raw("mm", &g), Some(0x3000));
+        assert_eq!(a.member_raw("children", &g), Some(1));
+        assert_eq!(a.member_raw("nope", &g), None);
+    }
+
+    #[test]
+    fn attrs_set_coerces() {
+        let mut a = Attrs::default();
+        a.set("view", serde_json::json!("sched"));
+        a.set("trimmed", serde_json::json!(true));
+        a.set("collapsed", serde_json::json!("true"));
+        a.set("direction", serde_json::json!("vertical"));
+        a.set("custom_thing", serde_json::json!(42));
+        assert_eq!(a.view.as_deref(), Some("sched"));
+        assert!(a.trimmed);
+        assert!(a.collapsed);
+        assert_eq!(a.direction.as_deref(), Some("vertical"));
+        assert_eq!(a.extra["custom_thing"], serde_json::json!(42));
+    }
+
+    #[test]
+    fn active_view_respects_attr() {
+        let mut g = sample();
+        g.get_mut(BoxId(0)).views.push(ViewInst {
+            name: "sched".into(),
+            items: vec![],
+        });
+        assert_eq!(g.get(BoxId(0)).active_view().unwrap().name, "default");
+        g.get_mut(BoxId(0)).attrs.view = Some("sched".into());
+        assert_eq!(g.get(BoxId(0)).active_view().unwrap().name, "sched");
+        // Unknown view falls back to first.
+        g.get_mut(BoxId(0)).attrs.view = Some("nope".into());
+        assert_eq!(g.get(BoxId(0)).active_view().unwrap().name, "default");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = sample();
+        let s = g.to_json();
+        let g2 = Graph::from_json(&s).unwrap();
+        assert_eq!(g.len(), g2.len());
+        assert_eq!(g.roots, g2.roots);
+        assert_eq!(g.get(BoxId(0)).views, g2.get(BoxId(0)).views);
+        // The intern index was rebuilt.
+        let mut g2 = g2;
+        let (id, fresh) = g2.intern(0x1000, "Task", "task_struct", 100);
+        assert_eq!(id, BoxId(0));
+        assert!(!fresh);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    //! Properties of the reachability closure used by ViewQL.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random DAG-ish graph: n boxes, random links.
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        (2usize..40, proptest::collection::vec((0usize..40, 0usize..40), 0..80)).prop_map(
+            |(n, edges)| {
+                let mut g = Graph::new();
+                for i in 0..n {
+                    let (id, _) = g.intern(0x1000 + i as u64 * 0x100, "N", "node", 8);
+                    g.get_mut(id)
+                        .views
+                        .push(ViewInst { name: "default".into(), items: vec![] });
+                }
+                for (a, b) in edges {
+                    if a < n && b < n {
+                        let target = BoxId(b as u32);
+                        g.get_mut(BoxId(a as u32)).views[0].items.push(Item::Link {
+                            name: "e".into(),
+                            target,
+                        });
+                    }
+                }
+                g
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reachable_is_idempotent_and_monotone(g in arb_graph()) {
+            let seeds = vec![BoxId(0)];
+            let r1 = g.reachable(&seeds);
+            let r2 = g.reachable(&r1);
+            prop_assert_eq!(&r1, &r2, "closure is a fixpoint");
+            prop_assert!(r1.contains(&BoxId(0)), "seeds are included");
+            // Monotone: closing over a superset yields a superset.
+            let mut bigger = seeds.clone();
+            bigger.push(BoxId(1));
+            let r3 = g.reachable(&bigger);
+            prop_assert!(r1.iter().all(|x| r3.contains(x)));
+        }
+
+        #[test]
+        fn prop_neighbors_subset_of_reachable(g in arb_graph()) {
+            for b in g.boxes() {
+                let r = g.reachable(&[b.id]);
+                for n in g.neighbors(b.id) {
+                    prop_assert!(r.contains(&n));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! The extracted kernel object graph.
+//!
+//! Evaluating a ViewCL program over a target yields a `Graph` G(V, E):
+//! vertices are [`BoxNode`]s (kernel objects, or virtual boxes the program
+//! synthesized), edges are [`Item::Link`]s and [`Item::Container`]
+//! memberships (§2.2–2.3 of the paper). ViewQL operates on this graph by
+//! toggling display [`Attrs`]; the renderer consumes it; the pane protocol
+//! serializes it as JSON (the payload of the paper's HTTP POST between the
+//! GDB extension and the visualizer).
+
+mod graph;
+mod stats;
+
+pub use graph::{Attrs, BoxId, BoxNode, ContainerKind, Graph, Item, ViewInst};
+pub use stats::GraphStats;

@@ -1,0 +1,83 @@
+//! Graph statistics, the denominators of Table 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+
+/// Aggregate statistics of an extracted graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of boxes (objects), including virtual boxes.
+    pub objects: u64,
+    /// Number of non-virtual kernel objects.
+    pub kernel_objects: u64,
+    /// Total bytes of the underlying kernel objects.
+    pub bytes: u64,
+    /// Number of link edges.
+    pub links: u64,
+    /// Number of container memberships.
+    pub memberships: u64,
+}
+
+impl GraphStats {
+    /// Compute statistics for a graph.
+    pub fn of(g: &Graph) -> GraphStats {
+        let mut s = GraphStats {
+            objects: g.len() as u64,
+            ..Default::default()
+        };
+        for b in g.boxes() {
+            if b.addr != 0 {
+                s.kernel_objects += 1;
+                s.bytes += b.size;
+            }
+            for v in &b.views {
+                for item in &v.items {
+                    match item {
+                        crate::graph::Item::Link { .. } => s.links += 1,
+                        crate::graph::Item::Container { members, .. } => {
+                            s.memberships += members.len() as u64
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Attrs, ContainerKind, Item, ViewInst};
+
+    #[test]
+    fn stats_count_objects_bytes_edges() {
+        let mut g = Graph::new();
+        let (a, _) = g.intern(0x1000, "A", "task_struct", 64);
+        let (b, _) = g.intern(0x2000, "B", "mm_struct", 32);
+        let (v, _) = g.intern(0, "Virt", "", 0);
+        g.get_mut(a).views.push(ViewInst {
+            name: "default".into(),
+            items: vec![
+                Item::Link {
+                    name: "x".into(),
+                    target: b,
+                },
+                Item::Container {
+                    name: "c".into(),
+                    kind: ContainerKind::Sequence,
+                    members: vec![b, v],
+                    attrs: Attrs::default(),
+                },
+            ],
+        });
+        let s = GraphStats::of(&g);
+        assert_eq!(s.objects, 3);
+        assert_eq!(s.kernel_objects, 2);
+        assert_eq!(s.bytes, 96);
+        assert_eq!(s.links, 1);
+        assert_eq!(s.memberships, 2);
+    }
+}

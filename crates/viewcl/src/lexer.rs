@@ -1,0 +1,288 @@
+//! ViewCL tokenizer.
+
+use crate::{Result, VclError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// `@name(.path)*` reference (without the `@`).
+    AtRef(String),
+    /// `${ … }` C expression (inner text).
+    CExpr(String),
+    /// `<…>` specification (decorator, C type, anchor path; inner text).
+    Spec(String),
+    /// Integer literal.
+    Num(i64),
+    /// Punctuation.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Line number.
+    pub line: u32,
+}
+
+/// Tokenize a ViewCL source string.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    let err = |line: u32, msg: &str| VclError::Parse {
+        line,
+        msg: msg.to_string(),
+    };
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(SpannedTok { tok: $t, line })
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '$' if i + 1 < b.len() && b[i + 1] == b'{' => {
+                let start = i + 2;
+                let mut depth = 1;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    match b[j] {
+                        b'{' => depth += 1,
+                        b'}' => depth -= 1,
+                        b'\n' => line += 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if depth != 0 {
+                    return Err(err(line, "unterminated ${...}"));
+                }
+                push!(Tok::CExpr(src[start..j - 1].to_string()));
+                i = j;
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len()
+                    && matches!(b[j] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_' )
+                {
+                    j += 1;
+                }
+                // Allow dotted paths: @node.mr64.slot — a dot must be
+                // followed by an identifier character to be part of the
+                // reference (so `@x.forEach` stops before `.forEach`).
+                loop {
+                    if j < b.len()
+                        && b[j] == b'.'
+                        && j + 1 < b.len()
+                        && matches!(b[j + 1] as char, 'a'..='z' | 'A'..='Z' | '_')
+                    {
+                        let word_start = j + 1;
+                        let mut k = word_start;
+                        while k < b.len()
+                            && matches!(b[k] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                        {
+                            k += 1;
+                        }
+                        let word = &src[word_start..k];
+                        if word == "forEach" || word == "selectFrom" {
+                            break;
+                        }
+                        j = k;
+                        // Optional [number] indices.
+                        while j < b.len() && b[j] == b'[' {
+                            let mut k = j + 1;
+                            while k < b.len() && b[k] != b']' {
+                                k += 1;
+                            }
+                            if k == b.len() {
+                                return Err(err(line, "unterminated index in @ref"));
+                            }
+                            j = k + 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                if j == start {
+                    return Err(err(line, "dangling `@`"));
+                }
+                push!(Tok::AtRef(src[start..j].to_string()));
+                i = j;
+            }
+            '<' => {
+                // Heuristic spec scan: take `<...>` as a Spec when the
+                // contents look like a type/decorator/path (no newline,
+                // only word chars, ':', '.', '*', and spaces).
+                let mut j = i + 1;
+                let mut ok = false;
+                while j < b.len() {
+                    let cc = b[j] as char;
+                    if cc == '>' {
+                        ok = true;
+                        break;
+                    }
+                    if !(cc.is_ascii_alphanumeric()
+                        || matches!(cc, '_' | ':' | '.' | '*' | ' ' | '[' | ']'))
+                    {
+                        break;
+                    }
+                    j += 1;
+                }
+                if ok {
+                    push!(Tok::Spec(src[i + 1..j].trim().to_string()));
+                    i = j + 1;
+                } else {
+                    push!(Tok::Punct("<"));
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                if c == '0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                    i += 2;
+                    while i < b.len() && (b[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = u64::from_str_radix(&src[start + 2..i], 16)
+                        .map_err(|_| err(line, "bad hex literal"))?;
+                    push!(Tok::Num(v as i64));
+                } else {
+                    while i < b.len() && (b[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: i64 = src[start..i]
+                        .parse()
+                        .map_err(|_| err(line, "bad literal"))?;
+                    push!(Tok::Num(v));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len() && matches!(b[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                push!(Tok::Ident(src[start..i].to_string()));
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                if two == "->" {
+                    push!(Tok::Punct("->"));
+                    i += 2;
+                    continue;
+                }
+                if two == "=>" {
+                    push!(Tok::Punct("=>"));
+                    i += 2;
+                    continue;
+                }
+                let p: &'static str = match c {
+                    '[' => "[",
+                    ']' => "]",
+                    '{' => "{",
+                    '}' => "}",
+                    '(' => "(",
+                    ')' => ")",
+                    ':' => ":",
+                    ',' => ",",
+                    '=' => "=",
+                    '|' => "|",
+                    '.' => ".",
+                    '>' => ">",
+                    _ => return Err(err(line, &format!("unexpected character `{c}`"))),
+                };
+                push!(Tok::Punct(p));
+                i += 1;
+            }
+        }
+    }
+    out.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn cexpr_and_refs() {
+        let t = toks("root = ${cpu_rq(0)->cfs.tasks_timeline}");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("root".into()),
+                Tok::Punct("="),
+                Tok::CExpr("cpu_rq(0)->cfs.tasks_timeline".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn at_ref_stops_before_foreach() {
+        let t = toks("@root.forEach |node|");
+        assert_eq!(t[0], Tok::AtRef("root".into()));
+        assert_eq!(t[1], Tok::Punct("."));
+        assert_eq!(t[2], Tok::Ident("forEach".into()));
+    }
+
+    #[test]
+    fn dotted_at_ref_with_index() {
+        let t = toks("@node.mr64.slot[3]");
+        assert_eq!(t[0], Tok::AtRef("node.mr64.slot[3]".into()));
+    }
+
+    #[test]
+    fn specs_vs_comparison() {
+        let t = toks("Box<task_struct>");
+        assert_eq!(t[1], Tok::Spec("task_struct".into()));
+        let t = toks("Text<u64:x> vm_start");
+        assert_eq!(t[1], Tok::Spec("u64:x".into()));
+        let t = toks("Task<task_struct.se.run_node>(@node)");
+        assert_eq!(t[1], Tok::Spec("task_struct.se.run_node".into()));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("a = @b // comment\nplot @a").unwrap();
+        let plot_line = spanned
+            .iter()
+            .find(|s| matches!(&s.tok, Tok::Ident(i) if i == "plot"))
+            .unwrap()
+            .line;
+        assert_eq!(plot_line, 2);
+    }
+
+    #[test]
+    fn nested_braces_in_cexpr() {
+        let t = toks("x = ${foo({1,2})}");
+        assert_eq!(t[2], Tok::CExpr("foo({1,2})".into()));
+    }
+}

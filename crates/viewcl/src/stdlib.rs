@@ -1,0 +1,335 @@
+//! Standard-library container traversals (the *distill* operators).
+//!
+//! Each traversal reads raw target memory through the metered bridge, so
+//! container walks contribute to the Table 4 cost model exactly like
+//! GDB-driven walks do in the paper.
+
+use ktypes::{CValue, TypeKind};
+use vbridge::Target;
+
+use crate::{Result, VclError};
+
+/// Upper bound on container traversal, to catch corrupted lists.
+const MAX_ELEMS: usize = 1_000_000;
+
+fn addr_of(v: &CValue, what: &str) -> Result<u64> {
+    v.address()
+        .or_else(|| v.as_u64())
+        .ok_or_else(|| VclError::Eval(format!("{what}: expected an address, got {v:?}")))
+}
+
+/// Walk a circular `list_head`, returning node addresses (head excluded).
+pub fn list_nodes(target: &Target<'_>, head_val: &CValue) -> Result<Vec<u64>> {
+    let head = addr_of(head_val, "List")?;
+    let mut out = Vec::new();
+    let mut cur = target.read_uint(head, 8)?;
+    while cur != head && cur != 0 {
+        out.push(cur);
+        cur = target.read_uint(cur, 8)?;
+        if out.len() > MAX_ELEMS {
+            return Err(VclError::Eval(format!(
+                "List at {head:#x} does not terminate"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// Walk an `hlist_head`, returning node addresses.
+pub fn hlist_nodes(target: &Target<'_>, head_val: &CValue) -> Result<Vec<u64>> {
+    let head = addr_of(head_val, "HList")?;
+    let mut out = Vec::new();
+    let mut cur = target.read_uint(head, 8)?;
+    while cur != 0 {
+        out.push(cur);
+        cur = target.read_uint(cur, 8)?;
+        if out.len() > MAX_ELEMS {
+            return Err(VclError::Eval(format!(
+                "HList at {head:#x} does not terminate"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// In-order walk of a red-black tree. Accepts an `rb_root`,
+/// `rb_root_cached`, `rb_node *` or raw node address.
+pub fn rbtree_nodes(target: &Target<'_>, root_val: &CValue) -> Result<Vec<u64>> {
+    // Normalize to the top rb_node address.
+    let top = match root_val {
+        CValue::LValue { addr, ty } => {
+            let name = target.types.tag_name(*ty).unwrap_or("");
+            match name {
+                "rb_root_cached" | "rb_root" => target.read_uint(*addr, 8)?,
+                "rb_node" => *addr,
+                _ => target.read_uint(*addr, 8)?,
+            }
+        }
+        CValue::Ptr { addr, ty } => {
+            let pointee = target.types.pointee(*ty).ok();
+            let name = pointee.and_then(|p| target.types.tag_name(p)).unwrap_or("");
+            match name {
+                "rb_root_cached" | "rb_root" => target.read_uint(*addr, 8)?,
+                _ => *addr,
+            }
+        }
+        other => addr_of(other, "RBTree")?,
+    };
+    let mut out = Vec::new();
+    // Iterative in-order with an explicit stack (kernel trees can be deep).
+    let mut stack: Vec<(u64, bool)> = if top == 0 { vec![] } else { vec![(top, false)] };
+    while let Some((node, expanded)) = stack.pop() {
+        if node == 0 {
+            continue;
+        }
+        if expanded {
+            out.push(node);
+            continue;
+        }
+        let right = target.read_uint(node + 8, 8)?;
+        let left = target.read_uint(node + 16, 8)?;
+        if right != 0 {
+            stack.push((right, false));
+        }
+        stack.push((node, true));
+        if left != 0 {
+            stack.push((left, false));
+        }
+        if out.len() + stack.len() > MAX_ELEMS {
+            return Err(VclError::Eval("RBTree traversal exploded".into()));
+        }
+    }
+    Ok(out)
+}
+
+/// Elements of a C array lvalue, or of a `(pointer, length)` pair.
+pub fn array_elems(target: &Target<'_>, args: &[CValue]) -> Result<Vec<CValue>> {
+    match args {
+        [CValue::LValue { addr, ty }] => match &target.types.get(*ty).kind {
+            TypeKind::Array { elem, len } => {
+                let esz = target.types.size_of(*elem);
+                let mut out = Vec::with_capacity(*len as usize);
+                for i in 0..*len {
+                    out.push(target.load(addr + esz * i, *elem)?);
+                }
+                Ok(out)
+            }
+            _ => Err(VclError::Eval(format!(
+                "Array: `{}` is not an array",
+                target.types.display_name(*ty)
+            ))),
+        },
+        [ptr, len] => {
+            let base = addr_of(ptr, "Array")?;
+            let len = match len {
+                CValue::LValue { addr, ty } if target.types.size_of(*ty) <= 8 => {
+                    let size = target.types.size_of(*ty).max(1) as usize;
+                    CValue::Int {
+                        value: target.read_uint(*addr, size)? as i64,
+                        ty: *ty,
+                    }
+                }
+                other => other.clone(),
+            };
+            let n = len
+                .as_u64()
+                .ok_or_else(|| VclError::Eval("Array: length must be integer".into()))?;
+            let elem_ty = match ptr {
+                CValue::Ptr { ty, .. } => target.types.pointee(*ty).ok(),
+                _ => None,
+            };
+            let mut out = Vec::with_capacity(n as usize);
+            match elem_ty {
+                Some(ty) if target.types.size_of(ty) > 0 => {
+                    let esz = target.types.size_of(ty);
+                    for i in 0..n {
+                        out.push(target.load(base + esz * i, ty)?);
+                    }
+                }
+                _ => {
+                    // Untyped: treat as an array of 8-byte words.
+                    for i in 0..n {
+                        let v = target.read_uint(base + 8 * i, 8)?;
+                        out.push(CValue::Int {
+                            value: v as i64,
+                            ty: target
+                                .types
+                                .find("unsigned long")
+                                .ok_or_else(|| VclError::Eval("u64 not interned".into()))?,
+                        });
+                    }
+                }
+            }
+            Ok(out)
+        }
+        _ => Err(VclError::Eval("Array takes 1 or 2 arguments".into())),
+    }
+}
+
+/// Walk an xarray (`struct xarray` lvalue), yielding `(index, entry)` for
+/// every non-NULL stored entry.
+pub fn xarray_entries(target: &Target<'_>, xa_val: &CValue) -> Result<Vec<(u64, u64)>> {
+    let xa = addr_of(xa_val, "XArray")?;
+    let xarray_ty = target
+        .types
+        .find("xarray")
+        .ok_or_else(|| VclError::Eval("xarray type not registered".into()))?;
+    let (head_off, _) = target
+        .types
+        .field_path(xarray_ty, "xa_head")
+        .map_err(vbridge::BridgeError::from)?;
+    let head = target.read_uint(xa + head_off, 8)?;
+    let mut out = Vec::new();
+    if head == 0 {
+        return Ok(out);
+    }
+    if head & 3 != 2 || head <= 4096 {
+        out.push((0, head));
+        return Ok(out);
+    }
+    let xa_node = target
+        .types
+        .find("xa_node")
+        .ok_or_else(|| VclError::Eval("xa_node type not registered".into()))?;
+    let (shift_off, _) = target
+        .types
+        .field_path(xa_node, "shift")
+        .map_err(vbridge::BridgeError::from)?;
+    let (slots_off, _) = target
+        .types
+        .field_path(xa_node, "slots")
+        .map_err(vbridge::BridgeError::from)?;
+
+    fn walk(
+        target: &Target<'_>,
+        node: u64,
+        base: u64,
+        shift_off: u64,
+        slots_off: u64,
+        out: &mut Vec<(u64, u64)>,
+    ) -> Result<()> {
+        let shift = target.read_uint(node + shift_off, 1)?;
+        for slot in 0..64u64 {
+            let entry = target.read_uint(node + slots_off + 8 * slot, 8)?;
+            if entry == 0 {
+                continue;
+            }
+            let idx_base = base + (slot << shift);
+            if entry & 3 == 2 && entry > 4096 && shift > 0 {
+                walk(target, entry & !3, idx_base, shift_off, slots_off, out)?;
+            } else {
+                out.push((idx_base, entry));
+            }
+        }
+        Ok(())
+    }
+    walk(target, head & !3, 0, shift_off, slots_off, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::image::KernelBuilder;
+    use ksim::structops;
+    use vbridge::{LatencyProfile, Target};
+
+    struct Fx {
+        kb: KernelBuilder,
+    }
+
+    fn fixture() -> Fx {
+        let mut kb = KernelBuilder::new();
+        let common = kb.common;
+        // Register the vfs types so XArray walks have xa_node available.
+        let _ = ksim::vfs::register_types(&mut kb.types, &common);
+        let _ = ksim::pagecache::register_types(&mut kb.types, &common);
+        kb.types.ensure_pointers();
+        Fx { kb }
+    }
+
+    fn target(fx: &Fx) -> Target<'_> {
+        Target::new(&fx.kb.mem, &fx.kb.types, &fx.kb.symbols, LatencyProfile::free())
+    }
+
+    fn long_val(fx: &Fx, v: u64) -> CValue {
+        CValue::Int { value: v as i64, ty: fx.kb.types.find("long").unwrap() }
+    }
+
+    #[test]
+    fn corrupted_list_is_detected_not_hung() {
+        let mut fx = fixture();
+        // A list whose node points at itself (but is not the head): the
+        // bounded walk errors out instead of spinning.
+        fx.kb.mem.map(0x1000, 16);
+        fx.kb.mem.map(0x2000, 16);
+        structops::list_init(&mut fx.kb.mem, 0x1000);
+        structops::list_add_tail(&mut fx.kb.mem, 0x2000, 0x1000);
+        // Corrupt: node→next = node.
+        fx.kb.mem.write_uint(0x2000, 8, 0x2000);
+        let head = long_val(&fx, 0x1000);
+        let t = target(&fx);
+        assert!(list_nodes(&t, &head).is_err(), "must not loop forever");
+    }
+
+    #[test]
+    fn list_through_unmapped_node_reports_the_fault() {
+        let mut fx = fixture();
+        fx.kb.mem.map(0x1000, 16);
+        structops::list_init(&mut fx.kb.mem, 0x1000);
+        // Head points into unmapped memory: a dangling ->next.
+        fx.kb.mem.write_uint(0x1000, 8, 0xdead_0000);
+        let head = long_val(&fx, 0x1000);
+        let t = target(&fx);
+        match list_nodes(&t, &head) {
+            Err(VclError::Bridge(vbridge::BridgeError::Mem(_))) => {}
+            other => panic!("expected a memory fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_arg_array_with_typed_pointer_loads_elements() {
+        let mut fx = fixture();
+        // An array of 3 u64s behind a pointer.
+        fx.kb.mem.map(0x4000, 24);
+        for i in 0..3u64 {
+            fx.kb.mem.write_uint(0x4000 + 8 * i, 8, 100 + i);
+        }
+        let t = target(&fx);
+        let u64_ty = t.types.find("unsigned long").unwrap();
+        let pty = t.types.find_pointer_to(u64_ty).unwrap();
+        let ptr = CValue::Ptr { addr: 0x4000, ty: pty };
+        let len = CValue::Int { value: 3, ty: u64_ty };
+        let elems = array_elems(&t, &[ptr, len]).unwrap();
+        let got: Vec<i64> = elems.iter().filter_map(|e| e.as_int()).collect();
+        assert_eq!(got, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn rbtree_of_empty_root_is_empty() {
+        let mut fx = fixture();
+        fx.kb.mem.map(0x5000, 8); // rb_root with NULL rb_node
+        let t = target(&fx);
+        let root_ty = t.types.find("rb_root").unwrap();
+        let root = CValue::LValue { addr: 0x5000, ty: root_ty };
+        assert_eq!(rbtree_nodes(&t, &root).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn traversals_meter_their_reads() {
+        let mut fx = fixture();
+        fx.kb.mem.map(0x1000, 16);
+        structops::list_init(&mut fx.kb.mem, 0x1000);
+        for i in 0..5u64 {
+            let node = 0x2000 + i * 0x20;
+            fx.kb.mem.map(node, 16);
+            structops::list_add_tail(&mut fx.kb.mem, node, 0x1000);
+        }
+        let head = long_val(&fx, 0x1000);
+        let t = target(&fx);
+        let nodes = list_nodes(&t, &head).unwrap();
+        assert_eq!(nodes.len(), 5);
+        // One read per hop (5 nodes + the head re-entry) at minimum.
+        assert!(t.stats().reads >= 6);
+    }
+}

@@ -1,0 +1,53 @@
+//! ViewQL — the View Query Language (paper §2.3, §4.2).
+//!
+//! An SQL-like language for *last-mile* customization of an extracted
+//! object graph. Deliberately tiny — only `SELECT` and `UPDATE`, no
+//! nesting — which is what makes it practical for developers who have
+//! never seen ViewCL, and synthesizable by LLMs (§2.4):
+//!
+//! ```text
+//! task_all = SELECT task_struct FROM *
+//! task_2   = SELECT task_struct FROM task_all WHERE pid == 2 OR ppid == 2
+//! UPDATE task_all \ task_2 WITH collapsed: true
+//! ```
+//!
+//! Selections are sets of boxes *or members* (`SELECT maple_node.slots`),
+//! support set algebra (`\` difference, `&` intersection, `|` union) and
+//! the `REACHABLE(v)` closure builtin.
+
+mod exec;
+mod parse;
+
+pub use exec::{Engine, Entry, Selection};
+pub use parse::{parse, Cond, CondAtom, Op, SelExpr, SetExpr, Source, Stmt, ValueLit};
+
+/// Errors from parsing or executing ViewQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VqlError {
+    /// Syntax error.
+    Parse(String),
+    /// Execution error (unknown variable, bad member, …).
+    Exec(String),
+}
+
+impl std::fmt::Display for VqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VqlError::Parse(m) => write!(f, "viewql parse error: {m}"),
+            VqlError::Exec(m) => write!(f, "viewql execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VqlError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, VqlError>;
+
+/// Count non-blank, non-comment lines (Table 3's "<10 lines" metric).
+pub fn loc_of(src: &str) -> usize {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}

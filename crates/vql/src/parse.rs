@@ -1,0 +1,559 @@
+//! ViewQL grammar and parser.
+
+use crate::{Result, VqlError};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+}
+
+/// A literal in a `WHERE` condition or `WITH` attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueLit {
+    /// Integer (also `NULL` → 0, `true` → 1, `false` → 0).
+    Int(i64),
+    /// Bare words and quoted strings.
+    Str(String),
+}
+
+/// What to select: a type name, or a type member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelExpr {
+    /// Type name: a C tag (`task_struct`) or ViewCL label (`List`).
+    pub type_name: String,
+    /// Optional member (`maple_node.slots`, `file->pagecache`).
+    pub member: Option<String>,
+}
+
+/// `FROM` source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// `*` — every box in the graph.
+    All,
+    /// A previously bound selection variable.
+    Var(String),
+    /// `REACHABLE(var)`.
+    Reachable(String),
+}
+
+/// Set expression over selection variables (UPDATE target).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetExpr {
+    /// A variable.
+    Var(String),
+    /// `REACHABLE(var)`.
+    Reachable(String),
+    /// `a \ b`.
+    Diff(Box<SetExpr>, Box<SetExpr>),
+    /// `a & b`.
+    Inter(Box<SetExpr>, Box<SetExpr>),
+    /// `a | b`.
+    Union(Box<SetExpr>, Box<SetExpr>),
+}
+
+/// One `WHERE` atom: `member op value`, or the `IS_INSIDE(var)` object-set
+/// operator (§4.2) testing container membership in a prior selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondAtom {
+    /// `member op value` comparison.
+    Cmp {
+        /// Member name, or the `AS` alias (compares the box address).
+        member: String,
+        /// Operator.
+        op: Op,
+        /// Right-hand literal.
+        value: ValueLit,
+    },
+    /// `IS_INSIDE(var)` — the box is a container member of a box in `var`.
+    IsInside(String),
+}
+
+/// A `WHERE` condition in disjunctive normal form: OR of ANDs of atoms.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cond {
+    /// Each inner vec is a conjunction.
+    pub disjuncts: Vec<Vec<CondAtom>>,
+}
+
+/// A ViewQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var = SELECT expr FROM source [AS alias] [WHERE cond]`.
+    Select {
+        /// Target variable.
+        var: String,
+        /// Selection expression.
+        expr: SelExpr,
+        /// Source set.
+        source: Source,
+        /// `AS` alias usable in the condition.
+        alias: Option<String>,
+        /// Filter.
+        cond: Option<Cond>,
+    },
+    /// `UPDATE setexpr WITH attr: value[, attr: value…]`.
+    Update {
+        /// Target selection.
+        target: SetExpr,
+        /// Attribute assignments.
+        attrs: Vec<(String, ValueLit)>,
+    },
+}
+
+// ------------------------------------------------------------------ lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Num(i64),
+    Str(String),
+    P(&'static str),
+    Eof,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let s = i;
+                while i < b.len() && matches!(b[i] as char, 'a'..='z'|'A'..='Z'|'0'..='9'|'_') {
+                    i += 1;
+                }
+                out.push(Tok::Word(src[s..i].to_string()));
+            }
+            '0'..='9' => {
+                let s = i;
+                if c == '0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                    i += 2;
+                    while i < b.len() && (b[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let v = u64::from_str_radix(&src[s + 2..i], 16)
+                        .map_err(|_| VqlError::Parse("bad hex literal".into()))?;
+                    out.push(Tok::Num(v as i64));
+                } else {
+                    while i < b.len() && (b[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let v: u64 = src[s..i]
+                        .parse()
+                        .map_err(|_| VqlError::Parse("bad literal".into()))?;
+                    out.push(Tok::Num(v as i64));
+                }
+            }
+            '"' | '\'' => {
+                let quote = b[i];
+                i += 1;
+                let s = i;
+                while i < b.len() && b[i] != quote {
+                    i += 1;
+                }
+                if i == b.len() {
+                    return Err(VqlError::Parse("unterminated string".into()));
+                }
+                out.push(Tok::Str(src[s..i].to_string()));
+                i += 1;
+            }
+            '<' if i + 1 < b.len() && b[i + 1] != b'=' => {
+                // `<placeholder>` — an address placeholder from a natural-
+                // language template left unexpanded; treat as a parse error
+                // with a good message (users must splice real addresses).
+                if b[i + 1].is_ascii_alphabetic() {
+                    return Err(VqlError::Parse(
+                        "unexpanded `<placeholder>`; splice a concrete value".into(),
+                    ));
+                }
+                out.push(Tok::P("<"));
+                i += 1;
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let p2 = match two {
+                    "==" => Some("=="),
+                    "!=" => Some("!="),
+                    "<=" => Some("<="),
+                    ">=" => Some(">="),
+                    "->" => Some("->"),
+                    _ => None,
+                };
+                if let Some(p) = p2 {
+                    out.push(Tok::P(p));
+                    i += 2;
+                    continue;
+                }
+                let p: &'static str = match c {
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '.' => ".",
+                    ',' => ",",
+                    ':' => ":",
+                    '(' => "(",
+                    ')' => ")",
+                    '*' => "*",
+                    '\\' => "\\",
+                    '&' => "&",
+                    '|' => "|",
+                    _ => return Err(VqlError::Parse(format!("unexpected `{c}`"))),
+                };
+                out.push(Tok::P(p));
+                i += 1;
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+// ----------------------------------------------------------------- parser --
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_p(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::P(q) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Word(w) if w.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Word(w) => Ok(w),
+            t => Err(VqlError::Parse(format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    fn stmts(&mut self) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        while !matches!(self.peek(), Tok::Eof) {
+            if self.eat_kw("UPDATE") {
+                out.push(self.update()?);
+            } else {
+                let var = self.expect_word()?;
+                if !self.eat_p("=") {
+                    return Err(VqlError::Parse(format!("expected `=` after `{var}`")));
+                }
+                if !self.eat_kw("SELECT") {
+                    return Err(VqlError::Parse("expected SELECT".into()));
+                }
+                out.push(self.select(var)?);
+            }
+        }
+        Ok(out)
+    }
+
+    fn select(&mut self, var: String) -> Result<Stmt> {
+        let type_name = self.expect_word()?;
+        let member = if self.eat_p(".") || self.eat_p("->") {
+            Some(self.expect_word()?)
+        } else {
+            None
+        };
+        if !self.eat_kw("FROM") {
+            return Err(VqlError::Parse("expected FROM".into()));
+        }
+        let source = if self.eat_p("*") {
+            Source::All
+        } else {
+            let w = self.expect_word()?;
+            if w.eq_ignore_ascii_case("REACHABLE") {
+                if !self.eat_p("(") {
+                    return Err(VqlError::Parse("expected `(` after REACHABLE".into()));
+                }
+                let v = self.expect_word()?;
+                if !self.eat_p(")") {
+                    return Err(VqlError::Parse("expected `)`".into()));
+                }
+                Source::Reachable(v)
+            } else {
+                Source::Var(w)
+            }
+        };
+        let alias = if self.eat_kw("AS") {
+            Some(self.expect_word()?)
+        } else {
+            None
+        };
+        let cond = if self.eat_kw("WHERE") {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Select {
+            var,
+            expr: SelExpr { type_name, member },
+            source,
+            alias,
+            cond,
+        })
+    }
+
+    fn cond(&mut self) -> Result<Cond> {
+        let mut disjuncts = vec![vec![self.atom()?]];
+        loop {
+            if self.eat_kw("AND") {
+                disjuncts.last_mut().unwrap().push(self.atom()?);
+            } else if self.eat_kw("OR") {
+                disjuncts.push(vec![self.atom()?]);
+            } else {
+                break;
+            }
+        }
+        Ok(Cond { disjuncts })
+    }
+
+    fn atom(&mut self) -> Result<CondAtom> {
+        let mut member = self.expect_word()?;
+        if member.eq_ignore_ascii_case("IS_INSIDE") && self.eat_p("(") {
+            let var = self.expect_word()?;
+            if !self.eat_p(")") {
+                return Err(VqlError::Parse("expected `)` after IS_INSIDE".into()));
+            }
+            return Ok(CondAtom::IsInside(var));
+        }
+        while self.eat_p(".") || self.eat_p("->") {
+            member.push('.');
+            member.push_str(&self.expect_word()?);
+        }
+        let op = match self.bump() {
+            Tok::P("==") => Op::Eq,
+            Tok::P("!=") => Op::Ne,
+            Tok::P("<") => Op::Lt,
+            Tok::P(">") => Op::Gt,
+            Tok::P("<=") => Op::Le,
+            Tok::P(">=") => Op::Ge,
+            t => return Err(VqlError::Parse(format!("expected comparison, got {t:?}"))),
+        };
+        let value = self.value()?;
+        Ok(CondAtom::Cmp { member, op, value })
+    }
+
+    fn value(&mut self) -> Result<ValueLit> {
+        Ok(match self.bump() {
+            Tok::Num(n) => ValueLit::Int(n),
+            Tok::Str(s) => ValueLit::Str(s),
+            Tok::Word(w) if w == "NULL" => ValueLit::Int(0),
+            Tok::Word(w) if w == "true" => ValueLit::Int(1),
+            Tok::Word(w) if w == "false" => ValueLit::Int(0),
+            Tok::Word(w) => ValueLit::Str(w),
+            t => return Err(VqlError::Parse(format!("expected a value, got {t:?}"))),
+        })
+    }
+
+    fn update(&mut self) -> Result<Stmt> {
+        let target = self.set_expr()?;
+        if !self.eat_kw("WITH") {
+            return Err(VqlError::Parse("expected WITH".into()));
+        }
+        let mut attrs = Vec::new();
+        loop {
+            let name = self.expect_word()?;
+            if !self.eat_p(":") {
+                return Err(VqlError::Parse(format!("expected `:` after attr `{name}`")));
+            }
+            attrs.push((name, self.value()?));
+            if !self.eat_p(",") {
+                break;
+            }
+        }
+        Ok(Stmt::Update { target, attrs })
+    }
+
+    fn set_expr(&mut self) -> Result<SetExpr> {
+        let mut lhs = self.set_term()?;
+        loop {
+            let op = if self.eat_p("\\") {
+                "\\"
+            } else if self.eat_p("&") {
+                "&"
+            } else if self.eat_p("|") {
+                "|"
+            } else {
+                break;
+            };
+            let rhs = self.set_term()?;
+            lhs = match op {
+                "\\" => SetExpr::Diff(Box::new(lhs), Box::new(rhs)),
+                "&" => SetExpr::Inter(Box::new(lhs), Box::new(rhs)),
+                _ => SetExpr::Union(Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn set_term(&mut self) -> Result<SetExpr> {
+        let w = self.expect_word()?;
+        if w.eq_ignore_ascii_case("REACHABLE") {
+            if !self.eat_p("(") {
+                return Err(VqlError::Parse("expected `(` after REACHABLE".into()));
+            }
+            let v = self.expect_word()?;
+            if !self.eat_p(")") {
+                return Err(VqlError::Parse("expected `)`".into()));
+            }
+            return Ok(SetExpr::Reachable(v));
+        }
+        Ok(SetExpr::Var(w))
+    }
+}
+
+/// Parse a ViewQL program into statements.
+pub fn parse(src: &str) -> Result<Vec<Stmt>> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    p.stmts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_select_where_or() {
+        let s = parse("task_2 = SELECT task_struct FROM all_tasks WHERE pid == 2 OR ppid == 2")
+            .unwrap();
+        match &s[0] {
+            Stmt::Select {
+                var,
+                expr,
+                source,
+                cond,
+                ..
+            } => {
+                assert_eq!(var, "task_2");
+                assert_eq!(expr.type_name, "task_struct");
+                assert_eq!(source, &Source::Var("all_tasks".into()));
+                let c = cond.as_ref().unwrap();
+                assert_eq!(c.disjuncts.len(), 2);
+                assert!(matches!(&c.disjuncts[0][0], CondAtom::Cmp { member, .. } if member == "pid"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_member_select_and_update_set_diff() {
+        let s = parse(
+            "slots = SELECT maple_node.slots FROM *\nUPDATE task_all \\ task_2 WITH collapsed: true",
+        )
+        .unwrap();
+        match &s[0] {
+            Stmt::Select { expr, .. } => assert_eq!(expr.member.as_deref(), Some("slots")),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s[1] {
+            Stmt::Update { target, attrs } => {
+                assert!(matches!(target, SetExpr::Diff(..)));
+                assert_eq!(attrs[0].0, "collapsed");
+                assert_eq!(attrs[0].1, ValueLit::Int(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reachable_and_arrow_member() {
+        let s = parse(
+            "file_pgc = SELECT file->pagecache FROM *\nfile_pgs = SELECT page FROM REACHABLE(file_pgc)",
+        )
+        .unwrap();
+        match &s[1] {
+            Stmt::Select { source, .. } => {
+                assert_eq!(source, &Source::Reachable("file_pgc".into()))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alias_and_null() {
+        let s = parse("a = SELECT vm_area_struct FROM * AS vma WHERE vma != NULL").unwrap();
+        match &s[0] {
+            Stmt::Select { alias, cond, .. } => {
+                assert_eq!(alias.as_deref(), Some("vma"));
+                assert!(matches!(
+                    &cond.as_ref().unwrap().disjuncts[0][0],
+                    CondAtom::Cmp { value: ValueLit::Int(0), .. }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multiple_attrs_and_string_values() {
+        let s = parse("UPDATE a WITH view: show_mm, direction: vertical").unwrap();
+        match &s[0] {
+            Stmt::Update { attrs, .. } => {
+                assert_eq!(attrs.len(), 2);
+                assert_eq!(attrs[0].1, ValueLit::Str("show_mm".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unexpanded_placeholders() {
+        assert!(matches!(
+            parse("a = SELECT x FROM * WHERE vma != <fetched_node_address>"),
+            Err(VqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn loc_counts_code_lines() {
+        assert_eq!(
+            crate::loc_of("// c\n\na = SELECT x FROM *\nUPDATE a WITH t: true\n"),
+            2
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! The Dirty Pipe case study (CVE-2022-0847, paper §5.3 / Figure 7):
+//! inject the bug state, plot page caches and pipe rings, and let ViewQL
+//! isolate the one page illegally shared between a file and a pipe.
+//!
+//! ```text
+//! cargo run --example dirty_pipe
+//! ```
+
+use vbridge::LatencyProfile;
+use visualinux::casestudies;
+
+fn main() {
+    let report = casestudies::dirty_pipe(LatencyProfile::gdb_qemu()).expect("case study");
+
+    println!("{}", report.session.render_text(report.pane).unwrap());
+    println!(
+        "ViewQL applied (paper §5.3):\n{}",
+        casestudies::DIRTY_PIPE_VIEWQL
+    );
+    println!(
+        "=> {} page(s) survive the trim; shared page {:#x} {} PIPE_BUF_FLAG_CAN_MERGE",
+        report.visible_pages.len(),
+        report.injected.shared_page,
+        if report.can_merge_flagged {
+            "carries"
+        } else {
+            "does NOT carry"
+        },
+    );
+    assert_eq!(report.visible_pages, vec![report.injected.shared_page]);
+    println!("\nThe CAN_MERGE-flagged buffer aliasing a page-cache page is the bug:");
+    println!("writes through the pipe corrupt the shared file page (Dirty Pipe).");
+}

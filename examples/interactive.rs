@@ -1,0 +1,61 @@
+//! Interactive-debugger tour: panes, split, focus, vchat — the §2.4
+//! workflow of the paper's Figure 2, scripted.
+//!
+//! ```text
+//! cargo run --example interactive
+//! ```
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::LatencyProfile;
+use visualinux::Session;
+
+fn main() {
+    let mut session = Session::attach(
+        build(&WorkloadConfig::default()),
+        LatencyProfile::gdb_qemu(),
+    );
+
+    // Pane 0: the process parenthood tree.
+    let parents = session.vplot_figure("fig3-4").expect("plot parent tree");
+    // Pane 1: the scheduler's red-black tree (split to the right).
+    let sched = session.vplot_figure("fig7-1").expect("plot sched tree");
+
+    // "focus": find the same task in both panes (paper Figure 2).
+    let leader = session.roots.leaders[0];
+    let hits = session.focus(leader);
+    println!(
+        "focus {:#x} found the task in {} pane(s):",
+        leader,
+        hits.len()
+    );
+    for h in &hits {
+        println!("  pane {:?}: box {:?} ({})", h.pane, h.boxid, h.label);
+    }
+    assert!(
+        hits.len() >= 2,
+        "the task is managed by two structures at once"
+    );
+
+    // Natural-language refinement on the parent tree.
+    let out = session
+        .vchat(parents, "shrink tasks that have no address space", true)
+        .expect("vchat");
+    println!("\nvchat applied:\n{}", out.viewql);
+
+    // ViewQL refinement on the scheduler pane.
+    session
+        .vctrl_refine(
+            sched,
+            "a = SELECT task_struct FROM *\nUPDATE a WITH view: sched",
+        )
+        .expect("refine");
+
+    println!("\n--- pane 0: parent tree (kthreads collapsed) ---\n");
+    println!("{}", session.render_text(parents).unwrap());
+    println!("--- pane 1: run queue (sched view) ---\n");
+    println!("{}", session.render_text(sched).unwrap());
+
+    // Sessions persist across debugging sessions (§4.2).
+    let saved = session.save_panes().expect("panes exist");
+    println!("session persisted: {} bytes of JSON", saved.len());
+}

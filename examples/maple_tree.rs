@@ -1,0 +1,58 @@
+//! Live visualization of the maple tree (paper §3.1, Figures 3 & 4):
+//! plot the current task's address space, switch the mm_struct to its
+//! maple-tree view, then simplify with the paper's ViewQL.
+//!
+//! ```text
+//! cargo run --example maple_tree
+//! ```
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::LatencyProfile;
+use visualinux::Session;
+
+fn main() {
+    let mut session = Session::attach(
+        build(&WorkloadConfig::default()),
+        LatencyProfile::gdb_qemu(),
+    );
+
+    // The Fig 9-2 library program contains the full maple-tree ViewCL of
+    // the paper's Figure 3 (MapleNode switch over node types, tagged
+    // pointer unwrapping, VMArea leaves).
+    let pane = session.vplot_figure("fig9-2").expect("plot");
+    session
+        .vctrl_refine(
+            pane,
+            "m = SELECT mm_struct FROM *\nUPDATE m WITH view: show_mt",
+        )
+        .expect("switch view");
+
+    println!(
+        "--- raw maple tree ---\n{}",
+        session.render_text(pane).unwrap()
+    );
+
+    // §3.1's ViewQL: collapse the slot pointer lists, hide writable VMAs
+    // (assume the debugging objective concerns read-only areas).
+    session
+        .vctrl_refine(
+            pane,
+            r#"
+slots = SELECT maple_node.slots FROM *
+UPDATE slots WITH collapsed: true
+writable_vmas = SELECT vm_area_struct FROM * WHERE is_writable == true
+UPDATE writable_vmas WITH trimmed: true
+"#,
+        )
+        .expect("simplify");
+    println!(
+        "--- simplified (Figure 4) ---\n{}",
+        session.render_text(pane).unwrap()
+    );
+
+    // Or ask in natural language instead of ViewQL (§2.4 / §3.2).
+    let out = session
+        .vchat(pane, "shrink all writable vm_area_structs", false)
+        .expect("synthesize");
+    println!("vchat would synthesize:\n{}", out.viewql);
+}

@@ -1,0 +1,62 @@
+//! Quickstart: plot the CFS run queue of CPU 0 — the paper's introductory
+//! example — against a freshly built simulated kernel.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::LatencyProfile;
+use visualinux::Session;
+
+fn main() {
+    // 1. Build the simulated Linux 6.1 image: 5 processes x 2 threads
+    //    exercising files, pipes, sockets, IPC, mmap (the paper's §5.4
+    //    workload), then attach the debugger.
+    let workload = build(&WorkloadConfig::default());
+    let mut session = Session::attach(workload, LatencyProfile::gdb_qemu());
+
+    // 2. vplot: the ViewCL program from the paper's introduction.
+    let pane = session
+        .vplot(
+            r#"
+define Task as Box<task_struct> [
+    Text pid, comm
+    Text ppid: ${@this.parent != NULL ? @this.parent->pid : 0}
+    Text<string> state: ${task_state(@this)}
+    Text se.vruntime
+]
+root = ${cpu_rq(0)->cfs.tasks_timeline}
+sched_tree = RBTree(@root).forEach |node| {
+    yield Task<task_struct.se.run_node>(@node)
+}
+plot @sched_tree
+"#,
+        )
+        .expect("plot the run queue");
+
+    println!("{}", session.render_text(pane).expect("render"));
+
+    // 3. vctrl: focus on one process with ViewQL (§1's second listing).
+    session
+        .vctrl_refine(
+            pane,
+            r#"
+task_all = SELECT task_struct FROM *
+task_100 = SELECT task_struct FROM task_all WHERE pid == 100 OR ppid == 100
+UPDATE task_all \ task_100 WITH collapsed: true
+"#,
+        )
+        .expect("refine");
+    println!("--- after ViewQL (focus on pid 100) ---\n");
+    println!("{}", session.render_text(pane).expect("render"));
+
+    let stats = session.plot_stats(pane).unwrap();
+    println!(
+        "extraction: {} objects, {} reads, {:.2} ms virtual time ({})",
+        stats.graph.objects,
+        stats.target.reads,
+        stats.total_ms(),
+        session.profile().name,
+    );
+}

@@ -1,0 +1,109 @@
+//! Table 4's qualitative claims as assertions (paper claim C4):
+//! the latency-profile cost model must preserve the published shape.
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::LatencyProfile;
+use visualinux::{figures, Session};
+
+fn measure(profile: LatencyProfile) -> Vec<(String, f64, f64, f64)> {
+    let mut s = Session::attach(build(&WorkloadConfig::default()), profile);
+    figures::all()
+        .iter()
+        .map(|f| {
+            let pane = s.vplot(f.viewcl).unwrap();
+            let st = s.plot_stats(pane).unwrap();
+            (
+                f.id.to_string(),
+                st.total_ms(),
+                st.ms_per_object(),
+                st.ms_per_kb(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn kgdb_is_tens_of_times_slower_per_object() {
+    let q = measure(LatencyProfile::gdb_qemu());
+    let k = measure(LatencyProfile::kgdb_rpi400());
+    let ratios: Vec<f64> = q
+        .iter()
+        .zip(&k)
+        .filter(|(a, _)| a.2 > 0.0)
+        .map(|(a, b)| b.2 / a.2)
+        .collect();
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        (30.0..120.0).contains(&mean),
+        "per-object KGDB/QEMU ratio {mean:.0}x out of the paper's ~50x band"
+    );
+}
+
+#[test]
+fn qemu_costs_land_in_the_published_bands() {
+    let q = measure(LatencyProfile::gdb_qemu());
+    for (id, total, per_obj, _) in &q {
+        assert!(
+            (0.1..500.0).contains(total),
+            "{id}: total {total:.1} ms outside the paper's 10-326 ms order"
+        );
+        assert!(
+            (0.05..5.0).contains(per_obj),
+            "{id}: {per_obj:.2} ms/object outside the paper's 0.12-1.11 band order"
+        );
+    }
+}
+
+#[test]
+fn kgdb_per_kb_is_three_orders_above_qemu_per_kb() {
+    let q = measure(LatencyProfile::gdb_qemu());
+    let k = measure(LatencyProfile::kgdb_rpi400());
+    for ((id, _, _, qkb), (_, _, _, kkb)) in q.iter().zip(&k) {
+        assert!(
+            kkb / qkb > 20.0,
+            "{id}: per-KB gap {:.0}x too small",
+            kkb / qkb
+        );
+        assert!(
+            (100.0..2000.0).contains(kkb),
+            "{id}: KGDB {kkb:.0} ms/KB outside the paper's second-per-KB order"
+        );
+    }
+}
+
+#[test]
+fn bigger_workload_costs_more() {
+    let small = {
+        let mut s = Session::attach(
+            build(&WorkloadConfig {
+                processes: 2,
+                ..Default::default()
+            }),
+            LatencyProfile::gdb_qemu(),
+        );
+        let pane = s.vplot_figure("fig3-4").unwrap();
+        s.plot_stats(pane).unwrap().total_ms()
+    };
+    let big = {
+        let mut s = Session::attach(
+            build(&WorkloadConfig {
+                processes: 20,
+                ..Default::default()
+            }),
+            LatencyProfile::gdb_qemu(),
+        );
+        let pane = s.vplot_figure("fig3-4").unwrap();
+        s.plot_stats(pane).unwrap().total_ms()
+    };
+    assert!(
+        big > small * 3.0,
+        "cost must scale with state size: {small} vs {big}"
+    );
+}
+
+#[test]
+fn extraction_cost_is_deterministic() {
+    let a = measure(LatencyProfile::kgdb_rpi400());
+    let b = measure(LatencyProfile::kgdb_rpi400());
+    assert_eq!(a, b, "virtual time must be exactly reproducible");
+}
