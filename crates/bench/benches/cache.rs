@@ -1,0 +1,41 @@
+//! Wall-clock cost of the snapshot block cache itself.
+//!
+//! Virtual-time wins are measured by `table4`/`ablation`; this bench
+//! answers the complementary question — how much *real* interpreter time
+//! the cached read path costs or saves per extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vbridge::{CacheConfig, LatencyProfile};
+use visualinux::figures;
+
+fn bench_cache(c: &mut Criterion) {
+    let fig = figures::by_id("fig3-4").unwrap();
+    let mut g = c.benchmark_group("cache");
+    g.sample_size(20);
+
+    let uncached = bench::attach(LatencyProfile::free());
+    g.bench_function("fig3-4 uncached", |b| {
+        b.iter(|| black_box(uncached.extract(fig.viewcl).unwrap()))
+    });
+
+    // Cold: every extraction starts from an invalidated cache.
+    let mut cold = bench::attach_cached(LatencyProfile::free(), CacheConfig::default());
+    g.bench_function("fig3-4 cached cold", |b| {
+        b.iter(|| {
+            cold.resume();
+            black_box(cold.extract(fig.viewcl).unwrap())
+        })
+    });
+
+    // Warm: blocks stay resident across iterations.
+    let warm = bench::attach_cached(LatencyProfile::free(), CacheConfig::default());
+    let _ = warm.extract(fig.viewcl).unwrap();
+    g.bench_function("fig3-4 cached warm", |b| {
+        b.iter(|| black_box(warm.extract(fig.viewcl).unwrap()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -2,8 +2,8 @@
 //! *prune*, *flatten*, *distill* — by plotting the same state with and
 //! without each one and comparing extraction cost and plot size.
 
-use bench::{attach, TablePrinter};
-use vbridge::LatencyProfile;
+use bench::{attach, attach_cached, TablePrinter};
+use vbridge::{CacheConfig, LatencyProfile};
 use visualinux::Session;
 
 struct Meas {
@@ -24,7 +24,12 @@ fn measure(session: &mut Session, src: &str) -> Meas {
         .flat_map(|v| &v.items)
         .filter(|i| matches!(i, vgraph::Item::Text { .. }))
         .count() as u64;
-    Meas { objects: s.graph.objects, texts, reads: s.target.reads, ms: s.total_ms() }
+    Meas {
+        objects: s.graph.objects,
+        texts,
+        reads: s.target.reads,
+        ms: s.total_ms(),
+    }
 }
 
 /// Every field of our task_struct as Text — "just print the object".
@@ -113,7 +118,10 @@ fn main() {
 
     let a = measure(&mut session, UNPRUNED_TASKS);
     let b = measure(&mut session, PRUNED_TASKS);
-    for (name, m) in [("prune OFF (all 31 fields)", &a), ("prune ON  (paper's 4 fields)", &b)] {
+    for (name, m) in [
+        ("prune OFF (all 31 fields)", &a),
+        ("prune ON  (paper's 4 fields)", &b),
+    ] {
         t.row(&[
             name.to_string(),
             m.objects.to_string(),
@@ -130,7 +138,10 @@ fn main() {
 
     let c = measure(&mut session, UNFLATTENED_SOCKETS);
     let d = measure(&mut session, FLATTENED_SOCKETS);
-    for (name, m) in [("flatten OFF (5 hops plotted)", &c), ("flatten ON  (1 dot-path link)", &d)] {
+    for (name, m) in [
+        ("flatten OFF (5 hops plotted)", &c),
+        ("flatten ON  (1 dot-path link)", &d),
+    ] {
         t.row(&[
             name.to_string(),
             m.objects.to_string(),
@@ -148,7 +159,10 @@ fn main() {
     let fig = visualinux::figures::by_id("fig9-2").unwrap();
     let pane = session.vplot(fig.viewcl).unwrap();
     session
-        .vctrl_refine(pane, "m = SELECT mm_struct FROM *\nUPDATE m WITH view: show_mt")
+        .vctrl_refine(
+            pane,
+            "m = SELECT mm_struct FROM *\nUPDATE m WITH view: show_mt",
+        )
         .unwrap();
     let g = session.graph(pane).unwrap();
     let structural: u64 = g
@@ -178,5 +192,73 @@ fn main() {
     t.sep();
     println!(
         "  -> distill shows the same {distilled} intervals without {structural} structural boxes"
+    );
+
+    // Bridge cache: stack the three mechanisms one by one on the slow
+    // transport. Two cold plots: the task list (Table 4's worst row,
+    // dominated by list prefetch) and the page cache (xarray slot walks,
+    // where read coalescing bites).
+    println!("\nBridge cache mechanisms (KGDB, cold extraction)\n");
+    let run = |id: &str, cfg: Option<CacheConfig>| {
+        let fig = visualinux::figures::by_id(id).unwrap();
+        let s = match cfg {
+            None => attach(LatencyProfile::kgdb_rpi400()),
+            Some(c) => attach_cached(LatencyProfile::kgdb_rpi400(), c),
+        };
+        let (_, st) = s.extract(fig.viewcl).expect("plot");
+        (st.target.reads, st.total_ms())
+    };
+    let ladder = [
+        ("cache OFF (paper's baseline)", None),
+        (
+            "+ block cache only",
+            Some(CacheConfig {
+                coalesce: false,
+                prefetch: false,
+                ..CacheConfig::default()
+            }),
+        ),
+        (
+            "+ read coalescing",
+            Some(CacheConfig {
+                prefetch: false,
+                ..CacheConfig::default()
+            }),
+        ),
+        ("+ distiller prefetch (full)", Some(CacheConfig::default())),
+    ];
+    let t = TablePrinter::new(&[34, 12, 10, 12, 10]);
+    t.row(
+        &[
+            "configuration",
+            "3-4 pkts",
+            "3-4 ms",
+            "16-2 pkts",
+            "16-2 ms",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    let mut base_ms = 0.0;
+    let mut full_ms = 0.0;
+    for (name, cfg) in ladder {
+        let (r34, ms34) = run("fig3-4", cfg);
+        let (r162, ms162) = run("fig16-2", cfg);
+        if cfg.is_none() {
+            base_ms = ms34;
+        }
+        full_ms = ms34;
+        t.row(&[
+            name.to_string(),
+            r34.to_string(),
+            format!("{ms34:.1}"),
+            r162.to_string(),
+            format!("{ms162:.1}"),
+        ]);
+    }
+    t.sep();
+    println!(
+        "  -> the full cache cuts a cold KGDB task-list plot {:.0}x",
+        base_ms / full_ms
     );
 }

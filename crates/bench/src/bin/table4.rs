@@ -6,51 +6,85 @@
 //! cost model's; the claims preserved are the *shape*: the KGDB/QEMU
 //! per-object ratio (~50x), the per-KB band, and the figure ranking.
 
-use bench::{attach, TablePrinter, TABLE4_FIGURES};
-use vbridge::LatencyProfile;
+use bench::{attach, attach_cached, TablePrinter, TABLE4_FIGURES};
+use vbridge::{CacheConfig, LatencyProfile};
+use visualinux::figures;
 
 struct Row {
     id: &'static str,
     qemu: (f64, f64, f64),
     kgdb: (f64, f64, f64),
+    /// (cold total ms, warm total ms, warm wire packets) on KGDB with
+    /// the snapshot block cache; absent under `--no-cache`.
+    cached: Option<(f64, f64, u64)>,
 }
 
-fn measure(profile: LatencyProfile) -> Vec<(f64, f64, f64)> {
+fn measure(profile: LatencyProfile) -> Vec<(f64, f64, f64, u64)> {
     let mut session = attach(profile);
     TABLE4_FIGURES
         .iter()
         .map(|id| {
             let pane = session.vplot_figure(id).expect("figure extracts");
             let s = session.plot_stats(pane).unwrap();
-            (s.total_ms(), s.ms_per_object(), s.ms_per_kb())
+            (
+                s.total_ms(),
+                s.ms_per_object(),
+                s.ms_per_kb(),
+                s.target.reads,
+            )
+        })
+        .collect()
+}
+
+fn measure_cached(profile: LatencyProfile) -> Vec<(f64, f64, u64)> {
+    let mut session = attach_cached(profile, CacheConfig::default());
+    TABLE4_FIGURES
+        .iter()
+        .map(|id| {
+            let fig = figures::by_id(id).expect("figure exists");
+            // Cold: each figure starts from an invalidated cache.
+            session.resume();
+            let (_, cold) = session.extract(fig.viewcl).expect("figure extracts");
+            let (_, warm) = session.extract(fig.viewcl).expect("figure extracts");
+            (cold.total_ms(), warm.total_ms(), warm.target.reads)
         })
         .collect()
 }
 
 fn main() {
+    let no_cache = std::env::args().any(|a| a == "--no-cache");
     println!("Table 4: performance of plotting the ULK figures (virtual time)\n");
     let qemu = measure(LatencyProfile::gdb_qemu());
     let kgdb = measure(LatencyProfile::kgdb_rpi400());
+    let cached = if no_cache {
+        Vec::new()
+    } else {
+        measure_cached(LatencyProfile::kgdb_rpi400())
+    };
     let rows: Vec<Row> = TABLE4_FIGURES
         .iter()
-        .zip(qemu.iter().zip(kgdb.iter()))
-        .map(|(id, (q, k))| Row {
+        .enumerate()
+        .map(|(i, id)| Row {
             id,
-            qemu: *q,
-            kgdb: *k,
+            qemu: (qemu[i].0, qemu[i].1, qemu[i].2),
+            kgdb: (kgdb[i].0, kgdb[i].1, kgdb[i].2),
+            cached: cached.get(i).copied(),
         })
         .collect();
 
-    let t = TablePrinter::new(&[4, 11, 10, 9, 9, 12, 10, 10]);
-    t.row(
-        &[
-            "#", "figure", "qemu-ms", "/obj", "/KB", "kgdb-ms", "/obj", "/KB",
-        ]
-        .map(String::from),
-    );
+    let mut header = vec![
+        "#", "figure", "qemu-ms", "/obj", "/KB", "kgdb-ms", "/obj", "/KB",
+    ];
+    let mut widths = vec![4, 11, 10, 9, 9, 12, 10, 10];
+    if !no_cache {
+        header.extend(["cold-ms", "warm-ms", "pkt-x"]);
+        widths.extend([10, 9, 7]);
+    }
+    let t = TablePrinter::new(&widths);
+    t.row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     t.sep();
     for (i, r) in rows.iter().enumerate() {
-        t.row(&[
+        let mut cells = vec![
             format!("{}", i + 1),
             r.id.to_string(),
             format!("{:.1}", r.qemu.0),
@@ -59,7 +93,16 @@ fn main() {
             format!("{:.1}", r.kgdb.0),
             format!("{:.2}", r.kgdb.1),
             format!("{:.1}", r.kgdb.2),
-        ]);
+        ];
+        if let Some((cold, warm, warm_pkts)) = r.cached {
+            cells.push(format!("{cold:.1}"));
+            cells.push(format!("{warm:.1}"));
+            cells.push(format!(
+                "{:.0}x",
+                kgdb[i].3 as f64 / (warm_pkts.max(1)) as f64
+            ));
+        }
+        t.row(&cells);
     }
     t.sep();
 
@@ -109,6 +152,29 @@ fn main() {
     println!(
         "  slowest/fastest KGDB plot:  {slowest} / {fastest} (paper: Fig 3-6 / Fig 12-3-class)"
     );
+    if !no_cache {
+        let i34 = TABLE4_FIGURES
+            .iter()
+            .position(|id| *id == "fig3-4")
+            .unwrap();
+        let (_, warm_ms, warm_pkts) = cached[i34];
+        let ns_x = kgdb[i34].0 / warm_ms.max(f64::MIN_POSITIVE);
+        let pkt_x = kgdb[i34].3 as f64 / warm_pkts.max(1) as f64;
+        let ns_disp = if warm_ms > 0.0 {
+            format!("{ns_x:.0}x")
+        } else {
+            // A fully-warm plot sends no packets at all.
+            ">1000x".to_string()
+        };
+        println!(
+            "  warm cache, fig3-4 (KGDB):  {ns_disp} faster, {pkt_x:.0}x fewer packets (floor: 5x / 3x)  {}",
+            if ns_x >= 5.0 && pkt_x >= 3.0 {
+                "[in band]"
+            } else {
+                "[OUT OF BAND]"
+            }
+        );
+    }
 }
 
 fn band(v: f64, lo: f64, hi: f64) -> &'static str {

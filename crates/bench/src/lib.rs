@@ -16,7 +16,7 @@
 //! interpreter performance on the same plots.
 
 use ksim::workload::{build, WorkloadConfig};
-use vbridge::LatencyProfile;
+use vbridge::{CacheConfig, LatencyProfile};
 use visualinux::Session;
 
 /// The figure ids measured in Table 4, in the paper's row order
@@ -47,6 +47,12 @@ pub const TABLE4_FIGURES: [&str; 20] = [
 /// Build the evaluation workload and attach a session.
 pub fn attach(profile: LatencyProfile) -> Session {
     Session::attach(build(&WorkloadConfig::default()), profile)
+}
+
+/// Build the evaluation workload and attach a session with the snapshot
+/// block cache enabled.
+pub fn attach_cached(profile: LatencyProfile, cfg: CacheConfig) -> Session {
+    Session::attach_with_cache(build(&WorkloadConfig::default()), profile, cfg)
 }
 
 /// Markdown-ish table printer with fixed-width columns.

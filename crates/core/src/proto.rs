@@ -103,26 +103,40 @@ pub fn dispatch(session: &mut crate::Session, cmd: &VCommand) -> VResponse {
                 // shipped graph instead of re-extracting from `source`
                 // (which is carried for session replay only).
                 let pane = session.adopt_graph(graph.clone(), None)?;
-                VResponse::Ok { pane: Some(pane), synthesized: None }
+                VResponse::Ok {
+                    pane: Some(pane),
+                    synthesized: None,
+                }
             }
             VCommand::VctrlApply { pane, viewql } => {
                 session.vctrl_refine(*pane, viewql)?;
-                VResponse::Ok { pane: Some(*pane), synthesized: None }
+                VResponse::Ok {
+                    pane: Some(*pane),
+                    synthesized: None,
+                }
             }
             VCommand::VctrlSplit { .. } => VResponse::Err {
                 message: "split requires a ViewCL source; use Session::vctrl_split".into(),
             },
             VCommand::VctrlFocus { addr } => {
                 let hits = session.focus(*addr);
-                VResponse::Ok { pane: hits.first().map(|h| h.pane), synthesized: None }
+                VResponse::Ok {
+                    pane: hits.first().map(|h| h.pane),
+                    synthesized: None,
+                }
             }
             VCommand::Vchat { pane, message } => {
                 let out = session.vchat(*pane, message, true)?;
-                VResponse::Ok { pane: Some(*pane), synthesized: Some(out.viewql) }
+                VResponse::Ok {
+                    pane: Some(*pane),
+                    synthesized: Some(out.viewql),
+                }
             }
         })
     })();
-    result.unwrap_or_else(|e| VResponse::Err { message: e.to_string() })
+    result.unwrap_or_else(|e| VResponse::Err {
+        message: e.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -133,7 +147,10 @@ mod tests {
 
     #[test]
     fn commands_round_trip_as_json() {
-        let cmd = VCommand::Vchat { pane: PaneId(0), message: "shrink idle tasks".into() };
+        let cmd = VCommand::Vchat {
+            pane: PaneId(0),
+            message: "shrink idle tasks".into(),
+        };
         let json = cmd.to_json();
         assert!(json.contains("\"command\":\"vchat\""));
         let back = VCommand::from_json(&json).unwrap();
@@ -149,7 +166,10 @@ mod tests {
         let (graph, _) = s.extract(fig.viewcl).unwrap();
         let resp = dispatch(
             &mut s,
-            &VCommand::Vplot { graph, source: fig.viewcl.to_string() },
+            &VCommand::Vplot {
+                graph,
+                source: fig.viewcl.to_string(),
+            },
         );
         let pane = match resp {
             VResponse::Ok { pane: Some(p), .. } => p,
@@ -160,23 +180,34 @@ mod tests {
             &mut s,
             &VCommand::VctrlApply {
                 pane,
-                viewql: "a = SELECT task_struct FROM * WHERE mm == NULL\nUPDATE a WITH collapsed: true".into(),
+                viewql:
+                    "a = SELECT task_struct FROM * WHERE mm == NULL\nUPDATE a WITH collapsed: true"
+                        .into(),
             },
         );
         assert!(matches!(resp, VResponse::Ok { .. }));
         // vchat over the wire.
         let resp = dispatch(
             &mut s,
-            &VCommand::Vchat { pane, message: "shrink tasks that have no address space".into() },
+            &VCommand::Vchat {
+                pane,
+                message: "shrink tasks that have no address space".into(),
+            },
         );
         match resp {
-            VResponse::Ok { synthesized: Some(v), .. } => assert!(v.contains("mm == NULL")),
+            VResponse::Ok {
+                synthesized: Some(v),
+                ..
+            } => assert!(v.contains("mm == NULL")),
             other => panic!("unexpected {other:?}"),
         }
         // Errors come back as Err responses, not panics.
         let resp = dispatch(
             &mut s,
-            &VCommand::VctrlApply { pane, viewql: "UPDATE nope WITH x: 1".into() },
+            &VCommand::VctrlApply {
+                pane,
+                viewql: "UPDATE nope WITH x: 1".into(),
+            },
         );
         assert!(matches!(resp, VResponse::Err { .. }));
     }

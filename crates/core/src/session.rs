@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use ksim::workload::{AllTypes, Workload, WorkloadRoots};
 use ksim::KernelImage;
-use vbridge::{HelperRegistry, LatencyProfile, Target, TargetStats};
+use vbridge::{BlockCache, CacheConfig, HelperRegistry, LatencyProfile, Target, TargetStats};
 use vgraph::{Graph, GraphStats};
 use vpanels::{FocusHit, PaneId, SplitDir};
 
@@ -115,12 +115,16 @@ pub struct Session {
     pub roots: WorkloadRoots,
     helpers: HelperRegistry,
     profile: LatencyProfile,
+    cache: Option<BlockCache>,
     panes: Option<vpanels::Session>,
     stats: HashMap<PaneId, PlotStats>,
 }
 
 impl Session {
     /// Attach to a built workload using the given latency profile.
+    ///
+    /// The bridge cache is off by default so plots reproduce the paper's
+    /// uncached Table-4 cost model; see [`Session::attach_with_cache`].
     pub fn attach(workload: Workload, profile: LatencyProfile) -> Session {
         let (img, types, roots) = workload.finish();
         Session {
@@ -129,8 +133,41 @@ impl Session {
             roots,
             helpers: crate::helpers::registry(),
             profile,
+            cache: None,
             panes: None,
             stats: HashMap::new(),
+        }
+    }
+
+    /// Attach with the snapshot block cache enabled: extractions share a
+    /// [`BlockCache`] that persists while the kernel stays stopped and is
+    /// invalidated by [`Session::resume`].
+    pub fn attach_with_cache(
+        workload: Workload,
+        profile: LatencyProfile,
+        cfg: CacheConfig,
+    ) -> Session {
+        let mut s = Session::attach(workload, profile);
+        s.cache = Some(BlockCache::new(cfg));
+        s
+    }
+
+    /// Whether the bridge cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The session's bridge cache, if enabled.
+    pub fn cache(&self) -> Option<&BlockCache> {
+        self.cache.as_ref()
+    }
+
+    /// Resume the (simulated) kernel: cached target bytes may now be
+    /// stale, so the bridge cache epoch is bumped and all blocks drop.
+    /// Plots already on panes are unaffected — they are snapshots.
+    pub fn resume(&mut self) {
+        if let Some(c) = &self.cache {
+            c.bump_epoch();
         }
     }
 
@@ -153,12 +190,21 @@ impl Session {
     /// graph, without creating a pane. Returns the graph and its stats.
     pub fn extract(&self, viewcl_src: &str) -> Result<(Graph, PlotStats)> {
         let program = viewcl::parse_program(viewcl_src)?;
-        let target = Target::new(
-            &self.img.mem,
-            &self.img.types,
-            &self.img.symbols,
-            self.profile,
-        );
+        let target = match &self.cache {
+            None => Target::new(
+                &self.img.mem,
+                &self.img.types,
+                &self.img.symbols,
+                self.profile,
+            ),
+            Some(cache) => Target::with_cache(
+                &self.img.mem,
+                &self.img.types,
+                &self.img.symbols,
+                self.profile,
+                cache,
+            ),
+        };
         let mut interp = viewcl::Interp::new(&target, &self.helpers);
         interp.run(&program)?;
         let graph = interp.into_graph();
@@ -205,16 +251,25 @@ impl Session {
             use ktypes::TypeKind;
             match &self.img.types.get(f.ty).kind {
                 TypeKind::Prim(p) if p.size() > 0 => {
-                    items.push_str(&format!("    Text {}
-", f.name));
+                    items.push_str(&format!(
+                        "    Text {}
+",
+                        f.name
+                    ));
                 }
                 TypeKind::Enum(_) => {
-                    items.push_str(&format!("    Text {}
-", f.name));
+                    items.push_str(&format!(
+                        "    Text {}
+",
+                        f.name
+                    ));
                 }
                 TypeKind::Pointer(_) => {
-                    items.push_str(&format!("    Text<raw_ptr> {}
-", f.name));
+                    items.push_str(&format!(
+                        "    Text<raw_ptr> {}
+",
+                        f.name
+                    ));
                 }
                 TypeKind::Array { elem, .. }
                     if matches!(
@@ -222,8 +277,11 @@ impl Session {
                         TypeKind::Prim(ktypes::Prim::Char)
                     ) =>
                 {
-                    items.push_str(&format!("    Text<string> {}
-", f.name));
+                    items.push_str(&format!(
+                        "    Text<string> {}
+",
+                        f.name
+                    ));
                 }
                 _ => {} // nested aggregates are beyond a naive plot
             }
@@ -419,15 +477,22 @@ mod tests {
     #[test]
     fn vplot_auto_synthesizes_naive_viewcl() {
         let mut s = session();
-        let src = s.synthesize_viewcl("vm_area_struct", "find_vma(current_task->mm, 0x400000)").unwrap();
+        let src = s
+            .synthesize_viewcl("vm_area_struct", "find_vma(current_task->mm, 0x400000)")
+            .unwrap();
         assert!(src.contains("Text vm_start"), "{src}");
         assert!(src.contains("Text<raw_ptr> vm_file"), "{src}");
-        let pane = s.vplot_auto("vm_area_struct", "find_vma(current_task->mm, 0x400000)").unwrap();
+        let pane = s
+            .vplot_auto("vm_area_struct", "find_vma(current_task->mm, 0x400000)")
+            .unwrap();
         let g = s.graph(pane).unwrap();
         assert_eq!(g.get(g.roots[0]).ctype, "vm_area_struct");
         // The naive plot shows the real field values.
         assert_eq!(g.get(g.roots[0]).member_raw("vm_start", g), Some(0x400000));
-        assert!(matches!(s.vplot_auto("no_such_type", "0"), Err(SessionError::NotFound(_))));
+        assert!(matches!(
+            s.vplot_auto("no_such_type", "0"),
+            Err(SessionError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -435,7 +500,9 @@ mod tests {
         let mut s = session();
         let pane = s.vplot_figure("fig7-1").unwrap();
         let first = s.graph(pane).unwrap().roots[0];
-        let sec = s.vctrl_select(pane, SplitDir::Vertical, vec![first]).unwrap();
+        let sec = s
+            .vctrl_select(pane, SplitDir::Vertical, vec![first])
+            .unwrap();
         assert_ne!(sec, pane);
         // The secondary pane resolves its origin's graph.
         assert!(s.graph(sec).is_ok());
@@ -462,6 +529,36 @@ plot @m
             vgraph::Item::Text { value, .. } => assert_eq!(value, "🔓"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn cached_session_plots_identically_and_cheaper() {
+        let fig = crate::figures::by_id("fig3-4").unwrap();
+        let uncached = Session::attach(
+            build(&WorkloadConfig::default()),
+            LatencyProfile::kgdb_rpi400(),
+        );
+        let mut cached = Session::attach_with_cache(
+            build(&WorkloadConfig::default()),
+            LatencyProfile::kgdb_rpi400(),
+            vbridge::CacheConfig::default(),
+        );
+        assert!(cached.cache_enabled() && !uncached.cache_enabled());
+        let (g_plain, s_plain) = uncached.extract(fig.viewcl).unwrap();
+        let (g_cold, s_cold) = cached.extract(fig.viewcl).unwrap();
+        assert_eq!(g_plain.to_json(), g_cold.to_json());
+        assert!(s_cold.target.virtual_ns < s_plain.target.virtual_ns);
+        // Warm re-extraction: the snapshot has not changed, so nearly
+        // everything comes from cache.
+        let (g_warm, s_warm) = cached.extract(fig.viewcl).unwrap();
+        assert_eq!(g_plain.to_json(), g_warm.to_json());
+        assert!(s_warm.target.reads < s_cold.target.reads);
+        assert!(s_warm.target.cache_hits > 0);
+        // Resuming the kernel drops every cached block.
+        cached.resume();
+        assert!(cached.cache().unwrap().is_empty());
+        let (_, s_cold2) = cached.extract(fig.viewcl).unwrap();
+        assert!(s_cold2.target.cache_misses > 0);
     }
 
     #[test]

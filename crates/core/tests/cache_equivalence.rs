@@ -1,0 +1,78 @@
+//! Cache transparency: the snapshot block cache is a pure cost
+//! optimization. Every Table 2 figure must extract *byte-identical*
+//! vgraph JSON with the cache enabled — both cold (empty cache) and warm
+//! (second extraction of the same figure) — as a plain uncached session
+//! produces, while never costing more virtual time than uncached.
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::{CacheConfig, LatencyProfile};
+use visualinux::{figures, Session};
+
+#[test]
+fn all_figures_byte_identical_cached_cold_and_warm() {
+    let uncached = Session::attach(
+        build(&WorkloadConfig::default()),
+        LatencyProfile::kgdb_rpi400(),
+    );
+    let mut cached = Session::attach_with_cache(
+        build(&WorkloadConfig::default()),
+        LatencyProfile::kgdb_rpi400(),
+        CacheConfig::default(),
+    );
+    let mut failures = Vec::new();
+    for fig in figures::all() {
+        let (g, s) = uncached.extract(fig.viewcl).expect(fig.id);
+        let reference = g.to_json();
+        // Cold: resume() empties the cache, so the first cached
+        // extraction starts from nothing.
+        cached.resume();
+        assert!(cached.cache().unwrap().is_empty());
+        let (g_cold, s_cold) = cached.extract(fig.viewcl).expect(fig.id);
+        if g_cold.to_json() != reference {
+            failures.push(format!("{}: cold cached JSON differs", fig.id));
+        }
+        // Warm: same snapshot, so the re-extraction is mostly cache hits.
+        let (g_warm, s_warm) = cached.extract(fig.viewcl).expect(fig.id);
+        if g_warm.to_json() != reference {
+            failures.push(format!("{}: warm cached JSON differs", fig.id));
+        }
+        if s_cold.target.virtual_ns > s.target.virtual_ns {
+            failures.push(format!(
+                "{}: cold cache costs more than uncached ({} > {} ns)",
+                fig.id, s_cold.target.virtual_ns, s.target.virtual_ns
+            ));
+        }
+        if s_warm.target.virtual_ns > s_cold.target.virtual_ns {
+            failures.push(format!(
+                "{}: warm costs more than cold ({} > {} ns)",
+                fig.id, s_warm.target.virtual_ns, s_cold.target.virtual_ns
+            ));
+        }
+        if s_warm.target.cache_hits == 0 {
+            failures.push(format!("{}: warm extraction never hit the cache", fig.id));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "cache equivalence failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn block_size_sweep_preserves_equivalence() {
+    // The invariants hold at every legal block size, not just the default.
+    let uncached = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let fig = figures::by_id("fig3-4").unwrap();
+    let (g, _) = uncached.extract(fig.viewcl).unwrap();
+    let reference = g.to_json();
+    for bs in [8u64, 64, 256, 4096] {
+        let cached = Session::attach_with_cache(
+            build(&WorkloadConfig::default()),
+            LatencyProfile::free(),
+            CacheConfig::with_block_size(bs),
+        );
+        let (g_c, _) = cached.extract(fig.viewcl).unwrap();
+        assert_eq!(g_c.to_json(), reference, "block size {bs}");
+    }
+}

@@ -7,10 +7,9 @@ use vbridge::LatencyProfile;
 use vgraph::Graph;
 use visualinux::{figures, Session};
 
-/// The observable display state of a graph, for semantic comparison.
-fn display_state(
-    g: &Graph,
-) -> Vec<(
+/// One box's observable display state: addr, label, collapsed, trimmed,
+/// view, direction, and per-member container states.
+type BoxState = (
     u64,
     String,
     bool,
@@ -18,7 +17,10 @@ fn display_state(
     Option<String>,
     Option<String>,
     Vec<(String, bool, Option<String>)>,
-)> {
+);
+
+/// The observable display state of a graph, for semantic comparison.
+fn display_state(g: &Graph) -> Vec<BoxState> {
     let mut v: Vec<_> = g
         .boxes()
         .iter()

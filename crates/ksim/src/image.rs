@@ -192,7 +192,7 @@ mod tests {
         let heap_obj = b.alloc(t);
         let global = b.alloc_global("init_something", t);
         let per = b.alloc_percpu(t);
-        assert!(heap_obj >= HEAP_BASE && heap_obj < PERCPU_BASE);
+        assert!((HEAP_BASE..PERCPU_BASE).contains(&heap_obj));
         assert!(global >= DATA_BASE);
         assert!(per >= PERCPU_BASE);
     }

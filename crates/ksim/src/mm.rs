@@ -315,7 +315,7 @@ mod tests {
             start: 0x1000,
             end: 0x3000,
             flags: VM_READ | VM_WRITE,
-            file: 0xdead_beef_00,
+            file: 0x00de_adbe_ef00,
             pgoff: 7,
         }];
         let built = create_mm(&mut kb, &mt, &maple_t, 0x1234, &specs);
@@ -331,7 +331,7 @@ mod tests {
         assert_eq!(r("vm_start"), 0x1000);
         assert_eq!(r("vm_end"), 0x3000);
         assert_eq!(r("vm_flags"), VM_READ | VM_WRITE);
-        assert_eq!(r("vm_file"), 0xdead_beef_00);
+        assert_eq!(r("vm_file"), 0x00de_adbe_ef00);
         assert_eq!(r("vm_pgoff"), 7);
     }
 

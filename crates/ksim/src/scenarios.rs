@@ -206,16 +206,19 @@ mod tests {
         expire_rcu_grace_period(&mut w, &sr);
         // The tree still points at the node (dangling), but the memory is
         // gone: the defining state of CVE-2023-3269.
-        let (root_off, _) = w
-            .kb
-            .types
-            .field_path(w.types.mm.mm_struct, "mm_mt.ma_root")
-            .unwrap();
+        let (root_off, _) =
+            w.kb.types
+                .field_path(w.types.mm.mm_struct, "mm_mt.ma_root")
+                .unwrap();
         let root = w.kb.mem.read_uint(sr.mm + root_off, 8).unwrap();
         let node0 = maple::mte_to_node(root);
         let slot0 = node0 + 8 + 8 * (maple::MAPLE_ARANGE64_SLOTS - 1);
         let child = w.kb.mem.read_uint(slot0, 8).unwrap();
-        assert_eq!(maple::mte_to_node(child), sr.victim_node, "dangling link remains");
+        assert_eq!(
+            maple::mte_to_node(child),
+            sr.victim_node,
+            "dangling link remains"
+        );
         // Dereferencing the freed node now reads slab poison.
         assert_eq!(
             w.kb.mem.read_uint(sr.victim_node, 8).unwrap(),

@@ -1,0 +1,216 @@
+//! Snapshot block cache for the debugger bridge.
+//!
+//! A stopped kernel is a snapshot: until the target resumes, every byte the
+//! debugger fetched stays valid. The bridge exploits that by caching target
+//! memory in aligned blocks — a read that misses fetches the *whole* block
+//! as one metered packet, and every later read inside the block is free.
+//! This is the optimization real debugger front-ends (and the paper's GDB
+//! bridge) lean on to survive slow transports like KGDB-over-serial, where
+//! each round-trip costs milliseconds.
+//!
+//! Consistency is epoch-based: [`BlockCache::bump_epoch`] (called by
+//! `core::Session` when the simulated kernel resumes) invalidates every
+//! block, because resumed execution may have rewritten any of them.
+//!
+//! Blocks are powers of two no larger than the 4 KiB page, so a block never
+//! spans a page boundary. Since the memory image maps whole pages, a block
+//! is either fully mapped or fully unmapped — which is what lets the cached
+//! read path fault at exactly the same address an uncached read would.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+
+/// Block cache tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Block size in bytes: a power of two in `[8, 4096]`.
+    pub block_size: u64,
+    /// Capacity in blocks; the oldest block is evicted beyond this (FIFO).
+    pub max_blocks: usize,
+    /// Merge batched reads (`Target::read_many`) into minimal wire spans.
+    /// Off, each request pays its own packet (ablation knob).
+    pub coalesce: bool,
+    /// Honor `Target::prefetch` hints. Off, hints are ignored
+    /// (ablation knob).
+    pub prefetch: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            block_size: 256,
+            max_blocks: 4096,
+            coalesce: true,
+            prefetch: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Default configuration with a different block size.
+    pub fn with_block_size(block_size: u64) -> Self {
+        CacheConfig {
+            block_size,
+            ..CacheConfig::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.block_size.is_power_of_two() && (8..=4096).contains(&self.block_size),
+            "cache block size must be a power of two in [8, 4096], got {}",
+            self.block_size
+        );
+        assert!(self.max_blocks >= 1, "cache needs at least one block");
+    }
+}
+
+/// The shared snapshot cache. One per attached session; `Target`s borrow
+/// it so cached blocks survive across extractions while the kernel stays
+/// stopped. Interior-mutable for the same reason `Target`'s meters are:
+/// reading a stopped target does not change it.
+#[derive(Debug)]
+pub struct BlockCache {
+    cfg: CacheConfig,
+    blocks: RefCell<HashMap<u64, Box<[u8]>>>,
+    order: RefCell<VecDeque<u64>>,
+    epoch: Cell<u64>,
+}
+
+impl Default for BlockCache {
+    fn default() -> Self {
+        BlockCache::new(CacheConfig::default())
+    }
+}
+
+impl BlockCache {
+    /// Create an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        BlockCache {
+            cfg,
+            blocks: RefCell::new(HashMap::new()),
+            order: RefCell::new(VecDeque::new()),
+            epoch: Cell::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> u64 {
+        self.cfg.block_size
+    }
+
+    /// The base address of the block containing `addr`.
+    pub fn base_of(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.block_size - 1)
+    }
+
+    /// Current snapshot epoch (bumped on every resume).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.get()
+    }
+
+    /// Invalidate everything: the target resumed, so any cached byte may
+    /// be stale.
+    pub fn bump_epoch(&self) {
+        self.epoch.set(self.epoch.get() + 1);
+        self.blocks.borrow_mut().clear();
+        self.order.borrow_mut().clear();
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.borrow().len()
+    }
+
+    /// Whether no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.borrow().is_empty()
+    }
+
+    /// Whether the block at `base` is resident.
+    pub fn contains(&self, base: u64) -> bool {
+        self.blocks.borrow().contains_key(&base)
+    }
+
+    /// Insert a fetched block, evicting the oldest beyond capacity.
+    pub(crate) fn insert(&self, base: u64, data: Box<[u8]>) {
+        debug_assert_eq!(base, self.base_of(base));
+        debug_assert_eq!(data.len() as u64, self.cfg.block_size);
+        let mut blocks = self.blocks.borrow_mut();
+        let mut order = self.order.borrow_mut();
+        if blocks.insert(base, data).is_none() {
+            order.push_back(base);
+            while blocks.len() > self.cfg.max_blocks {
+                if let Some(old) = order.pop_front() {
+                    blocks.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Copy `dst.len()` bytes out of the resident block at `base`,
+    /// starting `off` bytes in. Panics if the block is absent or the
+    /// range leaves the block — callers establish residency first.
+    pub(crate) fn copy_from(&self, base: u64, off: usize, dst: &mut [u8]) {
+        let blocks = self.blocks.borrow();
+        let block = blocks
+            .get(&base)
+            .expect("copy_from requires a resident block");
+        dst.copy_from_slice(&block[off..off + dst.len()]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_and_alignment() {
+        let c = BlockCache::new(CacheConfig::default());
+        assert_eq!(c.base_of(0x1234), 0x1200);
+        assert!(!c.contains(0x1200));
+        c.insert(0x1200, vec![7u8; 256].into_boxed_slice());
+        assert!(c.contains(0x1200));
+        let mut out = [0u8; 4];
+        c.copy_from(0x1200, 0x34, &mut out);
+        assert_eq!(out, [7; 4]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn bump_epoch_invalidates() {
+        let c = BlockCache::new(CacheConfig::default());
+        c.insert(0, vec![0u8; 256].into_boxed_slice());
+        assert_eq!((c.epoch(), c.len()), (0, 1));
+        c.bump_epoch();
+        assert_eq!((c.epoch(), c.len()), (1, 0));
+        assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn fifo_eviction_beyond_capacity() {
+        let c = BlockCache::new(CacheConfig {
+            block_size: 256,
+            max_blocks: 2,
+            ..CacheConfig::default()
+        });
+        for i in 0..3u64 {
+            c.insert(i * 256, vec![0u8; 256].into_boxed_slice());
+        }
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(0), "oldest block evicted first");
+        assert!(c.contains(256) && c.contains(512));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_block_size() {
+        BlockCache::new(CacheConfig::with_block_size(100));
+    }
+}

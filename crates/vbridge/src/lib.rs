@@ -12,16 +12,23 @@
 //!   supporting `->`/`.`/`[]`, casts, arithmetic, comparisons,
 //!   `container_of`, and calls into registered [`HelperFn`]s — the
 //!   equivalent of the paper's ~500 lines of GDB scripts that expose
-//!   inline kernel functions like `cpu_rq()` and `mte_to_node()`.
+//!   inline kernel functions like `cpu_rq()` and `mte_to_node()`;
+//! * an optional snapshot [`BlockCache`] services repeat reads for free
+//!   while the kernel stays stopped, coalesces batched reads
+//!   ([`Target::read_many`]) into minimal wire spans, and accepts
+//!   prefetch hints ([`Target::prefetch`]) from container distillers —
+//!   invalidated wholesale when the session resumes the target.
 
+mod cache;
 mod error;
 pub mod eval;
 mod helpers;
 mod profile;
 mod target;
 
+pub use cache::{BlockCache, CacheConfig};
 pub use error::{BridgeError, Result};
 pub use eval::Evaluator;
 pub use helpers::{HelperFn, HelperRegistry};
 pub use profile::LatencyProfile;
-pub use target::{Target, TargetStats};
+pub use target::{ReadPlan, Target, TargetStats};

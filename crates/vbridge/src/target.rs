@@ -2,21 +2,92 @@
 
 use std::cell::Cell;
 
-use kmem::{Mem, SymbolTable};
+use kmem::{Mem, MemError, SymbolTable};
 use ktypes::{CValue, TypeId, TypeKind, TypeRegistry};
 
+use crate::cache::BlockCache;
 use crate::profile::LatencyProfile;
 use crate::{BridgeError, Result};
 
+/// C strings travel in 64-byte chunks, mirroring GDB's remote-protocol
+/// habit of pulling strings in small fixed reads.
+const CSTR_CHUNK: u64 = 64;
+
+/// Largest span a single prefetch hint will pull (one page).
+const MAX_PREFETCH: u64 = 4096;
+
 /// Cumulative access statistics (virtual time, reads, bytes).
+///
+/// `reads` counts *wire packets* and `bytes` counts *wire bytes*: with the
+/// block cache enabled a cache hit costs neither, while a miss pays for a
+/// whole block. Without a cache every call is one packet, as before.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TargetStats {
-    /// Number of read requests issued.
+    /// Number of read packets issued over the (virtual) wire.
     pub reads: u64,
-    /// Total bytes transferred.
+    /// Total bytes transferred over the wire.
     pub bytes: u64,
     /// Accumulated virtual time in nanoseconds.
     pub virtual_ns: u64,
+    /// Block lookups served from the snapshot cache.
+    pub cache_hits: u64,
+    /// Block fetches caused by cache misses.
+    pub cache_misses: u64,
+    /// Round-trips avoided: requests served without any wire packet, plus
+    /// packets merged away by read coalescing.
+    pub packets_saved: u64,
+}
+
+/// A batch of reads to be coalesced into minimal wire spans.
+///
+/// Adjacent and overlapping requests merge into one span; disjoint ones
+/// stay separate. [`Target::read_many`] turns each span into a single
+/// packet when the cache is enabled.
+#[derive(Debug, Clone, Default)]
+pub struct ReadPlan {
+    reqs: Vec<(u64, u64)>,
+}
+
+impl ReadPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        ReadPlan::default()
+    }
+
+    /// Queue a read of `len` bytes at `addr`.
+    pub fn add(&mut self, addr: u64, len: u64) {
+        if len > 0 {
+            self.reqs.push((addr, len));
+        }
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Whether no requests are queued.
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// The minimal `(addr, len)` spans covering every queued request:
+    /// sorted, with adjacent/overlapping requests merged.
+    pub fn spans(&self) -> Vec<(u64, u64)> {
+        let mut sorted = self.reqs.clone();
+        sorted.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(sorted.len());
+        for (addr, len) in sorted {
+            match out.last_mut() {
+                Some((last_addr, last_len)) if addr <= *last_addr + *last_len => {
+                    let end = (addr + len).max(*last_addr + *last_len);
+                    *last_len = end - *last_addr;
+                }
+                _ => out.push((addr, len)),
+            }
+        }
+        out
+    }
 }
 
 /// A debugger's view of the stopped kernel.
@@ -25,6 +96,11 @@ pub struct TargetStats {
 /// meters every access through a [`LatencyProfile`]. All reads take
 /// `&self`; the counters are interior-mutable, mirroring how observing a
 /// stopped target does not change it.
+///
+/// With [`Target::with_cache`] the target additionally routes reads
+/// through a shared [`BlockCache`]: misses fetch whole aligned blocks as
+/// one packet each, hits are free, and results — values *and* faults —
+/// are byte-identical to the uncached path.
 pub struct Target<'a> {
     mem: &'a Mem,
     /// Type registry (the debug info).
@@ -32,13 +108,17 @@ pub struct Target<'a> {
     /// Symbol table.
     pub symbols: &'a SymbolTable,
     profile: LatencyProfile,
+    cache: Option<&'a BlockCache>,
     reads: Cell<u64>,
     bytes: Cell<u64>,
     virtual_ns: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    packets_saved: Cell<u64>,
 }
 
 impl<'a> Target<'a> {
-    /// Attach to an image with the given latency profile.
+    /// Attach to an image with the given latency profile (uncached).
     pub fn new(
         mem: &'a Mem,
         types: &'a TypeRegistry,
@@ -50,15 +130,52 @@ impl<'a> Target<'a> {
             types,
             symbols,
             profile,
+            cache: None,
             reads: Cell::new(0),
             bytes: Cell::new(0),
             virtual_ns: Cell::new(0),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+            packets_saved: Cell::new(0),
         }
+    }
+
+    /// Attach with a shared snapshot block cache. The cache outlives the
+    /// target, so blocks persist across extractions until the session
+    /// resumes the kernel and bumps the epoch.
+    pub fn with_cache(
+        mem: &'a Mem,
+        types: &'a TypeRegistry,
+        symbols: &'a SymbolTable,
+        profile: LatencyProfile,
+        cache: &'a BlockCache,
+    ) -> Self {
+        let mut t = Target::new(mem, types, symbols, profile);
+        t.cache = Some(cache);
+        t
     }
 
     /// The active latency profile.
     pub fn profile(&self) -> LatencyProfile {
         self.profile
+    }
+
+    /// Whether reads go through a snapshot cache.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&'a BlockCache> {
+        self.cache
+    }
+
+    /// Invalidate the snapshot cache (the target resumed). No-op when
+    /// uncached.
+    pub fn bump_epoch(&self) {
+        if let Some(c) = self.cache {
+            c.bump_epoch();
+        }
     }
 
     /// Snapshot the access statistics.
@@ -67,6 +184,9 @@ impl<'a> Target<'a> {
             reads: self.reads.get(),
             bytes: self.bytes.get(),
             virtual_ns: self.virtual_ns.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            packets_saved: self.packets_saved.get(),
         }
     }
 
@@ -75,6 +195,9 @@ impl<'a> Target<'a> {
         self.reads.set(0);
         self.bytes.set(0);
         self.virtual_ns.set(0);
+        self.cache_hits.set(0);
+        self.cache_misses.set(0);
+        self.packets_saved.set(0);
     }
 
     fn account(&self, len: u64) {
@@ -84,34 +207,268 @@ impl<'a> Target<'a> {
             .set(self.virtual_ns.get() + self.profile.cost_ns(len));
     }
 
+    fn note_saved(&self, n: u64) {
+        self.packets_saved.set(self.packets_saved.get() + n);
+    }
+
+    /// Ensure every block overlapping `[addr, addr+len)` is resident,
+    /// metering one packet per fetched block (and one exact-span packet
+    /// per unmappable block, which a subsequent serve will fault on).
+    /// Returns the number of wire packets sent.
+    fn meter_range_cached(&self, cache: &BlockCache, addr: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let bs = cache.block_size();
+        let mut packets = 0u64;
+        let mut base = cache.base_of(addr);
+        let last = cache.base_of(addr + len - 1);
+        while base <= last {
+            if cache.contains(base) {
+                self.cache_hits.set(self.cache_hits.get() + 1);
+            } else {
+                let mut block = vec![0u8; bs as usize];
+                if self.mem.read(base, &mut block).is_ok() {
+                    self.account(bs);
+                    self.cache_misses.set(self.cache_misses.get() + 1);
+                    cache.insert(base, block.into_boxed_slice());
+                } else {
+                    // The block's page is unmapped; pay for the doomed
+                    // exact request (the serve path reports the fault).
+                    let start = base.max(addr);
+                    let end = (base + bs).min(addr + len);
+                    self.account(end - start);
+                }
+                packets += 1;
+            }
+            base += bs;
+        }
+        packets
+    }
+
+    /// Serve `[addr, addr+len)` from resident blocks, falling back to the
+    /// image for absent ones — which faults at exactly the address an
+    /// uncached read would, since blocks never span pages.
+    fn serve_cached(&self, cache: &BlockCache, addr: u64, out: &mut [u8]) -> Result<()> {
+        let bs = cache.block_size();
+        let mut pos = 0usize;
+        while pos < out.len() {
+            let a = addr + pos as u64;
+            let base = cache.base_of(a);
+            let off = (a - base) as usize;
+            let n = (bs as usize - off).min(out.len() - pos);
+            if cache.contains(base) {
+                cache.copy_from(base, off, &mut out[pos..pos + n]);
+            } else {
+                self.mem
+                    .read(a, &mut out[pos..pos + n])
+                    .map_err(BridgeError::from)?;
+            }
+            pos += n;
+        }
+        Ok(())
+    }
+
+    fn read_through_cache(&self, cache: &BlockCache, addr: u64, out: &mut [u8]) -> Result<()> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        let packets = self.meter_range_cached(cache, addr, out.len() as u64);
+        if packets == 0 {
+            self.note_saved(1);
+        }
+        self.serve_cached(cache, addr, out)
+    }
+
     /// Read raw bytes (metered).
     pub fn read(&self, addr: u64, out: &mut [u8]) -> Result<()> {
-        self.account(out.len() as u64);
-        self.mem.read(addr, out).map_err(BridgeError::from)
+        match self.cache {
+            None => {
+                self.account(out.len() as u64);
+                self.mem.read(addr, out).map_err(BridgeError::from)
+            }
+            Some(c) => self.read_through_cache(c, addr, out),
+        }
     }
 
     /// Read an unsigned little-endian integer of `size` bytes (metered).
     pub fn read_uint(&self, addr: u64, size: usize) -> Result<u64> {
-        self.account(size as u64);
-        self.mem.read_uint(addr, size).map_err(BridgeError::from)
+        match self.cache {
+            None => {
+                self.account(size as u64);
+                self.mem.read_uint(addr, size).map_err(BridgeError::from)
+            }
+            Some(c) => {
+                let mut buf = [0u8; 8];
+                self.read_through_cache(c, addr, &mut buf[..size])?;
+                Ok(ktypes::read_uint(&buf, size))
+            }
+        }
     }
 
     /// Read a signed integer (metered).
     pub fn read_int(&self, addr: u64, size: usize) -> Result<i64> {
-        self.account(size as u64);
-        self.mem.read_int(addr, size).map_err(BridgeError::from)
+        match self.cache {
+            None => {
+                self.account(size as u64);
+                self.mem.read_int(addr, size).map_err(BridgeError::from)
+            }
+            Some(c) => {
+                let mut buf = [0u8; 8];
+                self.read_through_cache(c, addr, &mut buf[..size])?;
+                Ok(ktypes::read_int(&buf, size))
+            }
+        }
     }
 
-    /// Read a NUL-terminated C string, metered as one packet per chunk.
+    /// Read a NUL-terminated C string, metered as one packet per 64-byte
+    /// chunk actually pulled (the terminator travels too; a fault pays for
+    /// the chunks up to and including the failing probe).
     pub fn read_cstr(&self, addr: u64, max: usize) -> Result<String> {
-        self.account((max as u64).min(64));
-        self.mem.read_cstr(addr, max).map_err(BridgeError::from)
+        let res = self.mem.read_cstr(addr, max);
+        let fetched = match &res {
+            Ok(s) => ((s.len() as u64) + 1).min(max as u64),
+            Err(MemError::Unmapped { addr: fault }) => fault.saturating_sub(addr) + 1,
+            Err(_) => 1,
+        };
+        match self.cache {
+            None => {
+                let mut rem = fetched;
+                while rem > 0 {
+                    let n = rem.min(CSTR_CHUNK);
+                    self.account(n);
+                    rem -= n;
+                }
+            }
+            Some(c) => {
+                let packets = self.meter_range_cached(c, addr, fetched);
+                if packets == 0 && fetched > 0 {
+                    self.note_saved(1);
+                }
+            }
+        }
+        res.map_err(BridgeError::from)
     }
 
     /// Whether `addr` is mapped (metered as a 1-byte probe).
     pub fn is_mapped(&self, addr: u64) -> bool {
         self.account(1);
         self.mem.is_mapped(addr)
+    }
+
+    /// Pull every absent block covering `[addr, addr+len)` — the whole
+    /// aligned span as ONE packet when possible, degrading to per-block
+    /// fetches of the mapped blocks when the span touches unmapped pages
+    /// (holes are skipped silently; a later serve reports the fault).
+    /// Returns `(packets sent, blocks fetched)`. `len` must be non-zero.
+    fn fetch_span(&self, cache: &BlockCache, addr: u64, len: u64) -> (u64, u64) {
+        let bs = cache.block_size();
+        let start = cache.base_of(addr);
+        let end = cache.base_of(addr + len - 1) + bs;
+        let mut missing = 0u64;
+        let mut base = start;
+        while base < end {
+            if !cache.contains(base) {
+                missing += 1;
+            }
+            base += bs;
+        }
+        if missing == 0 {
+            return (0, 0);
+        }
+        let span = end - start;
+        let mut buf = vec![0u8; span as usize];
+        if self.mem.read(start, &mut buf).is_ok() {
+            self.account(span);
+            self.cache_misses.set(self.cache_misses.get() + missing);
+            let mut base = start;
+            while base < end {
+                if !cache.contains(base) {
+                    let off = (base - start) as usize;
+                    cache.insert(
+                        base,
+                        buf[off..off + bs as usize].to_vec().into_boxed_slice(),
+                    );
+                }
+                base += bs;
+            }
+            (1, missing)
+        } else {
+            let mut fetched = 0u64;
+            let mut base = start;
+            while base < end {
+                if !cache.contains(base) {
+                    let mut block = vec![0u8; bs as usize];
+                    if self.mem.read(base, &mut block).is_ok() {
+                        self.account(bs);
+                        self.cache_misses.set(self.cache_misses.get() + 1);
+                        cache.insert(base, block.into_boxed_slice());
+                        fetched += 1;
+                    }
+                }
+                base += bs;
+            }
+            (fetched, fetched)
+        }
+    }
+
+    /// Hint that `[addr, addr+len)` is about to be walked. With the cache
+    /// enabled, pulls the covering blocks in a single span packet (capped
+    /// at one page); uncached targets ignore the hint entirely, keeping
+    /// the baseline cost model untouched. Hints never fault.
+    pub fn prefetch(&self, addr: u64, len: u64) {
+        let Some(cache) = self.cache else { return };
+        if len == 0 || !cache.config().prefetch {
+            return;
+        }
+        let (packets, blocks) = self.fetch_span(cache, addr, len.min(MAX_PREFETCH));
+        // Fetching N blocks in fewer packets saves the difference.
+        self.note_saved(blocks.saturating_sub(packets));
+    }
+
+    /// Execute a batch of reads, coalescing adjacent/overlapping requests
+    /// into minimal wire spans when the cache is enabled. Returns one
+    /// buffer per request, in request order — byte-identical to issuing
+    /// the requests one by one.
+    pub fn read_many(&self, plan: &ReadPlan) -> Result<Vec<Vec<u8>>> {
+        match self.cache {
+            None => {
+                // Uncached: the baseline cost model, one packet per request.
+                plan.reqs
+                    .iter()
+                    .map(|&(addr, len)| {
+                        let mut buf = vec![0u8; len as usize];
+                        self.read(addr, &mut buf)?;
+                        Ok(buf)
+                    })
+                    .collect()
+            }
+            Some(cache) => {
+                let mut packets = 0u64;
+                if cache.config().coalesce {
+                    // Each merged span travels as one packet.
+                    for &(addr, len) in &plan.spans() {
+                        packets += self.fetch_span(cache, addr, len).0;
+                    }
+                } else {
+                    // Ablation knob: each request meters on its own,
+                    // exactly like a loop of `read` calls.
+                    for &(addr, len) in &plan.reqs {
+                        packets += self.meter_range_cached(cache, addr, len);
+                    }
+                }
+                // An uncached bridge would have paid one packet per request.
+                self.note_saved((plan.reqs.len() as u64).saturating_sub(packets));
+                plan.reqs
+                    .iter()
+                    .map(|&(addr, len)| {
+                        let mut buf = vec![0u8; len as usize];
+                        self.serve_cached(cache, addr, &mut buf)?;
+                        Ok(buf)
+                    })
+                    .collect()
+            }
+        }
     }
 
     /// Load a value of type `ty` from `addr`, decoding scalars and
@@ -135,7 +492,10 @@ impl<'a> Target<'a> {
                 Ok(CValue::Int { value: v, ty })
             }
             TypeKind::Pointer(_) => {
-                let v = self.read_uint(addr, 8)?;
+                // Pointer width comes from the registry, not a literal 8,
+                // so a 32-bit target image meters (and decodes) honestly.
+                let size = self.types.size_of(ty) as usize;
+                let v = self.read_uint(addr, size)?;
                 Ok(CValue::Ptr { addr: v, ty })
             }
             TypeKind::Struct(_) | TypeKind::Array { .. } => Ok(CValue::LValue { addr, ty }),
@@ -168,6 +528,7 @@ impl<'a> Target<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
     use ksim::workload::{self, WorkloadConfig};
 
     #[test]
@@ -221,5 +582,173 @@ mod tests {
             target.read_uint(0xdead_0000_0000, 8),
             Err(BridgeError::Mem(_))
         ));
+    }
+
+    #[test]
+    fn cached_reads_hit_after_block_fetch() {
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let cache = BlockCache::new(CacheConfig::default());
+        let target = Target::with_cache(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+            &cache,
+        );
+        let a = target.read_uint(roots.init_task, 8).unwrap();
+        let s1 = target.stats();
+        assert_eq!(s1.cache_misses, 1);
+        assert_eq!(s1.reads, 1, "one block packet");
+        assert_eq!(s1.bytes, 256, "a whole block travelled");
+        // Re-read and read a neighbour inside the same block: both free.
+        let b = target.read_uint(roots.init_task, 8).unwrap();
+        let _ = target.read_uint(roots.init_task + 8, 8).unwrap();
+        assert_eq!(a, b);
+        let s2 = target.stats();
+        assert_eq!(s2.reads, 1, "no further packets");
+        assert_eq!(s2.cache_hits, 2);
+        assert_eq!(s2.packets_saved, 2);
+        assert_eq!(s2.virtual_ns, s1.virtual_ns);
+    }
+
+    #[test]
+    fn cached_and_uncached_reads_agree_including_faults() {
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let cache = BlockCache::new(CacheConfig::default());
+        let plain = Target::new(&img.mem, &img.types, &img.symbols, LatencyProfile::free());
+        let cached = Target::with_cache(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::free(),
+            &cache,
+        );
+        for addr in [roots.init_task, roots.init_task + 3, 0xdead_0000_0000] {
+            for size in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    format!("{:?}", plain.read_uint(addr, size)),
+                    format!("{:?}", cached.read_uint(addr, size)),
+                    "addr {addr:#x} size {size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bump_epoch_invalidates_cached_blocks() {
+        let (mut img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let cache = BlockCache::new(CacheConfig::default());
+        {
+            let target = Target::with_cache(
+                &img.mem,
+                &img.types,
+                &img.symbols,
+                LatencyProfile::free(),
+                &cache,
+            );
+            let _ = target.read_uint(roots.init_task, 8).unwrap();
+            assert!(!cache.is_empty());
+        }
+        // The kernel "resumes" and rewrites memory.
+        img.mem.write_uint(roots.init_task, 8, 0x4242);
+        cache.bump_epoch();
+        let target = Target::with_cache(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::free(),
+            &cache,
+        );
+        assert_eq!(target.read_uint(roots.init_task, 8).unwrap(), 0x4242);
+        assert_eq!(target.stats().cache_misses, 1, "stale block re-fetched");
+    }
+
+    #[test]
+    fn read_plan_merges_adjacent_and_overlapping_spans() {
+        let mut plan = ReadPlan::new();
+        plan.add(0x100, 8);
+        plan.add(0x108, 8); // adjacent
+        plan.add(0x104, 8); // overlapping
+        plan.add(0x200, 4); // disjoint
+        assert_eq!(plan.spans(), vec![(0x100, 16), (0x200, 4)]);
+    }
+
+    #[test]
+    fn read_many_coalesces_into_fewer_packets() {
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let cache = BlockCache::new(CacheConfig::default());
+        let cached = Target::with_cache(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+            &cache,
+        );
+        let plain = Target::new(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+        );
+        let mut plan = ReadPlan::new();
+        for i in 0..8u64 {
+            plan.add(roots.init_task + 8 * i, 8);
+        }
+        let a = cached.read_many(&plan).unwrap();
+        let b = plain.read_many(&plan).unwrap();
+        assert_eq!(a, b, "coalesced results identical");
+        assert!(
+            cached.stats().reads < plain.stats().reads,
+            "coalesced: {} uncoalesced: {}",
+            cached.stats().reads,
+            plain.stats().reads
+        );
+        assert!(cached.stats().packets_saved >= 7);
+    }
+
+    #[test]
+    fn cstr_metering_counts_chunks_fetched() {
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let target = Target::new(&img.mem, &img.types, &img.symbols, LatencyProfile::free());
+        // "swapper/0" + NUL = 10 bytes: one chunk, 10 wire bytes — not a
+        // flat 64 the old metering charged regardless of length.
+        let (comm_off, _) = img
+            .types
+            .field_path(img.types.find("task_struct").unwrap(), "comm")
+            .unwrap();
+        let s = target.read_cstr(roots.init_task + comm_off, 16).unwrap();
+        assert_eq!(s, "swapper/0");
+        let st = target.stats();
+        assert_eq!(st.reads, 1);
+        assert_eq!(st.bytes, s.len() as u64 + 1);
+    }
+
+    #[test]
+    fn prefetch_pulls_span_as_one_packet() {
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let cache = BlockCache::new(CacheConfig::default());
+        let target = Target::with_cache(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+            &cache,
+        );
+        target.prefetch(roots.init_task, 1024);
+        let s = target.stats();
+        assert_eq!(s.reads, 1, "one span packet");
+        assert!(s.bytes >= 1024);
+        // Reads inside the span are now free.
+        let _ = target.read_uint(roots.init_task + 512, 8).unwrap();
+        assert_eq!(target.stats().reads, 1);
+        // Prefetch on an uncached target is a strict no-op.
+        let plain = Target::new(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+        );
+        plain.prefetch(roots.init_task, 1024);
+        assert_eq!(plain.stats(), TargetStats::default());
     }
 }

@@ -430,14 +430,18 @@ mod prop_tests {
 
     /// A random DAG-ish graph: n boxes, random links.
     fn arb_graph() -> impl Strategy<Value = Graph> {
-        (2usize..40, proptest::collection::vec((0usize..40, 0usize..40), 0..80)).prop_map(
-            |(n, edges)| {
+        (
+            2usize..40,
+            proptest::collection::vec((0usize..40, 0usize..40), 0..80),
+        )
+            .prop_map(|(n, edges)| {
                 let mut g = Graph::new();
                 for i in 0..n {
                     let (id, _) = g.intern(0x1000 + i as u64 * 0x100, "N", "node", 8);
-                    g.get_mut(id)
-                        .views
-                        .push(ViewInst { name: "default".into(), items: vec![] });
+                    g.get_mut(id).views.push(ViewInst {
+                        name: "default".into(),
+                        items: vec![],
+                    });
                 }
                 for (a, b) in edges {
                     if a < n && b < n {
@@ -449,8 +453,7 @@ mod prop_tests {
                     }
                 }
                 g
-            },
-        )
+            })
     }
 
     proptest! {

@@ -269,22 +269,23 @@ mod tests {
 
     fn with_target<R>(f: impl FnOnce(&Target<'_>) -> R) -> R {
         let (img, _t, _r) = build(&WorkloadConfig::default()).finish();
-        let target = Target::new(
-            &img.mem,
-            &img.types,
-            &img.symbols,
-            LatencyProfile::free(),
-        );
+        let target = Target::new(&img.mem, &img.types, &img.symbols, LatencyProfile::free());
         f(&target)
     }
 
     fn int(target: &Target<'_>, v: i64) -> CValue {
-        CValue::Int { value: v, ty: target.types.find("long").unwrap() }
+        CValue::Int {
+            value: v,
+            ty: target.types.find("long").unwrap(),
+        }
     }
 
     #[test]
     fn parse_covers_table_1() {
-        assert_eq!(Decorator::parse("u64:x"), Some(Decorator::Int { base: 'x' }));
+        assert_eq!(
+            Decorator::parse("u64:x"),
+            Some(Decorator::Int { base: 'x' })
+        );
         assert_eq!(Decorator::parse("bool"), Some(Decorator::Bool));
         assert_eq!(Decorator::parse("char"), Some(Decorator::Char));
         assert_eq!(
@@ -294,8 +295,14 @@ mod tests {
         assert_eq!(Decorator::parse("string"), Some(Decorator::Str));
         assert_eq!(Decorator::parse("raw_ptr"), Some(Decorator::RawPtr));
         assert_eq!(Decorator::parse("fptr"), Some(Decorator::FunPtr));
-        assert_eq!(Decorator::parse("flag:vm"), Some(Decorator::Flag("vm".into())));
-        assert_eq!(Decorator::parse("emoji:lock"), Some(Decorator::Emoji("lock".into())));
+        assert_eq!(
+            Decorator::parse("flag:vm"),
+            Some(Decorator::Flag("vm".into()))
+        );
+        assert_eq!(
+            Decorator::parse("emoji:lock"),
+            Some(Decorator::Emoji("lock".into()))
+        );
         assert_eq!(Decorator::parse(""), None);
     }
 
@@ -319,8 +326,14 @@ mod tests {
             assert_eq!(Decorator::Bool.render(t, &f, &int(t, 7)), "true");
             assert_eq!(Decorator::Char.render(t, &f, &int(t, b'A' as i64)), "'A'");
             assert_eq!(Decorator::Char.render(t, &f, &int(t, 1)), "'\\x01'");
-            assert_eq!(Decorator::Emoji("lock".into()).render(t, &f, &int(t, 1)), "🔒");
-            assert_eq!(Decorator::Emoji("lock".into()).render(t, &f, &int(t, 0)), "🔓");
+            assert_eq!(
+                Decorator::Emoji("lock".into()).render(t, &f, &int(t, 1)),
+                "🔒"
+            );
+            assert_eq!(
+                Decorator::Emoji("lock".into()).render(t, &f, &int(t, 0)),
+                "🔓"
+            );
         });
     }
 
@@ -331,7 +344,11 @@ mod tests {
             let d = Decorator::Enum("maple_type".into());
             assert_eq!(d.render(t, &f, &int(t, 1)), "maple_leaf_64");
             assert_eq!(d.render(t, &f, &int(t, 3)), "maple_arange_64");
-            assert_eq!(d.render(t, &f, &int(t, 99)), "99", "unknown value prints raw");
+            assert_eq!(
+                d.render(t, &f, &int(t, 99)),
+                "99",
+                "unknown value prints raw"
+            );
         });
     }
 
@@ -365,14 +382,20 @@ mod tests {
         with_target(|t| {
             // jiffies is a u64 global: default render shows the value.
             let sym = t.symbols.lookup("jiffies").unwrap();
-            let v = CValue::LValue { addr: sym.addr, ty: sym.ty.unwrap() };
+            let v = CValue::LValue {
+                addr: sym.addr,
+                ty: sym.ty.unwrap(),
+            };
             let s = render_default(t, &v);
             assert!(s.parse::<u64>().is_ok(), "not a number: {s}");
             // init_task.comm is char[16]: default render reads the string.
             let task = t.symbols.lookup("init_task").unwrap();
             let task_ty = t.types.find("task_struct").unwrap();
             let (off, comm_ty) = t.types.field_path(task_ty, "comm").unwrap();
-            let v = CValue::LValue { addr: task.addr + off, ty: comm_ty };
+            let v = CValue::LValue {
+                addr: task.addr + off,
+                ty: comm_ty,
+            };
             assert_eq!(render_default(t, &v), "swapper/0");
         });
     }

@@ -5,7 +5,7 @@
 //! GDB-driven walks do in the paper.
 
 use ktypes::{CValue, TypeKind};
-use vbridge::Target;
+use vbridge::{ReadPlan, Target};
 
 use crate::{Result, VclError};
 
@@ -25,6 +25,10 @@ pub fn list_nodes(target: &Target<'_>, head_val: &CValue) -> Result<Vec<u64>> {
     let mut cur = target.read_uint(head, 8)?;
     while cur != head && cur != 0 {
         out.push(cur);
+        // The consumer is about to render the object embedding this
+        // node: hint the bridge to pull the surrounding bytes (covers
+        // the ->next hop below too). No-op on uncached targets.
+        target.prefetch(cur, 128);
         cur = target.read_uint(cur, 8)?;
         if out.len() > MAX_ELEMS {
             return Err(VclError::Eval(format!(
@@ -42,6 +46,7 @@ pub fn hlist_nodes(target: &Target<'_>, head_val: &CValue) -> Result<Vec<u64>> {
     let mut cur = target.read_uint(head, 8)?;
     while cur != 0 {
         out.push(cur);
+        target.prefetch(cur, 128);
         cur = target.read_uint(cur, 8)?;
         if out.len() > MAX_ELEMS {
             return Err(VclError::Eval(format!(
@@ -86,8 +91,14 @@ pub fn rbtree_nodes(target: &Target<'_>, root_val: &CValue) -> Result<Vec<u64>> 
             out.push(node);
             continue;
         }
-        let right = target.read_uint(node + 8, 8)?;
-        let left = target.read_uint(node + 16, 8)?;
+        // The two child pointers are adjacent: batch them so the bridge
+        // coalesces the pair into one wire span.
+        let mut plan = ReadPlan::new();
+        plan.add(node + 8, 8);
+        plan.add(node + 16, 8);
+        let bufs = target.read_many(&plan)?;
+        let right = ktypes::read_uint(&bufs[0], 8);
+        let left = ktypes::read_uint(&bufs[1], 8);
         if right != 0 {
             stack.push((right, false));
         }
@@ -108,6 +119,8 @@ pub fn array_elems(target: &Target<'_>, args: &[CValue]) -> Result<Vec<CValue>> 
         [CValue::LValue { addr, ty }] => match &target.types.get(*ty).kind {
             TypeKind::Array { elem, len } => {
                 let esz = target.types.size_of(*elem);
+                // The whole array is about to be loaded element-wise.
+                target.prefetch(*addr, esz * *len);
                 let mut out = Vec::with_capacity(*len as usize);
                 for i in 0..*len {
                     out.push(target.load(addr + esz * i, *elem)?);
@@ -142,12 +155,14 @@ pub fn array_elems(target: &Target<'_>, args: &[CValue]) -> Result<Vec<CValue>> 
             match elem_ty {
                 Some(ty) if target.types.size_of(ty) > 0 => {
                     let esz = target.types.size_of(ty);
+                    target.prefetch(base, esz * n);
                     for i in 0..n {
                         out.push(target.load(base + esz * i, ty)?);
                     }
                 }
                 _ => {
                     // Untyped: treat as an array of 8-byte words.
+                    target.prefetch(base, 8 * n);
                     for i in 0..n {
                         let v = target.read_uint(base + 8 * i, 8)?;
                         out.push(CValue::Int {
@@ -209,8 +224,16 @@ pub fn xarray_entries(target: &Target<'_>, xa_val: &CValue) -> Result<Vec<(u64, 
         out: &mut Vec<(u64, u64)>,
     ) -> Result<()> {
         let shift = target.read_uint(node + shift_off, 1)?;
+        // All 64 slots will be inspected: hint the span, then batch the
+        // slot reads so they coalesce into minimal wire packets.
+        target.prefetch(node + slots_off, 8 * 64);
+        let mut plan = ReadPlan::new();
         for slot in 0..64u64 {
-            let entry = target.read_uint(node + slots_off + 8 * slot, 8)?;
+            plan.add(node + slots_off + 8 * slot, 8);
+        }
+        let bufs = target.read_many(&plan)?;
+        for slot in 0..64u64 {
+            let entry = ktypes::read_uint(&bufs[slot as usize], 8);
             if entry == 0 {
                 continue;
             }
@@ -249,11 +272,19 @@ mod tests {
     }
 
     fn target(fx: &Fx) -> Target<'_> {
-        Target::new(&fx.kb.mem, &fx.kb.types, &fx.kb.symbols, LatencyProfile::free())
+        Target::new(
+            &fx.kb.mem,
+            &fx.kb.types,
+            &fx.kb.symbols,
+            LatencyProfile::free(),
+        )
     }
 
     fn long_val(fx: &Fx, v: u64) -> CValue {
-        CValue::Int { value: v as i64, ty: fx.kb.types.find("long").unwrap() }
+        CValue::Int {
+            value: v as i64,
+            ty: fx.kb.types.find("long").unwrap(),
+        }
     }
 
     #[test]
@@ -298,8 +329,14 @@ mod tests {
         let t = target(&fx);
         let u64_ty = t.types.find("unsigned long").unwrap();
         let pty = t.types.find_pointer_to(u64_ty).unwrap();
-        let ptr = CValue::Ptr { addr: 0x4000, ty: pty };
-        let len = CValue::Int { value: 3, ty: u64_ty };
+        let ptr = CValue::Ptr {
+            addr: 0x4000,
+            ty: pty,
+        };
+        let len = CValue::Int {
+            value: 3,
+            ty: u64_ty,
+        };
         let elems = array_elems(&t, &[ptr, len]).unwrap();
         let got: Vec<i64> = elems.iter().filter_map(|e| e.as_int()).collect();
         assert_eq!(got, vec![100, 101, 102]);
@@ -311,7 +348,10 @@ mod tests {
         fx.kb.mem.map(0x5000, 8); // rb_root with NULL rb_node
         let t = target(&fx);
         let root_ty = t.types.find("rb_root").unwrap();
-        let root = CValue::LValue { addr: 0x5000, ty: root_ty };
+        let root = CValue::LValue {
+            addr: 0x5000,
+            ty: root_ty,
+        };
         assert_eq!(rbtree_nodes(&t, &root).unwrap(), Vec::<u64>::new());
     }
 

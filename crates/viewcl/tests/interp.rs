@@ -375,8 +375,12 @@ plot @tasks
 #[test]
 fn error_paths_are_reported_not_panicked() {
     let fx = fx();
-    let target =
-        Target::new(&fx.img.mem, &fx.img.types, &fx.img.symbols, LatencyProfile::free());
+    let target = Target::new(
+        &fx.img.mem,
+        &fx.img.types,
+        &fx.img.symbols,
+        LatencyProfile::free(),
+    );
     let h = helpers(&fx);
 
     // Unknown box type in instantiation.
@@ -413,8 +417,12 @@ fn error_paths_are_reported_not_panicked() {
 #[test]
 fn text_items_soft_fail_on_bad_memory() {
     let fx = fx();
-    let target =
-        Target::new(&fx.img.mem, &fx.img.types, &fx.img.symbols, LatencyProfile::free());
+    let target = Target::new(
+        &fx.img.mem,
+        &fx.img.types,
+        &fx.img.symbols,
+        LatencyProfile::free(),
+    );
     let h = helpers(&fx);
     // A box anchored at an unmapped address: texts degrade to errors, the
     // plot itself survives (a debugger must render what it can).
@@ -442,10 +450,9 @@ fn cost_scales_with_traversal_depth() {
         LatencyProfile::gdb_qemu(),
     );
     let h = helpers(&fx);
-    let shallow = parse_program(
-        "define T as Box<task_struct> [ Text pid ]\nt = T(${&init_task})\nplot @t",
-    )
-    .unwrap();
+    let shallow =
+        parse_program("define T as Box<task_struct> [ Text pid ]\nt = T(${&init_task})\nplot @t")
+            .unwrap();
     let mut i = Interp::new(&target, &h);
     i.run(&shallow).unwrap();
     let shallow_reads = target.stats().reads;

@@ -190,22 +190,20 @@ impl Engine {
                 continue;
             }
             if let Some(c) = cond {
-                let inside = |var: &str, probe: BoxId| -> bool {
-                    let Some(sel) = self.vars.get(var) else {
-                        return false;
+                let inside =
+                    |var: &str, probe: BoxId| -> bool {
+                        let Some(sel) = self.vars.get(var) else {
+                            return false;
+                        };
+                        sel.boxes().iter().any(|holder| {
+                            graph.get(*holder).views.iter().flat_map(|v| &v.items).any(
+                                |i| match i {
+                                    Item::Container { members, .. } => members.contains(&probe),
+                                    _ => false,
+                                },
+                            )
+                        })
                     };
-                    sel.boxes().iter().any(|holder| {
-                        graph
-                            .get(*holder)
-                            .views
-                            .iter()
-                            .flat_map(|v| &v.items)
-                            .any(|i| match i {
-                                Item::Container { members, .. } => members.contains(&probe),
-                                _ => false,
-                            })
-                    })
-                };
                 let hit = c
                     .disjuncts
                     .iter()
@@ -611,18 +609,33 @@ b = SELECT task_struct FROM * WHERE pid >= 2",
         .unwrap();
         let a = e.var("a").unwrap().clone();
         let b = e.var("b").unwrap().clone();
-        let inter = e.eval_set(&g2, &crate::parse::SetExpr::Inter(
-            Box::new(crate::parse::SetExpr::Var("a".into())),
-            Box::new(crate::parse::SetExpr::Var("b".into())),
-        )).unwrap();
-        let diff = e.eval_set(&g2, &crate::parse::SetExpr::Diff(
-            Box::new(crate::parse::SetExpr::Var("a".into())),
-            Box::new(crate::parse::SetExpr::Var("b".into())),
-        )).unwrap();
-        let union = e.eval_set(&g2, &crate::parse::SetExpr::Union(
-            Box::new(crate::parse::SetExpr::Var("a".into())),
-            Box::new(crate::parse::SetExpr::Var("b".into())),
-        )).unwrap();
+        let inter = e
+            .eval_set(
+                &g2,
+                &crate::parse::SetExpr::Inter(
+                    Box::new(crate::parse::SetExpr::Var("a".into())),
+                    Box::new(crate::parse::SetExpr::Var("b".into())),
+                ),
+            )
+            .unwrap();
+        let diff = e
+            .eval_set(
+                &g2,
+                &crate::parse::SetExpr::Diff(
+                    Box::new(crate::parse::SetExpr::Var("a".into())),
+                    Box::new(crate::parse::SetExpr::Var("b".into())),
+                ),
+            )
+            .unwrap();
+        let union = e
+            .eval_set(
+                &g2,
+                &crate::parse::SetExpr::Union(
+                    Box::new(crate::parse::SetExpr::Var("a".into())),
+                    Box::new(crate::parse::SetExpr::Var("b".into())),
+                ),
+            )
+            .unwrap();
         // |A| = |A\B| + |A∩B|;  |A∪B| = |A| + |B| - |A∩B|;  A∩B ⊆ A.
         assert_eq!(a.len(), diff.len() + inter.len());
         assert_eq!(union.len(), a.len() + b.len() - inter.len());

@@ -474,7 +474,9 @@ mod tests {
                 assert_eq!(source, &Source::Var("all_tasks".into()));
                 let c = cond.as_ref().unwrap();
                 assert_eq!(c.disjuncts.len(), 2);
-                assert!(matches!(&c.disjuncts[0][0], CondAtom::Cmp { member, .. } if member == "pid"));
+                assert!(
+                    matches!(&c.disjuncts[0][0], CondAtom::Cmp { member, .. } if member == "pid")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -522,7 +524,10 @@ mod tests {
                 assert_eq!(alias.as_deref(), Some("vma"));
                 assert!(matches!(
                     &cond.as_ref().unwrap().disjuncts[0][0],
-                    CondAtom::Cmp { value: ValueLit::Int(0), .. }
+                    CondAtom::Cmp {
+                        value: ValueLit::Int(0),
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected {other:?}"),

@@ -102,6 +102,41 @@ fn bigger_workload_costs_more() {
 }
 
 #[test]
+fn warm_cache_cuts_kgdb_task_list_cost_5x() {
+    // The PR's acceptance floor: a warm-cache re-extraction of the task
+    // list (fig3-4) on the slow transport must use >=5x less virtual
+    // time and >=3x fewer wire packets than the uncached baseline —
+    // while producing byte-identical graph JSON.
+    let fig = figures::by_id("fig3-4").unwrap();
+    let uncached = Session::attach(
+        build(&WorkloadConfig::default()),
+        LatencyProfile::kgdb_rpi400(),
+    );
+    let (g_base, base) = uncached.extract(fig.viewcl).unwrap();
+    let cached = Session::attach_with_cache(
+        build(&WorkloadConfig::default()),
+        LatencyProfile::kgdb_rpi400(),
+        vbridge::CacheConfig::default(),
+    );
+    let (g_cold, _) = cached.extract(fig.viewcl).unwrap();
+    let (g_warm, warm) = cached.extract(fig.viewcl).unwrap();
+    assert_eq!(g_base.to_json(), g_cold.to_json());
+    assert_eq!(g_base.to_json(), g_warm.to_json());
+    assert!(
+        warm.target.virtual_ns * 5 <= base.target.virtual_ns,
+        "warm {} ns vs uncached {} ns: less than 5x",
+        warm.target.virtual_ns,
+        base.target.virtual_ns
+    );
+    assert!(
+        warm.target.reads * 3 <= base.target.reads,
+        "warm {} packets vs uncached {}: less than 3x",
+        warm.target.reads,
+        base.target.reads
+    );
+}
+
+#[test]
 fn extraction_cost_is_deterministic() {
     let a = measure(LatencyProfile::kgdb_rpi400());
     let b = measure(LatencyProfile::kgdb_rpi400());

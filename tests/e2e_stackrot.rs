@@ -64,7 +64,9 @@ fn stackrot_after_grace_period_plots_the_poison() {
     // The plot still completes (a debugger must not crash on corrupt
     // state); the poisoned node shows garbage where structure used to be.
     let fig = figures::by_id("fig9-2").unwrap();
-    let pane = session.vplot(fig.viewcl).expect("plot survives the corrupt tree");
+    let pane = session
+        .vplot(fig.viewcl)
+        .expect("plot survives the corrupt tree");
     let g = session.graph(pane).unwrap();
 
     // The victim node's box exists (linked from its parent) but its slot

@@ -1,0 +1,151 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Same macros and builder surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `Bencher::iter`), but measurement is a
+//! plain warm-up + timed-batch mean printed to stdout — no statistics,
+//! HTML reports, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (re-export of the std
+/// implementation, which the real crate's version predates).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        ns_per_iter: 0.0,
+    };
+    f(&mut b);
+    println!("{name:<44} time: {}", fmt_ns(b.ns_per_iter));
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, recording the mean nanoseconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and a first estimate of per-call cost.
+        let warmup = Instant::now();
+        std::hint::black_box(f());
+        let estimate = warmup.elapsed().max(Duration::from_nanos(1));
+
+        // Size batches so a sample lasts roughly 5 ms, then take the mean
+        // over `sample_size` batches (capped to keep total runtime sane).
+        let per_batch = (Duration::from_millis(5).as_nanos() / estimate.as_nanos()).max(1) as u64;
+        let per_batch = per_batch.min(100_000);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            iters += per_batch;
+            if total > Duration::from_millis(500) {
+                break;
+            }
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,66 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A `Vec` of `element` values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+fn draw_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(size.start < size.end, "collection size range is empty");
+    size.start + rng.index(size.end - size.start)
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = draw_len(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of `element` values; up to `size` insertions are attempted,
+/// so duplicates can make the set smaller (matching real proptest's
+/// tolerance of under-filled sets).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = draw_len(&self.size, rng);
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}

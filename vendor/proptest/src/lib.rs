@@ -1,0 +1,232 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Same shape as the real crate — `proptest!` test blocks, `Strategy`
+//! combinators, `prop_assert*` macros — but generation-only: inputs are
+//! drawn from a deterministic per-test RNG and failures are reported
+//! without shrinking. Deterministic seeds make failures reproducible,
+//! which is what this workspace's property tests rely on.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declare property tests. Supports `name in strategy` and plain
+/// `name: Type` (≙ `name in any::<Type>()`) parameters, mixed freely,
+/// plus an optional leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr) #[test] fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            $crate::__proptest_run!(($cfg) [] [$($params)*] $body);
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    // Normalize `name in strategy`.
+    (($cfg:expr) [$($acc:tt)*] [$n:ident in $s:expr, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_run!(($cfg) [$($acc)* ($n, $s)] [$($rest)*] $body)
+    };
+    (($cfg:expr) [$($acc:tt)*] [$n:ident in $s:expr] $body:block) => {
+        $crate::__proptest_run!(($cfg) [$($acc)* ($n, $s)] [] $body)
+    };
+    // Normalize `name: Type` into `name in any::<Type>()`.
+    (($cfg:expr) [$($acc:tt)*] [$n:ident : $t:ty, $($rest:tt)*] $body:block) => {
+        $crate::__proptest_run!(($cfg) [$($acc)* ($n, $crate::strategy::any::<$t>())] [$($rest)*] $body)
+    };
+    (($cfg:expr) [$($acc:tt)*] [$n:ident : $t:ty] $body:block) => {
+        $crate::__proptest_run!(($cfg) [$($acc)* ($n, $crate::strategy::any::<$t>())] [] $body)
+    };
+    // All params normalized: run the cases.
+    (($cfg:expr) [$(($n:ident, $s:expr))*] [] $body:block) => {{
+        let __config: $crate::test_runner::ProptestConfig = $cfg;
+        let mut __rng =
+            $crate::test_runner::TestRng::from_seed_str(concat!(module_path!(), ":", line!()));
+        let mut __ran: u32 = 0;
+        let mut __attempts: u32 = 0;
+        while __ran < __config.cases && __attempts < __config.cases.saturating_mul(16) {
+            __attempts += 1;
+            $(let $n = $crate::strategy::Strategy::generate(&($s), &mut __rng);)*
+            let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+            match __result {
+                ::std::result::Result::Ok(()) => __ran += 1,
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                    panic!("proptest case {} failed: {}", __ran, __msg);
+                }
+            }
+        }
+    }};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?} == {:?}`", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{:?} == {:?}`: {}",
+                    __a,
+                    __b,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?} != {:?}`",
+                __a, __b
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (re-drawn, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn mixed_params(v: u64, size in 1usize..=8, flag: bool) {
+            prop_assert!(size >= 1 && size <= 8);
+            let _ = (v, flag);
+        }
+
+        #[test]
+        fn vec_sizes(data in crate::collection::vec(any::<u8>(), 1..64)) {
+            prop_assert!(!data.is_empty() && data.len() < 64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn assume_discards(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_cover_arms() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum E {
+            Leaf(i64),
+            Add(Box<E>, Box<E>),
+            Neg(Box<E>),
+        }
+        fn depth(e: &E) -> u32 {
+            match e {
+                E::Leaf(_) => 0,
+                E::Add(a, b) => 1 + depth(a).max(depth(b)),
+                E::Neg(a) => 1 + depth(a),
+            }
+        }
+        let leaf = any::<i32>().prop_map(|n| E::Leaf(n as i64));
+        let strat = leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+                inner.prop_map(|a| E::Neg(Box::new(a))),
+            ]
+        });
+        let mut rng = TestRng::from_seed_str("cover");
+        let mut saw_add = false;
+        let mut saw_neg = false;
+        for _ in 0..64 {
+            let e = strat.generate(&mut rng);
+            assert_eq!(depth(&e), 4);
+            match e {
+                E::Add(..) => saw_add = true,
+                E::Neg(..) => saw_neg = true,
+                E::Leaf(_) => unreachable!("depth-4 tree has no leaf root"),
+            }
+        }
+        assert!(saw_add && saw_neg);
+    }
+}

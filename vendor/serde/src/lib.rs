@@ -1,0 +1,384 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The build container has no route to crates.io, so the workspace vendors
+//! an API-compatible subset of the serde ecosystem (see `vendor/README.md`).
+//! Instead of serde's visitor-based architecture, this stub uses a
+//! self-describing [`Value`] data model: `Serialize` lowers a value into a
+//! [`Value`] tree and `Deserialize` rebuilds one from it. `serde_json` (the
+//! sibling stub) renders and parses that tree. Only the surface this
+//! workspace exercises is provided.
+
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error (a message, like `serde::de::Error::custom`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Prefix the error with the field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        Error(format!("{field}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for deserialization.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Lower `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Produce the value tree for `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse the value tree into `Self`.
+    fn deserialize_value(v: &Value) -> Result<Self>;
+}
+
+// ------------------------------------------------------------ primitives --
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected unsigned integer, got {v:?}"
+                    )))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected integer, got {v:?}"
+                    )))?;
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom(format!("expected bool, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        Ok(f64::deserialize_value(v)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom(format!("expected string, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        let s = String::deserialize_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ------------------------------------------------------------- composite --
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(Error::custom(format!("expected array, got {v:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+/// Render a serialized key as a JSON object key (strings and numbers only,
+/// mirroring `serde_json`'s map-key restriction).
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a string or number, got {other:?}"),
+    }
+}
+
+/// Rebuild a key of type `K` from a JSON object key.
+fn key_from_str<K: Deserialize>(k: &str) -> Result<K> {
+    match K::deserialize_value(&Value::String(k.to_string())) {
+        Ok(key) => Ok(key),
+        Err(first) => {
+            if let Ok(u) = k.parse::<u64>() {
+                if let Ok(key) = K::deserialize_value(&Value::Number(Number::from_u64(u))) {
+                    return Ok(key);
+                }
+            }
+            if let Ok(i) = k.parse::<i64>() {
+                if let Ok(key) = K::deserialize_value(&Value::Number(Number::from_i64(i))) {
+                    return Ok(key);
+                }
+            }
+            if let Ok(b) = k.parse::<bool>() {
+                if let Ok(key) = K::deserialize_value(&Value::Bool(b)) {
+                    return Ok(key);
+                }
+            }
+            Err(first)
+        }
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn serialize_value(&self) -> Value {
+        // Sort keys so serialization is deterministic regardless of the
+        // hasher (stricter than real serde_json, never weaker).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(&k.serialize_value()), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut m = Map::new();
+        for (k, v) in entries {
+            m.insert(k, v);
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Object(m) => {
+                let mut out = Self::default();
+                for (k, val) in m.iter() {
+                    out.insert(key_from_str(k)?, V::deserialize_value(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(Error::custom(format!("expected object, got {v:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(key_string(&k.serialize_value()), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        match v {
+            Value::Object(m) => {
+                let mut out = Self::new();
+                for (k, val) in m.iter() {
+                    out.insert(key_from_str(k)?, V::deserialize_value(val)?);
+                }
+                Ok(out)
+            }
+            _ => Err(Error::custom(format!("expected object, got {v:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self> {
+                match v {
+                    Value::Array(items) => Ok(($(
+                        $t::deserialize_value(
+                            items.get($n).unwrap_or(&Value::Null),
+                        )?,
+                    )+)),
+                    _ => Err(Error::custom("expected array for tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}

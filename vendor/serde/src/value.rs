@@ -1,0 +1,277 @@
+//! The self-describing JSON value tree shared by the `serde` and
+//! `serde_json` stand-ins (re-exported by `serde_json` as its `Value`).
+
+/// An arbitrary-precision-ish JSON number: signed, unsigned, or float.
+#[derive(Debug, Clone, Copy)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy)]
+enum N {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    /// Wrap an unsigned integer.
+    pub fn from_u64(n: u64) -> Number {
+        Number(N::U(n))
+    }
+
+    /// Wrap a signed integer (non-negative values normalize to unsigned).
+    pub fn from_i64(n: i64) -> Number {
+        if n >= 0 {
+            Number(N::U(n as u64))
+        } else {
+            Number(N::I(n))
+        }
+    }
+
+    /// Wrap a float.
+    pub fn from_f64(n: f64) -> Number {
+        Number(N::F(n))
+    }
+
+    /// The value as `i64`, if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::I(n) => Some(n),
+            N::U(n) => i64::try_from(n).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// The value as `u64`, if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::I(n) => u64::try_from(n).ok(),
+            N::U(n) => Some(n),
+            N::F(_) => None,
+        }
+    }
+
+    /// The value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::I(n) => Some(n as f64),
+            N::U(n) => Some(n as f64),
+            N::F(n) => Some(n),
+        }
+    }
+
+    /// Whether the number is an integer (not a float).
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// Whether the number is a non-negative integer.
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.0, other.0) {
+            (N::F(a), N::F(b)) => a == b,
+            (N::F(_), _) | (_, N::F(_)) => false,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                (None, None) => self.as_i64() == other.as_i64(),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            N::I(n) => write!(f, "{n}"),
+            N::U(n) => write!(f, "{n}"),
+            N::F(n) => {
+                if n == n.trunc() && n.is_finite() && n.abs() < 1e15 {
+                    write!(f, "{n:.1}")
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+        }
+    }
+}
+
+macro_rules! number_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(n: $t) -> Number {
+                #[allow(unused_comparisons)]
+                if (n as i128) >= 0 {
+                    Number::from_u64(n as u64)
+                } else {
+                    Number::from_i64(n as i64)
+                }
+            }
+        }
+    )*};
+}
+
+number_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// An order-preserving string-keyed object (what real `serde_json` calls
+/// `Map<String, Value>`; insertion order is kept so struct serialization
+/// emits fields in declaration order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Create an empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Insert, replacing in place if the key exists.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// The first entry (used for externally tagged enums).
+    pub fn first(&self) -> Option<(&String, &Value)> {
+        self.entries.first().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// String payload, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool payload, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object payload, if an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member access (`None` when not an object or missing).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}

@@ -1,0 +1,607 @@
+//! Offline stand-in for `serde_derive`, written against the bare
+//! `proc_macro` API (the container has no syn/quote either).
+//!
+//! Generates impls of the *stub* serde's value-based `Serialize` /
+//! `Deserialize` traits. Supported shapes are exactly what this workspace
+//! uses: named-field structs, newtype/tuple structs, and enums with unit,
+//! newtype, tuple, and struct variants. Supported attributes:
+//! `#[serde(skip)]` on fields, and `#[serde(tag = "...")]` plus
+//! `#[serde(rename_all = "snake_case")]` on enums.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+    attrs: ContainerAttrs,
+}
+
+/// Derive the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ------------------------------------------------------------------ parse --
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+    // Container attributes and visibility precede `struct` / `enum`.
+    let mut is_enum = false;
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_container_attr(&g.stream(), &mut attrs);
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+    // No generics in this workspace's derived types; body is the next group.
+    let kind = if is_enum {
+        let body = expect_group(&tokens[i..], Delimiter::Brace);
+        Kind::Enum(parse_variants(&body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_elems(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => Kind::UnitStruct,
+        }
+    };
+    Input { name, kind, attrs }
+}
+
+fn expect_group(tokens: &[TokenTree], delim: Delimiter) -> Vec<TokenTree> {
+    for t in tokens {
+        if let TokenTree::Group(g) = t {
+            if g.delimiter() == delim {
+                return g.stream().into_iter().collect();
+            }
+        }
+    }
+    panic!("expected a {delim:?} group");
+}
+
+fn parse_container_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) {
+    // Looks for serde(...) among the attribute tokens.
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.len() < 2 {
+        return;
+    }
+    if let (TokenTree::Ident(id), TokenTree::Group(g)) = (&tokens[0], &tokens[1]) {
+        if id.to_string() != "serde" {
+            return;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let mut j = 0;
+        while j < inner.len() {
+            if let TokenTree::Ident(key) = &inner[j] {
+                match key.to_string().as_str() {
+                    "tag" => {
+                        if let Some(TokenTree::Literal(l)) = inner.get(j + 2) {
+                            attrs.tag = Some(unquote(&l.to_string()));
+                        }
+                    }
+                    "rename_all" => {
+                        if let Some(TokenTree::Literal(l)) = inner.get(j + 2) {
+                            if unquote(&l.to_string()) == "snake_case" {
+                                attrs.rename_all_snake = true;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Whether an attribute token stream is `serde(skip)` (or contains `skip`).
+fn attr_is_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.len() < 2 {
+        return false;
+    }
+    if let (TokenTree::Ident(id), TokenTree::Group(g)) = (&tokens[0], &tokens[1]) {
+        if id.to_string() == "serde" {
+            return g.stream().into_iter().any(|t| match t {
+                TokenTree::Ident(i) => i.to_string() == "skip",
+                _ => false,
+            });
+        }
+    }
+    false
+}
+
+fn parse_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Collect field attributes.
+        let mut skip = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        skip |= attr_is_skip(&g.stream());
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        // Skip `:` then the type, up to a comma at angle-bracket depth 0.
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_elems(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + usize::from(!trailing_comma)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_elems(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip `= discr`? (not used) and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- codegen --
+
+fn wire_variant_name(v: &Variant, attrs: &ContainerAttrs) -> String {
+    if attrs.rename_all_snake {
+        snake_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.insert(\"{0}\".to_string(), ::serde::Serialize::serialize_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = wire_variant_name(v, &input.attrs);
+                match (&v.shape, &input.attrs.tag) {
+                    (VariantShape::Unit, None) => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{wire}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    (VariantShape::Unit, Some(tag)) => arms.push_str(&format!(
+                        "{name}::{v} => {{ let mut m = ::serde::Map::new(); \
+                         m.insert(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string())); \
+                         ::serde::Value::Object(m) }}\n",
+                        v = v.name
+                    )),
+                    (VariantShape::Tuple(n), tag) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(x0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        if tag.is_some() {
+                            panic!("#[serde(tag)] with tuple variants is unsupported");
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{ let mut m = ::serde::Map::new(); \
+                             m.insert(\"{wire}\".to_string(), {inner}); ::serde::Value::Object(m) }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    (VariantShape::Named(fields), tag) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut f = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "f.insert(\"{0}\".to_string(), ::serde::Serialize::serialize_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        let wrap = match tag {
+                            Some(tag) => format!(
+                                "{{ let mut m = ::serde::Map::new(); \
+                                 m.insert(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string())); \
+                                 for (k, v) in f.iter() {{ m.insert(k.clone(), v.clone()); }} \
+                                 ::serde::Value::Object(m) }}"
+                            ),
+                            None => format!(
+                                "{{ let mut m = ::serde::Map::new(); \
+                                 m.insert(\"{wire}\".to_string(), ::serde::Value::Object(f)); \
+                                 ::serde::Value::Object(m) }}"
+                            ),
+                        };
+                        arms.push_str(&format!(
+                            "#[allow(unused_variables)] {name}::{v} {{ {binds} }} => {{ {inner} {wrap} }}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let o = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"{name}: expected object, got {{v:?}}\")))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{0}: ::serde::Deserialize::deserialize_value(\
+                         o.get(\"{0}\").unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| e.in_field(\"{0}\"))?,\n",
+                        f.name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 \"{name}: expected array\"))?;\nOk({name}("
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::deserialize_value(\
+                     a.get({i}).unwrap_or(&::serde::Value::Null))?,"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::Enum(variants) => match &input.attrs.tag {
+            Some(tag) => gen_deserialize_tagged_enum(name, variants, tag, &input.attrs),
+            None => gen_deserialize_external_enum(name, variants, &input.attrs),
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_variant_ctor(name: &str, v: &Variant, fields: &[Field], src: &str) -> String {
+    let mut s = format!("Ok({name}::{} {{\n", v.name);
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{0}: ::serde::Deserialize::deserialize_value(\
+                 {src}.get(\"{0}\").unwrap_or(&::serde::Value::Null))\
+                 .map_err(|e| e.in_field(\"{0}\"))?,\n",
+                f.name
+            ));
+        }
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_deserialize_external_enum(
+    name: &str,
+    variants: &[Variant],
+    attrs: &ContainerAttrs,
+) -> String {
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let wire = wire_variant_name(v, attrs);
+        match &v.shape {
+            VariantShape::Unit => {
+                unit_arms.push_str(&format!("\"{wire}\" => return Ok({name}::{}),\n", v.name));
+            }
+            VariantShape::Tuple(1) => keyed_arms.push_str(&format!(
+                "\"{wire}\" => return Ok({name}::{}(\
+                 ::serde::Deserialize::deserialize_value(inner)?)),\n",
+                v.name
+            )),
+            VariantShape::Tuple(n) => {
+                let mut elems = String::new();
+                for i in 0..*n {
+                    elems.push_str(&format!(
+                        "::serde::Deserialize::deserialize_value(\
+                         a.get({i}).unwrap_or(&::serde::Value::Null))?,"
+                    ));
+                }
+                keyed_arms.push_str(&format!(
+                    "\"{wire}\" => {{ let a = inner.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array\"))?; \
+                     return Ok({name}::{}({elems})); }}\n",
+                    v.name
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let ctor = gen_named_variant_ctor(name, v, fields, "fo");
+                keyed_arms.push_str(&format!(
+                    "\"{wire}\" => {{ let fo = inner.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object\"))?; return {ctor}; }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "if let ::serde::Value::String(s) = v {{\n\
+             match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+         }}\n\
+         if let Some(o) = v.as_object() {{\n\
+             if let Some((k, inner)) = o.first() {{\n\
+                 match k.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n\
+             }}\n\
+         }}\n\
+         Err(::serde::Error::custom(format!(\"{name}: unrecognized variant in {{v:?}}\")))"
+    )
+}
+
+fn gen_deserialize_tagged_enum(
+    name: &str,
+    variants: &[Variant],
+    tag: &str,
+    attrs: &ContainerAttrs,
+) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let wire = wire_variant_name(v, attrs);
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!("\"{wire}\" => Ok({name}::{}),\n", v.name));
+            }
+            VariantShape::Named(fields) => {
+                let ctor = gen_named_variant_ctor(name, v, fields, "o");
+                arms.push_str(&format!("\"{wire}\" => {ctor},\n"));
+            }
+            VariantShape::Tuple(_) => {
+                panic!("#[serde(tag)] with tuple variants is unsupported")
+            }
+        }
+    }
+    format!(
+        "let o = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+         format!(\"{name}: expected object, got {{v:?}}\")))?;\n\
+         let tag = o.get(\"{tag}\").and_then(|t| t.as_str()).ok_or_else(|| \
+         ::serde::Error::custom(\"{name}: missing tag `{tag}`\"))?;\n\
+         match tag {{\n{arms}\
+         other => Err(::serde::Error::custom(format!(\"{name}: unknown variant `{{other}}`\"))),\n\
+         }}"
+    )
+}

@@ -1,0 +1,417 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Works against the vendored `serde` stub's [`Value`] data model: `to_string`
+//! lowers a `Serialize` type to a `Value` and renders compact JSON text;
+//! `from_str` parses JSON text into a `Value` and rebuilds via `Deserialize`.
+//! Object keys keep insertion order (structs serialize fields in declaration
+//! order), so output is deterministic.
+
+pub use serde::{Map, Number, Value};
+
+/// JSON error (parse or data-model mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&value.serialize_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value_pretty(&value.serialize_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Lower any `Serialize` type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.serialize_value())
+}
+
+/// Rebuild a `Deserialize` type from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Parse JSON text into a `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::deserialize_value(&v)?)
+}
+
+/// Build a [`Value`] from any serializable expression (scalar subset of the
+/// real `json!` macro — this workspace never uses object/array literals).
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::__private_serialize(&$e)
+    };
+}
+
+#[doc(hidden)]
+pub fn __private_serialize<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.serialize_value()
+}
+
+// ---------------------------------------------------------------- render --
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent + 1);
+    let close_pad = "  ".repeat(indent);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_value_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_value_pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+// ----------------------------------------------------------------- parse --
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_lit("null") => Ok(Value::Null),
+            Some(b't') if self.eat_lit("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::new(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut m = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    m.insert(key, val);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(m));
+                        }
+                        _ => return Err(Error::new(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !self.eat_lit("\\u") {
+                                    return Err(Error::new("lone high surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                let code =
+                                    0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00));
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| Error::new("bad \\u escape"))?
+                            };
+                            out.push(c);
+                            // parse_hex4 leaves pos just past the digits;
+                            // compensate for the +1 below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(Error::new("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 char.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("bad \\u escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from_u64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from_i64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::from_f64(f)))
+            .map_err(|_| Error::new(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        for src in ["null", "true", "false", "42", "-7", "3.5", "\"hi\\n\""] {
+            let v: Value = from_str(src).unwrap();
+            let back = to_string(&v).unwrap();
+            let v2: Value = from_str(&back).unwrap();
+            assert_eq!(v, v2, "{src}");
+        }
+    }
+
+    #[test]
+    fn object_preserves_order() {
+        let v: Value = from_str(r#"{"z":1,"a":[1,2,{"k":"v"}]}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"z":1,"a":[1,2,{"k":"v"}]}"#);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "A\u{1f600}");
+    }
+}
