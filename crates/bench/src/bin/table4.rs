@@ -175,6 +175,38 @@ fn main() {
             }
         );
     }
+
+    // Image integrity: the cost rows above are only comparable if every
+    // figure plotted a healthy image — no wild reads chased by a
+    // distiller, and a clean kcheck sweep.
+    let session = attach(LatencyProfile::free());
+    let report = session.vcheck();
+    let mut faults = 0u64;
+    {
+        let mut probe = attach(LatencyProfile::free());
+        for id in TABLE4_FIGURES {
+            let pane = probe.vplot_figure(id).expect("figure extracts");
+            faults += probe.plot_stats(pane).unwrap().target.faults;
+        }
+    }
+    println!("\nimage integrity:");
+    println!(
+        "  distiller wild reads:       {faults} faulting packets across all figures {}",
+        if faults == 0 {
+            "[clean]"
+        } else {
+            "[CORRUPTED]"
+        }
+    );
+    println!(
+        "  kcheck sweep:               {} {}",
+        report.summary(),
+        if report.is_clean() {
+            "[clean]"
+        } else {
+            "[CORRUPTED]"
+        }
+    );
 }
 
 fn band(v: f64, lo: f64, hi: f64) -> &'static str {

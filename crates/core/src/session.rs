@@ -186,11 +186,10 @@ impl Session {
         self.profile = profile;
     }
 
-    /// Evaluate a ViewCL program against the stopped kernel, producing a
-    /// graph, without creating a pane. Returns the graph and its stats.
-    pub fn extract(&self, viewcl_src: &str) -> Result<(Graph, PlotStats)> {
-        let program = viewcl::parse_program(viewcl_src)?;
-        let target = match &self.cache {
+    /// Build a bridge target over the attached image (cached when the
+    /// session has a block cache).
+    fn target(&self) -> Target<'_> {
+        match &self.cache {
             None => Target::new(
                 &self.img.mem,
                 &self.img.types,
@@ -204,7 +203,14 @@ impl Session {
                 self.profile,
                 cache,
             ),
-        };
+        }
+    }
+
+    /// Evaluate a ViewCL program against the stopped kernel, producing a
+    /// graph, without creating a pane. Returns the graph and its stats.
+    pub fn extract(&self, viewcl_src: &str) -> Result<(Graph, PlotStats)> {
+        let program = viewcl::parse_program(viewcl_src)?;
+        let target = self.target();
         let mut interp = viewcl::Interp::new(&target, &self.helpers);
         interp.run(&program)?;
         let graph = interp.into_graph();
@@ -372,6 +378,70 @@ plot @root
             viewql,
             applied: apply,
         })
+    }
+
+    /// *vcheck*: run the kernel data-structure invariant checkers over
+    /// the whole image — a full sweep from the well-known root symbols
+    /// (`init_task`, `runqueues`, `super_blocks`, `slab_caches`).
+    pub fn vcheck(&self) -> kcheck::Report {
+        let target = self.target();
+        kcheck::sweep(&target)
+    }
+
+    /// *vcheck* scoped by a ViewQL query: execute `viewql` against the
+    /// pane's plot, run the invariant checkers only on the objects the
+    /// last `SELECT` binds (so `REACHABLE(...)` scopes a whole subplot),
+    /// and annotate each violating box on the pane with a `violations`
+    /// attribute carrying the count and first diagnostic.
+    pub fn vcheck_scoped(&mut self, pane: PaneId, viewql: &str) -> Result<kcheck::Report> {
+        let stmts = vql::parse(viewql)?;
+        let var = stmts
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                vql::Stmt::Select { var, .. } => Some(var.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| SessionError::NotFound("vcheck: no SELECT in query".into()))?;
+        // Run the query on a scratch copy: UPDATE statements inside a
+        // vcheck query must not restyle the displayed plot.
+        let mut scratch = self.graph(pane)?.clone();
+        let mut engine = vql::Engine::new();
+        engine.run(&mut scratch, viewql)?;
+        let sel = engine
+            .var(&var)
+            .ok_or_else(|| SessionError::NotFound(format!("vcheck: selection `{var}`")))?;
+
+        let mut report = kcheck::Report::default();
+        let mut flagged: Vec<(vgraph::BoxId, usize, String)> = Vec::new();
+        {
+            let target = self.target();
+            let checker = kcheck::Checker::new(&target);
+            for id in sel.boxes() {
+                let b = scratch.get(id);
+                if b.addr == 0 || b.ctype.is_empty() {
+                    continue;
+                }
+                let before = report.violations.len();
+                let path = format!("{}@{:#x}", b.ctype, b.addr);
+                let (addr, ctype) = (b.addr, b.ctype.clone());
+                checker.check_object(addr, &ctype, &path, &mut report);
+                let fresh = report.violations.len() - before;
+                if fresh > 0 {
+                    flagged.push((id, fresh, report.violations[before].detail.clone()));
+                }
+            }
+        }
+        if !flagged.is_empty() {
+            if let Some(g) = self.panes.as_mut().and_then(|s| s.graph_of_mut(pane)) {
+                for (id, count, detail) in flagged {
+                    let attrs = &mut g.get_mut(id).attrs;
+                    attrs.set("violations", serde_json::json!(count));
+                    attrs.set("vcheck", serde_json::json!(detail));
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// The graph displayed on a pane.
@@ -559,6 +629,38 @@ plot @m
         assert!(cached.cache().unwrap().is_empty());
         let (_, s_cold2) = cached.extract(fig.viewcl).unwrap();
         assert!(s_cold2.target.cache_misses > 0);
+    }
+
+    #[test]
+    fn vcheck_clean_image_reports_nothing() {
+        let s = session();
+        let report = s.vcheck();
+        assert!(report.is_clean(), "{}", report.summary());
+        assert!(report.checkers_run > 10);
+    }
+
+    #[test]
+    fn vcheck_scoped_flags_and_annotates_corrupted_selection() {
+        let mut w = build(&WorkloadConfig::default());
+        ksim::faults::inject(&mut w, ksim::faults::FaultKind::MaplePivotCorrupt, 1);
+        let mut s = Session::attach(w, LatencyProfile::free());
+        let pane = s.vplot_figure("fig3-4").unwrap();
+        let report = s
+            .vcheck_scoped(pane, "v = SELECT mm_struct FROM *")
+            .unwrap();
+        assert!(report.count_of("maple") >= 1, "{}", report.summary());
+        let g = s.graph(pane).unwrap();
+        let annotated = g
+            .boxes()
+            .iter()
+            .filter(|b| b.attrs.extra.contains_key("violations"))
+            .count();
+        assert!(annotated >= 1, "the violating mm box is annotated");
+        // A clean selection of the same plot stays unannotated.
+        let clean = s
+            .vcheck_scoped(pane, "t = SELECT task_struct FROM * WHERE mm == NULL")
+            .unwrap();
+        assert!(clean.is_clean(), "{}", clean.summary());
     }
 
     #[test]

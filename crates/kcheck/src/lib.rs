@@ -1,0 +1,1311 @@
+//! Structural invariant checking over the simulated kernel image.
+//!
+//! `kcheck` is the static-analysis half of the corruption story: it walks
+//! typed memory through the metered [`vbridge::Target`] — exactly like a
+//! distiller would — and validates the structural invariants the kernel's
+//! containers maintain when healthy:
+//!
+//! * circular `list_head`s: `next->prev == self`, the walk returns to the
+//!   head, and no cycle bypasses it;
+//! * red-black trees: stored parent pointers match the walk, no red node
+//!   has a red child, and in-order keys are monotone;
+//! * maple trees: tagged-enode validity, parent back-pointers, and pivot
+//!   monotonicity within the parent's `[min, max]` window;
+//! * xarrays: internal-entry tags are plausible and shifts decrease;
+//! * fd tables: the `open_fds` bitmap agrees with the `fd` array;
+//! * refcounts: values stay inside a plausible window.
+//!
+//! Every checker is fault-tolerant: a wild pointer or poisoned node
+//! becomes a typed [`Violation`] (kind, address, symbol-rooted path,
+//! severity) instead of an error, so a single corruption cannot hide the
+//! rest of the report. [`sweep`] drives all checkers from the well-known
+//! symbols (`init_task`, `runqueues`, `super_blocks`, ...) the way
+//! `vcheck` in the session layer does.
+
+use std::collections::HashSet;
+
+use ktypes::{TypeKind, TypeRegistry};
+use vbridge::Target;
+
+/// Upper bound on nodes visited per structure — a backstop against
+/// pathological corruption, far above any workload population.
+const MAX_SCAN: usize = 1 << 17;
+
+/// Offset of `next` / `first` within `list_head`.
+const LIST_NEXT: u64 = 0;
+/// Offset of `prev` within `list_head`.
+const LIST_PREV: u64 = 8;
+/// Offsets within `struct rb_node` (`__rb_parent_color`, right, left).
+const RB_RIGHT: u64 = 8;
+/// `rb_left` offset.
+const RB_LEFT: u64 = 16;
+/// Red color bit value (kernel encoding: red = 0).
+const RB_RED: u64 = 0;
+/// Maple node size/alignment mask.
+const MAPLE_NODE_MASK: u64 = 255;
+/// Slots in a `maple_range_64` node.
+const MAPLE_RANGE64_SLOTS: u64 = 16;
+/// Slots in a `maple_arange_64` node.
+const MAPLE_ARANGE64_SLOTS: u64 = 10;
+/// `enum maple_type`: highest valid value (`maple_arange_64`).
+const MAPLE_TYPE_MAX: u64 = 3;
+/// `enum maple_type` value below which a node is a leaf.
+const MAPLE_LEAF_LIMIT: u64 = 2;
+
+/// How bad a violation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Suspicious but survivable (e.g. an implausible refcount).
+    Warning,
+    /// A broken structural invariant.
+    Error,
+}
+
+/// The invariant a [`Violation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// `list_head` linkage broken (bad `prev`, NULL link, stray cycle).
+    ListBroken,
+    /// rb-node stored parent disagrees with the walk (or node unreadable).
+    RbParent,
+    /// A red rb-node has a red child.
+    RbRedRed,
+    /// In-order rb-tree keys are not monotone.
+    RbOrder,
+    /// Maple-tree pivots not monotone or outside the parent's window.
+    MaplePivot,
+    /// Maple tagged-enode invalid: bad type, bad parent link, dangling.
+    MapleEnode,
+    /// XArray slot carries an implausible or ill-shaped entry.
+    XarraySlot,
+    /// fd-table bitmap/array/count disagreement.
+    FdTable,
+    /// Refcount outside the plausible window.
+    Refcount,
+}
+
+impl ViolationKind {
+    /// Coarse class name, matching `ksim::faults::FaultKind::class` so a
+    /// fault-injection test can pair an injected fault with the violations
+    /// it must produce.
+    pub fn class(self) -> &'static str {
+        match self {
+            ViolationKind::ListBroken => "list",
+            ViolationKind::RbParent | ViolationKind::RbRedRed | ViolationKind::RbOrder => "rbtree",
+            ViolationKind::MaplePivot | ViolationKind::MapleEnode => "maple",
+            ViolationKind::XarraySlot => "xarray",
+            ViolationKind::FdTable => "fdtable",
+            ViolationKind::Refcount => "refcount",
+        }
+    }
+
+    /// Default severity for this kind.
+    pub fn severity(self) -> Severity {
+        match self {
+            ViolationKind::FdTable | ViolationKind::Refcount => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One broken invariant, anchored to the address that exposed it and the
+/// symbol-rooted path the sweep took to reach it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// The address that exposed the breakage (node, slot, counter...).
+    pub addr: u64,
+    /// Walk path from a root symbol, e.g. `init_task.tasks[3].mm.mm_mt`.
+    pub path: String,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// The outcome of a checking pass.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Everything found, in walk order.
+    pub violations: Vec<Violation>,
+    /// Number of checker invocations that ran.
+    pub checkers_run: u64,
+}
+
+impl Report {
+    /// Whether no invariant broke.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations whose kind maps to `class` (see [`ViolationKind::class`]).
+    pub fn count_of(&self, class: &str) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.kind.class() == class)
+            .count()
+    }
+
+    /// Sorted, deduplicated classes present in the report.
+    pub fn classes(&self) -> Vec<&'static str> {
+        let mut c: Vec<&'static str> = self.violations.iter().map(|v| v.kind.class()).collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// One-line summary for bench tables and logs.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!("0 violations ({} checkers)", self.checkers_run)
+        } else {
+            format!(
+                "{} violations [{}] ({} checkers)",
+                self.violations.len(),
+                self.classes().join(", "),
+                self.checkers_run
+            )
+        }
+    }
+}
+
+/// Resolved field offsets the sweep needs. Every member is optional so a
+/// partially registered image (unit-test fixtures) degrades to fewer
+/// checkers instead of an error.
+#[derive(Debug, Default, Clone)]
+struct Layout {
+    tasks_off: Option<u64>,
+    files_off: Option<u64>,
+    mm_off: Option<u64>,
+    run_node_off: Option<u64>,
+    vruntime_off: Option<u64>,
+    files_count_off: Option<u64>,
+    fdt_off: Option<u64>,
+    max_fds_off: Option<u64>,
+    fd_off: Option<u64>,
+    open_fds_off: Option<u64>,
+    mm_mt_off: Option<u64>,
+    mm_users_off: Option<u64>,
+    mm_count_off: Option<u64>,
+    ma_root_off: Option<u64>,
+    f_count_off: Option<u64>,
+    f_mapping_off: Option<u64>,
+    i_pages_off: Option<u64>,
+    xa_head_off: Option<u64>,
+    xa_shift_off: Option<u64>,
+    xa_slots_off: Option<u64>,
+    timeline_off: Option<u64>,
+}
+
+fn off(types: &TypeRegistry, ty: &str, path: &str) -> Option<u64> {
+    let id = types.find(ty)?;
+    types.field_path(id, path).ok().map(|(o, _)| o)
+}
+
+impl Layout {
+    fn resolve(types: &TypeRegistry) -> Layout {
+        Layout {
+            tasks_off: off(types, "task_struct", "tasks"),
+            files_off: off(types, "task_struct", "files"),
+            mm_off: off(types, "task_struct", "mm"),
+            run_node_off: off(types, "task_struct", "se.run_node"),
+            vruntime_off: off(types, "task_struct", "se.vruntime"),
+            files_count_off: off(types, "files_struct", "count.counter"),
+            fdt_off: off(types, "files_struct", "fdt"),
+            max_fds_off: off(types, "fdtable", "max_fds"),
+            fd_off: off(types, "fdtable", "fd"),
+            open_fds_off: off(types, "fdtable", "open_fds"),
+            mm_mt_off: off(types, "mm_struct", "mm_mt"),
+            mm_users_off: off(types, "mm_struct", "mm_users.counter"),
+            mm_count_off: off(types, "mm_struct", "mm_count.counter"),
+            ma_root_off: off(types, "maple_tree", "ma_root"),
+            f_count_off: off(types, "file", "f_count.counter"),
+            f_mapping_off: off(types, "file", "f_mapping"),
+            i_pages_off: off(types, "address_space", "i_pages"),
+            xa_head_off: off(types, "xarray", "xa_head"),
+            xa_shift_off: off(types, "xa_node", "shift"),
+            xa_slots_off: off(types, "xa_node", "slots"),
+            timeline_off: off(types, "rq", "cfs.tasks_timeline.rb_root.rb_node"),
+        }
+    }
+}
+
+/// Whether an entry stored in `ma_root`/a slot is a tagged internal node
+/// pointer (kernel `xa_is_node`).
+fn xa_is_node(entry: u64) -> bool {
+    entry & 3 == 2 && entry > 4096
+}
+
+/// The invariant checker: a [`Target`] plus the offsets resolved from its
+/// debug info. Individual checkers are exposed so the session layer can
+/// scope them to a ViewQL selection; [`Checker::sweep`] runs all of them
+/// from the root symbols.
+pub struct Checker<'a, 't> {
+    t: &'a Target<'t>,
+    lay: Layout,
+}
+
+impl<'a, 't> Checker<'a, 't> {
+    /// Build a checker for `target`, resolving offsets from its registry.
+    pub fn new(target: &'a Target<'t>) -> Self {
+        Checker {
+            t: target,
+            lay: Layout::resolve(target.types),
+        }
+    }
+
+    fn u64_at(&self, addr: u64) -> Option<u64> {
+        self.t.read_uint(addr, 8).ok()
+    }
+
+    fn push(
+        &self,
+        out: &mut Vec<Violation>,
+        kind: ViolationKind,
+        addr: u64,
+        path: &str,
+        detail: impl Into<String>,
+    ) {
+        out.push(Violation {
+            kind,
+            addr,
+            path: path.to_string(),
+            severity: kind.severity(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Validate a circular `list_head` at `head`: every hop must satisfy
+    /// `next->prev == self` and the walk must return to the head without
+    /// revisiting a node. Returns the node addresses seen (best effort).
+    pub fn check_list(&self, head: u64, path: &str, out: &mut Vec<Violation>) -> Vec<u64> {
+        let mut nodes = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(head);
+        let mut prev = head;
+        let Some(mut cur) = self.u64_at(head + LIST_NEXT) else {
+            self.push(
+                out,
+                ViolationKind::ListBroken,
+                head,
+                path,
+                "list head is unreadable",
+            );
+            return nodes;
+        };
+        loop {
+            if cur == 0 {
+                self.push(
+                    out,
+                    ViolationKind::ListBroken,
+                    prev,
+                    path,
+                    format!("NULL next link at {prev:#x}"),
+                );
+                break;
+            }
+            // Arriving at `cur` from `prev`: the back link must agree.
+            let mut link = [0u8; 16];
+            if self.t.read(cur, &mut link).is_err() {
+                self.push(
+                    out,
+                    ViolationKind::ListBroken,
+                    cur,
+                    path,
+                    format!("unreadable node at {cur:#x} (dangling next)"),
+                );
+                break;
+            }
+            let next = ktypes::read_uint(&link[LIST_NEXT as usize..8], 8);
+            let back = ktypes::read_uint(&link[LIST_PREV as usize..16], 8);
+            if back != prev {
+                self.push(
+                    out,
+                    ViolationKind::ListBroken,
+                    cur,
+                    path,
+                    format!("next->prev mismatch: {cur:#x}->prev is {back:#x}, expected {prev:#x}"),
+                );
+            }
+            if cur == head {
+                break; // closed the circle
+            }
+            if !seen.insert(cur) {
+                self.push(
+                    out,
+                    ViolationKind::ListBroken,
+                    cur,
+                    path,
+                    format!("cycle through {cur:#x} bypasses the list head"),
+                );
+                break;
+            }
+            nodes.push(cur);
+            if nodes.len() > MAX_SCAN {
+                self.push(
+                    out,
+                    ViolationKind::ListBroken,
+                    cur,
+                    path,
+                    "traversal bound exceeded",
+                );
+                break;
+            }
+            prev = cur;
+            cur = next;
+        }
+        nodes
+    }
+
+    /// Bounded backward walk over `prev` links, violation-free: used by the
+    /// sweep to recover nodes a snipped forward chain no longer reaches.
+    fn list_nodes_backward(&self, head: u64) -> Vec<u64> {
+        let mut nodes = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(head);
+        let mut cur = match self.u64_at(head + LIST_PREV) {
+            Some(c) => c,
+            None => return nodes,
+        };
+        while cur != head && cur != 0 && seen.insert(cur) && nodes.len() <= MAX_SCAN {
+            nodes.push(cur);
+            match self.u64_at(cur + LIST_PREV) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        nodes
+    }
+
+    /// Validate the red-black tree whose top node pointer lives at
+    /// `root_slot`. Checks stored parents, red-red pairs, and — when
+    /// `key_delta` is given — that in-order keys (a `u64` at
+    /// `node + key_delta`) are non-decreasing.
+    pub fn check_rbtree(
+        &self,
+        root_slot: u64,
+        key_delta: Option<u64>,
+        path: &str,
+        out: &mut Vec<Violation>,
+    ) {
+        let Some(top) = self.u64_at(root_slot) else {
+            self.push(
+                out,
+                ViolationKind::RbParent,
+                root_slot,
+                path,
+                "rb_root is unreadable",
+            );
+            return;
+        };
+        if top == 0 {
+            return;
+        }
+        struct Frame {
+            node: u64,
+            parent: u64,
+            parent_red: bool,
+            expanded: bool,
+        }
+        let mut stack = vec![Frame {
+            node: top,
+            parent: 0,
+            parent_red: false,
+            expanded: false,
+        }];
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut last_key: Option<u64> = None;
+        while let Some(f) = stack.pop() {
+            if f.node == 0 {
+                continue;
+            }
+            if f.expanded {
+                if let Some(delta) = key_delta {
+                    if let Some(key) = self.u64_at(f.node.wrapping_add(delta)) {
+                        if let Some(prev) = last_key {
+                            if key < prev {
+                                self.push(
+                                    out,
+                                    ViolationKind::RbOrder,
+                                    f.node,
+                                    path,
+                                    format!("in-order key {key} < predecessor {prev}"),
+                                );
+                            }
+                        }
+                        last_key = Some(key);
+                    }
+                }
+                continue;
+            }
+            if !seen.insert(f.node) {
+                self.push(
+                    out,
+                    ViolationKind::RbParent,
+                    f.node,
+                    path,
+                    format!("cycle through rb node {:#x}", f.node),
+                );
+                continue;
+            }
+            if seen.len() > MAX_SCAN {
+                self.push(
+                    out,
+                    ViolationKind::RbParent,
+                    f.node,
+                    path,
+                    "traversal bound exceeded",
+                );
+                break;
+            }
+            let mut raw = [0u8; 24];
+            if self.t.read(f.node, &mut raw).is_err() {
+                self.push(
+                    out,
+                    ViolationKind::RbParent,
+                    f.node,
+                    path,
+                    format!("unreadable rb node at {:#x}", f.node),
+                );
+                continue;
+            }
+            let pc = ktypes::read_uint(&raw[0..8], 8);
+            let right = ktypes::read_uint(&raw[RB_RIGHT as usize..16], 8);
+            let left = ktypes::read_uint(&raw[RB_LEFT as usize..24], 8);
+            let stored_parent = pc & !3;
+            if stored_parent != f.parent {
+                self.push(
+                    out,
+                    ViolationKind::RbParent,
+                    f.node,
+                    path,
+                    format!(
+                        "stored parent {stored_parent:#x} disagrees with walk parent {:#x}",
+                        f.parent
+                    ),
+                );
+            }
+            let red = pc & 1 == RB_RED;
+            if red && f.parent_red {
+                self.push(
+                    out,
+                    ViolationKind::RbRedRed,
+                    f.node,
+                    path,
+                    format!("red node {:#x} has a red parent", f.node),
+                );
+            }
+            stack.push(Frame {
+                node: right,
+                parent: f.node,
+                parent_red: red,
+                expanded: false,
+            });
+            stack.push(Frame {
+                node: f.node,
+                parent: f.parent,
+                parent_red: f.parent_red,
+                expanded: true,
+            });
+            stack.push(Frame {
+                node: left,
+                parent: f.node,
+                parent_red: red,
+                expanded: false,
+            });
+        }
+    }
+
+    /// Validate the maple tree rooted at the `maple_tree` struct at
+    /// `tree`: enode tags, parent back-pointers, and pivot monotonicity
+    /// within each node's `[min, max]` window.
+    pub fn check_maple_tree(&self, tree: u64, path: &str, out: &mut Vec<Violation>) {
+        let Some(ma_root_off) = self.lay.ma_root_off else {
+            return;
+        };
+        let Some(root) = self.u64_at(tree + ma_root_off) else {
+            self.push(
+                out,
+                ViolationKind::MapleEnode,
+                tree,
+                path,
+                "maple_tree.ma_root is unreadable",
+            );
+            return;
+        };
+        if root == 0 || !xa_is_node(root) {
+            return; // empty tree or single direct entry
+        }
+        let mut seen: HashSet<u64> = HashSet::new();
+        // (enode, min, max, expected parent word masked check base: 0 = root)
+        let mut stack: Vec<(u64, u64, u64, u64)> = vec![(root, 0, u64::MAX, 0)];
+        while let Some((enode, min, max, parent_node)) = stack.pop() {
+            let node = enode & !MAPLE_NODE_MASK;
+            let ty = (enode >> 3) & 0x0f;
+            if ty > MAPLE_TYPE_MAX {
+                self.push(
+                    out,
+                    ViolationKind::MapleEnode,
+                    node,
+                    path,
+                    format!("enode {enode:#x} carries invalid node type {ty}"),
+                );
+                continue;
+            }
+            if !seen.insert(node) {
+                self.push(
+                    out,
+                    ViolationKind::MapleEnode,
+                    node,
+                    path,
+                    format!("cycle through maple node {node:#x}"),
+                );
+                continue;
+            }
+            if seen.len() > MAX_SCAN {
+                self.push(
+                    out,
+                    ViolationKind::MapleEnode,
+                    node,
+                    path,
+                    "traversal bound exceeded",
+                );
+                break;
+            }
+            let mut raw = [0u8; 256];
+            if self.t.read(node, &mut raw).is_err() {
+                self.push(
+                    out,
+                    ViolationKind::MapleEnode,
+                    node,
+                    path,
+                    format!("dangling enode: maple node {node:#x} is unreadable"),
+                );
+                continue;
+            }
+            let word = |i: u64| ktypes::read_uint(&raw[i as usize..i as usize + 8], 8);
+            let parent = word(0);
+            if parent_node == 0 {
+                if parent & 1 != 1 || parent & !1 != tree {
+                    self.push(
+                        out,
+                        ViolationKind::MapleEnode,
+                        node,
+                        path,
+                        format!("root parent {parent:#x} does not mark the tree at {tree:#x}"),
+                    );
+                }
+            } else if parent & !MAPLE_NODE_MASK != parent_node {
+                self.push(
+                    out,
+                    ViolationKind::MapleEnode,
+                    node,
+                    path,
+                    format!("parent {parent:#x} does not point back at {parent_node:#x}"),
+                );
+            }
+            let leaf = ty < MAPLE_LEAF_LIMIT;
+            let nslots = if ty == MAPLE_TYPE_MAX {
+                MAPLE_ARANGE64_SLOTS
+            } else {
+                MAPLE_RANGE64_SLOTS
+            };
+            let pivot_off = 8u64;
+            let slot_off = 8 + 8 * (nslots - 1);
+            let mut lo = min;
+            for i in 0..nslots {
+                let slot = word(slot_off + 8 * i);
+                let piv = if i + 1 < nslots {
+                    word(pivot_off + 8 * i)
+                } else {
+                    max
+                };
+                if slot == 0 && piv == 0 && i > 0 {
+                    break; // trailing empty slots
+                }
+                let hi = if piv == 0 && i > 0 { max } else { piv };
+                if hi < lo {
+                    self.push(
+                        out,
+                        ViolationKind::MaplePivot,
+                        node + pivot_off + 8 * i,
+                        path,
+                        format!("pivot[{i}] = {hi:#x} not above predecessor (min {lo:#x})"),
+                    );
+                    break; // windows below are meaningless now
+                }
+                if hi > max {
+                    self.push(
+                        out,
+                        ViolationKind::MaplePivot,
+                        node + pivot_off + 8 * i,
+                        path,
+                        format!("pivot[{i}] = {hi:#x} exceeds parent bound {max:#x}"),
+                    );
+                    break;
+                }
+                if !leaf && slot != 0 {
+                    if xa_is_node(slot) {
+                        stack.push((slot, lo, hi, node));
+                    } else {
+                        self.push(
+                            out,
+                            ViolationKind::MapleEnode,
+                            node + slot_off + 8 * i,
+                            path,
+                            format!("internal slot[{i}] = {slot:#x} is not a tagged enode"),
+                        );
+                    }
+                }
+                if piv == 0 && i > 0 {
+                    break;
+                }
+                lo = hi.wrapping_add(1);
+                if lo == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Validate the xarray at `xa` (address of a `struct xarray`).
+    pub fn check_xarray(&self, xa: u64, path: &str, out: &mut Vec<Violation>) {
+        let (Some(head_off), Some(shift_off), Some(slots_off)) = (
+            self.lay.xa_head_off,
+            self.lay.xa_shift_off,
+            self.lay.xa_slots_off,
+        ) else {
+            return;
+        };
+        let Some(head) = self.u64_at(xa + head_off) else {
+            self.push(
+                out,
+                ViolationKind::XarraySlot,
+                xa,
+                path,
+                "xa_head is unreadable",
+            );
+            return;
+        };
+        if head == 0 {
+            return;
+        }
+        if head & 3 == 2 && head <= 4096 {
+            self.push(
+                out,
+                ViolationKind::XarraySlot,
+                xa + head_off,
+                path,
+                format!("xa_head {head:#x} is node-tagged but implausible"),
+            );
+            return;
+        }
+        if !xa_is_node(head) {
+            return; // single direct entry
+        }
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(u64, u64)> = vec![(head & !3, 64)];
+        while let Some((node, parent_shift)) = stack.pop() {
+            if !seen.insert(node) {
+                self.push(
+                    out,
+                    ViolationKind::XarraySlot,
+                    node,
+                    path,
+                    format!("cycle through xa_node {node:#x}"),
+                );
+                continue;
+            }
+            if seen.len() > MAX_SCAN {
+                self.push(
+                    out,
+                    ViolationKind::XarraySlot,
+                    node,
+                    path,
+                    "traversal bound exceeded",
+                );
+                break;
+            }
+            let Ok(shift) = self.t.read_uint(node + shift_off, 1) else {
+                self.push(
+                    out,
+                    ViolationKind::XarraySlot,
+                    node,
+                    path,
+                    format!("unreadable xa_node at {node:#x}"),
+                );
+                continue;
+            };
+            if shift >= parent_shift {
+                self.push(
+                    out,
+                    ViolationKind::XarraySlot,
+                    node + shift_off,
+                    path,
+                    format!(
+                        "xa_node shift {shift} does not decrease below parent ({parent_shift})"
+                    ),
+                );
+                continue;
+            }
+            let mut raw = [0u8; 512];
+            if self.t.read(node + slots_off, &mut raw).is_err() {
+                self.push(
+                    out,
+                    ViolationKind::XarraySlot,
+                    node + slots_off,
+                    path,
+                    format!("unreadable slots of xa_node {node:#x}"),
+                );
+                continue;
+            }
+            for slot in 0..64u64 {
+                let entry = ktypes::read_uint(&raw[slot as usize * 8..slot as usize * 8 + 8], 8);
+                if entry == 0 {
+                    continue;
+                }
+                if entry & 3 == 2 && entry <= 4096 {
+                    self.push(
+                        out,
+                        ViolationKind::XarraySlot,
+                        node + slots_off + 8 * slot,
+                        path,
+                        format!("slot[{slot}] = {entry:#x} is node-tagged but implausible"),
+                    );
+                    continue;
+                }
+                if xa_is_node(entry) {
+                    if shift == 0 {
+                        self.push(
+                            out,
+                            ViolationKind::XarraySlot,
+                            node + slots_off + 8 * slot,
+                            path,
+                            format!("leaf-level slot[{slot}] holds internal node {entry:#x}"),
+                        );
+                    } else {
+                        stack.push((entry & !3, shift));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validate a `files_struct` at `files`: readable fd table, sane
+    /// `max_fds`, `open_fds` bitmap agreeing with the `fd` array, and a
+    /// plausible use count. Returns the open `struct file` addresses.
+    pub fn check_fdtable(&self, files: u64, path: &str, out: &mut Vec<Violation>) -> Vec<u64> {
+        let mut open = Vec::new();
+        let (Some(count_off), Some(fdt_off), Some(max_fds_off), Some(fd_off), Some(open_fds_off)) = (
+            self.lay.files_count_off,
+            self.lay.fdt_off,
+            self.lay.max_fds_off,
+            self.lay.fd_off,
+            self.lay.open_fds_off,
+        ) else {
+            return open;
+        };
+        if let Ok(count) = self.t.read_int(files + count_off, 4) {
+            if !(1..=65536).contains(&count) {
+                self.push(
+                    out,
+                    ViolationKind::FdTable,
+                    files + count_off,
+                    path,
+                    format!("files_struct.count = {count} is implausible"),
+                );
+            }
+        }
+        let Some(fdt) = self.u64_at(files + fdt_off) else {
+            self.push(
+                out,
+                ViolationKind::FdTable,
+                files + fdt_off,
+                path,
+                "files_struct.fdt is unreadable",
+            );
+            return open;
+        };
+        if fdt == 0 {
+            self.push(
+                out,
+                ViolationKind::FdTable,
+                files + fdt_off,
+                path,
+                "files_struct.fdt is NULL",
+            );
+            return open;
+        }
+        let max_fds = match self.t.read_uint(fdt + max_fds_off, 4) {
+            Ok(m) => m,
+            Err(_) => {
+                self.push(
+                    out,
+                    ViolationKind::FdTable,
+                    fdt,
+                    path,
+                    format!("fdtable at {fdt:#x} is unreadable"),
+                );
+                return open;
+            }
+        };
+        if max_fds == 0 || max_fds > 65536 {
+            self.push(
+                out,
+                ViolationKind::FdTable,
+                fdt + max_fds_off,
+                path,
+                format!("max_fds = {max_fds} is implausible"),
+            );
+            return open;
+        }
+        let (Some(fd_array), Some(bitmap_ptr)) =
+            (self.u64_at(fdt + fd_off), self.u64_at(fdt + open_fds_off))
+        else {
+            self.push(
+                out,
+                ViolationKind::FdTable,
+                fdt,
+                path,
+                "fd array / open_fds pointers unreadable",
+            );
+            return open;
+        };
+        // Compare the first bitmap word against the first 64 fd slots —
+        // the whole table in this simulator (NR_OPEN_DEFAULT = 64).
+        let n = max_fds.min(64);
+        let Some(bitmap) = self.u64_at(bitmap_ptr) else {
+            self.push(
+                out,
+                ViolationKind::FdTable,
+                bitmap_ptr,
+                path,
+                "open_fds bitmap is unreadable",
+            );
+            return open;
+        };
+        for i in 0..n {
+            let Some(f) = self.u64_at(fd_array + 8 * i) else {
+                self.push(
+                    out,
+                    ViolationKind::FdTable,
+                    fd_array + 8 * i,
+                    path,
+                    format!("fd[{i}] slot is unreadable"),
+                );
+                break;
+            };
+            let bit = bitmap >> i & 1 == 1;
+            if bit != (f != 0) {
+                self.push(
+                    out,
+                    ViolationKind::FdTable,
+                    fd_array + 8 * i,
+                    path,
+                    format!(
+                        "open_fds bit {i} is {} but fd[{i}] is {}",
+                        if bit { "set" } else { "clear" },
+                        if f != 0 { "non-NULL" } else { "NULL" }
+                    ),
+                );
+            }
+            if f != 0 {
+                open.push(f);
+            }
+        }
+        open
+    }
+
+    /// Validate a refcount-style counter of `size` bytes at `addr`.
+    pub fn check_refcount(&self, addr: u64, size: usize, path: &str, out: &mut Vec<Violation>) {
+        let Ok(v) = self.t.read_int(addr, size) else {
+            self.push(
+                out,
+                ViolationKind::Refcount,
+                addr,
+                path,
+                "refcount is unreadable",
+            );
+            return;
+        };
+        // A live object's count sits well below 2^32; zero or negative
+        // means a use-after-free candidate, huge means a stray write.
+        if !(1..=u32::MAX as i64).contains(&v) {
+            self.push(
+                out,
+                ViolationKind::Refcount,
+                addr,
+                path,
+                format!("refcount {v:#x} outside the plausible window"),
+            );
+        }
+    }
+
+    /// Per-task checks: the fd table (and every open file's refcount and
+    /// page-cache xarray) plus the address space (maple tree, refcounts).
+    /// Deduplication sets keep shared mm/files from being checked twice.
+    #[allow(clippy::too_many_arguments)]
+    fn check_task(
+        &self,
+        task: u64,
+        path: &str,
+        seen_files: &mut HashSet<u64>,
+        seen_mm: &mut HashSet<u64>,
+        seen_file_objs: &mut HashSet<u64>,
+        report: &mut Report,
+    ) {
+        let out = &mut report.violations;
+        if let (Some(files_off), Some(_)) = (self.lay.files_off, self.lay.fdt_off) {
+            if let Some(files) = self.u64_at(task + files_off) {
+                if files != 0 && seen_files.insert(files) {
+                    report.checkers_run += 1;
+                    let fpath = format!("{path}.files");
+                    let open = self.check_fdtable(files, &fpath, out);
+                    for (i, f) in open.into_iter().enumerate() {
+                        if !seen_file_objs.insert(f) {
+                            continue;
+                        }
+                        if let Some(fc) = self.lay.f_count_off {
+                            report.checkers_run += 1;
+                            self.check_refcount(
+                                f + fc,
+                                8,
+                                &format!("{fpath}.fd[{i}].f_count"),
+                                out,
+                            );
+                        }
+                        if let (Some(map_off), Some(ip_off)) =
+                            (self.lay.f_mapping_off, self.lay.i_pages_off)
+                        {
+                            if let Some(mapping) = self.u64_at(f + map_off) {
+                                if mapping != 0 {
+                                    report.checkers_run += 1;
+                                    self.check_xarray(
+                                        mapping + ip_off,
+                                        &format!("{fpath}.fd[{i}].f_mapping.i_pages"),
+                                        out,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(mm_off), Some(mm_mt_off)) = (self.lay.mm_off, self.lay.mm_mt_off) {
+            if let Some(mm) = self.u64_at(task + mm_off) {
+                if mm != 0 && seen_mm.insert(mm) {
+                    report.checkers_run += 1;
+                    self.check_maple_tree(mm + mm_mt_off, &format!("{path}.mm.mm_mt"), out);
+                    if let Some(users) = self.lay.mm_users_off {
+                        report.checkers_run += 1;
+                        self.check_refcount(mm + users, 4, &format!("{path}.mm.mm_users"), out);
+                    }
+                    if let Some(count) = self.lay.mm_count_off {
+                        report.checkers_run += 1;
+                        self.check_refcount(mm + count, 4, &format!("{path}.mm.mm_count"), out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run the checkers that apply to one object of C type `ctype` at
+    /// `addr` — the scoped `vcheck` entry point, where the caller
+    /// (typically a ViewQL `SELECT` over a plotted graph) decides which
+    /// objects to check. Types without a registered checker run nothing.
+    pub fn check_object(&self, addr: u64, ctype: &str, path: &str, report: &mut Report) {
+        match ctype {
+            "task_struct" => {
+                let mut seen_files = HashSet::new();
+                let mut seen_mm = HashSet::new();
+                let mut seen_file_objs = HashSet::new();
+                self.check_task(
+                    addr,
+                    path,
+                    &mut seen_files,
+                    &mut seen_mm,
+                    &mut seen_file_objs,
+                    report,
+                );
+            }
+            "mm_struct" => {
+                if let Some(mt) = self.lay.mm_mt_off {
+                    report.checkers_run += 1;
+                    self.check_maple_tree(
+                        addr + mt,
+                        &format!("{path}.mm_mt"),
+                        &mut report.violations,
+                    );
+                }
+                if let Some(users) = self.lay.mm_users_off {
+                    report.checkers_run += 1;
+                    self.check_refcount(
+                        addr + users,
+                        4,
+                        &format!("{path}.mm_users"),
+                        &mut report.violations,
+                    );
+                }
+                if let Some(count) = self.lay.mm_count_off {
+                    report.checkers_run += 1;
+                    self.check_refcount(
+                        addr + count,
+                        4,
+                        &format!("{path}.mm_count"),
+                        &mut report.violations,
+                    );
+                }
+            }
+            "files_struct" => {
+                report.checkers_run += 1;
+                self.check_fdtable(addr, path, &mut report.violations);
+            }
+            "file" => {
+                if let Some(fc) = self.lay.f_count_off {
+                    report.checkers_run += 1;
+                    self.check_refcount(
+                        addr + fc,
+                        8,
+                        &format!("{path}.f_count"),
+                        &mut report.violations,
+                    );
+                }
+                if let (Some(map_off), Some(ip_off)) =
+                    (self.lay.f_mapping_off, self.lay.i_pages_off)
+                {
+                    if let Some(mapping) = self.u64_at(addr + map_off) {
+                        if mapping != 0 {
+                            report.checkers_run += 1;
+                            self.check_xarray(
+                                mapping + ip_off,
+                                &format!("{path}.f_mapping.i_pages"),
+                                &mut report.violations,
+                            );
+                        }
+                    }
+                }
+            }
+            "maple_tree" => {
+                report.checkers_run += 1;
+                self.check_maple_tree(addr, path, &mut report.violations);
+            }
+            "xarray" => {
+                report.checkers_run += 1;
+                self.check_xarray(addr, path, &mut report.violations);
+            }
+            _ => {}
+        }
+    }
+
+    /// Run every checker from the well-known root symbols.
+    pub fn sweep(&self) -> Report {
+        let mut report = Report::default();
+        let mut seen_files = HashSet::new();
+        let mut seen_mm = HashSet::new();
+        let mut seen_file_objs = HashSet::new();
+
+        // The global task list, plus per-task fd tables and address
+        // spaces. A snipped forward chain is repaired by walking the
+        // (usually intact) prev links and taking the union, so one list
+        // fault cannot hide every per-task checker downstream.
+        if let (Ok(init_task), Some(tasks_off)) = (
+            self.t.symbol_value("init_task").and_then(|v| {
+                v.address()
+                    .ok_or_else(|| vbridge::BridgeError::Eval("init_task has no address".into()))
+            }),
+            self.lay.tasks_off,
+        ) {
+            let head = init_task + tasks_off;
+            report.checkers_run += 1;
+            let forward = self.check_list(head, "init_task.tasks", &mut report.violations);
+            let mut nodes = forward;
+            for n in self.list_nodes_backward(head) {
+                if !nodes.contains(&n) {
+                    nodes.push(n);
+                }
+            }
+            self.check_task(
+                init_task,
+                "init_task",
+                &mut seen_files,
+                &mut seen_mm,
+                &mut seen_file_objs,
+                &mut report,
+            );
+            for (i, node) in nodes.iter().enumerate() {
+                let task = node.wrapping_sub(tasks_off);
+                self.check_task(
+                    task,
+                    &format!("init_task.tasks[{i}]"),
+                    &mut seen_files,
+                    &mut seen_mm,
+                    &mut seen_file_objs,
+                    &mut report,
+                );
+            }
+        }
+
+        // Per-CPU CFS timelines, ordered by vruntime.
+        if let (Some(sym), Some(timeline_off)) =
+            (self.t.symbols.lookup("runqueues"), self.lay.timeline_off)
+        {
+            let key_delta = match (self.lay.vruntime_off, self.lay.run_node_off) {
+                (Some(v), Some(r)) => Some(v.wrapping_sub(r)),
+                _ => None,
+            };
+            if let Some(arr_ty) = sym.ty {
+                if let TypeKind::Array { elem, len } = self.t.types.get(arr_ty).kind {
+                    let rq_size = self.t.types.size_of(elem);
+                    for cpu in 0..len {
+                        report.checkers_run += 1;
+                        self.check_rbtree(
+                            sym.addr + cpu * rq_size + timeline_off,
+                            key_delta,
+                            &format!("runqueues[{cpu}].cfs.tasks_timeline"),
+                            &mut report.violations,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Other global lists.
+        for name in ["super_blocks", "slab_caches"] {
+            if let Some(sym) = self.t.symbols.lookup(name) {
+                report.checkers_run += 1;
+                self.check_list(sym.addr, name, &mut report.violations);
+            }
+        }
+
+        report
+    }
+}
+
+/// Convenience entry point: build a [`Checker`] and run the full sweep.
+pub fn sweep(target: &Target<'_>) -> Report {
+    Checker::new(target).sweep()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::workload::{self, WorkloadConfig};
+    use vbridge::LatencyProfile;
+
+    fn sweep_workload(w: ksim::workload::Workload) -> Report {
+        let (img, _t, _roots) = w.finish();
+        let target = Target::new(&img.mem, &img.types, &img.symbols, LatencyProfile::free());
+        sweep(&target)
+    }
+
+    #[test]
+    fn clean_workload_has_zero_violations() {
+        let w = workload::build(&WorkloadConfig::default());
+        let report = sweep_workload(w);
+        assert!(
+            report.is_clean(),
+            "clean image must report no violations, got: {:#?}",
+            report.violations
+        );
+        assert!(report.checkers_run > 10, "sweep must actually run checkers");
+    }
+
+    #[test]
+    fn clean_workload_is_seed_independent() {
+        for seed in [1u64, 2, 3, 4] {
+            let w = workload::build(&WorkloadConfig {
+                seed,
+                ..Default::default()
+            });
+            let report = sweep_workload(w);
+            assert!(report.is_clean(), "seed {seed}: {:#?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn snipped_task_list_is_flagged_with_symbol_rooted_path() {
+        let mut w = workload::build(&WorkloadConfig::default());
+        let t = w.types;
+        let (tasks_off, _) = w.kb.types.field_path(t.task.task_struct, "tasks").unwrap();
+        let victim = w.roots.all_tasks[3] + tasks_off;
+        let prev = w.kb.mem.read_uint(victim + 8, 8).unwrap();
+        let next = w.kb.mem.read_uint(victim, 8).unwrap();
+        // Broken deletion: prev skips the victim, victim->next->prev does not.
+        w.kb.mem.write_uint(prev, 8, next);
+        let report = sweep_workload(w);
+        assert!(report.count_of("list") >= 1, "{:#?}", report.violations);
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.kind == ViolationKind::ListBroken)
+            .unwrap();
+        assert!(v.path.starts_with("init_task.tasks"), "path: {}", v.path);
+    }
+
+    #[test]
+    fn poisoned_maple_node_is_flagged() {
+        use ksim::scenarios;
+        let mut w = workload::build(&WorkloadConfig::default());
+        let sr = scenarios::inject_stackrot(&mut w);
+        scenarios::expire_rcu_grace_period(&mut w, &sr);
+        let report = sweep_workload(w);
+        assert!(
+            report.count_of("maple") >= 1,
+            "poisoned node must trip the maple checker: {:#?}",
+            report.violations
+        );
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| !v.path.is_empty() && v.path.starts_with("init_task")));
+    }
+
+    #[test]
+    fn every_corpus_fault_is_flagged_with_matching_class() {
+        use ksim::faults::{self, ALL_FAULTS};
+        for (i, kind) in ALL_FAULTS.iter().enumerate() {
+            let mut w = workload::build(&WorkloadConfig::default());
+            let f = faults::inject(&mut w, *kind, 40 + i as u64);
+            let class = f.class();
+            let report = sweep_workload(w);
+            assert!(
+                report.count_of(class) >= 1,
+                "{kind:?} ({}) must trip the {class} checker, got: {}",
+                f.note,
+                report.summary()
+            );
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .all(|v| v.path.starts_with("init_task")
+                        || v.path.starts_with("runqueues")
+                        || v.path.starts_with("super_blocks")
+                        || v.path.starts_with("slab_caches")),
+                "every violation path must be symbol-rooted: {:#?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn report_summary_names_classes() {
+        let mut r = Report {
+            checkers_run: 5,
+            ..Default::default()
+        };
+        assert_eq!(r.summary(), "0 violations (5 checkers)");
+        r.violations.push(Violation {
+            kind: ViolationKind::MaplePivot,
+            addr: 0x100,
+            path: "x".into(),
+            severity: Severity::Error,
+            detail: "d".into(),
+        });
+        assert!(r.summary().contains("maple"));
+        assert_eq!(r.count_of("maple"), 1);
+        assert_eq!(r.count_of("list"), 0);
+    }
+}

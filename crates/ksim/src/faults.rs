@@ -1,0 +1,382 @@
+//! Seedable fault injection: the known-positive corpus for `kcheck`.
+//!
+//! Each [`FaultKind`] plants one specific, realistic corruption into a
+//! built [`Workload`] image — a botched `list_del`, a flipped rb color, a
+//! poisoned maple pivot, a dangling enode, a stray bitmap bit — the states
+//! a kernel with a memory-safety bug actually reaches. Victims are chosen
+//! with a seeded RNG so the corpus covers different objects per seed while
+//! staying reproducible; [`InjectedFault::class`] names the checker class
+//! that must flag it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::workload::Workload;
+use crate::{maple, structops};
+
+/// Poison byte pattern (`POISON_FREE`, repeated): the classic slab-poison
+/// value a use-after-free read surfaces.
+pub const POISON_PIVOT: u64 = 0x6b6b_6b6b_6b6b_6b6b;
+
+/// A 256-aligned address no page is mapped at — the dangling-enode target.
+const DANGLING_NODE: u64 = 0xdead_0000_0000;
+
+/// One injectable corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Broken `list_del`: the predecessor skips a node whose neighbours
+    /// still point at it.
+    ListSnip,
+    /// A node's `next` rewired to an earlier node — a cycle that bypasses
+    /// the list head.
+    ListCrossLink,
+    /// A black rb-node recolored red above a red child (red-red pair).
+    RbColorSwap,
+    /// An rb-node's stored parent pointer zeroed.
+    RbParentCorrupt,
+    /// A maple leaf's first pivot overwritten with slab poison.
+    MaplePivotCorrupt,
+    /// An internal maple slot rewired to an unmapped (freed) node.
+    MapleEnodeDangle,
+    /// An xarray slot overwritten with a small node-tagged garbage value.
+    XarraySlotGarbage,
+    /// An `open_fds` bit set for a NULL fd slot.
+    FdBitmapMismatch,
+    /// A file refcount blown far past any plausible value.
+    RefcountAbsurd,
+}
+
+/// Every fault in the corpus, in a stable order.
+pub const ALL_FAULTS: [FaultKind; 9] = [
+    FaultKind::ListSnip,
+    FaultKind::ListCrossLink,
+    FaultKind::RbColorSwap,
+    FaultKind::RbParentCorrupt,
+    FaultKind::MaplePivotCorrupt,
+    FaultKind::MapleEnodeDangle,
+    FaultKind::XarraySlotGarbage,
+    FaultKind::FdBitmapMismatch,
+    FaultKind::RefcountAbsurd,
+];
+
+impl FaultKind {
+    /// The checker class that must flag this fault (matches
+    /// `kcheck::ViolationKind::class`).
+    pub fn class(self) -> &'static str {
+        match self {
+            FaultKind::ListSnip | FaultKind::ListCrossLink => "list",
+            FaultKind::RbColorSwap | FaultKind::RbParentCorrupt => "rbtree",
+            FaultKind::MaplePivotCorrupt | FaultKind::MapleEnodeDangle => "maple",
+            FaultKind::XarraySlotGarbage => "xarray",
+            FaultKind::FdBitmapMismatch => "fdtable",
+            FaultKind::RefcountAbsurd => "refcount",
+        }
+    }
+}
+
+/// What an injection actually did, for test assertions and logs.
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// The corruption planted.
+    pub kind: FaultKind,
+    /// The address whose bytes were changed.
+    pub addr: u64,
+    /// Human-readable description of the mutation.
+    pub note: String,
+}
+
+impl InjectedFault {
+    /// The checker class that must flag this fault.
+    pub fn class(&self) -> &'static str {
+        self.kind.class()
+    }
+}
+
+fn tasks_list_nodes(w: &Workload) -> (u64, Vec<u64>) {
+    let (tasks_off, _) =
+        w.kb.types
+            .field_path(w.types.task.task_struct, "tasks")
+            .unwrap();
+    let head = w.roots.init_task + tasks_off;
+    let nodes = structops::list_iter(&w.kb.mem, head);
+    (head, nodes)
+}
+
+/// The top rb_node of a CPU's CFS timeline, preferring `start_cpu` but
+/// falling back to any CPU with a non-empty tree.
+fn timeline_top(w: &Workload, start_cpu: u64) -> u64 {
+    let (timeline_off, _) =
+        w.kb.types
+            .field_path(w.types.sched.rq, "cfs.tasks_timeline.rb_root.rb_node")
+            .unwrap();
+    let ncpus = crate::sched::NR_CPUS;
+    for i in 0..ncpus {
+        let cpu = (start_cpu + i) % ncpus;
+        let slot = w.roots.rq_base + cpu * w.roots.rq_size + timeline_off;
+        let top = w.kb.mem.read_uint(slot, 8).unwrap();
+        if top != 0 {
+            return top;
+        }
+    }
+    panic!("no CPU has a populated CFS timeline");
+}
+
+/// The `mm_mt` tree address of a leader process.
+fn leader_tree(w: &Workload, idx: usize) -> u64 {
+    let leader = w.roots.leaders[idx % w.roots.leaders.len()];
+    let (mm_off, _) =
+        w.kb.types
+            .field_path(w.types.task.task_struct, "mm")
+            .unwrap();
+    let mm = w.kb.mem.read_uint(leader + mm_off, 8).unwrap();
+    let (mt_off, _) =
+        w.kb.types
+            .field_path(w.types.mm.mm_struct, "mm_mt")
+            .unwrap();
+    mm + mt_off
+}
+
+/// First leaf node under a maple root enode (the builder always has one).
+fn first_leaf(w: &Workload, root: u64) -> u64 {
+    let mut enode = root;
+    while !maple::ma_is_leaf(maple::mte_node_type(enode)) {
+        let node = maple::mte_to_node(enode);
+        let slot0 = node + 8 + 8 * (maple::MAPLE_ARANGE64_SLOTS - 1);
+        enode = w.kb.mem.read_uint(slot0, 8).unwrap();
+    }
+    maple::mte_to_node(enode)
+}
+
+/// Inject `kind` into the workload image, choosing the victim object with
+/// the seeded RNG. The image stays fully mapped (faults rewire pointers
+/// and values, they do not unmap pages), matching how real corruption
+/// looks to a stopped-kernel debugger.
+///
+/// # Panics
+///
+/// Panics if the workload lacks the structures the fault targets (the
+/// default config always has them).
+pub fn inject(w: &mut Workload, kind: FaultKind, seed: u64) -> InjectedFault {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa01_75ed);
+    match kind {
+        FaultKind::ListSnip => {
+            let (_, nodes) = tasks_list_nodes(w);
+            let victim = nodes[rng.gen_range(0..nodes.len())];
+            let prev = w.kb.mem.read_uint(victim + 8, 8).unwrap();
+            let next = w.kb.mem.read_uint(victim, 8).unwrap();
+            w.kb.mem.write_uint(prev, 8, next);
+            InjectedFault {
+                kind,
+                addr: prev,
+                note: format!("list_del half-done: {prev:#x}->next skips {victim:#x}"),
+            }
+        }
+        FaultKind::ListCrossLink => {
+            let (_, nodes) = tasks_list_nodes(w);
+            let i = rng.gen_range(1..nodes.len());
+            let j = rng.gen_range(0..i);
+            w.kb.mem.write_uint(nodes[i], 8, nodes[j]);
+            InjectedFault {
+                kind,
+                addr: nodes[i],
+                note: format!(
+                    "cross-link: {:#x}->next rewired back to {:#x}",
+                    nodes[i], nodes[j]
+                ),
+            }
+        }
+        FaultKind::RbColorSwap => {
+            let top = timeline_top(w, seed % crate::sched::NR_CPUS);
+            let reds: Vec<u64> = structops::rb_inorder(&w.kb.mem, top)
+                .into_iter()
+                .filter(|&n| {
+                    structops::rb_color(&w.kb.mem, n) == structops::RB_RED
+                        && structops::rb_parent(&w.kb.mem, n) != 0
+                })
+                .collect();
+            let child = reds[rng.gen_range(0..reds.len())];
+            let parent = structops::rb_parent(&w.kb.mem, child);
+            let pc = w.kb.mem.read_uint(parent, 8).unwrap();
+            w.kb.mem.write_uint(parent, 8, pc & !1); // black -> red
+            InjectedFault {
+                kind,
+                addr: parent,
+                note: format!("recolored {parent:#x} red above red child {child:#x}"),
+            }
+        }
+        FaultKind::RbParentCorrupt => {
+            let top = timeline_top(w, seed % crate::sched::NR_CPUS);
+            let inner: Vec<u64> = structops::rb_inorder(&w.kb.mem, top)
+                .into_iter()
+                .filter(|&n| structops::rb_parent(&w.kb.mem, n) != 0)
+                .collect();
+            let victim = inner[rng.gen_range(0..inner.len())];
+            let pc = w.kb.mem.read_uint(victim, 8).unwrap();
+            w.kb.mem.write_uint(victim, 8, pc & 3); // keep color, zero parent
+            InjectedFault {
+                kind,
+                addr: victim,
+                note: format!("zeroed stored parent of rb node {victim:#x}"),
+            }
+        }
+        FaultKind::MaplePivotCorrupt => {
+            let tree = leader_tree(w, rng.gen_range(0..w.roots.leaders.len()));
+            let (root_off, _) =
+                w.kb.types
+                    .field_path(w.types.maple.maple_tree, "ma_root")
+                    .unwrap();
+            let root = w.kb.mem.read_uint(tree + root_off, 8).unwrap();
+            assert!(maple::xa_is_node(root), "expected a multi-node tree");
+            let leaf = first_leaf(w, root);
+            w.kb.mem.write_uint(leaf + 8, 8, POISON_PIVOT);
+            InjectedFault {
+                kind,
+                addr: leaf + 8,
+                note: format!("poisoned pivot[0] of leaf {leaf:#x}"),
+            }
+        }
+        FaultKind::MapleEnodeDangle => {
+            let tree = leader_tree(w, rng.gen_range(0..w.roots.leaders.len()));
+            let (root_off, _) =
+                w.kb.types
+                    .field_path(w.types.maple.maple_tree, "ma_root")
+                    .unwrap();
+            let root = w.kb.mem.read_uint(tree + root_off, 8).unwrap();
+            let dangling = maple::mt_mk_node(DANGLING_NODE, maple::MapleType::Leaf64);
+            let addr = if maple::xa_is_node(root) && !maple::ma_is_leaf(maple::mte_node_type(root))
+            {
+                // Rewire the internal root's slot[0] to the freed node.
+                let node = maple::mte_to_node(root);
+                node + 8 + 8 * (maple::MAPLE_ARANGE64_SLOTS - 1)
+            } else {
+                // Single-level tree: dangle the root itself.
+                tree + root_off
+            };
+            w.kb.mem.write_uint(addr, 8, dangling);
+            InjectedFault {
+                kind,
+                addr,
+                note: format!("slot at {addr:#x} rewired to freed node {DANGLING_NODE:#x}"),
+            }
+        }
+        FaultKind::XarraySlotGarbage => {
+            let file = w.roots.test_txt_file;
+            let (map_off, _) =
+                w.kb.types
+                    .field_path(w.types.vfs.file, "f_mapping")
+                    .unwrap();
+            let mapping = w.kb.mem.read_uint(file + map_off, 8).unwrap();
+            let (ip_off, _) =
+                w.kb.types
+                    .field_path(w.types.vfs.address_space, "i_pages")
+                    .unwrap();
+            let (head_off, _) =
+                w.kb.types
+                    .field_path(w.types.vfs.address_space, "i_pages.xa_head")
+                    .unwrap();
+            let head = w.kb.mem.read_uint(mapping + head_off, 8).unwrap();
+            let addr = if head & 3 == 2 && head > 4096 {
+                let node = head & !3;
+                let def = w.kb.types.struct_def(w.types.page.xa_node).unwrap();
+                let slots_off = def.field("slots").unwrap().offset;
+                node + slots_off + 8 * rng.gen_range(0..64u64)
+            } else {
+                mapping + ip_off // degenerate cache: garbage the head itself
+            };
+            w.kb.mem.write_uint(addr, 8, 6); // node-tagged, implausibly small
+            InjectedFault {
+                kind,
+                addr,
+                note: format!("xarray slot at {addr:#x} overwritten with garbage 0x6"),
+            }
+        }
+        FaultKind::FdBitmapMismatch => {
+            let leader = w.roots.leaders[rng.gen_range(0..w.roots.leaders.len())];
+            let (files_off, _) =
+                w.kb.types
+                    .field_path(w.types.task.task_struct, "files")
+                    .unwrap();
+            let files = w.kb.mem.read_uint(leader + files_off, 8).unwrap();
+            let (bits_off, _) =
+                w.kb.types
+                    .field_path(w.types.fd.files_struct, "open_fds_init")
+                    .unwrap();
+            let bits = w.kb.mem.read_uint(files + bits_off, 8).unwrap();
+            // Claim a descriptor that was never opened.
+            let mut bit = rng.gen_range(0..64u64);
+            while bits >> bit & 1 == 1 {
+                bit = (bit + 1) % 64;
+            }
+            w.kb.mem.write_uint(files + bits_off, 8, bits | 1 << bit);
+            InjectedFault {
+                kind,
+                addr: files + bits_off,
+                note: format!("open_fds bit {bit} set with fd[{bit}] NULL"),
+            }
+        }
+        FaultKind::RefcountAbsurd => {
+            let leader = w.roots.leaders[rng.gen_range(0..w.roots.leaders.len())];
+            let (files_off, _) =
+                w.kb.types
+                    .field_path(w.types.task.task_struct, "files")
+                    .unwrap();
+            let files = w.kb.mem.read_uint(leader + files_off, 8).unwrap();
+            let open = crate::fdtable::open_files(&w.kb, &w.types.fd, files);
+            let file = open[rng.gen_range(0..open.len())];
+            let (fc_off, _) =
+                w.kb.types
+                    .field_path(w.types.vfs.file, "f_count.counter")
+                    .unwrap();
+            w.kb.mem.write_uint(file + fc_off, 8, 1 << 44);
+            InjectedFault {
+                kind,
+                addr: file + fc_off,
+                note: format!("f_count of {file:#x} blown to 2^44"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{self, WorkloadConfig};
+
+    #[test]
+    fn every_fault_injects_and_reports_its_class() {
+        for (i, kind) in ALL_FAULTS.iter().enumerate() {
+            let mut w = workload::build(&WorkloadConfig::default());
+            let f = inject(&mut w, *kind, i as u64);
+            assert_eq!(f.kind, *kind);
+            assert!(!f.note.is_empty());
+            assert!(!f.class().is_empty());
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        for kind in [FaultKind::ListSnip, FaultKind::MaplePivotCorrupt] {
+            let mut a = workload::build(&WorkloadConfig::default());
+            let mut b = workload::build(&WorkloadConfig::default());
+            let fa = inject(&mut a, kind, 7);
+            let fb = inject(&mut b, kind, 7);
+            assert_eq!(fa.addr, fb.addr);
+        }
+    }
+
+    #[test]
+    fn list_snip_leaves_backward_chain_intact() {
+        let mut w = workload::build(&WorkloadConfig::default());
+        let f = inject(&mut w, FaultKind::ListSnip, 3);
+        // The forward walk terminates (shorter), the prev chain still
+        // reaches every node.
+        let (tasks_off, _) =
+            w.kb.types
+                .field_path(w.types.task.task_struct, "tasks")
+                .unwrap();
+        let head = w.roots.init_task + tasks_off;
+        let fwd = structops::list_iter(&w.kb.mem, head);
+        assert_eq!(fwd.len() + 2, w.roots.all_tasks.len());
+        assert!(f.addr != 0);
+    }
+}

@@ -22,6 +22,7 @@
 pub mod block;
 pub mod buddy;
 pub mod common;
+pub mod faults;
 pub mod fdtable;
 pub mod image;
 pub mod ipc;

@@ -36,6 +36,9 @@ pub struct TargetStats {
     /// Round-trips avoided: requests served without any wire packet, plus
     /// packets merged away by read coalescing.
     pub packets_saved: u64,
+    /// Reads that faulted on unmapped memory — wild pointers chased by a
+    /// distiller or checker over a corrupted image.
+    pub faults: u64,
 }
 
 /// A batch of reads to be coalesced into minimal wire spans.
@@ -115,6 +118,7 @@ pub struct Target<'a> {
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
     packets_saved: Cell<u64>,
+    faults: Cell<u64>,
 }
 
 impl<'a> Target<'a> {
@@ -137,6 +141,7 @@ impl<'a> Target<'a> {
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
             packets_saved: Cell::new(0),
+            faults: Cell::new(0),
         }
     }
 
@@ -187,6 +192,7 @@ impl<'a> Target<'a> {
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
             packets_saved: self.packets_saved.get(),
+            faults: self.faults.get(),
         }
     }
 
@@ -198,6 +204,7 @@ impl<'a> Target<'a> {
         self.cache_hits.set(0);
         self.cache_misses.set(0);
         self.packets_saved.set(0);
+        self.faults.set(0);
     }
 
     fn account(&self, len: u64) {
@@ -209,6 +216,10 @@ impl<'a> Target<'a> {
 
     fn note_saved(&self, n: u64) {
         self.packets_saved.set(self.packets_saved.get() + n);
+    }
+
+    fn note_fault(&self) {
+        self.faults.set(self.faults.get() + 1);
     }
 
     /// Ensure every block overlapping `[addr, addr+len)` is resident,
@@ -260,9 +271,10 @@ impl<'a> Target<'a> {
             if cache.contains(base) {
                 cache.copy_from(base, off, &mut out[pos..pos + n]);
             } else {
-                self.mem
-                    .read(a, &mut out[pos..pos + n])
-                    .map_err(BridgeError::from)?;
+                self.mem.read(a, &mut out[pos..pos + n]).map_err(|e| {
+                    self.note_fault();
+                    BridgeError::from(e)
+                })?;
             }
             pos += n;
         }
@@ -285,7 +297,10 @@ impl<'a> Target<'a> {
         match self.cache {
             None => {
                 self.account(out.len() as u64);
-                self.mem.read(addr, out).map_err(BridgeError::from)
+                self.mem.read(addr, out).map_err(|e| {
+                    self.note_fault();
+                    BridgeError::from(e)
+                })
             }
             Some(c) => self.read_through_cache(c, addr, out),
         }
@@ -296,7 +311,10 @@ impl<'a> Target<'a> {
         match self.cache {
             None => {
                 self.account(size as u64);
-                self.mem.read_uint(addr, size).map_err(BridgeError::from)
+                self.mem.read_uint(addr, size).map_err(|e| {
+                    self.note_fault();
+                    BridgeError::from(e)
+                })
             }
             Some(c) => {
                 let mut buf = [0u8; 8];
@@ -311,7 +329,10 @@ impl<'a> Target<'a> {
         match self.cache {
             None => {
                 self.account(size as u64);
-                self.mem.read_int(addr, size).map_err(BridgeError::from)
+                self.mem.read_int(addr, size).map_err(|e| {
+                    self.note_fault();
+                    BridgeError::from(e)
+                })
             }
             Some(c) => {
                 let mut buf = [0u8; 8];
@@ -347,7 +368,10 @@ impl<'a> Target<'a> {
                 }
             }
         }
-        res.map_err(BridgeError::from)
+        res.map_err(|e| {
+            self.note_fault();
+            BridgeError::from(e)
+        })
     }
 
     /// Whether `addr` is mapped (metered as a 1-byte probe).
@@ -582,6 +606,7 @@ mod tests {
             target.read_uint(0xdead_0000_0000, 8),
             Err(BridgeError::Mem(_))
         ));
+        assert_eq!(target.stats().faults, 1, "wild read counted");
     }
 
     #[test]

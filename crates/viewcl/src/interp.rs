@@ -348,37 +348,35 @@ impl<'t, 'img> Interp<'t, 'img> {
         }
 
         let long_ty = self.target.types.find("long").expect("long interned");
-        let elems: Vec<CValue> = match kind {
-            CtorKind::List => stdlib::list_nodes(self.target, &cargs[0])?
+        let to_ints = |addrs: Vec<u64>| -> Vec<CValue> {
+            addrs
                 .into_iter()
                 .map(|a| CValue::Int {
                     value: a as i64,
                     ty: long_ty,
                 })
-                .collect(),
-            CtorKind::HList => stdlib::hlist_nodes(self.target, &cargs[0])?
-                .into_iter()
-                .map(|a| CValue::Int {
-                    value: a as i64,
-                    ty: long_ty,
-                })
-                .collect(),
-            CtorKind::RBTree => stdlib::rbtree_nodes(self.target, &cargs[0])?
-                .into_iter()
-                .map(|a| CValue::Int {
-                    value: a as i64,
-                    ty: long_ty,
-                })
-                .collect(),
-            CtorKind::Array => stdlib::array_elems(self.target, &cargs)?,
-            CtorKind::XArray => stdlib::xarray_entries(self.target, &cargs[0])?
-                .into_iter()
-                .map(|(_, e)| CValue::Int {
-                    value: e as i64,
-                    ty: long_ty,
-                })
-                .collect(),
+                .collect()
         };
+        let (elems, trunc): (Vec<CValue>, Option<stdlib::Truncation>) = match kind {
+            CtorKind::List => {
+                let (nodes, t) = stdlib::list_nodes(self.target, &cargs[0])?;
+                (to_ints(nodes), t)
+            }
+            CtorKind::HList => {
+                let (nodes, t) = stdlib::hlist_nodes(self.target, &cargs[0])?;
+                (to_ints(nodes), t)
+            }
+            CtorKind::RBTree => {
+                let (nodes, t) = stdlib::rbtree_nodes(self.target, &cargs[0])?;
+                (to_ints(nodes), t)
+            }
+            CtorKind::Array => stdlib::array_elems(self.target, &cargs)?,
+            CtorKind::XArray => {
+                let (entries, t) = stdlib::xarray_entries(self.target, &cargs[0])?;
+                (to_ints(entries.into_iter().map(|(_, e)| e).collect()), t)
+            }
+        };
+        let n_elems = elems.len();
         let ckind = match kind {
             CtorKind::HList => ContainerKind::Set,
             _ => ContainerKind::Sequence,
@@ -412,7 +410,35 @@ impl<'t, 'img> Interp<'t, 'img> {
                 }
             }
         }
+        if let Some(t) = trunc {
+            let what = match kind {
+                CtorKind::List => "List",
+                CtorKind::HList => "HList",
+                CtorKind::RBTree => "RBTree",
+                CtorKind::Array => "Array",
+                CtorKind::XArray => "XArray",
+            };
+            members.push(self.diag_box(&t.describe(what, n_elems), t.addr));
+        }
         Ok(Value::Seq(members, ckind))
+    }
+
+    /// A virtual diagnostic box appended to a truncated container so the
+    /// damage shows up in the plot itself.
+    fn diag_box(&mut self, msg: &str, addr: u64) -> BoxId {
+        let (id, _) = self.graph.intern(0, "Diag", "", 0);
+        let b = self.graph.get_mut(id);
+        b.attrs
+            .set("diagnostic", serde_json::Value::String(msg.to_string()));
+        b.views.push(ViewInst {
+            name: "default".into(),
+            items: vec![Item::Text {
+                name: "diagnostic".into(),
+                value: msg.to_string(),
+                raw: Some(addr as i64),
+            }],
+        });
+        id
     }
 
     /// A virtual single-text box used for containers of raw values

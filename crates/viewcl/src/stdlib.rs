@@ -3,14 +3,64 @@
 //! Each traversal reads raw target memory through the metered bridge, so
 //! container walks contribute to the Table 4 cost model exactly like
 //! GDB-driven walks do in the paper.
+//!
+//! All walks are corruption-tolerant: a cross-linked list, a dangling
+//! `->next`, or a freed maple node stops the walk with a [`Truncation`]
+//! instead of an error or an unbounded spin. The interpreter renders the
+//! truncation as a diagnostic box so a corrupted image still produces a
+//! plot — with the damage annotated — rather than no plot at all.
+
+use std::collections::HashSet;
 
 use ktypes::{CValue, TypeKind};
 use vbridge::{ReadPlan, Target};
 
 use crate::{Result, VclError};
 
-/// Upper bound on container traversal, to catch corrupted lists.
+/// Backstop bound on container traversal (visited-set cycle detection
+/// catches corruption long before this; the bound guards pathological
+/// images whose every node is distinct).
 const MAX_ELEMS: usize = 1_000_000;
+
+/// Why a container walk stopped before its natural end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncReason {
+    /// A node was visited twice without passing through the head — a
+    /// cross-link that bypasses the terminator.
+    Cycle,
+    /// A pointer led into unmapped memory (use-after-free, wild pointer).
+    Fault,
+    /// The `MAX_ELEMS` backstop fired.
+    Bound,
+}
+
+/// A truncated traversal: where and why the walk gave up. The elements
+/// collected up to that point are still returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Truncation {
+    /// What stopped the walk.
+    pub reason: TruncReason,
+    /// The offending address (revisited node, unreadable node, or the
+    /// last node examined).
+    pub addr: u64,
+}
+
+impl Truncation {
+    /// Human-readable diagnostic, e.g.
+    /// `List truncated after 4 elems: cycle back to 0x2000`.
+    pub fn describe(&self, what: &str, elems: usize) -> String {
+        let why = match self.reason {
+            TruncReason::Cycle => format!("cycle back to {:#x}", self.addr),
+            TruncReason::Fault => format!("unreadable memory at {:#x}", self.addr),
+            TruncReason::Bound => format!("element bound hit at {:#x}", self.addr),
+        };
+        format!("{what} truncated after {elems} elems: {why}")
+    }
+}
+
+/// Result of an xarray walk: `(index, entry)` pairs in ascending index
+/// order, plus the truncation diagnostic if the walk gave up early.
+pub type XarrayWalk = (Vec<(u64, u64)>, Option<Truncation>);
 
 fn addr_of(v: &CValue, what: &str) -> Result<u64> {
     v.address()
@@ -18,69 +68,170 @@ fn addr_of(v: &CValue, what: &str) -> Result<u64> {
         .ok_or_else(|| VclError::Eval(format!("{what}: expected an address, got {v:?}")))
 }
 
-/// Walk a circular `list_head`, returning node addresses (head excluded).
-pub fn list_nodes(target: &Target<'_>, head_val: &CValue) -> Result<Vec<u64>> {
+/// Walk a circular `list_head`, returning node addresses (head excluded)
+/// and a truncation note if the list is corrupted.
+pub fn list_nodes(
+    target: &Target<'_>,
+    head_val: &CValue,
+) -> Result<(Vec<u64>, Option<Truncation>)> {
     let head = addr_of(head_val, "List")?;
     let mut out = Vec::new();
-    let mut cur = target.read_uint(head, 8)?;
+    let mut seen = HashSet::new();
+    seen.insert(head);
+    let mut cur = match target.read_uint(head, 8) {
+        Ok(v) => v,
+        Err(_) => {
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Fault,
+                    addr: head,
+                }),
+            ))
+        }
+    };
     while cur != head && cur != 0 {
+        if !seen.insert(cur) {
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Cycle,
+                    addr: cur,
+                }),
+            ));
+        }
         out.push(cur);
         // The consumer is about to render the object embedding this
         // node: hint the bridge to pull the surrounding bytes (covers
         // the ->next hop below too). No-op on uncached targets.
         target.prefetch(cur, 128);
-        cur = target.read_uint(cur, 8)?;
-        if out.len() > MAX_ELEMS {
-            return Err(VclError::Eval(format!(
-                "List at {head:#x} does not terminate"
-            )));
+        let node = cur;
+        cur = match target.read_uint(cur, 8) {
+            Ok(v) => v,
+            Err(_) => {
+                return Ok((
+                    out,
+                    Some(Truncation {
+                        reason: TruncReason::Fault,
+                        addr: node,
+                    }),
+                ))
+            }
+        };
+        if out.len() >= MAX_ELEMS {
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Bound,
+                    addr: cur,
+                }),
+            ));
         }
     }
-    Ok(out)
+    Ok((out, None))
 }
 
-/// Walk an `hlist_head`, returning node addresses.
-pub fn hlist_nodes(target: &Target<'_>, head_val: &CValue) -> Result<Vec<u64>> {
+/// Walk an `hlist_head`, returning node addresses and a truncation note
+/// if the chain is corrupted.
+pub fn hlist_nodes(
+    target: &Target<'_>,
+    head_val: &CValue,
+) -> Result<(Vec<u64>, Option<Truncation>)> {
     let head = addr_of(head_val, "HList")?;
     let mut out = Vec::new();
-    let mut cur = target.read_uint(head, 8)?;
+    let mut seen = HashSet::new();
+    let mut cur = match target.read_uint(head, 8) {
+        Ok(v) => v,
+        Err(_) => {
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Fault,
+                    addr: head,
+                }),
+            ))
+        }
+    };
     while cur != 0 {
+        if !seen.insert(cur) {
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Cycle,
+                    addr: cur,
+                }),
+            ));
+        }
         out.push(cur);
         target.prefetch(cur, 128);
-        cur = target.read_uint(cur, 8)?;
-        if out.len() > MAX_ELEMS {
-            return Err(VclError::Eval(format!(
-                "HList at {head:#x} does not terminate"
-            )));
+        let node = cur;
+        cur = match target.read_uint(cur, 8) {
+            Ok(v) => v,
+            Err(_) => {
+                return Ok((
+                    out,
+                    Some(Truncation {
+                        reason: TruncReason::Fault,
+                        addr: node,
+                    }),
+                ))
+            }
+        };
+        if out.len() >= MAX_ELEMS {
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Bound,
+                    addr: cur,
+                }),
+            ));
         }
     }
-    Ok(out)
+    Ok((out, None))
 }
 
 /// In-order walk of a red-black tree. Accepts an `rb_root`,
-/// `rb_root_cached`, `rb_node *` or raw node address.
-pub fn rbtree_nodes(target: &Target<'_>, root_val: &CValue) -> Result<Vec<u64>> {
+/// `rb_root_cached`, `rb_node *` or raw node address. A parent-pointer
+/// cycle or an unreadable node truncates the walk.
+pub fn rbtree_nodes(
+    target: &Target<'_>,
+    root_val: &CValue,
+) -> Result<(Vec<u64>, Option<Truncation>)> {
     // Normalize to the top rb_node address.
     let top = match root_val {
         CValue::LValue { addr, ty } => {
             let name = target.types.tag_name(*ty).unwrap_or("");
             match name {
-                "rb_root_cached" | "rb_root" => target.read_uint(*addr, 8)?,
-                "rb_node" => *addr,
-                _ => target.read_uint(*addr, 8)?,
+                "rb_root_cached" | "rb_root" => target.read_uint(*addr, 8),
+                "rb_node" => Ok(*addr),
+                _ => target.read_uint(*addr, 8),
             }
         }
         CValue::Ptr { addr, ty } => {
             let pointee = target.types.pointee(*ty).ok();
             let name = pointee.and_then(|p| target.types.tag_name(p)).unwrap_or("");
             match name {
-                "rb_root_cached" | "rb_root" => target.read_uint(*addr, 8)?,
-                _ => *addr,
+                "rb_root_cached" | "rb_root" => target.read_uint(*addr, 8),
+                _ => Ok(*addr),
             }
         }
-        other => addr_of(other, "RBTree")?,
+        other => Ok(addr_of(other, "RBTree")?),
+    };
+    let top = match top {
+        Ok(t) => t,
+        Err(_) => {
+            let addr = addr_of(root_val, "RBTree").unwrap_or(0);
+            return Ok((
+                Vec::new(),
+                Some(Truncation {
+                    reason: TruncReason::Fault,
+                    addr,
+                }),
+            ));
+        }
     };
     let mut out = Vec::new();
+    let mut seen = HashSet::new();
     // Iterative in-order with an explicit stack (kernel trees can be deep).
     let mut stack: Vec<(u64, bool)> = if top == 0 { vec![] } else { vec![(top, false)] };
     while let Some((node, expanded)) = stack.pop() {
@@ -91,12 +242,32 @@ pub fn rbtree_nodes(target: &Target<'_>, root_val: &CValue) -> Result<Vec<u64>> 
             out.push(node);
             continue;
         }
+        if !seen.insert(node) {
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Cycle,
+                    addr: node,
+                }),
+            ));
+        }
         // The two child pointers are adjacent: batch them so the bridge
         // coalesces the pair into one wire span.
         let mut plan = ReadPlan::new();
         plan.add(node + 8, 8);
         plan.add(node + 16, 8);
-        let bufs = target.read_many(&plan)?;
+        let bufs = match target.read_many(&plan) {
+            Ok(b) => b,
+            Err(_) => {
+                return Ok((
+                    out,
+                    Some(Truncation {
+                        reason: TruncReason::Fault,
+                        addr: node,
+                    }),
+                ))
+            }
+        };
         let right = ktypes::read_uint(&bufs[0], 8);
         let left = ktypes::read_uint(&bufs[1], 8);
         if right != 0 {
@@ -107,14 +278,25 @@ pub fn rbtree_nodes(target: &Target<'_>, root_val: &CValue) -> Result<Vec<u64>> 
             stack.push((left, false));
         }
         if out.len() + stack.len() > MAX_ELEMS {
-            return Err(VclError::Eval("RBTree traversal exploded".into()));
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Bound,
+                    addr: node,
+                }),
+            ));
         }
     }
-    Ok(out)
+    Ok((out, None))
 }
 
-/// Elements of a C array lvalue, or of a `(pointer, length)` pair.
-pub fn array_elems(target: &Target<'_>, args: &[CValue]) -> Result<Vec<CValue>> {
+/// Elements of a C array lvalue, or of a `(pointer, length)` pair. An
+/// element load that faults truncates the result (the array may live in
+/// a freed node).
+pub fn array_elems(
+    target: &Target<'_>,
+    args: &[CValue],
+) -> Result<(Vec<CValue>, Option<Truncation>)> {
     match args {
         [CValue::LValue { addr, ty }] => match &target.types.get(*ty).kind {
             TypeKind::Array { elem, len } => {
@@ -123,9 +305,20 @@ pub fn array_elems(target: &Target<'_>, args: &[CValue]) -> Result<Vec<CValue>> 
                 target.prefetch(*addr, esz * *len);
                 let mut out = Vec::with_capacity(*len as usize);
                 for i in 0..*len {
-                    out.push(target.load(addr + esz * i, *elem)?);
+                    match target.load(addr + esz * i, *elem) {
+                        Ok(v) => out.push(v),
+                        Err(_) => {
+                            return Ok((
+                                out,
+                                Some(Truncation {
+                                    reason: TruncReason::Fault,
+                                    addr: addr + esz * i,
+                                }),
+                            ))
+                        }
+                    }
                 }
-                Ok(out)
+                Ok((out, None))
             }
             _ => Err(VclError::Eval(format!(
                 "Array: `{}` is not an array",
@@ -157,33 +350,56 @@ pub fn array_elems(target: &Target<'_>, args: &[CValue]) -> Result<Vec<CValue>> 
                     let esz = target.types.size_of(ty);
                     target.prefetch(base, esz * n);
                     for i in 0..n {
-                        out.push(target.load(base + esz * i, ty)?);
+                        match target.load(base + esz * i, ty) {
+                            Ok(v) => out.push(v),
+                            Err(_) => {
+                                return Ok((
+                                    out,
+                                    Some(Truncation {
+                                        reason: TruncReason::Fault,
+                                        addr: base + esz * i,
+                                    }),
+                                ))
+                            }
+                        }
                     }
                 }
                 _ => {
                     // Untyped: treat as an array of 8-byte words.
                     target.prefetch(base, 8 * n);
+                    let word_ty = target
+                        .types
+                        .find("unsigned long")
+                        .ok_or_else(|| VclError::Eval("u64 not interned".into()))?;
                     for i in 0..n {
-                        let v = target.read_uint(base + 8 * i, 8)?;
-                        out.push(CValue::Int {
-                            value: v as i64,
-                            ty: target
-                                .types
-                                .find("unsigned long")
-                                .ok_or_else(|| VclError::Eval("u64 not interned".into()))?,
-                        });
+                        match target.read_uint(base + 8 * i, 8) {
+                            Ok(v) => out.push(CValue::Int {
+                                value: v as i64,
+                                ty: word_ty,
+                            }),
+                            Err(_) => {
+                                return Ok((
+                                    out,
+                                    Some(Truncation {
+                                        reason: TruncReason::Fault,
+                                        addr: base + 8 * i,
+                                    }),
+                                ))
+                            }
+                        }
                     }
                 }
             }
-            Ok(out)
+            Ok((out, None))
         }
         _ => Err(VclError::Eval("Array takes 1 or 2 arguments".into())),
     }
 }
 
 /// Walk an xarray (`struct xarray` lvalue), yielding `(index, entry)` for
-/// every non-NULL stored entry.
-pub fn xarray_entries(target: &Target<'_>, xa_val: &CValue) -> Result<Vec<(u64, u64)>> {
+/// every non-NULL stored entry. Corrupted interior nodes truncate the
+/// walk rather than erroring.
+pub fn xarray_entries(target: &Target<'_>, xa_val: &CValue) -> Result<XarrayWalk> {
     let xa = addr_of(xa_val, "XArray")?;
     let xarray_ty = target
         .types
@@ -193,14 +409,25 @@ pub fn xarray_entries(target: &Target<'_>, xa_val: &CValue) -> Result<Vec<(u64, 
         .types
         .field_path(xarray_ty, "xa_head")
         .map_err(vbridge::BridgeError::from)?;
-    let head = target.read_uint(xa + head_off, 8)?;
     let mut out = Vec::new();
+    let head = match target.read_uint(xa + head_off, 8) {
+        Ok(h) => h,
+        Err(_) => {
+            return Ok((
+                out,
+                Some(Truncation {
+                    reason: TruncReason::Fault,
+                    addr: xa + head_off,
+                }),
+            ))
+        }
+    };
     if head == 0 {
-        return Ok(out);
+        return Ok((out, None));
     }
     if head & 3 != 2 || head <= 4096 {
         out.push((0, head));
-        return Ok(out);
+        return Ok((out, None));
     }
     let xa_node = target
         .types
@@ -215,15 +442,27 @@ pub fn xarray_entries(target: &Target<'_>, xa_val: &CValue) -> Result<Vec<(u64, 
         .field_path(xa_node, "slots")
         .map_err(vbridge::BridgeError::from)?;
 
-    fn walk(
-        target: &Target<'_>,
-        node: u64,
-        base: u64,
-        shift_off: u64,
-        slots_off: u64,
-        out: &mut Vec<(u64, u64)>,
-    ) -> Result<()> {
-        let shift = target.read_uint(node + shift_off, 1)?;
+    let mut seen = HashSet::new();
+    let mut stack: Vec<(u64, u64)> = vec![(head & !3, 0)];
+    let mut trunc = None;
+    while let Some((node, base)) = stack.pop() {
+        if !seen.insert(node) {
+            trunc = Some(Truncation {
+                reason: TruncReason::Cycle,
+                addr: node,
+            });
+            break;
+        }
+        let shift = match target.read_uint(node + shift_off, 1) {
+            Ok(s) => s,
+            Err(_) => {
+                trunc = Some(Truncation {
+                    reason: TruncReason::Fault,
+                    addr: node,
+                });
+                break;
+            }
+        };
         // All 64 slots will be inspected: hint the span, then batch the
         // slot reads so they coalesce into minimal wire packets.
         target.prefetch(node + slots_off, 8 * 64);
@@ -231,7 +470,16 @@ pub fn xarray_entries(target: &Target<'_>, xa_val: &CValue) -> Result<Vec<(u64, 
         for slot in 0..64u64 {
             plan.add(node + slots_off + 8 * slot, 8);
         }
-        let bufs = target.read_many(&plan)?;
+        let bufs = match target.read_many(&plan) {
+            Ok(b) => b,
+            Err(_) => {
+                trunc = Some(Truncation {
+                    reason: TruncReason::Fault,
+                    addr: node,
+                });
+                break;
+            }
+        };
         for slot in 0..64u64 {
             let entry = ktypes::read_uint(&bufs[slot as usize], 8);
             if entry == 0 {
@@ -239,15 +487,14 @@ pub fn xarray_entries(target: &Target<'_>, xa_val: &CValue) -> Result<Vec<(u64, 
             }
             let idx_base = base + (slot << shift);
             if entry & 3 == 2 && entry > 4096 && shift > 0 {
-                walk(target, entry & !3, idx_base, shift_off, slots_off, out)?;
+                stack.push((entry & !3, idx_base));
             } else {
                 out.push((idx_base, entry));
             }
         }
-        Ok(())
     }
-    walk(target, head & !3, 0, shift_off, slots_off, &mut out)?;
-    Ok(out)
+    out.sort_unstable_by_key(|&(idx, _)| idx);
+    Ok((out, trunc))
 }
 
 #[cfg(test)]
@@ -288,10 +535,11 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_list_is_detected_not_hung() {
+    fn corrupted_list_truncates_with_cycle_diagnostic() {
         let mut fx = fixture();
         // A list whose node points at itself (but is not the head): the
-        // bounded walk errors out instead of spinning.
+        // walk reports a cycle after the first element instead of
+        // spinning until the element bound.
         fx.kb.mem.map(0x1000, 16);
         fx.kb.mem.map(0x2000, 16);
         structops::list_init(&mut fx.kb.mem, 0x1000);
@@ -300,11 +548,17 @@ mod tests {
         fx.kb.mem.write_uint(0x2000, 8, 0x2000);
         let head = long_val(&fx, 0x1000);
         let t = target(&fx);
-        assert!(list_nodes(&t, &head).is_err(), "must not loop forever");
+        let (nodes, trunc) = list_nodes(&t, &head).unwrap();
+        assert_eq!(nodes, vec![0x2000]);
+        let trunc = trunc.expect("cycle must be flagged");
+        assert_eq!(trunc.reason, TruncReason::Cycle);
+        assert_eq!(trunc.addr, 0x2000);
+        // Detection costs O(cycle) reads, not O(MAX_ELEMS).
+        assert!(t.stats().reads < 10, "cycle found in a handful of reads");
     }
 
     #[test]
-    fn list_through_unmapped_node_reports_the_fault() {
+    fn list_through_unmapped_node_truncates_with_fault() {
         let mut fx = fixture();
         fx.kb.mem.map(0x1000, 16);
         structops::list_init(&mut fx.kb.mem, 0x1000);
@@ -312,10 +566,31 @@ mod tests {
         fx.kb.mem.write_uint(0x1000, 8, 0xdead_0000);
         let head = long_val(&fx, 0x1000);
         let t = target(&fx);
-        match list_nodes(&t, &head) {
-            Err(VclError::Bridge(vbridge::BridgeError::Mem(_))) => {}
-            other => panic!("expected a memory fault, got {other:?}"),
+        let (nodes, trunc) = list_nodes(&t, &head).unwrap();
+        // The dangling node is still surfaced (its fields will render as
+        // errors), and the truncation names it.
+        assert_eq!(nodes, vec![0xdead_0000]);
+        let trunc = trunc.expect("fault must be flagged");
+        assert_eq!(trunc.reason, TruncReason::Fault);
+        assert_eq!(trunc.addr, 0xdead_0000);
+        assert!(t.stats().faults >= 1, "the wild read is metered");
+    }
+
+    #[test]
+    fn cross_linked_rbtree_truncates_with_cycle() {
+        let mut fx = fixture();
+        // Three nodes; right child of the root points back at the root.
+        for a in [0x5000u64, 0x5020, 0x5040] {
+            fx.kb.mem.map(a, 24);
         }
+        fx.kb.mem.write_uint(0x5000 + 16, 8, 0x5020); // root.left
+        fx.kb.mem.write_uint(0x5000 + 8, 8, 0x5040); // root.right
+        fx.kb.mem.write_uint(0x5040 + 8, 8, 0x5000); // right.right -> root!
+        let t = target(&fx);
+        let root = long_val(&fx, 0x5000);
+        let (nodes, trunc) = rbtree_nodes(&t, &root).unwrap();
+        assert!(nodes.len() <= 3);
+        assert_eq!(trunc.unwrap().reason, TruncReason::Cycle);
     }
 
     #[test]
@@ -337,9 +612,37 @@ mod tests {
             value: 3,
             ty: u64_ty,
         };
-        let elems = array_elems(&t, &[ptr, len]).unwrap();
+        let (elems, trunc) = array_elems(&t, &[ptr, len]).unwrap();
+        assert!(trunc.is_none());
         let got: Vec<i64> = elems.iter().filter_map(|e| e.as_int()).collect();
         assert_eq!(got, vec![100, 101, 102]);
+    }
+
+    #[test]
+    fn array_into_unmapped_memory_truncates() {
+        let mut fx = fixture();
+        // The array straddles a page boundary with the tail page unmapped:
+        // only the first 2 of 4 claimed elements are readable.
+        let base = 0x5000 - 16;
+        fx.kb.mem.map(0x4000, 4096);
+        fx.kb.mem.write_uint(base, 8, 1);
+        fx.kb.mem.write_uint(base + 8, 8, 2);
+        let t = target(&fx);
+        let u64_ty = t.types.find("unsigned long").unwrap();
+        let pty = t.types.find_pointer_to(u64_ty).unwrap();
+        let ptr = CValue::Ptr {
+            addr: base,
+            ty: pty,
+        };
+        let len = CValue::Int {
+            value: 4,
+            ty: u64_ty,
+        };
+        let (elems, trunc) = array_elems(&t, &[ptr, len]).unwrap();
+        assert_eq!(elems.len(), 2);
+        let trunc = trunc.unwrap();
+        assert_eq!(trunc.reason, TruncReason::Fault);
+        assert_eq!(trunc.addr, 0x5000);
     }
 
     #[test]
@@ -352,7 +655,9 @@ mod tests {
             addr: 0x5000,
             ty: root_ty,
         };
-        assert_eq!(rbtree_nodes(&t, &root).unwrap(), Vec::<u64>::new());
+        let (nodes, trunc) = rbtree_nodes(&t, &root).unwrap();
+        assert_eq!(nodes, Vec::<u64>::new());
+        assert!(trunc.is_none());
     }
 
     #[test]
@@ -367,8 +672,9 @@ mod tests {
         }
         let head = long_val(&fx, 0x1000);
         let t = target(&fx);
-        let nodes = list_nodes(&t, &head).unwrap();
+        let (nodes, trunc) = list_nodes(&t, &head).unwrap();
         assert_eq!(nodes.len(), 5);
+        assert!(trunc.is_none());
         // One read per hop (5 nodes + the head re-entry) at minimum.
         assert!(t.stats().reads >= 6);
     }

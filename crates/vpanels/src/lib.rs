@@ -170,6 +170,23 @@ impl Session {
         }
     }
 
+    /// Mutable access to the graph displayed by a pane (secondary panes
+    /// resolve through their origin). Used by annotating commands such
+    /// as `vcheck` that decorate boxes in place.
+    pub fn graph_of_mut(&mut self, id: PaneId) -> Option<&mut Graph> {
+        let mut id = id;
+        loop {
+            match self.panes.get(&id)? {
+                PaneContent::Primary { .. } => break,
+                PaneContent::Secondary { origin, .. } => id = *origin,
+            }
+        }
+        match self.panes.get_mut(&id) {
+            Some(PaneContent::Primary { graph, .. }) => Some(graph),
+            _ => None,
+        }
+    }
+
     /// Number of panes.
     pub fn len(&self) -> usize {
         self.panes.len()

@@ -1,0 +1,67 @@
+//! Property: under any fault-injection sequence at any seed, every
+//! distiller terminates without panicking, ViewQL `REACHABLE()` queries
+//! terminate, and the `vcheck` sweep flags each injected fault class.
+
+use std::collections::HashSet;
+
+use ksim::faults::{self, ALL_FAULTS};
+use ksim::workload::{build, WorkloadConfig};
+use proptest::prelude::*;
+use vbridge::LatencyProfile;
+use visualinux::Session;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn distillers_and_queries_survive_any_fault_mix(
+        picks in proptest::collection::vec(0..ALL_FAULTS.len(), 1..4),
+        seed in 0u64..64,
+    ) {
+        // Inject at most one fault per checker class (stacking faults of
+        // the same class can make the second injection's own victim
+        // selection chase the first corruption).
+        let mut w = build(&WorkloadConfig::default());
+        let mut classes: HashSet<&'static str> = HashSet::new();
+        for (i, p) in picks.iter().enumerate() {
+            let kind = ALL_FAULTS[*p];
+            if !classes.insert(kind.class()) {
+                continue;
+            }
+            faults::inject(&mut w, kind, seed.wrapping_add(i as u64));
+        }
+
+        let mut s = Session::attach(w, LatencyProfile::free());
+        // Every figure distiller family terminates and plots: lists +
+        // rbtree (fig3-4 children, fig7-1 timeline), maple tree +
+        // xarray + fd tables (fig9-2, fig12-3).
+        for fig in ["fig3-4", "fig7-1", "fig9-2", "fig12-3"] {
+            let pane = s.vplot_figure(fig);
+            prop_assert!(pane.is_ok(), "{fig} must plot: {:?}", pane.err());
+        }
+        // REACHABLE() over the corrupted plots terminates.
+        let report = s.vcheck_scoped(
+            vpanels::PaneId(0),
+            "t = SELECT task_struct FROM *\nr = SELECT mm_struct FROM REACHABLE(t)",
+        );
+        prop_assert!(report.is_ok(), "{:?}", report.err());
+
+        // The full sweep flags every injected class.
+        let sweep = s.vcheck();
+        for class in classes {
+            prop_assert!(
+                sweep.count_of(class) >= 1,
+                "class `{class}` not flagged (seed {seed}): {}",
+                sweep.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn clean_images_stay_clean_at_any_seed(seed in 0u64..256) {
+        let w = build(&WorkloadConfig { seed, ..Default::default() });
+        let s = Session::attach(w, LatencyProfile::free());
+        let report = s.vcheck();
+        prop_assert!(report.is_clean(), "seed {seed}: {}", report.summary());
+    }
+}
