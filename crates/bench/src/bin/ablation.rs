@@ -108,7 +108,109 @@ t = Task(${current_task})
 plot @t
 "#;
 
+/// `--trace` mode: rerun the ablation plots with vtrace on and show
+/// where the saved packets come from, stage by stage (exclusive spans).
+/// Fails (exit 1) if any plot's stage rows stop summing to its
+/// `TargetStats` aggregates bit-for-bit. Chrome trace JSON goes to
+/// `$VTRACE_OUT` (default `ablation-trace.json`).
+fn run_trace() {
+    use vtrace::{Counters, SpanKind};
+
+    let mut session = attach(LatencyProfile::gdb_qemu());
+    session.enable_tracing();
+    println!("Ablation (--trace): per-stage attribution, QEMU profile (virtual time)\n");
+    let t = TablePrinter::new(&[30, 10, 12, 9, 11, 8]);
+    t.row(
+        &[
+            "configuration",
+            "walk-ms",
+            "distill-ms",
+            "rest-ms",
+            "total-ms",
+            "pkts",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut drift: Vec<String> = Vec::new();
+    let plots = [
+        ("prune OFF (all 31 fields)", UNPRUNED_TASKS),
+        ("prune ON  (paper's 4 fields)", PRUNED_TASKS),
+        ("flatten OFF (5 hops plotted)", UNFLATTENED_SOCKETS),
+        ("flatten ON  (1 dot-path link)", FLATTENED_SOCKETS),
+        (
+            "distill (fig9-2 maple tree)",
+            visualinux::figures::by_id("fig9-2").unwrap().viewcl,
+        ),
+    ];
+    for (name, src) in plots {
+        let pane = session.vplot(src).expect("plot");
+        let stats = session.plot_stats(pane).unwrap().target;
+        let trace = session.vtrace(pane).expect("tracing is on");
+        if let Err(e) = trace.check_well_formed() {
+            drift.push(format!("{name}: ill-formed span tree: {e}"));
+        }
+        let mut walk = Counters::default();
+        let mut distill = Counters::default();
+        let mut rest = Counters::default();
+        for sp in trace.flatten() {
+            let own = sp.own();
+            match sp.kind {
+                SpanKind::Interp => walk = walk.plus(own),
+                SpanKind::Distill => distill = distill.plus(own),
+                _ => rest = rest.plus(own),
+            }
+        }
+        let tot = trace.totals();
+        if walk.plus(distill).plus(rest) != tot {
+            drift.push(format!("{name}: stage sum != span totals"));
+        }
+        let from_stats = Counters {
+            packets: stats.reads,
+            bytes: stats.bytes,
+            virtual_ns: stats.virtual_ns,
+            cache_hits: stats.cache_hits,
+            faults: stats.faults,
+        };
+        if tot != from_stats {
+            drift.push(format!(
+                "{name}: span totals {tot:?} != TargetStats {from_stats:?}"
+            ));
+        }
+        t.row(&[
+            name.to_string(),
+            format!("{:.2}", ms(walk.virtual_ns)),
+            format!("{:.2}", ms(distill.virtual_ns)),
+            format!("{:.2}", ms(rest.virtual_ns)),
+            format!("{:.2}", ms(tot.virtual_ns)),
+            format!("{}", tot.packets),
+        ]);
+    }
+    t.sep();
+
+    let out = std::env::var("VTRACE_OUT").unwrap_or_else(|_| "ablation-trace.json".to_string());
+    std::fs::write(&out, session.export_chrome_trace()).expect("write chrome trace");
+    println!("\nchrome trace:   {out}");
+    if drift.is_empty() {
+        println!(
+            "reconciliation: all {} plots match TargetStats bit-for-bit [clean]",
+            plots.len()
+        );
+    } else {
+        eprintln!("\nTRACE/STAT RECONCILIATION DRIFT:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--trace") {
+        return run_trace();
+    }
     println!("Ablation: the prune / flatten / distill operators (§2.1)\n");
     let t = TablePrinter::new(&[34, 9, 8, 8, 9]);
     t.row(&["configuration", "objects", "texts", "reads", "ms(qemu)"].map(String::from));

@@ -51,7 +51,118 @@ fn measure_cached(profile: LatencyProfile) -> Vec<(f64, f64, u64)> {
         .collect()
 }
 
+/// `--trace` mode: replot every Table-4 figure with vtrace on and print
+/// the per-stage cost attribution (exclusive spans, grouped by stage).
+/// The stage rows of each figure must sum to its aggregate columns
+/// *bit-for-bit* — same integer nanoseconds, packets, bytes, cache hits
+/// and faults as `TargetStats` — or the run fails. The full span forest
+/// is written as Chrome `trace_event` JSON to `$VTRACE_OUT`
+/// (default `table4-trace.json`).
+fn run_trace() {
+    use vtrace::{Counters, SpanKind};
+
+    let mut session = attach(LatencyProfile::kgdb_rpi400());
+    session.enable_tracing();
+    println!("Table 4 (--trace): per-stage attribution, KGDB profile (virtual time)\n");
+    let t = TablePrinter::new(&[11, 10, 10, 10, 9, 11, 8, 6]);
+    t.row(
+        &[
+            "figure",
+            "parse-ms",
+            "walk-ms",
+            "distill-ms",
+            "rest-ms",
+            "total-ms",
+            "pkts",
+            "flt",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>(),
+    );
+    t.sep();
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut drift: Vec<String> = Vec::new();
+    for id in TABLE4_FIGURES {
+        let pane = session.vplot_figure(id).expect("figure extracts");
+        let stats = session.plot_stats(pane).unwrap().target;
+        let trace = session.vtrace(pane).expect("tracing is on");
+        if let Err(e) = trace.check_well_formed() {
+            drift.push(format!("{id}: ill-formed span tree: {e}"));
+        }
+
+        // Exclusive (own) cost per pipeline stage.
+        let mut parse = Counters::default();
+        let mut walk = Counters::default();
+        let mut distill = Counters::default();
+        let mut rest = Counters::default();
+        for sp in trace.flatten() {
+            let own = sp.own();
+            match sp.kind {
+                SpanKind::Parse => parse = parse.plus(own),
+                SpanKind::Interp => walk = walk.plus(own),
+                SpanKind::Distill => distill = distill.plus(own),
+                _ => rest = rest.plus(own),
+            }
+        }
+        let sum = parse.plus(walk).plus(distill).plus(rest);
+
+        // Bit-for-bit reconciliation: stage rows vs the span-tree root
+        // vs the bridge's own TargetStats.
+        let tot = trace.totals();
+        if sum != tot {
+            drift.push(format!("{id}: stage sum {sum:?} != span totals {tot:?}"));
+        }
+        let from_stats = Counters {
+            packets: stats.reads,
+            bytes: stats.bytes,
+            virtual_ns: stats.virtual_ns,
+            cache_hits: stats.cache_hits,
+            faults: stats.faults,
+        };
+        if tot != from_stats {
+            drift.push(format!(
+                "{id}: span totals {tot:?} != TargetStats {from_stats:?}"
+            ));
+        }
+
+        t.row(&[
+            id.to_string(),
+            format!("{:.2}", ms(parse.virtual_ns)),
+            format!("{:.1}", ms(walk.virtual_ns)),
+            format!("{:.1}", ms(distill.virtual_ns)),
+            format!("{:.2}", ms(rest.virtual_ns)),
+            format!("{:.1}", ms(tot.virtual_ns)),
+            format!("{}", tot.packets),
+            format!("{}", tot.faults),
+        ]);
+    }
+    t.sep();
+
+    let out = std::env::var("VTRACE_OUT").unwrap_or_else(|_| "table4-trace.json".to_string());
+    std::fs::write(&out, session.export_chrome_trace()).expect("write chrome trace");
+    println!("\nchrome trace:   {out} (load in chrome://tracing or ui.perfetto.dev)");
+
+    if drift.is_empty() {
+        println!(
+            "reconciliation: all {} figures' per-stage rows sum to their \
+             aggregates bit-for-bit [clean]",
+            TABLE4_FIGURES.len()
+        );
+    } else {
+        eprintln!("\nTRACE/STAT RECONCILIATION DRIFT:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--trace") {
+        return run_trace();
+    }
     let no_cache = std::env::args().any(|a| a == "--no-cache");
     println!("Table 4: performance of plotting the ULK figures (virtual time)\n");
     let qemu = measure(LatencyProfile::gdb_qemu());

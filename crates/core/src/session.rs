@@ -1,12 +1,15 @@
 //! The interactive debugging session and its v-commands (§4).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use ksim::workload::{AllTypes, Workload, WorkloadRoots};
 use ksim::KernelImage;
 use vbridge::{BlockCache, CacheConfig, HelperRegistry, LatencyProfile, Target, TargetStats};
 use vgraph::{Graph, GraphStats};
 use vpanels::{FocusHit, PaneId, SplitDir};
+use vtrace::{SpanKind, TraceSpan, Tracer};
 
 /// Errors surfaced by session operations.
 #[derive(Debug)]
@@ -118,6 +121,10 @@ pub struct Session {
     cache: Option<BlockCache>,
     panes: Option<vpanels::Session>,
     stats: HashMap<PaneId, PlotStats>,
+    tracer: Option<Rc<Tracer>>,
+    /// Per-pane span trees (extraction + later refinements/renders).
+    /// Interior-mutable so `&self` render paths can record their spans.
+    traces: RefCell<HashMap<PaneId, TraceSpan>>,
 }
 
 impl Session {
@@ -136,6 +143,8 @@ impl Session {
             cache: None,
             panes: None,
             stats: HashMap::new(),
+            tracer: None,
+            traces: RefCell::new(HashMap::new()),
         }
     }
 
@@ -186,10 +195,54 @@ impl Session {
         self.profile = profile;
     }
 
+    /// Turn on vtrace span recording for this session. Idempotent;
+    /// returns the (shared) tracer so callers can read the wire log or
+    /// drain finished spans directly.
+    pub fn enable_tracing(&mut self) -> Rc<Tracer> {
+        if self.tracer.is_none() {
+            self.tracer = Some(Rc::new(Tracer::new()));
+        }
+        self.tracer.clone().expect("just set")
+    }
+
+    /// Whether vtrace recording is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The session tracer, if tracing is enabled.
+    pub fn tracer(&self) -> Option<&Rc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// *vtrace*: the recorded span tree of a pane — a synthetic `pane`
+    /// root whose children are the extraction and every traced
+    /// refinement/render applied since. `None` when tracing was off or
+    /// the pane has no plot.
+    pub fn vtrace(&self, pane: PaneId) -> Option<TraceSpan> {
+        self.traces.borrow().get(&pane).cloned()
+    }
+
+    /// Pop the most recent finished top-level span (e.g. the `extract`
+    /// span of a bare [`Session::extract`] call, which has no pane to
+    /// land on).
+    pub fn take_last_trace(&self) -> Option<TraceSpan> {
+        self.tracer.as_ref().and_then(|t| t.take_last_finished())
+    }
+
+    /// Export every recorded pane trace as Chrome `trace_event` JSON
+    /// (load in `chrome://tracing` or Perfetto; one tid per pane).
+    pub fn export_chrome_trace(&self) -> String {
+        let traces = self.traces.borrow();
+        let mut panes: Vec<(&PaneId, &TraceSpan)> = traces.iter().collect();
+        panes.sort_by_key(|(p, _)| p.0);
+        vtrace::chrome_trace(panes.into_iter().map(|(p, s)| (p.0 as u64, s)))
+    }
+
     /// Build a bridge target over the attached image (cached when the
     /// session has a block cache).
     fn target(&self) -> Target<'_> {
-        match &self.cache {
+        let mut target = match &self.cache {
             None => Target::new(
                 &self.img.mem,
                 &self.img.types,
@@ -203,17 +256,36 @@ impl Session {
                 self.profile,
                 cache,
             ),
+        };
+        if let Some(t) = &self.tracer {
+            target.set_tracer(t.clone());
         }
+        target
     }
 
     /// Evaluate a ViewCL program against the stopped kernel, producing a
     /// graph, without creating a pane. Returns the graph and its stats.
     pub fn extract(&self, viewcl_src: &str) -> Result<(Graph, PlotStats)> {
-        let program = viewcl::parse_program(viewcl_src)?;
+        self.extract_labeled(viewcl_src, "extract")
+    }
+
+    /// [`Session::extract`] with a span label (the figure id for library
+    /// plots). The root `extract` span covers the whole pipeline; parse
+    /// and interp get child spans, distillers nest inside interp.
+    fn extract_labeled(&self, viewcl_src: &str, label: &str) -> Result<(Graph, PlotStats)> {
+        let tracer = self.tracer.as_ref();
+        let _root = vtrace::span(tracer, SpanKind::Extract, label);
+        let program = {
+            let _s = vtrace::span(tracer, SpanKind::Parse, "viewcl::parse");
+            viewcl::parse_program(viewcl_src)?
+        };
         let target = self.target();
-        let mut interp = viewcl::Interp::new(&target, &self.helpers);
-        interp.run(&program)?;
-        let graph = interp.into_graph();
+        let graph = {
+            let _s = vtrace::span(tracer, SpanKind::Interp, "interp::run");
+            let mut interp = viewcl::Interp::new(&target, &self.helpers);
+            interp.run(&program)?;
+            interp.into_graph()
+        };
         let stats = PlotStats {
             graph: GraphStats::of(&graph),
             target: target.stats(),
@@ -221,11 +293,39 @@ impl Session {
         Ok((graph, stats))
     }
 
+    /// Fold a finished top-level span into the pane's trace record,
+    /// creating the synthetic per-pane root on first use.
+    fn absorb_into_pane(&self, pane: PaneId, span: TraceSpan) {
+        let mut traces = self.traces.borrow_mut();
+        match traces.get_mut(&pane) {
+            Some(root) => root.absorb(span),
+            None => {
+                let mut root =
+                    TraceSpan::synthetic(SpanKind::Pane, format!("pane-{}", pane.0), span.start_ns);
+                root.absorb(span);
+                traces.insert(pane, root);
+            }
+        }
+    }
+
+    /// Move the tracer's most recent finished span onto `pane`.
+    fn record_trace(&self, pane: PaneId) {
+        if let Some(span) = self.take_last_trace() {
+            self.absorb_into_pane(pane, span);
+        }
+    }
+
     /// *vplot*: extract an object graph and display it on a new primary
     /// pane (the first plot creates the pane tree; later plots split).
     pub fn vplot(&mut self, viewcl_src: &str) -> Result<PaneId> {
-        let (graph, stats) = self.extract(viewcl_src)?;
-        self.adopt_graph(graph, Some(stats))
+        self.plot_labeled(viewcl_src, "extract")
+    }
+
+    fn plot_labeled(&mut self, viewcl_src: &str, label: &str) -> Result<PaneId> {
+        let (graph, stats) = self.extract_labeled(viewcl_src, label)?;
+        let pane = self.adopt_graph(graph, Some(stats))?;
+        self.record_trace(pane);
+        Ok(pane)
     }
 
     /// *vplot* with synthesized "naive" ViewCL (§4: *vplot* "can also
@@ -335,12 +435,28 @@ plot @root
     pub fn vplot_figure(&mut self, id: &str) -> Result<PaneId> {
         let fig = crate::figures::by_id(id)
             .ok_or_else(|| SessionError::NotFound(format!("figure `{id}`")))?;
-        self.vplot(fig.viewcl)
+        self.plot_labeled(fig.viewcl, &format!("extract {id}"))
     }
 
     /// *vctrl*: apply a ViewQL program to a pane.
     pub fn vctrl_refine(&mut self, pane: PaneId, viewql: &str) -> Result<()> {
-        self.panes_mut()?.refine(pane, viewql)?;
+        match self.tracer.clone() {
+            None => self.panes_mut()?.refine(pane, viewql)?,
+            Some(t) => {
+                // One Query span per program; the engine adds one Clause
+                // span per statement inside it.
+                let mut engine = vql::Engine::new();
+                engine.set_tracer(t.clone());
+                let res = {
+                    let _s =
+                        vtrace::span(Some(&t), SpanKind::Query, format!("viewql pane-{}", pane.0));
+                    self.panes_mut()
+                        .and_then(|p| Ok(p.refine_with(pane, viewql, &mut engine)?))
+                };
+                self.record_trace(pane);
+                res?;
+            }
+        }
         Ok(())
     }
 
@@ -349,6 +465,7 @@ plot @root
         let (graph, stats) = self.extract(viewcl_src)?;
         let new = self.panes_mut()?.split(pane, dir, graph)?;
         self.stats.insert(new, stats);
+        self.record_trace(new);
         Ok(new)
     }
 
@@ -384,6 +501,7 @@ plot @root
     /// the whole image — a full sweep from the well-known root symbols
     /// (`init_task`, `runqueues`, `super_blocks`, `slab_caches`).
     pub fn vcheck(&self) -> kcheck::Report {
+        let _s = vtrace::span(self.tracer.as_ref(), SpanKind::Check, "vcheck sweep");
         let target = self.target();
         kcheck::sweep(&target)
     }
@@ -457,19 +575,42 @@ plot @root
         self.stats.get(&pane).copied()
     }
 
+    /// Render a pane, recording a `render` span on the pane's trace.
+    /// Renders read no target memory, so the span is zero-cost in wire
+    /// terms — it exists to complete the pipeline attribution.
+    fn render_traced<R>(&self, pane: PaneId, name: &str, f: impl FnOnce(&Graph) -> R) -> Result<R> {
+        let graph = self.graph(pane)?;
+        match &self.tracer {
+            None => Ok(f(graph)),
+            Some(t) => {
+                let t = t.clone();
+                let out = {
+                    let _s = vtrace::span(Some(&t), SpanKind::Render, name);
+                    f(graph)
+                };
+                // Only a top-level render lands back on the pane; nested
+                // spans (inside an open extract) stay with their parent.
+                if let Some(span) = t.take_last_finished() {
+                    self.absorb_into_pane(pane, span);
+                }
+                Ok(out)
+            }
+        }
+    }
+
     /// Render a pane as text.
     pub fn render_text(&self, pane: PaneId) -> Result<String> {
-        Ok(vrender::to_text(self.graph(pane)?))
+        self.render_traced(pane, "render::text", vrender::to_text)
     }
 
     /// Render a pane as Graphviz DOT.
     pub fn render_dot(&self, pane: PaneId) -> Result<String> {
-        Ok(vrender::to_dot(self.graph(pane)?))
+        self.render_traced(pane, "render::dot", vrender::to_dot)
     }
 
     /// Render a pane as SVG.
     pub fn render_svg(&self, pane: PaneId) -> Result<String> {
-        Ok(vrender::to_svg(self.graph(pane)?))
+        self.render_traced(pane, "render::svg", vrender::to_svg)
     }
 
     /// Persist the pane tree.
@@ -670,5 +811,87 @@ plot @m
             s.vplot_figure("fig0-0"),
             Err(SessionError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn plot_stats_rates_are_zero_not_nan_on_empty_plots() {
+        // A plot with no kernel objects and no wire traffic must report
+        // 0 ms/object and 0 ms/KB, not NaN/inf from a zero denominator.
+        let empty = PlotStats {
+            graph: GraphStats::default(),
+            target: TargetStats::default(),
+        };
+        assert_eq!(empty.total_ms(), 0.0);
+        assert_eq!(empty.ms_per_object(), 0.0);
+        assert_eq!(empty.ms_per_kb(), 0.0);
+        // Nonzero time over zero objects (e.g. every chase faulted away)
+        // still may not divide by zero.
+        let timed = PlotStats {
+            graph: GraphStats::default(),
+            target: TargetStats {
+                virtual_ns: 1_000_000,
+                ..TargetStats::default()
+            },
+        };
+        assert!(timed.ms_per_object().is_finite());
+        assert!(timed.ms_per_kb().is_finite());
+        assert_eq!(timed.ms_per_object(), 0.0);
+        assert_eq!(timed.ms_per_kb(), 0.0);
+    }
+
+    #[test]
+    fn vtrace_reconciles_with_target_stats() {
+        let mut s = Session::attach(
+            build(&WorkloadConfig::default()),
+            LatencyProfile::kgdb_rpi400(),
+        );
+        assert!(!s.tracing_enabled());
+        assert!(s.vtrace(PaneId(0)).is_none());
+        s.enable_tracing();
+        assert!(s.tracing_enabled());
+
+        let pane = s.vplot_figure("fig3-4").unwrap();
+        let _ = s.render_text(pane).unwrap();
+        s.vctrl_refine(
+            pane,
+            "a = SELECT task_struct FROM * WHERE mm == NULL\nUPDATE a WITH collapsed: true",
+        )
+        .unwrap();
+
+        let trace = s.vtrace(pane).expect("pane trace recorded");
+        trace.check_well_formed().unwrap();
+
+        // The trace includes the extraction plus the (wire-silent) render
+        // and refine; its counters must reconcile with TargetStats
+        // exactly — same clock, mirrored increments, telescoping sums.
+        let target = s.plot_stats(pane).unwrap().target;
+        let tot = trace.totals();
+        assert_eq!(tot.packets, target.reads);
+        assert_eq!(tot.bytes, target.bytes);
+        assert_eq!(tot.virtual_ns, target.virtual_ns);
+        assert_eq!(tot.cache_hits, target.cache_hits);
+        assert_eq!(tot.faults, target.faults);
+        assert_eq!(trace.leaf_totals(), tot);
+
+        // The span tree shows the whole pipeline: extract with parse +
+        // interp children, distiller spans inside interp, plus the render
+        // and refine recorded afterwards.
+        let kinds: Vec<SpanKind> = trace.flatten().iter().map(|sp| sp.kind).collect();
+        for want in [
+            SpanKind::Extract,
+            SpanKind::Parse,
+            SpanKind::Interp,
+            SpanKind::Distill,
+            SpanKind::Render,
+            SpanKind::Query,
+        ] {
+            assert!(kinds.contains(&want), "missing {want:?} in {kinds:?}");
+        }
+
+        // Chrome export is valid JSON with one event per span.
+        let chrome = s.export_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        assert_eq!(events.len(), trace.flatten().len());
     }
 }

@@ -1,9 +1,11 @@
 //! The metered debug target.
 
 use std::cell::Cell;
+use std::rc::Rc;
 
 use kmem::{Mem, MemError, SymbolTable};
 use ktypes::{CValue, TypeId, TypeKind, TypeRegistry};
+use vtrace::Tracer;
 
 use crate::cache::BlockCache;
 use crate::profile::LatencyProfile;
@@ -119,6 +121,7 @@ pub struct Target<'a> {
     cache_misses: Cell<u64>,
     packets_saved: Cell<u64>,
     faults: Cell<u64>,
+    tracer: Option<Rc<Tracer>>,
 }
 
 impl<'a> Target<'a> {
@@ -142,6 +145,7 @@ impl<'a> Target<'a> {
             cache_misses: Cell::new(0),
             packets_saved: Cell::new(0),
             faults: Cell::new(0),
+            tracer: None,
         }
     }
 
@@ -183,6 +187,19 @@ impl<'a> Target<'a> {
         }
     }
 
+    /// Mirror every metered event into `tracer`: each wire packet, cache
+    /// hit and fault is reported as it happens, so the tracer's clock
+    /// advances in lock-step with [`Target::stats`] — the reconciliation
+    /// invariant the vtrace test suite checks bit-for-bit.
+    pub fn set_tracer(&mut self, tracer: Rc<Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Rc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
     /// Snapshot the access statistics.
     pub fn stats(&self) -> TargetStats {
         TargetStats {
@@ -207,19 +224,32 @@ impl<'a> Target<'a> {
         self.faults.set(0);
     }
 
-    fn account(&self, len: u64) {
+    fn account(&self, addr: u64, len: u64) {
+        let cost = self.profile.cost_ns(len);
         self.reads.set(self.reads.get() + 1);
         self.bytes.set(self.bytes.get() + len);
-        self.virtual_ns
-            .set(self.virtual_ns.get() + self.profile.cost_ns(len));
+        self.virtual_ns.set(self.virtual_ns.get() + cost);
+        if let Some(t) = &self.tracer {
+            t.on_wire_packet(addr, len, cost);
+        }
     }
 
     fn note_saved(&self, n: u64) {
         self.packets_saved.set(self.packets_saved.get() + n);
     }
 
-    fn note_fault(&self) {
+    fn note_hit(&self, addr: u64, len: u64) {
+        self.cache_hits.set(self.cache_hits.get() + 1);
+        if let Some(t) = &self.tracer {
+            t.on_cache_hit(addr, len);
+        }
+    }
+
+    fn note_fault(&self, addr: u64) {
         self.faults.set(self.faults.get() + 1);
+        if let Some(t) = &self.tracer {
+            t.on_fault(addr);
+        }
     }
 
     /// Ensure every block overlapping `[addr, addr+len)` is resident,
@@ -236,11 +266,11 @@ impl<'a> Target<'a> {
         let last = cache.base_of(addr + len - 1);
         while base <= last {
             if cache.contains(base) {
-                self.cache_hits.set(self.cache_hits.get() + 1);
+                self.note_hit(base, bs);
             } else {
                 let mut block = vec![0u8; bs as usize];
                 if self.mem.read(base, &mut block).is_ok() {
-                    self.account(bs);
+                    self.account(base, bs);
                     self.cache_misses.set(self.cache_misses.get() + 1);
                     cache.insert(base, block.into_boxed_slice());
                 } else {
@@ -248,7 +278,7 @@ impl<'a> Target<'a> {
                     // exact request (the serve path reports the fault).
                     let start = base.max(addr);
                     let end = (base + bs).min(addr + len);
-                    self.account(end - start);
+                    self.account(start, end - start);
                 }
                 packets += 1;
             }
@@ -272,7 +302,7 @@ impl<'a> Target<'a> {
                 cache.copy_from(base, off, &mut out[pos..pos + n]);
             } else {
                 self.mem.read(a, &mut out[pos..pos + n]).map_err(|e| {
-                    self.note_fault();
+                    self.note_fault(a);
                     BridgeError::from(e)
                 })?;
             }
@@ -296,9 +326,9 @@ impl<'a> Target<'a> {
     pub fn read(&self, addr: u64, out: &mut [u8]) -> Result<()> {
         match self.cache {
             None => {
-                self.account(out.len() as u64);
+                self.account(addr, out.len() as u64);
                 self.mem.read(addr, out).map_err(|e| {
-                    self.note_fault();
+                    self.note_fault(addr);
                     BridgeError::from(e)
                 })
             }
@@ -310,9 +340,9 @@ impl<'a> Target<'a> {
     pub fn read_uint(&self, addr: u64, size: usize) -> Result<u64> {
         match self.cache {
             None => {
-                self.account(size as u64);
+                self.account(addr, size as u64);
                 self.mem.read_uint(addr, size).map_err(|e| {
-                    self.note_fault();
+                    self.note_fault(addr);
                     BridgeError::from(e)
                 })
             }
@@ -328,9 +358,9 @@ impl<'a> Target<'a> {
     pub fn read_int(&self, addr: u64, size: usize) -> Result<i64> {
         match self.cache {
             None => {
-                self.account(size as u64);
+                self.account(addr, size as u64);
                 self.mem.read_int(addr, size).map_err(|e| {
-                    self.note_fault();
+                    self.note_fault(addr);
                     BridgeError::from(e)
                 })
             }
@@ -355,9 +385,11 @@ impl<'a> Target<'a> {
         match self.cache {
             None => {
                 let mut rem = fetched;
+                let mut off = 0u64;
                 while rem > 0 {
                     let n = rem.min(CSTR_CHUNK);
-                    self.account(n);
+                    self.account(addr + off, n);
+                    off += n;
                     rem -= n;
                 }
             }
@@ -369,14 +401,14 @@ impl<'a> Target<'a> {
             }
         }
         res.map_err(|e| {
-            self.note_fault();
+            self.note_fault(addr);
             BridgeError::from(e)
         })
     }
 
     /// Whether `addr` is mapped (metered as a 1-byte probe).
     pub fn is_mapped(&self, addr: u64) -> bool {
-        self.account(1);
+        self.account(addr, 1);
         self.mem.is_mapped(addr)
     }
 
@@ -403,7 +435,7 @@ impl<'a> Target<'a> {
         let span = end - start;
         let mut buf = vec![0u8; span as usize];
         if self.mem.read(start, &mut buf).is_ok() {
-            self.account(span);
+            self.account(start, span);
             self.cache_misses.set(self.cache_misses.get() + missing);
             let mut base = start;
             while base < end {
@@ -424,7 +456,7 @@ impl<'a> Target<'a> {
                 if !cache.contains(base) {
                     let mut block = vec![0u8; bs as usize];
                     if self.mem.read(base, &mut block).is_ok() {
-                        self.account(bs);
+                        self.account(base, bs);
                         self.cache_misses.set(self.cache_misses.get() + 1);
                         cache.insert(base, block.into_boxed_slice());
                         fetched += 1;
@@ -746,6 +778,48 @@ mod tests {
         let st = target.stats();
         assert_eq!(st.reads, 1);
         assert_eq!(st.bytes, s.len() as u64 + 1);
+    }
+
+    #[test]
+    fn tracer_clock_tracks_stats_exactly() {
+        use std::rc::Rc;
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let cache = BlockCache::new(CacheConfig::default());
+        let tracer = Rc::new(Tracer::new());
+        let mut target = Target::with_cache(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+            &cache,
+        );
+        target.set_tracer(tracer.clone());
+        // Exercise every metering path: cached reads (miss + hit), a
+        // coalesced plan, a cstr, a probe, and a wild fault.
+        let _ = target.read_uint(roots.init_task, 8).unwrap();
+        let _ = target.read_uint(roots.init_task, 8).unwrap();
+        let mut plan = ReadPlan::new();
+        plan.add(roots.init_task + 512, 8);
+        plan.add(roots.init_task + 520, 8);
+        let _ = target.read_many(&plan).unwrap();
+        let _ = target.read_cstr(roots.init_task + 0x10, 16);
+        let _ = target.is_mapped(roots.init_task);
+        let _ = target.read_uint(0xdead_0000_0000, 8);
+        let s = target.stats();
+        let c = tracer.clock();
+        assert_eq!(c.packets, s.reads);
+        assert_eq!(c.bytes, s.bytes);
+        assert_eq!(c.virtual_ns, s.virtual_ns);
+        assert_eq!(c.cache_hits, s.cache_hits);
+        assert_eq!(c.faults, s.faults);
+        // The wire log saw every packet and every hit.
+        assert!(tracer.wire_seen() >= s.reads + s.cache_hits);
+        let evs = tracer.wire_events();
+        assert_eq!(
+            evs.iter().filter(|e| !e.cache_hit && e.len > 0).count() as u64,
+            s.reads
+        );
+        assert!(evs.iter().any(|e| e.fault), "the wild read is flagged");
     }
 
     #[test]

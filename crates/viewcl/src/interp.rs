@@ -325,6 +325,21 @@ impl<'t, 'img> Interp<'t, 'img> {
         for_each: Option<&ForEach>,
         scope: &Scope,
     ) -> Result<Value> {
+        let ctor_name = match kind {
+            CtorKind::List => "List",
+            CtorKind::HList => "HList",
+            CtorKind::RBTree => "RBTree",
+            CtorKind::Array => "Array",
+            CtorKind::XArray => "XArray",
+        };
+        // One span per distiller invocation, labeled with the distiller
+        // and the root symbol path it walks. Inclusive of the per-element
+        // materialization below (nested ctors open nested spans).
+        let label = match args.first() {
+            Some(RValue::CExpr(src)) => format!("{ctor_name}({})", src.trim()),
+            _ => format!("{ctor_name}(…)"),
+        };
+        let _span = vtrace::span(self.target.tracer(), vtrace::SpanKind::Distill, label);
         let mut cargs = Vec::with_capacity(args.len());
         for a in args {
             match self.eval(a, scope)? {
@@ -411,14 +426,7 @@ impl<'t, 'img> Interp<'t, 'img> {
             }
         }
         if let Some(t) = trunc {
-            let what = match kind {
-                CtorKind::List => "List",
-                CtorKind::HList => "HList",
-                CtorKind::RBTree => "RBTree",
-                CtorKind::Array => "Array",
-                CtorKind::XArray => "XArray",
-            };
-            members.push(self.diag_box(&t.describe(what, n_elems), t.addr));
+            members.push(self.diag_box(&t.describe(ctor_name, n_elems), t.addr));
         }
         Ok(Value::Seq(members, ckind))
     }

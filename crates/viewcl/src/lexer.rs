@@ -285,4 +285,37 @@ mod tests {
         let t = toks("x = ${foo({1,2})}");
         assert_eq!(t[2], Tok::CExpr("foo({1,2})".into()));
     }
+
+    #[test]
+    fn crlf_input_lexes_like_lf() {
+        // Windows line endings: `\r` is plain whitespace, `\n` still
+        // advances the line counter, and a comment swallows its `\r`.
+        let unix = lex("a = @b\nplot @a\n").unwrap();
+        let dos = lex("a = @b\r\nplot @a\r\n").unwrap();
+        assert_eq!(
+            unix.iter().map(|s| &s.tok).collect::<Vec<_>>(),
+            dos.iter().map(|s| &s.tok).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            unix.iter().map(|s| s.line).collect::<Vec<_>>(),
+            dos.iter().map(|s| s.line).collect::<Vec<_>>()
+        );
+        let commented = lex("a = @b // trailing\r\nplot @a").unwrap();
+        let plot = commented
+            .iter()
+            .find(|s| matches!(&s.tok, Tok::Ident(i) if i == "plot"))
+            .unwrap();
+        assert_eq!(plot.line, 2);
+    }
+
+    #[test]
+    fn trailing_comment_without_newline_hits_eof_cleanly() {
+        let t = toks("plot @a // no newline after this comment");
+        assert_eq!(
+            t,
+            vec![Tok::Ident("plot".into()), Tok::AtRef("a".into()), Tok::Eof]
+        );
+        // A file that is nothing but a comment lexes to EOF alone.
+        assert_eq!(toks("// only a comment"), vec![Tok::Eof]);
+    }
 }

@@ -253,11 +253,23 @@ impl Session {
 
     /// *Refine*: apply a ViewQL program to a primary pane's graph.
     pub fn refine(&mut self, pane: PaneId, viewql: &str) -> Result<(), PanelError> {
+        let mut engine = vql::Engine::new();
+        self.refine_with(pane, viewql, &mut engine)
+    }
+
+    /// *Refine* with a caller-supplied engine, so the caller can
+    /// pre-configure it (e.g. attach a tracer) and inspect the bound
+    /// selection variables afterwards.
+    pub fn refine_with(
+        &mut self,
+        pane: PaneId,
+        viewql: &str,
+        engine: &mut vql::Engine,
+    ) -> Result<(), PanelError> {
         match self.panes.get_mut(&pane) {
             None => Err(PanelError::NoSuchPane(pane)),
             Some(PaneContent::Secondary { .. }) => Err(PanelError::NotPrimary(pane)),
             Some(PaneContent::Primary { graph, refinements }) => {
-                let mut engine = vql::Engine::new();
                 engine
                     .run(graph, viewql)
                     .map_err(|e| PanelError::Refine(e.to_string()))?;

@@ -1,8 +1,10 @@
 //! ViewQL execution over a [`vgraph::Graph`].
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use vgraph::{BoxId, Graph, Item};
+use vtrace::Tracer;
 
 use crate::parse::{Cond, Op, SelExpr, SetExpr, Source, Stmt, ValueLit};
 use crate::{Result, VqlError};
@@ -62,12 +64,19 @@ pub struct Engine {
     vars: HashMap<String, Selection>,
     member_names: Vec<String>,
     member_index: HashMap<String, u32>,
+    tracer: Option<Rc<Tracer>>,
 }
 
 impl Engine {
     /// Create an engine with no bound variables.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record one [`vtrace::SpanKind::Clause`] span per executed
+    /// statement on `tracer`.
+    pub fn set_tracer(&mut self, tracer: Rc<Tracer>) {
+        self.tracer = Some(tracer);
     }
 
     fn intern_member(&mut self, name: &str) -> u32 {
@@ -94,6 +103,11 @@ impl Engine {
     pub fn run(&mut self, graph: &mut Graph, src: &str) -> Result<()> {
         let stmts = crate::parse(src)?;
         for s in &stmts {
+            let _sp = vtrace::span(
+                self.tracer.as_ref(),
+                vtrace::SpanKind::Clause,
+                describe_stmt(s),
+            );
             self.exec(graph, s)?;
         }
         Ok(())
@@ -269,6 +283,31 @@ impl Engine {
                 a.dedup()
             }
         })
+    }
+}
+
+/// A one-line label for a clause span (what `vtrace` shows per clause).
+fn describe_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Select {
+            var, expr, source, ..
+        } => {
+            let member = expr
+                .member
+                .as_deref()
+                .map(|m| format!(".{m}"))
+                .unwrap_or_default();
+            let src = match source {
+                Source::All => "*".to_string(),
+                Source::Var(v) => v.clone(),
+                Source::Reachable(v) => format!("REACHABLE({v})"),
+            };
+            format!("{var} = SELECT {}{member} FROM {src}", expr.type_name)
+        }
+        Stmt::Update { attrs, .. } => {
+            let names: Vec<&str> = attrs.iter().map(|(n, _)| n.as_str()).collect();
+            format!("UPDATE … WITH {}", names.join(", "))
+        }
     }
 }
 

@@ -24,16 +24,33 @@ pub use parse::{parse, Cond, CondAtom, Op, SelExpr, SetExpr, Source, Stmt, Value
 /// Errors from parsing or executing ViewQL.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VqlError {
-    /// Syntax error.
-    Parse(String),
+    /// Syntax error, anchored at a byte offset into the program text.
+    Parse {
+        /// Byte offset of the offending token/character.
+        pos: usize,
+        /// What went wrong.
+        msg: String,
+    },
     /// Execution error (unknown variable, bad member, …).
     Exec(String),
+}
+
+impl VqlError {
+    /// The byte offset of a parse error (`None` for execution errors).
+    pub fn position(&self) -> Option<usize> {
+        match self {
+            VqlError::Parse { pos, .. } => Some(*pos),
+            VqlError::Exec(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for VqlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            VqlError::Parse(m) => write!(f, "viewql parse error: {m}"),
+            VqlError::Parse { pos, msg } => {
+                write!(f, "viewql parse error at byte {pos}: {msg}")
+            }
             VqlError::Exec(m) => write!(f, "viewql execution error: {m}"),
         }
     }

@@ -123,7 +123,15 @@ enum Tok {
     Eof,
 }
 
-fn lex(src: &str) -> Result<Vec<Tok>> {
+fn perr(pos: usize, msg: impl Into<String>) -> VqlError {
+    VqlError::Parse {
+        pos,
+        msg: msg.into(),
+    }
+}
+
+/// Lex into `(token, byte offset of its first character)` pairs.
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
     let b = src.as_bytes();
     let mut i = 0;
     let mut out = Vec::new();
@@ -141,7 +149,7 @@ fn lex(src: &str) -> Result<Vec<Tok>> {
                 while i < b.len() && matches!(b[i] as char, 'a'..='z'|'A'..='Z'|'0'..='9'|'_') {
                     i += 1;
                 }
-                out.push(Tok::Word(src[s..i].to_string()));
+                out.push((Tok::Word(src[s..i].to_string()), s));
             }
             '0'..='9' => {
                 let s = i;
@@ -151,29 +159,28 @@ fn lex(src: &str) -> Result<Vec<Tok>> {
                         i += 1;
                     }
                     let v = u64::from_str_radix(&src[s + 2..i], 16)
-                        .map_err(|_| VqlError::Parse("bad hex literal".into()))?;
-                    out.push(Tok::Num(v as i64));
+                        .map_err(|_| perr(s, "bad hex literal"))?;
+                    out.push((Tok::Num(v as i64), s));
                 } else {
                     while i < b.len() && (b[i] as char).is_ascii_digit() {
                         i += 1;
                     }
-                    let v: u64 = src[s..i]
-                        .parse()
-                        .map_err(|_| VqlError::Parse("bad literal".into()))?;
-                    out.push(Tok::Num(v as i64));
+                    let v: u64 = src[s..i].parse().map_err(|_| perr(s, "bad literal"))?;
+                    out.push((Tok::Num(v as i64), s));
                 }
             }
             '"' | '\'' => {
                 let quote = b[i];
+                let open = i;
                 i += 1;
                 let s = i;
                 while i < b.len() && b[i] != quote {
                     i += 1;
                 }
                 if i == b.len() {
-                    return Err(VqlError::Parse("unterminated string".into()));
+                    return Err(perr(open, "unterminated string"));
                 }
-                out.push(Tok::Str(src[s..i].to_string()));
+                out.push((Tok::Str(src[s..i].to_string()), open));
                 i += 1;
             }
             '<' if i + 1 < b.len() && b[i + 1] != b'=' => {
@@ -181,11 +188,12 @@ fn lex(src: &str) -> Result<Vec<Tok>> {
                 // language template left unexpanded; treat as a parse error
                 // with a good message (users must splice real addresses).
                 if b[i + 1].is_ascii_alphabetic() {
-                    return Err(VqlError::Parse(
-                        "unexpanded `<placeholder>`; splice a concrete value".into(),
+                    return Err(perr(
+                        i,
+                        "unexpanded `<placeholder>`; splice a concrete value",
                     ));
                 }
-                out.push(Tok::P("<"));
+                out.push((Tok::P("<"), i));
                 i += 1;
             }
             _ => {
@@ -199,7 +207,7 @@ fn lex(src: &str) -> Result<Vec<Tok>> {
                     _ => None,
                 };
                 if let Some(p) = p2 {
-                    out.push(Tok::P(p));
+                    out.push((Tok::P(p), i));
                     i += 2;
                     continue;
                 }
@@ -216,31 +224,36 @@ fn lex(src: &str) -> Result<Vec<Tok>> {
                     '\\' => "\\",
                     '&' => "&",
                     '|' => "|",
-                    _ => return Err(VqlError::Parse(format!("unexpected `{c}`"))),
+                    _ => return Err(perr(i, format!("unexpected `{c}`"))),
                 };
-                out.push(Tok::P(p));
+                out.push((Tok::P(p), i));
                 i += 1;
             }
         }
     }
-    out.push(Tok::Eof);
+    out.push((Tok::Eof, src.len()));
     Ok(out)
 }
 
 // ----------------------------------------------------------------- parser --
 
 struct P {
-    toks: Vec<Tok>,
+    toks: Vec<(Tok, usize)>,
     pos: usize,
 }
 
 impl P {
     fn peek(&self) -> &Tok {
-        &self.toks[self.pos]
+        &self.toks[self.pos].0
+    }
+
+    /// Byte offset of the current token (for error anchoring).
+    fn cur_pos(&self) -> usize {
+        self.toks[self.pos].1
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.toks[self.pos].clone();
+        let t = self.toks[self.pos].0.clone();
         if self.pos + 1 < self.toks.len() {
             self.pos += 1;
         }
@@ -266,9 +279,10 @@ impl P {
     }
 
     fn expect_word(&mut self) -> Result<String> {
+        let pos = self.cur_pos();
         match self.bump() {
             Tok::Word(w) => Ok(w),
-            t => Err(VqlError::Parse(format!("expected identifier, got {t:?}"))),
+            t => Err(perr(pos, format!("expected identifier, got {t:?}"))),
         }
     }
 
@@ -280,10 +294,15 @@ impl P {
             } else {
                 let var = self.expect_word()?;
                 if !self.eat_p("=") {
-                    return Err(VqlError::Parse(format!("expected `=` after `{var}`")));
+                    return Err(perr(self.cur_pos(), format!("expected `=` after `{var}`")));
                 }
                 if !self.eat_kw("SELECT") {
-                    return Err(VqlError::Parse("expected SELECT".into()));
+                    let pos = self.cur_pos();
+                    let msg = match self.peek() {
+                        Tok::Word(w) => format!("unknown clause `{w}` (expected SELECT)"),
+                        t => format!("expected SELECT, got {t:?}"),
+                    };
+                    return Err(perr(pos, msg));
                 }
                 out.push(self.select(var)?);
             }
@@ -292,14 +311,23 @@ impl P {
     }
 
     fn select(&mut self, var: String) -> Result<Stmt> {
+        let tpos = self.cur_pos();
         let type_name = self.expect_word()?;
+        // `SELECT FROM *` — the selector is missing, and the FROM keyword
+        // was swallowed as the "type name". Report it where it happened.
+        if type_name.eq_ignore_ascii_case("FROM") || type_name.eq_ignore_ascii_case("WHERE") {
+            return Err(perr(
+                tpos,
+                format!("empty selector: expected a type name before `{type_name}`"),
+            ));
+        }
         let member = if self.eat_p(".") || self.eat_p("->") {
             Some(self.expect_word()?)
         } else {
             None
         };
         if !self.eat_kw("FROM") {
-            return Err(VqlError::Parse("expected FROM".into()));
+            return Err(perr(self.cur_pos(), "expected FROM"));
         }
         let source = if self.eat_p("*") {
             Source::All
@@ -307,11 +335,11 @@ impl P {
             let w = self.expect_word()?;
             if w.eq_ignore_ascii_case("REACHABLE") {
                 if !self.eat_p("(") {
-                    return Err(VqlError::Parse("expected `(` after REACHABLE".into()));
+                    return Err(perr(self.cur_pos(), "expected `(` after REACHABLE"));
                 }
                 let v = self.expect_word()?;
                 if !self.eat_p(")") {
-                    return Err(VqlError::Parse("expected `)`".into()));
+                    return Err(perr(self.cur_pos(), "expected `)`"));
                 }
                 Source::Reachable(v)
             } else {
@@ -356,7 +384,7 @@ impl P {
         if member.eq_ignore_ascii_case("IS_INSIDE") && self.eat_p("(") {
             let var = self.expect_word()?;
             if !self.eat_p(")") {
-                return Err(VqlError::Parse("expected `)` after IS_INSIDE".into()));
+                return Err(perr(self.cur_pos(), "expected `)` after IS_INSIDE"));
             }
             return Ok(CondAtom::IsInside(var));
         }
@@ -364,6 +392,7 @@ impl P {
             member.push('.');
             member.push_str(&self.expect_word()?);
         }
+        let opos = self.cur_pos();
         let op = match self.bump() {
             Tok::P("==") => Op::Eq,
             Tok::P("!=") => Op::Ne,
@@ -371,13 +400,14 @@ impl P {
             Tok::P(">") => Op::Gt,
             Tok::P("<=") => Op::Le,
             Tok::P(">=") => Op::Ge,
-            t => return Err(VqlError::Parse(format!("expected comparison, got {t:?}"))),
+            t => return Err(perr(opos, format!("expected comparison, got {t:?}"))),
         };
         let value = self.value()?;
         Ok(CondAtom::Cmp { member, op, value })
     }
 
     fn value(&mut self) -> Result<ValueLit> {
+        let vpos = self.cur_pos();
         Ok(match self.bump() {
             Tok::Num(n) => ValueLit::Int(n),
             Tok::Str(s) => ValueLit::Str(s),
@@ -385,20 +415,23 @@ impl P {
             Tok::Word(w) if w == "true" => ValueLit::Int(1),
             Tok::Word(w) if w == "false" => ValueLit::Int(0),
             Tok::Word(w) => ValueLit::Str(w),
-            t => return Err(VqlError::Parse(format!("expected a value, got {t:?}"))),
+            t => return Err(perr(vpos, format!("expected a value, got {t:?}"))),
         })
     }
 
     fn update(&mut self) -> Result<Stmt> {
         let target = self.set_expr()?;
         if !self.eat_kw("WITH") {
-            return Err(VqlError::Parse("expected WITH".into()));
+            return Err(perr(self.cur_pos(), "expected WITH"));
         }
         let mut attrs = Vec::new();
         loop {
             let name = self.expect_word()?;
             if !self.eat_p(":") {
-                return Err(VqlError::Parse(format!("expected `:` after attr `{name}`")));
+                return Err(perr(
+                    self.cur_pos(),
+                    format!("expected `:` after attr `{name}`"),
+                ));
             }
             attrs.push((name, self.value()?));
             if !self.eat_p(",") {
@@ -434,11 +467,11 @@ impl P {
         let w = self.expect_word()?;
         if w.eq_ignore_ascii_case("REACHABLE") {
             if !self.eat_p("(") {
-                return Err(VqlError::Parse("expected `(` after REACHABLE".into()));
+                return Err(perr(self.cur_pos(), "expected `(` after REACHABLE"));
             }
             let v = self.expect_word()?;
             if !self.eat_p(")") {
-                return Err(VqlError::Parse("expected `)`".into()));
+                return Err(perr(self.cur_pos(), "expected `)`"));
             }
             return Ok(SetExpr::Reachable(v));
         }
@@ -550,8 +583,53 @@ mod tests {
     fn rejects_unexpanded_placeholders() {
         assert!(matches!(
             parse("a = SELECT x FROM * WHERE vma != <fetched_node_address>"),
-            Err(VqlError::Parse(_))
+            Err(VqlError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn unterminated_string_reports_opening_quote_position() {
+        let src = "a = SELECT task_struct FROM * WHERE comm == \"swap";
+        let err = parse(src).unwrap_err();
+        match &err {
+            VqlError::Parse { pos, msg } => {
+                assert_eq!(*pos, src.find('"').unwrap());
+                assert!(msg.contains("unterminated string"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(err.position(), Some(src.find('"').unwrap()));
+        assert!(err
+            .to_string()
+            .contains(&format!("byte {}", err.position().unwrap())));
+    }
+
+    #[test]
+    fn unknown_clause_reports_the_offending_word() {
+        let src = "a = FETCH task_struct FROM *";
+        let err = parse(src).unwrap_err();
+        match &err {
+            VqlError::Parse { pos, msg } => {
+                assert_eq!(*pos, src.find("FETCH").unwrap());
+                assert!(msg.contains("unknown clause `FETCH`"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_selector_reports_position_of_from() {
+        let src = "a = SELECT FROM *";
+        let err = parse(src).unwrap_err();
+        match &err {
+            VqlError::Parse { pos, msg } => {
+                assert_eq!(*pos, src.find("FROM").unwrap());
+                assert!(msg.contains("empty selector"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Execution errors carry no position.
+        assert_eq!(VqlError::Exec("x".into()).position(), None);
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Golden-snapshot lockdown of all 21 paper figures (Table 2).
+//!
+//! For every figure in `figures::all()` the test renders the default
+//! workload as text and Graphviz DOT and compares against the committed
+//! goldens under `tests/goldens/<id>.txt` / `tests/goldens/<id>.dot`.
+//! A drift in any distiller, decorator, layout, or renderer shows up as
+//! a diff here instead of silently reshaping 21 figures.
+//!
+//! Regenerating after an *intentional* rendering change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p visualinux --test golden_figures
+//! git diff tests/goldens/   # review every changed figure, then commit
+//! ```
+//!
+//! The workload builder and the virtual-time bridge are fully
+//! deterministic (no ASLR, no wall clock), so the goldens are
+//! byte-stable across machines.
+
+use std::fs;
+use std::path::PathBuf;
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::LatencyProfile;
+use visualinux::{figures, Session};
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+fn check_or_update(id: &str, ext: &str, rendered: &str, drift: &mut Vec<String>) {
+    let path = golden_dir().join(format!("{id}.{ext}"));
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::create_dir_all(golden_dir()).unwrap();
+        fs::write(&path, rendered).unwrap();
+        return;
+    }
+    match fs::read_to_string(&path) {
+        Err(_) => drift.push(format!("{id}.{ext}: golden missing (run UPDATE_GOLDENS=1)")),
+        Ok(golden) => {
+            if golden != rendered {
+                let first = golden
+                    .lines()
+                    .zip(rendered.lines())
+                    .position(|(g, r)| g != r)
+                    .map(|n| n + 1)
+                    .unwrap_or_else(|| golden.lines().count().min(rendered.lines().count()) + 1);
+                drift.push(format!(
+                    "{id}.{ext}: differs from golden starting at line {first} \
+                     ({} golden lines vs {} rendered)",
+                    golden.lines().count(),
+                    rendered.lines().count()
+                ));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_figures_match_goldens() {
+    let mut s = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let figs = figures::all();
+    assert_eq!(figs.len(), 21, "Table 2 has 21 figures");
+    let mut drift = Vec::new();
+    for fig in &figs {
+        let pane = s
+            .vplot_figure(fig.id)
+            .unwrap_or_else(|e| panic!("{} must plot: {e}", fig.id));
+        let text = s.render_text(pane).unwrap();
+        let dot = s.render_dot(pane).unwrap();
+        check_or_update(fig.id, "txt", &text, &mut drift);
+        check_or_update(fig.id, "dot", &dot, &mut drift);
+    }
+    assert!(
+        drift.is_empty(),
+        "{} golden mismatches:\n  {}",
+        drift.len(),
+        drift.join("\n  ")
+    );
+}
+
+#[test]
+fn goldens_have_no_stray_files() {
+    // Every file under tests/goldens/ must correspond to a live figure —
+    // a renamed or deleted figure may not leave a stale golden behind.
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        return;
+    }
+    let ids: Vec<&str> = figures::all().iter().map(|f| f.id).collect();
+    let mut stray = Vec::new();
+    for entry in fs::read_dir(golden_dir()).expect("tests/goldens exists") {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        let stem = name.rsplit_once('.').map(|(s, _)| s).unwrap_or(&name);
+        if !ids.contains(&stem) {
+            stray.push(name);
+        }
+    }
+    assert!(stray.is_empty(), "stale goldens: {stray:?}");
+}

@@ -1,0 +1,102 @@
+//! Property: vtrace span trees are well-formed and their counters
+//! reconcile with `TargetStats` *exactly*, under any workload shape,
+//! latency profile, cache mode, and figure.
+//!
+//! The tracer's clock is advanced only by the bridge's own metering
+//! callbacks — one mirrored increment per `TargetStats` cell update —
+//! and spans record clock deltas, so the sums must telescope: for every
+//! pane, Σ own-counters over the span tree == the root's inclusive
+//! counters == the extraction's `TargetStats` projection, in integer
+//! nanoseconds with no rounding anywhere.
+
+use ksim::workload::{build, WorkloadConfig};
+use proptest::prelude::*;
+use vbridge::{CacheConfig, LatencyProfile, TargetStats};
+use visualinux::{figures, Session};
+use vtrace::{Counters, SpanKind, TraceSpan};
+
+fn assert_reconciles(trace: &TraceSpan, target: TargetStats) -> Result<(), TestCaseError> {
+    prop_assert!(
+        trace.check_well_formed().is_ok(),
+        "ill-formed: {:?}",
+        trace.check_well_formed()
+    );
+    let tot = trace.totals();
+    prop_assert_eq!(tot.packets, target.reads, "packets != reads");
+    prop_assert_eq!(tot.bytes, target.bytes, "bytes drift");
+    prop_assert_eq!(tot.virtual_ns, target.virtual_ns, "virtual time drift");
+    prop_assert_eq!(tot.cache_hits, target.cache_hits, "cache hit drift");
+    prop_assert_eq!(tot.faults, target.faults, "fault drift");
+    // Telescoping: exclusive shares sum back to the inclusive root.
+    prop_assert_eq!(trace.leaf_totals(), tot);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn span_trees_reconcile_with_target_stats(
+        fig_idx in 0usize..21,
+        profile_idx in 0usize..3,
+        cached_coin in 0u8..2,
+        processes in 2usize..7,
+        seed in 0u64..32,
+    ) {
+        let profile = match profile_idx {
+            0 => LatencyProfile::free(),
+            1 => LatencyProfile::gdb_qemu(),
+            _ => LatencyProfile::kgdb_rpi400(),
+        };
+        let cached = cached_coin == 1;
+        let cfg = WorkloadConfig { processes, seed, ..WorkloadConfig::default() };
+        let mut s = if cached {
+            Session::attach_with_cache(build(&cfg), profile, CacheConfig::default())
+        } else {
+            Session::attach(build(&cfg), profile)
+        };
+        s.enable_tracing();
+
+        let fig = &figures::all()[fig_idx];
+        let pane = s.vplot_figure(fig.id).unwrap();
+        let stats = s.plot_stats(pane).unwrap().target;
+        let trace = s.vtrace(pane).expect("trace recorded for the pane");
+        assert_reconciles(&trace, stats)?;
+
+        // Timestamps are monotone along any root-to-leaf path and the
+        // extraction decomposes into parse + interp stages.
+        let flat = trace.flatten();
+        prop_assert!(flat.iter().all(|sp| sp.start_ns <= sp.end_ns));
+        let kinds: Vec<SpanKind> = flat.iter().map(|sp| sp.kind).collect();
+        prop_assert!(kinds.contains(&SpanKind::Extract));
+        prop_assert!(kinds.contains(&SpanKind::Parse));
+        prop_assert!(kinds.contains(&SpanKind::Interp));
+
+        // A wire-silent refinement lands a Query span on the pane and
+        // changes no counter.
+        s.vctrl_refine(pane, "a = SELECT task_struct FROM *").unwrap();
+        let refined = s.vtrace(pane).unwrap();
+        assert_reconciles(&refined, stats)?;
+        prop_assert!(refined.flatten().iter().any(|sp| sp.kind == SpanKind::Query));
+
+        // Cached sessions: a warm re-plot of the same figure reconciles
+        // against its own (cache-hit heavy) stats too.
+        if cached {
+            let warm = s.vplot_figure(fig.id).unwrap();
+            let warm_stats = s.plot_stats(warm).unwrap().target;
+            let warm_trace = s.vtrace(warm).unwrap();
+            assert_reconciles(&warm_trace, warm_stats)?;
+            if profile_idx != 0 {
+                prop_assert!(warm_stats.virtual_ns <= stats.virtual_ns);
+            }
+        }
+
+        // The wire log saw every packet and every cache hit (plus at
+        // most one standalone probe per fault), even if the ring only
+        // retains the newest entries.
+        let tracer = s.tracer().unwrap();
+        let clock: Counters = tracer.clock();
+        prop_assert!(tracer.wire_seen() >= clock.packets + clock.cache_hits);
+        prop_assert!(tracer.wire_seen() <= clock.packets + clock.cache_hits + clock.faults);
+    }
+}
