@@ -1,0 +1,232 @@
+//! `serve_bench` — throughput of the concurrent pane server (vserve).
+//!
+//! N clients (default 4) hammer one shared server with the full figure
+//! corpus across several stop events: round 0 ships full plots, later
+//! rounds exercise delta sync. Real wall-clock, per latency profile
+//! (the profiles only shape virtual time, but they also shape payload
+//! mix via identical graphs — both are reported).
+//!
+//! ```text
+//! cargo run -p bench --bin serve_bench              # 4 clients, 3 stops
+//! cargo run -p bench --bin serve_bench -- --clients 8 --stops 5
+//! ```
+//!
+//! Emits `BENCH_serve.json` (override with `$BENCH_SERVE_OUT`) with
+//! requests/sec, coalesce rate, and delta_bytes_saved per profile.
+//! Exits non-zero if any profile's `ServeStats` fail to reconcile.
+
+use std::sync::{mpsc, Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use bench::TablePrinter;
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::{CacheConfig, LatencyProfile};
+use visualinux::proto::VCommand;
+use visualinux::{figures, Session};
+use vserve::{Replica, ServeConfig, ServeStats, Server, ServerHandle};
+
+struct ProfileResult {
+    name: &'static str,
+    clients: usize,
+    stops: usize,
+    elapsed_s: f64,
+    stats: ServeStats,
+}
+
+/// One profile's row in `BENCH_serve.json`.
+#[derive(serde::Serialize)]
+struct ProfileDoc {
+    profile: &'static str,
+    clients: usize,
+    stops: usize,
+    elapsed_s: f64,
+    requests: u64,
+    requests_per_sec: f64,
+    coalesce_rate: f64,
+    delta_bytes_saved: u64,
+    stats: ServeStats,
+}
+
+/// The whole `BENCH_serve.json` document.
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    bench: &'static str,
+    clients: usize,
+    stops: usize,
+    figures: usize,
+    profiles: Vec<ProfileDoc>,
+}
+
+fn run_profile(
+    name: &'static str,
+    profile: LatencyProfile,
+    clients: usize,
+    stops: usize,
+) -> ProfileResult {
+    let figs = Arc::new(figures::all());
+    let (_, _, roots) = build(&WorkloadConfig::default()).finish();
+
+    let (tx, rx) = mpsc::channel();
+    let engine = thread::spawn(move || {
+        let session = Session::attach_with_cache(
+            build(&WorkloadConfig::default()),
+            profile,
+            CacheConfig::default(),
+        );
+        let mut server = Server::new(session, ServeConfig::default());
+        tx.send(server.handle()).unwrap();
+        server.run();
+        server.stats()
+    });
+    let handle: ServerHandle = rx.recv().unwrap();
+
+    // Connect everyone up front so the idle-exit engine outlives the
+    // fastest client, then rendezvous between rounds so stop events are
+    // strictly ordered after every client's round-k replies.
+    let conns: Vec<_> = (0..clients).map(|_| handle.connect()).collect();
+    let barrier = Arc::new(Barrier::new(clients));
+    let started = Instant::now();
+    let workers: Vec<_> = conns
+        .into_iter()
+        .enumerate()
+        .map(|(i, conn)| {
+            let figs = figs.clone();
+            let barrier = barrier.clone();
+            let handle = handle.clone();
+            let roots = roots.clone();
+            thread::spawn(move || {
+                let mut replica = Replica::new();
+                for round in 0..=stops as u64 {
+                    for fig in figs.iter() {
+                        conn.send(&VCommand::VplotRequest {
+                            viewcl: fig.viewcl.to_string(),
+                        })
+                        .expect("send");
+                        let line = conn.recv().expect("reply");
+                        replica.apply_line(&line).expect("apply");
+                        if let Some(ack) = replica.ack(fig.viewcl) {
+                            conn.send(&ack).expect("ack");
+                            conn.recv().expect("ack reply");
+                        }
+                    }
+                    barrier.wait();
+                    if round < stops as u64 {
+                        if i == 0 {
+                            let roots = roots.clone();
+                            handle
+                                .stop_event(move |img| {
+                                    ksim::tick::tick(img, &roots, round + 1);
+                                })
+                                .expect("stop event");
+                        }
+                        barrier.wait();
+                    }
+                }
+                conn.close();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client");
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let stats = engine.join().expect("engine");
+    ProfileResult {
+        name,
+        clients,
+        stops,
+        elapsed_s,
+        stats,
+    }
+}
+
+fn main() {
+    let mut clients = 4usize;
+    let mut stops = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--clients" => {
+                clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients N")
+            }
+            "--stops" => stops = args.next().and_then(|v| v.parse().ok()).expect("--stops N"),
+            other => {
+                eprintln!("unknown flag {other}; usage: serve_bench [--clients N] [--stops N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "serve_bench: {clients} clients x {} figures x {stops} stop events\n",
+        figures::all().len()
+    );
+    let results = [
+        run_profile("gdb_qemu", LatencyProfile::gdb_qemu(), clients, stops),
+        run_profile("kgdb_rpi400", LatencyProfile::kgdb_rpi400(), clients, stops),
+    ];
+
+    let t = TablePrinter::new(&[13, 9, 11, 10, 9, 11, 13]);
+    t.row(
+        &[
+            "profile",
+            "requests",
+            "req/s",
+            "walks",
+            "coalesce",
+            "deltas",
+            "bytes saved",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    let mut profiles = Vec::new();
+    let mut failed = false;
+    for r in &results {
+        let s = &r.stats;
+        if let Err(e) = s.reconcile() {
+            eprintln!("{}: ServeStats do not reconcile: {e}", r.name);
+            failed = true;
+        }
+        let rps = s.requests as f64 / r.elapsed_s;
+        t.row(&[
+            r.name.to_string(),
+            s.requests.to_string(),
+            format!("{rps:.0}"),
+            s.walks.to_string(),
+            format!("{:.1}%", s.coalesce_rate() * 100.0),
+            s.deltas_sent.to_string(),
+            s.delta_bytes_saved.to_string(),
+        ]);
+        profiles.push(ProfileDoc {
+            profile: r.name,
+            clients: r.clients,
+            stops: r.stops,
+            elapsed_s: r.elapsed_s,
+            requests: s.requests,
+            requests_per_sec: rps,
+            coalesce_rate: s.coalesce_rate(),
+            delta_bytes_saved: s.delta_bytes_saved,
+            stats: *s,
+        });
+    }
+    t.sep();
+
+    let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let doc = BenchDoc {
+        bench: "serve",
+        clients,
+        stops,
+        figures: figures::all().len(),
+        profiles,
+    };
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).expect("encode")).expect("write");
+    println!("\nwrote {out}");
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -159,7 +159,120 @@ fn run_trace() {
     }
 }
 
+/// `--serve` mode: replay the Table-4 corpus through the concurrent
+/// pane server (2 clients, one stop event) and print the serving
+/// footnote: requests, coalesce rate, and delta-sync savings. Every
+/// walk the server claims must reconcile with what the bridge actually
+/// did: `ServeStats::reconcile` must pass and the `walk_*` counters
+/// must equal the session tracer's cumulative clock bit-for-bit, or
+/// the run fails (exit 1).
+fn run_serve() {
+    use ksim::workload::{build, WorkloadConfig};
+    use std::sync::mpsc;
+    use visualinux::proto::VCommand;
+    use vserve::{Replica, ServeConfig, Server};
+    use vtrace::Counters;
+
+    println!("Table 4 (--serve): serving footnote, KGDB profile (virtual time)\n");
+    let (_, _, roots) = build(&WorkloadConfig::default()).finish();
+
+    let (tx, rx) = mpsc::channel();
+    let engine = std::thread::spawn(move || {
+        let mut session = attach_cached(LatencyProfile::kgdb_rpi400(), CacheConfig::default());
+        session.enable_tracing();
+        let mut server = Server::new(session, ServeConfig::default());
+        tx.send(server.handle()).unwrap();
+        server.run();
+        let clock = server.session().tracer().expect("tracing stays on").clock();
+        (server.stats(), clock)
+    });
+    let handle = rx.recv().unwrap();
+
+    // Two clients, strictly phased: both plot every figure (client B's
+    // round coalesces onto A's walks), one scheduler tick, both replot
+    // (deltas where they pay off).
+    let conns: Vec<_> = (0..2).map(|_| handle.connect()).collect();
+    let mut replicas = [Replica::new(), Replica::new()];
+    for round in 0..2u64 {
+        for (conn, replica) in conns.iter().zip(replicas.iter_mut()) {
+            for id in TABLE4_FIGURES {
+                let fig = figures::by_id(id).expect("figure exists");
+                conn.send(&VCommand::VplotRequest {
+                    viewcl: fig.viewcl.to_string(),
+                })
+                .expect("send");
+                replica
+                    .apply_line(&conn.recv().expect("reply"))
+                    .expect("apply");
+            }
+        }
+        if round == 0 {
+            let roots = roots.clone();
+            handle
+                .stop_event(move |img| {
+                    ksim::tick::tick(img, &roots, 1);
+                })
+                .expect("stop event");
+        }
+    }
+    drop(conns);
+    let (stats, clock) = engine.join().expect("engine");
+
+    let n = TABLE4_FIGURES.len() as u64;
+    println!("serving footnote (2 clients x {n} figures, 2 rounds around one stop event):");
+    println!(
+        "  requests:       {} plot requests, {} bridge walks, {} coalesced ({:.0}% coalesce rate)",
+        stats.plot_requests,
+        stats.walks,
+        stats.coalesced,
+        stats.coalesce_rate() * 100.0
+    );
+    println!(
+        "  delta sync:     {} fulls / {} deltas shipped, {} bytes saved vs always-full",
+        stats.fulls_sent, stats.deltas_sent, stats.delta_bytes_saved
+    );
+    println!(
+        "  walk cost:      {} packets, {} bytes, {:.1} ms virtual time",
+        stats.walk_packets,
+        stats.walk_bytes,
+        stats.walk_virtual_ns as f64 / 1e6
+    );
+
+    // Reconciliation: the server's books, and the books vs the bridge.
+    let mut drift: Vec<String> = Vec::new();
+    if let Err(e) = stats.reconcile() {
+        drift.push(format!("ServeStats inconsistent: {e}"));
+    }
+    let from_serve = Counters {
+        packets: stats.walk_packets,
+        bytes: stats.walk_bytes,
+        virtual_ns: stats.walk_virtual_ns,
+        cache_hits: stats.walk_cache_hits,
+        faults: stats.walk_faults,
+    };
+    if from_serve != clock {
+        drift.push(format!(
+            "walk counters {from_serve:?} != tracer clock {clock:?}"
+        ));
+    }
+    if drift.is_empty() {
+        println!(
+            "  reconciliation: serve books balance and walk counters match \
+             the tracer clock bit-for-bit [clean]"
+        );
+    } else {
+        eprintln!("\nSERVE/STAT RECONCILIATION DRIFT:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--serve") {
+        return run_serve();
+    }
     if std::env::args().any(|a| a == "--trace") {
         return run_trace();
     }

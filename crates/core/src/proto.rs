@@ -8,11 +8,11 @@
 //! agnostic (any HTTP server can forward `VCommand::to_json` bodies).
 
 use serde::{Deserialize, Serialize};
-use vgraph::Graph;
+use vgraph::{Graph, GraphDelta};
 use vpanels::{PaneId, SplitDir};
 
 /// A message from the GDB side to the visualizer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "command", rename_all = "snake_case")]
 pub enum VCommand {
     /// `vplot`: display a new object graph.
@@ -49,10 +49,35 @@ pub enum VCommand {
         /// The user's message.
         message: String,
     },
+    /// `vplot_request`: ask the serving side to extract and ship a graph
+    /// (clients of `vserve`; the GDB side pushes `Vplot` instead).
+    VplotRequest {
+        /// The ViewCL program to extract.
+        viewcl: String,
+    },
+    /// `vplot_delta`: incremental update to a previously shipped plot —
+    /// apply `delta` to the last graph received for `source`.
+    VplotDelta {
+        /// The ViewCL source identifying the pane's plot.
+        source: String,
+        /// Sequence number; increments per delta, resets on a full ship.
+        seq: u64,
+        /// The semantic delta against the client's current graph.
+        delta: GraphDelta,
+    },
+    /// `vack`: client acknowledges having applied `seq` for `source` —
+    /// the server falls back to a full ship when the client is out of
+    /// sync.
+    Vack {
+        /// The ViewCL source identifying the pane's plot.
+        source: String,
+        /// Last sequence number applied client-side.
+        seq: u64,
+    },
 }
 
 /// The visualizer's reply.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "status", rename_all = "snake_case")]
 pub enum VResponse {
     /// Success; `pane` identifies the created/affected pane.
@@ -132,6 +157,22 @@ pub fn dispatch(session: &mut crate::Session, cmd: &VCommand) -> VResponse {
                     synthesized: Some(out.viewql),
                 }
             }
+            VCommand::VplotRequest { viewcl } => {
+                let pane = session.vplot(viewcl)?;
+                VResponse::Ok {
+                    pane: Some(pane),
+                    synthesized: None,
+                }
+            }
+            VCommand::VplotDelta { .. } => VResponse::Err {
+                message: "vplot_delta needs the client's base graph; \
+                          apply it with vserve::Replica"
+                    .into(),
+            },
+            VCommand::Vack { .. } => VResponse::Ok {
+                pane: None,
+                synthesized: None,
+            },
         })
     })();
     result.unwrap_or_else(|e| VResponse::Err {

@@ -185,6 +185,15 @@ impl Session {
         &self.img
     }
 
+    /// Simulate the kernel running between two stop events: let `mutate`
+    /// rewrite the image, then [`Session::resume`] so the bridge cache
+    /// drops its now-stale blocks. The next extraction sees the new
+    /// machine state; plots already on panes keep their old snapshots.
+    pub fn stop_event(&mut self, mutate: impl FnOnce(&mut KernelImage)) {
+        mutate(&mut self.img);
+        self.resume();
+    }
+
     /// The active latency profile.
     pub fn profile(&self) -> LatencyProfile {
         self.profile

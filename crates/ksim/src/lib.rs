@@ -43,6 +43,7 @@ pub mod slab;
 pub mod structops;
 pub mod swap;
 pub mod tasks;
+pub mod tick;
 pub mod timers;
 pub mod vfs;
 pub mod workload;

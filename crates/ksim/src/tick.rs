@@ -1,0 +1,100 @@
+//! Deterministic stop-to-stop mutation of a *finished* image.
+//!
+//! The CVE scenarios in [`crate::scenarios`] inject bug state into the
+//! still-mutable [`crate::workload::Workload`]; this module instead
+//! models the ordinary case a pane server lives with: the kernel resumed,
+//! ran a few ticks, and stopped again. A [`tick`] rewrites a handful of
+//! scheduler fields in place — enough that task plots visibly change
+//! between stops, while the overwhelming majority of the object graph
+//! stays identical, which is exactly the workload delta sync exists for.
+
+use crate::image::KernelImage;
+use crate::tasks::{TASK_INTERRUPTIBLE, TASK_RUNNING};
+use crate::workload::WorkloadRoots;
+
+/// What one tick changed, so tests can assert the mutation was real.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickReport {
+    /// The task whose `se.vruntime`/`utime` advanced.
+    pub ran: u64,
+    /// New `se.vruntime` of `ran`.
+    pub vruntime: u64,
+    /// The task whose `__state` toggled R↔S.
+    pub toggled: u64,
+    /// New `__state` of `toggled`.
+    pub state: u64,
+}
+
+/// Advance the simulated kernel by one scheduling tick (`step` numbers
+/// the stop events, starting at 1 — each value produces a distinct
+/// image).
+///
+/// Two tasks change: user leader 0 accrues virtual runtime and user time
+/// as if it had just run, and the *last* leader toggles between runnable
+/// and interruptible sleep. Everything else — VFS, page cache, pipes,
+/// sockets, the other tasks — is untouched.
+///
+/// # Panics
+///
+/// Panics on an image without `task_struct` or user leaders (the default
+/// workload always has both).
+pub fn tick(img: &mut KernelImage, roots: &WorkloadRoots, step: u64) -> TickReport {
+    let task = img.types.find("task_struct").expect("task_struct exists");
+    let (vr_off, _) = img.types.field_path(task, "se.vruntime").unwrap();
+    let (ut_off, _) = img.types.field_path(task, "utime").unwrap();
+    let (st_off, _) = img.types.field_path(task, "__state").unwrap();
+
+    let ran = roots.leaders[0];
+    let vr = img.mem.read_uint(ran + vr_off, 8).unwrap() + 4_200_000 * step;
+    img.mem.write_uint(ran + vr_off, 8, vr);
+    let ut = img.mem.read_uint(ran + ut_off, 8).unwrap();
+    img.mem.write_uint(ran + ut_off, 8, ut + 1_000_000 * step);
+
+    let toggled = *roots.leaders.last().unwrap();
+    let state = if step % 2 == 1 {
+        TASK_INTERRUPTIBLE
+    } else {
+        TASK_RUNNING
+    };
+    img.mem.write_uint(toggled + st_off, 4, state);
+
+    TickReport {
+        ran,
+        vruntime: vr,
+        toggled,
+        state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{build, WorkloadConfig};
+
+    #[test]
+    fn tick_mutates_two_tasks_deterministically() {
+        let (mut img, _, roots) = build(&WorkloadConfig::default()).finish();
+        let task = img.types.find("task_struct").unwrap();
+        let (vr_off, _) = img.types.field_path(task, "se.vruntime").unwrap();
+        let before = img.mem.read_uint(roots.leaders[0] + vr_off, 8).unwrap();
+
+        let r1 = tick(&mut img, &roots, 1);
+        assert_eq!(r1.vruntime, before + 4_200_000);
+        assert_eq!(r1.state, TASK_INTERRUPTIBLE);
+        assert_eq!(
+            img.mem.read_uint(roots.leaders[0] + vr_off, 8).unwrap(),
+            r1.vruntime
+        );
+
+        // Step 2 toggles the sleeper back and keeps accruing runtime.
+        let r2 = tick(&mut img, &roots, 2);
+        assert_eq!(r2.state, TASK_RUNNING);
+        assert_eq!(r2.vruntime, r1.vruntime + 8_400_000);
+
+        // Same seed, same steps ⇒ same image (mutation is deterministic).
+        let (mut img2, _, roots2) = build(&WorkloadConfig::default()).finish();
+        tick(&mut img2, &roots2, 1);
+        let s2 = tick(&mut img2, &roots2, 2);
+        assert_eq!(s2, r2);
+    }
+}

@@ -193,3 +193,92 @@ pub fn ground_container<'t>(ty: &'t SchemaType, phrase: &str) -> Option<&'t str>
     }
     None
 }
+
+/// Levenshtein edit distance (unit costs), for typo suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The nearest schema name — type ctype, type label, or member name — to
+/// any word of `phrase`, by edit distance. `None` unless something is
+/// close enough to plausibly be a typo (distance ≤ ⌈len/3⌉, and strictly
+/// closer than replacing the whole word).
+pub fn suggest(schema: &Schema, phrase: &str) -> Option<String> {
+    let names = schema.types.iter().flat_map(|t| {
+        [t.ctype.as_str(), t.label.as_str()]
+            .into_iter()
+            .chain(t.members.iter().map(|m| m.name.as_str()))
+    });
+    let mut best: Option<(usize, &str)> = None;
+    for name in names.filter(|n| !n.is_empty()) {
+        for word in phrase.split_whitespace().flat_map(stems) {
+            if word.len() < 3 {
+                continue;
+            }
+            let d = edit_distance(&word.to_ascii_lowercase(), &name.to_ascii_lowercase());
+            let budget = word.len().max(name.len()).div_ceil(3);
+            if d > 0 && d <= budget && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, name));
+            }
+        }
+    }
+    best.map(|(_, name)| name.to_string())
+}
+
+#[cfg(test)]
+mod suggest_tests {
+    use super::*;
+    use crate::schema::{MemberKind, SchemaMember};
+
+    fn schema() -> Schema {
+        Schema {
+            types: vec![SchemaType {
+                ctype: "task_struct".into(),
+                label: "Task".into(),
+                members: vec![
+                    SchemaMember {
+                        name: "children".into(),
+                        kind: MemberKind::Container,
+                    },
+                    SchemaMember {
+                        name: "vruntime".into(),
+                        kind: MemberKind::Text,
+                    },
+                ],
+                count: 4,
+            }],
+        }
+    }
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn near_misses_are_suggested_far_ones_are_not() {
+        let s = schema();
+        assert_eq!(suggest(&s, "tsk_struct").as_deref(), Some("task_struct"));
+        assert_eq!(
+            suggest(&s, "the childen boxes").as_deref(),
+            Some("children")
+        );
+        assert_eq!(suggest(&s, "vruntmie").as_deref(), Some("vruntime"));
+        // An exact hit is not a typo, and gibberish gets no guess.
+        assert_eq!(suggest(&s, "flux capacitors"), None);
+        assert_eq!(suggest(&s, "xx"), None);
+    }
+}

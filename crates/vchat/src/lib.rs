@@ -24,7 +24,12 @@ pub enum VchatError {
     /// No intent rule matched the description.
     NoIntent(String),
     /// A noun could not be grounded in the graph schema.
-    UnknownNoun(String),
+    UnknownNoun {
+        /// The phrase that failed to ground.
+        noun: String,
+        /// Nearest schema type/member by edit distance, when one is close.
+        suggestion: Option<String>,
+    },
     /// The produced program failed ViewQL validation.
     Invalid(String),
 }
@@ -33,7 +38,13 @@ impl std::fmt::Display for VchatError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VchatError::NoIntent(d) => write!(f, "no intent matched: `{d}`"),
-            VchatError::UnknownNoun(n) => write!(f, "cannot ground `{n}` in the plot"),
+            VchatError::UnknownNoun { noun, suggestion } => {
+                write!(f, "cannot ground `{noun}` in the plot")?;
+                if let Some(s) = suggestion {
+                    write!(f, "; did you mean `{s}`?")?;
+                }
+                Ok(())
+            }
             VchatError::Invalid(m) => write!(f, "synthesized invalid ViewQL: {m}"),
         }
     }

@@ -22,6 +22,15 @@ impl Synthesizer {
         }
     }
 
+    /// An `UnknownNoun` error carrying the nearest schema name, so the
+    /// user learns what the plot *does* contain.
+    fn unknown(&self, noun: &str) -> VchatError {
+        VchatError::UnknownNoun {
+            noun: noun.to_string(),
+            suggestion: crate::ground::suggest(&self.schema, noun),
+        }
+    }
+
     fn fresh(&self) -> String {
         let n = self.next_var.get();
         self.next_var.set(n + 1);
@@ -92,8 +101,7 @@ impl Synthesizer {
         };
         let head = &c[..pos];
         let tail = &c[pos + "whose address is not".len()..];
-        let ty = ground_type(&self.schema, head)
-            .ok_or_else(|| VchatError::UnknownNoun(head.to_string()))?;
+        let ty = ground_type(&self.schema, head).ok_or_else(|| self.unknown(head))?;
         let addr = tail
             .split_whitespace()
             .find_map(parse_number)
@@ -151,21 +159,18 @@ impl Synthesizer {
         } else {
             c.replace("display the", "").replace("display", "")
         };
-        let ty = ground_type(&self.schema, &noun)
-            .ok_or_else(|| VchatError::UnknownNoun(noun.clone()))?;
+        let ty = ground_type(&self.schema, &noun).ok_or_else(|| self.unknown(&noun))?;
         let name = type_ref(ty);
         // Optional condition ("that have non-null mm members").
         let cond = if noun.contains("non-null") || noun.contains("nonnull") {
-            let member =
-                ground_member(ty, &noun).ok_or_else(|| VchatError::UnknownNoun(noun.clone()))?;
+            let member = ground_member(ty, &noun).ok_or_else(|| self.unknown(&noun))?;
             Some(format!("{member} != NULL"))
         } else if let Some(pos) = noun
             .find("that have no ")
             .or_else(|| noun.find("that has no "))
         {
             let phrase = &noun[pos + 13..];
-            let member = ground_member(ty, phrase)
-                .ok_or_else(|| VchatError::UnknownNoun(phrase.to_string()))?;
+            let member = ground_member(ty, phrase).ok_or_else(|| self.unknown(phrase))?;
             Some(format!("{member} == NULL"))
         } else {
             None
@@ -202,7 +207,7 @@ impl Synthesizer {
             })
             .copied()
             .or_else(|| candidates.first().copied())
-            .ok_or_else(|| VchatError::UnknownNoun(noun.clone()))?;
+            .ok_or_else(|| self.unknown(&noun))?;
         let v = self.fresh();
         let name = type_ref(ty);
         Ok(Some(vec![
@@ -240,8 +245,7 @@ impl Synthesizer {
         // "… except for pids 2 and 100" — keep-set difference.
         if let Some(pos) = body.find("except") {
             let (head, tail) = body.split_at(pos);
-            let ty = ground_type(&self.schema, head)
-                .ok_or_else(|| VchatError::UnknownNoun(head.to_string()))?;
+            let ty = ground_type(&self.schema, head).ok_or_else(|| self.unknown(head))?;
             let name = type_ref(ty);
             let nums: Vec<i64> = tail.split_whitespace().filter_map(parse_number).collect();
             if nums.is_empty() {
@@ -249,7 +253,7 @@ impl Synthesizer {
             }
             let member = ground_member(ty, "pid nr id")
                 .or_else(|| ty.members.first().map(|m| m.name.as_str()))
-                .ok_or_else(|| VchatError::UnknownNoun(head.to_string()))?;
+                .ok_or_else(|| self.unknown(head))?;
             let cond = nums
                 .iter()
                 .map(|n| format!("{member} == {n}"))
@@ -284,7 +288,7 @@ impl Synthesizer {
         // not `socket`); try candidates in priority order.
         let candidates = ground_type_candidates(&self.schema, body);
         if candidates.is_empty() {
-            return Err(VchatError::UnknownNoun(body.to_string()));
+            return Err(self.unknown(body));
         }
         let mut choice = None;
         let mut last_err = None;
@@ -326,7 +330,7 @@ impl Synthesizer {
                 }
             }
             if members.is_empty() {
-                return Err(VchatError::UnknownNoun(body.to_string()));
+                return Err(self.unknown(body));
             }
             let cond = members
                 .iter()
@@ -348,8 +352,7 @@ impl Synthesizer {
         ] {
             if let Some(pos) = body.find(marker) {
                 let phrase = &body[pos + marker.len()..];
-                let member = ground_member(ty, phrase)
-                    .ok_or_else(|| VchatError::UnknownNoun(phrase.to_string()))?;
+                let member = ground_member(ty, phrase).ok_or_else(|| self.unknown(phrase))?;
                 let negated = marker.contains("no")
                     || phrase.contains("not configured")
                     || phrase.contains("is not");
@@ -358,8 +361,7 @@ impl Synthesizer {
             }
         }
         if body.contains("non-configured") || body.contains("unconfigured") {
-            let member = ground_member(ty, "handler action")
-                .ok_or_else(|| VchatError::UnknownNoun(body.to_string()))?;
+            let member = ground_member(ty, "handler action").ok_or_else(|| self.unknown(body))?;
             return Ok(Some(format!("{member} == 0")));
         }
         if body.contains("writable") {
@@ -583,12 +585,42 @@ mod tests {
         let s = Synthesizer::new(schema());
         assert!(matches!(
             s.synthesize("shrink all flux capacitors"),
-            Err(VchatError::UnknownNoun(_))
+            Err(VchatError::UnknownNoun { .. })
         ));
         assert!(matches!(
             s.synthesize("frobnicate"),
             Err(VchatError::NoIntent(_))
         ));
+    }
+
+    #[test]
+    fn unknown_noun_suggests_the_nearest_schema_name() {
+        let s = Synthesizer::new(schema());
+        let err = s.synthesize("shrink all tsk_structs").unwrap_err();
+        match &err {
+            VchatError::UnknownNoun { noun, suggestion } => {
+                assert!(noun.contains("tsk_struct"), "{noun}");
+                assert_eq!(suggestion.as_deref(), Some("task_struct"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            err.to_string(),
+            "cannot ground `tsk_structs` in the plot; did you mean `task_struct`?"
+        );
+        // Nothing close ⇒ no guess appended.
+        let err = s.synthesize("shrink all flux capacitors").unwrap_err();
+        assert!(matches!(
+            &err,
+            VchatError::UnknownNoun {
+                suggestion: None,
+                ..
+            }
+        ));
+        assert_eq!(
+            err.to_string(),
+            "cannot ground `flux capacitors` in the plot"
+        );
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! Semantic graph deltas between consecutive stops of the same pane.
+//!
+//! The visualizer protocol re-ships the full [`Graph`] on every stop
+//! event; for a breakpoint in a hot path almost nothing changed. This
+//! module computes a [`GraphDelta`] against the previously-shipped graph
+//! so the server can send only the boxes whose content moved.
+//!
+//! Box *identity* across extractions is semantic, not positional: a real
+//! box is identified by `(addr, label)` — the same key the interner uses —
+//! and a virtual box (addr 0) by `(label, occurrence index)`. `BoxId`s are
+//! positional per graph and shift freely between stops, so the delta
+//! carries an explicit old→new id remap; a box whose neighbours were
+//! renumbered but whose content is otherwise untouched costs two integers
+//! on the wire, not a re-serialized subtree.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{BoxId, BoxNode, Graph, Item};
+
+/// Aggregate description of what changed (boxes/edges added, removed,
+/// text values rewritten) — the human-readable face of a delta.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaSummary {
+    /// Boxes present in the new graph with no identity in the base.
+    pub boxes_added: u32,
+    /// Base boxes whose identity vanished.
+    pub boxes_removed: u32,
+    /// Identity-persistent boxes whose content differs.
+    pub boxes_changed: u32,
+    /// Edges (links + container memberships) new in this stop.
+    pub edges_added: u32,
+    /// Edges gone since the base.
+    pub edges_removed: u32,
+    /// Text items of persistent boxes whose display value changed.
+    pub texts_changed: u32,
+}
+
+impl DeltaSummary {
+    /// True when the two graphs were semantically identical.
+    pub fn is_empty(&self) -> bool {
+        *self == DeltaSummary::default()
+    }
+}
+
+/// The wire delta: everything a client needs to rebuild the new graph
+/// from the base it already holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphDelta {
+    /// Box count of the base graph (consistency check on apply).
+    pub base_len: u32,
+    /// Box count of the new graph.
+    pub new_len: u32,
+    /// `(old id, new id)` for every box whose identity persists — kept
+    /// *and* changed boxes. Base boxes absent from this map were removed.
+    pub remap: Vec<(u32, u32)>,
+    /// Full new content for changed and added boxes (ids are new ids).
+    /// Persistent boxes not listed here are carried over from the base
+    /// with their edge targets rewritten through `remap`.
+    pub boxes: Vec<BoxNode>,
+    /// Roots of the new graph.
+    pub roots: Vec<BoxId>,
+    /// What changed, in human terms.
+    pub summary: DeltaSummary,
+}
+
+/// Why a delta could not be applied to a base graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// The base graph does not have the box count the delta was made for.
+    BaseMismatch { expected: u32, got: u32 },
+    /// An id in the delta is out of range or claimed twice.
+    BadId(String),
+    /// A carried-over box links to a base box with no new identity.
+    UnmappedEdge { from: u32, to: u32 },
+    /// After carrying over and patching, some new-graph slot stayed empty.
+    MissingBox(u32),
+}
+
+impl std::fmt::Display for DiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffError::BaseMismatch { expected, got } => {
+                write!(f, "delta made for a {expected}-box base, applied to {got}")
+            }
+            DiffError::BadId(what) => write!(f, "bad id in delta: {what}"),
+            DiffError::UnmappedEdge { from, to } => {
+                write!(f, "carried-over box {from} points at removed box {to}")
+            }
+            DiffError::MissingBox(id) => write!(f, "no content for new box {id}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+impl GraphDelta {
+    /// Serialize to the JSON wire format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("delta serialization cannot fail")
+    }
+
+    /// Deserialize from the JSON wire format.
+    pub fn from_json(s: &str) -> serde_json::Result<GraphDelta> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Semantic identity of one box: `(addr, label, virtual-occurrence)`.
+/// Real boxes are unique per `(addr, label)` by interning; virtual boxes
+/// (addr 0) are numbered per label in graph order.
+type Key = (u64, String, u32);
+
+fn keys_of(g: &Graph) -> Vec<Key> {
+    let mut virt: HashMap<&str, u32> = HashMap::new();
+    g.boxes()
+        .iter()
+        .map(|b| {
+            if b.addr != 0 {
+                (b.addr, b.label.clone(), 0)
+            } else {
+                let occ = virt.entry(b.label.as_str()).or_insert(0);
+                let k = (0, b.label.clone(), *occ);
+                *occ += 1;
+                k
+            }
+        })
+        .collect()
+}
+
+/// Rewrite every edge of `node` through `old2new`. Returns `None` when an
+/// edge points at a box with no new identity (the caller must then ship
+/// the node in full — though in practice such a node's new content always
+/// differs anyway, since the edge cannot survive the target's removal).
+fn remap_node(node: &BoxNode, new_id: BoxId, old2new: &HashMap<u32, u32>) -> Option<BoxNode> {
+    let mut out = node.clone();
+    out.id = new_id;
+    for view in &mut out.views {
+        for item in &mut view.items {
+            match item {
+                Item::Link { target, .. } => {
+                    *target = BoxId(*old2new.get(&target.0)?);
+                }
+                Item::Container { members, .. } => {
+                    for m in members.iter_mut() {
+                        *m = BoxId(*old2new.get(&m.0)?);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Edge signatures of a graph in semantic-key space, with multiplicity —
+/// used only for the summary counts.
+fn edge_sigs(g: &Graph, keys: &[Key]) -> HashMap<(Key, String, Key), i64> {
+    let mut sigs = HashMap::new();
+    for b in g.boxes() {
+        for view in &b.views {
+            for item in &view.items {
+                let targets: Vec<BoxId> = match item {
+                    Item::Link { target, .. } => vec![*target],
+                    Item::Container { members, .. } => members.clone(),
+                    _ => continue,
+                };
+                for t in targets {
+                    let sig = (
+                        keys[b.id.0 as usize].clone(),
+                        item.name().to_string(),
+                        keys[t.0 as usize].clone(),
+                    );
+                    *sigs.entry(sig).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    sigs
+}
+
+fn count_text_changes(old: &BoxNode, new: &BoxNode) -> u32 {
+    let mut n = 0;
+    for ov in &old.views {
+        let Some(nv) = new.views.iter().find(|v| v.name == ov.name) else {
+            continue;
+        };
+        for oi in &ov.items {
+            if let Item::Text { name, value, .. } = oi {
+                for ni in &nv.items {
+                    if let Item::Text {
+                        name: nn,
+                        value: nval,
+                        ..
+                    } = ni
+                    {
+                        if nn == name && nval != value {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Compute the delta that turns `base` into `new`.
+pub fn diff(base: &Graph, new: &Graph) -> GraphDelta {
+    let base_keys = keys_of(base);
+    let new_keys = keys_of(new);
+    let base_index: HashMap<&Key, u32> = base_keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k, i as u32))
+        .collect();
+
+    // old→new id map over every persistent identity.
+    let mut old2new: HashMap<u32, u32> = HashMap::new();
+    for (new_id, key) in new_keys.iter().enumerate() {
+        if let Some(&old_id) = base_index.get(key) {
+            old2new.insert(old_id, new_id as u32);
+        }
+    }
+
+    let mut summary = DeltaSummary {
+        boxes_removed: (base.len() - old2new.len()) as u32,
+        ..DeltaSummary::default()
+    };
+    let mut remap: Vec<(u32, u32)> = old2new.iter().map(|(&o, &n)| (o, n)).collect();
+    remap.sort_unstable();
+
+    let mut boxes: Vec<BoxNode> = Vec::new();
+    for (new_id, key) in new_keys.iter().enumerate() {
+        let nb = &new.boxes()[new_id];
+        match base_index.get(key) {
+            Some(&old_id) => {
+                let carried = remap_node(
+                    &base.boxes()[old_id as usize],
+                    BoxId(new_id as u32),
+                    &old2new,
+                );
+                match carried {
+                    Some(c) if c == *nb => {} // kept: costs only the remap pair
+                    _ => {
+                        summary.boxes_changed += 1;
+                        summary.texts_changed +=
+                            count_text_changes(&base.boxes()[old_id as usize], nb);
+                        boxes.push(nb.clone());
+                    }
+                }
+            }
+            None => {
+                summary.boxes_added += 1;
+                boxes.push(nb.clone());
+            }
+        }
+    }
+
+    // Edge churn, for the summary only.
+    let old_sigs = edge_sigs(base, &base_keys);
+    let new_sigs = edge_sigs(new, &new_keys);
+    for (sig, n) in &new_sigs {
+        let old_n = old_sigs.get(sig).copied().unwrap_or(0);
+        summary.edges_added += (n - old_n).max(0) as u32;
+    }
+    for (sig, n) in &old_sigs {
+        let new_n = new_sigs.get(sig).copied().unwrap_or(0);
+        summary.edges_removed += (n - new_n).max(0) as u32;
+    }
+
+    GraphDelta {
+        base_len: base.len() as u32,
+        new_len: new.len() as u32,
+        remap,
+        boxes,
+        roots: new.roots.clone(),
+        summary,
+    }
+}
+
+/// Apply a delta to the base it was computed against, reconstructing the
+/// new graph exactly (same boxes, ids, roots — byte-identical wire form).
+pub fn apply(base: &Graph, delta: &GraphDelta) -> Result<Graph, DiffError> {
+    if base.len() as u32 != delta.base_len {
+        return Err(DiffError::BaseMismatch {
+            expected: delta.base_len,
+            got: base.len() as u32,
+        });
+    }
+    let mut slots: Vec<Option<BoxNode>> = vec![None; delta.new_len as usize];
+    let mut old2new: HashMap<u32, u32> = HashMap::new();
+    let mut new_ids: HashSet<u32> = HashSet::new();
+    for &(o, n) in &delta.remap {
+        if o >= delta.base_len || n >= delta.new_len {
+            return Err(DiffError::BadId(format!("remap ({o}, {n})")));
+        }
+        if old2new.insert(o, n).is_some() || !new_ids.insert(n) {
+            return Err(DiffError::BadId(format!("duplicate in remap ({o}, {n})")));
+        }
+    }
+
+    // Patched and added boxes ship in full.
+    let mut patched: HashSet<u32> = HashSet::new();
+    for b in &delta.boxes {
+        if b.id.0 >= delta.new_len {
+            return Err(DiffError::BadId(format!("box {}", b.id.0)));
+        }
+        if !patched.insert(b.id.0) {
+            return Err(DiffError::BadId(format!("box {} shipped twice", b.id.0)));
+        }
+        slots[b.id.0 as usize] = Some(b.clone());
+    }
+
+    // Everything else persists from the base, edges rewritten.
+    for (&o, &n) in &old2new {
+        if patched.contains(&n) {
+            continue;
+        }
+        let node = remap_node(&base.boxes()[o as usize], BoxId(n), &old2new)
+            .ok_or(DiffError::UnmappedEdge { from: o, to: n })?;
+        slots[n as usize] = Some(node);
+    }
+
+    let mut boxes = Vec::with_capacity(delta.new_len as usize);
+    for (i, slot) in slots.into_iter().enumerate() {
+        boxes.push(slot.ok_or(DiffError::MissingBox(i as u32))?);
+    }
+    for r in &delta.roots {
+        if r.0 >= delta.new_len {
+            return Err(DiffError::BadId(format!("root {}", r.0)));
+        }
+    }
+    Ok(Graph::from_parts(boxes, delta.roots.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Attrs, ContainerKind, ViewInst};
+
+    fn text(name: &str, value: &str, raw: i64) -> Item {
+        Item::Text {
+            name: name.into(),
+            value: value.into(),
+            raw: Some(raw),
+        }
+    }
+
+    /// A three-task graph shaped like a tiny scheduler plot.
+    fn stop(vruntimes: &[(u64, i64)], extra_child: bool) -> Graph {
+        let mut g = Graph::new();
+        let (root, _) = g.intern(0, "Runqueue", "", 0);
+        let mut kids = Vec::new();
+        for &(addr, vr) in vruntimes {
+            let (t, _) = g.intern(addr, "Task", "task_struct", 0x1000);
+            g.get_mut(t).views.push(ViewInst {
+                name: "default".into(),
+                items: vec![
+                    text("pid", &format!("{}", addr & 0xff), (addr & 0xff) as i64),
+                    text("vruntime", &format!("{vr}"), vr),
+                ],
+            });
+            kids.push(t);
+        }
+        if extra_child {
+            let (t, _) = g.intern(0x9000, "Task", "task_struct", 0x1000);
+            g.get_mut(t).views.push(ViewInst {
+                name: "default".into(),
+                items: vec![text("pid", "90", 90)],
+            });
+            kids.push(t);
+        }
+        g.get_mut(root).views.push(ViewInst {
+            name: "default".into(),
+            items: vec![Item::Container {
+                name: "tasks".into(),
+                kind: ContainerKind::Sequence,
+                members: kids,
+                attrs: Attrs::default(),
+            }],
+        });
+        g.roots.push(root);
+        g
+    }
+
+    #[test]
+    fn identical_graphs_yield_empty_delta() {
+        let g = stop(&[(0x1100, 10), (0x1200, 20)], false);
+        let d = diff(&g, &g);
+        assert!(d.summary.is_empty(), "{:?}", d.summary);
+        assert!(d.boxes.is_empty());
+        assert_eq!(d.remap.len(), g.len());
+        let back = apply(&g, &d).unwrap();
+        assert_eq!(back.to_json(), g.to_json());
+    }
+
+    #[test]
+    fn text_change_ships_only_the_changed_box() {
+        let a = stop(&[(0x1100, 10), (0x1200, 20)], false);
+        let b = stop(&[(0x1100, 10), (0x1200, 25)], false);
+        let d = diff(&a, &b);
+        assert_eq!(d.summary.boxes_changed, 1);
+        assert_eq!(d.summary.texts_changed, 1);
+        assert_eq!(d.summary.boxes_added, 0);
+        assert_eq!(d.summary.boxes_removed, 0);
+        assert_eq!(d.boxes.len(), 1, "only the mutated task ships");
+        let back = apply(&a, &d).unwrap();
+        assert_eq!(back.to_json(), b.to_json());
+        assert!(
+            d.to_json().len() < b.to_json().len(),
+            "delta smaller than full graph"
+        );
+    }
+
+    #[test]
+    fn add_and_remove_are_detected() {
+        let a = stop(&[(0x1100, 10), (0x1200, 20)], false);
+        let b = stop(&[(0x1100, 10)], true);
+        let d = diff(&a, &b);
+        assert_eq!(d.summary.boxes_added, 1, "0x9000 appeared");
+        assert_eq!(d.summary.boxes_removed, 1, "0x1200 vanished");
+        // The container's member list changed, so the root is changed too.
+        assert_eq!(d.summary.boxes_changed, 1);
+        assert!(d.summary.edges_added >= 1);
+        assert!(d.summary.edges_removed >= 1);
+        let back = apply(&a, &d).unwrap();
+        assert_eq!(back.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn id_shuffle_costs_only_remap_pairs() {
+        // Same semantic content, boxes discovered in a different order:
+        // nothing ships in full, only the id correspondence.
+        let a = stop(&[(0x1100, 10), (0x1200, 20)], false);
+        let b = stop(&[(0x1200, 20), (0x1100, 10)], false);
+        let d = diff(&a, &b);
+        assert_eq!(d.summary.boxes_added, 0);
+        assert_eq!(d.summary.boxes_removed, 0);
+        // The container lists the same members in a different order — that
+        // IS a content change of the root, but the tasks themselves ride
+        // the remap for free.
+        assert!(d.boxes.len() <= 1);
+        let back = apply(&a, &d).unwrap();
+        assert_eq!(back.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn delta_survives_the_wire() {
+        let a = stop(&[(0x1100, 10), (0x1200, 20)], false);
+        let b = stop(&[(0x1100, 11), (0x1200, 20)], true);
+        let d = diff(&a, &b);
+        let d2 = GraphDelta::from_json(&d.to_json()).unwrap();
+        assert_eq!(d, d2);
+        assert_eq!(apply(&a, &d2).unwrap().to_json(), b.to_json());
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base() {
+        let a = stop(&[(0x1100, 10), (0x1200, 20)], false);
+        let b = stop(&[(0x1100, 10), (0x1200, 25)], false);
+        let d = diff(&a, &b);
+        let wrong = stop(&[(0x1100, 10)], false);
+        assert_eq!(
+            apply(&wrong, &d),
+            Err(DiffError::BaseMismatch {
+                expected: a.len() as u32,
+                got: wrong.len() as u32
+            })
+        );
+    }
+
+    #[test]
+    fn apply_rejects_corrupt_deltas() {
+        let a = stop(&[(0x1100, 10), (0x1200, 20)], false);
+        let b = stop(&[(0x1100, 10), (0x1200, 25)], false);
+        let good = diff(&a, &b);
+
+        let mut d = good.clone();
+        d.remap.push((0, 99));
+        assert!(matches!(apply(&a, &d), Err(DiffError::BadId(_))));
+
+        let mut d = good.clone();
+        d.remap.push((1, 1));
+        assert!(matches!(apply(&a, &d), Err(DiffError::BadId(_))));
+
+        // An *added* box has no base identity to fall back on: dropping
+        // its shipped content must fail (a changed box would silently
+        // regress to base content instead, which `remap` makes legal).
+        let grown = stop(&[(0x1100, 10), (0x1200, 20)], true);
+        let mut d = diff(&a, &grown);
+        d.boxes.retain(|b| b.addr != 0x9000);
+        assert!(matches!(apply(&a, &d), Err(DiffError::MissingBox(_))));
+    }
+
+    #[test]
+    fn virtual_boxes_match_by_occurrence() {
+        let mk = |vals: &[i64]| {
+            let mut g = Graph::new();
+            for v in vals {
+                let (b, _) = g.intern(0, "V", "", 0);
+                g.get_mut(b).views.push(ViewInst {
+                    name: "default".into(),
+                    items: vec![text("v", &v.to_string(), *v)],
+                });
+                g.roots.push(b);
+            }
+            g
+        };
+        let a = mk(&[1, 2, 3]);
+        let b = mk(&[1, 9, 3]);
+        let d = diff(&a, &b);
+        assert_eq!(d.summary.boxes_changed, 1, "only the middle V changed");
+        assert_eq!(d.boxes.len(), 1);
+        assert_eq!(apply(&a, &d).unwrap().to_json(), b.to_json());
+        // Shrinking the population removes the tail occurrence.
+        let c = mk(&[1, 2]);
+        let d = diff(&a, &c);
+        assert_eq!(d.summary.boxes_removed, 1);
+        assert_eq!(apply(&a, &d).unwrap().to_json(), c.to_json());
+    }
+}

@@ -1,6 +1,6 @@
 //! Graph data model.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -80,7 +80,9 @@ pub struct Attrs {
     /// Container plotting direction (`horizontal` default, or `vertical`).
     pub direction: Option<String>,
     /// Free-form attributes (forward compatibility with new front-ends).
-    pub extra: HashMap<String, serde_json::Value>,
+    /// A `BTreeMap` so serialization order is insertion-independent —
+    /// deltas and golden comparisons need byte-stable wire output.
+    pub extra: BTreeMap<String, serde_json::Value>,
 }
 
 impl Attrs {
@@ -179,10 +181,33 @@ pub struct Graph {
     by_key: HashMap<(u64, String), BoxId>,
 }
 
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // `by_key` is derived from `boxes`, so it carries no extra state.
+        self.boxes == other.boxes && self.roots == other.roots
+    }
+}
+
 impl Graph {
     /// Create an empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a graph from raw parts, restoring the intern index.
+    /// Box ids must match their position in `boxes`.
+    pub fn from_parts(boxes: Vec<BoxNode>, roots: Vec<BoxId>) -> Graph {
+        let mut g = Graph {
+            boxes,
+            roots,
+            by_key: HashMap::new(),
+        };
+        for b in &g.boxes {
+            if b.addr != 0 {
+                g.by_key.insert((b.addr, b.label.clone()), b.id);
+            }
+        }
+        g
     }
 
     /// Intern a box for `(addr, label)`; returns `(id, true)` when newly
@@ -287,14 +312,8 @@ impl Graph {
 
     /// Deserialize from the JSON wire format.
     pub fn from_json(s: &str) -> serde_json::Result<Graph> {
-        let mut g: Graph = serde_json::from_str(s)?;
-        // Rebuild the intern index.
-        for b in &g.boxes {
-            if b.addr != 0 {
-                g.by_key.insert((b.addr, b.label.clone()), b.id);
-            }
-        }
-        Ok(g)
+        let g: Graph = serde_json::from_str(s)?;
+        Ok(Graph::from_parts(g.boxes, g.roots))
     }
 }
 
@@ -403,6 +422,50 @@ mod tests {
         // Unknown view falls back to first.
         g.get_mut(BoxId(0)).attrs.view = Some("nope".into());
         assert_eq!(g.get(BoxId(0)).active_view().unwrap().name, "default");
+    }
+
+    #[test]
+    fn serialization_is_insertion_order_independent() {
+        // Regression for the delta-sync prerequisite: the wire bytes of a
+        // graph must not depend on the order display attributes were set.
+        let build = |keys: &[&str]| {
+            let mut g = sample();
+            for (i, k) in keys.iter().enumerate() {
+                g.get_mut(BoxId(0))
+                    .attrs
+                    .set(k, serde_json::json!(i as i64));
+            }
+            g
+        };
+        let a = build(&["zeta", "alpha", "mid"]);
+        let mut b = build(&["mid", "zeta", "alpha"]);
+        // Overwrite so the *values* also match, only insertion order differs.
+        b.get_mut(BoxId(0))
+            .attrs
+            .set("zeta", serde_json::json!(0i64));
+        b.get_mut(BoxId(0))
+            .attrs
+            .set("alpha", serde_json::json!(1i64));
+        b.get_mut(BoxId(0))
+            .attrs
+            .set("mid", serde_json::json!(2i64));
+        assert_eq!(a.to_json(), b.to_json());
+        // And serialization is a pure function of content: repeated calls
+        // and a round trip both reproduce the bytes exactly.
+        assert_eq!(a.to_json(), a.to_json());
+        let rt = Graph::from_json(&a.to_json()).unwrap();
+        assert_eq!(rt.to_json(), a.to_json());
+        assert_eq!(rt, a);
+    }
+
+    #[test]
+    fn from_parts_restores_intern_index() {
+        let g = sample();
+        let mut g2 = Graph::from_parts(g.boxes().to_vec(), g.roots.clone());
+        assert_eq!(g, g2);
+        let (id, fresh) = g2.intern(0x1000, "Task", "task_struct", 100);
+        assert_eq!(id, BoxId(0));
+        assert!(!fresh);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! serializes it as JSON (the payload of the paper's HTTP POST between the
 //! GDB extension and the visualizer).
 
+pub mod diff;
 mod graph;
 mod stats;
 
+pub use diff::{DeltaSummary, DiffError, GraphDelta};
 pub use graph::{Attrs, BoxId, BoxNode, ContainerKind, Graph, Item, ViewInst};
 pub use stats::GraphStats;

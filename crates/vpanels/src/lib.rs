@@ -7,7 +7,7 @@
 //! the paper's Figure 2 shows it locating a task simultaneously in the
 //! parent tree and the scheduler tree.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use vgraph::{BoxId, Graph};
@@ -104,7 +104,9 @@ pub struct FocusHit {
 pub struct Session {
     /// The layout tree.
     pub layout: Layout,
-    panes: HashMap<PaneId, PaneContent>,
+    /// Keyed by pane id; a `BTreeMap` so iteration (and therefore
+    /// [`Session::save`] output and focus-hit order) is deterministic.
+    panes: BTreeMap<PaneId, PaneContent>,
     next_id: u32,
 }
 
@@ -135,7 +137,7 @@ impl Session {
     /// Start a session with one primary pane displaying `graph`.
     pub fn new(graph: Graph) -> Self {
         let root = PaneId(0);
-        let mut panes = HashMap::new();
+        let mut panes = BTreeMap::new();
         panes.insert(
             root,
             PaneContent::Primary {

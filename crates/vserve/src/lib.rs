@@ -1,0 +1,66 @@
+//! `vserve`: the concurrent pane server (paper §4.2, serving side).
+//!
+//! The paper's visualizer is a detached front-end fed by `vplot`/`vctrl`
+//! messages on every stop event. This crate is the missing middle: a
+//! transport-agnostic server that owns one attached
+//! [`visualinux::Session`] (and therefore one bridge target behind the
+//! snapshot cache) and services many clients speaking the
+//! [`visualinux::proto::VCommand`] protocol concurrently.
+//!
+//! Architecture — see DESIGN.md §11:
+//!
+//! * **Threading.** The session is single-threaded by design; the engine
+//!   ([`Server::run`]) runs on its owner thread. Clients hold `Send`
+//!   [`Connection`] handles: bounded queues in both directions, so a
+//!   full request queue blocks producers and a slow reader eventually
+//!   stalls the engine instead of buffering without bound.
+//! * **Coalescing.** The first `vplot_request` for a ViewCL program in a
+//!   stop generation pays the bridge walk; identical requests from any
+//!   client are answered from the memo until the next stop event
+//!   ([`ServeStats::coalesced`]).
+//! * **Delta sync.** Per `(client, source)` the server remembers the
+//!   last shipped graph and sends a [`vgraph::GraphDelta`]
+//!   (`vplot_delta`) when it is smaller than a full re-ship, falling
+//!   back to `vplot` otherwise; [`Replica`] applies them client-side and
+//!   answers `vack`.
+//! * **Stop events.** [`ServerHandle::stop_event`] queues an image
+//!   mutation; the engine applies it strictly ordered with requests,
+//!   bumps the cache epoch and drops the extraction memo.
+
+mod client;
+mod queue;
+mod server;
+mod stats;
+mod transport;
+
+pub use client::{Replica, ReplicaEvent};
+pub use queue::{Bounded, TryPush};
+pub use server::{Connection, ServeConfig, Server, ServerHandle};
+pub use stats::ServeStats;
+pub use transport::{pair, serve_transport, PairTransport, Transport};
+
+/// Errors on the client side of a serving session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The server is shutting down (or already gone).
+    Closed,
+    /// The request queue is full right now (only from `try_send`).
+    Backpressure,
+    /// A delta did not fit the replica's current state.
+    OutOfSync(String),
+    /// The peer spoke something that is not the protocol.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "server closed"),
+            ServeError::Backpressure => write!(f, "request queue full"),
+            ServeError::OutOfSync(m) => write!(f, "replica out of sync: {m}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

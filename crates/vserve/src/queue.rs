@@ -1,0 +1,202 @@
+//! A small bounded MPMC queue: `Mutex<VecDeque>` + two condvars.
+//!
+//! This is the backpressure primitive of the whole server — the request
+//! queue and every per-client outbox are instances. `push` blocks while
+//! the queue is at capacity, so a slow consumer throttles its producers
+//! instead of letting memory grow; `close` lets consumers drain what is
+//! already queued and then observe end-of-stream.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Largest queue depth ever observed (ServeStats.queue_depth_max).
+    high_water: usize,
+}
+
+/// A bounded blocking queue.
+pub struct Bounded<T> {
+    cap: usize,
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Outcome of a non-blocking push.
+#[derive(Debug)]
+pub enum TryPush<T> {
+    /// The queue is at capacity; the item comes back.
+    Full(T),
+    /// The queue is closed; the item comes back.
+    Closed(T),
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `cap` items (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Bounded<T> {
+        assert!(cap >= 1, "a zero-capacity queue cannot transfer anything");
+        Bounded {
+            cap,
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocking push; waits while full. `Err(item)` once closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return Err(item);
+            }
+            if g.items.len() < self.cap {
+                g.items.push_back(item);
+                g.high_water = g.high_water.max(g.items.len());
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            g = self.not_full.wait(g).unwrap();
+        }
+    }
+
+    /// Non-blocking push.
+    pub fn try_push(&self, item: T) -> Result<(), TryPush<T>> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(TryPush::Closed(item));
+        }
+        if g.items.len() >= self.cap {
+            return Err(TryPush::Full(item));
+        }
+        g.items.push_back(item);
+        g.high_water = g.high_water.max(g.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; waits while empty. `None` once closed *and* drained —
+    /// close is graceful: items queued before the close still come out.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        let item = g.items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Close the queue: producers fail fast, consumers drain then stop.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest depth ever reached.
+    pub fn high_water(&self) -> usize {
+        self.inner.lock().unwrap().high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_high_water() {
+        let q = Bounded::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.high_water(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.push(4).unwrap();
+        assert_eq!(q.high_water(), 3, "high water is a max, not a level");
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn try_push_reports_full_then_closed() {
+        let q = Bounded::new(1);
+        q.push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(TryPush::Full(2))));
+        q.close();
+        assert!(matches!(q.try_push(2), Err(TryPush::Closed(2))));
+        assert_eq!(q.push(3), Err(3));
+    }
+
+    #[test]
+    fn close_drains_gracefully() {
+        let q = Bounded::new(8);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn blocked_push_resumes_when_space_frees() {
+        let q = Arc::new(Bounded::new(1));
+        q.push(0u32).unwrap();
+        let q2 = q.clone();
+        let producer = std::thread::spawn(move || q2.push(1).is_ok());
+        // The producer is (soon) blocked on a full queue; popping unblocks it.
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(1));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,498 @@
+//! The pane-server engine: one `Session`, many clients.
+//!
+//! [`visualinux::Session`] is deliberately single-threaded (it holds
+//! `Rc`/`RefCell` state for tracing), so the engine runs on the thread
+//! that owns the [`Server`] and everything that crosses threads is a
+//! queue handle: clients hold a [`Connection`] (Send) whose `send` pushes
+//! into the shared bounded request queue and whose `recv` pops a
+//! per-client bounded outbox. Both directions exert real backpressure —
+//! a full request queue blocks producers, a slow client eventually
+//! blocks the engine on that client's outbox instead of buffering
+//! without bound.
+//!
+//! Identical concurrent extraction requests coalesce: the first
+//! `vplot_request` for a ViewCL program in a given stop pays the bridge
+//! walk, every further one (from any client, until the next stop event)
+//! is served from the memoized result. Per `(client, source)` the server
+//! remembers the last graph it shipped and sends a [`vgraph::diff`]
+//! delta when that is smaller than re-shipping the plot.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ksim::image::KernelImage;
+use visualinux::proto::{VCommand, VResponse};
+use visualinux::{PlotStats, Session};
+use vtrace::SpanKind;
+
+use crate::queue::{Bounded, TryPush};
+use crate::stats::ServeStats;
+use crate::ServeError;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Capacity of the shared request queue.
+    pub request_queue: usize,
+    /// Capacity of each client's outbound queue.
+    pub client_queue: usize,
+    /// When true, [`Server::run`] returns after the last client
+    /// disconnects (instead of waiting for an explicit shutdown).
+    pub exit_when_idle: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            request_queue: 64,
+            client_queue: 16,
+            exit_when_idle: true,
+        }
+    }
+}
+
+/// A unit of work for the engine.
+enum Request {
+    /// A protocol line from a client.
+    Cmd { client: u64, line: String },
+    /// The debugger stopped again: mutate the image, invalidate caches.
+    Stop(Box<dyn FnOnce(&mut KernelImage) + Send>),
+}
+
+struct ClientEntry {
+    outbox: Arc<Bounded<String>>,
+}
+
+/// State shared between the engine thread and all client threads.
+struct Shared {
+    reqq: Bounded<Request>,
+    clients: Mutex<HashMap<u64, ClientEntry>>,
+    next_client: AtomicU64,
+    active: AtomicUsize,
+    shutting_down: AtomicBool,
+    client_queue: usize,
+    exit_when_idle: bool,
+}
+
+impl Shared {
+    /// Called when a client disconnects; the last one out closes the
+    /// request queue so an idle-exit engine can return.
+    fn client_gone(&self, id: u64) {
+        let entry = self.clients.lock().unwrap().remove(&id);
+        if let Some(e) = entry {
+            e.outbox.close();
+            if self.active.fetch_sub(1, Ordering::SeqCst) == 1 && self.exit_when_idle {
+                self.reqq.close();
+            }
+        }
+    }
+}
+
+/// A client's endpoint. `Send`: hand it to the thread that talks to the
+/// server. Dropping it disconnects.
+pub struct Connection {
+    id: u64,
+    shared: Arc<Shared>,
+    outbox: Arc<Bounded<String>>,
+}
+
+impl Connection {
+    /// Submit a command; blocks while the request queue is full
+    /// (backpressure). Fails once the server is shutting down.
+    pub fn send(&self, cmd: &VCommand) -> Result<(), ServeError> {
+        self.send_line(cmd.to_json())
+    }
+
+    /// Submit a raw protocol line.
+    pub fn send_line(&self, line: String) -> Result<(), ServeError> {
+        self.shared
+            .reqq
+            .push(Request::Cmd {
+                client: self.id,
+                line,
+            })
+            .map_err(|_| ServeError::Closed)
+    }
+
+    /// Non-blocking submit; surfaces a full queue as
+    /// [`ServeError::Backpressure`].
+    pub fn try_send(&self, cmd: &VCommand) -> Result<(), ServeError> {
+        self.shared
+            .reqq
+            .try_push(Request::Cmd {
+                client: self.id,
+                line: cmd.to_json(),
+            })
+            .map_err(|e| match e {
+                TryPush::Full(_) => ServeError::Backpressure,
+                TryPush::Closed(_) => ServeError::Closed,
+            })
+    }
+
+    /// Next reply line; blocks. `None` once the server closed this
+    /// client's stream and everything queued has been read.
+    pub fn recv(&self) -> Option<String> {
+        self.outbox.pop()
+    }
+
+    /// Non-blocking variant of [`Connection::recv`].
+    pub fn try_recv(&self) -> Option<String> {
+        self.outbox.try_pop()
+    }
+
+    /// This client's id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Disconnect. Idempotent; also called on drop.
+    pub fn close(&self) {
+        self.shared.client_gone(self.id);
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A clonable, `Send` handle for connecting clients and controlling the
+/// server from other threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Register a new client and return its endpoint.
+    pub fn connect(&self) -> Connection {
+        let id = self.shared.next_client.fetch_add(1, Ordering::SeqCst);
+        let outbox = Arc::new(Bounded::new(self.shared.client_queue));
+        self.shared.clients.lock().unwrap().insert(
+            id,
+            ClientEntry {
+                outbox: outbox.clone(),
+            },
+        );
+        self.shared.active.fetch_add(1, Ordering::SeqCst);
+        Connection {
+            id,
+            shared: self.shared.clone(),
+            outbox,
+        }
+    }
+
+    /// Enqueue a stop event: the engine applies `mutate` to the image,
+    /// bumps the cache epoch, and invalidates its extraction memo, all
+    /// strictly ordered with the surrounding requests.
+    pub fn stop_event(
+        &self,
+        mutate: impl FnOnce(&mut KernelImage) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        self.shared
+            .reqq
+            .push(Request::Stop(Box::new(mutate)))
+            .map_err(|_| ServeError::Closed)
+    }
+
+    /// Begin graceful shutdown: no new requests are accepted; the engine
+    /// finishes what is queued, answers it, then closes every client
+    /// stream and returns from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.reqq.close();
+    }
+}
+
+/// Per-(client, source) delta-sync state.
+struct SyncState {
+    /// Sequence of the last payload shipped (0 = the full ship).
+    seq: u64,
+    /// The graph the client holds after applying that payload.
+    last: vgraph::Graph,
+    /// Server-side pane adopted at first plot (anchor for vctrl/vchat).
+    #[allow(dead_code)]
+    pane: vpanels::PaneId,
+    /// Ship full next time (client acked out of sync).
+    resync: bool,
+}
+
+/// One memoized extraction, valid for the current stop generation.
+struct MemoEntry {
+    graph: vgraph::Graph,
+    stats: PlotStats,
+}
+
+/// The pane server. Owns the session; `run` is the engine loop.
+pub struct Server {
+    session: Session,
+    shared: Arc<Shared>,
+    stats: ServeStats,
+    subs: HashMap<(u64, String), SyncState>,
+    memo: HashMap<String, MemoEntry>,
+}
+
+impl Server {
+    /// Wrap an attached session.
+    pub fn new(session: Session, cfg: ServeConfig) -> Server {
+        Server {
+            session,
+            shared: Arc::new(Shared {
+                reqq: Bounded::new(cfg.request_queue),
+                clients: Mutex::new(HashMap::new()),
+                next_client: AtomicU64::new(1),
+                active: AtomicUsize::new(0),
+                shutting_down: AtomicBool::new(false),
+                client_queue: cfg.client_queue,
+                exit_when_idle: cfg.exit_when_idle,
+            }),
+            stats: ServeStats::default(),
+            subs: HashMap::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// A handle for client threads. Connect at least one client before
+    /// calling [`Server::run`] when `exit_when_idle` is set, or the run
+    /// may return before anyone got to speak.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Serving totals so far.
+    pub fn stats(&self) -> ServeStats {
+        let mut s = self.stats;
+        s.queue_depth_max = s.queue_depth_max.max(self.shared.reqq.high_water() as u64);
+        s
+    }
+
+    /// The wrapped session (e.g. to inspect panes after a run).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The engine loop: processes requests until shutdown — or, with
+    /// `exit_when_idle`, until the last client disconnects. Afterwards
+    /// every client stream is closed (graceful: already-queued replies
+    /// remain readable).
+    pub fn run(&mut self) {
+        while let Some(req) = self.shared.reqq.pop() {
+            self.handle_request(req);
+        }
+        for e in self.shared.clients.lock().unwrap().values() {
+            e.outbox.close();
+        }
+    }
+
+    fn handle_request(&mut self, req: Request) {
+        match req {
+            Request::Stop(mutate) => {
+                self.session.stop_event(mutate);
+                self.memo.clear();
+                self.stats.stops += 1;
+            }
+            Request::Cmd { client, line } => {
+                self.stats.requests += 1;
+                let reply = match VCommand::from_json(&line) {
+                    Err(e) => {
+                        self.stats.errors += 1;
+                        VResponse::Err {
+                            message: format!("unparseable command: {e}"),
+                        }
+                        .to_json()
+                    }
+                    Ok(cmd) => {
+                        let _sp = vtrace::span(
+                            self.session.tracer(),
+                            SpanKind::Serve,
+                            format!("serve:{}", tag_of(&cmd)),
+                        );
+                        self.dispatch(client, &cmd)
+                    }
+                };
+                self.reply(client, reply);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, client: u64, cmd: &VCommand) -> String {
+        match cmd {
+            VCommand::VplotRequest { viewcl } => {
+                self.stats.plot_requests += 1;
+                match self.plot(client, viewcl) {
+                    Ok(payload) => payload,
+                    Err(message) => {
+                        self.stats.errors += 1;
+                        VResponse::Err { message }.to_json()
+                    }
+                }
+            }
+            VCommand::Vack { source, seq } => {
+                self.stats.acks += 1;
+                match self.subs.get_mut(&(client, source.clone())) {
+                    Some(sub) if sub.seq == *seq => VResponse::Ok {
+                        pane: None,
+                        synthesized: None,
+                    }
+                    .to_json(),
+                    Some(sub) => {
+                        // The client applied something else than what we
+                        // last shipped; re-baseline on its next request.
+                        sub.resync = true;
+                        self.stats.resyncs += 1;
+                        VResponse::Err {
+                            message: format!(
+                                "ack for seq {seq}, last shipped {}; resyncing",
+                                sub.seq
+                            ),
+                        }
+                        .to_json()
+                    }
+                    None => {
+                        self.stats.errors += 1;
+                        VResponse::Err {
+                            message: format!("ack for unknown plot `{source}`"),
+                        }
+                        .to_json()
+                    }
+                }
+            }
+            other => {
+                // Pane ops (vctrl/vchat/vplot-push) go straight to the
+                // shared session's dispatcher.
+                let resp = visualinux::proto::dispatch(&mut self.session, other);
+                if matches!(resp, VResponse::Err { .. }) {
+                    self.stats.errors += 1;
+                }
+                resp.to_json()
+            }
+        }
+    }
+
+    /// Serve one `vplot_request`: memoized extraction, then a full ship
+    /// or a delta, whichever is fewer bytes for *this* client.
+    fn plot(&mut self, client: u64, viewcl: &str) -> Result<String, String> {
+        let (graph, pstats) = match self.memo.get(viewcl) {
+            Some(m) => {
+                self.stats.coalesced += 1;
+                (m.graph.clone(), m.stats)
+            }
+            None => {
+                let (graph, pstats) = self.session.extract(viewcl).map_err(|e| e.to_string())?;
+                self.stats.walks += 1;
+                self.stats.walk_packets += pstats.target.reads;
+                self.stats.walk_bytes += pstats.target.bytes;
+                self.stats.walk_virtual_ns += pstats.target.virtual_ns;
+                self.stats.walk_cache_hits += pstats.target.cache_hits;
+                self.stats.walk_faults += pstats.target.faults;
+                self.memo.insert(
+                    viewcl.to_string(),
+                    MemoEntry {
+                        graph: graph.clone(),
+                        stats: pstats,
+                    },
+                );
+                (graph, pstats)
+            }
+        };
+        self.stats.extractions += 1;
+
+        let full = VCommand::Vplot {
+            graph: graph.clone(),
+            source: viewcl.to_string(),
+        }
+        .to_json();
+
+        let key = (client, viewcl.to_string());
+        match self.subs.get_mut(&key) {
+            None => {
+                let pane = self
+                    .session
+                    .adopt_graph(graph.clone(), Some(pstats))
+                    .map_err(|e| e.to_string())?;
+                self.subs.insert(
+                    key,
+                    SyncState {
+                        seq: 0,
+                        last: graph,
+                        pane,
+                        resync: false,
+                    },
+                );
+                self.stats.fulls_sent += 1;
+                self.stats.full_bytes_sent += full.len() as u64;
+                Ok(full)
+            }
+            Some(sub) => {
+                let delta_cmd = (!sub.resync).then(|| {
+                    VCommand::VplotDelta {
+                        source: viewcl.to_string(),
+                        seq: sub.seq + 1,
+                        delta: vgraph::diff::diff(&sub.last, &graph),
+                    }
+                    .to_json()
+                });
+                sub.last = graph;
+                match delta_cmd {
+                    // Delta sync pays off: ship it.
+                    Some(d) if d.len() < full.len() => {
+                        sub.seq += 1;
+                        self.stats.deltas_sent += 1;
+                        self.stats.delta_bytes_sent += d.len() as u64;
+                        self.stats.delta_bytes_saved += (full.len() - d.len()) as u64;
+                        Ok(d)
+                    }
+                    // Fallback: the delta would cost more than the plot
+                    // (or the client lost sync) — full ship, seq resets.
+                    _ => {
+                        sub.seq = 0;
+                        sub.resync = false;
+                        self.stats.fulls_sent += 1;
+                        self.stats.full_bytes_sent += full.len() as u64;
+                        Ok(full)
+                    }
+                }
+            }
+        }
+    }
+
+    fn reply(&mut self, client: u64, line: String) {
+        let outbox = self
+            .shared
+            .clients
+            .lock()
+            .unwrap()
+            .get(&client)
+            .map(|e| e.outbox.clone());
+        match outbox {
+            // Blocking push: a slow client stalls the engine rather than
+            // growing an unbounded buffer. Closed = client left mid-flight.
+            Some(q) => {
+                if q.push(line).is_err() {
+                    self.stats.dropped_replies += 1;
+                } else {
+                    self.stats.queue_depth_max =
+                        self.stats.queue_depth_max.max(q.high_water() as u64);
+                }
+            }
+            None => self.stats.dropped_replies += 1,
+        }
+    }
+}
+
+fn tag_of(cmd: &VCommand) -> &'static str {
+    match cmd {
+        VCommand::Vplot { .. } => "vplot",
+        VCommand::VctrlApply { .. } => "vctrl_apply",
+        VCommand::VctrlSplit { .. } => "vctrl_split",
+        VCommand::VctrlFocus { .. } => "vctrl_focus",
+        VCommand::Vchat { .. } => "vchat",
+        VCommand::VplotRequest { .. } => "vplot_request",
+        VCommand::VplotDelta { .. } => "vplot_delta",
+        VCommand::Vack { .. } => "vack",
+    }
+}

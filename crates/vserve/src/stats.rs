@@ -1,0 +1,156 @@
+//! Serving-side accounting, threaded through every request.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters the server keeps while it runs. The `walk_*` block mirrors
+/// the bridge's `TargetStats` for the walks this server actually paid
+/// for, so an external audit (`table4 --serve`) can reconcile serving
+/// totals against the vtrace clock bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Commands received (including malformed ones).
+    pub requests: u64,
+    /// `vplot_request` commands among them.
+    pub plot_requests: u64,
+    /// Stop events processed.
+    pub stops: u64,
+    /// Extraction results served (`walks + coalesced`).
+    pub extractions: u64,
+    /// Bridge walks actually performed.
+    pub walks: u64,
+    /// Extraction requests answered from a concurrent/identical walk.
+    pub coalesced: u64,
+    /// Full `vplot` payloads shipped.
+    pub fulls_sent: u64,
+    /// `vplot_delta` payloads shipped.
+    pub deltas_sent: u64,
+    /// Bytes of full payloads shipped.
+    pub full_bytes_sent: u64,
+    /// Bytes of delta payloads shipped.
+    pub delta_bytes_sent: u64,
+    /// Bytes a full re-ship would have cost minus what the delta cost.
+    pub delta_bytes_saved: u64,
+    /// `vack` commands processed.
+    pub acks: u64,
+    /// Subscriptions forced back to a full ship by a bad/missing ack.
+    pub resyncs: u64,
+    /// Requests answered with an error response.
+    pub errors: u64,
+    /// Replies dropped because the client had disconnected.
+    pub dropped_replies: u64,
+    /// Deepest the request queue or any client outbox ever got.
+    pub queue_depth_max: u64,
+    /// Wire packets of all walks (mirrors `TargetStats.reads`).
+    pub walk_packets: u64,
+    /// Bytes transferred by all walks.
+    pub walk_bytes: u64,
+    /// Virtual nanoseconds of all walks.
+    pub walk_virtual_ns: u64,
+    /// Cache hits of all walks.
+    pub walk_cache_hits: u64,
+    /// Faulting packets of all walks.
+    pub walk_faults: u64,
+}
+
+impl ServeStats {
+    /// Internal bookkeeping invariants. A violation means the serving
+    /// loop lost track of work — the condition `table4 --serve` turns
+    /// into a non-zero exit.
+    pub fn reconcile(&self) -> Result<(), String> {
+        if self.extractions != self.walks + self.coalesced {
+            return Err(format!(
+                "extractions ({}) != walks ({}) + coalesced ({})",
+                self.extractions, self.walks, self.coalesced
+            ));
+        }
+        if self.fulls_sent + self.deltas_sent != self.extractions {
+            return Err(format!(
+                "fulls ({}) + deltas ({}) != extractions ({})",
+                self.fulls_sent, self.deltas_sent, self.extractions
+            ));
+        }
+        // A delta is only chosen when strictly smaller than the full ship.
+        if self.delta_bytes_saved < self.deltas_sent {
+            return Err(format!(
+                "{} deltas saved only {} bytes — some delta cannot have \
+                 been smaller than its full payload",
+                self.deltas_sent, self.delta_bytes_saved
+            ));
+        }
+        if self.plot_requests > self.requests || self.acks > self.requests {
+            return Err("more plot requests or acks than requests".into());
+        }
+        if self.plot_requests < self.extractions {
+            return Err(format!(
+                "plot requests ({}) cannot cover extractions ({})",
+                self.plot_requests, self.extractions
+            ));
+        }
+        Ok(())
+    }
+
+    /// Requests per wall-clock second.
+    pub fn requests_per_sec(&self, wall: std::time::Duration) -> f64 {
+        if wall.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / wall.as_secs_f64()
+    }
+
+    /// Fraction of extraction results served without a bridge walk.
+    pub fn coalesce_rate(&self) -> f64 {
+        if self.extractions == 0 {
+            return 0.0;
+        }
+        self.coalesced as f64 / self.extractions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconcile_accepts_consistent_books() {
+        let s = ServeStats {
+            requests: 10,
+            plot_requests: 8,
+            extractions: 8,
+            walks: 3,
+            coalesced: 5,
+            fulls_sent: 6,
+            deltas_sent: 2,
+            delta_bytes_saved: 1000,
+            acks: 2,
+            ..ServeStats::default()
+        };
+        s.reconcile().unwrap();
+        assert!((s.coalesce_rate() - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconcile_catches_lost_walks() {
+        let s = ServeStats {
+            extractions: 5,
+            walks: 3,
+            coalesced: 1,
+            ..ServeStats::default()
+        };
+        assert!(s.reconcile().is_err());
+    }
+
+    #[test]
+    fn reconcile_catches_unsaved_deltas() {
+        let s = ServeStats {
+            plot_requests: 2,
+            extractions: 2,
+            walks: 2,
+            fulls_sent: 1,
+            deltas_sent: 1,
+            delta_bytes_saved: 0,
+            requests: 2,
+            ..ServeStats::default()
+        };
+        assert!(s.reconcile().is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Transport abstraction: anything that can move protocol lines.
+//!
+//! The server itself is transport-agnostic — clients are queue handles.
+//! A [`Transport`] adapts some byte stream (a TCP socket, a pipe, an
+//! in-process channel) to one [`Connection`] via [`serve_transport`],
+//! which pumps strict request/reply lock-step: one line in, one line
+//! out. `examples/serve_tcp.rs` binds it to `std::net::TcpListener`.
+
+use std::io;
+use std::sync::Arc;
+
+use crate::queue::Bounded;
+use crate::server::Connection;
+
+/// A bidirectional line-oriented channel to one client.
+pub trait Transport {
+    /// Next request line; `Ok(None)` on clean end-of-stream.
+    fn recv(&mut self) -> io::Result<Option<String>>;
+    /// Deliver a reply line.
+    fn send(&mut self, line: &str) -> io::Result<()>;
+}
+
+/// Pump a transport against a server connection until either side ends.
+/// Every request is answered with exactly one reply line, so lock-step
+/// forwarding preserves ordering without any framing beyond newlines.
+pub fn serve_transport<T: Transport>(conn: &Connection, t: &mut T) -> io::Result<()> {
+    while let Some(line) = t.recv()? {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if conn.send_line(line).is_err() {
+            break; // server shutting down
+        }
+        match conn.recv() {
+            Some(reply) => t.send(&reply)?,
+            None => break, // server closed our stream mid-flight
+        }
+    }
+    Ok(())
+}
+
+/// An in-process transport: two bounded line queues. The test- and
+/// bench-side counterpart of a socket.
+pub struct PairTransport {
+    rx: Arc<Bounded<String>>,
+    tx: Arc<Bounded<String>>,
+}
+
+/// Two connected [`PairTransport`] ends (what a socketpair would give).
+pub fn pair(cap: usize) -> (PairTransport, PairTransport) {
+    let a = Arc::new(Bounded::new(cap));
+    let b = Arc::new(Bounded::new(cap));
+    (
+        PairTransport {
+            rx: a.clone(),
+            tx: b.clone(),
+        },
+        PairTransport { rx: b, tx: a },
+    )
+}
+
+impl PairTransport {
+    /// Close both directions (ends the peer's `recv` after a drain).
+    pub fn close(&self) {
+        self.rx.close();
+        self.tx.close();
+    }
+}
+
+impl Transport for PairTransport {
+    fn recv(&mut self) -> io::Result<Option<String>> {
+        Ok(self.rx.pop())
+    }
+
+    fn send(&mut self, line: &str) -> io::Result<()> {
+        self.tx
+            .push(line.to_string())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_moves_lines_both_ways() {
+        let (mut a, mut b) = pair(4);
+        a.send("ping").unwrap();
+        assert_eq!(b.recv().unwrap().as_deref(), Some("ping"));
+        b.send("pong").unwrap();
+        assert_eq!(a.recv().unwrap().as_deref(), Some("pong"));
+        a.close();
+        assert_eq!(b.recv().unwrap(), None);
+        assert!(b.send("late").is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Concurrency semantics of the pane server: many clients against one
+//! shared target, coalescing, backpressure, and graceful shutdown.
+
+use std::sync::mpsc;
+use std::thread;
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::{CacheConfig, LatencyProfile};
+use visualinux::proto::VCommand;
+use visualinux::{figures, Session};
+use vserve::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
+
+fn attach() -> Session {
+    Session::attach_with_cache(
+        build(&WorkloadConfig::default()),
+        LatencyProfile::free(),
+        CacheConfig::default(),
+    )
+}
+
+/// Spawn the engine on its own thread (the session is single-threaded by
+/// design) and hand back a control handle plus the join handle that
+/// yields the final stats.
+fn spawn_engine(cfg: ServeConfig) -> (ServerHandle, thread::JoinHandle<ServeStats>) {
+    let (tx, rx) = mpsc::channel();
+    let join = thread::spawn(move || {
+        let mut server = Server::new(attach(), cfg);
+        tx.send(server.handle()).unwrap();
+        server.run();
+        server.stats()
+    });
+    (rx.recv().unwrap(), join)
+}
+
+#[test]
+fn eight_clients_share_one_walk_and_get_identical_bytes() {
+    let fig = figures::by_id("fig3-4").expect("figure");
+    let request = VCommand::VplotRequest {
+        viewcl: fig.viewcl.to_string(),
+    };
+
+    let (handle, engine) = spawn_engine(ServeConfig::default());
+    // Connect everyone before spawning client threads so the idle-exit
+    // engine cannot see an empty registry between early finishers.
+    let conns: Vec<_> = (0..8).map(|_| handle.connect()).collect();
+
+    let clients: Vec<_> = conns
+        .into_iter()
+        .map(|conn| {
+            let request = request.clone();
+            thread::spawn(move || {
+                conn.send(&request).expect("send");
+                let reply = conn.recv().expect("reply");
+                conn.close();
+                reply
+            })
+        })
+        .collect();
+    let replies: Vec<String> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let stats = engine.join().unwrap();
+
+    // Exactly one bridge walk; the other seven coalesced on the memo.
+    assert_eq!(stats.walks, 1, "{stats:?}");
+    assert_eq!(stats.coalesced, 7, "{stats:?}");
+    assert_eq!(stats.extractions, 8);
+    assert_eq!(stats.fulls_sent, 8);
+    assert_eq!(stats.requests, 8);
+    stats.reconcile().expect("books balance");
+
+    // Every client got bytes identical to what a private single-client
+    // session would have extracted.
+    let solo = attach();
+    let (graph, _) = solo.extract(fig.viewcl).expect("solo extract");
+    let expected = VCommand::Vplot {
+        graph,
+        source: fig.viewcl.to_string(),
+    }
+    .to_json();
+    for (i, reply) in replies.iter().enumerate() {
+        assert_eq!(reply, &expected, "client {i} diverged from solo run");
+    }
+}
+
+#[test]
+fn stop_events_invalidate_the_memo_in_request_order() {
+    let fig = figures::by_id("fig3-4").expect("figure");
+    let request = VCommand::VplotRequest {
+        viewcl: fig.viewcl.to_string(),
+    };
+    let (_, _, roots) = build(&WorkloadConfig::default()).finish();
+
+    let (handle, engine) = spawn_engine(ServeConfig::default());
+    let conn = handle.connect();
+    conn.send(&request).unwrap();
+    let before = conn.recv().unwrap();
+    let roots2 = roots.clone();
+    handle
+        .stop_event(move |img| {
+            ksim::tick::tick(img, &roots2, 1);
+        })
+        .unwrap();
+    conn.send(&request).unwrap();
+    let after = conn.recv().unwrap();
+    conn.close();
+    let stats = engine.join().unwrap();
+
+    assert_ne!(before, after, "the tick must be visible in the plot");
+    assert_eq!(stats.stops, 1);
+    assert_eq!(stats.walks, 2, "stop event must force a re-walk");
+    assert_eq!(stats.coalesced, 0);
+    stats.reconcile().expect("books balance");
+}
+
+#[test]
+fn try_send_reports_backpressure_then_closed() {
+    // No engine thread: the queue stays full, so the second try_send
+    // must surface Backpressure rather than block.
+    let mut server = Server::new(
+        attach(),
+        ServeConfig {
+            request_queue: 1,
+            client_queue: 1,
+            exit_when_idle: true,
+        },
+    );
+    let handle = server.handle();
+    let conn = handle.connect();
+    let ping = VCommand::VplotRequest {
+        viewcl: figures::by_id("fig3-4").unwrap().viewcl.to_string(),
+    };
+    conn.try_send(&ping).expect("first fits");
+    assert_eq!(conn.try_send(&ping), Err(ServeError::Backpressure));
+
+    // Graceful shutdown: queued work is still answered before the
+    // engine returns, but nothing new gets in.
+    handle.shutdown();
+    assert_eq!(conn.try_send(&ping), Err(ServeError::Closed));
+    assert!(conn.send(&ping).is_err());
+    server.run();
+    let reply = conn.recv().expect("queued request was served");
+    assert!(reply.contains("vplot"), "{reply}");
+    assert_eq!(conn.recv(), None, "stream closed after the drain");
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, 1);
+    assert!(stats.queue_depth_max >= 1);
+    stats.reconcile().expect("books balance");
+}
+
+#[test]
+fn malformed_lines_are_answered_not_fatal() {
+    let (handle, engine) = spawn_engine(ServeConfig::default());
+    let conn = handle.connect();
+    conn.send_line("this is not json".to_string()).unwrap();
+    let reply = conn.recv().expect("error reply");
+    assert!(reply.contains("err"), "{reply}");
+
+    // The server survives and keeps serving real requests.
+    let fig = figures::by_id("fig3-4").unwrap();
+    conn.send(&VCommand::VplotRequest {
+        viewcl: fig.viewcl.to_string(),
+    })
+    .unwrap();
+    assert!(conn.recv().expect("real reply").contains("vplot"));
+    conn.close();
+    let stats = engine.join().unwrap();
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.requests, 2);
+    stats.reconcile().expect("books balance");
+}

@@ -48,6 +48,8 @@ pub enum SpanKind {
     Render,
     /// A vcheck invariant sweep.
     Check,
+    /// One request serviced by the vserve pane server.
+    Serve,
     /// Anything else.
     Other,
 }
@@ -65,6 +67,7 @@ impl SpanKind {
             SpanKind::Clause => "clause",
             SpanKind::Render => "render",
             SpanKind::Check => "check",
+            SpanKind::Serve => "serve",
             SpanKind::Other => "other",
         }
     }

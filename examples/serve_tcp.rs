@@ -1,0 +1,158 @@
+//! Serve the VCommand protocol over TCP: newline-delimited JSON, one
+//! reply line per request line — the visualizer-facing endpoint of the
+//! paper's §4.2 message flow, backed by a `vserve::Server`.
+//!
+//! ```text
+//! cargo run --example serve_tcp                        # smoke run, then exit
+//! cargo run --example serve_tcp -- --hold 0.0.0.0:9000 # keep serving
+//! ```
+//!
+//! With `--hold`, talk to it from another terminal:
+//!
+//! ```text
+//! printf '%s\n' '{"command":"vplot_request","viewcl":"..."}' | nc 127.0.0.1 9000
+//! ```
+//!
+//! The run is self-demonstrating: after binding, the example connects an
+//! in-process smoke client over the same TCP surface, requests a figure
+//! twice around a stop event, and prints what came back (a full plot,
+//! then a delta). Without `--hold` it then shuts the server down
+//! gracefully and exits, which is what the CI smoke run relies on.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::{CacheConfig, LatencyProfile};
+use visualinux::proto::VCommand;
+use visualinux::Session;
+use vserve::{serve_transport, Replica, ReplicaEvent, ServeConfig, Server, Transport};
+
+/// Newline-delimited JSON over a socket.
+struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpTransport {
+    fn new(stream: TcpStream) -> std::io::Result<TcpTransport> {
+        Ok(TcpTransport {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn recv(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        Ok((n > 0).then(|| line.trim_end_matches(['\r', '\n']).to_string()))
+    }
+
+    fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let mut hold = false;
+    let mut addr = "127.0.0.1:0".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--hold" {
+            hold = true;
+        } else {
+            addr = arg;
+        }
+    }
+    let listener = TcpListener::bind(&addr)?;
+    let addr = listener.local_addr()?;
+    println!("vserve: listening on {addr} (newline-delimited VCommand JSON)");
+
+    let session = Session::attach_with_cache(
+        build(&WorkloadConfig::default()),
+        LatencyProfile::gdb_qemu(),
+        CacheConfig::default(),
+    );
+    let mut server = Server::new(
+        session,
+        ServeConfig {
+            exit_when_idle: false, // keep serving between connections
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+
+    // Acceptor: one thread per connection, each pumping its socket
+    // against a queue-backed Connection.
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let conn = handle.connect();
+            std::thread::spawn(move || {
+                if let Ok(mut t) = TcpTransport::new(stream) {
+                    let _ = serve_transport(&conn, &mut t);
+                }
+            });
+        }
+    });
+
+    // Smoke client: prove the endpoint works end to end, deltas included.
+    let handle = server.handle();
+    let smoke = std::thread::spawn(move || {
+        let done = handle.clone();
+        let fig = visualinux::figures::by_id("fig3-4").expect("figure exists");
+        // The workload build is deterministic, so a fresh build yields
+        // the same task addresses the server's image holds.
+        let (_, _, roots) = build(&WorkloadConfig::default()).finish();
+        let stream = TcpStream::connect(addr).expect("connect to ourselves");
+        let mut t = TcpTransport::new(stream).expect("transport");
+        let mut replica = Replica::new();
+        let request = VCommand::VplotRequest {
+            viewcl: fig.viewcl.to_string(),
+        }
+        .to_json();
+
+        for round in 0..2u64 {
+            t.send(&request).expect("send");
+            let reply = t.recv().expect("recv").expect("reply");
+            match replica.apply_line(&reply).expect("protocol") {
+                ReplicaEvent::Full { .. } => {
+                    println!(
+                        "smoke: round {round}: full plot, {} boxes, {} bytes",
+                        replica.graph(fig.viewcl).unwrap().len(),
+                        reply.len()
+                    );
+                }
+                ReplicaEvent::Delta { summary, .. } => {
+                    println!(
+                        "smoke: round {round}: delta, {} bytes ({} boxes changed, {} texts)",
+                        reply.len(),
+                        summary.boxes_changed,
+                        summary.texts_changed
+                    );
+                }
+                ReplicaEvent::Response(r) => println!("smoke: round {round}: {r:?}"),
+            }
+            if round == 0 {
+                // Let the kernel "run" so the second request has a delta
+                // worth shipping.
+                let roots = roots.clone();
+                handle
+                    .stop_event(move |img| {
+                        ksim::tick::tick(img, &roots, 1);
+                    })
+                    .expect("stop event");
+            }
+        }
+        if !hold {
+            done.shutdown();
+        }
+    });
+
+    // The engine owns the session and must run on this thread.
+    server.run();
+    smoke.join().expect("smoke client");
+    Ok(())
+}
