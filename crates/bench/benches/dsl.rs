@@ -14,7 +14,10 @@ fn bench_dsl(c: &mut Criterion) {
     });
 
     // ViewQL on an extracted graph.
-    let session = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
     let (graph, _) = session
         .extract(figures::by_id("fig3-4").unwrap().viewcl)
         .unwrap();

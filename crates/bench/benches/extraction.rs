@@ -11,7 +11,10 @@ use visualinux::{figures, Session};
 fn bench_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("extract");
     group.sample_size(20);
-    let session = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
     for id in bench::TABLE4_FIGURES {
         let fig = figures::by_id(id).unwrap();
         group.bench_function(id, |b| {

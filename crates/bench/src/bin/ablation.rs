@@ -4,7 +4,7 @@
 
 use bench::{attach, attach_cached, TablePrinter};
 use vbridge::{CacheConfig, LatencyProfile};
-use visualinux::Session;
+use visualinux::{PlotSpec, Session};
 
 struct Meas {
     objects: u64,
@@ -14,7 +14,7 @@ struct Meas {
 }
 
 fn measure(session: &mut Session, src: &str) -> Meas {
-    let pane = session.vplot(src).expect("plot");
+    let pane = session.plot(PlotSpec::Source(src)).expect("plot");
     let s = session.plot_stats(pane).unwrap();
     let g = session.graph(pane).unwrap();
     let texts = g
@@ -146,7 +146,7 @@ fn run_trace() {
         ),
     ];
     for (name, src) in plots {
-        let pane = session.vplot(src).expect("plot");
+        let pane = session.plot(PlotSpec::Source(src)).expect("plot");
         let stats = session.plot_stats(pane).unwrap().target;
         let trace = session.vtrace(pane).expect("tracing is on");
         if let Err(e) = trace.check_well_formed() {
@@ -259,7 +259,7 @@ fn main() {
 
     // Distill: structural maple tree vs the selectFrom interval list.
     let fig = visualinux::figures::by_id("fig9-2").unwrap();
-    let pane = session.vplot(fig.viewcl).unwrap();
+    let pane = session.plot(PlotSpec::Source(fig.viewcl)).unwrap();
     session
         .vctrl_refine(
             pane,
@@ -384,8 +384,13 @@ fn main() {
         if let Some(k) = fault {
             faults::inject(&mut w, k, 2);
         }
-        let mut s = Session::attach(w, LatencyProfile::gdb_qemu());
-        let pane = s.vplot(PRUNED_TASKS).expect("plot survives");
+        let mut s = Session::builder(w)
+            .profile(LatencyProfile::gdb_qemu())
+            .attach()
+            .unwrap();
+        let pane = s
+            .plot(PlotSpec::Source(PRUNED_TASKS))
+            .expect("plot survives");
         let st = s.plot_stats(pane).unwrap();
         let diags = s
             .graph(pane)

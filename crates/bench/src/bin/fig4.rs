@@ -5,10 +5,13 @@
 
 use bench::attach;
 use vbridge::LatencyProfile;
+use visualinux::PlotSpec;
 
 fn main() {
     let mut session = attach(LatencyProfile::free());
-    let pane = session.vplot_figure("fig9-2").expect("figure extracts");
+    let pane = session
+        .plot(PlotSpec::Figure("fig9-2"))
+        .expect("figure extracts");
 
     // Show the maple-tree view, then the paper's §3.1 ViewQL.
     session

@@ -69,11 +69,11 @@ fn run_profile(
 
     let (tx, rx) = mpsc::channel();
     let engine = thread::spawn(move || {
-        let session = Session::attach_with_cache(
-            build(&WorkloadConfig::default()),
-            profile,
-            CacheConfig::default(),
-        );
+        let session = Session::builder(build(&WorkloadConfig::default()))
+            .profile(profile)
+            .cache(CacheConfig::default())
+            .attach()
+            .unwrap();
         let mut server = Server::new(session, ServeConfig::default());
         tx.send(server.handle()).unwrap();
         server.run();

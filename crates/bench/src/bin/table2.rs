@@ -3,7 +3,7 @@
 
 use bench::{attach, TablePrinter};
 use vbridge::LatencyProfile;
-use visualinux::figures;
+use visualinux::{figures, PlotSpec};
 
 fn main() {
     let mut session = attach(LatencyProfile::free());
@@ -28,7 +28,7 @@ fn main() {
     let mut ok = 0;
     for (i, fig) in figures::all().iter().enumerate() {
         let ours = viewcl::loc_of(fig.viewcl);
-        match session.vplot(fig.viewcl) {
+        match session.plot(PlotSpec::Source(fig.viewcl)) {
             Ok(pane) => {
                 ok += 1;
                 let s = session.plot_stats(pane).unwrap();

@@ -4,7 +4,7 @@
 use bench::{attach, TablePrinter};
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::{figures, Session};
+use visualinux::{figures, PlotSpec, Session};
 
 fn main() {
     println!("Table 3: debugging objectives for ViewQL usability evaluation\n");
@@ -20,12 +20,19 @@ fn main() {
 
         // Hand-written ViewQL applies cleanly.
         let mut s = attach(LatencyProfile::free());
-        let pane = s.vplot(fig.viewcl).expect("figure extracts");
+        let pane = s
+            .plot(PlotSpec::Source(fig.viewcl))
+            .expect("figure extracts");
         let applies = s.vctrl_refine(pane, obj.viewql).is_ok();
 
         // vchat synthesis has the same effect on a fresh plot.
-        let mut s2 = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
-        let p2 = s2.vplot(fig.viewcl).expect("figure extracts");
+        let mut s2 = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::free())
+            .attach()
+            .unwrap();
+        let p2 = s2
+            .plot(PlotSpec::Source(fig.viewcl))
+            .expect("figure extracts");
         let chat = match s2.vchat(p2, obj.description, true) {
             Ok(_) => {
                 synth_ok += 1;

@@ -8,7 +8,7 @@
 
 use bench::{attach, attach_cached, TablePrinter, TABLE4_FIGURES};
 use vbridge::{CacheConfig, LatencyProfile};
-use visualinux::figures;
+use visualinux::{figures, PlotSpec};
 
 struct Row {
     id: &'static str,
@@ -24,7 +24,7 @@ fn measure(profile: LatencyProfile) -> Vec<(f64, f64, f64, u64)> {
     TABLE4_FIGURES
         .iter()
         .map(|id| {
-            let pane = session.vplot_figure(id).expect("figure extracts");
+            let pane = session.plot(PlotSpec::Figure(id)).expect("figure extracts");
             let s = session.plot_stats(pane).unwrap();
             (
                 s.total_ms(),
@@ -85,7 +85,7 @@ fn run_trace() {
     let ms = |ns: u64| ns as f64 / 1e6;
     let mut drift: Vec<String> = Vec::new();
     for id in TABLE4_FIGURES {
-        let pane = session.vplot_figure(id).expect("figure extracts");
+        let pane = session.plot(PlotSpec::Figure(id)).expect("figure extracts");
         let stats = session.plot_stats(pane).unwrap().target;
         let trace = session.vtrace(pane).expect("tracing is on");
         if let Err(e) = trace.check_well_formed() {
@@ -269,9 +269,136 @@ fn run_serve() {
     }
 }
 
+/// `--replay` mode: record the cached-KGDB measurement sequence into a
+/// `.vrec` wire capture, then re-run the same sequence from the capture
+/// alone (zero live image access) and print both columns side by side.
+/// Every figure's cold and warm packet/byte counts must reproduce
+/// *bit-for-bit* — same `TargetStats` modulo the backend tag — or the
+/// run fails (exit 1).
+fn run_replay() {
+    use ksim::workload::{build, WorkloadConfig};
+    use vbridge::Capture;
+    use visualinux::Session;
+
+    let path = std::env::var("VREC_OUT").unwrap_or_else(|_| "table4-replay.vrec".to_string());
+    println!("Table 4 (--replay): cached KGDB column, live vs wire-capture replay\n");
+
+    // Live pass, recording: the exact measure_cached() sequence.
+    let mut live = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .cache(CacheConfig::default())
+        .record(&path)
+        .attach()
+        .expect("live attach cannot fail");
+    let mut live_stats = Vec::new();
+    for id in TABLE4_FIGURES {
+        let fig = figures::by_id(id).expect("figure exists");
+        live.resume();
+        let (_, cold) = live.extract(fig.viewcl).expect("figure extracts");
+        let (_, warm) = live.extract(fig.viewcl).expect("figure extracts");
+        live_stats.push((cold.target, warm.target));
+    }
+    let saved = live.save_recording().expect("write capture");
+
+    // Replay pass: same sequence, served purely from the capture.
+    let cap = Capture::load(&saved).expect("reload capture");
+    let events = cap.events.len();
+    let mut rep = Session::replay(cap).attach().expect("replay attach");
+    assert_eq!(
+        rep.image().mem.mapped_pages(),
+        0,
+        "replay session must not hold live memory"
+    );
+    let mut rep_stats = Vec::new();
+    for id in TABLE4_FIGURES {
+        let fig = figures::by_id(id).expect("figure exists");
+        rep.resume();
+        let (_, cold) = rep.extract(fig.viewcl).expect("figure replays");
+        let (_, warm) = rep.extract(fig.viewcl).expect("figure replays");
+        rep_stats.push((cold.target, warm.target));
+    }
+
+    let t = TablePrinter::new(&[11, 10, 11, 10, 11, 8]);
+    t.row(
+        &[
+            "figure",
+            "cold-pkts",
+            "cold-bytes",
+            "warm-pkts",
+            "warm-bytes",
+            "status",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    let mut drift: Vec<String> = Vec::new();
+    for (i, id) in TABLE4_FIGURES.iter().enumerate() {
+        let (lc, lw) = live_stats[i];
+        let (rc, rw) = rep_stats[i];
+        // Bit-for-bit: everything but the backend tag must match.
+        let cold_ok = vbridge::TargetStats {
+            backend: lc.backend,
+            ..rc
+        } == lc;
+        let warm_ok = vbridge::TargetStats {
+            backend: lw.backend,
+            ..rw
+        } == lw;
+        if !cold_ok {
+            drift.push(format!("{id}: cold live {lc:?} != replay {rc:?}"));
+        }
+        if !warm_ok {
+            drift.push(format!("{id}: warm live {lw:?} != replay {rw:?}"));
+        }
+        t.row(&[
+            id.to_string(),
+            rc.reads.to_string(),
+            rc.bytes.to_string(),
+            rw.reads.to_string(),
+            rw.bytes.to_string(),
+            if cold_ok && warm_ok {
+                "[ok]"
+            } else {
+                "[DRIFT]"
+            }
+            .to_string(),
+        ]);
+    }
+    t.sep();
+
+    let leftover = rep
+        .replay_state()
+        .map(|s| s.remaining())
+        .unwrap_or_default();
+    if leftover != 0 {
+        drift.push(format!("{leftover} recorded wire events never replayed"));
+    }
+    println!(
+        "\ncapture: {} ({events} wire events); replay backend: {}",
+        saved.display(),
+        rep.backend_kind().as_str()
+    );
+    if drift.is_empty() {
+        println!(
+            "reconciliation: all {} figures' cold and warm TargetStats \
+             reproduce bit-for-bit from the capture [clean]",
+            TABLE4_FIGURES.len()
+        );
+    } else {
+        eprintln!("\nREPLAY/LIVE RECONCILIATION DRIFT:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     if std::env::args().any(|a| a == "--serve") {
         return run_serve();
+    }
+    if std::env::args().any(|a| a == "--replay") {
+        return run_replay();
     }
     if std::env::args().any(|a| a == "--trace") {
         return run_trace();
@@ -409,7 +536,7 @@ fn main() {
     {
         let mut probe = attach(LatencyProfile::free());
         for id in TABLE4_FIGURES {
-            let pane = probe.vplot_figure(id).expect("figure extracts");
+            let pane = probe.plot(PlotSpec::Figure(id)).expect("figure extracts");
             faults += probe.plot_stats(pane).unwrap().target.faults;
         }
     }

@@ -1,0 +1,265 @@
+//! `vrec`: record and replay the full figure corpus as a `.vrec` wire
+//! capture.
+//!
+//! * `vrec record <out.vrec> [--profile free|qemu|kgdb] [--cache]` —
+//!   attach a recording session, extract all 21 library figures (with a
+//!   `resume()` between figures so each starts cold), embed a per-figure
+//!   manifest (packets, bytes, virtual time, graph hash) in the capture
+//!   header, and save.
+//! * `vrec replay <in.vrec>` — rebuild a session from the capture alone
+//!   (zero live image access), re-extract the manifest's figures in the
+//!   recorded order, and fail (exit 1) unless every figure reproduces
+//!   its packets, bytes, virtual time and graph hash bit-for-bit.
+
+use serde_json::{Map, Number, Value};
+
+use bench::TablePrinter;
+use vbridge::{CacheConfig, Capture, LatencyProfile};
+use visualinux::{figures, Session};
+
+/// FNV-1a over the rendered graph JSON: a stable, dependency-free
+/// fingerprint for byte-identity checks.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One manifest row: what the recording session measured for a figure.
+struct FigRow {
+    id: String,
+    reads: u64,
+    bytes: u64,
+    virtual_ns: u64,
+    hash: u64,
+}
+
+impl FigRow {
+    fn to_meta(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("id".into(), Value::String(self.id.clone()));
+        m.insert("reads".into(), Value::Number(Number::from_u64(self.reads)));
+        m.insert("bytes".into(), Value::Number(Number::from_u64(self.bytes)));
+        m.insert(
+            "virtual_ns".into(),
+            Value::Number(Number::from_u64(self.virtual_ns)),
+        );
+        m.insert("hash".into(), Value::String(format!("{:016x}", self.hash)));
+        Value::Object(m)
+    }
+
+    fn from_meta(v: &Value) -> Option<FigRow> {
+        Some(FigRow {
+            id: v.get("id")?.as_str()?.to_string(),
+            reads: v.get("reads")?.as_u64()?,
+            bytes: v.get("bytes")?.as_u64()?,
+            virtual_ns: v.get("virtual_ns")?.as_u64()?,
+            hash: u64::from_str_radix(v.get("hash")?.as_str()?, 16).ok()?,
+        })
+    }
+}
+
+fn parse_profile(args: &[String]) -> LatencyProfile {
+    match args
+        .iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("free") => LatencyProfile::free(),
+        Some("qemu") => LatencyProfile::gdb_qemu(),
+        Some("kgdb") | None => LatencyProfile::kgdb_rpi400(),
+        Some(other) => {
+            eprintln!("unknown profile `{other}` (expected free|qemu|kgdb)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn record(path: &str, args: &[String]) {
+    let profile = parse_profile(args);
+    let mut builder = Session::builder(ksim::workload::build(
+        &ksim::workload::WorkloadConfig::default(),
+    ))
+    .profile(profile)
+    .record(path);
+    if args.iter().any(|a| a == "--cache") {
+        builder = builder.cache(CacheConfig::default());
+    }
+    let mut session = builder.attach().expect("live attach cannot fail");
+
+    println!("vrec record: {} figures -> {path}\n", figures::all().len());
+    let t = TablePrinter::new(&[11, 8, 10, 11, 18]);
+    t.row(&["figure", "pkts", "bytes", "virt-ms", "graph-hash"].map(String::from));
+    t.sep();
+
+    let mut manifest = Vec::new();
+    for fig in figures::all() {
+        session.resume();
+        let (graph, stats) = session.extract(fig.viewcl).expect(fig.id);
+        let row = FigRow {
+            id: fig.id.to_string(),
+            reads: stats.target.reads,
+            bytes: stats.target.bytes,
+            virtual_ns: stats.target.virtual_ns,
+            hash: fnv1a(graph.to_json().as_bytes()),
+        };
+        t.row(&[
+            row.id.clone(),
+            row.reads.to_string(),
+            row.bytes.to_string(),
+            format!("{:.1}", row.virtual_ns as f64 / 1e6),
+            format!("{:016x}", row.hash),
+        ]);
+        manifest.push(row);
+    }
+    t.sep();
+
+    // Fold the manifest into the capture header next to the embedded
+    // workload config, then write the `.vrec` ourselves (the session
+    // would save an identical wire tape, minus the manifest).
+    let mut cap = session.capture().expect("recording session has a tape");
+    if let Value::Object(meta) = &mut cap.meta {
+        meta.insert(
+            "figures".into(),
+            Value::Array(manifest.iter().map(FigRow::to_meta).collect()),
+        );
+    }
+    cap.save(std::path::Path::new(path)).expect("write capture");
+    println!(
+        "\nwrote {path}: {} wire events, {} figures in manifest",
+        cap.events.len(),
+        manifest.len()
+    );
+}
+
+fn replay(path: &str) {
+    let cap = match Capture::load(std::path::Path::new(path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("vrec replay: cannot load {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let manifest: Vec<FigRow> = cap
+        .meta
+        .get("figures")
+        .and_then(|v| v.as_array())
+        .map(|rows| rows.iter().filter_map(FigRow::from_meta).collect())
+        .unwrap_or_default();
+    if manifest.is_empty() {
+        eprintln!("vrec replay: {path} has no figure manifest (meta.figures)");
+        std::process::exit(2);
+    }
+    let mut session = match Session::replay(cap).attach() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vrec replay: cannot attach: {e}");
+            std::process::exit(2);
+        }
+    };
+    assert_eq!(
+        session.image().mem.mapped_pages(),
+        0,
+        "replay session must not hold live memory"
+    );
+
+    println!(
+        "vrec replay: {} figures from {path} (zero live image access)\n",
+        manifest.len()
+    );
+    let t = TablePrinter::new(&[11, 8, 10, 11, 18, 9]);
+    t.row(&["figure", "pkts", "bytes", "virt-ms", "graph-hash", "status"].map(String::from));
+    t.sep();
+
+    let mut drift: Vec<String> = Vec::new();
+    for want in &manifest {
+        session.resume();
+        let fig = match figures::by_id(&want.id) {
+            Some(f) => f,
+            None => {
+                drift.push(format!("{}: unknown figure id in manifest", want.id));
+                continue;
+            }
+        };
+        match session.extract(fig.viewcl) {
+            Ok((graph, stats)) => {
+                let got = FigRow {
+                    id: want.id.clone(),
+                    reads: stats.target.reads,
+                    bytes: stats.target.bytes,
+                    virtual_ns: stats.target.virtual_ns,
+                    hash: fnv1a(graph.to_json().as_bytes()),
+                };
+                let ok = got.reads == want.reads
+                    && got.bytes == want.bytes
+                    && got.virtual_ns == want.virtual_ns
+                    && got.hash == want.hash;
+                if !ok {
+                    drift.push(format!(
+                        "{}: recorded pkts={} bytes={} ns={} hash={:016x}, \
+                         replayed pkts={} bytes={} ns={} hash={:016x}",
+                        want.id,
+                        want.reads,
+                        want.bytes,
+                        want.virtual_ns,
+                        want.hash,
+                        got.reads,
+                        got.bytes,
+                        got.virtual_ns,
+                        got.hash
+                    ));
+                }
+                t.row(&[
+                    got.id.clone(),
+                    got.reads.to_string(),
+                    got.bytes.to_string(),
+                    format!("{:.1}", got.virtual_ns as f64 / 1e6),
+                    format!("{:016x}", got.hash),
+                    if ok { "[ok]" } else { "[DRIFT]" }.to_string(),
+                ]);
+            }
+            Err(e) => drift.push(format!("{}: replay failed: {e}", want.id)),
+        }
+    }
+    t.sep();
+
+    let leftover = session
+        .replay_state()
+        .map(|s| s.remaining())
+        .unwrap_or_default();
+    if leftover != 0 {
+        drift.push(format!("{leftover} recorded wire events never replayed"));
+    }
+
+    if drift.is_empty() {
+        println!(
+            "\nreplay verdict: all {} figures reproduced packets, bytes, \
+             virtual time and graph hashes bit-for-bit [clean]",
+            manifest.len()
+        );
+    } else {
+        eprintln!("\nREPLAY DRIFT:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() >= 2 => record(&args[1], &args[2..]),
+        Some("replay") if args.len() >= 2 => replay(&args[1]),
+        _ => {
+            eprintln!(
+                "usage: vrec record <out.vrec> [--profile free|qemu|kgdb] [--cache]\n       vrec replay <in.vrec>"
+            );
+            std::process::exit(2);
+        }
+    }
+}

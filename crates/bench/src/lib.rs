@@ -11,6 +11,9 @@
 //!   ms-per-KB, virtual time).
 //! * `fig4` — the maple-tree plot of Figure 4 (ASCII + DOT + SVG files).
 //! * `fig7` — the Dirty Pipe object graph of Figure 7.
+//! * `vrec` — record the full figure corpus into a `.vrec` wire capture
+//!   (`vrec record out.vrec`), or re-run it from the capture alone and
+//!   verify packets/bytes/hashes bit-for-bit (`vrec replay out.vrec`).
 //!
 //! Criterion benches (`cargo bench -p bench`) measure real wall-clock
 //! interpreter performance on the same plots.
@@ -46,13 +49,20 @@ pub const TABLE4_FIGURES: [&str; 20] = [
 
 /// Build the evaluation workload and attach a session.
 pub fn attach(profile: LatencyProfile) -> Session {
-    Session::attach(build(&WorkloadConfig::default()), profile)
+    Session::builder(build(&WorkloadConfig::default()))
+        .profile(profile)
+        .attach()
+        .unwrap()
 }
 
 /// Build the evaluation workload and attach a session with the snapshot
 /// block cache enabled.
 pub fn attach_cached(profile: LatencyProfile, cfg: CacheConfig) -> Session {
-    Session::attach_with_cache(build(&WorkloadConfig::default()), profile, cfg)
+    Session::builder(build(&WorkloadConfig::default()))
+        .profile(profile)
+        .cache(cfg)
+        .attach()
+        .unwrap()
 }
 
 /// Markdown-ish table printer with fixed-width columns.

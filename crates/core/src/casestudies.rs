@@ -13,7 +13,7 @@ use vbridge::LatencyProfile;
 use vgraph::Item;
 use vpanels::PaneId;
 
-use crate::{Session, SessionError};
+use crate::{PlotSpec, Session, SessionError};
 
 /// The RCU side of the StackRot plot, appended to the Fig 9-2 program.
 pub const STACKROT_RCU_VIEWCL: &str = r#"
@@ -62,13 +62,13 @@ pub struct StackRotReport {
 pub fn stackrot(profile: LatencyProfile) -> Result<StackRotReport, SessionError> {
     let mut workload = build(&WorkloadConfig::default());
     let injected = scenarios::inject_stackrot(&mut workload);
-    let mut session = Session::attach(workload, profile);
+    let mut session = Session::builder(workload).profile(profile).attach()?;
 
     // One pane: the process address space (Fig 9-2's maple tree) plus the
     // per-CPU RCU callback lists.
     let fig = crate::figures::by_id("fig9-2").expect("figure library");
     let combined = format!("{}\n{}", fig.viewcl, STACKROT_RCU_VIEWCL);
-    let pane = session.vplot(&combined)?;
+    let pane = session.plot(PlotSpec::Source(&combined))?;
 
     // Force the maple-tree view everywhere (Fig 4 uses :show_mt).
     session.vctrl_refine(
@@ -208,9 +208,9 @@ pub struct DirtyPipeReport {
 pub fn dirty_pipe(profile: LatencyProfile) -> Result<DirtyPipeReport, SessionError> {
     let mut workload = build(&WorkloadConfig::default());
     let injected = scenarios::inject_dirty_pipe(&mut workload);
-    let mut session = Session::attach(workload, profile);
+    let mut session = Session::builder(workload).profile(profile).attach()?;
 
-    let pane = session.vplot(DIRTY_PIPE_VIEWCL)?;
+    let pane = session.plot(PlotSpec::Source(DIRTY_PIPE_VIEWCL))?;
     session.vctrl_refine(pane, DIRTY_PIPE_VIEWQL)?;
 
     let graph = session.graph(pane)?;

@@ -18,11 +18,14 @@
 //!
 //! ```
 //! use ksim::workload::{build, WorkloadConfig};
-//! use visualinux::Session;
+//! use visualinux::{PlotSpec, Session};
 //!
 //! let workload = build(&WorkloadConfig::default());
-//! let mut session = Session::attach(workload, vbridge::LatencyProfile::gdb_qemu());
-//! let pane = session.vplot_figure("fig7-1").unwrap();
+//! let mut session = Session::builder(workload)
+//!     .profile(vbridge::LatencyProfile::gdb_qemu())
+//!     .attach()
+//!     .unwrap();
+//! let pane = session.plot(PlotSpec::Figure("fig7-1")).unwrap();
 //! let text = session.render_text(pane).unwrap();
 //! assert!(text.contains("pid"));
 //! ```
@@ -33,7 +36,7 @@ pub mod helpers;
 pub mod proto;
 mod session;
 
-pub use session::{PlotStats, Session, SessionError, VChatOutcome};
+pub use session::{PlotSpec, PlotStats, Session, SessionBuilder, SessionError, VChatOutcome};
 
 // Re-export the full stack for examples and downstream users.
 pub use ksim;

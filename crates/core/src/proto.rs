@@ -158,7 +158,7 @@ pub fn dispatch(session: &mut crate::Session, cmd: &VCommand) -> VResponse {
                 }
             }
             VCommand::VplotRequest { viewcl } => {
-                let pane = session.vplot(viewcl)?;
+                let pane = session.plot(crate::PlotSpec::Source(viewcl))?;
                 VResponse::Ok {
                     pane: Some(pane),
                     synthesized: None,
@@ -200,8 +200,10 @@ mod tests {
 
     #[test]
     fn dispatch_runs_the_full_v_command_path() {
-        let mut s =
-            crate::Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+        let mut s = crate::Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::free())
+            .attach()
+            .unwrap();
         // vplot over the wire.
         let fig = crate::figures::by_id("fig3-4").unwrap();
         let (graph, _) = s.extract(fig.viewcl).unwrap();

@@ -2,11 +2,15 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::rc::Rc;
 
-use ksim::workload::{AllTypes, Workload, WorkloadRoots};
+use ksim::workload::{AllTypes, Workload, WorkloadConfig, WorkloadRoots};
 use ksim::KernelImage;
-use vbridge::{BlockCache, CacheConfig, HelperRegistry, LatencyProfile, Target, TargetStats};
+use vbridge::{
+    BackendKind, BlockCache, CacheConfig, Capture, HelperRegistry, LatencyProfile, RecordBackend,
+    Recorder, ReplayBackend, ReplayState, SimBackend, Target, TargetBackend, TargetStats,
+};
 use vgraph::{Graph, GraphStats};
 use vpanels::{FocusHit, PaneId, SplitDir};
 use vtrace::{SpanKind, TraceSpan, Tracer};
@@ -24,6 +28,10 @@ pub enum SessionError {
     Chat(vchat::VchatError),
     /// No such figure / pane.
     NotFound(String),
+    /// A wire-capture problem: unloadable/underspecified `.vrec`, an
+    /// attach combination that cannot work (recording a replay), or a
+    /// failed capture write.
+    Capture(String),
 }
 
 impl std::fmt::Display for SessionError {
@@ -34,6 +42,7 @@ impl std::fmt::Display for SessionError {
             SessionError::Panel(e) => write!(f, "{e}"),
             SessionError::Chat(e) => write!(f, "{e}"),
             SessionError::NotFound(what) => write!(f, "not found: {what}"),
+            SessionError::Capture(msg) => write!(f, "capture error: {msg}"),
         }
     }
 }
@@ -108,6 +117,212 @@ pub struct VChatOutcome {
     pub applied: bool,
 }
 
+/// What to plot — the single argument of [`Session::plot`], unifying the
+/// three historical entry points (`vplot`, `vplot_figure`, `vplot_auto`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlotSpec<'a> {
+    /// A ViewCL program.
+    Source(&'a str),
+    /// A library figure by id (e.g. `"fig7-1"`).
+    Figure(&'a str),
+    /// Synthesized "naive" ViewCL (§4): every scalar field of `ctype`
+    /// for the object at the debugger expression `root`.
+    Auto {
+        /// The C struct name.
+        ctype: &'a str,
+        /// Debugger expression evaluating to the object's address.
+        root: &'a str,
+    },
+}
+
+/// Scope of one checker run (the internal entry behind `vcheck` and
+/// `vcheck_scoped`).
+enum CheckScope<'a> {
+    /// Full-image sweep from the well-known root symbols.
+    Image,
+    /// Only these candidates: (box on the pane, object address, C type).
+    Boxes(&'a [(vgraph::BoxId, u64, String)]),
+}
+
+/// A box that produced fresh violations: (id, count, first diagnostic).
+type Flagged = (vgraph::BoxId, usize, String);
+
+/// Embed a [`WorkloadConfig`] in capture metadata (`meta.workload`).
+fn workload_cfg_to_meta(cfg: &WorkloadConfig) -> serde_json::Value {
+    use serde_json::{Map, Number, Value};
+    let num = |n: u64| Value::Number(Number::from_u64(n));
+    let mut w = Map::new();
+    w.insert("processes".into(), num(cfg.processes as u64));
+    w.insert("extra_threads".into(), num(cfg.extra_threads as u64));
+    w.insert(
+        "files_per_process".into(),
+        num(cfg.files_per_process as u64),
+    );
+    w.insert("pages_per_file".into(), num(cfg.pages_per_file as u64));
+    w.insert("anon_vmas".into(), num(cfg.anon_vmas as u64));
+    w.insert("kthreads".into(), num(cfg.kthreads as u64));
+    w.insert("seed".into(), num(cfg.seed));
+    let mut meta = Map::new();
+    meta.insert("workload".into(), Value::Object(w));
+    Value::Object(meta)
+}
+
+/// Recover the [`WorkloadConfig`] from capture metadata, if present.
+fn workload_cfg_from_meta(meta: &serde_json::Value) -> Option<WorkloadConfig> {
+    let w = meta.get("workload")?;
+    let field = |name: &str| w.get(name).and_then(|v| v.as_u64());
+    Some(WorkloadConfig {
+        processes: field("processes")? as usize,
+        extra_threads: field("extra_threads")? as usize,
+        files_per_process: field("files_per_process")? as usize,
+        pages_per_file: field("pages_per_file")? as usize,
+        anon_vmas: field("anon_vmas")? as usize,
+        kthreads: field("kthreads")? as usize,
+        seed: field("seed")?,
+    })
+}
+
+/// What a [`SessionBuilder`] attaches to.
+enum BuilderSource {
+    /// A live (simulated) kernel image.
+    Live(Box<Workload>),
+    /// A recorded wire capture, served with zero image access.
+    Replay(Box<Capture>),
+}
+
+/// Staged construction of a [`Session`] — the one entry surface for
+/// every attach flavor:
+///
+/// ```
+/// # use ksim::workload::{build, WorkloadConfig};
+/// # use visualinux::Session;
+/// let session = Session::builder(build(&WorkloadConfig::default()))
+///     .profile(vbridge::LatencyProfile::kgdb_rpi400())
+///     .cache(16)
+///     .tracing()
+///     .attach()
+///     .unwrap();
+/// # drop(session);
+/// ```
+///
+/// Add `.record(path)` to capture every wire span into a `.vrec` file
+/// (written by [`Session::save_recording`]), or start from
+/// [`Session::replay`] to serve a capture back without any live image.
+pub struct SessionBuilder {
+    source: BuilderSource,
+    profile: Option<LatencyProfile>,
+    cache: Option<CacheConfig>,
+    tracing: bool,
+    record: Option<PathBuf>,
+}
+
+impl SessionBuilder {
+    /// Set the latency profile. Live sessions default to
+    /// [`LatencyProfile::free`]; replay sessions default to the profile
+    /// recorded in the capture header.
+    pub fn profile(mut self, profile: LatencyProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Enable the snapshot block cache. Accepts a full [`CacheConfig`]
+    /// or a bare block size (`.cache(16)`). Replay sessions default to
+    /// the cache configuration recorded in the capture header.
+    pub fn cache(mut self, cfg: impl Into<CacheConfig>) -> Self {
+        self.cache = Some(cfg.into());
+        self
+    }
+
+    /// Turn on vtrace span recording from the first extraction.
+    pub fn tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Record every wire operation; [`Session::save_recording`] writes
+    /// the capture to `path`. Only valid for live sessions.
+    pub fn record(mut self, path: impl Into<PathBuf>) -> Self {
+        self.record = Some(path.into());
+        self
+    }
+
+    /// Build the session.
+    ///
+    /// Live attaches cannot fail; replay attaches fail loudly when the
+    /// capture lacks an embedded workload config or when `.record` was
+    /// requested (a replay session cannot re-record).
+    pub fn attach(self) -> Result<Session> {
+        let (img, types, roots, cfg, profile, cache, recorder, record_path, replay) =
+            match self.source {
+                BuilderSource::Live(workload) => {
+                    let cfg = workload.cfg.clone();
+                    let (img, types, roots) = workload.finish();
+                    let recorder = self.record.as_ref().map(|_| Rc::new(Recorder::new()));
+                    let profile = self.profile.unwrap_or_else(LatencyProfile::free);
+                    (
+                        img,
+                        types,
+                        roots,
+                        cfg,
+                        profile,
+                        self.cache,
+                        recorder,
+                        self.record,
+                        None,
+                    )
+                }
+                BuilderSource::Replay(capture) => {
+                    if self.record.is_some() {
+                        return Err(SessionError::Capture(
+                            "a replay session cannot re-record; copy the .vrec instead".into(),
+                        ));
+                    }
+                    let cfg = workload_cfg_from_meta(&capture.meta).ok_or_else(|| {
+                        SessionError::Capture(
+                            "capture has no embedded workload config (meta.workload); \
+                             cannot rebuild the debug info"
+                                .into(),
+                        )
+                    })?;
+                    let profile = self.profile.unwrap_or(capture.profile);
+                    let cache = self.cache.or(capture.cache);
+                    let (img, types, roots) = ksim::workload::debug_info(&cfg);
+                    (
+                        img,
+                        types,
+                        roots,
+                        cfg,
+                        profile,
+                        cache,
+                        None,
+                        None,
+                        Some(ReplayState::new(*capture)),
+                    )
+                }
+            };
+        let mut s = Session {
+            img,
+            types,
+            roots,
+            helpers: crate::helpers::registry(),
+            profile,
+            cache: cache.map(BlockCache::new),
+            panes: None,
+            stats: HashMap::new(),
+            tracer: None,
+            traces: RefCell::new(HashMap::new()),
+            workload_cfg: cfg,
+            recorder,
+            record_path,
+            replay,
+        };
+        if self.tracing {
+            s.enable_tracing();
+        }
+        Ok(s)
+    }
+}
+
 /// An attached Visualinux debugging session: one kernel image, a helper
 /// registry, and a pane tree. Implements the three v-commands.
 pub struct Session {
@@ -125,40 +340,70 @@ pub struct Session {
     /// Per-pane span trees (extraction + later refinements/renders).
     /// Interior-mutable so `&self` render paths can record their spans.
     traces: RefCell<HashMap<PaneId, TraceSpan>>,
+    /// The workload config this session's image (or capture) came from.
+    workload_cfg: WorkloadConfig,
+    /// Wire tape when the session is recording.
+    recorder: Option<Rc<Recorder>>,
+    /// Where `save_recording` writes the capture.
+    record_path: Option<PathBuf>,
+    /// Replay cursor when the session serves a capture.
+    replay: Option<ReplayState>,
 }
 
 impl Session {
-    /// Attach to a built workload using the given latency profile.
-    ///
-    /// The bridge cache is off by default so plots reproduce the paper's
-    /// uncached Table-4 cost model; see [`Session::attach_with_cache`].
-    pub fn attach(workload: Workload, profile: LatencyProfile) -> Session {
-        let (img, types, roots) = workload.finish();
-        Session {
-            img,
-            types,
-            roots,
-            helpers: crate::helpers::registry(),
-            profile,
+    /// Start building a live session over a built workload. See
+    /// [`SessionBuilder`] for the knobs.
+    pub fn builder(workload: Workload) -> SessionBuilder {
+        SessionBuilder {
+            source: BuilderSource::Live(Box::new(workload)),
+            profile: None,
             cache: None,
-            panes: None,
-            stats: HashMap::new(),
-            tracer: None,
-            traces: RefCell::new(HashMap::new()),
+            tracing: false,
+            record: None,
         }
     }
 
-    /// Attach with the snapshot block cache enabled: extractions share a
-    /// [`BlockCache`] that persists while the kernel stays stopped and is
-    /// invalidated by [`Session::resume`].
+    /// Start building a replay session over a recorded capture: the
+    /// attached image holds the types/symbols of the recorded workload
+    /// but **zero** target memory — every read is served from the
+    /// capture, and any read that escapes it errors loudly.
+    pub fn replay(capture: Capture) -> SessionBuilder {
+        SessionBuilder {
+            source: BuilderSource::Replay(Box::new(capture)),
+            profile: None,
+            cache: None,
+            tracing: false,
+            record: None,
+        }
+    }
+
+    /// Attach to a built workload using the given latency profile.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::builder(workload).profile(profile).attach()`"
+    )]
+    pub fn attach(workload: Workload, profile: LatencyProfile) -> Session {
+        Session::builder(workload)
+            .profile(profile)
+            .attach()
+            .expect("live attach cannot fail")
+    }
+
+    /// Attach with the snapshot block cache enabled.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::builder(workload).profile(profile).cache(cfg).attach()`"
+    )]
     pub fn attach_with_cache(
         workload: Workload,
         profile: LatencyProfile,
         cfg: CacheConfig,
     ) -> Session {
-        let mut s = Session::attach(workload, profile);
-        s.cache = Some(BlockCache::new(cfg));
-        s
+        Session::builder(workload)
+            .profile(profile)
+            .cache(cfg)
+            .attach()
+            .expect("live attach cannot fail")
     }
 
     /// Whether the bridge cache is enabled.
@@ -174,9 +419,19 @@ impl Session {
     /// Resume the (simulated) kernel: cached target bytes may now be
     /// stale, so the bridge cache epoch is bumped and all blocks drop.
     /// Plots already on panes are unaffected — they are snapshots.
+    ///
+    /// A recording session notes the resume on the tape; a replay
+    /// session consumes the matching resume event (a divergence here
+    /// poisons the replay and surfaces at the next wire read).
     pub fn resume(&mut self) {
         if let Some(c) = &self.cache {
             c.bump_epoch();
+        }
+        if let Some(r) = &self.recorder {
+            r.note_resume();
+        }
+        if let Some(s) = &self.replay {
+            let _ = s.consume_resume();
         }
     }
 
@@ -189,8 +444,15 @@ impl Session {
     /// rewrite the image, then [`Session::resume`] so the bridge cache
     /// drops its now-stale blocks. The next extraction sees the new
     /// machine state; plots already on panes keep their old snapshots.
+    ///
+    /// On a replay session the mutate closure is skipped — there is no
+    /// image to rewrite; the capture already contains whatever the
+    /// recorded kernel did between stops — but the resume still runs so
+    /// the cache epoch and replay cursor stay in step with the tape.
     pub fn stop_event(&mut self, mutate: impl FnOnce(&mut KernelImage)) {
-        mutate(&mut self.img);
+        if self.replay.is_none() {
+            mutate(&mut self.img);
+        }
         self.resume();
     }
 
@@ -248,28 +510,81 @@ impl Session {
         vtrace::chrome_trace(panes.into_iter().map(|(p, s)| (p.0 as u64, s)))
     }
 
-    /// Build a bridge target over the attached image (cached when the
-    /// session has a block cache).
+    /// Compose the backend stack and build a bridge target over it.
+    /// Metering, caching and tracing live in [`Target`], once, above
+    /// whichever backend the session attaches to:
+    ///
+    /// * replay session → [`ReplayBackend`] (the empty image is never
+    ///   read);
+    /// * recording session → [`RecordBackend`] over [`SimBackend`];
+    /// * plain live session → [`SimBackend`].
     fn target(&self) -> Target<'_> {
-        let mut target = match &self.cache {
-            None => Target::new(
-                &self.img.mem,
-                &self.img.types,
-                &self.img.symbols,
-                self.profile,
-            ),
-            Some(cache) => Target::with_cache(
-                &self.img.mem,
-                &self.img.types,
-                &self.img.symbols,
-                self.profile,
-                cache,
-            ),
+        let backend: Box<dyn TargetBackend + '_> = match (&self.replay, &self.recorder) {
+            (Some(state), _) => Box::new(ReplayBackend::new(state)),
+            (None, Some(tape)) => Box::new(RecordBackend::new(
+                Box::new(SimBackend::new(&self.img.mem)),
+                tape.clone(),
+            )),
+            (None, None) => Box::new(SimBackend::new(&self.img.mem)),
         };
+        let mut target = Target::over(backend, &self.img.types, &self.img.symbols, self.profile);
+        if let Some(cache) = &self.cache {
+            target.set_cache(cache);
+        }
         if let Some(t) = &self.tracer {
             target.set_tracer(t.clone());
         }
         target
+    }
+
+    /// The backend kind the next extraction will meter against.
+    pub fn backend_kind(&self) -> BackendKind {
+        match (&self.replay, &self.recorder) {
+            (Some(_), _) => BackendKind::Replay,
+            (None, Some(_)) => BackendKind::Record,
+            (None, None) => BackendKind::Sim,
+        }
+    }
+
+    /// The workload config the attached image (or capture) was built
+    /// from.
+    pub fn workload_cfg(&self) -> &WorkloadConfig {
+        &self.workload_cfg
+    }
+
+    /// The replay cursor, when this session serves a capture.
+    pub fn replay_state(&self) -> Option<&ReplayState> {
+        self.replay.as_ref()
+    }
+
+    /// Snapshot the wire tape of a recording session into a [`Capture`]
+    /// (`None` when the session is not recording). The capture embeds
+    /// the workload config so [`Session::replay`] can rebuild the debug
+    /// info; the tape keeps recording — a later snapshot is longer.
+    pub fn capture(&self) -> Option<Capture> {
+        let tape = self.recorder.as_ref()?;
+        let cache = self.cache.as_ref().map(|c| c.config());
+        Some(tape.capture(
+            BackendKind::Sim,
+            self.profile,
+            cache,
+            workload_cfg_to_meta(&self.workload_cfg),
+        ))
+    }
+
+    /// Write the recording to the `.vrec` path given to
+    /// [`SessionBuilder::record`]; returns that path.
+    pub fn save_recording(&self) -> Result<PathBuf> {
+        let path = self.record_path.clone().ok_or_else(|| {
+            SessionError::Capture("session is not recording (builder lacked .record(path))".into())
+        })?;
+        let capture = self
+            .capture()
+            .expect("record_path implies an active recorder");
+        capture
+            .save(&path)
+            .map_err(|e| SessionError::Capture(format!("cannot write {}: {e}", path.display())))?;
+        Ok(path)
     }
 
     /// Evaluate a ViewCL program against the stopped kernel, producing a
@@ -299,6 +614,13 @@ impl Session {
             graph: GraphStats::of(&graph),
             target: target.stats(),
         };
+        // The distillers tolerate per-object memory faults (corrupt
+        // pointers render as diagnostics), but a capture-level failure
+        // means the replay itself is broken: surface it loudly instead
+        // of returning a graph riddled with wire errors.
+        if let Some(msg) = self.replay.as_ref().and_then(|s| s.poisoned()) {
+            return Err(SessionError::Capture(msg));
+        }
         Ok((graph, stats))
     }
 
@@ -324,10 +646,29 @@ impl Session {
         }
     }
 
-    /// *vplot*: extract an object graph and display it on a new primary
-    /// pane (the first plot creates the pane tree; later plots split).
+    /// *vplot*: extract an object graph per `spec` and display it on a
+    /// new primary pane (the first plot creates the pane tree; later
+    /// plots split). The single entry point behind the historical
+    /// `vplot` / `vplot_figure` / `vplot_auto` trio.
+    pub fn plot(&mut self, spec: PlotSpec<'_>) -> Result<PaneId> {
+        match spec {
+            PlotSpec::Source(src) => self.plot_labeled(src, "extract"),
+            PlotSpec::Figure(id) => {
+                let fig = crate::figures::by_id(id)
+                    .ok_or_else(|| SessionError::NotFound(format!("figure `{id}`")))?;
+                self.plot_labeled(fig.viewcl, &format!("extract {id}"))
+            }
+            PlotSpec::Auto { ctype, root } => {
+                let src = self.synthesize_viewcl(ctype, root)?;
+                self.plot_labeled(&src, "extract")
+            }
+        }
+    }
+
+    /// *vplot* of a raw ViewCL program.
+    #[deprecated(since = "0.1.0", note = "use `Session::plot(PlotSpec::Source(src))`")]
     pub fn vplot(&mut self, viewcl_src: &str) -> Result<PaneId> {
-        self.plot_labeled(viewcl_src, "extract")
+        self.plot(PlotSpec::Source(viewcl_src))
     }
 
     fn plot_labeled(&mut self, viewcl_src: &str, label: &str) -> Result<PaneId> {
@@ -337,19 +678,20 @@ impl Session {
         Ok(pane)
     }
 
-    /// *vplot* with synthesized "naive" ViewCL (§4: *vplot* "can also
-    /// synthesize naive ViewCL code for trivial debugging objectives"):
-    /// generate a box definition showing every scalar field of `ctype`
-    /// and plot the object at `root_expr`.
+    /// *vplot* with synthesized "naive" ViewCL.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::plot(PlotSpec::Auto { ctype, root })`"
+    )]
     pub fn vplot_auto(&mut self, ctype: &str, root_expr: &str) -> Result<PaneId> {
-        let src = self.synthesize_viewcl(ctype, root_expr)?;
-        self.vplot(&src)
+        self.plot(PlotSpec::Auto {
+            ctype,
+            root: root_expr,
+        })
     }
 
-    /// Generate the naive ViewCL program used by [`vplot_auto`]
+    /// Generate the naive ViewCL program used by [`PlotSpec::Auto`]
     /// (public so callers can inspect or edit it first).
-    ///
-    /// [`vplot_auto`]: Self::vplot_auto
     pub fn synthesize_viewcl(&self, ctype: &str, root_expr: &str) -> Result<String> {
         let ty = self
             .img
@@ -441,10 +783,9 @@ plot @root
     }
 
     /// *vplot* of a library figure by id (e.g. `"fig7-1"`).
+    #[deprecated(since = "0.1.0", note = "use `Session::plot(PlotSpec::Figure(id))`")]
     pub fn vplot_figure(&mut self, id: &str) -> Result<PaneId> {
-        let fig = crate::figures::by_id(id)
-            .ok_or_else(|| SessionError::NotFound(format!("figure `{id}`")))?;
-        self.plot_labeled(fig.viewcl, &format!("extract {id}"))
+        self.plot(PlotSpec::Figure(id))
     }
 
     /// *vctrl*: apply a ViewQL program to a pane.
@@ -506,13 +847,41 @@ plot @root
         })
     }
 
+    /// The single checker entry point behind [`Session::vcheck`] and
+    /// [`Session::vcheck_scoped`]: build one target over the session's
+    /// backend stack and run the invariant checkers at the requested
+    /// scope. Returns the report plus, for the scoped flavor, the boxes
+    /// that produced fresh violations (id, count, first diagnostic).
+    fn run_checkers(&self, scope: CheckScope<'_>) -> (kcheck::Report, Vec<Flagged>) {
+        let target = self.target();
+        match scope {
+            CheckScope::Image => {
+                let _s = vtrace::span(self.tracer.as_ref(), SpanKind::Check, "vcheck sweep");
+                (kcheck::sweep(&target), Vec::new())
+            }
+            CheckScope::Boxes(objs) => {
+                let checker = kcheck::Checker::new(&target);
+                let mut report = kcheck::Report::default();
+                let mut flagged: Vec<Flagged> = Vec::new();
+                for (id, addr, ctype) in objs {
+                    let before = report.violations.len();
+                    let path = format!("{ctype}@{addr:#x}");
+                    checker.check_object(*addr, ctype, &path, &mut report);
+                    let fresh = report.violations.len() - before;
+                    if fresh > 0 {
+                        flagged.push((*id, fresh, report.violations[before].detail.clone()));
+                    }
+                }
+                (report, flagged)
+            }
+        }
+    }
+
     /// *vcheck*: run the kernel data-structure invariant checkers over
     /// the whole image — a full sweep from the well-known root symbols
     /// (`init_task`, `runqueues`, `super_blocks`, `slab_caches`).
     pub fn vcheck(&self) -> kcheck::Report {
-        let _s = vtrace::span(self.tracer.as_ref(), SpanKind::Check, "vcheck sweep");
-        let target = self.target();
-        kcheck::sweep(&target)
+        self.run_checkers(CheckScope::Image).0
     }
 
     /// *vcheck* scoped by a ViewQL query: execute `viewql` against the
@@ -539,26 +908,16 @@ plot @root
             .var(&var)
             .ok_or_else(|| SessionError::NotFound(format!("vcheck: selection `{var}`")))?;
 
-        let mut report = kcheck::Report::default();
-        let mut flagged: Vec<(vgraph::BoxId, usize, String)> = Vec::new();
-        {
-            let target = self.target();
-            let checker = kcheck::Checker::new(&target);
-            for id in sel.boxes() {
+        let objs: Vec<(vgraph::BoxId, u64, String)> = sel
+            .boxes()
+            .into_iter()
+            .map(|id| {
                 let b = scratch.get(id);
-                if b.addr == 0 || b.ctype.is_empty() {
-                    continue;
-                }
-                let before = report.violations.len();
-                let path = format!("{}@{:#x}", b.ctype, b.addr);
-                let (addr, ctype) = (b.addr, b.ctype.clone());
-                checker.check_object(addr, &ctype, &path, &mut report);
-                let fresh = report.violations.len() - before;
-                if fresh > 0 {
-                    flagged.push((id, fresh, report.violations[before].detail.clone()));
-                }
-            }
-        }
+                (id, b.addr, b.ctype.clone())
+            })
+            .filter(|(_, addr, ctype)| *addr != 0 && !ctype.is_empty())
+            .collect();
+        let (report, flagged) = self.run_checkers(CheckScope::Boxes(&objs));
         if !flagged.is_empty() {
             if let Some(g) = self.panes.as_mut().and_then(|s| s.graph_of_mut(pane)) {
                 for (id, count, detail) in flagged {
@@ -640,13 +999,15 @@ mod tests {
     use ksim::workload::{build, WorkloadConfig};
 
     fn session() -> Session {
-        Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free())
+        Session::builder(build(&WorkloadConfig::default()))
+            .attach()
+            .expect("live attach")
     }
 
     #[test]
     fn vplot_figure_and_render() {
         let mut s = session();
-        let pane = s.vplot_figure("fig7-1").unwrap();
+        let pane = s.plot(PlotSpec::Figure("fig7-1")).unwrap();
         let text = s.render_text(pane).unwrap();
         assert!(text.contains("RQ"));
         assert!(text.contains("worker-0"));
@@ -657,7 +1018,7 @@ mod tests {
     #[test]
     fn vctrl_refine_applies_viewql() {
         let mut s = session();
-        let pane = s.vplot_figure("fig3-4").unwrap();
+        let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
         s.vctrl_refine(
             pane,
             "a = SELECT task_struct FROM * WHERE mm == NULL\nUPDATE a WITH collapsed: true",
@@ -671,7 +1032,7 @@ mod tests {
     #[test]
     fn vchat_round_trip() {
         let mut s = session();
-        let pane = s.vplot_figure("fig3-4").unwrap();
+        let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
         let out = s
             .vchat(pane, "shrink tasks that have no address space", true)
             .unwrap();
@@ -683,8 +1044,8 @@ mod tests {
     #[test]
     fn multiple_plots_split_panes_and_focus_finds_shared_objects() {
         let mut s = session();
-        let p1 = s.vplot_figure("fig3-4").unwrap();
-        let p2 = s.vplot_figure("fig7-1").unwrap();
+        let p1 = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
+        let p2 = s.plot(PlotSpec::Figure("fig7-1")).unwrap();
         assert_ne!(p1, p2);
         // A runnable leader appears in both the parent tree and the
         // scheduler tree (paper Figure 2).
@@ -703,14 +1064,20 @@ mod tests {
         assert!(src.contains("Text vm_start"), "{src}");
         assert!(src.contains("Text<raw_ptr> vm_file"), "{src}");
         let pane = s
-            .vplot_auto("vm_area_struct", "find_vma(current_task->mm, 0x400000)")
+            .plot(PlotSpec::Auto {
+                ctype: "vm_area_struct",
+                root: "find_vma(current_task->mm, 0x400000)",
+            })
             .unwrap();
         let g = s.graph(pane).unwrap();
         assert_eq!(g.get(g.roots[0]).ctype, "vm_area_struct");
         // The naive plot shows the real field values.
         assert_eq!(g.get(g.roots[0]).member_raw("vm_start", g), Some(0x400000));
         assert!(matches!(
-            s.vplot_auto("no_such_type", "0"),
+            s.plot(PlotSpec::Auto {
+                ctype: "no_such_type",
+                root: "0"
+            }),
             Err(SessionError::NotFound(_))
         ));
     }
@@ -718,7 +1085,7 @@ mod tests {
     #[test]
     fn vctrl_select_creates_secondary_pane() {
         let mut s = session();
-        let pane = s.vplot_figure("fig7-1").unwrap();
+        let pane = s.plot(PlotSpec::Figure("fig7-1")).unwrap();
         let first = s.graph(pane).unwrap().roots[0];
         let sec = s
             .vctrl_select(pane, SplitDir::Vertical, vec![first])
@@ -734,7 +1101,7 @@ mod tests {
         // ViewCL" — the EMOJI decorator over a spinlock word.
         let mut s = session();
         let pane = s
-            .vplot(
+            .plot(PlotSpec::Source(
                 r#"
 define MMLock as Box<mm_struct> [
     Text<emoji:lock> page_table_lock: page_table_lock.locked
@@ -742,7 +1109,7 @@ define MMLock as Box<mm_struct> [
 m = MMLock(${current_task->mm})
 plot @m
 "#,
-            )
+            ))
             .unwrap();
         let g = s.graph(pane).unwrap();
         match g.get(g.roots[0]).item("page_table_lock").unwrap() {
@@ -754,15 +1121,15 @@ plot @m
     #[test]
     fn cached_session_plots_identically_and_cheaper() {
         let fig = crate::figures::by_id("fig3-4").unwrap();
-        let uncached = Session::attach(
-            build(&WorkloadConfig::default()),
-            LatencyProfile::kgdb_rpi400(),
-        );
-        let mut cached = Session::attach_with_cache(
-            build(&WorkloadConfig::default()),
-            LatencyProfile::kgdb_rpi400(),
-            vbridge::CacheConfig::default(),
-        );
+        let uncached = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::kgdb_rpi400())
+            .attach()
+            .unwrap();
+        let mut cached = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::kgdb_rpi400())
+            .cache(vbridge::CacheConfig::default())
+            .attach()
+            .unwrap();
         assert!(cached.cache_enabled() && !uncached.cache_enabled());
         let (g_plain, s_plain) = uncached.extract(fig.viewcl).unwrap();
         let (g_cold, s_cold) = cached.extract(fig.viewcl).unwrap();
@@ -793,8 +1160,8 @@ plot @m
     fn vcheck_scoped_flags_and_annotates_corrupted_selection() {
         let mut w = build(&WorkloadConfig::default());
         ksim::faults::inject(&mut w, ksim::faults::FaultKind::MaplePivotCorrupt, 1);
-        let mut s = Session::attach(w, LatencyProfile::free());
-        let pane = s.vplot_figure("fig3-4").unwrap();
+        let mut s = Session::builder(w).attach().unwrap();
+        let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
         let report = s
             .vcheck_scoped(pane, "v = SELECT mm_struct FROM *")
             .unwrap();
@@ -817,7 +1184,7 @@ plot @m
     fn unknown_figure_errors() {
         let mut s = session();
         assert!(matches!(
-            s.vplot_figure("fig0-0"),
+            s.plot(PlotSpec::Figure("fig0-0")),
             Err(SessionError::NotFound(_))
         ));
     }
@@ -850,16 +1217,16 @@ plot @m
 
     #[test]
     fn vtrace_reconciles_with_target_stats() {
-        let mut s = Session::attach(
-            build(&WorkloadConfig::default()),
-            LatencyProfile::kgdb_rpi400(),
-        );
+        let mut s = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::kgdb_rpi400())
+            .attach()
+            .unwrap();
         assert!(!s.tracing_enabled());
         assert!(s.vtrace(PaneId(0)).is_none());
         s.enable_tracing();
         assert!(s.tracing_enabled());
 
-        let pane = s.vplot_figure("fig3-4").unwrap();
+        let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
         let _ = s.render_text(pane).unwrap();
         s.vctrl_refine(
             pane,
@@ -902,5 +1269,114 @@ plot @m
         let v: serde_json::Value = serde_json::from_str(&chrome).unwrap();
         let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
         assert_eq!(events.len(), trace.flatten().len());
+    }
+
+    #[test]
+    fn record_replay_round_trip_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("vrec-session-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.vrec");
+        let mut rec = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::kgdb_rpi400())
+            .cache(vbridge::CacheConfig::default())
+            .record(&path)
+            .attach()
+            .unwrap();
+        assert_eq!(rec.backend_kind(), BackendKind::Record);
+        let fig = crate::figures::by_id("fig3-4").unwrap();
+        let (g_live, s_live) = rec.extract(fig.viewcl).unwrap();
+        rec.resume();
+        let (_, s_live2) = rec.extract(fig.viewcl).unwrap();
+        let saved = rec.save_recording().unwrap();
+        assert_eq!(saved, path);
+
+        let cap = Capture::load(&path).unwrap();
+        let mut rep = Session::replay(cap).attach().unwrap();
+        assert_eq!(rep.backend_kind(), BackendKind::Replay);
+        // The replay rebuilt profile, cache and workload config from the
+        // capture header — and attached to zero bytes of target memory.
+        assert_eq!(rep.profile(), LatencyProfile::kgdb_rpi400());
+        assert!(rep.cache_enabled());
+        assert_eq!(rep.workload_cfg(), &WorkloadConfig::default());
+        assert_eq!(rep.image().mem.mapped_pages(), 0);
+
+        let (g_rep, s_rep) = rep.extract(fig.viewcl).unwrap();
+        rep.resume();
+        let (_, s_rep2) = rep.extract(fig.viewcl).unwrap();
+        assert_eq!(g_live.to_json(), g_rep.to_json());
+        // Counters are byte-identical; only the backend identity moves
+        // from Record to Replay.
+        assert_eq!(
+            s_rep.target,
+            TargetStats {
+                backend: BackendKind::Replay,
+                ..s_live.target
+            }
+        );
+        assert_eq!(
+            s_rep2.target,
+            TargetStats {
+                backend: BackendKind::Replay,
+                ..s_live2.target
+            }
+        );
+        assert_eq!(rep.replay_state().unwrap().remaining(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_rejects_bad_captures_loudly() {
+        // Recording a replay is a contradiction.
+        let cap = Capture {
+            version: vbridge::VREC_VERSION,
+            origin: BackendKind::Sim,
+            profile: LatencyProfile::free(),
+            cache: None,
+            meta: workload_cfg_to_meta(&WorkloadConfig::default()),
+            events: Vec::new(),
+        };
+        let err = match Session::replay(cap.clone()).record("nowhere.vrec").attach() {
+            Err(e) => e,
+            Ok(_) => panic!("recording a replay must fail"),
+        };
+        assert!(matches!(err, SessionError::Capture(_)), "{err}");
+
+        // A capture without an embedded workload config cannot rebuild
+        // the debug info.
+        let mut no_meta = cap.clone();
+        no_meta.meta = serde_json::Value::Null;
+        let err = match Session::replay(no_meta).attach() {
+            Err(e) => e,
+            Ok(_) => panic!("meta-less capture must fail"),
+        };
+        assert!(err.to_string().contains("workload config"), "{err}");
+
+        // Reading past the capture (here: an empty one) errors loudly
+        // with a diagnostic instead of touching the (empty) image.
+        let rep = Session::replay(cap).attach().unwrap();
+        let fig = crate::figures::by_id("fig3-4").unwrap();
+        let err = rep.extract(fig.viewcl).unwrap_err();
+        assert!(err.to_string().contains("capture exhausted"), "{err}");
+    }
+
+    #[test]
+    fn save_recording_requires_a_recording_session() {
+        let s = session();
+        assert_eq!(s.backend_kind(), BackendKind::Sim);
+        assert!(s.capture().is_none());
+        let err = s.save_recording().unwrap_err();
+        assert!(matches!(err, SessionError::Capture(_)), "{err}");
+    }
+
+    #[test]
+    fn workload_cfg_meta_round_trips() {
+        let cfg = WorkloadConfig {
+            processes: 7,
+            seed: u64::MAX,
+            ..WorkloadConfig::default()
+        };
+        let meta = workload_cfg_to_meta(&cfg);
+        assert_eq!(workload_cfg_from_meta(&meta), Some(cfg));
+        assert_eq!(workload_cfg_from_meta(&serde_json::Value::Null), None);
     }
 }

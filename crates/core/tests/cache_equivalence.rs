@@ -3,6 +3,11 @@
 //! vgraph JSON with the cache enabled — both cold (empty cache) and warm
 //! (second extraction of the same figure) — as a plain uncached session
 //! produces, while never costing more virtual time than uncached.
+//!
+//! This suite deliberately drives the deprecated `attach` /
+//! `attach_with_cache` shims: they must keep behaving exactly like the
+//! `SessionBuilder` they now delegate to.
+#![allow(deprecated)]
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::{CacheConfig, LatencyProfile};

@@ -3,14 +3,17 @@
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::{figures, Session};
+use visualinux::{figures, PlotSpec, Session};
 
 #[test]
 fn all_21_figures_extract_nontrivial_graphs() {
-    let mut session = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let mut session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
     let mut failures = Vec::new();
     for fig in figures::all() {
-        match session.vplot(fig.viewcl) {
+        match session.plot(PlotSpec::Source(fig.viewcl)) {
             Err(e) => failures.push(format!("{}: {e}", fig.id)),
             Ok(pane) => {
                 let stats = session.plot_stats(pane).unwrap();
@@ -48,10 +51,13 @@ fn all_21_figures_extract_nontrivial_graphs() {
 
 #[test]
 fn figure_graphs_have_expected_shapes() {
-    let mut session = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let mut session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
 
     // fig3-4: the process tree holds every task.
-    let pane = session.vplot_figure("fig3-4").unwrap();
+    let pane = session.plot(PlotSpec::Figure("fig3-4")).unwrap();
     let g = session.graph(pane).unwrap();
     let tasks = g
         .boxes()
@@ -61,7 +67,7 @@ fn figure_graphs_have_expected_shapes() {
     assert_eq!(tasks, session.roots.all_tasks.len());
 
     // fig9-2: maple nodes + every VMA of the current task.
-    let pane = session.vplot_figure("fig9-2").unwrap();
+    let pane = session.plot(PlotSpec::Figure("fig9-2")).unwrap();
     let g = session.graph(pane).unwrap();
     let nodes = g.boxes().iter().filter(|b| b.label == "MapleNode").count();
     let vmas = g
@@ -73,13 +79,13 @@ fn figure_graphs_have_expected_shapes() {
     assert!(vmas >= 8, "expected the full VMA set, got {vmas}");
 
     // fig15-1: a real radix tree with pages.
-    let pane = session.vplot_figure("fig15-1").unwrap();
+    let pane = session.plot(PlotSpec::Figure("fig15-1")).unwrap();
     let g = session.graph(pane).unwrap();
     let pages = g.boxes().iter().filter(|b| b.ctype == "page").count();
     assert!(pages >= 1, "page cache must hold pages");
 
     // workqueue: both enclosing types present (heterogeneous list).
-    let pane = session.vplot_figure("workqueue").unwrap();
+    let pane = session.plot(PlotSpec::Figure("workqueue")).unwrap();
     let g = session.graph(pane).unwrap();
     assert!(g.boxes().iter().any(|b| b.label == "DelayedWork"));
     assert!(g
@@ -88,7 +94,7 @@ fn figure_graphs_have_expected_shapes() {
         .any(|b| b.label == "Work" && b.ctype == "work_struct"));
 
     // socketconn: one socket per process, with skbs.
-    let pane = session.vplot_figure("socketconn").unwrap();
+    let pane = session.plot(PlotSpec::Figure("socketconn")).unwrap();
     let g = session.graph(pane).unwrap();
     let socks = g.boxes().iter().filter(|b| b.ctype == "socket").count();
     assert_eq!(socks, 5);
@@ -96,11 +102,14 @@ fn figure_graphs_have_expected_shapes() {
 
 #[test]
 fn table3_objectives_run_hand_written_viewql() {
-    let mut session = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let mut session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
     for fig in figures::all() {
         let Some(obj) = &fig.objective else { continue };
         let pane = session
-            .vplot(fig.viewcl)
+            .plot(PlotSpec::Source(fig.viewcl))
             .unwrap_or_else(|e| panic!("{}: {e}", fig.id));
         session
             .vctrl_refine(pane, obj.viewql)

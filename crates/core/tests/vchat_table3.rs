@@ -5,7 +5,7 @@
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
 use vgraph::Graph;
-use visualinux::{figures, Session};
+use visualinux::{figures, PlotSpec, Session};
 
 /// One box's observable display state: addr, label, collapsed, trimmed,
 /// view, direction, and per-member container states.
@@ -65,14 +65,20 @@ fn vchat_synthesizes_all_ten_objectives() {
         let obj = fig.objective.as_ref().unwrap();
 
         // Reference: hand-written ViewQL on a fresh plot.
-        let mut s1 = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
-        let p1 = s1.vplot(fig.viewcl).unwrap();
+        let mut s1 = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::free())
+            .attach()
+            .unwrap();
+        let p1 = s1.plot(PlotSpec::Source(fig.viewcl)).unwrap();
         s1.vctrl_refine(p1, obj.viewql).unwrap();
         let want = display_state(s1.graph(p1).unwrap());
 
         // Candidate: vchat synthesis from the description.
-        let mut s2 = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
-        let p2 = s2.vplot(fig.viewcl).unwrap();
+        let mut s2 = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::free())
+            .attach()
+            .unwrap();
+        let p2 = s2.plot(PlotSpec::Source(fig.viewcl)).unwrap();
         match s2.vchat(p2, obj.description, true) {
             Err(e) => notes.push(format!("{}: synthesis failed: {e}", fig.id)),
             Ok(out) => {

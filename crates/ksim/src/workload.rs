@@ -121,7 +121,7 @@ pub fn register_all(kb: &mut KernelBuilder) -> AllTypes {
 }
 
 /// Knobs for the workload generator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkloadConfig {
     /// User processes (the paper uses 5).
     pub processes: usize,
@@ -192,6 +192,9 @@ pub struct Workload {
     pub types: AllTypes,
     /// Root object addresses.
     pub roots: WorkloadRoots,
+    /// The config this workload was built from (carried so a wire
+    /// capture can embed it and a replay can rebuild the debug info).
+    pub cfg: WorkloadConfig,
 }
 
 impl Workload {
@@ -199,6 +202,20 @@ impl Workload {
     pub fn finish(self) -> (KernelImage, AllTypes, WorkloadRoots) {
         (self.kb.finish(), self.types, self.roots)
     }
+}
+
+/// Rebuild only the *debug info* of a workload: the type registry,
+/// symbol table, and root addresses — with an **empty** memory image.
+///
+/// This is what a replay session attaches to: every type and symbol a
+/// live session of the same config would know (the build pass interns
+/// types beyond [`register_all`], so the full build must run), but not
+/// one byte of target memory — any read that escapes the wire capture
+/// faults instead of silently hitting the image.
+pub fn debug_info(cfg: &WorkloadConfig) -> (KernelImage, AllTypes, WorkloadRoots) {
+    let (mut img, types, roots) = build(cfg).finish();
+    img.mem = kmem::Mem::new();
+    (img, types, roots)
 }
 
 /// Build the evaluation workload.
@@ -715,6 +732,7 @@ pub fn build(cfg: &WorkloadConfig) -> Workload {
         kb,
         types: t,
         roots,
+        cfg: cfg.clone(),
     }
 }
 
@@ -778,6 +796,18 @@ mod tests {
         let thread = w.roots.all_tasks[idx + 1];
         let thread_mm = w.kb.mem.read_uint(thread + mm_off, 8).unwrap();
         assert_eq!(leader_mm, thread_mm);
+    }
+
+    #[test]
+    fn debug_info_has_types_and_symbols_but_no_memory() {
+        let (img, _, roots) = debug_info(&WorkloadConfig::default());
+        assert_eq!(img.mem.mapped_pages(), 0);
+        assert!(img.symbols.lookup("init_task").is_some());
+        assert!(img.types.find("task_struct").is_some());
+        // Roots match a live build of the same config.
+        let live = build(&WorkloadConfig::default());
+        assert_eq!(roots.all_tasks, live.roots.all_tasks);
+        assert_eq!(live.cfg, WorkloadConfig::default());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Pluggable target backends.
+//!
+//! A [`TargetBackend`] is the *wire* below [`crate::Target`]: raw span
+//! reads, mapped-address probes and C-string pulls against some stopped
+//! kernel, reporting faults as [`BackendError`]s. Everything above the
+//! wire — latency metering, the snapshot block cache, read coalescing,
+//! tracing, fault accounting — lives once in `Target` and works the same
+//! over *any* backend.
+//!
+//! Three backends ship:
+//!
+//! * [`SimBackend`] — today's `ksim` memory image, behavior-identical to
+//!   the pre-trait bridge;
+//! * [`crate::RecordBackend`] — wraps another backend and captures every
+//!   wire operation (including faults) onto a tape for later replay;
+//! * [`crate::ReplayBackend`] — serves a captured tape deterministically
+//!   with zero image access, erroring loudly on any out-of-capture read.
+
+use kmem::{Mem, MemError};
+
+use crate::profile::LatencyProfile;
+
+/// Which kind of backend a [`Target`](crate::Target) is metering over.
+///
+/// Threaded through [`TargetStats`](crate::TargetStats) and vtrace spans
+/// so benchmark tables and traces can say *what* they measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Live `ksim` image behind the simulated debug stub.
+    #[default]
+    Sim,
+    /// Live backend wrapped by a wire-capture recorder.
+    Record,
+    /// Deterministic replay of a `.vrec` capture; no image access.
+    Replay,
+}
+
+impl BackendKind {
+    /// Stable lowercase name (used in captures, stats and trace labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Sim => "sim",
+            BackendKind::Record => "record",
+            BackendKind::Replay => "replay",
+        }
+    }
+
+    /// Parse the stable name back (capture deserialization).
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s {
+            "sim" => Some(BackendKind::Sim),
+            "record" => Some(BackendKind::Record),
+            "replay" => Some(BackendKind::Replay),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A failure reported by the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The target faulted: the access touched unmapped memory. Carries
+    /// the exact faulting address so metering and diagnostics stay
+    /// byte-identical across backends.
+    Mem(MemError),
+    /// The backend itself failed — for replay, a read that diverges from
+    /// or runs past the capture. Always a loud, diagnostic error.
+    Capture(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Mem(e) => write!(f, "target memory error: {e}"),
+            BackendError::Capture(msg) => write!(f, "capture error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<MemError> for BackendError {
+    fn from(e: MemError) -> Self {
+        BackendError::Mem(e)
+    }
+}
+
+/// The wire under the metered [`Target`](crate::Target): raw reads plus
+/// fault reporting and latency metadata. Object-safe so targets can be
+/// composed over `Box<dyn TargetBackend>` (e.g. a recorder wrapping the
+/// simulator).
+pub trait TargetBackend {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// One-line description for diagnostics and trace metadata.
+    fn describe(&self) -> String;
+
+    /// Read `out.len()` bytes at `addr`, or fault.
+    fn read(&self, addr: u64, out: &mut [u8]) -> Result<(), BackendError>;
+
+    /// Whether `addr` is mapped (a 1-byte probe on the real wire).
+    fn probe(&self, addr: u64) -> Result<bool, BackendError>;
+
+    /// Read a NUL-terminated C string of at most `max` bytes at `addr`.
+    /// On a fault the error carries the exact faulting address, which the
+    /// metering layer charges for (chunks up to and including the probe).
+    fn read_cstr(&self, addr: u64, max: usize) -> Result<String, BackendError>;
+
+    /// The transport's native latency profile, if it has one (a replayed
+    /// capture remembers the profile it was recorded under).
+    fn native_profile(&self) -> Option<LatencyProfile> {
+        None
+    }
+}
+
+/// The first backend: a live `ksim` memory image. Behavior-identical to
+/// the pre-trait bridge, which read the image directly.
+pub struct SimBackend<'a> {
+    mem: &'a Mem,
+}
+
+impl<'a> SimBackend<'a> {
+    /// Attach to a memory image.
+    pub fn new(mem: &'a Mem) -> Self {
+        SimBackend { mem }
+    }
+}
+
+impl TargetBackend for SimBackend<'_> {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+
+    fn describe(&self) -> String {
+        "sim: live ksim image".to_string()
+    }
+
+    fn read(&self, addr: u64, out: &mut [u8]) -> Result<(), BackendError> {
+        self.mem.read(addr, out).map_err(BackendError::Mem)
+    }
+
+    fn probe(&self, addr: u64) -> Result<bool, BackendError> {
+        Ok(self.mem.is_mapped(addr))
+    }
+
+    fn read_cstr(&self, addr: u64, max: usize) -> Result<String, BackendError> {
+        self.mem.read_cstr(addr, max).map_err(BackendError::Mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in [BackendKind::Sim, BackendKind::Record, BackendKind::Replay] {
+            assert_eq!(BackendKind::from_str_opt(k.as_str()), Some(k));
+            assert_eq!(format!("{k}"), k.as_str());
+        }
+        assert_eq!(BackendKind::from_str_opt("gdb"), None);
+    }
+
+    #[test]
+    fn sim_backend_reads_and_faults_like_the_image() {
+        let mut mem = Mem::new();
+        mem.map(0x1000, 4096);
+        mem.write_uint(0x1000, 8, 0xabcd);
+        let b = SimBackend::new(&mem);
+        let mut buf = [0u8; 8];
+        b.read(0x1000, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 0xabcd);
+        assert!(b.probe(0x1000).unwrap());
+        assert!(!b.probe(0xdead_0000).unwrap());
+        assert!(matches!(
+            b.read(0xdead_0000, &mut buf),
+            Err(BackendError::Mem(MemError::Unmapped { .. }))
+        ));
+        assert_eq!(b.kind(), BackendKind::Sim);
+    }
+}

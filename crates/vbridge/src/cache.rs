@@ -65,6 +65,13 @@ impl CacheConfig {
     }
 }
 
+/// `SessionBuilder::cache(16)` sugar: a bare number is a block size.
+impl From<u64> for CacheConfig {
+    fn from(block_size: u64) -> Self {
+        CacheConfig::with_block_size(block_size)
+    }
+}
+
 /// The shared snapshot cache. One per attached session; `Target`s borrow
 /// it so cached blocks survive across extractions while the kernel stays
 /// stopped. Interior-mutable for the same reason `Target`'s meters are:

@@ -17,18 +17,30 @@
 //!   while the kernel stays stopped, coalesces batched reads
 //!   ([`Target::read_many`]) into minimal wire spans, and accepts
 //!   prefetch hints ([`Target::prefetch`]) from container distillers —
-//!   invalidated wholesale when the session resumes the target.
+//!   invalidated wholesale when the session resumes the target;
+//! * the wire below the metering layer is a pluggable [`TargetBackend`]:
+//!   [`SimBackend`] serves a live `ksim` image, [`RecordBackend`] wraps
+//!   any backend and captures every wire operation into a serializable
+//!   [`Capture`] (`.vrec`), and [`ReplayBackend`] serves a capture back
+//!   deterministically with zero image access — metering, cache,
+//!   coalescing and tracing behave identically over all three.
 
+mod backend;
 mod cache;
 mod error;
 pub mod eval;
 mod helpers;
 mod profile;
+mod record;
+mod replay;
 mod target;
 
+pub use backend::{BackendError, BackendKind, SimBackend, TargetBackend};
 pub use cache::{BlockCache, CacheConfig};
-pub use error::{BridgeError, Result};
+pub use error::{BridgeError, ErrorKind, Result};
 pub use eval::Evaluator;
 pub use helpers::{HelperFn, HelperRegistry};
 pub use profile::LatencyProfile;
+pub use record::{Capture, RecordBackend, Recorder, WireEvent, VREC_VERSION};
+pub use replay::{ReplayBackend, ReplayState};
 pub use target::{ReadPlan, Target, TargetStats};

@@ -7,6 +7,7 @@ use kmem::{Mem, MemError, SymbolTable};
 use ktypes::{CValue, TypeId, TypeKind, TypeRegistry};
 use vtrace::Tracer;
 
+use crate::backend::{BackendError, BackendKind, SimBackend, TargetBackend};
 use crate::cache::BlockCache;
 use crate::profile::LatencyProfile;
 use crate::{BridgeError, Result};
@@ -25,6 +26,9 @@ const MAX_PREFETCH: u64 = 4096;
 /// whole block. Without a cache every call is one packet, as before.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TargetStats {
+    /// Which backend kind served the wire (identity only — all counters
+    /// are byte-identical between a live run and its replay).
+    pub backend: BackendKind,
     /// Number of read packets issued over the (virtual) wire.
     pub reads: u64,
     /// Total bytes transferred over the wire.
@@ -107,7 +111,7 @@ impl ReadPlan {
 /// one packet each, hits are free, and results — values *and* faults —
 /// are byte-identical to the uncached path.
 pub struct Target<'a> {
-    mem: &'a Mem,
+    backend: Box<dyn TargetBackend + 'a>,
     /// Type registry (the debug info).
     pub types: &'a TypeRegistry,
     /// Symbol table.
@@ -125,15 +129,44 @@ pub struct Target<'a> {
 }
 
 impl<'a> Target<'a> {
-    /// Attach to an image with the given latency profile (uncached).
+    /// Attach to a live image with the given latency profile (uncached).
+    /// Equivalent to [`Target::over`] with a [`SimBackend`].
     pub fn new(
         mem: &'a Mem,
         types: &'a TypeRegistry,
         symbols: &'a SymbolTable,
         profile: LatencyProfile,
     ) -> Self {
+        Target::over(Box::new(SimBackend::new(mem)), types, symbols, profile)
+    }
+
+    /// Attach to a live image with a shared snapshot block cache. The
+    /// cache outlives the target, so blocks persist across extractions
+    /// until the session resumes the kernel and bumps the epoch.
+    pub fn with_cache(
+        mem: &'a Mem,
+        types: &'a TypeRegistry,
+        symbols: &'a SymbolTable,
+        profile: LatencyProfile,
+        cache: &'a BlockCache,
+    ) -> Self {
+        let mut t = Target::new(mem, types, symbols, profile);
+        t.cache = Some(cache);
+        t
+    }
+
+    /// Attach the metering layer over an arbitrary wire backend. Every
+    /// layer above the wire — latency accounting, block cache, read
+    /// coalescing, tracing, fault counting — behaves identically no
+    /// matter which backend serves the bytes.
+    pub fn over(
+        backend: Box<dyn TargetBackend + 'a>,
+        types: &'a TypeRegistry,
+        symbols: &'a SymbolTable,
+        profile: LatencyProfile,
+    ) -> Self {
         Target {
-            mem,
+            backend,
             types,
             symbols,
             profile,
@@ -149,19 +182,19 @@ impl<'a> Target<'a> {
         }
     }
 
-    /// Attach with a shared snapshot block cache. The cache outlives the
-    /// target, so blocks persist across extractions until the session
-    /// resumes the kernel and bumps the epoch.
-    pub fn with_cache(
-        mem: &'a Mem,
-        types: &'a TypeRegistry,
-        symbols: &'a SymbolTable,
-        profile: LatencyProfile,
-        cache: &'a BlockCache,
-    ) -> Self {
-        let mut t = Target::new(mem, types, symbols, profile);
-        t.cache = Some(cache);
-        t
+    /// Route reads through a shared snapshot block cache.
+    pub fn set_cache(&mut self, cache: &'a BlockCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Which kind of backend serves the wire.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// One-line description of the wire backend.
+    pub fn backend_desc(&self) -> String {
+        self.backend.describe()
     }
 
     /// The active latency profile.
@@ -192,6 +225,7 @@ impl<'a> Target<'a> {
     /// advances in lock-step with [`Target::stats`] — the reconciliation
     /// invariant the vtrace test suite checks bit-for-bit.
     pub fn set_tracer(&mut self, tracer: Rc<Tracer>) {
+        tracer.set_backend(self.backend.kind().as_str());
         self.tracer = Some(tracer);
     }
 
@@ -203,6 +237,7 @@ impl<'a> Target<'a> {
     /// Snapshot the access statistics.
     pub fn stats(&self) -> TargetStats {
         TargetStats {
+            backend: self.backend.kind(),
             reads: self.reads.get(),
             bytes: self.bytes.get(),
             virtual_ns: self.virtual_ns.get(),
@@ -252,6 +287,15 @@ impl<'a> Target<'a> {
         }
     }
 
+    /// Convert a wire error, counting a fault only for real target memory
+    /// faults — a replay divergence is a tooling error, not a wild read.
+    fn wire_err(&self, addr: u64, e: BackendError) -> BridgeError {
+        if matches!(e, BackendError::Mem(_)) {
+            self.note_fault(addr);
+        }
+        BridgeError::from(e)
+    }
+
     /// Ensure every block overlapping `[addr, addr+len)` is resident,
     /// metering one packet per fetched block (and one exact-span packet
     /// per unmappable block, which a subsequent serve will fault on).
@@ -269,7 +313,7 @@ impl<'a> Target<'a> {
                 self.note_hit(base, bs);
             } else {
                 let mut block = vec![0u8; bs as usize];
-                if self.mem.read(base, &mut block).is_ok() {
+                if self.backend.read(base, &mut block).is_ok() {
                     self.account(base, bs);
                     self.cache_misses.set(self.cache_misses.get() + 1);
                     cache.insert(base, block.into_boxed_slice());
@@ -301,10 +345,9 @@ impl<'a> Target<'a> {
             if cache.contains(base) {
                 cache.copy_from(base, off, &mut out[pos..pos + n]);
             } else {
-                self.mem.read(a, &mut out[pos..pos + n]).map_err(|e| {
-                    self.note_fault(a);
-                    BridgeError::from(e)
-                })?;
+                self.backend
+                    .read(a, &mut out[pos..pos + n])
+                    .map_err(|e| self.wire_err(a, e))?;
             }
             pos += n;
         }
@@ -327,10 +370,9 @@ impl<'a> Target<'a> {
         match self.cache {
             None => {
                 self.account(addr, out.len() as u64);
-                self.mem.read(addr, out).map_err(|e| {
-                    self.note_fault(addr);
-                    BridgeError::from(e)
-                })
+                self.backend
+                    .read(addr, out)
+                    .map_err(|e| self.wire_err(addr, e))
             }
             Some(c) => self.read_through_cache(c, addr, out),
         }
@@ -341,10 +383,11 @@ impl<'a> Target<'a> {
         match self.cache {
             None => {
                 self.account(addr, size as u64);
-                self.mem.read_uint(addr, size).map_err(|e| {
-                    self.note_fault(addr);
-                    BridgeError::from(e)
-                })
+                let mut buf = [0u8; 8];
+                self.backend
+                    .read(addr, &mut buf[..size])
+                    .map_err(|e| self.wire_err(addr, e))?;
+                Ok(ktypes::read_uint(&buf, size))
             }
             Some(c) => {
                 let mut buf = [0u8; 8];
@@ -359,10 +402,11 @@ impl<'a> Target<'a> {
         match self.cache {
             None => {
                 self.account(addr, size as u64);
-                self.mem.read_int(addr, size).map_err(|e| {
-                    self.note_fault(addr);
-                    BridgeError::from(e)
-                })
+                let mut buf = [0u8; 8];
+                self.backend
+                    .read(addr, &mut buf[..size])
+                    .map_err(|e| self.wire_err(addr, e))?;
+                Ok(ktypes::read_int(&buf, size))
             }
             Some(c) => {
                 let mut buf = [0u8; 8];
@@ -376,10 +420,17 @@ impl<'a> Target<'a> {
     /// chunk actually pulled (the terminator travels too; a fault pays for
     /// the chunks up to and including the failing probe).
     pub fn read_cstr(&self, addr: u64, max: usize) -> Result<String> {
-        let res = self.mem.read_cstr(addr, max);
+        let res = self.backend.read_cstr(addr, max);
+        if let Err(BackendError::Capture(msg)) = &res {
+            // A backend (replay) failure, not a target fault: nothing
+            // travelled on the recorded wire, so nothing is metered.
+            return Err(BridgeError::Capture(msg.clone()));
+        }
         let fetched = match &res {
             Ok(s) => ((s.len() as u64) + 1).min(max as u64),
-            Err(MemError::Unmapped { addr: fault }) => fault.saturating_sub(addr) + 1,
+            Err(BackendError::Mem(MemError::Unmapped { addr: fault })) => {
+                fault.saturating_sub(addr) + 1
+            }
             Err(_) => 1,
         };
         match self.cache {
@@ -400,16 +451,14 @@ impl<'a> Target<'a> {
                 }
             }
         }
-        res.map_err(|e| {
-            self.note_fault(addr);
-            BridgeError::from(e)
-        })
+        res.map_err(|e| self.wire_err(addr, e))
     }
 
-    /// Whether `addr` is mapped (metered as a 1-byte probe).
-    pub fn is_mapped(&self, addr: u64) -> bool {
+    /// Whether `addr` is mapped (metered as a 1-byte probe). Errors only
+    /// when the backend itself fails (e.g. a replay divergence).
+    pub fn is_mapped(&self, addr: u64) -> Result<bool> {
         self.account(addr, 1);
-        self.mem.is_mapped(addr)
+        self.backend.probe(addr).map_err(BridgeError::from)
     }
 
     /// Pull every absent block covering `[addr, addr+len)` — the whole
@@ -434,7 +483,7 @@ impl<'a> Target<'a> {
         }
         let span = end - start;
         let mut buf = vec![0u8; span as usize];
-        if self.mem.read(start, &mut buf).is_ok() {
+        if self.backend.read(start, &mut buf).is_ok() {
             self.account(start, span);
             self.cache_misses.set(self.cache_misses.get() + missing);
             let mut base = start;
@@ -455,7 +504,7 @@ impl<'a> Target<'a> {
             while base < end {
                 if !cache.contains(base) {
                     let mut block = vec![0u8; bs as usize];
-                    if self.mem.read(base, &mut block).is_ok() {
+                    if self.backend.read(base, &mut block).is_ok() {
                         self.account(base, bs);
                         self.cache_misses.set(self.cache_misses.get() + 1);
                         cache.insert(base, block.into_boxed_slice());
@@ -820,6 +869,71 @@ mod tests {
             s.reads
         );
         assert!(evs.iter().any(|e| e.fault), "the wild read is flagged");
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_values_and_stats() {
+        use crate::{BackendKind, RecordBackend, Recorder, ReplayBackend, ReplayState, SimBackend};
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let (comm_off, _) = img
+            .types
+            .field_path(img.types.find("task_struct").unwrap(), "comm")
+            .unwrap();
+        let drive = |t: &Target| -> (u64, String, bool) {
+            let v = t.read_uint(roots.init_task, 8).unwrap();
+            let s = t.read_cstr(roots.init_task + comm_off, 16).unwrap();
+            let mut plan = ReadPlan::new();
+            plan.add(roots.init_task, 8);
+            plan.add(roots.init_task + 8, 8);
+            let _ = t.read_many(&plan).unwrap();
+            let m = t.is_mapped(roots.init_task).unwrap();
+            assert!(t.read_uint(0xdead_0000_0000, 8).is_err());
+            (v, s, m)
+        };
+        // Live run, recording every wire operation through the cache.
+        let cache = BlockCache::new(CacheConfig::default());
+        let tape = Rc::new(Recorder::new());
+        let mut live = Target::over(
+            Box::new(RecordBackend::new(
+                Box::new(SimBackend::new(&img.mem)),
+                tape.clone(),
+            )),
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+        );
+        live.set_cache(&cache);
+        let live_out = drive(&live);
+        let live_stats = live.stats();
+        assert_eq!(live_stats.backend, BackendKind::Record);
+        let cap = tape.capture(
+            BackendKind::Sim,
+            LatencyProfile::kgdb_rpi400(),
+            Some(CacheConfig::default()),
+            serde_json::Value::Null,
+        );
+        // Round-trip the capture through its JSON form, then replay
+        // against an identical metering stack — zero image access.
+        let state = ReplayState::new(crate::Capture::from_json(&cap.to_json()).unwrap());
+        let cache2 = BlockCache::new(CacheConfig::default());
+        let mut rep = Target::over(
+            Box::new(ReplayBackend::new(&state)),
+            &img.types,
+            &img.symbols,
+            LatencyProfile::kgdb_rpi400(),
+        );
+        rep.set_cache(&cache2);
+        let rep_out = drive(&rep);
+        assert_eq!(rep_out, live_out, "replayed values byte-identical");
+        assert_eq!(
+            rep.stats(),
+            TargetStats {
+                backend: BackendKind::Replay,
+                ..live_stats
+            },
+            "all counters byte-identical; only the identity differs"
+        );
+        assert_eq!(state.remaining(), 0, "every recorded event consumed");
     }
 
     #[test]

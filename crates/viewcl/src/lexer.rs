@@ -21,13 +21,15 @@ pub enum Tok {
     Eof,
 }
 
-/// A token plus its 1-based source line.
+/// A token plus its source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpannedTok {
     /// The token.
     pub tok: Tok,
-    /// Line number.
+    /// 1-based line number.
     pub line: u32,
+    /// Byte offset of the token's first character.
+    pub pos: usize,
 }
 
 /// Tokenize a ViewCL source string.
@@ -36,14 +38,19 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
     let mut i = 0usize;
     let mut line = 1u32;
     let mut out = Vec::new();
-    let err = |line: u32, msg: &str| VclError::Parse {
+    let err = |line: u32, pos: usize, msg: &str| VclError::Parse {
         line,
+        pos,
         msg: msg.to_string(),
     };
 
     macro_rules! push {
-        ($t:expr) => {
-            out.push(SpannedTok { tok: $t, line })
+        ($t:expr, $pos:expr) => {
+            out.push(SpannedTok {
+                tok: $t,
+                line,
+                pos: $pos,
+            })
         };
     }
 
@@ -74,9 +81,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     j += 1;
                 }
                 if depth != 0 {
-                    return Err(err(line, "unterminated ${...}"));
+                    return Err(err(line, i, "unterminated ${...}"));
                 }
-                push!(Tok::CExpr(src[start..j - 1].to_string()));
+                push!(Tok::CExpr(src[start..j - 1].to_string()), i);
                 i = j;
             }
             '@' => {
@@ -115,7 +122,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                                 k += 1;
                             }
                             if k == b.len() {
-                                return Err(err(line, "unterminated index in @ref"));
+                                return Err(err(line, j, "unterminated index in @ref"));
                             }
                             j = k + 1;
                         }
@@ -124,9 +131,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     }
                 }
                 if j == start {
-                    return Err(err(line, "dangling `@`"));
+                    return Err(err(line, i, "dangling `@`"));
                 }
-                push!(Tok::AtRef(src[start..j].to_string()));
+                push!(Tok::AtRef(src[start..j].to_string()), i);
                 i = j;
             }
             '<' => {
@@ -149,10 +156,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     j += 1;
                 }
                 if ok {
-                    push!(Tok::Spec(src[i + 1..j].trim().to_string()));
+                    push!(Tok::Spec(src[i + 1..j].trim().to_string()), i);
                     i = j + 1;
                 } else {
-                    push!(Tok::Punct("<"));
+                    push!(Tok::Punct("<"), i);
                     i += 1;
                 }
             }
@@ -164,16 +171,16 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                         i += 1;
                     }
                     let v = u64::from_str_radix(&src[start + 2..i], 16)
-                        .map_err(|_| err(line, "bad hex literal"))?;
-                    push!(Tok::Num(v as i64));
+                        .map_err(|_| err(line, start, "bad hex literal"))?;
+                    push!(Tok::Num(v as i64), start);
                 } else {
                     while i < b.len() && (b[i] as char).is_ascii_digit() {
                         i += 1;
                     }
                     let v: i64 = src[start..i]
                         .parse()
-                        .map_err(|_| err(line, "bad literal"))?;
-                    push!(Tok::Num(v));
+                        .map_err(|_| err(line, start, "bad literal"))?;
+                    push!(Tok::Num(v), start);
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
@@ -182,17 +189,17 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 {
                     i += 1;
                 }
-                push!(Tok::Ident(src[start..i].to_string()));
+                push!(Tok::Ident(src[start..i].to_string()), start);
             }
             _ => {
                 let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
                 if two == "->" {
-                    push!(Tok::Punct("->"));
+                    push!(Tok::Punct("->"), i);
                     i += 2;
                     continue;
                 }
                 if two == "=>" {
-                    push!(Tok::Punct("=>"));
+                    push!(Tok::Punct("=>"), i);
                     i += 2;
                     continue;
                 }
@@ -209,9 +216,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     '|' => "|",
                     '.' => ".",
                     '>' => ">",
-                    _ => return Err(err(line, &format!("unexpected character `{c}`"))),
+                    _ => return Err(err(line, i, &format!("unexpected character `{c}`"))),
                 };
-                push!(Tok::Punct(p));
+                push!(Tok::Punct(p), i);
                 i += 1;
             }
         }
@@ -219,6 +226,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
     out.push(SpannedTok {
         tok: Tok::Eof,
         line,
+        pos: b.len(),
     });
     Ok(out)
 }

@@ -43,6 +43,8 @@ pub enum VclError {
     Parse {
         /// 1-based source line.
         line: u32,
+        /// Byte offset of the offending token/character.
+        pos: usize,
         /// Description.
         msg: String,
     },
@@ -55,7 +57,11 @@ pub enum VclError {
 impl std::fmt::Display for VclError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            VclError::Parse { line, msg } => write!(f, "viewcl parse error (line {line}): {msg}"),
+            VclError::Parse { line, pos, msg } => write!(
+                f,
+                "viewcl parse error {} (line {line}): {msg}",
+                vtrace::diag::at_byte(*pos)
+            ),
             VclError::Eval(m) => write!(f, "viewcl evaluation error: {m}"),
             VclError::Bridge(e) => write!(f, "viewcl: {e}"),
         }

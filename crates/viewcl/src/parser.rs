@@ -13,6 +13,7 @@ impl P {
     fn err(&self, msg: impl Into<String>) -> VclError {
         VclError::Parse {
             line: self.toks[self.pos].line,
+            pos: self.toks[self.pos].pos,
             msg: msg.into(),
         }
     }

@@ -49,7 +49,9 @@ impl std::fmt::Display for VqlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VqlError::Parse { pos, msg } => {
-                write!(f, "viewql parse error at byte {pos}: {msg}")
+                // Rendered through the shared position helper so ViewQL
+                // and ViewCL diagnostics stay format-identical.
+                f.write_str(&vtrace::diag::parse_error("viewql parse error", *pos, msg))
             }
             VqlError::Exec(m) => write!(f, "viewql execution error: {m}"),
         }

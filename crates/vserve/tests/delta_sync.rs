@@ -13,11 +13,11 @@ use visualinux::{figures, Session};
 use vserve::{Replica, ReplicaEvent, ServeConfig, Server};
 
 fn attach() -> Session {
-    Session::attach_with_cache(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::free(),
-        CacheConfig::default(),
-    )
+    Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .cache(CacheConfig::default())
+        .attach()
+        .unwrap()
 }
 
 #[test]

@@ -11,11 +11,11 @@ use visualinux::{figures, Session};
 use vserve::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
 
 fn attach() -> Session {
-    Session::attach_with_cache(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::free(),
-        CacheConfig::default(),
-    )
+    Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .cache(CacheConfig::default())
+        .attach()
+        .unwrap()
 }
 
 /// Spawn the engine on its own thread (the session is single-threaded by

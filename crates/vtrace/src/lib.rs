@@ -23,6 +23,23 @@ use serde_json::{Map, Number, Value};
 /// How many wire events the ring buffer retains by default.
 pub const DEFAULT_WIRE_CAPACITY: usize = 4096;
 
+/// Shared diagnostic formatting, so every layer of the stack renders
+/// source positions the same way.
+pub mod diag {
+    /// The canonical byte-position phrase: `at byte N`. The ViewQL and
+    /// ViewCL parsers (and anything else that reports a source offset)
+    /// render through this one helper instead of hand-rolling formats.
+    pub fn at_byte(pos: usize) -> String {
+        format!("at byte {pos}")
+    }
+
+    /// Render `prefix` + position + message in the canonical shape:
+    /// `"{prefix} at byte {pos}: {msg}"`.
+    pub fn parse_error(prefix: &str, pos: usize, msg: &str) -> String {
+        format!("{prefix} {}: {msg}", at_byte(pos))
+    }
+}
+
 /// Cap on retained finished top-level spans, so a long session that
 /// never drains them (e.g. a bench loop) cannot grow without bound.
 const MAX_FINISHED: usize = 256;
@@ -338,6 +355,7 @@ struct Inner {
     stack: Vec<OpenSpan>,
     finished: Vec<TraceSpan>,
     wire: WireLog,
+    backend: Option<&'static str>,
 }
 
 /// The session-wide trace collector. Shared as `Rc<Tracer>` between the
@@ -368,6 +386,7 @@ impl Tracer {
                 stack: Vec::new(),
                 finished: Vec::new(),
                 wire: WireLog::new(capacity),
+                backend: None,
             }),
         }
     }
@@ -470,6 +489,18 @@ impl Tracer {
         }
     }
 
+    /// Record which wire backend the traced session meters over (set by
+    /// the bridge when a target attaches this tracer). Exported as trace
+    /// metadata so a replayed trace says it was replayed.
+    pub fn set_backend(&self, backend: &'static str) {
+        self.inner.borrow_mut().backend = Some(backend);
+    }
+
+    /// The backend label, if one was reported.
+    pub fn backend(&self) -> Option<&'static str> {
+        self.inner.borrow().backend
+    }
+
     /// Snapshot of the monotone clock.
     pub fn clock(&self) -> Counters {
         self.inner.borrow().clock
@@ -559,6 +590,15 @@ fn span_events(span: &TraceSpan, tid: u64, out: &mut Vec<Value>) {
 /// / Perfetto "complete" events, one tid per root). Timestamps are
 /// virtual microseconds.
 pub fn chrome_trace<'a>(roots: impl IntoIterator<Item = (u64, &'a TraceSpan)>) -> String {
+    chrome_trace_with_backend(None, roots)
+}
+
+/// [`chrome_trace`] plus an `otherData.backend` tag naming the wire
+/// backend the trace was collected over (sim/record/replay).
+pub fn chrome_trace_with_backend<'a>(
+    backend: Option<&str>,
+    roots: impl IntoIterator<Item = (u64, &'a TraceSpan)>,
+) -> String {
     let mut events = Vec::new();
     for (tid, root) in roots {
         span_events(root, tid, &mut events);
@@ -566,6 +606,11 @@ pub fn chrome_trace<'a>(roots: impl IntoIterator<Item = (u64, &'a TraceSpan)>) -
     let mut top = Map::new();
     top.insert("traceEvents".into(), Value::Array(events));
     top.insert("displayTimeUnit".into(), Value::String("ms".into()));
+    if let Some(b) = backend {
+        let mut other = Map::new();
+        other.insert("backend".into(), Value::String(b.into()));
+        top.insert("otherData".into(), Value::Object(other));
+    }
     serde_json::to_string(&Value::Object(top)).expect("trace serializes")
 }
 

@@ -7,18 +7,22 @@
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::Session;
+use visualinux::{PlotSpec, Session};
 
 fn main() {
-    let mut session = Session::attach(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::gdb_qemu(),
-    );
+    let mut session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::gdb_qemu())
+        .attach()
+        .unwrap();
 
     // Pane 0: the process parenthood tree.
-    let parents = session.vplot_figure("fig3-4").expect("plot parent tree");
+    let parents = session
+        .plot(PlotSpec::Figure("fig3-4"))
+        .expect("plot parent tree");
     // Pane 1: the scheduler's red-black tree (split to the right).
-    let sched = session.vplot_figure("fig7-1").expect("plot sched tree");
+    let sched = session
+        .plot(PlotSpec::Figure("fig7-1"))
+        .expect("plot sched tree");
 
     // "focus": find the same task in both panes (paper Figure 2).
     let leader = session.roots.leaders[0];

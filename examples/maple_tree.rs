@@ -8,18 +8,18 @@
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::Session;
+use visualinux::{PlotSpec, Session};
 
 fn main() {
-    let mut session = Session::attach(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::gdb_qemu(),
-    );
+    let mut session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::gdb_qemu())
+        .attach()
+        .unwrap();
 
     // The Fig 9-2 library program contains the full maple-tree ViewCL of
     // the paper's Figure 3 (MapleNode switch over node types, tagged
     // pointer unwrapping, VMArea leaves).
-    let pane = session.vplot_figure("fig9-2").expect("plot");
+    let pane = session.plot(PlotSpec::Figure("fig9-2")).expect("plot");
     session
         .vctrl_refine(
             pane,

@@ -7,18 +7,21 @@
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::Session;
+use visualinux::{PlotSpec, Session};
 
 fn main() {
     // 1. Build the simulated Linux 6.1 image: 5 processes x 2 threads
     //    exercising files, pipes, sockets, IPC, mmap (the paper's §5.4
     //    workload), then attach the debugger.
     let workload = build(&WorkloadConfig::default());
-    let mut session = Session::attach(workload, LatencyProfile::gdb_qemu());
+    let mut session = Session::builder(workload)
+        .profile(LatencyProfile::gdb_qemu())
+        .attach()
+        .unwrap();
 
     // 2. vplot: the ViewCL program from the paper's introduction.
     let pane = session
-        .vplot(
+        .plot(PlotSpec::Source(
             r#"
 define Task as Box<task_struct> [
     Text pid, comm
@@ -32,7 +35,7 @@ sched_tree = RBTree(@root).forEach |node| {
 }
 plot @sched_tree
 "#,
-        )
+        ))
         .expect("plot the run queue");
 
     println!("{}", session.render_text(pane).expect("render"));

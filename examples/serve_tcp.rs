@@ -70,11 +70,11 @@ fn main() -> std::io::Result<()> {
     let addr = listener.local_addr()?;
     println!("vserve: listening on {addr} (newline-delimited VCommand JSON)");
 
-    let session = Session::attach_with_cache(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::gdb_qemu(),
-        CacheConfig::default(),
-    );
+    let session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::gdb_qemu())
+        .cache(CacheConfig::default())
+        .attach()
+        .unwrap();
     let mut server = Server::new(
         session,
         ServeConfig {

@@ -7,16 +7,21 @@
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::{figures, Session};
+use visualinux::{figures, PlotSpec, Session};
 
 fn main() {
-    let mut session = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let mut session = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
     std::fs::create_dir_all("target/atlas").expect("mkdir");
     let mut toc = String::from("# ULK Atlas (simulated Linux 6.1)\n\n");
     for fig in figures::all() {
-        let pane = session.vplot(fig.viewcl).unwrap_or_else(|e| {
-            panic!("{}: {e}", fig.id);
-        });
+        let pane = session
+            .plot(PlotSpec::Source(fig.viewcl))
+            .unwrap_or_else(|e| {
+                panic!("{}: {e}", fig.id);
+            });
         // Apply the figure's Table 3 objective when it has one, so the
         // atlas shows the *simplified* plots.
         if let Some(obj) = &fig.objective {

@@ -9,7 +9,7 @@
 use ksim::faults::{self, FaultKind, ALL_FAULTS};
 use ksim::workload::{build, Workload, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::{figures, Session};
+use visualinux::{figures, PlotSpec, Session};
 
 fn fault_seed() -> u64 {
     std::env::var("FAULT_SEED")
@@ -20,7 +20,10 @@ fn fault_seed() -> u64 {
 
 #[test]
 fn clean_image_passes_every_checker() {
-    let s = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let s = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
     let report = s.vcheck();
     assert!(report.is_clean(), "clean image: {}", report.summary());
     assert!(report.checkers_run > 10, "the sweep covers the image");
@@ -32,7 +35,10 @@ fn every_injected_fault_is_flagged_with_a_symbol_rooted_path() {
     for kind in ALL_FAULTS {
         let mut w = build(&WorkloadConfig::default());
         let f = faults::inject(&mut w, kind, seed);
-        let s = Session::attach(w, LatencyProfile::free());
+        let s = Session::builder(w)
+            .profile(LatencyProfile::free())
+            .attach()
+            .unwrap();
         let report = s.vcheck();
         assert!(
             report.count_of(f.class()) >= 1,
@@ -69,8 +75,11 @@ plot @all
 "#;
 
 fn packets_of(w: Workload, viewcl: &str) -> (Session, vpanels::PaneId, u64, usize) {
-    let mut s = Session::attach(w, LatencyProfile::free());
-    let pane = s.vplot(viewcl).expect("plot must survive");
+    let mut s = Session::builder(w)
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
+    let pane = s.plot(PlotSpec::Source(viewcl)).expect("plot must survive");
     let reads = s.plot_stats(pane).unwrap().target.reads;
     let diags = s
         .graph(pane)
@@ -163,8 +172,11 @@ fn dangling_maple_node_plots_with_diagnostic_within_packet_budget() {
 fn scoped_vcheck_annotates_only_the_damaged_objects() {
     let mut w = build(&WorkloadConfig::default());
     faults::inject(&mut w, FaultKind::MaplePivotCorrupt, fault_seed());
-    let mut s = Session::attach(w, LatencyProfile::free());
-    let pane = s.vplot_figure("fig3-4").unwrap();
+    let mut s = Session::builder(w)
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
+    let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
     let report = s
         .vcheck_scoped(
             pane,

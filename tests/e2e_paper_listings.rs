@@ -4,10 +4,13 @@
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
 use vgraph::Item;
-use visualinux::Session;
+use visualinux::{PlotSpec, Session};
 
 fn session() -> Session {
-    Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free())
+    Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap()
 }
 
 /// §1: the intro's ViewCL + ViewQL pair.
@@ -15,7 +18,7 @@ fn session() -> Session {
 fn section1_runqueue_listing() {
     let mut s = session();
     let pane = s
-        .vplot(
+        .plot(PlotSpec::Source(
             r#"
 define Task as Box<task_struct> [
     Text pid, comm
@@ -29,7 +32,7 @@ sched_tree = RBTree(@root).forEach |node| {
 }
 plot @sched_tree
 "#,
-        )
+        ))
         .unwrap();
     let n_before = s.graph(pane).unwrap().boxes().len();
     assert!(n_before >= 3);
@@ -61,7 +64,7 @@ UPDATE task_all \ task_2 WITH collapsed: true
 fn section2_2_view_inheritance_listing() {
     let mut s = session();
     let pane = s
-        .vplot(
+        .plot(PlotSpec::Source(
             r#"
 define RQ as Box<rq> [
     Text cpu, nr_running
@@ -82,7 +85,7 @@ define Task as Box<task_struct> {
 t = Task(${current_task})
 plot @t
 "#,
-        )
+        ))
         .unwrap();
     let g = s.graph(pane).unwrap();
     let b = g.get(g.roots[0]);
@@ -96,7 +99,7 @@ plot @t
 #[test]
 fn section2_3_customization_listings() {
     let mut s = session();
-    let pane = s.vplot_figure("fig3-4").unwrap();
+    let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
     s.vctrl_refine(
         pane,
         r#"
@@ -117,7 +120,7 @@ UPDATE user_threads WITH view: show_children
     assert!(kernel.iter().all(|b| b.attrs.view.is_none()));
 
     // Writable-VMA trim on the address-space figure.
-    let pane = s.vplot_figure("fig9-2").unwrap();
+    let pane = s.plot(PlotSpec::Figure("fig9-2")).unwrap();
     s.vctrl_refine(
         pane,
         r#"
@@ -137,7 +140,7 @@ UPDATE non_writable_vmas WITH collapsed: true
 #[test]
 fn section2_4_vchat_listing() {
     let mut s = session();
-    let pane = s.vplot_figure("fig3-4").unwrap();
+    let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
     let out = s
         .vchat(
             pane,
@@ -153,7 +156,7 @@ fn section2_4_vchat_listing() {
 #[test]
 fn section5_2_superblock_listing() {
     let mut s = session();
-    let pane = s.vplot_figure("fig14-3").unwrap();
+    let pane = s.plot(PlotSpec::Figure("fig14-3")).unwrap();
     s.vctrl_refine(
         pane,
         r#"
@@ -186,7 +189,7 @@ UPDATE b WITH collapsed: true
 #[test]
 fn graph_json_wire_format_round_trip() {
     let mut s = session();
-    let pane = s.vplot_figure("fig7-1").unwrap();
+    let pane = s.plot(PlotSpec::Figure("fig7-1")).unwrap();
     s.vctrl_refine(
         pane,
         "a = SELECT task_struct FROM *\nUPDATE a WITH view: sched",

@@ -3,14 +3,17 @@
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::{figures, Session};
+use visualinux::{figures, PlotSpec, Session};
 
 fn measure(profile: LatencyProfile) -> Vec<(String, f64, f64, f64)> {
-    let mut s = Session::attach(build(&WorkloadConfig::default()), profile);
+    let mut s = Session::builder(build(&WorkloadConfig::default()))
+        .profile(profile)
+        .attach()
+        .unwrap();
     figures::all()
         .iter()
         .map(|f| {
-            let pane = s.vplot(f.viewcl).unwrap();
+            let pane = s.plot(PlotSpec::Source(f.viewcl)).unwrap();
             let st = s.plot_stats(pane).unwrap();
             (
                 f.id.to_string(),
@@ -74,25 +77,25 @@ fn kgdb_per_kb_is_three_orders_above_qemu_per_kb() {
 #[test]
 fn bigger_workload_costs_more() {
     let small = {
-        let mut s = Session::attach(
-            build(&WorkloadConfig {
-                processes: 2,
-                ..Default::default()
-            }),
-            LatencyProfile::gdb_qemu(),
-        );
-        let pane = s.vplot_figure("fig3-4").unwrap();
+        let mut s = Session::builder(build(&WorkloadConfig {
+            processes: 2,
+            ..Default::default()
+        }))
+        .profile(LatencyProfile::gdb_qemu())
+        .attach()
+        .unwrap();
+        let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
         s.plot_stats(pane).unwrap().total_ms()
     };
     let big = {
-        let mut s = Session::attach(
-            build(&WorkloadConfig {
-                processes: 20,
-                ..Default::default()
-            }),
-            LatencyProfile::gdb_qemu(),
-        );
-        let pane = s.vplot_figure("fig3-4").unwrap();
+        let mut s = Session::builder(build(&WorkloadConfig {
+            processes: 20,
+            ..Default::default()
+        }))
+        .profile(LatencyProfile::gdb_qemu())
+        .attach()
+        .unwrap();
+        let pane = s.plot(PlotSpec::Figure("fig3-4")).unwrap();
         s.plot_stats(pane).unwrap().total_ms()
     };
     assert!(
@@ -108,16 +111,16 @@ fn warm_cache_cuts_kgdb_task_list_cost_5x() {
     // time and >=3x fewer wire packets than the uncached baseline —
     // while producing byte-identical graph JSON.
     let fig = figures::by_id("fig3-4").unwrap();
-    let uncached = Session::attach(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::kgdb_rpi400(),
-    );
+    let uncached = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .attach()
+        .unwrap();
     let (g_base, base) = uncached.extract(fig.viewcl).unwrap();
-    let cached = Session::attach_with_cache(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::kgdb_rpi400(),
-        vbridge::CacheConfig::default(),
-    );
+    let cached = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .cache(vbridge::CacheConfig::default())
+        .attach()
+        .unwrap();
     let (g_cold, _) = cached.extract(fig.viewcl).unwrap();
     let (g_warm, warm) = cached.extract(fig.viewcl).unwrap();
     assert_eq!(g_base.to_json(), g_cold.to_json());

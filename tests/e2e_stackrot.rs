@@ -54,18 +54,21 @@ fn stackrot_rcu_lists_differ_across_cpus() {
 fn stackrot_after_grace_period_plots_the_poison() {
     use ksim::scenarios;
     use ksim::workload::{build, WorkloadConfig};
-    use visualinux::{figures, Session};
+    use visualinux::{figures, PlotSpec, Session};
 
     let mut w = build(&WorkloadConfig::default());
     let sr = scenarios::inject_stackrot(&mut w);
     scenarios::expire_rcu_grace_period(&mut w, &sr);
-    let mut session = Session::attach(w, LatencyProfile::free());
+    let mut session = Session::builder(w)
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
 
     // The plot still completes (a debugger must not crash on corrupt
     // state); the poisoned node shows garbage where structure used to be.
     let fig = figures::by_id("fig9-2").unwrap();
     let pane = session
-        .vplot(fig.viewcl)
+        .plot(PlotSpec::Source(fig.viewcl))
         .expect("plot survives the corrupt tree");
     let g = session.graph(pane).unwrap();
 

@@ -22,7 +22,7 @@ use std::path::PathBuf;
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::LatencyProfile;
-use visualinux::{figures, Session};
+use visualinux::{figures, PlotSpec, Session};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
@@ -58,13 +58,16 @@ fn check_or_update(id: &str, ext: &str, rendered: &str, drift: &mut Vec<String>)
 
 #[test]
 fn all_figures_match_goldens() {
-    let mut s = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let mut s = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
     let figs = figures::all();
     assert_eq!(figs.len(), 21, "Table 2 has 21 figures");
     let mut drift = Vec::new();
     for fig in &figs {
         let pane = s
-            .vplot_figure(fig.id)
+            .plot(PlotSpec::Figure(fig.id))
             .unwrap_or_else(|e| panic!("{} must plot: {e}", fig.id));
         let text = s.render_text(pane).unwrap();
         let dot = s.render_dot(pane).unwrap();

@@ -8,7 +8,7 @@ use ksim::faults::{self, ALL_FAULTS};
 use ksim::workload::{build, WorkloadConfig};
 use proptest::prelude::*;
 use vbridge::LatencyProfile;
-use visualinux::Session;
+use visualinux::{PlotSpec, Session};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
@@ -31,12 +31,12 @@ proptest! {
             faults::inject(&mut w, kind, seed.wrapping_add(i as u64));
         }
 
-        let mut s = Session::attach(w, LatencyProfile::free());
+        let mut s = Session::builder(w).profile(LatencyProfile::free()).attach().unwrap();
         // Every figure distiller family terminates and plots: lists +
         // rbtree (fig3-4 children, fig7-1 timeline), maple tree +
         // xarray + fd tables (fig9-2, fig12-3).
         for fig in ["fig3-4", "fig7-1", "fig9-2", "fig12-3"] {
-            let pane = s.vplot_figure(fig);
+            let pane = s.plot(PlotSpec::Figure(fig));
             prop_assert!(pane.is_ok(), "{fig} must plot: {:?}", pane.err());
         }
         // REACHABLE() over the corrupted plots terminates.
@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn clean_images_stay_clean_at_any_seed(seed in 0u64..256) {
         let w = build(&WorkloadConfig { seed, ..Default::default() });
-        let s = Session::attach(w, LatencyProfile::free());
+        let s = Session::builder(w).profile(LatencyProfile::free()).attach().unwrap();
         let report = s.vcheck();
         prop_assert!(report.is_clean(), "seed {seed}: {}", report.summary());
     }

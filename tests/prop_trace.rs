@@ -12,7 +12,7 @@
 use ksim::workload::{build, WorkloadConfig};
 use proptest::prelude::*;
 use vbridge::{CacheConfig, LatencyProfile, TargetStats};
-use visualinux::{figures, Session};
+use visualinux::{figures, PlotSpec, Session};
 use vtrace::{Counters, SpanKind, TraceSpan};
 
 fn assert_reconciles(trace: &TraceSpan, target: TargetStats) -> Result<(), TestCaseError> {
@@ -51,14 +51,14 @@ proptest! {
         let cached = cached_coin == 1;
         let cfg = WorkloadConfig { processes, seed, ..WorkloadConfig::default() };
         let mut s = if cached {
-            Session::attach_with_cache(build(&cfg), profile, CacheConfig::default())
+            Session::builder(build(&cfg)).profile(profile).cache(CacheConfig::default()).attach().unwrap()
         } else {
-            Session::attach(build(&cfg), profile)
+            Session::builder(build(&cfg)).profile(profile).attach().unwrap()
         };
         s.enable_tracing();
 
         let fig = &figures::all()[fig_idx];
-        let pane = s.vplot_figure(fig.id).unwrap();
+        let pane = s.plot(PlotSpec::Figure(fig.id)).unwrap();
         let stats = s.plot_stats(pane).unwrap().target;
         let trace = s.vtrace(pane).expect("trace recorded for the pane");
         assert_reconciles(&trace, stats)?;
@@ -82,7 +82,7 @@ proptest! {
         // Cached sessions: a warm re-plot of the same figure reconciles
         // against its own (cache-hit heavy) stats too.
         if cached {
-            let warm = s.vplot_figure(fig.id).unwrap();
+            let warm = s.plot(PlotSpec::Figure(fig.id)).unwrap();
             let warm_stats = s.plot_stats(warm).unwrap().target;
             let warm_trace = s.vtrace(warm).unwrap();
             assert_reconciles(&warm_trace, warm_stats)?;

@@ -1,0 +1,132 @@
+//! Record/replay determinism (the tentpole property of the `.vrec`
+//! capture format): every library figure, recorded under both latency
+//! profiles, must replay from the capture alone — zero live image
+//! access — with byte-identical graph JSON and bit-identical
+//! `TargetStats` (modulo the backend tag). And a *truncated* capture
+//! must fail with a diagnostic, never a panic.
+
+use std::sync::OnceLock;
+
+use ksim::workload::{build, WorkloadConfig};
+use proptest::prelude::*;
+use vbridge::{BackendKind, CacheConfig, Capture, LatencyProfile, TargetStats};
+use visualinux::{figures, Session};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("visualinux-{name}-{}.vrec", std::process::id()))
+}
+
+/// Record all 21 figures (with a `resume()` before each, so every
+/// figure starts from a fresh cache epoch), then replay the identical
+/// sequence from the saved capture and demand byte/bit identity.
+fn round_trip(name: &str, profile: LatencyProfile, cache: Option<CacheConfig>) {
+    let path = tmp(name);
+    let mut builder = Session::builder(build(&WorkloadConfig::default()))
+        .profile(profile)
+        .record(&path);
+    if let Some(cfg) = cache {
+        builder = builder.cache(cfg);
+    }
+    let mut live = builder.attach().expect("live attach cannot fail");
+
+    let mut recorded: Vec<(&str, String, TargetStats)> = Vec::new();
+    for fig in figures::all() {
+        live.resume();
+        let (graph, stats) = live.extract(fig.viewcl).expect(fig.id);
+        recorded.push((fig.id, graph.to_json(), stats.target));
+    }
+    let saved = live.save_recording().expect("write capture");
+    drop(live);
+
+    let cap = Capture::load(&saved).expect("reload capture");
+    let mut rep = Session::replay(cap).attach().expect("replay attach");
+    assert_eq!(rep.backend_kind(), BackendKind::Replay);
+    assert_eq!(
+        rep.image().mem.mapped_pages(),
+        0,
+        "replay session must not hold live memory"
+    );
+    for (id, want_json, want_stats) in &recorded {
+        rep.resume();
+        let fig = figures::by_id(id).unwrap();
+        let (graph, stats) = rep.extract(fig.viewcl).expect(id);
+        assert_eq!(&graph.to_json(), want_json, "{id}: graph JSON drifted");
+        assert_eq!(
+            TargetStats {
+                backend: want_stats.backend,
+                ..stats.target
+            },
+            *want_stats,
+            "{id}: TargetStats drifted"
+        );
+        assert_eq!(stats.target.backend, BackendKind::Replay);
+    }
+    assert_eq!(
+        rep.replay_state().unwrap().remaining(),
+        0,
+        "capture has unconsumed wire events"
+    );
+    std::fs::remove_file(&saved).ok();
+}
+
+#[test]
+fn all_figures_replay_bit_identical_kgdb_cached() {
+    round_trip(
+        "kgdb",
+        LatencyProfile::kgdb_rpi400(),
+        Some(CacheConfig::default()),
+    );
+}
+
+#[test]
+fn all_figures_replay_bit_identical_qemu_uncached() {
+    round_trip("qemu", LatencyProfile::gdb_qemu(), None);
+}
+
+/// One figure's worth of wire events, recorded once and shared across
+/// proptest cases (each case still rebuilds its own replay session).
+fn one_figure_capture() -> &'static Capture {
+    static CAPTURE: OnceLock<Capture> = OnceLock::new();
+    CAPTURE.get_or_init(|| {
+        let session = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::free())
+            .record(tmp("truncate"))
+            .attach()
+            .unwrap();
+        let fig = figures::by_id("fig3-4").unwrap();
+        session.extract(fig.viewcl).unwrap();
+        session.capture().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12 })]
+
+    // Replaying any strict prefix of a capture fails loudly: the
+    // extraction returns a capture error naming the exhaustion point,
+    // the replay state is poisoned, and nothing panics.
+    #[test]
+    fn truncated_captures_fail_with_a_diagnostic_never_a_panic(cut in 0usize..10_000) {
+        let cap = one_figure_capture();
+        let cut = cut % cap.events.len();
+        let mut truncated = cap.clone();
+        truncated.events.truncate(cut);
+
+        let rep = Session::replay(truncated)
+            .attach()
+            .expect("attach succeeds; the failure must surface at read time");
+        let fig = figures::by_id("fig3-4").unwrap();
+        let err = rep
+            .extract(fig.viewcl)
+            .expect_err("extracting past a truncated capture must fail");
+        let msg = err.to_string();
+        prop_assert!(
+            msg.contains("capture exhausted"),
+            "diagnostic does not name the exhaustion: {msg}"
+        );
+        prop_assert!(
+            rep.replay_state().unwrap().poisoned().is_some(),
+            "replay state not poisoned after exhaustion"
+        );
+    }
+}
