@@ -1,0 +1,206 @@
+//! `plan_bench` — interp-mode vs plan-mode extraction cost, per figure.
+//!
+//! Both sessions run cached on the same workload; every figure is
+//! measured cold (the cache is invalidated between figures) so the
+//! numbers show what the walk-plan scheduler saves on the wire, not
+//! what the cache remembers. Wall-clock is real time for the whole
+//! extraction (plan pre-pass included on the plan side); packets and
+//! virtual time come from `TargetStats`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin plan_bench
+//! ```
+//!
+//! Emits `BENCH_plan.json` (override with `$BENCH_PLAN_OUT`) with the
+//! per-figure packets / virtual_ns / wall_ns under both modes and both
+//! latency profiles, plus the plan counters. Exits non-zero if any
+//! figure's plan-mode graph drifts from the interp graph, or if no
+//! multi-walk figure under KGDB reaches a 2x packet reduction — the
+//! floor the planner is sold on.
+//!
+//! (`plan_nodes` counts executed walk instances, `dedup_walks` the
+//! traversals and shared objects skipped by deduplication,
+//! `parallel_batches` the scheduler waves that ran >= 2 walks
+//! concurrently.)
+
+use std::time::Instant;
+
+use bench::{attach, attach_cached, attach_plan, TablePrinter, TABLE4_FIGURES};
+use vbridge::{CacheConfig, LatencyProfile};
+use visualinux::figures;
+
+/// One execution mode's cold-extraction cost for one figure.
+#[derive(serde::Serialize, Clone, Copy)]
+struct ModeCost {
+    packets: u64,
+    virtual_ns: u64,
+    wall_ns: u64,
+}
+
+/// One figure's row in `BENCH_plan.json`.
+#[derive(serde::Serialize)]
+struct FigureDoc {
+    figure: &'static str,
+    interp: ModeCost,
+    plan: ModeCost,
+    packet_ratio: f64,
+    plan_nodes: u64,
+    dedup_walks: u64,
+    parallel_batches: u64,
+}
+
+/// One latency profile's section.
+#[derive(serde::Serialize)]
+struct ProfileDoc {
+    profile: &'static str,
+    figures: Vec<FigureDoc>,
+}
+
+/// The whole `BENCH_plan.json` document.
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    bench: &'static str,
+    uncached_interp_kgdb_packets: Vec<(String, u64)>,
+    profiles: Vec<ProfileDoc>,
+}
+
+fn run_profile(name: &'static str, profile: LatencyProfile, drift: &mut Vec<String>) -> ProfileDoc {
+    let mut interp = attach_cached(profile, CacheConfig::default());
+    let mut plan = attach_plan(profile, CacheConfig::default());
+    let mut rows = Vec::new();
+    for id in TABLE4_FIGURES {
+        let fig = figures::by_id(id).expect("figure exists");
+        interp.resume();
+        let t0 = Instant::now();
+        let (g_i, s_i) = interp.extract(fig.viewcl).expect("figure extracts");
+        let wall_i = t0.elapsed().as_nanos() as u64;
+        plan.resume();
+        let t0 = Instant::now();
+        let (g_p, s_p) = plan.extract(fig.viewcl).expect("figure extracts");
+        let wall_p = t0.elapsed().as_nanos() as u64;
+        if g_i.to_json() != g_p.to_json() {
+            drift.push(format!("{name}/{id}: plan graph differs from interp"));
+        }
+        rows.push(FigureDoc {
+            figure: id,
+            interp: ModeCost {
+                packets: s_i.target.reads,
+                virtual_ns: s_i.target.virtual_ns,
+                wall_ns: wall_i,
+            },
+            plan: ModeCost {
+                packets: s_p.target.reads,
+                virtual_ns: s_p.target.virtual_ns,
+                wall_ns: wall_p,
+            },
+            packet_ratio: s_i.target.reads as f64 / s_p.target.reads.max(1) as f64,
+            plan_nodes: s_p.target.plan_nodes,
+            dedup_walks: s_p.target.dedup_walks,
+            parallel_batches: s_p.target.parallel_batches,
+        });
+    }
+    ProfileDoc {
+        profile: name,
+        figures: rows,
+    }
+}
+
+fn main() {
+    println!("plan_bench: cold cached extraction, interp vs walk-plan scheduler\n");
+    let mut drift: Vec<String> = Vec::new();
+    let profiles = vec![
+        run_profile("gdb_qemu", LatencyProfile::gdb_qemu(), &mut drift),
+        run_profile("kgdb_rpi400", LatencyProfile::kgdb_rpi400(), &mut drift),
+    ];
+
+    // Context column: what the same figures cost with no cache at all
+    // (the paper's baseline) on the slow transport.
+    let uncached: Vec<(String, u64)> = {
+        let s = attach(LatencyProfile::kgdb_rpi400());
+        TABLE4_FIGURES
+            .iter()
+            .map(|id| {
+                let fig = figures::by_id(id).expect("figure exists");
+                let (_, st) = s.extract(fig.viewcl).expect("figure extracts");
+                (id.to_string(), st.target.reads)
+            })
+            .collect()
+    };
+
+    for p in &profiles {
+        println!("profile: {}\n", p.profile);
+        let t = TablePrinter::new(&[11, 9, 9, 7, 10, 10, 7, 7, 7]);
+        t.row(
+            &[
+                "figure", "i-pkts", "p-pkts", "pkt-x", "i-vms", "p-vms", "nodes", "dedup", "par",
+            ]
+            .map(String::from),
+        );
+        t.sep();
+        for f in &p.figures {
+            t.row(&[
+                f.figure.to_string(),
+                f.interp.packets.to_string(),
+                f.plan.packets.to_string(),
+                format!("{:.1}x", f.packet_ratio),
+                format!("{:.1}", f.interp.virtual_ns as f64 / 1e6),
+                format!("{:.1}", f.plan.virtual_ns as f64 / 1e6),
+                f.plan_nodes.to_string(),
+                f.dedup_walks.to_string(),
+                f.parallel_batches.to_string(),
+            ]);
+        }
+        t.sep();
+        println!();
+    }
+
+    // Floor check: at least one multi-walk figure on the slow transport
+    // must halve its packet count under the planner.
+    let kgdb = profiles
+        .iter()
+        .find(|p| p.profile == "kgdb_rpi400")
+        .expect("kgdb profile measured");
+    let best = kgdb
+        .figures
+        .iter()
+        .filter(|f| f.plan_nodes >= 2)
+        .max_by(|a, b| a.packet_ratio.total_cmp(&b.packet_ratio));
+    match best {
+        Some(f) => {
+            println!(
+                "floor check: best multi-walk KGDB figure {} cuts packets {:.1}x (floor: 2x) {}",
+                f.figure,
+                f.packet_ratio,
+                if f.packet_ratio >= 2.0 {
+                    "[in band]"
+                } else {
+                    "[OUT OF BAND]"
+                }
+            );
+            if f.packet_ratio < 2.0 {
+                drift.push(format!(
+                    "no multi-walk KGDB figure reaches a 2x packet cut (best: {} at {:.2}x)",
+                    f.figure, f.packet_ratio
+                ));
+            }
+        }
+        None => drift.push("no KGDB figure executed a multi-walk plan".to_string()),
+    }
+
+    let out = std::env::var("BENCH_PLAN_OUT").unwrap_or_else(|_| "BENCH_plan.json".to_string());
+    let doc = BenchDoc {
+        bench: "plan",
+        uncached_interp_kgdb_packets: uncached,
+        profiles,
+    };
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).expect("encode")).expect("write");
+    println!("wrote {out}");
+
+    if !drift.is_empty() {
+        eprintln!("\nPLAN/INTERP DRIFT:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}

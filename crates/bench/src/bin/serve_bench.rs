@@ -12,7 +12,8 @@
 //! ```
 //!
 //! Emits `BENCH_serve.json` (override with `$BENCH_SERVE_OUT`) with
-//! requests/sec, coalesce rate, and delta_bytes_saved per profile.
+//! requests/sec, per-request p50/p95 wall-clock latency, coalesce
+//! rate, and delta_bytes_saved per profile.
 //! Exits non-zero if any profile's `ServeStats` fail to reconcile.
 
 use std::sync::{mpsc, Arc, Barrier};
@@ -32,6 +33,17 @@ struct ProfileResult {
     stops: usize,
     elapsed_s: f64,
     stats: ServeStats,
+    /// Per-plot-request wall-clock latencies, all clients pooled.
+    latencies_ns: Vec<u64>,
+}
+
+/// The p-th percentile (nearest-rank) of an unsorted latency sample.
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0 * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1e6
 }
 
 /// One profile's row in `BENCH_serve.json`.
@@ -43,6 +55,8 @@ struct ProfileDoc {
     elapsed_s: f64,
     requests: u64,
     requests_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
     coalesce_rate: f64,
     delta_bytes_saved: u64,
     stats: ServeStats,
@@ -97,13 +111,16 @@ fn run_profile(
             let roots = roots.clone();
             thread::spawn(move || {
                 let mut replica = Replica::new();
+                let mut latencies_ns = Vec::new();
                 for round in 0..=stops as u64 {
                     for fig in figs.iter() {
+                        let sent = Instant::now();
                         conn.send(&VCommand::VplotRequest {
                             viewcl: fig.viewcl.to_string(),
                         })
                         .expect("send");
                         let line = conn.recv().expect("reply");
+                        latencies_ns.push(sent.elapsed().as_nanos() as u64);
                         replica.apply_line(&line).expect("apply");
                         if let Some(ack) = replica.ack(fig.viewcl) {
                             conn.send(&ack).expect("ack");
@@ -124,20 +141,24 @@ fn run_profile(
                     }
                 }
                 conn.close();
+                latencies_ns
             })
         })
         .collect();
+    let mut latencies_ns: Vec<u64> = Vec::new();
     for w in workers {
-        w.join().expect("client");
+        latencies_ns.extend(w.join().expect("client"));
     }
     let elapsed_s = started.elapsed().as_secs_f64();
     let stats = engine.join().expect("engine");
+    latencies_ns.sort_unstable();
     ProfileResult {
         name,
         clients,
         stops,
         elapsed_s,
         stats,
+        latencies_ns,
     }
 }
 
@@ -170,12 +191,14 @@ fn main() {
         run_profile("kgdb_rpi400", LatencyProfile::kgdb_rpi400(), clients, stops),
     ];
 
-    let t = TablePrinter::new(&[13, 9, 11, 10, 9, 11, 13]);
+    let t = TablePrinter::new(&[13, 9, 11, 9, 9, 10, 9, 11, 13]);
     t.row(
         &[
             "profile",
             "requests",
             "req/s",
+            "p50-ms",
+            "p95-ms",
             "walks",
             "coalesce",
             "deltas",
@@ -193,10 +216,14 @@ fn main() {
             failed = true;
         }
         let rps = s.requests as f64 / r.elapsed_s;
+        let p50 = percentile_ms(&r.latencies_ns, 50.0);
+        let p95 = percentile_ms(&r.latencies_ns, 95.0);
         t.row(&[
             r.name.to_string(),
             s.requests.to_string(),
             format!("{rps:.0}"),
+            format!("{p50:.2}"),
+            format!("{p95:.2}"),
             s.walks.to_string(),
             format!("{:.1}%", s.coalesce_rate() * 100.0),
             s.deltas_sent.to_string(),
@@ -209,6 +236,8 @@ fn main() {
             elapsed_s: r.elapsed_s,
             requests: s.requests,
             requests_per_sec: rps,
+            p50_ms: p50,
+            p95_ms: p95,
             coalesce_rate: s.coalesce_rate(),
             delta_bytes_saved: s.delta_bytes_saved,
             stats: *s,

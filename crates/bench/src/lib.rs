@@ -11,6 +11,8 @@
 //!   ms-per-KB, virtual time).
 //! * `fig4` — the maple-tree plot of Figure 4 (ASCII + DOT + SVG files).
 //! * `fig7` — the Dirty Pipe object graph of Figure 7.
+//! * `plan_bench` — interp-mode vs plan-mode cold extraction cost per
+//!   figure and latency profile, emitted as `BENCH_plan.json`.
 //! * `vrec` — record the full figure corpus into a `.vrec` wire capture
 //!   (`vrec record out.vrec`), or re-run it from the capture alone and
 //!   verify packets/bytes/hashes bit-for-bit (`vrec replay out.vrec`).
@@ -61,6 +63,17 @@ pub fn attach_cached(profile: LatencyProfile, cfg: CacheConfig) -> Session {
     Session::builder(build(&WorkloadConfig::default()))
         .profile(profile)
         .cache(cfg)
+        .attach()
+        .unwrap()
+}
+
+/// Build the evaluation workload and attach a cached session running in
+/// plan-driven execution mode (walk-plan pre-pass before the interp).
+pub fn attach_plan(profile: LatencyProfile, cfg: CacheConfig) -> Session {
+    Session::builder(build(&WorkloadConfig::default()))
+        .profile(profile)
+        .cache(cfg)
+        .plan()
         .attach()
         .unwrap()
 }

@@ -8,8 +8,9 @@ use std::rc::Rc;
 use ksim::workload::{AllTypes, Workload, WorkloadConfig, WorkloadRoots};
 use ksim::KernelImage;
 use vbridge::{
-    BackendKind, BlockCache, CacheConfig, Capture, HelperRegistry, LatencyProfile, RecordBackend,
-    Recorder, ReplayBackend, ReplayState, SimBackend, Target, TargetBackend, TargetStats,
+    BackendKind, BlockCache, CacheConfig, Capture, ExecMode, HelperRegistry, LatencyProfile,
+    RecordBackend, Recorder, ReplayBackend, ReplayState, SimBackend, Target, TargetBackend,
+    TargetStats,
 };
 use vgraph::{Graph, GraphStats};
 use vpanels::{FocusHit, PaneId, SplitDir};
@@ -214,6 +215,7 @@ pub struct SessionBuilder {
     cache: Option<CacheConfig>,
     tracing: bool,
     record: Option<PathBuf>,
+    exec: Option<ExecMode>,
 }
 
 impl SessionBuilder {
@@ -244,6 +246,23 @@ impl SessionBuilder {
     pub fn record(mut self, path: impl Into<PathBuf>) -> Self {
         self.record = Some(path.into());
         self
+    }
+
+    /// Set the execution mode. Live sessions default to
+    /// [`ExecMode::Interp`]; replay sessions default to the mode
+    /// recorded in the capture header (`meta.exec_mode`), because the
+    /// two modes issue different wire sequences — forcing a mismatch
+    /// makes the replay fail loudly naming the mode difference.
+    pub fn exec(mut self, mode: ExecMode) -> Self {
+        self.exec = Some(mode);
+        self
+    }
+
+    /// Shorthand for `.exec(ExecMode::Plan)`: compile each pane into a
+    /// walk plan and warm the cache with scheduled spans before the
+    /// interpreter runs.
+    pub fn plan(self) -> Self {
+        self.exec(ExecMode::Plan)
     }
 
     /// Build the session.
@@ -300,6 +319,24 @@ impl SessionBuilder {
                     )
                 }
             };
+        // A replay session follows the capture's recorded execution
+        // mode unless the builder forces one; interp and plan issue
+        // different wire sequences, so a forced mismatch is noted on
+        // the replay state and surfaces in divergence diagnostics.
+        let capture_mode = replay.as_ref().map(|st| {
+            st.capture()
+                .meta
+                .get("exec_mode")
+                .and_then(|v| v.as_str())
+                .and_then(ExecMode::from_str_opt)
+                .unwrap_or(ExecMode::Interp)
+        });
+        let exec_mode = self.exec.or(capture_mode).unwrap_or(ExecMode::Interp);
+        if let (Some(st), Some(cm)) = (&replay, capture_mode) {
+            if exec_mode != cm {
+                st.note_mode_mismatch(exec_mode.as_str(), cm.as_str());
+            }
+        }
         let mut s = Session {
             img,
             types,
@@ -315,6 +352,7 @@ impl SessionBuilder {
             recorder,
             record_path,
             replay,
+            exec_mode,
         };
         if self.tracing {
             s.enable_tracing();
@@ -348,6 +386,9 @@ pub struct Session {
     record_path: Option<PathBuf>,
     /// Replay cursor when the session serves a capture.
     replay: Option<ReplayState>,
+    /// How extractions run: plain interpreter walk, or walk-plan
+    /// compilation + scheduled cache warming first.
+    exec_mode: ExecMode,
 }
 
 impl Session {
@@ -360,6 +401,7 @@ impl Session {
             cache: None,
             tracing: false,
             record: None,
+            exec: None,
         }
     }
 
@@ -374,6 +416,7 @@ impl Session {
             cache: None,
             tracing: false,
             record: None,
+            exec: None,
         }
     }
 
@@ -466,6 +509,16 @@ impl Session {
         self.profile = profile;
     }
 
+    /// The active execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Switch execution mode (affects subsequent plots).
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
     /// Turn on vtrace span recording for this session. Idempotent;
     /// returns the (shared) tracer so callers can read the wire log or
     /// drain finished spans directly.
@@ -507,7 +560,11 @@ impl Session {
         let traces = self.traces.borrow();
         let mut panes: Vec<(&PaneId, &TraceSpan)> = traces.iter().collect();
         panes.sort_by_key(|(p, _)| p.0);
-        vtrace::chrome_trace(panes.into_iter().map(|(p, s)| (p.0 as u64, s)))
+        vtrace::chrome_trace_full(
+            Some(self.backend_kind().as_str()),
+            Some(self.exec_mode.as_str()),
+            panes.into_iter().map(|(p, s)| (p.0 as u64, s)),
+        )
     }
 
     /// Compose the backend stack and build a bridge target over it.
@@ -564,12 +621,16 @@ impl Session {
     pub fn capture(&self) -> Option<Capture> {
         let tape = self.recorder.as_ref()?;
         let cache = self.cache.as_ref().map(|c| c.config());
-        Some(tape.capture(
-            BackendKind::Sim,
-            self.profile,
-            cache,
-            workload_cfg_to_meta(&self.workload_cfg),
-        ))
+        let mut meta = workload_cfg_to_meta(&self.workload_cfg);
+        if let serde_json::Value::Object(m) = &mut meta {
+            // The wire sequence depends on the execution mode; replay
+            // defaults to the recorded mode and names any mismatch.
+            m.insert(
+                "exec_mode".into(),
+                serde_json::Value::String(self.exec_mode.as_str().into()),
+            );
+        }
+        Some(tape.capture(BackendKind::Sim, self.profile, cache, meta))
     }
 
     /// Write the recording to the `.vrec` path given to
@@ -604,6 +665,15 @@ impl Session {
             viewcl::parse_program(viewcl_src)?
         };
         let target = self.target();
+        if self.exec_mode == ExecMode::Plan {
+            // Plan mode: compile the pane into a walk plan and warm the
+            // cache with scheduled spans. The interpreter below then
+            // runs unchanged over the warm cache, so the graph is
+            // byte-identical to interp mode by construction.
+            let _s = vtrace::span(tracer, SpanKind::Plan, "plan::run");
+            let plan = viewcl::plan::compile(&program);
+            viewcl::plan::execute(&plan, &target, &self.helpers);
+        }
         let graph = {
             let _s = vtrace::span(tracer, SpanKind::Interp, "interp::run");
             let mut interp = viewcl::Interp::new(&target, &self.helpers);

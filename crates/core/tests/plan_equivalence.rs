@@ -1,0 +1,216 @@
+//! Plan transparency: plan-mode extraction is a pure cost optimization,
+//! gated exactly like the cache. Every Table 2 figure must extract
+//! *byte-identical* vgraph JSON under plan mode — both latency profiles,
+//! cached and uncached, cold and warm — as an interp-mode session
+//! produces; the plan counters must be deterministic across runs; and a
+//! plan-mode replay of an interp-mode capture must fail loudly naming
+//! the mode mismatch.
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::{CacheConfig, ExecMode, LatencyProfile, TargetStats};
+use visualinux::{figures, Session};
+
+fn profiles() -> [(&'static str, LatencyProfile); 2] {
+    [
+        ("gdb_qemu", LatencyProfile::gdb_qemu()),
+        ("kgdb_rpi400", LatencyProfile::kgdb_rpi400()),
+    ]
+}
+
+#[test]
+fn all_figures_byte_identical_under_plan_mode_both_profiles() {
+    let mut failures = Vec::new();
+    for (pname, profile) in profiles() {
+        let interp = Session::builder(build(&WorkloadConfig::default()))
+            .profile(profile)
+            .attach()
+            .unwrap();
+        let mut plan = Session::builder(build(&WorkloadConfig::default()))
+            .profile(profile)
+            .cache(CacheConfig::default())
+            .plan()
+            .attach()
+            .unwrap();
+        assert_eq!(plan.exec_mode(), ExecMode::Plan);
+        for fig in figures::all() {
+            let (g, s_interp) = interp.extract(fig.viewcl).expect(fig.id);
+            let reference = g.to_json();
+            // Cold: resume() empties the cache first.
+            plan.resume();
+            let (g_cold, s_cold) = plan.extract(fig.viewcl).expect(fig.id);
+            if g_cold.to_json() != reference {
+                failures.push(format!("{pname}/{}: cold plan JSON differs", fig.id));
+            }
+            // Warm: the plan pre-pass plus the interp walk both come
+            // from cache.
+            let (g_warm, _) = plan.extract(fig.viewcl).expect(fig.id);
+            if g_warm.to_json() != reference {
+                failures.push(format!("{pname}/{}: warm plan JSON differs", fig.id));
+            }
+            // Plan mode never costs more virtual time than interp: it
+            // replaces per-element round trips with merged spans.
+            if s_cold.target.virtual_ns > s_interp.target.virtual_ns {
+                failures.push(format!(
+                    "{pname}/{}: plan costs more than interp ({} > {} ns)",
+                    fig.id, s_cold.target.virtual_ns, s_interp.target.virtual_ns
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "plan equivalence failures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn uncached_plan_mode_degrades_to_interp_exactly() {
+    // Without a cache there is nothing to warm: plan mode must produce
+    // identical graphs AND identical stats (the plan pre-pass does not
+    // run at all).
+    let interp = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .attach()
+        .unwrap();
+    let plan = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .plan()
+        .attach()
+        .unwrap();
+    for fig in figures::all() {
+        let (g_i, s_i) = interp.extract(fig.viewcl).expect(fig.id);
+        let (g_p, s_p) = plan.extract(fig.viewcl).expect(fig.id);
+        assert_eq!(g_i.to_json(), g_p.to_json(), "{}", fig.id);
+        assert_eq!(s_i.target, s_p.target, "{}", fig.id);
+    }
+}
+
+#[test]
+fn plan_counters_are_deterministic_across_runs() {
+    // Two independent plan-mode sessions over identical workloads must
+    // report identical TargetStats — including the plan counters, which
+    // derive from the deterministic schedule, never thread timing.
+    let run = || {
+        let session = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::kgdb_rpi400())
+            .cache(CacheConfig::default())
+            .plan()
+            .attach()
+            .unwrap();
+        figures::all()
+            .iter()
+            .map(|fig| session.extract(fig.viewcl).expect(fig.id).1.target)
+            .collect::<Vec<TargetStats>>()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    // The plan actually ran: some multi-walk figure planned nodes and
+    // merged shared subwalks.
+    assert!(
+        a.iter().any(|s| s.plan_nodes > 0),
+        "no figure executed any plan node"
+    );
+    assert!(
+        a.iter().any(|s| s.dedup_walks > 0),
+        "no figure deduplicated a shared subwalk"
+    );
+    assert!(
+        a.iter().any(|s| s.parallel_batches > 0),
+        "no figure ran a parallel batch"
+    );
+}
+
+#[test]
+fn plan_mode_replay_of_interp_capture_names_the_mismatch() {
+    let dir = std::env::temp_dir().join(format!("vrec-plan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("interp.vrec");
+    let fig = figures::by_id("fig3-4").unwrap();
+
+    // Record an interp-mode session (cached, so a plan-mode session
+    // over the same capture would issue a genuinely different wire
+    // sequence).
+    let rec = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .cache(CacheConfig::default())
+        .record(&path)
+        .attach()
+        .unwrap();
+    let _ = rec.extract(fig.viewcl).unwrap();
+    rec.save_recording().unwrap();
+    let cap = vbridge::Capture::load(&path).unwrap();
+    assert_eq!(
+        cap.meta.get("exec_mode").and_then(|v| v.as_str()),
+        Some("interp"),
+        "capture header records the execution mode"
+    );
+
+    // Replaying without forcing a mode follows the capture header.
+    let auto = Session::replay(cap.clone()).attach().unwrap();
+    assert_eq!(auto.exec_mode(), ExecMode::Interp);
+    let (_, _) = auto.extract(fig.viewcl).unwrap();
+
+    // Forcing plan mode diverges from the tape and the error names the
+    // mode mismatch, not just the raw divergence.
+    let forced = Session::replay(cap).exec(ExecMode::Plan).attach().unwrap();
+    assert_eq!(forced.exec_mode(), ExecMode::Plan);
+    let err = forced.extract(fig.viewcl).unwrap_err().to_string();
+    assert!(err.contains("execution-mode mismatch"), "{err}");
+    assert!(err.contains("plan-mode"), "{err}");
+    assert!(err.contains("recorded under interp-mode"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_mode_record_replay_round_trips() {
+    // A plan-mode capture replays bit-identically: the serializing
+    // planner mode issues its discovery reads and span fetches in
+    // deterministic order, and replay auto-selects plan mode from the
+    // capture header.
+    let dir = std::env::temp_dir().join(format!("vrec-plan-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("plan.vrec");
+    let fig = figures::by_id("fig3-4").unwrap();
+
+    let mut rec = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .cache(CacheConfig::default())
+        .plan()
+        .record(&path)
+        .attach()
+        .unwrap();
+    let (g_live, s_live) = rec.extract(fig.viewcl).unwrap();
+    rec.resume();
+    let (_, s_live2) = rec.extract(fig.viewcl).unwrap();
+    rec.save_recording().unwrap();
+
+    let cap = vbridge::Capture::load(&path).unwrap();
+    assert_eq!(
+        cap.meta.get("exec_mode").and_then(|v| v.as_str()),
+        Some("plan")
+    );
+    let mut rep = Session::replay(cap).attach().unwrap();
+    assert_eq!(rep.exec_mode(), ExecMode::Plan);
+    let (g_rep, s_rep) = rep.extract(fig.viewcl).unwrap();
+    rep.resume();
+    let (_, s_rep2) = rep.extract(fig.viewcl).unwrap();
+    assert_eq!(g_live.to_json(), g_rep.to_json());
+    assert_eq!(
+        s_rep.target,
+        TargetStats {
+            backend: vbridge::BackendKind::Replay,
+            ..s_live.target
+        }
+    );
+    assert_eq!(
+        s_rep2.target,
+        TargetStats {
+            backend: vbridge::BackendKind::Replay,
+            ..s_live2.target
+        }
+    );
+    assert_eq!(rep.replay_state().unwrap().remaining(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -30,16 +30,18 @@ mod cache;
 mod error;
 pub mod eval;
 mod helpers;
+mod planner;
 mod profile;
 mod record;
 mod replay;
 mod target;
 
-pub use backend::{BackendError, BackendKind, SimBackend, TargetBackend};
+pub use backend::{BackendError, BackendKind, SimBackend, SyncRead, TargetBackend};
 pub use cache::{BlockCache, CacheConfig};
 pub use error::{BridgeError, ErrorKind, Result};
 pub use eval::Evaluator;
 pub use helpers::{HelperFn, HelperRegistry};
+pub use planner::{ExecMode, PlanMode, SpanPlanner};
 pub use profile::LatencyProfile;
 pub use record::{Capture, RecordBackend, Recorder, WireEvent, VREC_VERSION};
 pub use replay::{ReplayBackend, ReplayState};

@@ -45,6 +45,16 @@ pub struct TargetStats {
     /// Reads that faulted on unmapped memory — wild pointers chased by a
     /// distiller or checker over a corrupted image.
     pub faults: u64,
+    /// Walk-plan IR nodes executed by plan-mode extraction (0 under the
+    /// plain interpreter).
+    pub plan_nodes: u64,
+    /// Subwalks skipped because an identical traversal (same kind, same
+    /// root) already ran earlier in the plan.
+    pub dedup_walks: u64,
+    /// Scheduler waves that ran two or more discovery walks concurrently.
+    /// Derived from the plan's wave structure, never from thread timing,
+    /// so it is deterministic across runs.
+    pub parallel_batches: u64,
 }
 
 /// A batch of reads to be coalesced into minimal wire spans.
@@ -125,6 +135,10 @@ pub struct Target<'a> {
     cache_misses: Cell<u64>,
     packets_saved: Cell<u64>,
     faults: Cell<u64>,
+    plan_nodes: Cell<u64>,
+    dedup_walks: Cell<u64>,
+    parallel_batches: Cell<u64>,
+    plan_mode: Cell<bool>,
     tracer: Option<Rc<Tracer>>,
 }
 
@@ -178,6 +192,10 @@ impl<'a> Target<'a> {
             cache_misses: Cell::new(0),
             packets_saved: Cell::new(0),
             faults: Cell::new(0),
+            plan_nodes: Cell::new(0),
+            dedup_walks: Cell::new(0),
+            parallel_batches: Cell::new(0),
+            plan_mode: Cell::new(false),
             tracer: None,
         }
     }
@@ -245,6 +263,9 @@ impl<'a> Target<'a> {
             cache_misses: self.cache_misses.get(),
             packets_saved: self.packets_saved.get(),
             faults: self.faults.get(),
+            plan_nodes: self.plan_nodes.get(),
+            dedup_walks: self.dedup_walks.get(),
+            parallel_batches: self.parallel_batches.get(),
         }
     }
 
@@ -257,6 +278,53 @@ impl<'a> Target<'a> {
         self.cache_misses.set(0);
         self.packets_saved.set(0);
         self.faults.set(0);
+        self.plan_nodes.set(0);
+        self.dedup_walks.set(0);
+        self.parallel_batches.set(0);
+    }
+
+    /// Whether plan-mode extraction owns the prefetch schedule. While
+    /// set, the distillers' ad-hoc [`Target::prefetch`] hints become
+    /// no-ops so the planner's scheduled spans are not double-pulled
+    /// (and `packets_saved` is not double-counted).
+    pub fn plan_mode(&self) -> bool {
+        self.plan_mode.get()
+    }
+
+    /// Enter or leave plan mode (see [`Target::plan_mode`]).
+    pub fn set_plan_mode(&self, on: bool) {
+        self.plan_mode.set(on);
+    }
+
+    /// Record the outcome of one plan execution. The counts come from
+    /// the plan's deterministic schedule, so a live run and its replay
+    /// report identical numbers.
+    pub fn note_plan_walks(&self, nodes: u64, dedups: u64, batches: u64) {
+        self.plan_nodes.set(self.plan_nodes.get() + nodes);
+        self.dedup_walks.set(self.dedup_walks.get() + dedups);
+        self.parallel_batches
+            .set(self.parallel_batches.get() + batches);
+    }
+
+    /// A thread-shareable raw view of the wire, if the backend supports
+    /// overlapped reads (see [`TargetBackend::sync_view`]).
+    pub fn sync_view(&self) -> Option<&dyn crate::backend::SyncRead> {
+        self.backend.sync_view()
+    }
+
+    /// Pull one planner-scheduled span into the cache, metering the
+    /// whole aligned span as a single packet when possible (the same
+    /// accounting as a prefetch hint, but driven by the cost-based plan
+    /// rather than a distiller guess). Returns the packets sent. No-op
+    /// on uncached targets; never faults.
+    pub fn fetch_planned_span(&self, addr: u64, len: u64) -> u64 {
+        let Some(cache) = self.cache else { return 0 };
+        if len == 0 {
+            return 0;
+        }
+        let (packets, blocks) = self.fetch_span(cache, addr, len.min(MAX_PREFETCH));
+        self.note_saved(blocks.saturating_sub(packets));
+        packets
     }
 
     fn account(&self, addr: u64, len: u64) {
@@ -522,6 +590,11 @@ impl<'a> Target<'a> {
     /// at one page); uncached targets ignore the hint entirely, keeping
     /// the baseline cost model untouched. Hints never fault.
     pub fn prefetch(&self, addr: u64, len: u64) {
+        if self.plan_mode.get() {
+            // The plan's scheduled spans own prefetching; ad-hoc hints
+            // from the distillers would double-pull (and double-count).
+            return;
+        }
         let Some(cache) = self.cache else { return };
         if len == 0 || !cache.config().prefetch {
             return;

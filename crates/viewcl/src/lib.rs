@@ -29,6 +29,7 @@ mod decor;
 mod interp;
 mod lexer;
 mod parser;
+pub mod plan;
 mod stdlib;
 
 pub use ast::*;

@@ -57,6 +57,9 @@ pub enum SpanKind {
     Interp,
     /// One distiller invocation (List/RBTree/XArray/… walk).
     Distill,
+    /// Plan-mode extraction: walk-plan compilation, one scheduler wave,
+    /// or one plan-node walk + span fetch.
+    Plan,
     /// One ViewQL program applied to a pane.
     Query,
     /// One ViewQL clause (statement).
@@ -80,6 +83,7 @@ impl SpanKind {
             SpanKind::Parse => "parse",
             SpanKind::Interp => "interp",
             SpanKind::Distill => "distill",
+            SpanKind::Plan => "plan",
             SpanKind::Query => "query",
             SpanKind::Clause => "clause",
             SpanKind::Render => "render",
@@ -599,6 +603,17 @@ pub fn chrome_trace_with_backend<'a>(
     backend: Option<&str>,
     roots: impl IntoIterator<Item = (u64, &'a TraceSpan)>,
 ) -> String {
+    chrome_trace_full(backend, None, roots)
+}
+
+/// [`chrome_trace_with_backend`] plus an `otherData.exec_mode` tag
+/// naming the execution mode (`interp` / `plan`) the panes were
+/// extracted under, so a plan-mode trace is self-describing.
+pub fn chrome_trace_full<'a>(
+    backend: Option<&str>,
+    exec_mode: Option<&str>,
+    roots: impl IntoIterator<Item = (u64, &'a TraceSpan)>,
+) -> String {
     let mut events = Vec::new();
     for (tid, root) in roots {
         span_events(root, tid, &mut events);
@@ -606,9 +621,14 @@ pub fn chrome_trace_with_backend<'a>(
     let mut top = Map::new();
     top.insert("traceEvents".into(), Value::Array(events));
     top.insert("displayTimeUnit".into(), Value::String("ms".into()));
+    let mut other = Map::new();
     if let Some(b) = backend {
-        let mut other = Map::new();
         other.insert("backend".into(), Value::String(b.into()));
+    }
+    if let Some(m) = exec_mode {
+        other.insert("exec_mode".into(), Value::String(m.into()));
+    }
+    if !other.is_empty() {
         top.insert("otherData".into(), Value::Object(other));
     }
     serde_json::to_string(&Value::Object(top)).expect("trace serializes")

@@ -1,0 +1,66 @@
+//! Property: plan-mode extraction is graph-transparent and
+//! schedule-deterministic for *any* pane subset.
+//!
+//! The walk plan only warms the cache; the interpreter that follows is
+//! the source of truth. So for a randomized subset of Table 2 figures,
+//! extracted in randomized order, over a randomized workload:
+//!
+//! 1. the plan-mode vgraph JSON is byte-identical to the interp-mode
+//!    JSON, figure by figure, and
+//! 2. two independent plan-mode runs of the same subset report
+//!    *identical* `TargetStats` — including `plan_nodes`,
+//!    `dedup_walks` and `parallel_batches`, which must derive from the
+//!    deterministic schedule and never from worker-thread timing.
+
+use ksim::workload::{build, WorkloadConfig};
+use proptest::prelude::*;
+use vbridge::{CacheConfig, LatencyProfile, TargetStats};
+use visualinux::{figures, Session};
+
+fn plan_session(cfg: &WorkloadConfig, profile: LatencyProfile) -> Session {
+    Session::builder(build(cfg))
+        .profile(profile)
+        .cache(CacheConfig::default())
+        .plan()
+        .attach()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_pane_subsets_plan_equals_interp(
+        subset in proptest::collection::vec(0usize..21, 1..6),
+        profile_coin in 0u8..2,
+        processes in 2usize..7,
+        seed in 0u64..32,
+    ) {
+        let profile = if profile_coin == 0 {
+            LatencyProfile::gdb_qemu()
+        } else {
+            LatencyProfile::kgdb_rpi400()
+        };
+        let cfg = WorkloadConfig { processes, seed, ..WorkloadConfig::default() };
+
+        let interp = Session::builder(build(&cfg)).profile(profile).attach().unwrap();
+        let plan_a = plan_session(&cfg, profile);
+        let plan_b = plan_session(&cfg, profile);
+
+        let mut stats_a: Vec<TargetStats> = Vec::new();
+        let mut stats_b: Vec<TargetStats> = Vec::new();
+        for &idx in &subset {
+            let fig = &figures::all()[idx];
+            let (g_i, _) = interp.extract(fig.viewcl).expect(fig.id);
+            let (g_a, s_a) = plan_a.extract(fig.viewcl).expect(fig.id);
+            let (g_b, s_b) = plan_b.extract(fig.viewcl).expect(fig.id);
+            prop_assert_eq!(g_i.to_json(), g_a.to_json(), "plan graph drift on {}", fig.id);
+            prop_assert_eq!(g_a.to_json(), g_b.to_json(), "plan runs disagree on {}", fig.id);
+            stats_a.push(s_a.target);
+            stats_b.push(s_b.target);
+        }
+        // Determinism: the full stats vectors — wire costs and plan
+        // counters alike — match across independent parallel runs.
+        prop_assert_eq!(stats_a, stats_b);
+    }
+}
