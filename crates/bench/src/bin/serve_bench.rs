@@ -1,20 +1,36 @@
-//! `serve_bench` — throughput of the concurrent pane server (vserve).
+//! `serve_bench` — throughput of the concurrent pane server (vserve)
+//! and the session fleet (vfleet).
 //!
-//! N clients (default 4) hammer one shared server with the full figure
-//! corpus across several stop events: round 0 ships full plots, later
-//! rounds exercise delta sync. Real wall-clock, per latency profile
-//! (the profiles only shape virtual time, but they also shape payload
-//! mix via identical graphs — both are reported).
+//! Default mode: N clients (default 4) hammer one shared server with the
+//! full figure corpus across several stop events: round 0 ships full
+//! plots, later rounds exercise delta sync. Real wall-clock, per latency
+//! profile (the profiles only shape virtual time, but they also shape
+//! payload mix via identical graphs — both are reported).
+//!
+//! Fleet mode (`--fleet`): the corpus is recorded once into a `.vrec`
+//! capture, then served twice — by a single-engine fleet (baseline) and
+//! by an N-engine fleet of identical replay sessions sharing one
+//! extraction store. Because identical captures share walks (and tape
+//! spans, and generation deltas), aggregate throughput must scale ≥ 2x
+//! over the baseline; the run exits non-zero otherwise (the CI
+//! regression gate). Fleet runs use their own per-engine client count
+//! (`--fleet-clients`, default 2): the load generators share this
+//! machine with the engines, so piling on clients measures scheduler
+//! contention, not engine scaling.
 //!
 //! ```text
 //! cargo run -p bench --bin serve_bench              # 4 clients, 3 stops
 //! cargo run -p bench --bin serve_bench -- --clients 8 --stops 5
+//! cargo run -p bench --bin serve_bench -- --fleet --engines 4 --fleet-clients 2
 //! ```
 //!
 //! Emits `BENCH_serve.json` (override with `$BENCH_SERVE_OUT`) with
-//! requests/sec, per-request p50/p95 wall-clock latency, coalesce
-//! rate, and delta_bytes_saved per profile.
-//! Exits non-zero if any profile's `ServeStats` fail to reconcile.
+//! requests/sec, per-request p50/p95 wall-clock latency, the worst
+//! single client's p95/max latency, coalesce rate, and
+//! delta_bytes_saved per profile — plus, under `--fleet`, the
+//! baseline/fleet comparison with aggregate req/s and scaling.
+//! Exits non-zero if any `ServeStats`/`FleetStats` fail to reconcile,
+//! or if fleet scaling falls under the gate.
 
 use std::sync::{mpsc, Arc, Barrier};
 use std::thread;
@@ -22,10 +38,15 @@ use std::time::Instant;
 
 use bench::TablePrinter;
 use ksim::workload::{build, WorkloadConfig};
-use vbridge::{CacheConfig, LatencyProfile};
+use vbridge::{CacheConfig, Capture, LatencyProfile};
+use vfleet::{Fleet, FleetConfig, FleetStats};
 use visualinux::proto::VCommand;
-use visualinux::{figures, Session};
+use visualinux::{figures, Session, SessionSpec};
 use vserve::{Replica, ServeConfig, ServeStats, Server, ServerHandle};
+
+/// How much faster an N-engine replay fleet must aggregate over one
+/// engine for the run to pass.
+const FLEET_SCALING_GATE: f64 = 2.0;
 
 struct ProfileResult {
     name: &'static str,
@@ -33,17 +54,46 @@ struct ProfileResult {
     stops: usize,
     elapsed_s: f64,
     stats: ServeStats,
-    /// Per-plot-request wall-clock latencies, all clients pooled.
-    latencies_ns: Vec<u64>,
+    /// Per-plot-request wall-clock latencies, one vector per client.
+    per_client_ns: Vec<Vec<u64>>,
 }
 
-/// The p-th percentile (nearest-rank) of an unsorted latency sample.
+/// The p-th percentile (nearest-rank) of a sorted latency sample.
 fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
     if sorted_ns.is_empty() {
         return 0.0;
     }
     let rank = ((p / 100.0 * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
     sorted_ns[rank - 1] as f64 / 1e6
+}
+
+/// Pooled + per-client-worst-case latency figures from per-client
+/// samples. Pooled percentiles hide a single starved client; the worst
+/// client's own p95/max is what that client actually experienced.
+struct Latencies {
+    p50_ms: f64,
+    p95_ms: f64,
+    worst_client_p95_ms: f64,
+    worst_client_max_ms: f64,
+}
+
+fn latencies(per_client_ns: &[Vec<u64>]) -> Latencies {
+    let mut pooled: Vec<u64> = per_client_ns.iter().flatten().copied().collect();
+    pooled.sort_unstable();
+    let mut worst_p95 = 0.0f64;
+    let mut worst_max = 0.0f64;
+    for client in per_client_ns {
+        let mut sorted = client.clone();
+        sorted.sort_unstable();
+        worst_p95 = worst_p95.max(percentile_ms(&sorted, 95.0));
+        worst_max = worst_max.max(percentile_ms(&sorted, 100.0));
+    }
+    Latencies {
+        p50_ms: percentile_ms(&pooled, 50.0),
+        p95_ms: percentile_ms(&pooled, 95.0),
+        worst_client_p95_ms: worst_p95,
+        worst_client_max_ms: worst_max,
+    }
 }
 
 /// One profile's row in `BENCH_serve.json`.
@@ -57,9 +107,37 @@ struct ProfileDoc {
     requests_per_sec: f64,
     p50_ms: f64,
     p95_ms: f64,
+    worst_client_p95_ms: f64,
+    worst_client_max_ms: f64,
     coalesce_rate: f64,
     delta_bytes_saved: u64,
     stats: ServeStats,
+}
+
+/// One fleet run (baseline or N engines) in `BENCH_serve.json`.
+#[derive(serde::Serialize)]
+struct FleetRunDoc {
+    engines: usize,
+    clients_per_engine: usize,
+    requests: u64,
+    elapsed_s: f64,
+    requests_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    worst_client_p95_ms: f64,
+    worst_client_max_ms: f64,
+    stats: FleetStats,
+}
+
+/// The `--fleet` comparison in `BENCH_serve.json`.
+#[derive(serde::Serialize)]
+struct FleetDoc {
+    stops: usize,
+    baseline: FleetRunDoc,
+    fleet: FleetRunDoc,
+    /// fleet req/s over baseline req/s.
+    scaling: f64,
+    scaling_gate: f64,
 }
 
 /// The whole `BENCH_serve.json` document.
@@ -70,6 +148,8 @@ struct BenchDoc {
     stops: usize,
     figures: usize,
     profiles: Vec<ProfileDoc>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    fleet: Option<FleetDoc>,
 }
 
 fn run_profile(
@@ -145,26 +225,176 @@ fn run_profile(
             })
         })
         .collect();
-    let mut latencies_ns: Vec<u64> = Vec::new();
-    for w in workers {
-        latencies_ns.extend(w.join().expect("client"));
-    }
+    let per_client_ns: Vec<Vec<u64>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client"))
+        .collect();
     let elapsed_s = started.elapsed().as_secs_f64();
     let stats = engine.join().expect("engine");
-    latencies_ns.sort_unstable();
     ProfileResult {
         name,
         clients,
         stops,
         elapsed_s,
         stats,
-        latencies_ns,
+        per_client_ns,
+    }
+}
+
+/// Record the full corpus x (stops + 1) generations into an in-memory
+/// capture, in the exact order fleet clients will request it. Recorded
+/// without the snapshot cache: every read goes to the tape, so replay
+/// walks carry their full weight — the cost the share group exists to
+/// eliminate.
+fn record_corpus(stops: usize) -> Capture {
+    let mut s = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .record("serve_bench.vrec")
+        .attach()
+        .expect("record session");
+    for round in 0..=stops as u64 {
+        if round > 0 {
+            let roots = s.roots.clone();
+            s.stop_event(|img| {
+                ksim::tick::tick(img, &roots, round);
+            });
+        }
+        for fig in figures::all() {
+            s.extract(fig.viewcl).expect("record extract");
+        }
+    }
+    s.capture().expect("capture")
+}
+
+struct FleetRunResult {
+    engines: usize,
+    clients_per_engine: usize,
+    elapsed_s: f64,
+    stats: FleetStats,
+    per_client_ns: Vec<Vec<u64>>,
+}
+
+/// Serve the recorded corpus from `engines` identical replay sessions,
+/// `clients_per_engine` clients each, with lock-step rounds and fleet
+/// ticks between them.
+fn run_fleet(
+    cap: &Capture,
+    engines: usize,
+    clients_per_engine: usize,
+    stops: usize,
+) -> FleetRunResult {
+    let figs = Arc::new(figures::all());
+    // Clients pipeline a whole round before draining replies, so the
+    // queues must hold one full corpus per client — otherwise a client
+    // blocked mid-batch and an engine blocked on that client's full
+    // outbox would starve each other.
+    let fleet = Arc::new(Fleet::new(FleetConfig {
+        max_resident: engines,
+        serve: ServeConfig {
+            request_queue: clients_per_engine * figs.len() + 8,
+            client_queue: figs.len() + 8,
+            ..ServeConfig::default()
+        },
+    }));
+    for e in 0..engines {
+        fleet
+            .add_session(&format!("replay-{e}"), SessionSpec::replay(cap.clone()))
+            .expect("register");
+    }
+    let conns: Vec<_> = (0..engines)
+        .flat_map(|e| {
+            let fleet = &fleet;
+            (0..clients_per_engine)
+                .map(move |_| fleet.connect(&format!("replay-{e}")).expect("connect"))
+        })
+        .collect();
+
+    let total = conns.len();
+    let barrier = Arc::new(Barrier::new(total));
+    let started = Instant::now();
+    let workers: Vec<_> = conns
+        .into_iter()
+        .enumerate()
+        .map(|(i, conn)| {
+            let figs = figs.clone();
+            let barrier = barrier.clone();
+            let fleet = fleet.clone();
+            thread::spawn(move || {
+                // Lightweight load generator: receive the payload bytes
+                // but skip the client-side replica apply — the fleet
+                // runs measure serving throughput, and parsing on the
+                // load-generator thread would serialize with the engines
+                // on this machine. Each round is pipelined (batch-send,
+                // then drain): a synchronous round trip per request
+                // would measure scheduler ping-pong, not serving.
+                let mut latencies_ns = Vec::new();
+                for round in 0..=stops as u64 {
+                    let mut sent_at = Vec::with_capacity(figs.len());
+                    for fig in figs.iter() {
+                        sent_at.push(Instant::now());
+                        conn.send(&VCommand::VplotRequest {
+                            viewcl: fig.viewcl.to_string(),
+                        })
+                        .expect("send");
+                    }
+                    for sent in sent_at {
+                        let line = conn.recv().expect("reply");
+                        latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                        assert!(
+                            line.starts_with("{\"command\":\"vplot"),
+                            "unexpected reply: {line}"
+                        );
+                    }
+                    barrier.wait();
+                    if round < stops as u64 {
+                        if i == 0 {
+                            fleet.tick_all(round + 1).expect("tick");
+                        }
+                        barrier.wait();
+                    }
+                }
+                drop(conn);
+                latencies_ns
+            })
+        })
+        .collect();
+    let per_client_ns: Vec<Vec<u64>> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client"))
+        .collect();
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let stats = fleet.shutdown();
+    FleetRunResult {
+        engines,
+        clients_per_engine,
+        elapsed_s,
+        stats,
+        per_client_ns,
+    }
+}
+
+fn fleet_run_doc(r: &FleetRunResult) -> FleetRunDoc {
+    let lat = latencies(&r.per_client_ns);
+    FleetRunDoc {
+        engines: r.engines,
+        clients_per_engine: r.clients_per_engine,
+        requests: r.stats.engine.requests,
+        elapsed_s: r.elapsed_s,
+        requests_per_sec: r.stats.engine.requests as f64 / r.elapsed_s,
+        p50_ms: lat.p50_ms,
+        p95_ms: lat.p95_ms,
+        worst_client_p95_ms: lat.worst_client_p95_ms,
+        worst_client_max_ms: lat.worst_client_max_ms,
+        stats: r.stats,
     }
 }
 
 fn main() {
     let mut clients = 4usize;
     let mut stops = 3usize;
+    let mut fleet_mode = false;
+    let mut engines = 4usize;
+    let mut fleet_clients = 2usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -175,8 +405,25 @@ fn main() {
                     .expect("--clients N")
             }
             "--stops" => stops = args.next().and_then(|v| v.parse().ok()).expect("--stops N"),
+            "--fleet" => fleet_mode = true,
+            "--engines" => {
+                engines = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--engines N")
+            }
+            "--fleet-clients" => {
+                fleet_clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fleet-clients N")
+            }
             other => {
-                eprintln!("unknown flag {other}; usage: serve_bench [--clients N] [--stops N]");
+                eprintln!(
+                    "unknown flag {other}; usage: \
+                     serve_bench [--clients N] [--stops N] [--fleet] [--engines N] \
+                     [--fleet-clients N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -191,7 +438,7 @@ fn main() {
         run_profile("kgdb_rpi400", LatencyProfile::kgdb_rpi400(), clients, stops),
     ];
 
-    let t = TablePrinter::new(&[13, 9, 11, 9, 9, 10, 9, 11, 13]);
+    let t = TablePrinter::new(&[13, 9, 11, 9, 9, 9, 10, 9, 11, 13]);
     t.row(
         &[
             "profile",
@@ -199,6 +446,7 @@ fn main() {
             "req/s",
             "p50-ms",
             "p95-ms",
+            "worst-ms",
             "walks",
             "coalesce",
             "deltas",
@@ -216,14 +464,14 @@ fn main() {
             failed = true;
         }
         let rps = s.requests as f64 / r.elapsed_s;
-        let p50 = percentile_ms(&r.latencies_ns, 50.0);
-        let p95 = percentile_ms(&r.latencies_ns, 95.0);
+        let lat = latencies(&r.per_client_ns);
         t.row(&[
             r.name.to_string(),
             s.requests.to_string(),
             format!("{rps:.0}"),
-            format!("{p50:.2}"),
-            format!("{p95:.2}"),
+            format!("{:.2}", lat.p50_ms),
+            format!("{:.2}", lat.p95_ms),
+            format!("{:.2}", lat.worst_client_max_ms),
             s.walks.to_string(),
             format!("{:.1}%", s.coalesce_rate() * 100.0),
             s.deltas_sent.to_string(),
@@ -236,14 +484,55 @@ fn main() {
             elapsed_s: r.elapsed_s,
             requests: s.requests,
             requests_per_sec: rps,
-            p50_ms: p50,
-            p95_ms: p95,
+            p50_ms: lat.p50_ms,
+            p95_ms: lat.p95_ms,
+            worst_client_p95_ms: lat.worst_client_p95_ms,
+            worst_client_max_ms: lat.worst_client_max_ms,
             coalesce_rate: s.coalesce_rate(),
             delta_bytes_saved: s.delta_bytes_saved,
             stats: *s,
         });
     }
     t.sep();
+
+    let fleet = if fleet_mode {
+        println!("\nrecording the corpus capture for the fleet runs...");
+        let cap = record_corpus(stops);
+        println!("fleet baseline: 1 engine x {fleet_clients} clients");
+        let baseline = run_fleet(&cap, 1, fleet_clients, stops);
+        println!("fleet run: {engines} engines x {fleet_clients} clients each");
+        let big = run_fleet(&cap, engines, fleet_clients, stops);
+        for (name, r) in [("baseline", &baseline), ("fleet", &big)] {
+            if let Err(e) = r.stats.reconcile() {
+                eprintln!("{name}: FleetStats do not reconcile: {e}");
+                failed = true;
+            }
+        }
+        let bdoc = fleet_run_doc(&baseline);
+        let fdoc = fleet_run_doc(&big);
+        let scaling = fdoc.requests_per_sec / bdoc.requests_per_sec;
+        println!(
+            "\nfleet: {} req/s over baseline {} req/s -> scaling {scaling:.2}x \
+             (gate {FLEET_SCALING_GATE:.1}x); shared hits {}, walks {}",
+            fdoc.requests_per_sec as u64,
+            bdoc.requests_per_sec as u64,
+            fdoc.stats.engine.shared_hits,
+            fdoc.stats.engine.walks,
+        );
+        if scaling < FLEET_SCALING_GATE {
+            eprintln!("fleet scaling {scaling:.2}x under the {FLEET_SCALING_GATE:.1}x gate");
+            failed = true;
+        }
+        Some(FleetDoc {
+            stops,
+            baseline: bdoc,
+            fleet: fdoc,
+            scaling,
+            scaling_gate: FLEET_SCALING_GATE,
+        })
+    } else {
+        None
+    };
 
     let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
     let doc = BenchDoc {
@@ -252,6 +541,7 @@ fn main() {
         stops,
         figures: figures::all().len(),
         profiles,
+        fleet,
     };
     std::fs::write(&out, serde_json::to_string_pretty(&doc).expect("encode")).expect("write");
     println!("\nwrote {out}");

@@ -35,8 +35,10 @@ pub mod figures;
 pub mod helpers;
 pub mod proto;
 mod session;
+mod spec;
 
 pub use session::{PlotSpec, PlotStats, Session, SessionBuilder, SessionError, VChatOutcome};
+pub use spec::SessionSpec;
 
 // Re-export the full stack for examples and downstream users.
 pub use ksim;

@@ -74,6 +74,14 @@ pub enum VCommand {
         /// Last sequence number applied client-side.
         seq: u64,
     },
+    /// `vattach`: routing frame — the **first** line on a fleet
+    /// (`vfleet`) connection names the session the client wants; every
+    /// later frame flows to that session's engine. A single-session
+    /// endpoint (or an already-routed connection) answers with an error.
+    Vattach {
+        /// The fleet session key.
+        session: String,
+    },
 }
 
 /// The visualizer's reply.
@@ -172,6 +180,12 @@ pub fn dispatch(session: &mut crate::Session, cmd: &VCommand) -> VResponse {
             VCommand::Vack { .. } => VResponse::Ok {
                 pane: None,
                 synthesized: None,
+            },
+            VCommand::Vattach { session } => VResponse::Err {
+                message: format!(
+                    "vattach `{session}`: this endpoint serves a single session \
+                     (already routed, or not a fleet router)"
+                ),
             },
         })
     })();

@@ -75,7 +75,7 @@ impl From<vchat::VchatError> for SessionError {
 pub type Result<T> = std::result::Result<T, SessionError>;
 
 /// Cost and size of one `vplot` extraction (the measurements of Table 4).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PlotStats {
     /// Graph composition.
     pub graph: GraphStats,
@@ -457,6 +457,24 @@ impl Session {
     /// The session's bridge cache, if enabled.
     pub fn cache(&self) -> Option<&BlockCache> {
         self.cache.as_ref()
+    }
+
+    /// Export the cache's resident blocks for cross-session sharing
+    /// (`vfleet` share groups). `None` when the cache is disabled.
+    pub fn cache_snapshot(&self) -> Option<vbridge::CacheSnapshot> {
+        self.cache.as_ref().map(|c| c.snapshot())
+    }
+
+    /// Adopt warmed spans from a sibling session stopped at the same
+    /// machine state; returns the number of blocks adopted. A no-op on
+    /// uncached sessions — and on replay sessions, whose tape must
+    /// observe every fetch in recorded order (a warmed block would skip
+    /// wire reads and diverge the capture cursor).
+    pub fn warm_cache(&self, snap: &vbridge::CacheSnapshot) -> usize {
+        if self.replay.is_some() {
+            return 0;
+        }
+        self.cache.as_ref().map_or(0, |c| c.warm_from(snap))
     }
 
     /// Resume the (simulated) kernel: cached target bytes may now be

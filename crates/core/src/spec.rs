@@ -1,0 +1,171 @@
+//! Session recipes: everything needed to (re)build an attached
+//! [`Session`] from scratch, as plain `Send + Sync` data.
+//!
+//! `Session` itself is deliberately single-threaded (`Rc`/`RefCell`
+//! tracing state), so a fleet cannot move sessions between threads — it
+//! moves *specs* and rebuilds. A [`SessionSpec`] is the unit of
+//! spawn/evict/respawn in `vfleet`: evicting an engine keeps its spec
+//! (plus a served-extraction journal), and the next request rebuilds an
+//! identical session on a fresh thread. Because `ksim` workloads are
+//! seed-deterministic and `.vrec` captures replay bit-identically, two
+//! sessions built from equal specs serve byte-identical graphs — which
+//! is what [`SessionSpec::fingerprint`] certifies for the fleet's
+//! cross-session share groups.
+
+use std::sync::Arc;
+
+use ksim::workload::{build, WorkloadConfig};
+use vbridge::{CacheConfig, Capture, ExecMode, LatencyProfile};
+
+use crate::session::{Result, Session};
+
+/// A serializable recipe for building an attached session.
+#[derive(Debug, Clone)]
+pub enum SessionSpec {
+    /// Build a live simulated kernel image and attach to it.
+    Live {
+        /// The workload to build (seed-deterministic).
+        workload: WorkloadConfig,
+        /// Latency profile to meter under.
+        profile: LatencyProfile,
+        /// Snapshot block cache, if enabled.
+        cache: Option<CacheConfig>,
+        /// Interpreter or plan-driven extraction.
+        exec: ExecMode,
+    },
+    /// Rebuild a replay session over a recorded wire capture. The
+    /// capture is shared (`Arc`): respawns clone the events once per
+    /// build, not once per registration.
+    Replay {
+        /// The `.vrec` capture to serve.
+        capture: Arc<Capture>,
+    },
+}
+
+impl SessionSpec {
+    /// A live spec with the default cache and interpreter execution.
+    pub fn live(workload: WorkloadConfig, profile: LatencyProfile) -> SessionSpec {
+        SessionSpec::Live {
+            workload,
+            profile,
+            cache: Some(CacheConfig::default()),
+            exec: ExecMode::Interp,
+        }
+    }
+
+    /// A replay spec over a recorded capture (profile, cache and exec
+    /// mode come from the capture header, as `Session::replay` defaults).
+    pub fn replay(capture: Capture) -> SessionSpec {
+        SessionSpec::Replay {
+            capture: Arc::new(capture),
+        }
+    }
+
+    /// Whether this spec builds a replay session (strict tape order; the
+    /// fleet must never warm its cache or reorder its walks).
+    pub fn is_replay(&self) -> bool {
+        matches!(self, SessionSpec::Replay { .. })
+    }
+
+    /// Build a fresh attached session from the recipe.
+    pub fn build(&self) -> Result<Session> {
+        match self {
+            SessionSpec::Live {
+                workload,
+                profile,
+                cache,
+                exec,
+            } => {
+                let mut b = Session::builder(build(workload))
+                    .profile(*profile)
+                    .exec(*exec);
+                if let Some(cfg) = cache {
+                    b = b.cache(*cfg);
+                }
+                b.attach()
+            }
+            SessionSpec::Replay { capture } => Session::replay((**capture).clone()).attach(),
+        }
+    }
+
+    /// A content fingerprint: equal fingerprints mean "these specs build
+    /// sessions that serve byte-identical graphs", so the fleet may pool
+    /// them into one cross-session share group. Live specs hash the
+    /// workload/profile/cache/exec configuration; replay specs hash the
+    /// full capture document.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            SessionSpec::Live {
+                workload,
+                profile,
+                cache,
+                exec,
+            } => fnv64(format!("live:{workload:?}:{profile:?}:{cache:?}:{exec:?}").as_bytes()),
+            SessionSpec::Replay { capture } => fnv64(capture.to_json().as_bytes()),
+        }
+    }
+}
+
+/// FNV-1a, 64-bit: stable across processes (unlike `DefaultHasher`'s
+/// unspecified keys), so fingerprints are reproducible in bench output.
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_fingerprints_separate_configs_and_build_sessions() {
+        let a = SessionSpec::live(WorkloadConfig::default(), LatencyProfile::free());
+        let b = SessionSpec::live(WorkloadConfig::default(), LatencyProfile::free());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal specs pool");
+        let c = SessionSpec::live(
+            WorkloadConfig {
+                processes: 7,
+                ..WorkloadConfig::default()
+            },
+            LatencyProfile::free(),
+        );
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "different workloads split"
+        );
+        assert!(!a.is_replay());
+
+        let s = a.build().unwrap();
+        let fig = crate::figures::by_id("fig3-4").unwrap();
+        let (g1, _) = s.extract(fig.viewcl).unwrap();
+        let (g2, _) = b.build().unwrap().extract(fig.viewcl).unwrap();
+        assert_eq!(g1, g2, "equal specs build byte-identical sessions");
+    }
+
+    #[test]
+    fn replay_spec_round_trips_a_capture() {
+        let fig = crate::figures::by_id("fig3-4").unwrap();
+        let rec = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::free())
+            .record("unused.vrec")
+            .attach()
+            .unwrap();
+        let (live_graph, _) = rec.extract(fig.viewcl).unwrap();
+        let cap = rec.capture().unwrap();
+
+        let spec = SessionSpec::replay(cap.clone());
+        assert!(spec.is_replay());
+        assert_eq!(
+            spec.fingerprint(),
+            SessionSpec::replay(cap).fingerprint(),
+            "same capture, same share group"
+        );
+        let (replayed, _) = spec.build().unwrap().extract(fig.viewcl).unwrap();
+        assert_eq!(live_graph, replayed);
+    }
+}

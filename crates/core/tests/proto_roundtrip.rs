@@ -94,6 +94,12 @@ fn all_commands() -> Vec<(&'static str, VCommand)> {
                 seq: 7,
             },
         ),
+        (
+            "vattach",
+            VCommand::Vattach {
+                session: "replay-03".into(),
+            },
+        ),
     ]
 }
 
@@ -111,7 +117,8 @@ fn every_vcommand_variant_round_trips() {
             | VCommand::Vchat { .. }
             | VCommand::VplotRequest { .. }
             | VCommand::VplotDelta { .. }
-            | VCommand::Vack { .. } => {}
+            | VCommand::Vack { .. }
+            | VCommand::Vattach { .. } => {}
         }
     }
     for (tag, cmd) in cmds {
@@ -179,6 +186,11 @@ fn malformed_json_is_an_error_not_a_panic() {
         "{\"command\":\"vack\"}",            // missing fields
         "{\"command\":\"vctrl_focus\",\"addr\":\"not a number\"}",
         "{\"command\":\"vplot_delta\",\"source\":\"s\",\"seq\":1,\"delta\":{\"base_len\":\"x\"}}",
+        // Routing frames: a vattach must carry a string session key.
+        "{\"command\":\"vattach\"}",
+        "{\"command\":\"vattach\",\"session\":42}",
+        "{\"command\":\"vattach\",\"session\":null}",
+        "{\"command\":\"vattach\",\"session\":[\"a\"]}",
     ] {
         assert!(
             VCommand::from_json(bad).is_err(),

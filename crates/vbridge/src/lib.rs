@@ -37,7 +37,7 @@ mod replay;
 mod target;
 
 pub use backend::{BackendError, BackendKind, SimBackend, SyncRead, TargetBackend};
-pub use cache::{BlockCache, CacheConfig};
+pub use cache::{BlockCache, CacheConfig, CacheSnapshot};
 pub use error::{BridgeError, ErrorKind, Result};
 pub use eval::Evaluator;
 pub use helpers::{HelperFn, HelperRegistry};

@@ -126,6 +126,28 @@ impl ReplayState {
         self.next_matching("resume", |ev| matches!(ev, WireEvent::Resume))
             .map(|_| ())
     }
+
+    /// Advance the cursor over `n` events without serving them — used
+    /// when an identical sibling session already walked this span and
+    /// published both the result and the span bounds, so re-reading the
+    /// tape would only reproduce bytes the caller already holds. Fails
+    /// (without advancing) if the state is poisoned or the tape is too
+    /// short.
+    pub fn skip_events(&self, n: usize) -> Result<(), BackendError> {
+        if let Some(msg) = self.poison.borrow().as_ref() {
+            return Err(BackendError::Capture(msg.clone()));
+        }
+        let i = self.pos.get();
+        if i + n > self.capture.events.len() {
+            return Err(self.fail(format!(
+                "cannot skip {n} events at position {i}: the capture holds \
+                 only {} (truncated or divergent span bounds?)",
+                self.capture.events.len()
+            )));
+        }
+        self.pos.set(i + n);
+        Ok(())
+    }
 }
 
 /// A backend serving a recorded capture in strict order.

@@ -1,0 +1,64 @@
+//! `vfleet`: shard many debugging sessions across many engines.
+//!
+//! One `vserve` engine owns one session; a fleet owns many — live
+//! [`visualinux::vbridge::SimBackend`] images and `.vrec` replay
+//! captures mixed — and routes clients to them by session key. See
+//! DESIGN.md §14.
+//!
+//! * **Keyed routing.** Register sessions as [`visualinux::SessionSpec`]
+//!   recipes under string keys; clients attach with a `vattach` routing
+//!   frame ([`Fleet::serve_transport`]) or directly by key
+//!   ([`Fleet::connect`]) and then speak the ordinary `vserve` protocol.
+//! * **Lazy lifecycle.** Engines spawn on first connection. A resident
+//!   budget ([`FleetConfig::max_resident`]) evicts the least-recently-
+//!   used idle engine — gracefully, books settled — and the next request
+//!   respawns the session from its spec plus a served-extraction
+//!   journal, reproducing tape position and cache state exactly.
+//! * **Cross-session sharing.** Engines whose specs fingerprint
+//!   identically join a share group ([`cache::FleetCache`]): the first
+//!   engine to walk a `(generation, ViewCL)` pair publishes the graph,
+//!   siblings serve it without touching their own bridge. Stop
+//!   generations are hash-chained over tick arguments
+//!   ([`chain_generation`]), so diverging mutation histories can never
+//!   alias. Live engines additionally share warmed snapshot-cache
+//!   blocks; replay engines never do (a tape fetches its own bytes, in
+//!   recorded order).
+//! * **Accounting.** [`FleetStats`] aggregates lifecycle counters, the
+//!   summed per-engine [`vserve::ServeStats`], and share-group hit/miss
+//!   books; [`FleetStats::reconcile`] checks them against each other
+//!   bit-for-bit once the books settle ([`Fleet::shutdown`]).
+
+pub mod cache;
+mod pool;
+mod router;
+mod stats;
+
+pub use cache::{FleetCache, FleetCacheStats};
+pub use pool::{chain_generation, Fleet, FleetConfig, FleetConnection};
+pub use stats::FleetStats;
+
+/// Errors from fleet registration and routing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// No session registered under that key.
+    UnknownSession(String),
+    /// A session is already registered under that key.
+    DuplicateSession(String),
+    /// The engine could not be built (workload/capture attach failed).
+    Spawn(String),
+    /// The engine rejected a request (shutting down).
+    Engine(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownSession(k) => write!(f, "unknown session `{k}`"),
+            FleetError::DuplicateSession(k) => write!(f, "session `{k}` already registered"),
+            FleetError::Spawn(m) => write!(f, "engine spawn failed: {m}"),
+            FleetError::Engine(m) => write!(f, "engine unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}

@@ -1,0 +1,66 @@
+//! Keyed routing: the `vattach` handshake over any [`Transport`].
+//!
+//! A fleet endpoint speaks the same line protocol as a single `vserve`
+//! server, prefixed by one routing frame: the first well-formed command
+//! on a connection must be `vattach {"session": key}`. Everything after
+//! a successful attach flows to that session's engine verbatim (a
+//! *second* `vattach` therefore reaches the engine, which answers with
+//! the single-session error from `proto::dispatch` — routing frames are
+//! not re-interpreted mid-stream). Bad first frames are answered with an
+//! error and counted, and the client may retry the handshake on the
+//! same connection.
+
+use std::io;
+
+use visualinux::proto::{VCommand, VResponse};
+use vserve::Transport;
+
+use crate::pool::{Fleet, FleetConnection};
+
+impl Fleet {
+    /// Route one transport connection: run the `vattach` handshake, then
+    /// pump frames between the transport and the routed engine until the
+    /// peer hangs up. Returns when the transport closes.
+    pub fn serve_transport<T: Transport>(&self, t: &mut T) -> io::Result<()> {
+        let Some(conn) = self.attach_handshake(t)? else {
+            return Ok(());
+        };
+        vserve::serve_transport(conn.connection(), t)
+    }
+
+    /// The handshake half of [`Fleet::serve_transport`], usable on its
+    /// own when the caller wants the routed connection back. `None`
+    /// means the peer hung up before attaching.
+    pub fn attach_handshake<T: Transport>(&self, t: &mut T) -> io::Result<Option<FleetConnection>> {
+        loop {
+            let Some(line) = t.recv()? else {
+                return Ok(None);
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let message = match VCommand::from_json(&line) {
+                Ok(VCommand::Vattach { session }) => match self.connect(&session) {
+                    Ok(conn) => {
+                        t.send(
+                            &VResponse::Ok {
+                                pane: None,
+                                synthesized: None,
+                            }
+                            .to_json(),
+                        )?;
+                        return Ok(Some(conn));
+                    }
+                    Err(e) => format!("vattach `{session}`: {e}"),
+                },
+                Ok(other) => format!(
+                    "expected a vattach routing frame first, got `{}`",
+                    other.to_json()
+                ),
+                Err(e) => format!("unparseable routing frame: {e}"),
+            };
+            self.note_routing_error();
+            t.send(&VResponse::Err { message }.to_json())?;
+        }
+    }
+}

@@ -30,12 +30,14 @@
 mod client;
 mod queue;
 mod server;
+mod shared;
 mod stats;
 mod transport;
 
 pub use client::{Replica, ReplicaEvent};
 pub use queue::{Bounded, TryPush};
 pub use server::{Connection, ServeConfig, Server, ServerHandle};
+pub use shared::{JournalEntry, Preload, SharedExtractions, SharedPlot};
 pub use stats::ServeStats;
 pub use transport::{pair, serve_transport, PairTransport, Transport};
 

@@ -66,6 +66,32 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Push with a bounded wait: like [`Bounded::push`], but gives up
+    /// with `Full` after `timeout` instead of waiting forever. Lets a
+    /// producer that must not deadlock (the engine replying to a client
+    /// that may never drain again) periodically recheck the world.
+    pub fn push_timeout(&self, item: T, timeout: std::time::Duration) -> Result<(), TryPush<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return Err(TryPush::Closed(item));
+            }
+            if g.items.len() < self.cap {
+                g.items.push_back(item);
+                g.high_water = g.high_water.max(g.items.len());
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TryPush::Full(item));
+            }
+            let (guard, _timed_out) = self.not_full.wait_timeout(g, deadline - now).unwrap();
+            g = guard;
+        }
+    }
+
     /// Non-blocking push.
     pub fn try_push(&self, item: T) -> Result<(), TryPush<T>> {
         let mut g = self.inner.lock().unwrap();
@@ -165,6 +191,23 @@ mod tests {
         q.close();
         assert!(matches!(q.try_push(2), Err(TryPush::Closed(2))));
         assert_eq!(q.push(3), Err(3));
+    }
+
+    #[test]
+    fn push_timeout_gives_up_on_a_stuck_queue() {
+        let q = Bounded::new(1);
+        q.push(1u32).unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(matches!(
+            q.push_timeout(2, std::time::Duration::from_millis(20)),
+            Err(TryPush::Full(2))
+        ));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+        q.close();
+        assert!(matches!(
+            q.push_timeout(3, std::time::Duration::from_millis(20)),
+            Err(TryPush::Closed(3))
+        ));
     }
 
     #[test]

@@ -16,17 +16,26 @@
 //! is served from the memoized result. Per `(client, source)` the server
 //! remembers the last graph it shipped and sends a [`vgraph::diff`]
 //! delta when that is smaller than re-shipping the plot.
+//!
+//! A fleet (`vfleet`) extends the memo across engines: plug a
+//! [`SharedExtractions`] store in with [`Server::share_extractions`] and
+//! the engine consults it before walking, publishes what it walks, and
+//! keeps a lag journal of shared-served results so a replay session's
+//! strict tape order survives the skipped walks (re-enacted on the next
+//! local walk, or by a respawned engine via [`Server::preload`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ksim::image::KernelImage;
+use vbridge::BackendKind;
 use visualinux::proto::{VCommand, VResponse};
 use visualinux::{PlotStats, Session};
 use vtrace::SpanKind;
 
 use crate::queue::{Bounded, TryPush};
+use crate::shared::{JournalEntry, Preload, SharedExtractions, SharedPlot};
 use crate::stats::ServeStats;
 use crate::ServeError;
 
@@ -57,11 +66,23 @@ enum Request {
     /// A protocol line from a client.
     Cmd { client: u64, line: String },
     /// The debugger stopped again: mutate the image, invalidate caches.
-    Stop(Box<dyn FnOnce(&mut KernelImage) + Send>),
+    /// `generation` is the fleet's stop-generation key; `None` means
+    /// "increment" (standalone servers).
+    Stop {
+        generation: Option<u64>,
+        mutate: Box<dyn FnOnce(&mut KernelImage) + Send>,
+    },
+    /// A client departed. The marker trails everything that client
+    /// queued, so the engine answers those requests *before* dropping
+    /// the outbox — late-queued requests are drained, not lost.
+    Gone(u64),
 }
 
 struct ClientEntry {
     outbox: Arc<Bounded<String>>,
+    /// Departed; entry lives on until the engine processes the trailing
+    /// [`Request::Gone`] marker (or finishes its final drain).
+    gone: bool,
 }
 
 /// State shared between the engine thread and all client threads.
@@ -79,12 +100,30 @@ impl Shared {
     /// Called when a client disconnects; the last one out closes the
     /// request queue so an idle-exit engine can return.
     fn client_gone(&self, id: u64) {
-        let entry = self.clients.lock().unwrap().remove(&id);
-        if let Some(e) = entry {
-            e.outbox.close();
-            if self.active.fetch_sub(1, Ordering::SeqCst) == 1 && self.exit_when_idle {
-                self.reqq.close();
+        {
+            let mut clients = self.clients.lock().unwrap();
+            match clients.get_mut(&id) {
+                Some(e) if !e.gone => e.gone = true,
+                _ => return, // unknown, or already departing
             }
+        }
+        // Ordered departure: a marker queued *behind* the client's own
+        // requests lets the engine answer them before the outbox goes.
+        // Full queue: blocking here (inside close()/drop) could deadlock
+        // against an engine stalled on this very client's outbox — fall
+        // back to the immediate drop. Closed queue: the engine's final
+        // drain still owns the entry and closes every outbox when done,
+        // so already-queued requests are answered, not silently lost.
+        match self.reqq.try_push(Request::Gone(id)) {
+            Ok(()) | Err(TryPush::Closed(_)) => {}
+            Err(TryPush::Full(_)) => {
+                if let Some(e) = self.clients.lock().unwrap().remove(&id) {
+                    e.outbox.close();
+                }
+            }
+        }
+        if self.active.fetch_sub(1, Ordering::SeqCst) == 1 && self.exit_when_idle {
+            self.reqq.close();
         }
     }
 }
@@ -146,7 +185,8 @@ impl Connection {
         self.id
     }
 
-    /// Disconnect. Idempotent; also called on drop.
+    /// Disconnect. Idempotent; also called on drop. Replies to requests
+    /// already queued stay readable via [`Connection::recv`].
     pub fn close(&self) {
         self.shared.client_gone(self.id);
     }
@@ -174,6 +214,7 @@ impl ServerHandle {
             id,
             ClientEntry {
                 outbox: outbox.clone(),
+                gone: false,
             },
         );
         self.shared.active.fetch_add(1, Ordering::SeqCst);
@@ -191,9 +232,31 @@ impl ServerHandle {
         &self,
         mutate: impl FnOnce(&mut KernelImage) + Send + 'static,
     ) -> Result<(), ServeError> {
+        self.stop_with(None, mutate)
+    }
+
+    /// [`ServerHandle::stop_event`] with an explicit stop-generation key.
+    /// A fleet chains tick arguments into the key so engines only share
+    /// cached extractions when their mutation histories are identical.
+    pub fn stop_event_keyed(
+        &self,
+        generation: u64,
+        mutate: impl FnOnce(&mut KernelImage) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        self.stop_with(Some(generation), mutate)
+    }
+
+    fn stop_with(
+        &self,
+        generation: Option<u64>,
+        mutate: impl FnOnce(&mut KernelImage) + Send + 'static,
+    ) -> Result<(), ServeError> {
         self.shared
             .reqq
-            .push(Request::Stop(Box::new(mutate)))
+            .push(Request::Stop {
+                generation,
+                mutate: Box::new(mutate),
+            })
             .map_err(|_| ServeError::Closed)
     }
 
@@ -210,8 +273,11 @@ impl ServerHandle {
 struct SyncState {
     /// Sequence of the last payload shipped (0 = the full ship).
     seq: u64,
-    /// The graph the client holds after applying that payload.
-    last: vgraph::Graph,
+    /// The graph the client holds after applying that payload. Shared
+    /// with the memo entry it was shipped from, so in-sync clients all
+    /// point at the same allocation and lockstep checks are a pointer
+    /// compare.
+    last: Arc<vgraph::Graph>,
     /// Server-side pane adopted at first plot (anchor for vctrl/vchat).
     #[allow(dead_code)]
     pane: vpanels::PaneId,
@@ -219,10 +285,58 @@ struct SyncState {
     resync: bool,
 }
 
+/// A delta payload memoized on the extraction entry: every in-sync
+/// client stepping `base → graph` at the same seq receives the same
+/// bytes, so the diff is computed once per generation, not per client.
+struct DeltaMemo {
+    base: Arc<vgraph::Graph>,
+    seq: u64,
+    payload: String,
+}
+
 /// One memoized extraction, valid for the current stop generation.
 struct MemoEntry {
-    graph: vgraph::Graph,
+    graph: Arc<vgraph::Graph>,
     stats: PlotStats,
+    /// The full `vplot` ship, serialized once — identical for every
+    /// client of this source (and, via the shared store, for every
+    /// sibling engine).
+    full: Arc<str>,
+    delta: Option<DeltaMemo>,
+}
+
+impl MemoEntry {
+    fn new(source: &str, graph: vgraph::Graph, stats: PlotStats) -> MemoEntry {
+        let full = VCommand::Vplot {
+            graph: graph.clone(),
+            source: source.to_string(),
+        }
+        .to_json();
+        MemoEntry {
+            graph: Arc::new(graph),
+            stats,
+            full: full.into(),
+            delta: None,
+        }
+    }
+
+    /// Adopt a sibling engine's published extraction wholesale — no
+    /// graph clone, no re-serialization.
+    fn from_shared(sp: SharedPlot) -> MemoEntry {
+        MemoEntry {
+            graph: sp.graph,
+            stats: sp.stats,
+            full: sp.full,
+            delta: None,
+        }
+    }
+}
+
+/// A deferred session operation (shared-served walk or deferred stop),
+/// re-enacted in order before the next local walk.
+enum LagOp {
+    Plot(String),
+    Stop(Box<dyn FnOnce(&mut KernelImage) + Send>),
 }
 
 /// The pane server. Owns the session; `run` is the engine loop.
@@ -232,6 +346,20 @@ pub struct Server {
     stats: ServeStats,
     subs: HashMap<(u64, String), SyncState>,
     memo: HashMap<String, MemoEntry>,
+    /// The fleet's cross-engine extraction store, if attached.
+    share: Option<Arc<dyn SharedExtractions>>,
+    /// Current stop-generation key (fleet-chained or a plain counter).
+    generation: u64,
+    /// Session operations skipped while serving from the shared store,
+    /// in original order; drained before the next local walk.
+    lag: Vec<LagOp>,
+    /// Every extraction served (walked or shared), first-served order —
+    /// what a respawned successor must re-enact.
+    journal: Vec<JournalEntry>,
+    /// The previous generation's graphs, kept across a stop so the
+    /// canonical `previous → current` delta per source can be recognized
+    /// (by pointer) and fetched from / published to the shared store.
+    prev: HashMap<String, (u64, Arc<vgraph::Graph>)>,
 }
 
 impl Server {
@@ -251,7 +379,44 @@ impl Server {
             stats: ServeStats::default(),
             subs: HashMap::new(),
             memo: HashMap::new(),
+            share: None,
+            generation: 0,
+            lag: Vec::new(),
+            journal: Vec::new(),
+            prev: HashMap::new(),
         }
+    }
+
+    /// Attach a cross-engine extraction store (fleet share group): the
+    /// engine consults it before walking and publishes what it walks.
+    pub fn share_extractions(&mut self, share: Arc<dyn SharedExtractions>) {
+        self.share = Some(share);
+    }
+
+    /// Seed a fresh engine with its predecessor's history (fleet
+    /// respawn): `generation` is the current stop-generation key, `ops`
+    /// the predecessor's journal interleaved with the applied stops, in
+    /// original order (each tagged with the generation it ran under).
+    /// Drained lazily like ordinary lag, so a respawn costs nothing
+    /// until a request actually misses the shared store.
+    pub fn preload(&mut self, generation: u64, ops: Vec<(u64, Preload)>) {
+        assert!(
+            self.lag.is_empty() && self.journal.is_empty(),
+            "preload must precede serving"
+        );
+        for (gen, op) in ops {
+            match op {
+                Preload::Plot(src) => {
+                    self.journal.push(JournalEntry {
+                        generation: gen,
+                        viewcl: src.clone(),
+                    });
+                    self.lag.push(LagOp::Plot(src));
+                }
+                Preload::Stop(mutate) => self.lag.push(LagOp::Stop(mutate)),
+            }
+        }
+        self.generation = generation;
     }
 
     /// A handle for client threads. Connect at least one client before
@@ -275,6 +440,17 @@ impl Server {
         &self.session
     }
 
+    /// The served-extraction journal, first-served order (fleet respawn
+    /// input; includes preloaded history).
+    pub fn journal(&self) -> &[JournalEntry] {
+        &self.journal
+    }
+
+    /// The current stop-generation key.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// The engine loop: processes requests until shutdown — or, with
     /// `exit_when_idle`, until the last client disconnects. Afterwards
     /// every client stream is closed (graceful: already-queued replies
@@ -290,10 +466,32 @@ impl Server {
 
     fn handle_request(&mut self, req: Request) {
         match req {
-            Request::Stop(mutate) => {
-                self.session.stop_event(mutate);
-                self.memo.clear();
+            Request::Stop { generation, mutate } => {
+                // While the session lags behind shared-served walks, the
+                // stop is deferred too: a replay tape must observe walks
+                // and resume marks in original order.
+                if self.lag.is_empty() {
+                    self.session.stop_event(mutate);
+                } else {
+                    self.lag.push(LagOp::Stop(mutate));
+                }
+                let old = self.generation;
+                self.generation = generation.unwrap_or(self.generation + 1);
+                // The invalidated memo becomes the previous-generation
+                // anchor set: deltas stepping `old → new` are canonical
+                // and shareable across sibling engines.
+                self.prev.clear();
+                for (src, m) in self.memo.drain() {
+                    self.prev.insert(src, (old, m.graph));
+                }
                 self.stats.stops += 1;
+            }
+            Request::Gone(id) => {
+                // Trails everything the departed client queued: those
+                // replies are delivered by now, so the outbox can go.
+                if let Some(e) = self.shared.clients.lock().unwrap().remove(&id) {
+                    e.outbox.close();
+                }
             }
             Request::Cmd { client, line } => {
                 self.stats.requests += 1;
@@ -373,113 +571,278 @@ impl Server {
         }
     }
 
+    /// Bring `viewcl` into the memo for the current generation: from the
+    /// fleet's shared store when a sibling engine already walked it,
+    /// else by walking the bridge locally (catching the session up on
+    /// any lagged operations first).
+    fn materialize(&mut self, viewcl: &str) -> Result<(), String> {
+        if let Some(share) = self.share.clone() {
+            if let Some(sp) = share.get(self.generation, viewcl) {
+                self.stats.shared_hits += 1;
+                // A shared hit leaves the session untouched, but a
+                // replay tape must still observe this walk, in order,
+                // before any future local walk. When the sibling
+                // published the span it consumed and our cursor sits
+                // exactly at its start (identical capture, identical
+                // history), the cursor just jumps the span. Otherwise —
+                // cache-backed sessions, whose block state a skipped
+                // walk would leave cold, or a mid-flight lag queue —
+                // the walk is remembered as lag and re-enacted later.
+                if self.session.backend_kind() == BackendKind::Replay {
+                    let skipped = !self.session.cache_enabled()
+                        && self.lag.is_empty()
+                        && sp.tape.is_some_and(|(from, to)| {
+                            self.session.replay_state().is_some_and(|st| {
+                                st.position() == from && st.skip_events(to - from).is_ok()
+                            })
+                        });
+                    if skipped {
+                        self.stats.tape_skips += 1;
+                    } else {
+                        self.lag.push(LagOp::Plot(viewcl.to_string()));
+                    }
+                }
+                self.journal.push(JournalEntry {
+                    generation: self.generation,
+                    viewcl: viewcl.to_string(),
+                });
+                self.memo
+                    .insert(viewcl.to_string(), MemoEntry::from_shared(sp));
+                return Ok(());
+            }
+        }
+        self.catch_up()?;
+        let live = self.session.backend_kind() != BackendKind::Replay;
+        if live {
+            if let Some(share) = &self.share {
+                if let Some(snap) = share.blocks(self.generation) {
+                    self.stats.warm_blocks += self.session.warm_cache(&snap) as u64;
+                }
+            }
+        }
+        let tape_from = self.session.replay_state().map(|st| st.position());
+        let (graph, pstats) = self.session.extract(viewcl).map_err(|e| e.to_string())?;
+        self.stats.walks += 1;
+        self.stats.walk_packets += pstats.target.reads;
+        self.stats.walk_bytes += pstats.target.bytes;
+        self.stats.walk_virtual_ns += pstats.target.virtual_ns;
+        self.stats.walk_cache_hits += pstats.target.cache_hits;
+        self.stats.walk_faults += pstats.target.faults;
+        self.journal.push(JournalEntry {
+            generation: self.generation,
+            viewcl: viewcl.to_string(),
+        });
+        let entry = MemoEntry::new(viewcl, graph, pstats);
+        if let Some(share) = &self.share {
+            share.publish(
+                self.generation,
+                viewcl,
+                &SharedPlot {
+                    graph: Arc::clone(&entry.graph),
+                    stats: pstats,
+                    full: Arc::clone(&entry.full),
+                    tape: tape_from.and_then(|from| {
+                        self.session.replay_state().map(|st| (from, st.position()))
+                    }),
+                },
+            );
+            if live {
+                if let Some(snap) = self.session.cache_snapshot() {
+                    share.publish_blocks(self.generation, snap);
+                }
+            }
+        }
+        self.memo.insert(viewcl.to_string(), entry);
+        Ok(())
+    }
+
+    /// Re-enact lagged operations (shared-served walks, deferred stops)
+    /// in original order, so a local walk starts from a consistent
+    /// tape/cache position.
+    fn catch_up(&mut self) -> Result<(), String> {
+        for op in std::mem::take(&mut self.lag) {
+            match op {
+                LagOp::Plot(src) => {
+                    self.session
+                        .extract(&src)
+                        .map_err(|e| format!("catch-up walk of `{src}` failed: {e}"))?;
+                    self.stats.catchup_walks += 1;
+                }
+                LagOp::Stop(mutate) => self.session.stop_event(mutate),
+            }
+        }
+        Ok(())
+    }
+
     /// Serve one `vplot_request`: memoized extraction, then a full ship
     /// or a delta, whichever is fewer bytes for *this* client.
     fn plot(&mut self, client: u64, viewcl: &str) -> Result<String, String> {
-        let (graph, pstats) = match self.memo.get(viewcl) {
-            Some(m) => {
-                self.stats.coalesced += 1;
-                (m.graph.clone(), m.stats)
-            }
-            None => {
-                let (graph, pstats) = self.session.extract(viewcl).map_err(|e| e.to_string())?;
-                self.stats.walks += 1;
-                self.stats.walk_packets += pstats.target.reads;
-                self.stats.walk_bytes += pstats.target.bytes;
-                self.stats.walk_virtual_ns += pstats.target.virtual_ns;
-                self.stats.walk_cache_hits += pstats.target.cache_hits;
-                self.stats.walk_faults += pstats.target.faults;
-                self.memo.insert(
-                    viewcl.to_string(),
-                    MemoEntry {
-                        graph: graph.clone(),
-                        stats: pstats,
-                    },
-                );
-                (graph, pstats)
-            }
-        };
-        self.stats.extractions += 1;
-
-        let full = VCommand::Vplot {
-            graph: graph.clone(),
-            source: viewcl.to_string(),
+        if self.memo.contains_key(viewcl) {
+            self.stats.coalesced += 1;
+        } else {
+            self.materialize(viewcl)?;
         }
-        .to_json();
+        self.stats.extractions += 1;
+        let (graph, pstats, full_len) = {
+            let m = self.memo.get(viewcl).expect("just materialized");
+            (Arc::clone(&m.graph), m.stats, m.full.len())
+        };
 
         let key = (client, viewcl.to_string());
-        match self.subs.get_mut(&key) {
-            None => {
-                let pane = self
-                    .session
-                    .adopt_graph(graph.clone(), Some(pstats))
-                    .map_err(|e| e.to_string())?;
-                self.subs.insert(
-                    key,
-                    SyncState {
-                        seq: 0,
-                        last: graph,
-                        pane,
-                        resync: false,
-                    },
-                );
+        if !self.subs.contains_key(&key) {
+            let pane = self
+                .session
+                .adopt_graph((*graph).clone(), Some(pstats))
+                .map_err(|e| e.to_string())?;
+            self.subs.insert(
+                key,
+                SyncState {
+                    seq: 0,
+                    last: graph,
+                    pane,
+                    resync: false,
+                },
+            );
+            let full = self
+                .memo
+                .get(viewcl)
+                .expect("just materialized")
+                .full
+                .to_string();
+            self.stats.fulls_sent += 1;
+            self.stats.full_bytes_sent += full.len() as u64;
+            return Ok(full);
+        }
+
+        let sub = self.subs.get_mut(&key).expect("checked above");
+        let delta_cmd = if sub.resync {
+            None
+        } else {
+            // Lockstep fast path: every in-sync client stepping the same
+            // base graph at the same seq gets identical delta bytes, so
+            // the diff is memoized on the extraction entry. Shipped
+            // graphs are shared allocations, so "same base" is a pointer
+            // compare, not a graph walk.
+            let m = self.memo.get_mut(viewcl).expect("just materialized");
+            let reusable = m
+                .delta
+                .as_ref()
+                .is_some_and(|d| d.seq == sub.seq + 1 && Arc::ptr_eq(&d.base, &sub.last));
+            if !reusable {
+                // The canonical generation step (previous memoized graph
+                // → current) is engine-invariant, so its structural diff
+                // can come from the fleet's shared store instead of
+                // being recomputed by every sibling.
+                let canonical_from = self
+                    .prev
+                    .get(viewcl)
+                    .filter(|(_, pg)| Arc::ptr_eq(pg, &sub.last))
+                    .map(|(from, _)| *from);
+                let delta = match (canonical_from, &self.share) {
+                    (Some(from), Some(share)) => {
+                        match share.get_delta(from, self.generation, viewcl) {
+                            Some(d) => {
+                                self.stats.shared_delta_hits += 1;
+                                d
+                            }
+                            None => {
+                                let d = vgraph::diff::diff(&sub.last, &m.graph);
+                                share.publish_delta(from, self.generation, viewcl, &d);
+                                d
+                            }
+                        }
+                    }
+                    _ => vgraph::diff::diff(&sub.last, &m.graph),
+                };
+                m.delta = Some(DeltaMemo {
+                    base: Arc::clone(&sub.last),
+                    seq: sub.seq + 1,
+                    payload: VCommand::VplotDelta {
+                        source: viewcl.to_string(),
+                        seq: sub.seq + 1,
+                        delta,
+                    }
+                    .to_json(),
+                });
+            }
+            Some(m.delta.as_ref().expect("just stored").payload.clone())
+        };
+        sub.last = graph;
+        match delta_cmd {
+            // Delta sync pays off: ship it.
+            Some(d) if d.len() < full_len => {
+                sub.seq += 1;
+                self.stats.deltas_sent += 1;
+                self.stats.delta_bytes_sent += d.len() as u64;
+                self.stats.delta_bytes_saved += (full_len - d.len()) as u64;
+                Ok(d)
+            }
+            // Fallback: the delta would cost more than the plot
+            // (or the client lost sync) — full ship, seq resets.
+            _ => {
+                sub.seq = 0;
+                sub.resync = false;
+                let full = self
+                    .memo
+                    .get(viewcl)
+                    .expect("just materialized")
+                    .full
+                    .to_string();
                 self.stats.fulls_sent += 1;
                 self.stats.full_bytes_sent += full.len() as u64;
                 Ok(full)
             }
-            Some(sub) => {
-                let delta_cmd = (!sub.resync).then(|| {
-                    VCommand::VplotDelta {
-                        source: viewcl.to_string(),
-                        seq: sub.seq + 1,
-                        delta: vgraph::diff::diff(&sub.last, &graph),
-                    }
-                    .to_json()
-                });
-                sub.last = graph;
-                match delta_cmd {
-                    // Delta sync pays off: ship it.
-                    Some(d) if d.len() < full.len() => {
-                        sub.seq += 1;
-                        self.stats.deltas_sent += 1;
-                        self.stats.delta_bytes_sent += d.len() as u64;
-                        self.stats.delta_bytes_saved += (full.len() - d.len()) as u64;
-                        Ok(d)
-                    }
-                    // Fallback: the delta would cost more than the plot
-                    // (or the client lost sync) — full ship, seq resets.
-                    _ => {
-                        sub.seq = 0;
-                        sub.resync = false;
-                        self.stats.fulls_sent += 1;
-                        self.stats.full_bytes_sent += full.len() as u64;
-                        Ok(full)
-                    }
-                }
-            }
         }
     }
 
-    fn reply(&mut self, client: u64, line: String) {
+    fn reply(&mut self, client: u64, mut line: String) {
         let outbox = self
             .shared
             .clients
             .lock()
             .unwrap()
             .get(&client)
-            .map(|e| e.outbox.clone());
-        match outbox {
-            // Blocking push: a slow client stalls the engine rather than
-            // growing an unbounded buffer. Closed = client left mid-flight.
-            Some(q) => {
-                if q.push(line).is_err() {
-                    self.stats.dropped_replies += 1;
-                } else {
+            .map(|e| (e.outbox.clone(), e.gone));
+        let Some((q, mut gone)) = outbox else {
+            self.stats.dropped_replies += 1;
+            return;
+        };
+        // Backpressure: a slow client stalls the engine rather than
+        // growing an unbounded buffer — but never block forever on a
+        // client that departed (it may drain its remaining replies, yet
+        // nothing forces it to), so the wait periodically rechecks the
+        // gone flag and a departed client only gets best-effort pushes.
+        loop {
+            let attempt = if gone {
+                q.try_push(line)
+            } else {
+                q.push_timeout(line, std::time::Duration::from_millis(25))
+            };
+            match attempt {
+                Ok(()) => {
                     self.stats.queue_depth_max =
                         self.stats.queue_depth_max.max(q.high_water() as u64);
+                    return;
+                }
+                Err(TryPush::Closed(_)) => {
+                    self.stats.dropped_replies += 1;
+                    return;
+                }
+                Err(TryPush::Full(l)) => {
+                    if gone {
+                        self.stats.dropped_replies += 1;
+                        return;
+                    }
+                    line = l;
+                    gone = self
+                        .shared
+                        .clients
+                        .lock()
+                        .unwrap()
+                        .get(&client)
+                        .is_none_or(|e| e.gone);
                 }
             }
-            None => self.stats.dropped_replies += 1,
         }
     }
 }
@@ -494,5 +857,6 @@ fn tag_of(cmd: &VCommand) -> &'static str {
         VCommand::VplotRequest { .. } => "vplot_request",
         VCommand::VplotDelta { .. } => "vplot_delta",
         VCommand::Vack { .. } => "vack",
+        VCommand::Vattach { .. } => "vattach",
     }
 }

@@ -20,6 +20,20 @@ pub struct ServeStats {
     pub walks: u64,
     /// Extraction requests answered from a concurrent/identical walk.
     pub coalesced: u64,
+    /// Extraction requests answered from a fleet's shared store — a
+    /// sibling engine paid the walk.
+    pub shared_hits: u64,
+    /// Generation-step deltas taken from a fleet's shared store — a
+    /// sibling engine paid the structural diff.
+    pub shared_delta_hits: u64,
+    /// Lagged walks re-enacted to catch the session up on shared-served
+    /// history before a local walk (or after a fleet respawn).
+    pub catchup_walks: u64,
+    /// Shared hits absorbed by jumping the replay cursor over the
+    /// sibling's published tape span instead of re-enacting the walk.
+    pub tape_skips: u64,
+    /// Cache blocks adopted from a sibling engine's published snapshot.
+    pub warm_blocks: u64,
     /// Full `vplot` payloads shipped.
     pub fulls_sent: u64,
     /// `vplot_delta` payloads shipped.
@@ -57,10 +71,10 @@ impl ServeStats {
     /// loop lost track of work — the condition `table4 --serve` turns
     /// into a non-zero exit.
     pub fn reconcile(&self) -> Result<(), String> {
-        if self.extractions != self.walks + self.coalesced {
+        if self.extractions != self.walks + self.coalesced + self.shared_hits {
             return Err(format!(
-                "extractions ({}) != walks ({}) + coalesced ({})",
-                self.extractions, self.walks, self.coalesced
+                "extractions ({}) != walks ({}) + coalesced ({}) + shared hits ({})",
+                self.extractions, self.walks, self.coalesced, self.shared_hits
             ));
         }
         if self.fulls_sent + self.deltas_sent != self.extractions {
@@ -87,6 +101,37 @@ impl ServeStats {
             ));
         }
         Ok(())
+    }
+
+    /// Fold another engine's totals into this one (fleet aggregation).
+    /// Counters sum; high-water marks take the max.
+    pub fn absorb(&mut self, other: &ServeStats) {
+        self.requests += other.requests;
+        self.plot_requests += other.plot_requests;
+        self.stops += other.stops;
+        self.extractions += other.extractions;
+        self.walks += other.walks;
+        self.coalesced += other.coalesced;
+        self.shared_hits += other.shared_hits;
+        self.shared_delta_hits += other.shared_delta_hits;
+        self.catchup_walks += other.catchup_walks;
+        self.tape_skips += other.tape_skips;
+        self.warm_blocks += other.warm_blocks;
+        self.fulls_sent += other.fulls_sent;
+        self.deltas_sent += other.deltas_sent;
+        self.full_bytes_sent += other.full_bytes_sent;
+        self.delta_bytes_sent += other.delta_bytes_sent;
+        self.delta_bytes_saved += other.delta_bytes_saved;
+        self.acks += other.acks;
+        self.resyncs += other.resyncs;
+        self.errors += other.errors;
+        self.dropped_replies += other.dropped_replies;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.walk_packets += other.walk_packets;
+        self.walk_bytes += other.walk_bytes;
+        self.walk_virtual_ns += other.walk_virtual_ns;
+        self.walk_cache_hits += other.walk_cache_hits;
+        self.walk_faults += other.walk_faults;
     }
 
     /// Requests per wall-clock second.
@@ -126,6 +171,37 @@ mod tests {
         };
         s.reconcile().unwrap();
         assert!((s.coalesce_rate() - 0.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_high_water() {
+        let a = ServeStats {
+            requests: 4,
+            plot_requests: 3,
+            extractions: 3,
+            walks: 1,
+            shared_hits: 2,
+            fulls_sent: 3,
+            queue_depth_max: 7,
+            ..ServeStats::default()
+        };
+        let b = ServeStats {
+            requests: 6,
+            plot_requests: 5,
+            extractions: 5,
+            walks: 2,
+            coalesced: 3,
+            fulls_sent: 5,
+            queue_depth_max: 3,
+            ..ServeStats::default()
+        };
+        let mut sum = a;
+        sum.absorb(&b);
+        assert_eq!(sum.requests, 10);
+        assert_eq!(sum.extractions, 8);
+        assert_eq!(sum.shared_hits, 2);
+        assert_eq!(sum.queue_depth_max, 7);
+        sum.reconcile().unwrap();
     }
 
     #[test]

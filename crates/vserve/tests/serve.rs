@@ -168,3 +168,47 @@ fn malformed_lines_are_answered_not_fatal() {
     assert_eq!(stats.requests, 2);
     stats.reconcile().expect("books balance");
 }
+
+#[test]
+fn shutdown_drains_requests_queued_by_departed_clients() {
+    let fig = figures::by_id("fig3-4").expect("figure");
+    let mut server = Server::new(
+        attach(),
+        ServeConfig {
+            exit_when_idle: false,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+    let conn = handle.connect();
+    for _ in 0..3 {
+        conn.send(&VCommand::VplotRequest {
+            viewcl: fig.viewcl.to_string(),
+        })
+        .expect("queued while the engine is not yet running");
+    }
+    // The client hangs up with its requests still queued, then the
+    // server shuts down: the engine must drain and answer those
+    // requests before dropping the client's stream (they used to be
+    // silently lost as dropped_replies).
+    conn.close();
+    handle.shutdown();
+    server.run();
+
+    for i in 0..3 {
+        let reply = conn.recv();
+        assert!(reply.is_some(), "reply {i} was dropped during shutdown");
+        let reply = reply.unwrap();
+        assert!(
+            reply.contains("\"command\":\"vplot"),
+            "reply {i} is not a plot payload: {reply}"
+        );
+    }
+    assert_eq!(conn.recv(), None, "stream ends after the drained replies");
+    let stats = server.stats();
+    assert_eq!(stats.dropped_replies, 0, "{stats:?}");
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.walks, 1);
+    assert_eq!(stats.coalesced, 2);
+    stats.reconcile().expect("books balance");
+}
