@@ -1,0 +1,253 @@
+//! `corpus_bench` — the scenario corpus measured end to end.
+//!
+//! For the clean scale rungs (~100 / ~1k / ~10k tasks) it measures image
+//! build time, the scoped evaluation probe (the paper's Figure 9-2: one
+//! process's address space) against the deliberately population-linear
+//! full task-list plot, and the full `kcheck` sweep. For every fault and
+//! CVE member it verifies the declared ground truth and round-trips the
+//! recorded capture through a byte-identity replay.
+//!
+//! ```text
+//! cargo run --release -p bench --bin corpus_bench
+//! ```
+//!
+//! Emits `BENCH_corpus.json` (override with `$BENCH_CORPUS_OUT`). Exits
+//! non-zero when the corpus contract breaks:
+//!
+//! * the scoped probe's packets at the 10k rung exceed 1.5x the 100
+//!   rung's (the sublinearity floor this subsystem is sold on),
+//! * the full-pane control fails to grow >= 20x over the same range
+//!   (which would mean the meter, not the scoping, produced the flat
+//!   line),
+//! * any corpus member's ground truth fails, or its capture does not
+//!   replay to the live graph.
+
+use std::time::Instant;
+
+use bench::TablePrinter;
+use kgen::{check_ground_truth, record_scenario, replay_probe, scoped_probe, FULL_PROBE};
+use ksim::corpus;
+use visualinux::{PlotSpec, Session};
+
+/// One probe's cost on one rung.
+#[derive(serde::Serialize, Clone, Copy)]
+struct ProbeCost {
+    packets: u64,
+    walks: u64,
+    wall_ms: f64,
+}
+
+/// One clean scale rung's row.
+#[derive(serde::Serialize)]
+struct RungDoc {
+    scenario: String,
+    tasks: u64,
+    objects: u64,
+    build_ms: f64,
+    scoped: ProbeCost,
+    full: ProbeCost,
+    sweep_ms: f64,
+    sweep_clean: bool,
+}
+
+/// One fault/CVE member's row.
+#[derive(serde::Serialize)]
+struct MemberDoc {
+    scenario: String,
+    fingerprint: u64,
+    expected_findings: usize,
+    ground_truth_ok: bool,
+    capture_bytes: u64,
+    replay_ok: bool,
+}
+
+/// The whole `BENCH_corpus.json` document.
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    bench: &'static str,
+    rungs: Vec<RungDoc>,
+    members: Vec<MemberDoc>,
+    scoped_packet_ratio_10k_over_100: f64,
+    full_packet_ratio_10k_over_100: f64,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    println!("corpus_bench: scenario corpus — scale rungs, ground truth, replay\n");
+    let mut failures: Vec<String> = Vec::new();
+
+    // --- Clean scale rungs ----------------------------------------------
+    let mut rungs = Vec::new();
+    for name in ["clean-100", "clean-1k", "clean-10k"] {
+        let spec = corpus::by_name(name).expect("rung exists");
+        let tasks = spec.tasks() as u64;
+        let t0 = Instant::now();
+        let (builder, _) = Session::from_scenario(&spec);
+        let mut s = builder.attach().expect("live attach");
+        let build_ms = ms(t0);
+
+        let t1 = Instant::now();
+        let scoped_pane = s.plot(PlotSpec::Source(scoped_probe())).expect("probe");
+        let scoped_wall = ms(t1);
+        let sst = s.plot_stats(scoped_pane).expect("stats");
+
+        let t2 = Instant::now();
+        let full_pane = s.plot(PlotSpec::Source(FULL_PROBE)).expect("control");
+        let full_wall = ms(t2);
+        let fst = s.plot_stats(full_pane).expect("stats");
+
+        let t3 = Instant::now();
+        let report = s.vcheck();
+        let sweep_ms = ms(t3);
+        if !report.is_clean() {
+            failures.push(format!("{name}: sweep not clean: {}", report.summary()));
+        }
+        rungs.push(RungDoc {
+            scenario: name.to_string(),
+            tasks,
+            objects: fst.graph.objects,
+            build_ms,
+            scoped: ProbeCost {
+                packets: sst.target.reads,
+                walks: sst.graph.objects,
+                wall_ms: scoped_wall,
+            },
+            full: ProbeCost {
+                packets: fst.target.reads,
+                walks: fst.graph.objects,
+                wall_ms: full_wall,
+            },
+            sweep_ms,
+            sweep_clean: report.is_clean(),
+        });
+    }
+
+    let t = TablePrinter::new(&[10, 7, 9, 9, 9, 10, 9, 9]);
+    t.row(
+        &[
+            "rung",
+            "tasks",
+            "build-ms",
+            "sc-pkts",
+            "sc-walks",
+            "full-pkts",
+            "full-ms",
+            "sweep-ms",
+        ]
+        .map(String::from),
+    );
+    t.sep();
+    for r in &rungs {
+        t.row(&[
+            r.scenario.clone(),
+            r.tasks.to_string(),
+            format!("{:.1}", r.build_ms),
+            r.scoped.packets.to_string(),
+            r.scoped.walks.to_string(),
+            r.full.packets.to_string(),
+            format!("{:.1}", r.full.wall_ms),
+            format!("{:.1}", r.sweep_ms),
+        ]);
+    }
+    t.sep();
+    println!();
+
+    // --- Sublinearity gate ----------------------------------------------
+    let scoped_ratio = rungs[2].scoped.packets as f64 / rungs[0].scoped.packets.max(1) as f64;
+    let full_ratio = rungs[2].full.packets as f64 / rungs[0].full.packets.max(1) as f64;
+    println!(
+        "scoped packets 10k/100: {scoped_ratio:.2}x (floor: <= 1.5x) {}",
+        if scoped_ratio <= 1.5 {
+            "[in band]"
+        } else {
+            "[OUT OF BAND]"
+        }
+    );
+    println!(
+        "full packets   10k/100: {full_ratio:.1}x (floor: >= 20x) {}\n",
+        if full_ratio >= 20.0 {
+            "[in band]"
+        } else {
+            "[OUT OF BAND]"
+        }
+    );
+    if scoped_ratio > 1.5 {
+        failures.push(format!(
+            "scoped probe is not sublinear: {scoped_ratio:.2}x packets across a 99x population"
+        ));
+    }
+    if full_ratio < 20.0 {
+        failures.push(format!(
+            "full-pane control grew only {full_ratio:.1}x — the flat scoped line proves nothing"
+        ));
+    }
+
+    // --- Fault / CVE members: ground truth + replay ---------------------
+    let mut members = Vec::new();
+    for spec in corpus::corpus()
+        .into_iter()
+        .filter(|s| !s.injections.is_empty())
+    {
+        let truth = check_ground_truth(&spec);
+        if let Err(e) = &truth {
+            failures.push(e.clone());
+        }
+        let capture = record_scenario(&spec);
+        let bytes = capture.to_json().len() as u64;
+        let (builder, _) = Session::from_scenario(&spec);
+        let live = builder.attach().expect("live attach");
+        let (live_graph, _) = live.extract(scoped_probe()).expect("probe extracts");
+        let replay_ok = replay_probe(capture).as_deref() == Ok(live_graph.to_json().as_str());
+        if !replay_ok {
+            failures.push(format!(
+                "{}: capture does not replay to the live graph",
+                spec.name
+            ));
+        }
+        members.push(MemberDoc {
+            scenario: spec.name.clone(),
+            fingerprint: spec.fingerprint(),
+            expected_findings: spec.build().expected.len(),
+            ground_truth_ok: truth.is_ok(),
+            capture_bytes: bytes,
+            replay_ok,
+        });
+    }
+
+    let t = TablePrinter::new(&[26, 10, 8, 9, 7]);
+    t.row(&["member", "expected", "truth", "vrec-KB", "replay"].map(String::from));
+    t.sep();
+    for m in &members {
+        t.row(&[
+            m.scenario.clone(),
+            m.expected_findings.to_string(),
+            if m.ground_truth_ok { "ok" } else { "FAIL" }.to_string(),
+            format!("{:.1}", m.capture_bytes as f64 / 1024.0),
+            if m.replay_ok { "ok" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    t.sep();
+    println!();
+
+    let out = std::env::var("BENCH_CORPUS_OUT").unwrap_or_else(|_| "BENCH_corpus.json".to_string());
+    let doc = BenchDoc {
+        bench: "corpus",
+        rungs,
+        members,
+        scoped_packet_ratio_10k_over_100: scoped_ratio,
+        full_packet_ratio_10k_over_100: full_ratio,
+    };
+    std::fs::write(&out, serde_json::to_string_pretty(&doc).expect("encode")).expect("write");
+    println!("wrote {out}");
+
+    if !failures.is_empty() {
+        eprintln!("\nCORPUS CONTRACT FAILURES:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -216,6 +216,7 @@ pub struct SessionBuilder {
     tracing: bool,
     record: Option<PathBuf>,
     exec: Option<ExecMode>,
+    scenario: Option<(String, u64)>,
 }
 
 impl SessionBuilder {
@@ -263,6 +264,15 @@ impl SessionBuilder {
     /// interpreter runs.
     pub fn plan(self) -> Self {
         self.exec(ExecMode::Plan)
+    }
+
+    /// Stamp the corpus scenario this session's image was built from.
+    /// Recorded capture headers then carry `meta.scenario` and
+    /// `meta.scenario_fingerprint`, so a `.vrec` names the exact
+    /// [`ksim::corpus::ScenarioSpec`] (content-addressed) it replays.
+    pub fn scenario(mut self, spec: &ksim::corpus::ScenarioSpec) -> Self {
+        self.scenario = Some((spec.name.clone(), spec.fingerprint()));
+        self
     }
 
     /// Build the session.
@@ -337,6 +347,15 @@ impl SessionBuilder {
                 st.note_mode_mismatch(exec_mode.as_str(), cm.as_str());
             }
         }
+        // Replay sessions inherit the scenario identity stamped in the
+        // capture header.
+        let scenario = self.scenario.or_else(|| {
+            replay.as_ref().and_then(|st| {
+                st.capture()
+                    .scenario()
+                    .map(|(name, fp)| (name.to_string(), fp))
+            })
+        });
         let mut s = Session {
             img,
             types,
@@ -353,6 +372,7 @@ impl SessionBuilder {
             record_path,
             replay,
             exec_mode,
+            scenario,
         };
         if self.tracing {
             s.enable_tracing();
@@ -389,6 +409,9 @@ pub struct Session {
     /// How extractions run: plain interpreter walk, or walk-plan
     /// compilation + scheduled cache warming first.
     exec_mode: ExecMode,
+    /// Corpus scenario identity (name, spec fingerprint), when the
+    /// session was built from or replays a corpus scenario.
+    scenario: Option<(String, u64)>,
 }
 
 impl Session {
@@ -402,7 +425,22 @@ impl Session {
             tracing: false,
             record: None,
             exec: None,
+            scenario: None,
         }
+    }
+
+    /// Start building a live session from a corpus scenario: build the
+    /// spec's workload, apply its declared injections, and stamp the
+    /// scenario identity (so recorded captures name their spec). Returns
+    /// the builder plus the scenario's ground-truth findings — the
+    /// violations a [`Session::vcheck`] sweep must (and may only)
+    /// report, ready for `kcheck::Checker::verify_expected`.
+    pub fn from_scenario(
+        spec: &ksim::corpus::ScenarioSpec,
+    ) -> (SessionBuilder, Vec<ksim::corpus::ExpectedFinding>) {
+        let built = spec.build();
+        let builder = Session::builder(built.workload).scenario(spec);
+        (builder, built.expected)
     }
 
     /// Start building a replay session over a recorded capture: the
@@ -417,6 +455,7 @@ impl Session {
             tracing: false,
             record: None,
             exec: None,
+            scenario: None,
         }
     }
 
@@ -627,6 +666,13 @@ impl Session {
         &self.workload_cfg
     }
 
+    /// The corpus scenario this session was built from (name, spec
+    /// fingerprint) — stamped by [`SessionBuilder::scenario`] on live
+    /// sessions, inherited from the capture header on replay.
+    pub fn scenario(&self) -> Option<(&str, u64)> {
+        self.scenario.as_ref().map(|(n, fp)| (n.as_str(), *fp))
+    }
+
     /// The replay cursor, when this session serves a capture.
     pub fn replay_state(&self) -> Option<&ReplayState> {
         self.replay.as_ref()
@@ -647,6 +693,15 @@ impl Session {
                 "exec_mode".into(),
                 serde_json::Value::String(self.exec_mode.as_str().into()),
             );
+            // A capture recorded from a corpus scenario names its spec,
+            // content-addressed, so CI can refuse a stale fixture.
+            if let Some((name, fp)) = &self.scenario {
+                m.insert("scenario".into(), serde_json::Value::String(name.clone()));
+                m.insert(
+                    "scenario_fingerprint".into(),
+                    serde_json::Value::Number(serde_json::Number::from_u64(*fp)),
+                );
+            }
         }
         Some(tape.capture(BackendKind::Sim, self.profile, cache, meta))
     }

@@ -82,6 +82,10 @@ pub enum ViolationKind {
     FdTable,
     /// Refcount outside the plausible window.
     Refcount,
+    /// PID hash linkage broken: dangling chain node, implausible pid
+    /// number, or a stale task back-link (`thread_pid` disagrees with
+    /// the pid whose task hlist names the task).
+    PidLink,
 }
 
 impl ViolationKind {
@@ -96,6 +100,7 @@ impl ViolationKind {
             ViolationKind::XarraySlot => "xarray",
             ViolationKind::FdTable => "fdtable",
             ViolationKind::Refcount => "refcount",
+            ViolationKind::PidLink => "pid",
         }
     }
 
@@ -168,6 +173,62 @@ impl Report {
             )
         }
     }
+
+    /// Check this report against a ground-truth expectation list — the
+    /// contract every generated corpus scenario ships with:
+    ///
+    /// 1. every [`Expected`] finding is present (≥ 1 violation of its
+    ///    class, at the exact address when one is pinned), and
+    /// 2. nothing else is flagged: every violation's class is accounted
+    ///    for by some expectation.
+    ///
+    /// An empty `expected` therefore asserts the report is clean. The
+    /// error string names the first broken clause, with the report
+    /// summary attached.
+    pub fn verify_expected(&self, expected: &[Expected]) -> std::result::Result<(), String> {
+        for e in expected {
+            let hit = self
+                .violations
+                .iter()
+                .any(|v| v.kind.class() == e.class && e.addr.is_none_or(|a| v.addr == a));
+            if !hit {
+                let at = match e.addr {
+                    Some(a) => format!(" at {a:#x}"),
+                    None => String::new(),
+                };
+                return Err(format!(
+                    "expected a {} violation{at}, none found; report: {}",
+                    e.class,
+                    self.summary()
+                ));
+            }
+        }
+        for v in &self.violations {
+            if !expected.iter().any(|e| e.class == v.kind.class()) {
+                return Err(format!(
+                    "unexpected {} violation at {:#x} ({}): {}",
+                    v.kind.class(),
+                    v.addr,
+                    v.path,
+                    v.detail
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One ground-truth finding a corpus scenario promises: a violation of
+/// `class` must be present, at exactly `addr` when pinned. See
+/// [`Report::verify_expected`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expected {
+    /// The checker class ([`ViolationKind::class`]) that must fire.
+    pub class: String,
+    /// The exact violation address, when the injection knows the checker
+    /// reports the mutated address itself (refcounts, fd slots); `None`
+    /// when the checker surfaces the damage elsewhere on the structure.
+    pub addr: Option<u64>,
 }
 
 /// Resolved field offsets the sweep needs. Every member is optional so a
@@ -196,6 +257,12 @@ struct Layout {
     xa_shift_off: Option<u64>,
     xa_slots_off: Option<u64>,
     timeline_off: Option<u64>,
+    pid_chain_off: Option<u64>,
+    pid_nr_off: Option<u64>,
+    pid_tasks0_off: Option<u64>,
+    pid_count_off: Option<u64>,
+    pid_links_off: Option<u64>,
+    thread_pid_off: Option<u64>,
 }
 
 fn off(types: &TypeRegistry, ty: &str, path: &str) -> Option<u64> {
@@ -227,6 +294,12 @@ impl Layout {
             xa_shift_off: off(types, "xa_node", "shift"),
             xa_slots_off: off(types, "xa_node", "slots"),
             timeline_off: off(types, "rq", "cfs.tasks_timeline.rb_root.rb_node"),
+            pid_chain_off: off(types, "pid", "numbers[0].pid_chain"),
+            pid_nr_off: off(types, "pid", "numbers[0].nr"),
+            pid_tasks0_off: off(types, "pid", "tasks[0]"),
+            pid_count_off: off(types, "pid", "count.refs.counter"),
+            pid_links_off: off(types, "task_struct", "pid_links[0]"),
+            thread_pid_off: off(types, "task_struct", "thread_pid"),
         }
     }
 }
@@ -1099,6 +1172,164 @@ impl<'a, 't> Checker<'a, 't> {
         }
     }
 
+    /// Validate the PID hash table rooted at the `pid_hash` symbol: every
+    /// bucket's hlist chain must be readable with consistent `pprev`
+    /// back-pointers, every chained `struct pid` must carry a plausible
+    /// number and live refcount, and every task on a pid's task hlist
+    /// must point back at that pid through `thread_pid` (the link
+    /// `detach_pid` breaks first when a pid goes stale).
+    pub fn check_pid_hash(&self, report: &mut Report) {
+        let Some(sym) = self.t.symbols.lookup("pid_hash") else {
+            return;
+        };
+        let (Some(chain_off), Some(nr_off)) = (self.lay.pid_chain_off, self.lay.pid_nr_off) else {
+            return;
+        };
+        let buckets = sym
+            .ty
+            .and_then(|t| match self.t.types.get(t).kind {
+                TypeKind::Array { len, .. } => Some(len),
+                _ => None,
+            })
+            .unwrap_or(0);
+        let out = &mut report.violations;
+        for bucket in 0..buckets {
+            report.checkers_run += 1;
+            let head = sym.addr + bucket * 8;
+            let path = format!("pid_hash[{bucket}]");
+            let Some(first) = self.u64_at(head) else {
+                self.push(
+                    out,
+                    ViolationKind::PidLink,
+                    head,
+                    &path,
+                    "bucket unreadable",
+                );
+                continue;
+            };
+            let mut node = first;
+            let mut prev_slot = head; // where `node` was linked from
+            let mut steps = 0;
+            while node != 0 && steps < MAX_SCAN {
+                steps += 1;
+                let Some(next) = self.u64_at(node) else {
+                    self.push(
+                        out,
+                        ViolationKind::PidLink,
+                        node,
+                        &path,
+                        format!("unreadable pid chain node {node:#x} (dangling link)"),
+                    );
+                    break;
+                };
+                // hlist invariant: node->pprev points at the slot that
+                // points at the node.
+                match self.u64_at(node + 8) {
+                    Some(pprev) if pprev == prev_slot => {}
+                    Some(pprev) => self.push(
+                        out,
+                        ViolationKind::PidLink,
+                        node + 8,
+                        &path,
+                        format!(
+                            "pprev {pprev:#x} does not point at the linking slot {prev_slot:#x}"
+                        ),
+                    ),
+                    None => self.push(
+                        out,
+                        ViolationKind::PidLink,
+                        node + 8,
+                        &path,
+                        "pprev is unreadable",
+                    ),
+                }
+                let pid = node.wrapping_sub(chain_off);
+                match self.t.read_int(pid + nr_off, 4) {
+                    Ok(nr) if (0..=4_194_304).contains(&nr) => {}
+                    Ok(nr) => self.push(
+                        out,
+                        ViolationKind::PidLink,
+                        pid + nr_off,
+                        &path,
+                        format!("pid number {nr} outside the plausible window"),
+                    ),
+                    Err(_) => self.push(
+                        out,
+                        ViolationKind::PidLink,
+                        pid + nr_off,
+                        &path,
+                        "pid number is unreadable",
+                    ),
+                }
+                if let Some(count_off) = self.lay.pid_count_off {
+                    report.checkers_run += 1;
+                    self.check_refcount(pid + count_off, 4, &format!("{path}.count"), out);
+                }
+                self.check_pid_task_links(pid, &path, out);
+                prev_slot = node;
+                node = next;
+            }
+        }
+    }
+
+    /// The task back-links of one `struct pid`: every task on
+    /// `pid.tasks[PIDTYPE_PID]` must name this pid as its `thread_pid`.
+    fn check_pid_task_links(&self, pid: u64, path: &str, out: &mut Vec<Violation>) {
+        let (Some(tasks0_off), Some(links_off), Some(tp_off)) = (
+            self.lay.pid_tasks0_off,
+            self.lay.pid_links_off,
+            self.lay.thread_pid_off,
+        ) else {
+            return;
+        };
+        let Some(mut link) = self.u64_at(pid + tasks0_off) else {
+            self.push(
+                out,
+                ViolationKind::PidLink,
+                pid + tasks0_off,
+                path,
+                "pid task hlist head unreadable",
+            );
+            return;
+        };
+        let mut steps = 0;
+        while link != 0 && steps < MAX_SCAN {
+            steps += 1;
+            let task = link.wrapping_sub(links_off);
+            match self.u64_at(task + tp_off) {
+                Some(tp) if tp == pid => {}
+                Some(tp) => self.push(
+                    out,
+                    ViolationKind::PidLink,
+                    task + tp_off,
+                    path,
+                    format!(
+                        "stale pid link: task {task:#x} thread_pid is {tp:#x}, \
+                         but pid {pid:#x} still lists the task"
+                    ),
+                ),
+                None => self.push(
+                    out,
+                    ViolationKind::PidLink,
+                    task + tp_off,
+                    path,
+                    "task thread_pid is unreadable",
+                ),
+            }
+            let Some(next) = self.u64_at(link) else {
+                self.push(
+                    out,
+                    ViolationKind::PidLink,
+                    link,
+                    path,
+                    format!("unreadable task link node {link:#x} (dangling link)"),
+                );
+                break;
+            };
+            link = next;
+        }
+    }
+
     /// Run every checker from the well-known root symbols.
     pub fn sweep(&self) -> Report {
         let mut report = Report::default();
@@ -1178,6 +1409,9 @@ impl<'a, 't> Checker<'a, 't> {
                 self.check_list(sym.addr, name, &mut report.violations);
             }
         }
+
+        // The PID hash table (ULK Fig 3-6).
+        self.check_pid_hash(&mut report);
 
         report
     }
@@ -1283,7 +1517,8 @@ mod tests {
                     .all(|v| v.path.starts_with("init_task")
                         || v.path.starts_with("runqueues")
                         || v.path.starts_with("super_blocks")
-                        || v.path.starts_with("slab_caches")),
+                        || v.path.starts_with("slab_caches")
+                        || v.path.starts_with("pid_hash")),
                 "every violation path must be symbol-rooted: {:#?}",
                 report.violations
             );

@@ -1,0 +1,160 @@
+//! `kgen`: the corpus harness over [`ksim::corpus`].
+//!
+//! The corpus itself is *data* — [`ksim::corpus::ScenarioSpec`]s that dial
+//! population scale and declare bug injections. This crate is the machinery
+//! that turns a spec into checked artifacts:
+//!
+//! * **Ground truth** ([`check_ground_truth`]): the scenario's base image
+//!   sweeps clean, the injected image's `kcheck` sweep reports exactly the
+//!   declared findings (right class, right address where pinned) and
+//!   nothing else.
+//! * **Probes** ([`scoped_probe`] / [`FULL_PROBE`]): the two ViewCL
+//!   programs the evaluation measures — a scoped per-process extraction
+//!   whose wire-packet count must stay flat as the population grows, and
+//!   a full task-list plot that is deliberately linear in it.
+//! * **Captures** ([`record_scenario`] / [`replay_probe`]): record the
+//!   scoped probe into a `.vrec` stamped with the spec's fingerprint, and
+//!   replay it back to an identical graph with zero image access.
+//!
+//! CI drives all three for every corpus member (see `tests/prop_corpus.rs`
+//! and `tests/corpus_replay.rs`).
+
+use ksim::corpus::{ExpectedFinding, ScenarioSpec};
+use visualinux::{PlotSpec, Session};
+
+/// The deliberately population-linear probe: plot every task on the
+/// system. Packet counts for this program must grow with the task count —
+/// it is the control group that proves the scoped probe's flatness means
+/// something.
+pub const FULL_PROBE: &str = r#"
+define T as Box<task_struct> [
+    Text pid
+    Text<string> comm
+]
+all = Box AllTasks [
+    Container tasks: List(${&init_task.tasks}).forEach |node| {
+        yield T<task_struct.tasks>(@node)
+    }
+]
+plot @all
+"#;
+
+/// The scoped probe: the paper's Figure 9-2 (process 0's address space —
+/// maple tree, VMAs, mapped files). Its cost depends on one process's
+/// mm, not on the system population, so its wire-packet count must stay
+/// (sub)flat from ~100 to ~10k tasks.
+pub fn scoped_probe() -> &'static str {
+    visualinux::figures::by_id("fig9-2")
+        .expect("fig9-2 is a library figure")
+        .viewcl
+}
+
+/// Convert a scenario's ground-truth findings into `kcheck` expectations.
+pub fn to_expected(expected: &[ExpectedFinding]) -> Vec<kcheck::Expected> {
+    expected
+        .iter()
+        .map(|e| kcheck::Expected {
+            class: e.class.to_string(),
+            addr: e.addr,
+        })
+        .collect()
+}
+
+/// Verify a corpus scenario's ground truth end to end:
+///
+/// 1. the scenario's *base* image (injections stripped) sweeps clean —
+///    the generator itself plants no accidental corruption at any scale;
+/// 2. the injected image's sweep reports every declared finding (same
+///    checker class; same address where the spec pins one) and flags
+///    nothing outside the declared classes.
+///
+/// Returns an error string naming the scenario and the first mismatch.
+pub fn check_ground_truth(spec: &ScenarioSpec) -> Result<(), String> {
+    if !spec.injections.is_empty() {
+        let clean = ScenarioSpec {
+            injections: Vec::new(),
+            ..spec.clone()
+        };
+        let (builder, _) = Session::from_scenario(&clean);
+        let s = builder
+            .attach()
+            .map_err(|e| format!("{}: base attach failed: {e:?}", spec.name))?;
+        s.vcheck()
+            .verify_expected(&[])
+            .map_err(|e| format!("{}: pre-injection image not clean: {e}", spec.name))?;
+    }
+    let (builder, expected) = Session::from_scenario(spec);
+    let s = builder
+        .attach()
+        .map_err(|e| format!("{}: attach failed: {e:?}", spec.name))?;
+    s.vcheck()
+        .verify_expected(&to_expected(&expected))
+        .map_err(|e| format!("{}: {e}", spec.name))
+}
+
+/// Record the corpus probe for a scenario: attach a recording session
+/// over the built (and injected) image, run the scoped probe, and return
+/// the capture. The capture header carries the scenario name and spec
+/// fingerprint, so a committed fixture can be refused when the spec it
+/// was recorded from has changed.
+pub fn record_scenario(spec: &ScenarioSpec) -> vbridge::Capture {
+    let (builder, _) = Session::from_scenario(spec);
+    // `.record` wants a save path, but we snapshot the tape in memory;
+    // nothing is written unless the caller saves the capture itself.
+    let mut s = builder
+        .record("corpus.vrec")
+        .attach()
+        .expect("live attach cannot fail");
+    s.plot(PlotSpec::Source(scoped_probe()))
+        .expect("the scoped probe plots on every corpus image");
+    s.capture().expect("recording session always has a capture")
+}
+
+/// Replay a corpus capture with zero image access and re-run the scoped
+/// probe, returning the extracted graph's JSON. Byte-comparing this
+/// against the live graph proves the `.vrec` is a complete, faithful
+/// wire transcript of the scenario.
+pub fn replay_probe(capture: vbridge::Capture) -> Result<String, String> {
+    let s = Session::replay(capture)
+        .attach()
+        .map_err(|e| format!("replay attach failed: {e:?}"))?;
+    let (graph, _) = s
+        .extract(scoped_probe())
+        .map_err(|e| format!("replayed probe extraction failed: {e:?}"))?;
+    Ok(graph.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ksim::corpus;
+
+    #[test]
+    fn ground_truth_holds_for_one_fault_and_one_clean_member() {
+        check_ground_truth(&corpus::by_name("uaf-list").unwrap()).unwrap();
+        check_ground_truth(&corpus::by_name("clean-100").unwrap()).unwrap();
+    }
+
+    #[test]
+    fn recorded_capture_is_stamped_and_replays_identically() {
+        let spec = corpus::by_name("refcount-leak").unwrap();
+        let capture = record_scenario(&spec);
+        let (name, fp) = capture.scenario().expect("capture must name its spec");
+        assert_eq!(name, spec.name);
+        assert_eq!(fp, spec.fingerprint());
+
+        // Live graph == replayed graph, byte for byte.
+        let (builder, _) = Session::from_scenario(&spec);
+        let live = builder.attach().unwrap();
+        let (live_graph, _) = live.extract(scoped_probe()).unwrap();
+        assert_eq!(replay_probe(capture).unwrap(), live_graph.to_json());
+    }
+
+    #[test]
+    fn recording_is_deterministic() {
+        let spec = corpus::by_name("stale-pid").unwrap();
+        let a = record_scenario(&spec).to_json();
+        let b = record_scenario(&spec).to_json();
+        assert_eq!(a, b, "same spec must record byte-identical captures");
+    }
+}

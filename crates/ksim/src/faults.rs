@@ -44,10 +44,22 @@ pub enum FaultKind {
     FdBitmapMismatch,
     /// A file refcount blown far past any plausible value.
     RefcountAbsurd,
+    /// A task's `tasks` list node overwritten with slab poison while its
+    /// neighbours still link to it — use-after-free on a list.
+    ListNodePoison,
+    /// An rb child pointer rewired to an unmapped (freed) node.
+    RbNodeDangle,
+    /// An open file's refcount dropped to zero — the underflow that
+    /// precedes a file use-after-free.
+    RefcountZero,
+    /// A task detached from its `struct pid` without clearing the
+    /// back-link state: `thread_pid` goes stale while the pid's task
+    /// hlist still names the task.
+    PidLinkStale,
 }
 
 /// Every fault in the corpus, in a stable order.
-pub const ALL_FAULTS: [FaultKind; 9] = [
+pub const ALL_FAULTS: [FaultKind; 13] = [
     FaultKind::ListSnip,
     FaultKind::ListCrossLink,
     FaultKind::RbColorSwap,
@@ -57,6 +69,10 @@ pub const ALL_FAULTS: [FaultKind; 9] = [
     FaultKind::XarraySlotGarbage,
     FaultKind::FdBitmapMismatch,
     FaultKind::RefcountAbsurd,
+    FaultKind::ListNodePoison,
+    FaultKind::RbNodeDangle,
+    FaultKind::RefcountZero,
+    FaultKind::PidLinkStale,
 ];
 
 impl FaultKind {
@@ -64,13 +80,41 @@ impl FaultKind {
     /// `kcheck::ViolationKind::class`).
     pub fn class(self) -> &'static str {
         match self {
-            FaultKind::ListSnip | FaultKind::ListCrossLink => "list",
-            FaultKind::RbColorSwap | FaultKind::RbParentCorrupt => "rbtree",
+            FaultKind::ListSnip | FaultKind::ListCrossLink | FaultKind::ListNodePoison => "list",
+            FaultKind::RbColorSwap | FaultKind::RbParentCorrupt | FaultKind::RbNodeDangle => {
+                "rbtree"
+            }
             FaultKind::MaplePivotCorrupt | FaultKind::MapleEnodeDangle => "maple",
             FaultKind::XarraySlotGarbage => "xarray",
             FaultKind::FdBitmapMismatch => "fdtable",
-            FaultKind::RefcountAbsurd => "refcount",
+            FaultKind::RefcountAbsurd | FaultKind::RefcountZero => "refcount",
+            FaultKind::PidLinkStale => "pid",
         }
+    }
+
+    /// Stable corpus name, the serialized form in a
+    /// [`crate::corpus::ScenarioSpec`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::ListSnip => "list-snip",
+            FaultKind::ListCrossLink => "list-cross-link",
+            FaultKind::RbColorSwap => "rb-color-swap",
+            FaultKind::RbParentCorrupt => "rb-parent-corrupt",
+            FaultKind::MaplePivotCorrupt => "maple-pivot-corrupt",
+            FaultKind::MapleEnodeDangle => "maple-enode-dangle",
+            FaultKind::XarraySlotGarbage => "xarray-slot-garbage",
+            FaultKind::FdBitmapMismatch => "fd-bitmap-mismatch",
+            FaultKind::RefcountAbsurd => "refcount-absurd",
+            FaultKind::ListNodePoison => "list-node-poison",
+            FaultKind::RbNodeDangle => "rb-node-dangle",
+            FaultKind::RefcountZero => "refcount-zero",
+            FaultKind::PidLinkStale => "pid-link-stale",
+        }
+    }
+
+    /// Inverse of [`FaultKind::name`].
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        ALL_FAULTS.iter().copied().find(|k| k.name() == name)
     }
 }
 
@@ -332,6 +376,88 @@ pub fn inject(w: &mut Workload, kind: FaultKind, seed: u64) -> InjectedFault {
                 kind,
                 addr: file + fc_off,
                 note: format!("f_count of {file:#x} blown to 2^44"),
+            }
+        }
+        FaultKind::ListNodePoison => {
+            // kmem_cache_free'd task_struct still on the global list: its
+            // list_head reads back slab poison, the neighbours' links are
+            // untouched — the canonical list use-after-free.
+            let (_, nodes) = tasks_list_nodes(w);
+            let victim = nodes[rng.gen_range(0..nodes.len())];
+            w.kb.mem.write(victim, &[0x6b; 16]);
+            InjectedFault {
+                kind,
+                addr: victim,
+                note: format!("list node {victim:#x} poisoned (freed while linked)"),
+            }
+        }
+        FaultKind::RbNodeDangle => {
+            let top = timeline_top(w, seed % crate::sched::NR_CPUS);
+            let nodes = structops::rb_inorder(&w.kb.mem, top);
+            let victim = nodes[rng.gen_range(0..nodes.len())];
+            // rb_left lives at offset 16 within rb_node.
+            w.kb.mem.write_uint(victim + 16, 8, DANGLING_NODE);
+            InjectedFault {
+                kind,
+                addr: victim + 16,
+                note: format!("rb_left of {victim:#x} rewired to freed node {DANGLING_NODE:#x}"),
+            }
+        }
+        FaultKind::RefcountZero => {
+            let leader = w.roots.leaders[rng.gen_range(0..w.roots.leaders.len())];
+            let (files_off, _) =
+                w.kb.types
+                    .field_path(w.types.task.task_struct, "files")
+                    .unwrap();
+            let files = w.kb.mem.read_uint(leader + files_off, 8).unwrap();
+            let open = crate::fdtable::open_files(&w.kb, &w.types.fd, files);
+            let file = open[rng.gen_range(0..open.len())];
+            let (fc_off, _) =
+                w.kb.types
+                    .field_path(w.types.vfs.file, "f_count.counter")
+                    .unwrap();
+            w.kb.mem.write_uint(file + fc_off, 8, 0);
+            InjectedFault {
+                kind,
+                addr: file + fc_off,
+                note: format!("f_count of {file:#x} dropped to 0 while the fd stays open"),
+            }
+        }
+        FaultKind::PidLinkStale => {
+            // detach_pid ran on a recycled task without fixing the hash
+            // state: some pid's task hlist still names the task, but the
+            // task's thread_pid was already redirected elsewhere.
+            let table = w.kb.symbols.lookup("pid_hash").unwrap().addr;
+            let (chain_off, _) =
+                w.kb.types
+                    .field_path(w.types.pid.pid, "numbers[0].pid_chain")
+                    .unwrap();
+            let (tasks0_off, _) = w.kb.types.field_path(w.types.pid.pid, "tasks[0]").unwrap();
+            let (link_off, _) =
+                w.kb.types
+                    .field_path(w.types.task.task_struct, "pid_links[0]")
+                    .unwrap();
+            let (tp_off, _) =
+                w.kb.types
+                    .field_path(w.types.task.task_struct, "thread_pid")
+                    .unwrap();
+            let mut pids = Vec::new();
+            for bucket in 0..crate::pid::PID_HASH_SIZE {
+                for chain in structops::hlist_iter(&w.kb.mem, table + bucket * 8) {
+                    pids.push(structops::container_of(chain, chain_off));
+                }
+            }
+            pids.sort_unstable(); // hash order varies with population; sort for per-seed stability
+            let pid = pids[rng.gen_range(0..pids.len())];
+            let link = structops::hlist_iter(&w.kb.mem, pid + tasks0_off)[0];
+            let task = structops::container_of(link, link_off);
+            w.kb.mem.write_uint(task + tp_off, 8, 0);
+            InjectedFault {
+                kind,
+                addr: task + tp_off,
+                note: format!(
+                    "task {task:#x} thread_pid cleared while pid {pid:#x} still links it"
+                ),
             }
         }
     }

@@ -11,6 +11,8 @@
 //! the [`workload`] module generates the populated image the paper's
 //! evaluation plots (5 processes × 2 threads exercising IPC, mmap, files,
 //! pipes and sockets), and [`scenarios`] injects the two CVE case studies.
+//! The [`corpus`] module generalizes both into a declarative, serializable
+//! scenario corpus with ground-truth expectations.
 //!
 //! Nothing here is visible to the visualization stack except through raw
 //! memory reads: the image is debugged, not queried.
@@ -22,6 +24,7 @@
 pub mod block;
 pub mod buddy;
 pub mod common;
+pub mod corpus;
 pub mod faults;
 pub mod fdtable;
 pub mod image;

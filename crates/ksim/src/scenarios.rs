@@ -11,10 +11,13 @@
 //!   page of `test.txt` *and* carries `PIPE_BUF_FLAG_CAN_MERGE`, the
 //!   uninitialized-flag state that makes the page writable through the
 //!   pipe.
+//!
+//! The injection logic itself lives in [`crate::corpus`], where both CVEs
+//! are corpus entries (`cve-2023-3269-stackrot`, `cve-2022-0847-dirty-pipe`)
+//! declared as data; these functions are kept as the stable entry points
+//! the case-study tests and examples were written against.
 
-use crate::maple;
-use crate::pipe::PIPE_BUF_FLAG_CAN_MERGE;
-use crate::rcu;
+use crate::corpus;
 use crate::workload::Workload;
 
 /// Outcome of the StackRot injection.
@@ -39,47 +42,7 @@ pub struct StackRot {
 /// Panics if the workload has no user process with a multi-node maple
 /// tree (the default config always has one).
 pub fn inject_stackrot(w: &mut Workload) -> StackRot {
-    let t = w.types;
-    let kb = &mut w.kb;
-    let leader = w.roots.leaders[0];
-    let (mm_off, _) = kb.types.field_path(t.task.task_struct, "mm").unwrap();
-    let mm = kb.mem.read_uint(leader + mm_off, 8).unwrap();
-    let (root_off, _) = kb
-        .types
-        .field_path(t.mm.mm_struct, "mm_mt.ma_root")
-        .unwrap();
-    let root = kb.mem.read_uint(mm + root_off, 8).unwrap();
-    assert!(maple::xa_is_node(root), "expected a multi-node tree");
-
-    // Find the first leaf under the root.
-    let mut enode = root;
-    while !maple::ma_is_leaf(maple::mte_node_type(enode)) {
-        let node = maple::mte_to_node(enode);
-        // arange_64 slots start after parent + 9 pivots.
-        let slot0 = node + 8 + 8 * (maple::MAPLE_ARANGE64_SLOTS - 1);
-        enode = kb.mem.read_uint(slot0, 8).unwrap();
-    }
-    let victim = maple::mte_to_node(enode);
-
-    // The node's union rcu_head lives at offset 8 (after `pad`).
-    let (rcu_off, _) = kb.types.field_path(t.maple.maple_node, "prcu.rcu").unwrap();
-    let rcu_head = victim + rcu_off;
-
-    // CPU 0 defers the free; note this *corrupts* the node's slot[0..2]
-    // area exactly like ma_free_rcu does in the real kernel.
-    let rcu_state = rcu::RcuState {
-        base: kb.symbols.lookup("rcu_data").unwrap().addr,
-        size: kb.types.size_of(t.rcu.rcu_data),
-    };
-    rcu::call_rcu(kb, &t.rcu, &rcu_state, 0, rcu_head, "mt_free_rcu");
-
-    StackRot {
-        mm,
-        victim_node: victim,
-        rcu_head,
-        free_cpu: 0,
-        reader_cpu: 1,
-    }
+    corpus::apply_stackrot(w)
 }
 
 /// Outcome of the Dirty Pipe injection.
@@ -102,37 +65,7 @@ pub struct DirtyPipe {
 /// process 0's pipe ring zero-copy, and `copy_page_to_iter_pipe` left
 /// `PIPE_BUF_FLAG_CAN_MERGE` set.
 pub fn inject_dirty_pipe(w: &mut Workload) -> DirtyPipe {
-    let t = w.types;
-    let kb = &mut w.kb;
-    let file = w.roots.test_txt_file;
-    assert_ne!(file, 0, "workload must have opened test.txt");
-
-    // First page of the file's page cache.
-    let (f_mapping_off, _) = kb.types.field_path(t.vfs.file, "f_mapping").unwrap();
-    let mapping = kb.mem.read_uint(file + f_mapping_off, 8).unwrap();
-    let (i_pages_off, _) = kb.types.field_path(t.vfs.address_space, "i_pages").unwrap();
-    let page = crate::pagecache::xa_load(kb, &t.page, mapping + i_pages_off, 0);
-    assert_ne!(page, 0, "test.txt must have a cached page");
-
-    // Overwrite the pipe's buffer 0: zero-copy alias + CAN_MERGE.
-    let pipe = w.roots.pipes[0];
-    let (bufs_off, _) = kb.types.field_path(t.pipe.pipe_inode_info, "bufs").unwrap();
-    let ring = kb.mem.read_uint(pipe + bufs_off, 8).unwrap();
-    {
-        let mut wbuf = kb.obj(ring, t.pipe.pipe_buffer);
-        wbuf.set("page", page).unwrap();
-        wbuf.set("offset", 0).unwrap();
-        wbuf.set("len", 4096).unwrap();
-        wbuf.set("flags", PIPE_BUF_FLAG_CAN_MERGE).unwrap();
-    }
-
-    DirtyPipe {
-        file,
-        shared_page: page,
-        pipe,
-        buf_index: 0,
-        task: w.roots.leaders[0],
-    }
+    corpus::apply_dirty_pipe(w)
 }
 
 /// Let the RCU grace period expire for the StackRot victim: run the
@@ -144,30 +77,15 @@ pub fn inject_dirty_pipe(w: &mut Workload) -> DirtyPipe {
 /// the node: the use-after-free is armed, and CPU 1's `mas_prev()` —
 /// or a debugger walking the tree — will touch freed memory.
 pub fn expire_rcu_grace_period(w: &mut Workload, sr: &StackRot) {
-    let t = w.types;
-    let kb = &mut w.kb;
-    // Pop the callback from CPU 0's list (rcu_do_batch).
-    let rcu_state = rcu::RcuState {
-        base: kb.symbols.lookup("rcu_data").unwrap().addr,
-        size: kb.types.size_of(t.rcu.rcu_data),
-    };
-    let rd = rcu_state.cpu(sr.free_cpu);
-    let (head_off, _) = kb.types.field_path(t.rcu.rcu_data, "cblist.head").unwrap();
-    let next = kb.mem.read_uint(sr.rcu_head, 8).unwrap_or(0);
-    let head = kb.mem.read_uint(rd + head_off, 8).unwrap();
-    if head == sr.rcu_head {
-        kb.mem.write_uint(rd + head_off, 8, next);
-    }
-    // kmem_cache_free with SLAB poisoning: the node's 256 bytes are
-    // overwritten with POISON_FREE (0x6b), like a debug kernel recycling
-    // the object. (Unmapping the page would also fault the *neighboring*
-    // slab objects, which a recycled slab page does not do.)
-    kb.mem.write(sr.victim_node, &[0x6b; 256]);
+    corpus::expire_stackrot(w, sr)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::maple;
+    use crate::pipe::PIPE_BUF_FLAG_CAN_MERGE;
+    use crate::rcu;
     use crate::workload::{self, WorkloadConfig};
 
     #[test]

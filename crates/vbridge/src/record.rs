@@ -407,6 +407,15 @@ fn event_from_value(i: usize, v: &Value) -> Result<WireEvent, String> {
 }
 
 impl Capture {
+    /// The corpus scenario this capture was recorded from, as stamped in
+    /// the header meta: (`meta.scenario`, `meta.scenario_fingerprint`).
+    /// `None` for captures not recorded from a corpus scenario.
+    pub fn scenario(&self) -> Option<(&str, u64)> {
+        let name = self.meta.get("scenario")?.as_str()?;
+        let fp = self.meta.get("scenario_fingerprint")?.as_u64()?;
+        Some((name, fp))
+    }
+
     /// Serialize as a compact `.vrec` JSON document.
     pub fn to_json(&self) -> String {
         let mut root = Map::new();

@@ -1,0 +1,131 @@
+//! The corpus replay matrix: every corpus scenario records a `.vrec` of
+//! the scoped evaluation probe, the small ones are committed as fixtures
+//! under `tests/fixtures/corpus/`, and CI proves that
+//!
+//! 1. a fresh recording is **byte-identical** to the committed fixture
+//!    (so the generator, the wire stack and the serializer are all
+//!    deterministic — and a spec change without a fixture refresh fails
+//!    loudly, because the capture embeds the spec fingerprint);
+//! 2. replaying the fixture with zero image access reproduces the exact
+//!    graph the live session extracted.
+//!
+//! Refresh after an intentional change with:
+//!
+//! ```text
+//! UPDATE_FIXTURES=1 cargo test -p kgen --test corpus_replay
+//! ```
+
+use std::path::PathBuf;
+
+use kgen::{record_scenario, replay_probe, scoped_probe};
+use ksim::corpus;
+use vbridge::Capture;
+use visualinux::Session;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/corpus")
+}
+
+/// Scenarios whose fixtures are committed: every fault/CVE member plus
+/// the smallest clean rung. The 1k/10k rungs record multi-hundred-KB
+/// captures for the same flat probe, so they round-trip through a temp
+/// file instead of the repository (`big_rungs_replay_byte_identically`).
+fn committed(name: &str) -> bool {
+    !matches!(name, "clean-1k" | "clean-10k")
+}
+
+#[test]
+fn committed_fixtures_are_current_and_replay_byte_identically() {
+    let dir = fixture_dir();
+    let update = std::env::var_os("UPDATE_FIXTURES").is_some();
+    if update {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut drift = Vec::new();
+    for spec in corpus::corpus().into_iter().filter(|s| committed(&s.name)) {
+        let fresh = record_scenario(&spec);
+        let path = dir.join(format!("{}.vrec", spec.name));
+        if update {
+            std::fs::write(&path, fresh.to_json()).unwrap();
+            continue;
+        }
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                drift.push(format!(
+                    "{}: fixture missing (run UPDATE_FIXTURES=1)",
+                    spec.name
+                ));
+                continue;
+            }
+        };
+        // Byte-identical: generator + wire stack + serializer are all
+        // deterministic, and the committed fixture is current.
+        if fresh.to_json() != committed {
+            drift.push(format!(
+                "{}: fresh recording differs from committed fixture \
+                 (spec changed? run UPDATE_FIXTURES=1 and review)",
+                spec.name
+            ));
+            continue;
+        }
+
+        // The fixture names the spec it was recorded from.
+        let capture = Capture::from_json(&committed).unwrap();
+        let (name, fp) = capture.scenario().expect("corpus fixtures are stamped");
+        assert_eq!(name, spec.name);
+        assert_eq!(
+            fp,
+            spec.fingerprint(),
+            "{}: fixture was recorded from a different spec revision",
+            spec.name
+        );
+
+        // Replaying the committed bytes reproduces the live graph.
+        let (builder, _) = Session::from_scenario(&spec);
+        let live = builder.attach().unwrap();
+        let (live_graph, _) = live.extract(scoped_probe()).unwrap();
+        assert_eq!(
+            replay_probe(capture).unwrap(),
+            live_graph.to_json(),
+            "{}: replayed graph differs from live graph",
+            spec.name
+        );
+    }
+    assert!(drift.is_empty(), "{}", drift.join("\n"));
+}
+
+#[test]
+fn big_rungs_replay_byte_identically() {
+    // The 1k rung stands in for the uncommitted scale rungs: save the
+    // capture, reload it, and require byte-identity plus a faithful
+    // replay. (The 10k rung runs the same path in `corpus_bench`, which
+    // CI gates separately — building it twice here would dominate the
+    // test suite's wall clock.)
+    let spec = corpus::by_name("clean-1k").unwrap();
+    let fresh = record_scenario(&spec);
+    let dir = std::env::temp_dir().join("visualinux-corpus-replay");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("clean-1k.vrec");
+    fresh.save(&path).unwrap();
+    let reloaded = Capture::load(&path).unwrap();
+    assert_eq!(fresh.to_json(), reloaded.to_json());
+
+    let (builder, _) = Session::from_scenario(&spec);
+    let live = builder.attach().unwrap();
+    let (live_graph, _) = live.extract(scoped_probe()).unwrap();
+    assert_eq!(replay_probe(reloaded).unwrap(), live_graph.to_json());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replayed_sessions_inherit_the_scenario_identity() {
+    let spec = corpus::by_name("dangling-rb").unwrap();
+    let capture = record_scenario(&spec);
+    let replayed = Session::replay(capture).attach().unwrap();
+    assert_eq!(
+        replayed.scenario(),
+        Some((spec.name.as_str(), spec.fingerprint())),
+        "replay must recover the scenario stamp from the capture header"
+    );
+}

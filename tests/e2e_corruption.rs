@@ -52,7 +52,8 @@ fn every_injected_fault_is_flagged_with_a_symbol_rooted_path() {
                 v.path.starts_with("init_task")
                     || v.path.starts_with("runqueues")
                     || v.path.starts_with("super_blocks")
-                    || v.path.starts_with("slab_caches"),
+                    || v.path.starts_with("slab_caches")
+                    || v.path.starts_with("pid_hash"),
                 "violation path must be symbol-rooted: {v:?}"
             );
         }

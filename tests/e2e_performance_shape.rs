@@ -145,3 +145,74 @@ fn extraction_cost_is_deterministic() {
     let b = measure(LatencyProfile::kgdb_rpi400());
     assert_eq!(a, b, "virtual time must be exactly reproducible");
 }
+
+/// The deliberately population-linear control probe for the scale rungs:
+/// plot every task on the system (mirrors `kgen::FULL_PROBE`; inlined
+/// because `kgen` depends on this crate).
+const FULL_PROBE: &str = r#"
+define T as Box<task_struct> [
+    Text pid
+    Text<string> comm
+]
+all = Box AllTasks [
+    Container tasks: List(${&init_task.tasks}).forEach |node| {
+        yield T<task_struct.tasks>(@node)
+    }
+]
+plot @all
+"#;
+
+#[test]
+fn scoped_extraction_is_sublinear_across_the_corpus_scale_rungs() {
+    // The corpus scale gate: across the clean-100 → clean-1k → clean-10k
+    // rungs (101 → 1007 → 10007 tasks, a 99x population growth) the
+    // scoped probe — one process's address space, the paper's Figure 9-2
+    // — must keep its wire-packet and walked-object counts essentially
+    // flat, while the full task-list plot on the *same images* grows
+    // linearly. The linear control is what makes the flat line evidence
+    // of scoping rather than of a broken meter.
+    let fig = figures::by_id("fig9-2").unwrap();
+    let mut rungs = Vec::new();
+    for name in ["clean-100", "clean-1k", "clean-10k"] {
+        let spec = ksim::corpus::by_name(name).unwrap();
+        let tasks = spec.tasks();
+        let (builder, _) = Session::from_scenario(&spec);
+        let mut s = builder.attach().unwrap();
+        let scoped = s.plot(PlotSpec::Source(fig.viewcl)).unwrap();
+        let sst = s.plot_stats(scoped).unwrap();
+        let full = s.plot(PlotSpec::Source(FULL_PROBE)).unwrap();
+        let fst = s.plot_stats(full).unwrap();
+        rungs.push((
+            name,
+            tasks as u64,
+            sst.target.reads,
+            sst.graph.objects,
+            fst.target.reads,
+        ));
+    }
+    let (_, t0, s0, w0, f0) = rungs[0];
+    let (_, t2, s2, w2, f2) = rungs[2];
+    assert_eq!((t0, t2), (101, 10007), "rungs must hit their populations");
+
+    // Scoped probe: <= 1.5x packets and walks across a ~99x population.
+    assert!(
+        s2 as f64 <= s0 as f64 * 1.5,
+        "scoped packets must stay flat: {s0} at 101 tasks vs {s2} at 10007"
+    );
+    assert!(
+        w2 as f64 <= w0 as f64 * 1.5,
+        "scoped walks must stay flat: {w0} at 101 tasks vs {w2} at 10007"
+    );
+    // Full task-list control: >= 50x packets over the same growth.
+    assert!(
+        f2 as f64 >= f0 as f64 * 50.0,
+        "full-pane packets must grow with the population: {f0} vs {f2}"
+    );
+    // And the middle rung sits between the endpoints for the control.
+    let (_, _, s1, _, f1) = rungs[1];
+    assert!(f0 < f1 && f1 < f2, "control must grow monotonically");
+    assert!(
+        s1 as f64 <= s0 as f64 * 1.5,
+        "scoped packets must stay flat at the 1k rung too: {s0} vs {s1}"
+    );
+}
