@@ -257,7 +257,8 @@ fn record_corpus(stops: usize) -> Capture {
             let roots = s.roots.clone();
             s.stop_event(|img| {
                 ksim::tick::tick(img, &roots, round);
-            });
+            })
+            .expect("live stop");
         }
         for fig in figures::all() {
             s.extract(fig.viewcl).expect("record extract");

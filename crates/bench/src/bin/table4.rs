@@ -6,7 +6,7 @@
 //! cost model's; the claims preserved are the *shape*: the KGDB/QEMU
 //! per-object ratio (~50x), the per-KB band, and the figure ranking.
 
-use bench::{attach, attach_cached, attach_plan, TablePrinter, TABLE4_FIGURES};
+use bench::{attach, attach_cached, attach_incr, attach_plan, TablePrinter, TABLE4_FIGURES};
 use vbridge::{CacheConfig, LatencyProfile};
 use visualinux::{figures, PlotSpec};
 
@@ -21,6 +21,10 @@ struct Row {
     /// (cold total ms, cold wire packets) on cached KGDB with the
     /// walk-plan scheduler; absent under `--no-cache`.
     plan: Option<(f64, u64)>,
+    /// (post-stop refresh total ms, post-stop wire packets) on cached
+    /// KGDB with incremental refresh, after one scheduler tick; absent
+    /// under `--no-cache`.
+    incr: Option<(f64, u64)>,
 }
 
 fn measure(profile: LatencyProfile) -> Vec<(f64, f64, f64, u64)> {
@@ -71,6 +75,52 @@ fn measure_plan(profile: LatencyProfile) -> Vec<(f64, u64)> {
             (cold.total_ms(), cold.target.reads)
         })
         .collect()
+}
+
+/// Incremental refresh column: populate every figure, take one
+/// scheduler tick, then measure the post-stop re-extraction. The whole
+/// run is traced, and the session's cumulative per-extraction
+/// `TargetStats` must reconcile with the vtrace clock *bit-for-bit* —
+/// kept panes bill exactly nothing, re-walked panes bill exactly what
+/// their spans recorded — or the run fails (exit 1).
+fn measure_incr(profile: LatencyProfile) -> Vec<(f64, u64)> {
+    use vtrace::Counters;
+
+    let mut session = attach_incr(profile, CacheConfig::default());
+    session.enable_tracing();
+    let bill = |s: &vbridge::TargetStats| Counters {
+        packets: s.reads,
+        bytes: s.bytes,
+        virtual_ns: s.virtual_ns,
+        cache_hits: s.cache_hits,
+        faults: s.faults,
+    };
+    let mut acc = Counters::default();
+    for id in TABLE4_FIGURES {
+        let fig = figures::by_id(id).expect("figure exists");
+        let (_, s) = session.extract(fig.viewcl).expect("figure extracts");
+        acc = acc.plus(bill(&s.target));
+    }
+    let roots = session.roots.clone();
+    session
+        .stop_event(|img| {
+            ksim::tick::tick(img, &roots, 1);
+        })
+        .expect("live stop");
+    let mut rows = Vec::new();
+    for id in TABLE4_FIGURES {
+        let fig = figures::by_id(id).expect("figure exists");
+        let (_, s) = session.extract(fig.viewcl).expect("figure extracts");
+        acc = acc.plus(bill(&s.target));
+        rows.push((s.total_ms(), s.target.reads));
+    }
+    let clock = session.tracer().expect("tracing is on").clock();
+    if acc != clock {
+        eprintln!("INCR/VTRACE RECONCILIATION DRIFT:");
+        eprintln!("  per-extraction stats {acc:?} != tracer clock {clock:?}");
+        std::process::exit(1);
+    }
+    rows
 }
 
 /// `--trace` mode: replot every Table-4 figure with vtrace on and print
@@ -429,12 +479,13 @@ fn main() {
     println!("Table 4: performance of plotting the ULK figures (virtual time)\n");
     let qemu = measure(LatencyProfile::gdb_qemu());
     let kgdb = measure(LatencyProfile::kgdb_rpi400());
-    let (cached, plan) = if no_cache {
-        (Vec::new(), Vec::new())
+    let (cached, plan, incr) = if no_cache {
+        (Vec::new(), Vec::new(), Vec::new())
     } else {
         (
             measure_cached(LatencyProfile::kgdb_rpi400()),
             measure_plan(LatencyProfile::kgdb_rpi400()),
+            measure_incr(LatencyProfile::kgdb_rpi400()),
         )
     };
     let rows: Vec<Row> = TABLE4_FIGURES
@@ -446,6 +497,7 @@ fn main() {
             kgdb: (kgdb[i].0, kgdb[i].1, kgdb[i].2),
             cached: cached.get(i).copied(),
             plan: plan.get(i).copied(),
+            incr: incr.get(i).copied(),
         })
         .collect();
 
@@ -454,8 +506,10 @@ fn main() {
     ];
     let mut widths = vec![4, 11, 10, 9, 9, 12, 10, 10];
     if !no_cache {
-        header.extend(["cold-ms", "warm-ms", "pkt-x", "plan-ms", "plan-x"]);
-        widths.extend([10, 9, 7, 9, 7]);
+        header.extend([
+            "cold-ms", "warm-ms", "pkt-x", "plan-ms", "plan-x", "incr-ms", "incr-x",
+        ]);
+        widths.extend([10, 9, 7, 9, 7, 9, 7]);
     }
     let t = TablePrinter::new(&widths);
     t.row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
@@ -485,6 +539,16 @@ fn main() {
                 cells.push(format!(
                     "{:.1}x",
                     cold_pkts as f64 / plan_pkts.max(1) as f64
+                ));
+            }
+            if let Some((incr_ms, incr_pkts)) = r.incr {
+                // Incr column: the refresh cost after one scheduler
+                // tick vs a cold cached re-extraction — kept panes
+                // show 0 packets.
+                cells.push(format!("{incr_ms:.1}"));
+                cells.push(format!(
+                    "{:.0}x",
+                    cold_pkts as f64 / incr_pkts.max(1) as f64
                 ));
             }
         }
@@ -572,6 +636,20 @@ fn main() {
         println!(
             "  walk planner, best figure:  {plan_x:.1}x fewer cold packets (floor: 2x)        {}",
             if plan_x >= 2.0 {
+                "[in band]"
+            } else {
+                "[OUT OF BAND]"
+            }
+        );
+        // Incremental refresh: one scheduler tick must leave the
+        // corpus-wide re-extraction bill far below a cold re-walk of
+        // every pane (the vincr pitch; `incr_bench` gates the floor).
+        let cold_total: u64 = cached.iter().map(|&(_, _, _, p)| p).sum();
+        let incr_total: u64 = incr.iter().map(|&(_, p)| p).sum();
+        let incr_x = cold_total as f64 / incr_total.max(1) as f64;
+        println!(
+            "  incr refresh, corpus:       {incr_x:.0}x fewer post-tick packets (floor: 5x)    {}",
+            if incr_x >= 5.0 {
                 "[in band]"
             } else {
                 "[OUT OF BAND]"

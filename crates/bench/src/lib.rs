@@ -13,6 +13,8 @@
 //! * `fig7` — the Dirty Pipe object graph of Figure 7.
 //! * `plan_bench` — interp-mode vs plan-mode cold extraction cost per
 //!   figure and latency profile, emitted as `BENCH_plan.json`.
+//! * `incr_bench` — post-stop re-extraction cost, full re-walk vs
+//!   vincr incremental refresh, emitted as `BENCH_incr.json`.
 //! * `vrec` — record the full figure corpus into a `.vrec` wire capture
 //!   (`vrec record out.vrec`), or re-run it from the capture alone and
 //!   verify packets/bytes/hashes bit-for-bit (`vrec replay out.vrec`).
@@ -74,6 +76,18 @@ pub fn attach_plan(profile: LatencyProfile, cfg: CacheConfig) -> Session {
         .profile(profile)
         .cache(cfg)
         .plan()
+        .attach()
+        .unwrap()
+}
+
+/// Build the evaluation workload and attach a cached session with
+/// incremental refresh (vincr) enabled: stops report dirty ranges and
+/// re-extraction keeps panes the dirty set provably missed.
+pub fn attach_incr(profile: LatencyProfile, cfg: CacheConfig) -> Session {
+    Session::builder(build(&WorkloadConfig::default()))
+        .profile(profile)
+        .cache(cfg)
+        .incremental()
         .attach()
         .unwrap()
 }

@@ -8,9 +8,9 @@ use std::rc::Rc;
 use ksim::workload::{AllTypes, Workload, WorkloadConfig, WorkloadRoots};
 use ksim::KernelImage;
 use vbridge::{
-    BackendKind, BlockCache, CacheConfig, Capture, ExecMode, HelperRegistry, LatencyProfile,
-    RecordBackend, Recorder, ReplayBackend, ReplayState, SimBackend, Target, TargetBackend,
-    TargetStats,
+    BackendKind, BlockCache, BridgeError, CacheConfig, Capture, DirtyInfo, DirtySet, ExecMode,
+    HelperRegistry, LatencyProfile, RecordBackend, Recorder, ReplayBackend, ReplayState,
+    SimBackend, Target, TargetBackend, TargetStats,
 };
 use vgraph::{Graph, GraphStats};
 use vpanels::{FocusHit, PaneId, SplitDir};
@@ -217,6 +217,7 @@ pub struct SessionBuilder {
     record: Option<PathBuf>,
     exec: Option<ExecMode>,
     scenario: Option<(String, u64)>,
+    incremental: bool,
 }
 
 impl SessionBuilder {
@@ -264,6 +265,20 @@ impl SessionBuilder {
     /// interpreter runs.
     pub fn plan(self) -> Self {
         self.exec(ExecMode::Plan)
+    }
+
+    /// Enable incremental re-extraction (vincr). The live image logs
+    /// exact mutated byte ranges; across a [`Session::resume`] the
+    /// session intersects them with the address spans each retained
+    /// pane read, re-walking only panes the mutation could have
+    /// changed — everything else is served from its retained graph,
+    /// byte-identical and wire-free. Recorded captures tape the dirty
+    /// sets (and stamp `meta.incremental`), so replay sessions follow
+    /// the same decisions automatically; backends that cannot report
+    /// dirty info degrade to full re-walks.
+    pub fn incremental(mut self) -> Self {
+        self.incremental = true;
+        self
     }
 
     /// Stamp the corpus scenario this session's image was built from.
@@ -356,6 +371,17 @@ impl SessionBuilder {
                     .map(|(name, fp)| (name.to_string(), fp))
             })
         });
+        // An incremental capture tapes dirty events before each resume
+        // marker; the replay must follow the same refresh decisions to
+        // keep its cursor (and counters) in step with the tape.
+        let incremental = self.incremental
+            || replay.as_ref().is_some_and(|st| {
+                st.capture()
+                    .meta
+                    .get("incremental")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false)
+            });
         let mut s = Session {
             img,
             types,
@@ -373,7 +399,15 @@ impl SessionBuilder {
             replay,
             exec_mode,
             scenario,
+            incremental,
+            dirty_log: Vec::new(),
+            touched: RefCell::new(vincr::TouchedIndex::new()),
+            retained: RefCell::new(HashMap::new()),
         };
+        if incremental && s.replay.is_none() {
+            // The image's write log is the source of exact dirty sets.
+            s.img.mem.enable_dirty_tracking();
+        }
         if self.tracing {
             s.enable_tracing();
         }
@@ -412,6 +446,18 @@ pub struct Session {
     /// Corpus scenario identity (name, spec fingerprint), when the
     /// session was built from or replays a corpus scenario.
     scenario: Option<(String, u64)>,
+    /// Incremental re-extraction (vincr) is on: retained pane graphs
+    /// refresh against backend-reported dirty sets between stops.
+    incremental: bool,
+    /// One entry per resume since attach: what changed across it.
+    /// Retained panes remember the log length at extraction; the dirty
+    /// set they must survive is the union of everything after.
+    dirty_log: Vec<DirtyInfo>,
+    /// Address spans each retained pane read during its last walk.
+    touched: RefCell<vincr::TouchedIndex>,
+    /// Retained graphs keyed by ViewCL source, with the dirty-log
+    /// length at extraction time.
+    retained: RefCell<HashMap<String, (Graph, usize)>>,
 }
 
 impl Session {
@@ -426,6 +472,7 @@ impl Session {
             record: None,
             exec: None,
             scenario: None,
+            incremental: false,
         }
     }
 
@@ -456,6 +503,7 @@ impl Session {
             record: None,
             exec: None,
             scenario: None,
+            incremental: false,
         }
     }
 
@@ -517,21 +565,55 @@ impl Session {
     }
 
     /// Resume the (simulated) kernel: cached target bytes may now be
-    /// stale, so the bridge cache epoch is bumped and all blocks drop.
-    /// Plots already on panes are unaffected — they are snapshots.
+    /// stale. With exact dirty info (an incremental session over a
+    /// backend that reports it) only the mutated blocks drop; otherwise
+    /// the cache epoch is bumped and all blocks drop. Plots already on
+    /// panes are unaffected — they are snapshots.
     ///
-    /// A recording session notes the resume on the tape; a replay
-    /// session consumes the matching resume event (a divergence here
-    /// poisons the replay and surfaces at the next wire read).
+    /// A recording session notes the resume (and any known dirty set)
+    /// on the tape; a replay session consumes the matching events (a
+    /// divergence here poisons the replay and surfaces at the next
+    /// wire read).
     pub fn resume(&mut self) {
+        // What changed since the last stop, as observed on the live
+        // image's write log (exact when dirty tracking is on).
+        let observed = match self.img.mem.take_dirty() {
+            Some(ranges) if self.replay.is_none() => {
+                DirtyInfo::Known(DirtySet::from_ranges(ranges))
+            }
+            _ => DirtyInfo::Unknown,
+        };
+        // Route the observation through the same backend stack that
+        // serves reads: a recording wire tapes known sets, a replay
+        // wire substitutes the taped set, anything else reports
+        // Unknown — the bottom rung of the degradation ladder.
+        let info = {
+            let backend: Box<dyn TargetBackend + '_> = match (&self.replay, &self.recorder) {
+                (Some(state), _) => Box::new(ReplayBackend::new(state)),
+                (None, Some(tape)) => Box::new(RecordBackend::new(
+                    Box::new(SimBackend::new(&self.img.mem)),
+                    tape.clone(),
+                )),
+                (None, None) => Box::new(SimBackend::new(&self.img.mem)),
+            };
+            backend.resume_dirty(observed)
+        };
         if let Some(c) = &self.cache {
-            c.bump_epoch();
+            match info.known() {
+                Some(set) => {
+                    c.invalidate_spans(set.ranges());
+                }
+                None => c.bump_epoch(),
+            }
         }
         if let Some(r) = &self.recorder {
             r.note_resume();
         }
         if let Some(s) = &self.replay {
             let _ = s.consume_resume();
+        }
+        if self.incremental {
+            self.dirty_log.push(info);
         }
     }
 
@@ -545,15 +627,23 @@ impl Session {
     /// drops its now-stale blocks. The next extraction sees the new
     /// machine state; plots already on panes keep their old snapshots.
     ///
-    /// On a replay session the mutate closure is skipped — there is no
-    /// image to rewrite; the capture already contains whatever the
-    /// recorded kernel did between stops — but the resume still runs so
-    /// the cache epoch and replay cursor stay in step with the tape.
-    pub fn stop_event(&mut self, mutate: impl FnOnce(&mut KernelImage)) {
-        if self.replay.is_none() {
-            mutate(&mut self.img);
+    /// A replay session has no image to rewrite — the capture already
+    /// contains whatever the recorded kernel did between stops — so the
+    /// call errors loudly, naming the backend kind, instead of silently
+    /// dropping the mutation and diverging from the tape. Callers
+    /// driving a replay should advance it with [`Session::resume`].
+    pub fn stop_event(&mut self, mutate: impl FnOnce(&mut KernelImage)) -> vbridge::Result<()> {
+        if self.replay.is_some() {
+            return Err(BridgeError::Capture(format!(
+                "stop_event on a `{}` session: there is no image to mutate — the \
+                 capture already contains the recorded kernel's changes; call \
+                 resume() to advance the tape instead",
+                self.backend_kind().as_str()
+            )));
         }
+        mutate(&mut self.img);
         self.resume();
+        Ok(())
     }
 
     /// The active latency profile.
@@ -564,6 +654,25 @@ impl Session {
     /// Switch latency profile (affects subsequent plots).
     pub fn set_profile(&mut self, profile: LatencyProfile) {
         self.profile = profile;
+    }
+
+    /// Whether incremental re-extraction (vincr) is on.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// What changed since a retained pane's extraction: the union of
+    /// every dirty set logged after `epoch`; `Unknown` if any resume in
+    /// the window could not say.
+    fn dirty_since(&self, epoch: usize) -> DirtyInfo {
+        let mut ranges = Vec::new();
+        for info in &self.dirty_log[epoch..] {
+            match info.known() {
+                Some(set) => ranges.extend_from_slice(set.ranges()),
+                None => return DirtyInfo::Unknown,
+            }
+        }
+        DirtyInfo::Known(DirtySet::from_ranges(ranges))
     }
 
     /// The active execution mode.
@@ -693,6 +802,11 @@ impl Session {
                 "exec_mode".into(),
                 serde_json::Value::String(self.exec_mode.as_str().into()),
             );
+            // An incremental session tapes dirty events; replay must
+            // follow the same refresh decisions to stay in step.
+            if self.incremental {
+                m.insert("incremental".into(), serde_json::Value::Bool(true));
+            }
             // A capture recorded from a corpus scenario names its spec,
             // content-addressed, so CI can refuse a stale fixture.
             if let Some((name, fp)) = &self.scenario {
@@ -738,6 +852,29 @@ impl Session {
             viewcl::parse_program(viewcl_src)?
         };
         let target = self.target();
+        // vincr: if a retained graph exists and the dirty set since its
+        // extraction provably misses every span it read, serve it as-is
+        // — zero wire traffic, byte-identical by the splice invariant.
+        let mut prior: Option<(Graph, usize)> = None;
+        if self.incremental {
+            prior = self.retained.borrow().get(viewcl_src).cloned();
+            if let Some((retained, epoch)) = &prior {
+                let _s = vtrace::span(tracer, SpanKind::Incr, format!("incr::decide {label}"));
+                let dirty = self.dirty_since(*epoch);
+                let bytes = dirty.known().map_or(0, |s| s.total_bytes());
+                let decision = vincr::decide(self.touched.borrow().get(viewcl_src), &dirty);
+                if decision.is_keep() {
+                    target.note_incr(1, 0, bytes);
+                    let stats = PlotStats {
+                        graph: GraphStats::of(retained),
+                        target: target.stats(),
+                    };
+                    return Ok((retained.clone(), stats));
+                }
+                target.note_incr(0, 1, bytes);
+            }
+            target.set_touched_tracking(true);
+        }
         if self.exec_mode == ExecMode::Plan {
             // Plan mode: compile the pane into a walk plan and warm the
             // cache with scheduled spans. The interpreter below then
@@ -747,11 +884,34 @@ impl Session {
             let plan = viewcl::plan::compile(&program);
             viewcl::plan::execute(&plan, &target, &self.helpers);
         }
-        let graph = {
+        let fresh = {
             let _s = vtrace::span(tracer, SpanKind::Interp, "interp::run");
             let mut interp = viewcl::Interp::new(&target, &self.helpers);
             interp.run(&program)?;
             interp.into_graph()
+        };
+        let graph = if self.incremental {
+            // Remember what this walk read, then fold the fresh result
+            // into the retained predecessor (when there is one) — the
+            // splice reconstructs the fresh graph exactly, and its
+            // delta is the same wire object vserve ships.
+            self.touched
+                .borrow_mut()
+                .record(viewcl_src, target.take_touched());
+            let graph = match &prior {
+                Some((retained, _)) => {
+                    let _s = vtrace::span(tracer, SpanKind::Incr, format!("incr::splice {label}"));
+                    vincr::splice(retained, &fresh).graph
+                }
+                None => fresh,
+            };
+            self.retained.borrow_mut().insert(
+                viewcl_src.to_string(),
+                (graph.clone(), self.dirty_log.len()),
+            );
+            graph
+        } else {
+            fresh
         };
         let stats = PlotStats {
             graph: GraphStats::of(&graph),

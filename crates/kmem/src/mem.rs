@@ -16,6 +16,10 @@ pub const PAGE_SIZE: u64 = 4096;
 #[derive(Debug, Default)]
 pub struct Mem {
     pages: HashMap<u64, Box<[u8]>>,
+    /// When `Some`, every mutation appends the byte range it touched.
+    /// Off by default: the workload build phase issues millions of
+    /// writes nobody will ever diff against.
+    dirty: Option<Vec<(u64, u64)>>,
 }
 
 impl Mem {
@@ -28,6 +32,45 @@ impl Mem {
         (addr / PAGE_SIZE, (addr % PAGE_SIZE) as usize)
     }
 
+    /// Start logging the byte range of every subsequent mutation
+    /// ([`write`](Self::write), [`unmap`](Self::unmap), and fresh pages
+    /// from [`map`](Self::map)). Call after the image is built so the
+    /// log holds only stop-to-stop mutations.
+    pub fn enable_dirty_tracking(&mut self) {
+        if self.dirty.is_none() {
+            self.dirty = Some(Vec::new());
+        }
+    }
+
+    /// Whether mutations are currently being logged.
+    pub fn dirty_tracking(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// Drain the mutation log: the raw `(addr, len)` ranges touched
+    /// since tracking was enabled or last drained, in write order,
+    /// unmerged. `None` when tracking is off — callers must then assume
+    /// anything may have changed.
+    pub fn take_dirty(&mut self) -> Option<Vec<(u64, u64)>> {
+        self.dirty.as_mut().map(std::mem::take)
+    }
+
+    fn note_dirty(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        if let Some(log) = &mut self.dirty {
+            // Coalesce the common pattern of consecutive field writes.
+            if let Some(last) = log.last_mut() {
+                if last.0 + last.1 == addr {
+                    last.1 += len;
+                    return;
+                }
+            }
+            log.push((addr, len));
+        }
+    }
+
     /// Map (zero-fill) the pages covering `[addr, addr + len)`.
     pub fn map(&mut self, addr: u64, len: u64) {
         if len == 0 {
@@ -36,9 +79,15 @@ impl Mem {
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
         for p in first..=last {
-            self.pages
-                .entry(p)
-                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            let mut fresh = false;
+            self.pages.entry(p).or_insert_with(|| {
+                fresh = true;
+                vec![0u8; PAGE_SIZE as usize].into_boxed_slice()
+            });
+            if fresh {
+                // A newly mapped page flips reads from faulting to zero.
+                self.note_dirty(p * PAGE_SIZE, PAGE_SIZE);
+            }
         }
     }
 
@@ -54,7 +103,9 @@ impl Mem {
         let first = addr / PAGE_SIZE;
         let last = (addr + len - 1) / PAGE_SIZE;
         for p in first..=last {
-            self.pages.remove(&p);
+            if self.pages.remove(&p).is_some() {
+                self.note_dirty(p * PAGE_SIZE, PAGE_SIZE);
+            }
         }
     }
 
@@ -80,6 +131,7 @@ impl Mem {
 
     /// Write `data` starting at `addr`, materializing pages as needed.
     pub fn write(&mut self, addr: u64, data: &[u8]) {
+        self.note_dirty(addr, data.len() as u64);
         let mut addr = addr;
         let mut data = data;
         while !data.is_empty() {
@@ -202,6 +254,37 @@ mod tests {
             m.write_uint(0x900, size, v);
             assert_eq!(m.read_uint(0x900, size).unwrap(), v, "size {size}");
         }
+    }
+
+    #[test]
+    fn dirty_tracking_logs_only_post_enable_mutations() {
+        let mut m = Mem::new();
+        m.write(0x1000, &[1; 16]);
+        assert_eq!(m.take_dirty(), None, "off by default");
+        m.enable_dirty_tracking();
+        assert!(m.dirty_tracking());
+        assert_eq!(m.take_dirty(), Some(Vec::new()), "nothing dirty yet");
+        m.write_uint(0x2000, 8, 7);
+        m.write_uint(0x2008, 8, 9); // adjacent: coalesces with the previous
+        m.write_uint(0x3000, 4, 1);
+        assert_eq!(m.take_dirty(), Some(vec![(0x2000, 16), (0x3000, 4)]));
+        // Draining resets the log.
+        assert_eq!(m.take_dirty(), Some(Vec::new()));
+    }
+
+    #[test]
+    fn dirty_tracking_covers_map_and_unmap() {
+        let mut m = Mem::new();
+        m.write(0x5000, &[3; 8]);
+        m.enable_dirty_tracking();
+        m.unmap(0x5000, 8);
+        m.map(0x9000, 8);
+        m.map(0x9000, 8); // already mapped: not dirty again
+        m.unmap(0x20000, 8); // never mapped: nothing changed
+        assert_eq!(
+            m.take_dirty(),
+            Some(vec![(0x5000, PAGE_SIZE), (0x9000, PAGE_SIZE)])
+        );
     }
 
     proptest! {

@@ -23,6 +23,11 @@ pub struct TickReport {
     pub toggled: u64,
     /// New `__state` of `toggled`.
     pub state: u64,
+    /// The exact `(addr, len)` byte ranges this tick wrote —
+    /// `se.vruntime` and `utime` of `ran`, `__state` of `toggled`.
+    /// Incremental re-extraction intersects these with the spans each
+    /// retained pane touched.
+    pub dirty: [(u64, u64); 3],
 }
 
 /// Advance the simulated kernel by one scheduling tick (`step` numbers
@@ -63,6 +68,7 @@ pub fn tick(img: &mut KernelImage, roots: &WorkloadRoots, step: u64) -> TickRepo
         vruntime: vr,
         toggled,
         state,
+        dirty: [(ran + vr_off, 8), (ran + ut_off, 8), (toggled + st_off, 4)],
     }
 }
 
@@ -81,6 +87,10 @@ mod tests {
         let r1 = tick(&mut img, &roots, 1);
         assert_eq!(r1.vruntime, before + 4_200_000);
         assert_eq!(r1.state, TASK_INTERRUPTIBLE);
+        // The reported dirty ranges are exactly the three fields written.
+        assert_eq!(r1.dirty[0], (roots.leaders[0] + vr_off, 8));
+        assert_eq!(r1.dirty[1].1, 8);
+        assert_eq!(r1.dirty[2].1, 4);
         assert_eq!(
             img.mem.read_uint(roots.leaders[0] + vr_off, 8).unwrap(),
             r1.vruntime

@@ -62,6 +62,105 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
+/// A normalized set of byte ranges mutated since the previous resume:
+/// sorted, non-overlapping, non-adjacent `(addr, len)` spans.
+///
+/// This is the currency of incremental re-extraction (`vincr`): the
+/// backend reports what the target wrote between stops, the session
+/// intersects it with the spans each retained pane graph touched, and
+/// only intersecting panes re-walk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl DirtySet {
+    /// Normalize raw `(addr, len)` ranges: drop empties, sort, merge
+    /// overlapping and adjacent spans. Deterministic for a given range
+    /// *set* regardless of input order.
+    pub fn from_ranges(raw: impl IntoIterator<Item = (u64, u64)>) -> DirtySet {
+        let mut ranges: Vec<(u64, u64)> = raw.into_iter().filter(|&(_, len)| len > 0).collect();
+        ranges.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        for (addr, len) in ranges {
+            let end = addr.saturating_add(len);
+            if let Some(last) = out.last_mut() {
+                let last_end = last.0.saturating_add(last.1);
+                if addr <= last_end {
+                    if end > last_end {
+                        last.1 = end - last.0;
+                    }
+                    continue;
+                }
+            }
+            out.push((addr, len));
+        }
+        DirtySet { ranges: out }
+    }
+
+    /// The normalized spans.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// No byte is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total dirty bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.ranges.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Whether `addr` lies in a dirty span.
+    pub fn covers(&self, addr: u64) -> bool {
+        let i = self.ranges.partition_point(|&(a, _)| a <= addr);
+        i > 0 && {
+            let (a, len) = self.ranges[i - 1];
+            addr < a.saturating_add(len)
+        }
+    }
+
+    /// Whether any dirty span overlaps any of `spans` (unnormalized ok).
+    pub fn intersects(&self, spans: &[(u64, u64)]) -> bool {
+        spans.iter().any(|&(addr, len)| {
+            if len == 0 {
+                return false;
+            }
+            let end = addr.saturating_add(len);
+            // First dirty span that could start before `end`…
+            let i = self.ranges.partition_point(|&(a, _)| a < end);
+            // …must also end after `addr` to overlap.
+            i > 0 && {
+                let (a, l) = self.ranges[i - 1];
+                a.saturating_add(l) > addr
+            }
+        })
+    }
+}
+
+/// What a backend knows about mutations since the previous resume.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum DirtyInfo {
+    /// The backend cannot say what changed: callers must assume every
+    /// byte may have, and degrade to a full cache nuke + re-walk.
+    #[default]
+    Unknown,
+    /// Exactly these ranges changed (and nothing else).
+    Known(DirtySet),
+}
+
+impl DirtyInfo {
+    /// The dirty set, when known.
+    pub fn known(&self) -> Option<&DirtySet> {
+        match self {
+            DirtyInfo::Unknown => None,
+            DirtyInfo::Known(set) => Some(set),
+        }
+    }
+}
+
 /// A failure reported by the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BackendError {
@@ -119,6 +218,18 @@ pub trait TargetBackend {
         None
     }
 
+    /// Exchange dirty information at a resume boundary. `observed` is
+    /// what the session saw on the live side (the sim image's mutation
+    /// log); the return value is what the session must act on. The
+    /// default — any backend without dirty support — discards the
+    /// observation and reports [`DirtyInfo::Unknown`], degrading the
+    /// caller to a full re-walk. Sim passes the observation through,
+    /// Record additionally tapes it, Replay substitutes the taped set.
+    fn resume_dirty(&self, observed: DirtyInfo) -> DirtyInfo {
+        let _ = observed;
+        DirtyInfo::Unknown
+    }
+
     /// A thread-shareable raw view of the wire, if the transport can
     /// serve overlapped reads. The plan executor uses this to run
     /// discovery walks concurrently; backends whose ordering *is* their
@@ -171,6 +282,11 @@ impl TargetBackend for SimBackend<'_> {
         self.mem.read_cstr(addr, max).map_err(BackendError::Mem)
     }
 
+    fn resume_dirty(&self, observed: DirtyInfo) -> DirtyInfo {
+        // The sim's owner observed the mutations directly; trust them.
+        observed
+    }
+
     fn sync_view(&self) -> Option<&dyn SyncRead> {
         Some(self)
     }
@@ -193,6 +309,55 @@ mod tests {
             assert_eq!(format!("{k}"), k.as_str());
         }
         assert_eq!(BackendKind::from_str_opt("gdb"), None);
+    }
+
+    #[test]
+    fn dirty_set_normalizes_and_intersects() {
+        let d = DirtySet::from_ranges(vec![(0x20, 8), (0x10, 8), (0x18, 8), (0x100, 0)]);
+        assert_eq!(d.ranges(), &[(0x10, 24)]);
+        assert_eq!(d.total_bytes(), 24);
+        assert!(d.covers(0x10));
+        assert!(d.covers(0x27));
+        assert!(!d.covers(0x28));
+        assert!(!d.covers(0xf));
+        assert!(d.intersects(&[(0x27, 1)]));
+        assert!(d.intersects(&[(0x0, 0x11)]));
+        assert!(!d.intersects(&[(0x28, 100)]));
+        assert!(!d.intersects(&[(0x0, 0x10)]));
+        assert!(!d.intersects(&[(0x27, 0)]), "empty spans never intersect");
+        assert!(DirtySet::default().is_empty());
+        assert!(!DirtySet::default().intersects(&[(0, u64::MAX)]));
+        // Order-insensitive normalization.
+        let e = DirtySet::from_ranges(vec![(0x18, 8), (0x10, 8), (0x20, 8)]);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn default_backends_report_unknown_dirty_and_sim_passes_through() {
+        struct Stub;
+        impl TargetBackend for Stub {
+            fn kind(&self) -> BackendKind {
+                BackendKind::Sim
+            }
+            fn describe(&self) -> String {
+                "stub".into()
+            }
+            fn read(&self, _: u64, _: &mut [u8]) -> Result<(), BackendError> {
+                unreachable!()
+            }
+            fn probe(&self, _: u64) -> Result<bool, BackendError> {
+                unreachable!()
+            }
+            fn read_cstr(&self, _: u64, _: usize) -> Result<String, BackendError> {
+                unreachable!()
+            }
+        }
+        let known = DirtyInfo::Known(DirtySet::from_ranges(vec![(8, 4)]));
+        assert_eq!(Stub.resume_dirty(known.clone()), DirtyInfo::Unknown);
+        let mem = Mem::new();
+        let sim = SimBackend::new(&mem);
+        assert_eq!(sim.resume_dirty(known.clone()), known);
+        assert_eq!(sim.resume_dirty(DirtyInfo::Unknown), DirtyInfo::Unknown);
     }
 
     #[test]

@@ -131,6 +131,29 @@ impl BlockCache {
         self.order.borrow_mut().clear();
     }
 
+    /// Selective invalidation: the target resumed, but the backend knows
+    /// exactly which byte ranges it mutated. Drops only the resident
+    /// blocks intersecting a dirty span and advances the epoch; every
+    /// clean block keeps serving reads for free across the resume —
+    /// which is what makes an incremental re-walk cost packets
+    /// proportional to the mutation instead of the view. Returns the
+    /// number of blocks dropped.
+    pub fn invalidate_spans(&self, spans: &[(u64, u64)]) -> usize {
+        self.epoch.set(self.epoch.get() + 1);
+        let bs = self.cfg.block_size;
+        let mut blocks = self.blocks.borrow_mut();
+        let before = blocks.len();
+        blocks.retain(|&base, _| {
+            !spans.iter().any(|&(addr, len)| {
+                len > 0 && addr < base.saturating_add(bs) && addr.saturating_add(len) > base
+            })
+        });
+        self.order
+            .borrow_mut()
+            .retain(|base| blocks.contains_key(base));
+        before - blocks.len()
+    }
+
     /// Number of resident blocks.
     pub fn len(&self) -> usize {
         self.blocks.borrow().len()
@@ -264,6 +287,25 @@ mod tests {
         c.bump_epoch();
         assert_eq!((c.epoch(), c.len()), (1, 0));
         assert!(!c.contains(0));
+    }
+
+    #[test]
+    fn invalidate_spans_drops_only_intersecting_blocks() {
+        let c = BlockCache::new(CacheConfig::default());
+        for base in [0x000u64, 0x100, 0x200, 0x300] {
+            c.insert(base, vec![base as u8; 256].into_boxed_slice());
+        }
+        // A span straddling the 0x100/0x200 boundary kills both blocks;
+        // 0x000 and 0x300 survive the resume.
+        assert_eq!(c.invalidate_spans(&[(0x1f8, 16)]), 2);
+        assert_eq!(c.epoch(), 1, "selective invalidation is still a resume");
+        assert!(c.contains(0x000) && c.contains(0x300));
+        assert!(!c.contains(0x100) && !c.contains(0x200));
+        // Empty spans touch nothing; eviction order stays consistent.
+        assert_eq!(c.invalidate_spans(&[(0x80, 0)]), 0);
+        assert_eq!(c.len(), 2);
+        c.insert(0x400, vec![1u8; 256].into_boxed_slice());
+        assert_eq!(c.len(), 3);
     }
 
     #[test]

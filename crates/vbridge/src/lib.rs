@@ -36,7 +36,9 @@ mod record;
 mod replay;
 mod target;
 
-pub use backend::{BackendError, BackendKind, SimBackend, SyncRead, TargetBackend};
+pub use backend::{
+    BackendError, BackendKind, DirtyInfo, DirtySet, SimBackend, SyncRead, TargetBackend,
+};
 pub use cache::{BlockCache, CacheConfig, CacheSnapshot};
 pub use error::{BridgeError, ErrorKind, Result};
 pub use eval::Evaluator;

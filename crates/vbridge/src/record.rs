@@ -58,6 +58,14 @@ pub enum WireEvent {
         /// The string read, or the faulting address.
         result: std::result::Result<String, u64>,
     },
+    /// The dirty set the live side observed at a resume boundary:
+    /// normalized `(addr, len)` ranges mutated since the previous stop.
+    /// Recorded immediately before the [`Resume`](Self::Resume) marker
+    /// so replay reproduces incremental-refresh decisions exactly.
+    Dirty {
+        /// Normalized dirty ranges.
+        ranges: Vec<(u64, u64)>,
+    },
     /// The target resumed (snapshot epoch boundary).
     Resume,
 }
@@ -69,6 +77,10 @@ impl WireEvent {
             WireEvent::Read { addr, len, .. } => format!("read addr={addr:#x} len={len}"),
             WireEvent::Probe { addr, .. } => format!("probe addr={addr:#x}"),
             WireEvent::Cstr { addr, max, .. } => format!("cstr addr={addr:#x} max={max}"),
+            WireEvent::Dirty { ranges } => {
+                let bytes: u64 = ranges.iter().map(|&(_, len)| len).sum();
+                format!("dirty [{} ranges, {bytes} bytes]", ranges.len())
+            }
             WireEvent::Resume => "resume".to_string(),
         }
     }
@@ -212,6 +224,19 @@ impl TargetBackend for RecordBackend<'_> {
         res
     }
 
+    fn resume_dirty(&self, observed: crate::backend::DirtyInfo) -> crate::backend::DirtyInfo {
+        let info = self.inner.resume_dirty(observed);
+        if let crate::backend::DirtyInfo::Known(set) = &info {
+            // Tape the set so replay reproduces the same refresh
+            // decisions; Unknown tapes nothing, keeping non-incremental
+            // captures byte-identical to the pre-dirty format.
+            self.tape.push(WireEvent::Dirty {
+                ranges: set.ranges().to_vec(),
+            });
+        }
+        info
+    }
+
     fn native_profile(&self) -> Option<LatencyProfile> {
         self.inner.native_profile()
     }
@@ -350,6 +375,15 @@ fn event_to_value(ev: &WireEvent) -> Value {
             num(*max),
             num(*fault),
         ],
+        WireEvent::Dirty { ranges } => vec![
+            Value::String("d".into()),
+            Value::Array(
+                ranges
+                    .iter()
+                    .map(|&(addr, len)| Value::Array(vec![num(addr), num(len)]))
+                    .collect(),
+            ),
+        ],
         WireEvent::Resume => vec![Value::String("z".into())],
     };
     Value::Array(arr)
@@ -401,6 +435,27 @@ fn event_from_value(i: usize, v: &Value) -> Result<WireEvent, String> {
             max: u(2, "max")?,
             result: Err(u(3, "fault")?),
         }),
+        "d" => {
+            let ranges_v = arr
+                .get(1)
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("{ctx} (d): missing or non-array ranges"))?;
+            let mut ranges = Vec::with_capacity(ranges_v.len());
+            for (j, r) in ranges_v.iter().enumerate() {
+                let pair = r
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| format!("{ctx} (d): range {j} is not an [addr, len] pair"))?;
+                let addr = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| format!("{ctx} (d): range {j} has a non-integer addr"))?;
+                let len = pair[1]
+                    .as_u64()
+                    .ok_or_else(|| format!("{ctx} (d): range {j} has a non-integer len"))?;
+                ranges.push((addr, len));
+            }
+            Ok(WireEvent::Dirty { ranges })
+        }
         "z" => Ok(WireEvent::Resume),
         other => Err(format!("{ctx}: unknown opcode `{other}`")),
     }
@@ -554,6 +609,9 @@ mod tests {
                     max: 16,
                     result: Err(0x3004),
                 },
+                WireEvent::Dirty {
+                    ranges: vec![(0xffff_8880_0123_4560, 8), (0x5000, 4)],
+                },
                 WireEvent::Resume,
             ],
         }
@@ -591,6 +649,18 @@ mod tests {
                 r#"{"version":1,"origin":"sim","profile":{"name":"free","base_ns":0,"per_byte_ns":0},"cache":null,"meta":null,"events":[["r",1,2,"abc"]]}"#,
                 "odd-length hex",
             ),
+            (
+                r#"{"version":1,"origin":"sim","profile":{"name":"free","base_ns":0,"per_byte_ns":0},"cache":null,"meta":null,"events":[["d"]]}"#,
+                "missing or non-array ranges",
+            ),
+            (
+                r#"{"version":1,"origin":"sim","profile":{"name":"free","base_ns":0,"per_byte_ns":0},"cache":null,"meta":null,"events":[["d",[[1]]]]}"#,
+                "not an [addr, len] pair",
+            ),
+            (
+                r#"{"version":1,"origin":"sim","profile":{"name":"free","base_ns":0,"per_byte_ns":0},"cache":null,"meta":null,"events":[["d",[[1,"x"]]]]}"#,
+                "non-integer len",
+            ),
         ] {
             let err = Capture::from_json(text).unwrap_err();
             assert!(err.contains(needle), "for {text:?}: got {err:?}");
@@ -625,6 +695,33 @@ mod tests {
         assert_eq!(cap.events[5], WireEvent::Resume);
         assert_eq!(b.kind(), BackendKind::Record);
         assert!(b.describe().contains("record over"));
+    }
+
+    #[test]
+    fn record_backend_tapes_known_dirty_sets_only() {
+        use crate::backend::{DirtyInfo, DirtySet};
+        use kmem::Mem;
+        let mem = Mem::new();
+        let tape = Rc::new(Recorder::new());
+        let b = RecordBackend::new(Box::new(crate::SimBackend::new(&mem)), tape.clone());
+        // Unknown leaves the tape untouched (pre-dirty capture shape).
+        assert_eq!(b.resume_dirty(DirtyInfo::Unknown), DirtyInfo::Unknown);
+        assert!(tape.is_empty());
+        // Known is taped and forwarded through the sim unchanged.
+        let known = DirtyInfo::Known(DirtySet::from_ranges(vec![(0x100, 8), (0x200, 4)]));
+        assert_eq!(b.resume_dirty(known.clone()), known);
+        tape.note_resume();
+        let cap = tape.capture(BackendKind::Sim, LatencyProfile::free(), None, Value::Null);
+        assert_eq!(
+            cap.events,
+            vec![
+                WireEvent::Dirty {
+                    ranges: vec![(0x100, 8), (0x200, 4)]
+                },
+                WireEvent::Resume,
+            ]
+        );
+        assert!(cap.events[0].describe().contains("2 ranges, 12 bytes"));
     }
 
     #[test]

@@ -127,6 +127,27 @@ impl ReplayState {
             .map(|_| ())
     }
 
+    /// Consume the dirty set recorded at the upcoming resume boundary,
+    /// if the capture holds one. Unlike the strict read path this
+    /// *peeks*: captures recorded before dirty tracking existed (or by
+    /// non-incremental sessions) simply have no `Dirty` event before the
+    /// `Resume` marker, and the session then degrades to a full re-walk
+    /// — the same thing the recording session did.
+    pub fn consume_dirty(&self) -> crate::backend::DirtyInfo {
+        use crate::backend::{DirtyInfo, DirtySet};
+        if self.poison.borrow().is_some() {
+            return DirtyInfo::Unknown;
+        }
+        let i = self.pos.get();
+        match self.capture.events.get(i) {
+            Some(WireEvent::Dirty { ranges }) => {
+                self.pos.set(i + 1);
+                DirtyInfo::Known(DirtySet::from_ranges(ranges.iter().copied()))
+            }
+            _ => DirtyInfo::Unknown,
+        }
+    }
+
     /// Advance the cursor over `n` events without serving them — used
     /// when an identical sibling session already walked this span and
     /// published both the result and the span bounds, so re-reading the
@@ -221,6 +242,11 @@ impl TargetBackend for ReplayBackend<'_> {
             } => Err(BackendError::Mem(MemError::Unmapped { addr: *fault })),
             _ => unreachable!("next_matching returned a non-cstr event"),
         }
+    }
+
+    fn resume_dirty(&self, _observed: crate::backend::DirtyInfo) -> crate::backend::DirtyInfo {
+        // Replay has no live image to observe; the tape is the truth.
+        self.state.consume_dirty()
     }
 
     fn native_profile(&self) -> Option<LatencyProfile> {
@@ -332,6 +358,32 @@ mod tests {
         assert!(msg.contains("execution-mode mismatch"), "{msg}");
         assert!(msg.contains("plan-mode"), "{msg}");
         assert!(msg.contains("recorded under interp-mode"), "{msg}");
+    }
+
+    #[test]
+    fn consume_dirty_peeks_and_tolerates_dirty_free_captures() {
+        use crate::backend::{DirtyInfo, DirtySet};
+        // A capture with a taped dirty set before the resume marker.
+        let st = tape(vec![
+            WireEvent::Dirty {
+                ranges: vec![(0x2000, 8), (0x1000, 4)],
+            },
+            WireEvent::Resume,
+        ]);
+        let b = ReplayBackend::new(&st);
+        assert_eq!(
+            b.resume_dirty(DirtyInfo::Unknown),
+            DirtyInfo::Known(DirtySet::from_ranges(vec![(0x1000, 4), (0x2000, 8)]))
+        );
+        st.consume_resume().unwrap();
+        assert_eq!(st.remaining(), 0);
+
+        // A pre-dirty capture: the peek finds the resume marker instead,
+        // reports Unknown, and does NOT advance the cursor.
+        let st = tape(vec![WireEvent::Resume]);
+        assert_eq!(st.consume_dirty(), DirtyInfo::Unknown);
+        assert_eq!(st.position(), 0);
+        st.consume_resume().unwrap();
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The metered debug target.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use kmem::{Mem, MemError, SymbolTable};
@@ -55,6 +55,15 @@ pub struct TargetStats {
     /// Derived from the plan's wave structure, never from thread timing,
     /// so it is deterministic across runs.
     pub parallel_batches: u64,
+    /// Panes served from their retained graph because the dirty set
+    /// missed every span they touched (incremental refresh hits).
+    pub vincr_hits: u64,
+    /// Panes re-walked because the dirty set intersected their touched
+    /// spans — or because the backend reported an unknown dirty set.
+    pub vincr_rewalks: u64,
+    /// Total mutated bytes reported by the backend across resumes
+    /// (0 whenever dirty information was unknown).
+    pub dirty_bytes: u64,
 }
 
 /// A batch of reads to be coalesced into minimal wire spans.
@@ -138,7 +147,12 @@ pub struct Target<'a> {
     plan_nodes: Cell<u64>,
     dedup_walks: Cell<u64>,
     parallel_batches: Cell<u64>,
+    vincr_hits: Cell<u64>,
+    vincr_rewalks: Cell<u64>,
+    dirty_bytes: Cell<u64>,
     plan_mode: Cell<bool>,
+    track_touched: Cell<bool>,
+    touched: RefCell<Vec<(u64, u64)>>,
     tracer: Option<Rc<Tracer>>,
 }
 
@@ -195,7 +209,12 @@ impl<'a> Target<'a> {
             plan_nodes: Cell::new(0),
             dedup_walks: Cell::new(0),
             parallel_batches: Cell::new(0),
+            vincr_hits: Cell::new(0),
+            vincr_rewalks: Cell::new(0),
+            dirty_bytes: Cell::new(0),
             plan_mode: Cell::new(false),
+            track_touched: Cell::new(false),
+            touched: RefCell::new(Vec::new()),
             tracer: None,
         }
     }
@@ -266,6 +285,9 @@ impl<'a> Target<'a> {
             plan_nodes: self.plan_nodes.get(),
             dedup_walks: self.dedup_walks.get(),
             parallel_batches: self.parallel_batches.get(),
+            vincr_hits: self.vincr_hits.get(),
+            vincr_rewalks: self.vincr_rewalks.get(),
+            dirty_bytes: self.dirty_bytes.get(),
         }
     }
 
@@ -281,6 +303,9 @@ impl<'a> Target<'a> {
         self.plan_nodes.set(0);
         self.dedup_walks.set(0);
         self.parallel_batches.set(0);
+        self.vincr_hits.set(0);
+        self.vincr_rewalks.set(0);
+        self.dirty_bytes.set(0);
     }
 
     /// Whether plan-mode extraction owns the prefetch schedule. While
@@ -304,6 +329,51 @@ impl<'a> Target<'a> {
         self.dedup_walks.set(self.dedup_walks.get() + dedups);
         self.parallel_batches
             .set(self.parallel_batches.get() + batches);
+    }
+
+    /// Record the outcome of one incremental refresh: panes kept from
+    /// their retained graph, panes re-walked, and the mutated bytes the
+    /// backend reported. Like the plan counters, these come from a
+    /// deterministic decision, so live runs and replays agree exactly.
+    pub fn note_incr(&self, hits: u64, rewalks: u64, dirty_bytes: u64) {
+        self.vincr_hits.set(self.vincr_hits.get() + hits);
+        self.vincr_rewalks.set(self.vincr_rewalks.get() + rewalks);
+        self.dirty_bytes.set(self.dirty_bytes.get() + dirty_bytes);
+    }
+
+    /// Start or stop recording the address spans metered reads touch.
+    /// While on, every logical read — cache hit or miss — logs its
+    /// requested span so vincr can index what each pane depends on.
+    /// Speculative traffic (prefetch hints, planner span pulls) is
+    /// deliberately excluded: a prefetched byte nobody decoded must not
+    /// force a re-walk.
+    pub fn set_touched_tracking(&self, on: bool) {
+        self.track_touched.set(on);
+    }
+
+    /// Whether touched-span recording is on.
+    pub fn touched_tracking(&self) -> bool {
+        self.track_touched.get()
+    }
+
+    /// Drain the recorded touched spans (in access order, with adjacent
+    /// requests coalesced).
+    pub fn take_touched(&self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut *self.touched.borrow_mut())
+    }
+
+    fn note_touched(&self, addr: u64, len: u64) {
+        if len == 0 || !self.track_touched.get() {
+            return;
+        }
+        let mut touched = self.touched.borrow_mut();
+        if let Some(last) = touched.last_mut() {
+            if last.0 + last.1 == addr {
+                last.1 += len;
+                return;
+            }
+        }
+        touched.push((addr, len));
     }
 
     /// A thread-shareable raw view of the wire, if the backend supports
@@ -435,6 +505,7 @@ impl<'a> Target<'a> {
 
     /// Read raw bytes (metered).
     pub fn read(&self, addr: u64, out: &mut [u8]) -> Result<()> {
+        self.note_touched(addr, out.len() as u64);
         match self.cache {
             None => {
                 self.account(addr, out.len() as u64);
@@ -448,6 +519,7 @@ impl<'a> Target<'a> {
 
     /// Read an unsigned little-endian integer of `size` bytes (metered).
     pub fn read_uint(&self, addr: u64, size: usize) -> Result<u64> {
+        self.note_touched(addr, size as u64);
         match self.cache {
             None => {
                 self.account(addr, size as u64);
@@ -467,6 +539,7 @@ impl<'a> Target<'a> {
 
     /// Read a signed integer (metered).
     pub fn read_int(&self, addr: u64, size: usize) -> Result<i64> {
+        self.note_touched(addr, size as u64);
         match self.cache {
             None => {
                 self.account(addr, size as u64);
@@ -501,6 +574,7 @@ impl<'a> Target<'a> {
             }
             Err(_) => 1,
         };
+        self.note_touched(addr, fetched);
         match self.cache {
             None => {
                 let mut rem = fetched;
@@ -525,6 +599,7 @@ impl<'a> Target<'a> {
     /// Whether `addr` is mapped (metered as a 1-byte probe). Errors only
     /// when the backend itself fails (e.g. a replay divergence).
     pub fn is_mapped(&self, addr: u64) -> Result<bool> {
+        self.note_touched(addr, 1);
         self.account(addr, 1);
         self.backend.probe(addr).map_err(BridgeError::from)
     }
@@ -611,7 +686,8 @@ impl<'a> Target<'a> {
     pub fn read_many(&self, plan: &ReadPlan) -> Result<Vec<Vec<u8>>> {
         match self.cache {
             None => {
-                // Uncached: the baseline cost model, one packet per request.
+                // Uncached: the baseline cost model, one packet per request
+                // (`read` logs each request's touched span).
                 plan.reqs
                     .iter()
                     .map(|&(addr, len)| {
@@ -622,6 +698,9 @@ impl<'a> Target<'a> {
                     .collect()
             }
             Some(cache) => {
+                for &(addr, len) in &plan.reqs {
+                    self.note_touched(addr, len);
+                }
                 let mut packets = 0u64;
                 if cache.config().coalesce {
                     // Each merged span travels as one packet.
@@ -1007,6 +1086,48 @@ mod tests {
             "all counters byte-identical; only the identity differs"
         );
         assert_eq!(state.remaining(), 0, "every recorded event consumed");
+    }
+
+    #[test]
+    fn touched_tracking_logs_logical_reads_not_prefetch() {
+        let (img, _t, roots) = workload::build(&WorkloadConfig::default()).finish();
+        let cache = BlockCache::new(CacheConfig::default());
+        let target = Target::with_cache(
+            &img.mem,
+            &img.types,
+            &img.symbols,
+            LatencyProfile::free(),
+            &cache,
+        );
+        // Off by default: nothing is logged.
+        let _ = target.read_uint(roots.init_task, 8).unwrap();
+        assert!(target.take_touched().is_empty());
+        target.set_touched_tracking(true);
+        assert!(target.touched_tracking());
+        // Prefetch pulls a whole span but is speculative — not touched.
+        target.prefetch(roots.init_task + 0x800, 256);
+        let _ = target.read_uint(roots.init_task, 8).unwrap();
+        let _ = target.read_uint(roots.init_task + 8, 4).unwrap(); // coalesces
+        let _ = target.read_uint(roots.init_task + 0x100, 8).unwrap();
+        assert_eq!(
+            target.take_touched(),
+            vec![(roots.init_task, 12), (roots.init_task + 0x100, 8)]
+        );
+        // The drain resets the log; cache hits still record.
+        let _ = target.read_uint(roots.init_task, 8).unwrap();
+        assert_eq!(target.take_touched(), vec![(roots.init_task, 8)]);
+    }
+
+    #[test]
+    fn note_incr_accumulates_and_resets() {
+        let (img, _t, _roots) = workload::build(&WorkloadConfig::default()).finish();
+        let target = Target::new(&img.mem, &img.types, &img.symbols, LatencyProfile::free());
+        target.note_incr(3, 1, 20);
+        target.note_incr(2, 0, 0);
+        let s = target.stats();
+        assert_eq!((s.vincr_hits, s.vincr_rewalks, s.dirty_bytes), (5, 1, 20));
+        target.reset_stats();
+        assert_eq!(target.stats(), TargetStats::default());
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub fn record_capture(figs: &[String], rounds: u64) -> Capture {
             let roots = s.roots.clone();
             s.stop_event(|img| {
                 ksim::tick::tick(img, &roots, round);
-            });
+            })
+            .expect("live stop");
         }
         for fig in figs {
             s.extract(fig).expect("record extract");

@@ -392,6 +392,16 @@ impl<'p> Compiler<'p> {
                     _ => {}
                 }
             }
+            RValue::SelectFrom { source, .. } => {
+                // `Array.selectFrom(src, T)` filters boxes its source
+                // walk discovers; the filter itself reads no target
+                // memory, so planning the source plans the pane. A
+                // `@ref` source names a where-bound box whose walk was
+                // planned at its definition site — recursing finds
+                // nothing plannable there and the subtree stays with
+                // the interpreter, same as any unplannable root.
+                self.scan(source, ctx, out);
+            }
             RValue::AnonBox { items, wheres, .. } => {
                 for (_, rv) in wheres {
                     self.scan(rv, ctx, out);
@@ -1411,6 +1421,45 @@ plot @files
         // Two-arg array roots stay with the interpreter; the program
         // has no seed either.
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn select_from_plans_its_source_walk() {
+        let src = r#"
+define Task as Box<task_struct> [ Text pid ]
+all = List(${&init_task.tasks}).forEach |n| {
+    yield Task<task_struct.tasks>(@n)
+}
+picked = Array.selectFrom(List(${&init_task.tasks}).forEach |n| { yield NULL }, Task)
+plot @picked
+"#;
+        let plan = compile(&parse_program(src).unwrap());
+        // Both the standalone walk and the one inside selectFrom plan.
+        assert_eq!(plan.top.len(), 2);
+        assert!(plan
+            .top
+            .iter()
+            .all(|&i| plan.nodes[i].kind == CtorKind::List));
+    }
+
+    #[test]
+    fn select_from_ref_source_keeps_skip_path() {
+        let src = r#"
+define Task as Box<task_struct> [
+    Text pid
+    Container kids: List(${&@this.children}).forEach |n| { yield NULL }
+]
+t = Task(${&init_task})
+picked = Array.selectFrom(@t, Task)
+plot @picked
+"#;
+        let plan = compile(&parse_program(src).unwrap());
+        // The `@t` source is a reference to an already-built box: the
+        // selectFrom contributes no walk of its own, but the seed and
+        // the box's inner walk still plan.
+        assert!(plan.top.is_empty());
+        assert_eq!(plan.seeds.len(), 1);
+        assert_eq!(plan.boxes["Task"].walks.len(), 1);
     }
 
     #[test]

@@ -471,7 +471,7 @@ impl Server {
                 // stop is deferred too: a replay tape must observe walks
                 // and resume marks in original order.
                 if self.lag.is_empty() {
-                    self.session.stop_event(mutate);
+                    self.apply_stop(mutate);
                 } else {
                     self.lag.push(LagOp::Stop(mutate));
                 }
@@ -668,10 +668,24 @@ impl Server {
                         .map_err(|e| format!("catch-up walk of `{src}` failed: {e}"))?;
                     self.stats.catchup_walks += 1;
                 }
-                LagOp::Stop(mutate) => self.session.stop_event(mutate),
+                LagOp::Stop(mutate) => self.apply_stop(mutate),
             }
         }
         Ok(())
+    }
+
+    /// Advance the session across a stop. A replay session refuses
+    /// image mutation ([`Session::stop_event`] errors loudly there —
+    /// the tape already holds the recorded kernel's changes), so the
+    /// engine advances its cursor with a bare resume instead.
+    fn apply_stop(&mut self, mutate: Box<dyn FnOnce(&mut KernelImage) + Send>) {
+        if self.session.backend_kind() == BackendKind::Replay {
+            self.session.resume();
+        } else {
+            self.session
+                .stop_event(mutate)
+                .expect("live sessions accept stop events");
+        }
     }
 
     /// Serve one `vplot_request`: memoized extraction, then a full ship

@@ -86,7 +86,8 @@ fn deltas_reconstruct_and_beat_full_ships_across_the_corpus() {
     let mut solo = attach();
     solo.stop_event(|img| {
         ksim::tick::tick(img, &roots, 1);
-    });
+    })
+    .expect("live stop");
 
     let mut small_deltas = 0usize;
     for (id, viewcl, wire_len, was_delta) in &replies {

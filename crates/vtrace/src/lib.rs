@@ -60,6 +60,9 @@ pub enum SpanKind {
     /// Plan-mode extraction: walk-plan compilation, one scheduler wave,
     /// or one plan-node walk + span fetch.
     Plan,
+    /// Incremental refresh: the dirty-set intersection decision plus
+    /// (on a rewalk) the splice into the retained graph.
+    Incr,
     /// One ViewQL program applied to a pane.
     Query,
     /// One ViewQL clause (statement).
@@ -84,6 +87,7 @@ impl SpanKind {
             SpanKind::Interp => "interp",
             SpanKind::Distill => "distill",
             SpanKind::Plan => "plan",
+            SpanKind::Incr => "incr",
             SpanKind::Query => "query",
             SpanKind::Clause => "clause",
             SpanKind::Render => "render",

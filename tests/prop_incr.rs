@@ -1,0 +1,102 @@
+//! Property: ksim dirty sets are sound and tight, and incremental
+//! refresh is extraction-transparent.
+//!
+//! 1. **Sound & tight.** For any random tick sequence, the image's
+//!    write log covers every byte the ticks changed (each
+//!    `TickReport.dirty` range falls inside the logged set) and covers
+//!    *nothing else* (every logged range falls inside the union of the
+//!    reported tick writes) — the log neither misses a mutation nor
+//!    pads one.
+//!
+//! 2. **Transparent.** For a random pane subset extracted between the
+//!    stops of a random tick sequence, an incremental session's graphs
+//!    are byte-identical to a plain session's fresh extractions at
+//!    every stop — whether the refresh decision was a keep or a
+//!    re-walk, and under either latency profile.
+
+use ksim::workload::{build, WorkloadConfig};
+use proptest::prelude::*;
+use vbridge::{CacheConfig, DirtySet, LatencyProfile};
+use visualinux::{figures, Session};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dirty_sets_are_sound_and_tight(
+        steps in proptest::collection::vec(0u64..64, 1..8),
+        processes in 2usize..7,
+        seed in 0u64..32,
+    ) {
+        let cfg = WorkloadConfig { processes, seed, ..WorkloadConfig::default() };
+        let (mut img, _types, roots) = build(&cfg).finish();
+        img.mem.enable_dirty_tracking();
+        let mut written: Vec<(u64, u64)> = Vec::new();
+        for &step in &steps {
+            let report = ksim::tick::tick(&mut img, &roots, step);
+            written.extend_from_slice(&report.dirty);
+        }
+        let logged = DirtySet::from_ranges(
+            img.mem.take_dirty().expect("tracking is on"),
+        );
+        let reported = DirtySet::from_ranges(written.iter().copied());
+        // Sound: every byte a tick reported writing is in the log.
+        for &(addr, len) in reported.ranges() {
+            for b in addr..addr + len {
+                prop_assert!(logged.covers(b), "changed byte {b:#x} not logged");
+            }
+        }
+        // Tight: the log contains nothing the ticks did not write.
+        for &(addr, len) in logged.ranges() {
+            for b in addr..addr + len {
+                prop_assert!(reported.covers(b), "logged byte {b:#x} never written");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_refresh_equals_fresh_extraction(
+        subset in proptest::collection::vec(0usize..21, 1..5),
+        steps in proptest::collection::vec(0u64..64, 1..4),
+        profile_coin in 0u8..2,
+        seed in 0u64..32,
+    ) {
+        let profile = if profile_coin == 0 {
+            LatencyProfile::gdb_qemu()
+        } else {
+            LatencyProfile::kgdb_rpi400()
+        };
+        let cfg = WorkloadConfig { seed, ..WorkloadConfig::default() };
+        let mut incr = Session::builder(build(&cfg))
+            .profile(profile)
+            .cache(CacheConfig::default())
+            .incremental()
+            .attach()
+            .unwrap();
+        let mut fresh = Session::builder(build(&cfg)).profile(profile).attach().unwrap();
+
+        let extract_all = |incr: &Session, fresh: &Session| -> Result<(), TestCaseError> {
+            for &idx in &subset {
+                let fig = &figures::all()[idx];
+                let (g_i, _) = incr.extract(fig.viewcl).expect(fig.id);
+                let (g_f, _) = fresh.extract(fig.viewcl).expect(fig.id);
+                prop_assert_eq!(
+                    g_i.to_json(),
+                    g_f.to_json(),
+                    "incremental drift on {}",
+                    fig.id
+                );
+            }
+            Ok(())
+        };
+
+        extract_all(&incr, &fresh)?;
+        for &step in &steps {
+            let roots = incr.roots.clone();
+            incr.stop_event(|img| { ksim::tick::tick(img, &roots, step); }).unwrap();
+            let roots = fresh.roots.clone();
+            fresh.stop_event(|img| { ksim::tick::tick(img, &roots, step); }).unwrap();
+            extract_all(&incr, &fresh)?;
+        }
+    }
+}
