@@ -18,19 +18,29 @@
 //! machine with the engines, so piling on clients measures scheduler
 //! contention, not engine scaling.
 //!
+//! Soak mode (`--soak`): 256 binary-framed wire connections (default;
+//! `--soak-clients`) hammer one evented `WirePump` + engine with the
+//! figure corpus, once without and once with a deliberately *stalled*
+//! client that queues the whole corpus and never reads a reply. The
+//! pump must cap the zombie's lane (`WireStats::stalled_skips > 0`)
+//! and healthy aggregate req/s must stay within 10% of the zombie-free
+//! baseline; the run exits non-zero otherwise (the CI `wire` gate).
+//!
 //! ```text
 //! cargo run -p bench --bin serve_bench              # 4 clients, 3 stops
 //! cargo run -p bench --bin serve_bench -- --clients 8 --stops 5
 //! cargo run -p bench --bin serve_bench -- --fleet --engines 4 --fleet-clients 2
+//! cargo run -p bench --bin serve_bench -- --soak --soak-clients 256
 //! ```
 //!
 //! Emits `BENCH_serve.json` (override with `$BENCH_SERVE_OUT`) with
 //! requests/sec, per-request p50/p95 wall-clock latency, the worst
 //! single client's p95/max latency, coalesce rate, and
 //! delta_bytes_saved per profile — plus, under `--fleet`, the
-//! baseline/fleet comparison with aggregate req/s and scaling.
-//! Exits non-zero if any `ServeStats`/`FleetStats` fail to reconcile,
-//! or if fleet scaling falls under the gate.
+//! baseline/fleet comparison with aggregate req/s and scaling, and,
+//! under `--soak`, the baseline/stalled comparison with per-run
+//! `WireStats`. Exits non-zero if any `ServeStats`/`FleetStats` fail
+//! to reconcile, or if a fleet/soak gate is missed.
 
 use std::sync::{mpsc, Arc, Barrier};
 use std::thread;
@@ -40,13 +50,21 @@ use bench::TablePrinter;
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::{CacheConfig, Capture, LatencyProfile};
 use vfleet::{Fleet, FleetConfig, FleetStats};
-use visualinux::proto::VCommand;
+use visualinux::proto::{VCommand, VERSION};
 use visualinux::{figures, Session, SessionSpec};
-use vserve::{Replica, ServeConfig, ServeStats, Server, ServerHandle};
+use vserve::framing::{hello_frame, parse_verdict, BinaryFraming, DecodeBuf, Framing};
+use vserve::{
+    byte_pair, Io, Replica, SendMode, ServeConfig, ServeStats, Server, ServerHandle,
+    SingleSession, WireClient, WireConfig, WirePump, WireStats,
+};
 
 /// How much faster an N-engine replay fleet must aggregate over one
 /// engine for the run to pass.
 const FLEET_SCALING_GATE: f64 = 2.0;
+
+/// How much healthy aggregate throughput may drop when one stalled
+/// client joins the soak (`--soak`) before the run fails.
+const SOAK_DEGRADATION_GATE: f64 = 0.10;
 
 struct ProfileResult {
     name: &'static str,
@@ -140,6 +158,33 @@ struct FleetDoc {
     scaling_gate: f64,
 }
 
+/// One soak run (with or without the stalled client) in
+/// `BENCH_serve.json`.
+#[derive(serde::Serialize)]
+struct SoakRunDoc {
+    healthy_clients: usize,
+    stalled_clients: usize,
+    requests: u64,
+    elapsed_s: f64,
+    requests_per_sec: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    worst_client_p95_ms: f64,
+    worst_client_max_ms: f64,
+    wire: WireStats,
+}
+
+/// The `--soak` comparison in `BENCH_serve.json`.
+#[derive(serde::Serialize)]
+struct SoakDoc {
+    frames_per_client: usize,
+    baseline: SoakRunDoc,
+    stalled: SoakRunDoc,
+    /// Fractional healthy-throughput drop with the stalled client in.
+    degradation: f64,
+    degradation_gate: f64,
+}
+
 /// The whole `BENCH_serve.json` document.
 #[derive(serde::Serialize)]
 struct BenchDoc {
@@ -150,6 +195,8 @@ struct BenchDoc {
     profiles: Vec<ProfileDoc>,
     #[serde(skip_serializing_if = "Option::is_none")]
     fleet: Option<FleetDoc>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    soak: Option<SoakDoc>,
 }
 
 fn run_profile(
@@ -197,13 +244,13 @@ fn run_profile(
                         let sent = Instant::now();
                         conn.send(&VCommand::VplotRequest {
                             viewcl: fig.viewcl.to_string(),
-                        })
+                        }, SendMode::Blocking)
                         .expect("send");
                         let line = conn.recv().expect("reply");
                         latencies_ns.push(sent.elapsed().as_nanos() as u64);
                         replica.apply_line(&line).expect("apply");
                         if let Some(ack) = replica.ack(fig.viewcl) {
-                            conn.send(&ack).expect("ack");
+                            conn.send(&ack, SendMode::Blocking).expect("ack");
                             conn.recv().expect("ack reply");
                         }
                     }
@@ -335,7 +382,7 @@ fn run_fleet(
                         sent_at.push(Instant::now());
                         conn.send(&VCommand::VplotRequest {
                             viewcl: fig.viewcl.to_string(),
-                        })
+                        }, SendMode::Blocking)
                         .expect("send");
                     }
                     for sent in sent_at {
@@ -374,6 +421,222 @@ fn run_fleet(
     }
 }
 
+struct SoakRunResult {
+    healthy: usize,
+    stalled: usize,
+    requests: u64,
+    elapsed_s: f64,
+    per_client_ns: Vec<Vec<u64>>,
+    wire: WireStats,
+    stats: ServeStats,
+}
+
+/// Soak the evented wire pump: `healthy` binary-framed clients each
+/// walk the figure corpus `frames + 1` requests deep, synchronously,
+/// while `stalled` extra clients queue the whole corpus several times
+/// over and then never read a byte of their replies. The pump must cap
+/// each stalled lane (a few buffered chunks, then `outbuf_limit`, then
+/// admission control) and keep round-robining the healthy lanes —
+/// aggregate healthy throughput is the measure.
+fn run_soak(healthy: usize, stalled: usize, frames: usize) -> SoakRunResult {
+    let viewcls: Vec<String> = figures::all()
+        .iter()
+        .map(|f| f.viewcl.to_string())
+        .collect();
+    let (tx, rx) = mpsc::channel();
+    let engine = thread::spawn(move || {
+        let session = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::free())
+            .cache(CacheConfig::default())
+            .attach()
+            .unwrap();
+        let mut server = Server::new(
+            session,
+            ServeConfig {
+                exit_when_idle: false,
+                ..ServeConfig::default()
+            },
+        );
+        tx.send(server.handle()).unwrap();
+        server.run();
+        server.stats()
+    });
+    let handle: ServerHandle = rx.recv().unwrap();
+    let pump = WirePump::new(
+        Box::new(SingleSession::new(handle.clone())),
+        WireConfig {
+            // Low enough that a stalled client's plot replies (one
+            // corpus of full plots is ~225 KiB) hit the cap — the stall
+            // path proper, not just admission control.
+            outbuf_limit: 96 << 10,
+            ..WireConfig::default()
+        },
+    );
+    let ph = pump.handle();
+    let pump_thread = thread::spawn(move || pump.run());
+
+    // Warm the walk memo identically in both runs before the clock
+    // starts: the stalled client queues the whole corpus, so without
+    // this it would pre-pay the 21 walks only in the stalled run and
+    // bias the baseline comparison.
+    let warm = handle.connect();
+    for viewcl in &viewcls {
+        warm.send(
+            &VCommand::VplotRequest {
+                viewcl: viewcl.clone(),
+            },
+            SendMode::Blocking,
+        )
+        .expect("warmup send");
+        warm.recv().expect("warmup reply");
+    }
+    warm.close();
+
+    // The stalled clients first: a manual binary handshake, then four
+    // passes over the whole figure corpus batched into a *single*
+    // write, then silence — not one reply byte is ever read. Batching
+    // matters: once the lane stalls the pump stops reading it, so a
+    // zombie must never again depend on its sends draining. Keep the
+    // io handles alive so the lanes stay open (and stalled) all run.
+    // The tiny byte channel means a couple of reply chunks fit, then
+    // the pump's writes would block, its lane out-buffer fills to the
+    // cap, and the stall machinery takes over.
+    let zombies: Vec<Box<dyn Io>> = (0..stalled)
+        .map(|_| {
+            let (mut io, srv_io) = byte_pair(2);
+            ph.add(Box::new(srv_io)).expect("pump add");
+            let mut done = 0;
+            let hello = hello_frame(VERSION);
+            while done < hello.len() {
+                match io.write(&hello[done..]) {
+                    Ok(n) => done += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::yield_now(),
+                    Err(e) => panic!("stalled hello: {e}"),
+                }
+            }
+            let mut verdict = DecodeBuf::new();
+            let mut chunk = [0u8; 64];
+            loop {
+                match parse_verdict(&mut verdict, VERSION) {
+                    Ok(Some(())) => break,
+                    Ok(None) => {}
+                    Err(e) => panic!("stalled handshake: {e}"),
+                }
+                match io.read(&mut chunk) {
+                    Ok(0) => panic!("pump closed the stalled lane during handshake"),
+                    Ok(n) => verdict.extend(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::yield_now(),
+                    Err(e) => panic!("stalled verdict: {e}"),
+                }
+            }
+            let framing = BinaryFraming::default();
+            let mut bulk = Vec::new();
+            for i in 0..4 * viewcls.len() {
+                let cmd = VCommand::VplotRequest {
+                    viewcl: viewcls[i % viewcls.len()].clone(),
+                };
+                framing.encode(&cmd.to_json(), &mut bulk);
+            }
+            let mut done = 0;
+            while done < bulk.len() {
+                match io.write(&bulk[done..]) {
+                    Ok(n) => done += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::yield_now(),
+                    Err(e) => panic!("stalled bulk send: {e}"),
+                }
+            }
+            Box::new(io) as Box<dyn Io>
+        })
+        .collect();
+
+    // 256 wire connections do not get 256 OS threads: on a small (even
+    // single-core) runner, thread thrash — not the pump — would
+    // dominate and starve everything. A few worker threads each
+    // multiplex a slice of connections, batch-sending a round and then
+    // draining it, so every connection still keeps a request in flight
+    // concurrently and the pump still juggles `healthy` live lanes.
+    let threads = healthy.min(8);
+    // The bench thread joins the rendezvous too, so the clock starts
+    // when the last handshake lands, not when the spawn loop ends.
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let conns = healthy / threads + usize::from(t < healthy % threads);
+            let ios: Vec<_> = (0..conns)
+                .map(|_| {
+                    let (io, srv_io) = byte_pair(64);
+                    ph.add(Box::new(srv_io)).expect("pump add");
+                    io
+                })
+                .collect::<Vec<_>>();
+            let viewcls = viewcls.clone();
+            let barrier = barrier.clone();
+            thread::spawn(move || {
+                let mut clients: Vec<WireClient> = ios
+                    .into_iter()
+                    .map(|io| WireClient::binary(Box::new(io)).expect("handshake"))
+                    .collect();
+                barrier.wait();
+                let mut latencies_ns: Vec<Vec<u64>> = vec![Vec::new(); clients.len()];
+                for i in 0..=frames {
+                    let viewcl = &viewcls[i % viewcls.len()];
+                    let round = Instant::now();
+                    for c in clients.iter_mut() {
+                        c.send(&VCommand::VplotRequest {
+                            viewcl: viewcl.clone(),
+                        })
+                        .expect("send");
+                    }
+                    for (c, lat) in clients.iter_mut().zip(latencies_ns.iter_mut()) {
+                        let reply = c.recv().expect("recv").expect("plot reply");
+                        assert!(reply.contains("vplot"), "{reply}");
+                        lat.push(round.elapsed().as_nanos() as u64);
+                    }
+                }
+                latencies_ns
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    let per_client_ns: Vec<Vec<u64>> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("healthy client"))
+        .collect();
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    drop(zombies);
+    handle.shutdown();
+    let stats = engine.join().expect("engine");
+    ph.shutdown();
+    let wire = pump_thread.join().expect("pump");
+    SoakRunResult {
+        healthy,
+        stalled,
+        requests: (healthy * (frames + 1)) as u64,
+        elapsed_s,
+        per_client_ns,
+        wire,
+        stats,
+    }
+}
+
+fn soak_run_doc(r: &SoakRunResult) -> SoakRunDoc {
+    let lat = latencies(&r.per_client_ns);
+    SoakRunDoc {
+        healthy_clients: r.healthy,
+        stalled_clients: r.stalled,
+        requests: r.requests,
+        elapsed_s: r.elapsed_s,
+        requests_per_sec: r.requests as f64 / r.elapsed_s,
+        p50_ms: lat.p50_ms,
+        p95_ms: lat.p95_ms,
+        worst_client_p95_ms: lat.worst_client_p95_ms,
+        worst_client_max_ms: lat.worst_client_max_ms,
+        wire: r.wire,
+    }
+}
+
 fn fleet_run_doc(r: &FleetRunResult) -> FleetRunDoc {
     let lat = latencies(&r.per_client_ns);
     FleetRunDoc {
@@ -396,9 +659,25 @@ fn main() {
     let mut fleet_mode = false;
     let mut engines = 4usize;
     let mut fleet_clients = 2usize;
+    let mut soak_mode = false;
+    let mut soak_clients = 256usize;
+    let mut soak_frames = 24usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--soak" => soak_mode = true,
+            "--soak-clients" => {
+                soak_clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--soak-clients N")
+            }
+            "--soak-frames" => {
+                soak_frames = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--soak-frames N")
+            }
             "--clients" => {
                 clients = args
                     .next()
@@ -423,7 +702,7 @@ fn main() {
                 eprintln!(
                     "unknown flag {other}; usage: \
                      serve_bench [--clients N] [--stops N] [--fleet] [--engines N] \
-                     [--fleet-clients N]"
+                     [--fleet-clients N] [--soak] [--soak-clients N] [--soak-frames N]"
                 );
                 std::process::exit(2);
             }
@@ -535,6 +814,56 @@ fn main() {
         None
     };
 
+    let soak = if soak_mode {
+        println!("\nsoak baseline: {soak_clients} healthy wire clients, none stalled");
+        let baseline = run_soak(soak_clients, 0, soak_frames);
+        println!("soak run: {soak_clients} healthy wire clients + 1 stalled");
+        let hostile = run_soak(soak_clients, 1, soak_frames);
+        for (name, r) in [("soak baseline", &baseline), ("soak", &hostile)] {
+            if let Err(e) = r.wire.reconcile() {
+                eprintln!("{name}: WireStats do not reconcile: {e}");
+                failed = true;
+            }
+            if let Err(e) = r.stats.reconcile() {
+                eprintln!("{name}: ServeStats do not reconcile: {e}");
+                failed = true;
+            }
+        }
+        if hostile.wire.stalled_skips == 0 {
+            eprintln!("soak: the stalled client never tripped the stall cap");
+            failed = true;
+        }
+        let bdoc = soak_run_doc(&baseline);
+        let sdoc = soak_run_doc(&hostile);
+        let degradation = 1.0 - sdoc.requests_per_sec / bdoc.requests_per_sec;
+        println!(
+            "soak: healthy {} req/s with the stalled client vs {} req/s without \
+             -> degradation {:.1}% (gate {:.0}%); {} stalled-lane skips",
+            sdoc.requests_per_sec as u64,
+            bdoc.requests_per_sec as u64,
+            degradation * 100.0,
+            SOAK_DEGRADATION_GATE * 100.0,
+            hostile.wire.stalled_skips,
+        );
+        if degradation > SOAK_DEGRADATION_GATE {
+            eprintln!(
+                "soak degradation {:.1}% over the {:.0}% gate",
+                degradation * 100.0,
+                SOAK_DEGRADATION_GATE * 100.0
+            );
+            failed = true;
+        }
+        Some(SoakDoc {
+            frames_per_client: soak_frames,
+            baseline: bdoc,
+            stalled: sdoc,
+            degradation,
+            degradation_gate: SOAK_DEGRADATION_GATE,
+        })
+    } else {
+        None
+    };
+
     let out = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
     let doc = BenchDoc {
         bench: "serve",
@@ -543,6 +872,7 @@ fn main() {
         figures: figures::all().len(),
         profiles,
         fleet,
+        soak,
     };
     std::fs::write(&out, serde_json::to_string_pretty(&doc).expect("encode")).expect("write");
     println!("\nwrote {out}");

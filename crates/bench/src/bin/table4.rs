@@ -242,7 +242,7 @@ fn run_serve() {
     use ksim::workload::{build, WorkloadConfig};
     use std::sync::mpsc;
     use visualinux::proto::VCommand;
-    use vserve::{Replica, ServeConfig, Server};
+    use vserve::{Replica, SendMode, ServeConfig, Server};
     use vtrace::Counters;
 
     println!("Table 4 (--serve): serving footnote, KGDB profile (virtual time)\n");
@@ -271,7 +271,7 @@ fn run_serve() {
                 let fig = figures::by_id(id).expect("figure exists");
                 conn.send(&VCommand::VplotRequest {
                     viewcl: fig.viewcl.to_string(),
-                })
+                }, SendMode::Blocking)
                 .expect("send");
                 replica
                     .apply_line(&conn.recv().expect("reply"))

@@ -11,6 +11,19 @@ use serde::{Deserialize, Serialize};
 use vgraph::{Graph, GraphDelta};
 use vpanels::{PaneId, SplitDir};
 
+/// The protocol revision this build speaks. Negotiated (and pinned) by
+/// the binary wire handshake (`vserve::framing`): a peer announcing a
+/// different revision is rejected loudly, naming both versions, instead
+/// of silently misparsing frames. Newline-JSON connections predate the
+/// handshake and are treated as implicitly compatible; clients stamp the
+/// revision into every [`VCommand::Vack`] so the serving side can still
+/// observe what its peers speak.
+///
+/// History: 1 = the blocking newline-JSON protocol (PR 4–9);
+/// 2 = length-prefixed binary framing + hello/accept negotiation +
+/// version-stamped acks.
+pub const VERSION: u16 = 2;
+
 /// A message from the GDB side to the visualizer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "command", rename_all = "snake_case")]
@@ -73,6 +86,10 @@ pub enum VCommand {
         source: String,
         /// Last sequence number applied client-side.
         seq: u64,
+        /// The protocol revision the acking client speaks
+        /// ([`VERSION`]); `0` from peers that predate version stamping.
+        #[serde(default)]
+        proto: u16,
     },
     /// `vattach`: routing frame — the **first** line on a fleet
     /// (`vfleet`) connection names the session the client wants; every

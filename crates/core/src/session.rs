@@ -507,35 +507,6 @@ impl Session {
         }
     }
 
-    /// Attach to a built workload using the given latency profile.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::builder(workload).profile(profile).attach()`"
-    )]
-    pub fn attach(workload: Workload, profile: LatencyProfile) -> Session {
-        Session::builder(workload)
-            .profile(profile)
-            .attach()
-            .expect("live attach cannot fail")
-    }
-
-    /// Attach with the snapshot block cache enabled.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::builder(workload).profile(profile).cache(cfg).attach()`"
-    )]
-    pub fn attach_with_cache(
-        workload: Workload,
-        profile: LatencyProfile,
-        cfg: CacheConfig,
-    ) -> Session {
-        Session::builder(workload)
-            .profile(profile)
-            .cache(cfg)
-            .attach()
-            .expect("live attach cannot fail")
-    }
-
     /// Whether the bridge cache is enabled.
     pub fn cache_enabled(&self) -> bool {
         self.cache.is_some()
@@ -968,29 +939,11 @@ impl Session {
         }
     }
 
-    /// *vplot* of a raw ViewCL program.
-    #[deprecated(since = "0.1.0", note = "use `Session::plot(PlotSpec::Source(src))`")]
-    pub fn vplot(&mut self, viewcl_src: &str) -> Result<PaneId> {
-        self.plot(PlotSpec::Source(viewcl_src))
-    }
-
     fn plot_labeled(&mut self, viewcl_src: &str, label: &str) -> Result<PaneId> {
         let (graph, stats) = self.extract_labeled(viewcl_src, label)?;
         let pane = self.adopt_graph(graph, Some(stats))?;
         self.record_trace(pane);
         Ok(pane)
-    }
-
-    /// *vplot* with synthesized "naive" ViewCL.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::plot(PlotSpec::Auto { ctype, root })`"
-    )]
-    pub fn vplot_auto(&mut self, ctype: &str, root_expr: &str) -> Result<PaneId> {
-        self.plot(PlotSpec::Auto {
-            ctype,
-            root: root_expr,
-        })
     }
 
     /// Generate the naive ViewCL program used by [`PlotSpec::Auto`]
@@ -1083,12 +1036,6 @@ plot @root
             self.stats.insert(pane, s);
         }
         Ok(pane)
-    }
-
-    /// *vplot* of a library figure by id (e.g. `"fig7-1"`).
-    #[deprecated(since = "0.1.0", note = "use `Session::plot(PlotSpec::Figure(id))`")]
-    pub fn vplot_figure(&mut self, id: &str) -> Result<PaneId> {
-        self.plot(PlotSpec::Figure(id))
     }
 
     /// *vctrl*: apply a ViewQL program to a pane.

@@ -1,8 +1,10 @@
 //! Public-API snapshot: the exported surface of `vbridge` (the backend
-//! trait, capture format and target layering) and `core::session` (the
-//! builder and v-commands) is locked against a checked-in golden, so an
-//! accidental signature change or a silently dropped export fails here
-//! instead of shipping.
+//! trait, capture format and target layering), `core::session` (the
+//! builder and v-commands), `core::proto` (the wire protocol and its
+//! version constant) and `vserve` (the Io/Framing transport seam, the
+//! evented pump and the serving surface) is locked against a checked-in
+//! golden, so an accidental signature change or a silently dropped
+//! export fails here instead of shipping.
 //!
 //! Regenerating after an *intentional* API change:
 //!
@@ -53,16 +55,19 @@ fn public_api_matches_golden() {
     let core = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let mut snap = String::new();
 
-    let vbridge = core.join("../vbridge/src");
-    let mut files: Vec<PathBuf> = fs::read_dir(&vbridge)
-        .expect("vbridge sources")
-        .map(|e| e.unwrap().path())
-        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
-        .collect();
-    files.sort();
-    for f in &files {
-        harvest(f, &mut snap);
+    for dir in ["../vbridge/src", "../vserve/src"] {
+        let dir = core.join(dir);
+        let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect();
+        files.sort();
+        for f in &files {
+            harvest(f, &mut snap);
+        }
     }
+    harvest(&core.join("src/proto.rs"), &mut snap);
     harvest(&core.join("src/session.rs"), &mut snap);
 
     let golden = core.join("tests/goldens/api_surface.txt");

@@ -4,26 +4,21 @@
 //! (second extraction of the same figure) — as a plain uncached session
 //! produces, while never costing more virtual time than uncached.
 //!
-//! This suite deliberately drives the deprecated `attach` /
-//! `attach_with_cache` shims: they must keep behaving exactly like the
-//! `SessionBuilder` they now delegate to.
-#![allow(deprecated)]
-
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::{CacheConfig, LatencyProfile};
 use visualinux::{figures, Session};
 
 #[test]
 fn all_figures_byte_identical_cached_cold_and_warm() {
-    let uncached = Session::attach(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::kgdb_rpi400(),
-    );
-    let mut cached = Session::attach_with_cache(
-        build(&WorkloadConfig::default()),
-        LatencyProfile::kgdb_rpi400(),
-        CacheConfig::default(),
-    );
+    let uncached = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .attach()
+        .unwrap();
+    let mut cached = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::kgdb_rpi400())
+        .cache(CacheConfig::default())
+        .attach()
+        .unwrap();
     let mut failures = Vec::new();
     for fig in figures::all() {
         let (g, s) = uncached.extract(fig.viewcl).expect(fig.id);
@@ -67,16 +62,19 @@ fn all_figures_byte_identical_cached_cold_and_warm() {
 #[test]
 fn block_size_sweep_preserves_equivalence() {
     // The invariants hold at every legal block size, not just the default.
-    let uncached = Session::attach(build(&WorkloadConfig::default()), LatencyProfile::free());
+    let uncached = Session::builder(build(&WorkloadConfig::default()))
+        .profile(LatencyProfile::free())
+        .attach()
+        .unwrap();
     let fig = figures::by_id("fig3-4").unwrap();
     let (g, _) = uncached.extract(fig.viewcl).unwrap();
     let reference = g.to_json();
     for bs in [8u64, 64, 256, 4096] {
-        let cached = Session::attach_with_cache(
-            build(&WorkloadConfig::default()),
-            LatencyProfile::free(),
-            CacheConfig::with_block_size(bs),
-        );
+        let cached = Session::builder(build(&WorkloadConfig::default()))
+            .profile(LatencyProfile::free())
+            .cache(CacheConfig::with_block_size(bs))
+            .attach()
+            .unwrap();
         let (g_c, _) = cached.extract(fig.viewcl).unwrap();
         assert_eq!(g_c.to_json(), reference, "block size {bs}");
     }

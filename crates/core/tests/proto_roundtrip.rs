@@ -4,7 +4,7 @@
 //! never panics.
 
 use vgraph::{diff, Graph, ViewInst};
-use visualinux::proto::{VCommand, VResponse};
+use visualinux::proto::{VCommand, VResponse, VERSION};
 use vpanels::{PaneId, SplitDir};
 
 fn sample_graph() -> Graph {
@@ -92,6 +92,7 @@ fn all_commands() -> Vec<(&'static str, VCommand)> {
             VCommand::Vack {
                 source: "plot @root".into(),
                 seq: 7,
+                proto: VERSION,
             },
         ),
         (
@@ -132,6 +133,33 @@ fn every_vcommand_variant_round_trips() {
         // proves the round trip lost nothing.
         assert_eq!(back.to_json(), json, "{tag}: round trip changed bytes");
     }
+}
+
+#[test]
+fn vack_carries_the_protocol_version_and_defaults_for_old_peers() {
+    // The current revision round-trips through the stamped field.
+    assert!(VERSION >= 2, "binary framing shipped at revision 2");
+    let ack = VCommand::Vack {
+        source: "plot @root".into(),
+        seq: 3,
+        proto: VERSION,
+    };
+    let json = ack.to_json();
+    assert!(
+        json.contains(&format!("\"proto\":{VERSION}")),
+        "version stamp missing in {json}"
+    );
+    let VCommand::Vack { proto, .. } = VCommand::from_json(&json).unwrap() else {
+        panic!("variant changed in flight");
+    };
+    assert_eq!(proto, VERSION);
+    // Pre-stamping peers omit the field entirely; serde defaults it to 0
+    // so the serving side can tell "old client" from any real revision.
+    let legacy = "{\"command\":\"vack\",\"source\":\"plot @root\",\"seq\":3}";
+    let VCommand::Vack { source, seq, proto } = VCommand::from_json(legacy).unwrap() else {
+        panic!("legacy ack no longer parses");
+    };
+    assert_eq!((source.as_str(), seq, proto), ("plot @root", 3, 0));
 }
 
 #[test]

@@ -7,8 +7,10 @@
 //!
 //! * **Keyed routing.** Register sessions as [`visualinux::SessionSpec`]
 //!   recipes under string keys; clients attach with a `vattach` routing
-//!   frame ([`Fleet::serve_transport`]) or directly by key
-//!   ([`Fleet::connect`]) and then speak the ordinary `vserve` protocol.
+//!   frame ([`FleetRouter`] implements [`vserve::ConnectRouter`], so a
+//!   [`vserve::WirePump`] serves the whole fleet from one endpoint) or
+//!   directly by key ([`Fleet::connect`]) and then speak the ordinary
+//!   `vserve` protocol.
 //! * **Lazy lifecycle.** Engines spawn on first connection. A resident
 //!   budget ([`FleetConfig::max_resident`]) evicts the least-recently-
 //!   used idle engine — gracefully, books settled — and the next request
@@ -34,7 +36,8 @@ mod router;
 mod stats;
 
 pub use cache::{FleetCache, FleetCacheStats};
-pub use pool::{chain_generation, Fleet, FleetConfig, FleetConnection};
+pub use pool::{chain_generation, ConnGuard, Fleet, FleetConfig, FleetConnection};
+pub use router::FleetRouter;
 pub use stats::FleetStats;
 
 /// Errors from fleet registration and routing.

@@ -86,19 +86,38 @@ pub struct Fleet {
     inner: Mutex<Inner>,
 }
 
+/// The lease a routed connection holds on its engine: dropping it
+/// releases the session for eviction (once it is the last one). A wire
+/// pump carries it as the lane guard after taking the raw
+/// [`Connection`] out of a [`FleetConnection`].
+pub struct ConnGuard {
+    conns: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// A routed client connection. Dereferences to the engine-level
 /// [`vserve::Connection`]; dropping it releases the session for
 /// eviction (once it is the last one).
 pub struct FleetConnection {
     conn: Connection,
-    conns: Arc<AtomicUsize>,
+    guard: ConnGuard,
 }
 
 impl FleetConnection {
-    /// The underlying engine connection (e.g. for
-    /// [`vserve::serve_transport`]).
+    /// The underlying engine connection.
     pub fn connection(&self) -> &Connection {
         &self.conn
+    }
+
+    /// Split into the raw connection and the engine lease (what the
+    /// fleet's [`vserve::ConnectRouter`] hands a wire pump).
+    pub fn into_parts(self) -> (Connection, ConnGuard) {
+        (self.conn, self.guard)
     }
 }
 
@@ -106,12 +125,6 @@ impl std::ops::Deref for FleetConnection {
     type Target = Connection;
     fn deref(&self) -> &Connection {
         &self.conn
-    }
-}
-
-impl Drop for FleetConnection {
-    fn drop(&mut self) {
-        self.conns.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -219,7 +232,9 @@ impl Fleet {
         rt.conns.fetch_add(1, Ordering::SeqCst);
         Ok(FleetConnection {
             conn: rt.handle.connect(),
-            conns: rt.conns.clone(),
+            guard: ConnGuard {
+                conns: rt.conns.clone(),
+            },
         })
     }
 

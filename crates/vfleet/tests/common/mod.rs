@@ -6,7 +6,7 @@ use ksim::workload::{build, WorkloadConfig};
 use vbridge::{CacheConfig, Capture, LatencyProfile};
 use visualinux::proto::VCommand;
 use visualinux::{figures, Session};
-use vserve::Replica;
+use vserve::{Replica, SendMode};
 
 /// The first `n` corpus figures' ViewCL sources.
 pub fn fig_sources(n: usize) -> Vec<String> {
@@ -55,7 +55,7 @@ pub fn serve_round(
         .map(|fig| {
             conn.send(&VCommand::VplotRequest {
                 viewcl: fig.clone(),
-            })
+            }, SendMode::Blocking)
             .expect("send");
             let line = conn.recv().expect("reply");
             replica.apply_line(&line).expect("apply");

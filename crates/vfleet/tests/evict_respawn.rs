@@ -10,7 +10,7 @@ use vbridge::LatencyProfile;
 use vfleet::{Fleet, FleetConfig};
 use visualinux::proto::VCommand;
 use visualinux::SessionSpec;
-use vserve::Replica;
+use vserve::{Replica, SendMode};
 
 const FIGS: usize = 6;
 const ROUNDS: u64 = 2;
@@ -73,7 +73,7 @@ fn evicted_replay_session_respawns_bit_identically() {
     dconn
         .send(&VCommand::VplotRequest {
             viewcl: figs[0].clone(),
-        })
+        }, SendMode::Blocking)
         .unwrap();
     dconn.recv().expect("decoy serves");
     drop(dconn);

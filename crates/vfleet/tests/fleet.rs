@@ -6,10 +6,10 @@ mod common;
 use common::{fig_sources, record_capture, serve_round};
 use ksim::workload::WorkloadConfig;
 use vbridge::LatencyProfile;
-use vfleet::{Fleet, FleetConfig, FleetError};
+use vfleet::{Fleet, FleetConfig, FleetError, FleetRouter};
 use visualinux::proto::{VCommand, VResponse};
 use visualinux::SessionSpec;
-use vserve::{Replica, Transport};
+use vserve::{byte_pair, Replica, WireClient, WireConfig, WirePump};
 
 const FIGS: usize = 5;
 const ROUNDS: u64 = 2;
@@ -105,12 +105,20 @@ fn vattach_routes_by_key_and_rejects_malformed_frames() {
     let fleet = std::sync::Arc::new(Fleet::new(FleetConfig::default()));
     fleet.add_session("s1", SessionSpec::replay(cap)).unwrap();
 
-    let (mut client, mut server) = vserve::pair(64);
-    let fleet2 = fleet.clone();
-    let router = std::thread::spawn(move || fleet2.serve_transport(&mut server));
+    let pump = WirePump::new(
+        Box::new(FleetRouter::new(fleet.clone())),
+        WireConfig::default(),
+    );
+    let ph = pump.handle();
+    let pump_thread = std::thread::spawn(move || pump.run());
+    let (client_io, server_io) = byte_pair(64);
+    ph.add(Box::new(server_io)).unwrap();
+    // The fleet endpoint negotiates the binary framing like any other:
+    // routing frames travel length-prefixed after the hello/accept.
+    let mut client = WireClient::binary(Box::new(client_io)).unwrap();
 
     let mut ask = |line: String| -> String {
-        client.send(&line).unwrap();
+        client.send_payload(&line).unwrap();
         client.recv().unwrap().expect("response")
     };
     // Malformed routing frame: not JSON.
@@ -156,8 +164,13 @@ fn vattach_routes_by_key_and_rejects_malformed_frames() {
     .to_json());
     assert!(r.contains("\"command\":\"vplot\""), "{r}");
 
-    client.close();
-    router.join().unwrap().unwrap();
+    drop(client);
+    ph.shutdown();
+    let wire = pump_thread.join().unwrap();
+    wire.reconcile().expect("wire books balance");
+    assert_eq!(wire.accepted, 1);
+    assert_eq!(wire.hello_binary, 1);
+    assert_eq!(wire.routing_retries, 4);
     let stats = fleet.shutdown();
     stats.reconcile().expect("fleet books balance");
     assert_eq!(

@@ -96,11 +96,14 @@ impl Replica {
         self.plots.get(source).map(|(s, _)| *s)
     }
 
-    /// The acknowledgement for a source's current state.
+    /// The acknowledgement for a source's current state, stamped with
+    /// the protocol revision this build speaks
+    /// ([`visualinux::proto::VERSION`]).
     pub fn ack(&self, source: &str) -> Option<VCommand> {
         self.plots.get(source).map(|(seq, _)| VCommand::Vack {
             source: source.to_string(),
             seq: *seq,
+            proto: visualinux::proto::VERSION,
         })
     }
 }

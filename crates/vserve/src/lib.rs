@@ -26,20 +26,35 @@
 //! * **Stop events.** [`ServerHandle::stop_event`] queues an image
 //!   mutation; the engine applies it strictly ordered with requests,
 //!   bumps the cache epoch and drops the extraction memo.
+//! * **The wire.** See DESIGN.md §17: byte streams plug in through the
+//!   nonblocking [`Io`] seam, a [`Framing`] turns bytes into `VCommand`
+//!   payloads (newline-JSON [`LineFraming`], or length-prefixed
+//!   [`BinaryFraming`] behind a versioned `VWHI`/`VWOK` handshake that
+//!   fails loudly naming both versions on skew), and one evented
+//!   [`WirePump`] thread multiplexes every connection — per-client
+//!   fair budgeted admission, bounded out-buffers, and a stall cap so
+//!   one dead-reader client cannot stall the engine or starve its
+//!   siblings. Framing sits strictly below
+//!   [`visualinux::proto::VCommand`], so replies are byte-identical
+//!   across framings and `.vrec` determinism is untouched.
 
 mod client;
+mod evented;
+pub mod framing;
 mod queue;
 mod server;
 mod shared;
 mod stats;
-mod transport;
+mod wire;
 
 pub use client::{Replica, ReplicaEvent};
+pub use evented::{ConnectRouter, PumpHandle, RoutedConn, SingleSession, WireConfig, WirePump};
+pub use framing::{BinaryFraming, DecodeBuf, FrameError, Framing, LineFraming};
 pub use queue::{Bounded, TryPush};
-pub use server::{Connection, ServeConfig, Server, ServerHandle};
+pub use server::{Connection, SendMode, ServeConfig, Server, ServerHandle};
 pub use shared::{JournalEntry, Preload, SharedExtractions, SharedPlot};
-pub use stats::ServeStats;
-pub use transport::{pair, serve_transport, PairTransport, Transport};
+pub use stats::{ServeStats, WireStats};
+pub use wire::{byte_pair, ChanIo, Io, StreamIo, WireClient};
 
 /// Errors on the client side of a serving session.
 #[derive(Debug, Clone, PartialEq)]

@@ -160,6 +160,11 @@ impl<T> Bounded<T> {
     pub fn high_water(&self) -> usize {
         self.inner.lock().unwrap().high_water
     }
+
+    /// The fixed capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
 }
 
 #[cfg(test)]

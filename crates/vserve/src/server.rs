@@ -136,37 +136,55 @@ pub struct Connection {
     outbox: Arc<Bounded<String>>,
 }
 
+/// How a [`Connection::send`] behaves against a full request queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SendMode {
+    /// Wait for space: backpressure throttles the producer. The right
+    /// mode for dedicated client threads.
+    #[default]
+    Blocking,
+    /// Fail fast with [`ServeError::Backpressure`]. The only mode a
+    /// shared poll thread (the wire pump) may use — it must never park
+    /// on one client's behalf.
+    NonBlocking,
+}
+
 impl Connection {
-    /// Submit a command; blocks while the request queue is full
-    /// (backpressure). Fails once the server is shutting down.
-    pub fn send(&self, cmd: &VCommand) -> Result<(), ServeError> {
-        self.send_line(cmd.to_json())
+    /// Submit a command. The single submission entry point: `mode` picks
+    /// between blocking backpressure and a fast
+    /// [`ServeError::Backpressure`] failure; either way the call fails
+    /// with [`ServeError::Closed`] once the server is shutting down.
+    pub fn send(&self, cmd: &VCommand, mode: SendMode) -> Result<(), ServeError> {
+        self.send_frame(cmd.to_json(), mode)
+    }
+
+    /// Submit an already-serialized protocol frame payload — what a wire
+    /// pump forwards straight off its decoder without re-parsing.
+    pub fn send_frame(&self, payload: String, mode: SendMode) -> Result<(), ServeError> {
+        let req = Request::Cmd {
+            client: self.id,
+            line: payload,
+        };
+        match mode {
+            SendMode::Blocking => self.shared.reqq.push(req).map_err(|_| ServeError::Closed),
+            SendMode::NonBlocking => self.shared.reqq.try_push(req).map_err(|e| match e {
+                TryPush::Full(_) => ServeError::Backpressure,
+                TryPush::Closed(_) => ServeError::Closed,
+            }),
+        }
     }
 
     /// Submit a raw protocol line.
+    #[deprecated(note = "use `send_frame(line, SendMode::Blocking)`; removed next release")]
     pub fn send_line(&self, line: String) -> Result<(), ServeError> {
-        self.shared
-            .reqq
-            .push(Request::Cmd {
-                client: self.id,
-                line,
-            })
-            .map_err(|_| ServeError::Closed)
+        self.send_frame(line, SendMode::Blocking)
     }
 
     /// Non-blocking submit; surfaces a full queue as
     /// [`ServeError::Backpressure`].
+    #[deprecated(note = "use `send(cmd, SendMode::NonBlocking)`; removed next release")]
     pub fn try_send(&self, cmd: &VCommand) -> Result<(), ServeError> {
-        self.shared
-            .reqq
-            .try_push(Request::Cmd {
-                client: self.id,
-                line: cmd.to_json(),
-            })
-            .map_err(|e| match e {
-                TryPush::Full(_) => ServeError::Backpressure,
-                TryPush::Closed(_) => ServeError::Closed,
-            })
+        self.send(cmd, SendMode::NonBlocking)
     }
 
     /// Next reply line; blocks. `None` once the server closed this
@@ -180,9 +198,23 @@ impl Connection {
         self.outbox.try_pop()
     }
 
+    /// Whether the server has closed this client's reply stream
+    /// (shutdown or engine exit). Queued replies may still be readable.
+    pub fn is_closed(&self) -> bool {
+        self.outbox.is_closed()
+    }
+
     /// This client's id (diagnostics).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Capacity of this client's reply outbox. A wire pump uses it as
+    /// the admission window: with at most `capacity()` frames in flight
+    /// per client, the engine's reply push can never block on this
+    /// client's outbox.
+    pub fn capacity(&self) -> usize {
+        self.outbox.capacity()
     }
 
     /// Disconnect. Idempotent; also called on drop. Replies to requests
@@ -529,7 +561,7 @@ impl Server {
                     }
                 }
             }
-            VCommand::Vack { source, seq } => {
+            VCommand::Vack { source, seq, .. } => {
                 self.stats.acks += 1;
                 match self.subs.get_mut(&(client, source.clone())) {
                     Some(sub) if sub.seq == *seq => VResponse::Ok {

@@ -151,9 +151,125 @@ impl ServeStats {
     }
 }
 
+/// Counters a [`crate::WirePump`] keeps while it sweeps. Orthogonal to
+/// [`ServeStats`] (which books engine work): these book the wire itself
+/// — lanes, framings, frames, and the fairness machinery's decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Connections taken on as lanes.
+    pub accepted: u64,
+    /// Connections refused over the connection limit.
+    pub refused: u64,
+    /// Lanes whose first byte opened a binary hello handshake.
+    pub hello_binary: u64,
+    /// Lanes that spoke implicit newline-JSON.
+    pub hello_lines: u64,
+    /// Handshakes rejected for version skew.
+    pub version_skews: u64,
+    /// Routing frames answered with an error (client may retry).
+    pub routing_retries: u64,
+    /// Frames admitted into an engine.
+    pub frames_in: u64,
+    /// Reply frames encoded toward clients.
+    pub frames_out: u64,
+    /// Raw bytes read off all lanes.
+    pub bytes_in: u64,
+    /// Raw bytes written to all lanes.
+    pub bytes_out: u64,
+    /// Fatal framing failures (positioned diagnostics sent, lane closed).
+    pub decode_errors: u64,
+    /// Admissions deferred because the reply window or request queue was
+    /// full — the backpressure gate that keeps the engine nonblocking.
+    pub engine_busy: u64,
+    /// Lane visits skipped because the client's out-buffer hit the
+    /// stall limit.
+    pub stalled_skips: u64,
+    /// Most lanes ever concurrently live.
+    pub lanes_max: u64,
+    /// Full round-robin sweeps performed.
+    pub sweeps: u64,
+}
+
+impl WireStats {
+    /// Internal bookkeeping invariants for the wire layer.
+    pub fn reconcile(&self) -> Result<(), String> {
+        if self.hello_binary + self.hello_lines > self.accepted {
+            return Err(format!(
+                "more framing sniffs ({} + {}) than accepted lanes ({})",
+                self.hello_binary, self.hello_lines, self.accepted
+            ));
+        }
+        if self.version_skews > self.hello_binary {
+            return Err(format!(
+                "version skews ({}) exceed binary handshakes ({})",
+                self.version_skews, self.hello_binary
+            ));
+        }
+        if self.lanes_max > self.accepted {
+            return Err(format!(
+                "lane high-water ({}) exceeds accepted lanes ({})",
+                self.lanes_max, self.accepted
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fold another pump's totals into this one. Counters sum;
+    /// high-water marks take the max.
+    pub fn absorb(&mut self, other: &WireStats) {
+        self.accepted += other.accepted;
+        self.refused += other.refused;
+        self.hello_binary += other.hello_binary;
+        self.hello_lines += other.hello_lines;
+        self.version_skews += other.version_skews;
+        self.routing_retries += other.routing_retries;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.decode_errors += other.decode_errors;
+        self.engine_busy += other.engine_busy;
+        self.stalled_skips += other.stalled_skips;
+        self.lanes_max = self.lanes_max.max(other.lanes_max);
+        self.sweeps += other.sweeps;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_reconcile_and_absorb() {
+        let a = WireStats {
+            accepted: 4,
+            hello_binary: 3,
+            hello_lines: 1,
+            version_skews: 1,
+            frames_in: 10,
+            frames_out: 9,
+            lanes_max: 3,
+            ..WireStats::default()
+        };
+        a.reconcile().unwrap();
+        let b = WireStats {
+            accepted: 2,
+            hello_lines: 2,
+            lanes_max: 2,
+            ..WireStats::default()
+        };
+        let mut sum = a;
+        sum.absorb(&b);
+        assert_eq!(sum.accepted, 6);
+        assert_eq!(sum.lanes_max, 3);
+        sum.reconcile().unwrap();
+        let bad = WireStats {
+            accepted: 1,
+            version_skews: 1,
+            ..WireStats::default()
+        };
+        assert!(bad.reconcile().is_err());
+    }
 
     #[test]
     fn reconcile_accepts_consistent_books() {

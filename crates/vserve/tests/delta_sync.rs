@@ -10,7 +10,7 @@ use ksim::workload::{build, WorkloadConfig};
 use vbridge::{CacheConfig, LatencyProfile};
 use visualinux::proto::VCommand;
 use visualinux::{figures, Session};
-use vserve::{Replica, ReplicaEvent, ServeConfig, Server};
+use vserve::{Replica, ReplicaEvent, SendMode, ServeConfig, Server};
 
 fn attach() -> Session {
     Session::builder(build(&WorkloadConfig::default()))
@@ -40,7 +40,7 @@ fn deltas_reconstruct_and_beat_full_ships_across_the_corpus() {
     for fig in &figs {
         conn.send(&VCommand::VplotRequest {
             viewcl: fig.viewcl.to_string(),
-        })
+        }, SendMode::Blocking)
         .unwrap();
         let ev = replica.apply_line(&conn.recv().unwrap()).unwrap();
         assert!(
@@ -64,13 +64,13 @@ fn deltas_reconstruct_and_beat_full_ships_across_the_corpus() {
     for fig in &figs {
         conn.send(&VCommand::VplotRequest {
             viewcl: fig.viewcl.to_string(),
-        })
+        }, SendMode::Blocking)
         .unwrap();
         let line = conn.recv().unwrap();
         let ev = replica.apply_line(&line).unwrap();
         let was_delta = matches!(ev, ReplicaEvent::Delta { .. });
         if let Some(ack) = replica.ack(fig.viewcl) {
-            conn.send(&ack).unwrap();
+            conn.send(&ack, SendMode::Blocking).unwrap();
             let ack_reply = conn.recv().unwrap();
             assert!(ack_reply.contains("ok"), "ack rejected: {ack_reply}");
         }

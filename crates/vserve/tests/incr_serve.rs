@@ -12,7 +12,7 @@ use ksim::workload::{build, WorkloadConfig};
 use vbridge::{CacheConfig, LatencyProfile};
 use visualinux::proto::VCommand;
 use visualinux::{figures, Session};
-use vserve::{Replica, ServeConfig, ServeStats, Server};
+use vserve::{Replica, SendMode, ServeConfig, ServeStats, Server};
 
 fn attach(incremental: bool) -> Session {
     let builder = Session::builder(build(&WorkloadConfig::default()))
@@ -56,7 +56,7 @@ fn serve_rounds(incremental: bool, rounds: u64) -> (Vec<String>, ServeStats) {
         for fig in &figs {
             conn.send(&VCommand::VplotRequest {
                 viewcl: fig.viewcl.to_string(),
-            })
+            }, SendMode::Blocking)
             .expect("send");
             replica
                 .apply_line(&conn.recv().expect("reply"))

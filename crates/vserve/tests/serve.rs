@@ -8,7 +8,7 @@ use ksim::workload::{build, WorkloadConfig};
 use vbridge::{CacheConfig, LatencyProfile};
 use visualinux::proto::VCommand;
 use visualinux::{figures, Session};
-use vserve::{ServeConfig, ServeError, ServeStats, Server, ServerHandle};
+use vserve::{SendMode, ServeConfig, ServeError, ServeStats, Server, ServerHandle};
 
 fn attach() -> Session {
     Session::builder(build(&WorkloadConfig::default()))
@@ -49,7 +49,7 @@ fn eight_clients_share_one_walk_and_get_identical_bytes() {
         .map(|conn| {
             let request = request.clone();
             thread::spawn(move || {
-                conn.send(&request).expect("send");
+                conn.send(&request, SendMode::Blocking).expect("send");
                 let reply = conn.recv().expect("reply");
                 conn.close();
                 reply
@@ -91,7 +91,7 @@ fn stop_events_invalidate_the_memo_in_request_order() {
 
     let (handle, engine) = spawn_engine(ServeConfig::default());
     let conn = handle.connect();
-    conn.send(&request).unwrap();
+    conn.send(&request, SendMode::Blocking).unwrap();
     let before = conn.recv().unwrap();
     let roots2 = roots.clone();
     handle
@@ -99,7 +99,7 @@ fn stop_events_invalidate_the_memo_in_request_order() {
             ksim::tick::tick(img, &roots2, 1);
         })
         .unwrap();
-    conn.send(&request).unwrap();
+    conn.send(&request, SendMode::Blocking).unwrap();
     let after = conn.recv().unwrap();
     conn.close();
     let stats = engine.join().unwrap();
@@ -112,9 +112,9 @@ fn stop_events_invalidate_the_memo_in_request_order() {
 }
 
 #[test]
-fn try_send_reports_backpressure_then_closed() {
-    // No engine thread: the queue stays full, so the second try_send
-    // must surface Backpressure rather than block.
+fn nonblocking_send_reports_backpressure_then_closed() {
+    // No engine thread: the queue stays full, so the second
+    // non-blocking send must surface Backpressure rather than block.
     let mut server = Server::new(
         attach(),
         ServeConfig {
@@ -128,14 +128,22 @@ fn try_send_reports_backpressure_then_closed() {
     let ping = VCommand::VplotRequest {
         viewcl: figures::by_id("fig3-4").unwrap().viewcl.to_string(),
     };
-    conn.try_send(&ping).expect("first fits");
-    assert_eq!(conn.try_send(&ping), Err(ServeError::Backpressure));
+    conn.send(&ping, SendMode::NonBlocking).expect("first fits");
+    assert_eq!(
+        conn.send(&ping, SendMode::NonBlocking),
+        Err(ServeError::Backpressure)
+    );
+    // The one-release compatibility shims delegate to the same entry.
+    #[allow(deprecated)]
+    {
+        assert_eq!(conn.try_send(&ping), Err(ServeError::Backpressure));
+    }
 
     // Graceful shutdown: queued work is still answered before the
     // engine returns, but nothing new gets in.
     handle.shutdown();
-    assert_eq!(conn.try_send(&ping), Err(ServeError::Closed));
-    assert!(conn.send(&ping).is_err());
+    assert_eq!(conn.send(&ping, SendMode::NonBlocking), Err(ServeError::Closed));
+    assert!(conn.send(&ping, SendMode::Blocking).is_err());
     server.run();
     let reply = conn.recv().expect("queued request was served");
     assert!(reply.contains("vplot"), "{reply}");
@@ -151,15 +159,19 @@ fn try_send_reports_backpressure_then_closed() {
 fn malformed_lines_are_answered_not_fatal() {
     let (handle, engine) = spawn_engine(ServeConfig::default());
     let conn = handle.connect();
-    conn.send_line("this is not json".to_string()).unwrap();
+    conn.send_frame("this is not json".to_string(), SendMode::Blocking)
+        .unwrap();
     let reply = conn.recv().expect("error reply");
     assert!(reply.contains("err"), "{reply}");
 
     // The server survives and keeps serving real requests.
     let fig = figures::by_id("fig3-4").unwrap();
-    conn.send(&VCommand::VplotRequest {
-        viewcl: fig.viewcl.to_string(),
-    })
+    conn.send(
+        &VCommand::VplotRequest {
+            viewcl: fig.viewcl.to_string(),
+        },
+        SendMode::Blocking,
+    )
     .unwrap();
     assert!(conn.recv().expect("real reply").contains("vplot"));
     conn.close();
@@ -184,7 +196,7 @@ fn shutdown_drains_requests_queued_by_departed_clients() {
     for _ in 0..3 {
         conn.send(&VCommand::VplotRequest {
             viewcl: fig.viewcl.to_string(),
-        })
+        }, SendMode::Blocking)
         .expect("queued while the engine is not yet running");
     }
     // The client hangs up with its requests still queued, then the

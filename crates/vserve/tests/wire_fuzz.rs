@@ -1,0 +1,296 @@
+//! Malformed-frame fuzzing of the framing layer: whatever bytes arrive
+//! — truncated length prefixes, oversized declared lengths, mid-frame
+//! closes, garbage, version-skewed handshakes — the decoder must answer
+//! with a *positioned* [`FrameError`], never a panic, never a hang, and
+//! must never mis-frame a valid stream no matter how it is chunked.
+
+use proptest::prelude::*;
+use vserve::framing::{
+    accept_frame, hello_frame, negotiate_server, parse_hello, parse_verdict, reject_frame,
+    sniff, BinaryFraming, DecodeBuf, FrameError, Framing, LineFraming, Sniff,
+};
+use vserve::{byte_pair, Io, WireClient};
+use visualinux::proto::VERSION;
+
+/// JSON-ish payloads: printable, no newlines (a line frame cannot carry
+/// one), including empty and multi-byte UTF-8.
+fn payload_strategy() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("{\"command\":\"vack\",\"source\":\"s\",\"seq\":1}".to_string()),
+        (0usize..64).prop_map(|n| "x".repeat(n)),
+        (1usize..8).prop_map(|n| "héllo→🜃".repeat(n)),
+        (0u64..u64::MAX).prop_map(|n| format!("{{\"seq\":{n}}}")),
+    ]
+    .boxed()
+}
+
+fn framings() -> Vec<Box<dyn Framing>> {
+    vec![
+        Box::new(LineFraming::default()),
+        Box::new(BinaryFraming::default()),
+    ]
+}
+
+/// What a framing reproduces from `payloads`: the line framing cannot
+/// represent an empty payload (a blank line is skipped by design); the
+/// binary framing carries everything.
+fn representable(f: &dyn Framing, payloads: &[String]) -> Vec<String> {
+    payloads
+        .iter()
+        .filter(|p| f.name() != "lines" || !p.is_empty())
+        .cloned()
+        .collect()
+}
+
+/// Drain `buf` through `f`, bounding the iteration count so a decoder
+/// that stops making progress fails the test instead of hanging it.
+fn drain(
+    f: &dyn Framing,
+    buf: &mut DecodeBuf,
+    out: &mut Vec<String>,
+) -> Result<(), FrameError> {
+    for _ in 0..100_000 {
+        match f.decode(buf)? {
+            Some(p) => out.push(p),
+            None => return Ok(()),
+        }
+    }
+    panic!("decoder made no terminal progress over {} bytes", buf.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64 })]
+
+    // Valid streams decode to exactly the encoded payloads, however
+    // the bytes are chunked on arrival.
+    #[test]
+    fn round_trip_survives_arbitrary_chunking(
+        payloads in proptest::collection::vec(payload_strategy(), 0..12),
+        chunk in 1usize..97,
+    ) {
+        for f in framings() {
+            let mut wire = Vec::new();
+            for p in &payloads {
+                f.encode(p, &mut wire);
+            }
+            let mut buf = DecodeBuf::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                buf.extend(piece);
+                if let Err(e) = drain(f.as_ref(), &mut buf, &mut got) {
+                    return Err(TestCaseError::Fail(format!("{}: {e}", f.name())));
+                }
+            }
+            if f.finish(&buf).is_err() {
+                return Err(TestCaseError::Fail(format!("{}: dirty finish", f.name())));
+            }
+            prop_assert_eq!(got, representable(f.as_ref(), &payloads));
+        }
+    }
+
+    // Cutting a valid stream anywhere yields a prefix of the payloads
+    // and either a clean finish (cut on a frame boundary) or a
+    // positioned truncation — never a panic, never a wrong payload.
+    #[test]
+    fn mid_frame_close_truncates_with_position(
+        payloads in proptest::collection::vec(payload_strategy(), 1..8),
+        cut_seed in 0usize..10_000,
+    ) {
+        for f in framings() {
+            let mut wire = Vec::new();
+            for p in &payloads {
+                f.encode(p, &mut wire);
+            }
+            let cut = cut_seed % (wire.len() + 1);
+            let mut buf = DecodeBuf::new();
+            buf.extend(&wire[..cut]);
+            let mut got = Vec::new();
+            if drain(f.as_ref(), &mut buf, &mut got).is_err() {
+                // Only the *binary* framing can error before EOF here
+                // (a cut cannot invent garbage in a valid prefix).
+                return Err(TestCaseError::Fail(format!("{}: decode error on prefix", f.name())));
+            }
+            let want = representable(f.as_ref(), &payloads);
+            prop_assert!(got.len() <= want.len());
+            prop_assert_eq!(&got[..], &want[..got.len()]);
+            match f.finish(&buf) {
+                Ok(()) => prop_assert!(buf.is_empty()),
+                Err(FrameError::Truncated { at, have, .. }) => {
+                    prop_assert!(have > 0);
+                    // The truncation points inside the bytes that arrived.
+                    prop_assert!((at as usize) < cut);
+                }
+                Err(e) => return Err(TestCaseError::Fail(format!("{}: {e}", f.name()))),
+            }
+        }
+    }
+
+    // Any declared length over the ceiling is an `Oversize` at the
+    // prefix's stream offset, regardless of preceding valid frames.
+    #[test]
+    fn oversized_declared_lengths_are_positioned(
+        preamble in proptest::collection::vec(payload_strategy(), 0..4),
+        excess in 1u64..1_000_000,
+    ) {
+        let max = 4096u32;
+        let f = BinaryFraming::with_max_frame(max);
+        let mut wire = Vec::new();
+        for p in &preamble {
+            f.encode(p, &mut wire);
+        }
+        let at = wire.len() as u64;
+        let declared = max as u64 + excess.min(u32::MAX as u64 - max as u64);
+        wire.extend_from_slice(&(declared as u32).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut buf = DecodeBuf::new();
+        buf.extend(&wire);
+        let mut got = Vec::new();
+        let err = match drain(&f, &mut buf, &mut got) {
+            Err(e) => e,
+            Ok(()) => return Err(TestCaseError::Fail("oversize accepted".into())),
+        };
+        prop_assert_eq!(&got, &preamble);
+        prop_assert_eq!(err, FrameError::Oversize { at, declared, max: max as u64 });
+    }
+
+    // Arbitrary garbage never panics or hangs either framing: every
+    // byte sequence terminates in frames, "need more", or a positioned
+    // error.
+    #[test]
+    fn arbitrary_bytes_never_panic_or_hang(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+        chunk in 1usize..64,
+    ) {
+        for f in framings() {
+            let mut buf = DecodeBuf::new();
+            let mut got = Vec::new();
+            let mut failed = None;
+            for piece in bytes.chunks(chunk) {
+                buf.extend(piece);
+                if let Err(e) = drain(f.as_ref(), &mut buf, &mut got) {
+                    failed = Some(e);
+                    break;
+                }
+            }
+            let fin = failed.map(Err).unwrap_or_else(|| f.finish(&buf));
+            if let Err(e) = fin {
+                // Positioned within the bytes that actually arrived.
+                let at = match &e {
+                    FrameError::Oversize { at, .. }
+                    | FrameError::Garbage { at, .. }
+                    | FrameError::Truncated { at, .. } => *at,
+                    FrameError::VersionSkew { .. } => {
+                        return Err(TestCaseError::Fail("skew without a handshake".into()))
+                    }
+                };
+                prop_assert!((at as usize) <= bytes.len());
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    // Every non-matching announced version is rejected with a skew
+    // naming both versions, on both ends of the handshake.
+    #[test]
+    fn version_skew_is_loud_on_both_ends(theirs in 0u16..u16::MAX) {
+        if theirs == VERSION {
+            return Err(TestCaseError::Reject("not a skew".into()));
+        }
+        let (err, reject) = match negotiate_server(theirs) {
+            Err(both) => both,
+            Ok(_) => return Err(TestCaseError::Fail(format!("v{theirs} accepted"))),
+        };
+        let msg = err.to_string();
+        prop_assert!(msg.contains(&format!("v{VERSION}")));
+        prop_assert!(msg.contains(&format!("v{theirs}")));
+        // The client decodes the reject frame into the mirrored skew.
+        let mut buf = DecodeBuf::new();
+        buf.extend(&reject);
+        let err = match parse_verdict(&mut buf, theirs) {
+            Err(e) => e,
+            other => return Err(TestCaseError::Fail(format!("verdict: {other:?}"))),
+        };
+        prop_assert_eq!(err, FrameError::VersionSkew { ours: theirs, theirs: VERSION });
+    }
+
+    // A hello chunked at any boundary parses incrementally; corrupting
+    // any single byte of its magic is positioned garbage, and the
+    // corrupted first byte no longer sniffs as binary.
+    #[test]
+    fn hello_frames_parse_incrementally_and_reject_bad_magic(
+        split in 0usize..8,
+        at_byte in 0usize..4,
+    ) {
+        let hello = hello_frame(VERSION);
+        let mut buf = DecodeBuf::new();
+        buf.extend(&hello[..split]);
+        match parse_hello(&mut buf) {
+            Ok(None) => {}
+            other => return Err(TestCaseError::Fail(format!("partial hello: {other:?}"))),
+        }
+        buf.extend(&hello[split..]);
+        prop_assert_eq!(parse_hello(&mut buf), Ok(Some(VERSION)));
+
+        let mut bad = hello;
+        bad[at_byte] ^= 0x20;
+        if at_byte == 0 {
+            prop_assert_eq!(sniff(bad[0]), Sniff::Lines);
+        }
+        let mut buf = DecodeBuf::new();
+        buf.extend(&bad);
+        match parse_hello(&mut buf) {
+            Err(FrameError::Garbage { at: 0, .. }) => {}
+            other => return Err(TestCaseError::Fail(format!("bad magic: {other:?}"))),
+        }
+    }
+}
+
+/// A scripted server that answers the hello with arbitrary bytes: the
+/// blocking client must error (positioned, both-versions-named for
+/// skew) — never hang — for every verdict shape.
+#[test]
+fn client_handshake_survives_hostile_verdicts() {
+    let hostile: Vec<(Vec<u8>, &str)> = vec![
+        (reject_frame(7, VERSION).to_vec(), "version skew"),
+        (accept_frame(VERSION + 1).to_vec(), "version skew"),
+        (b"XXXXXXXX".to_vec(), "verdict frame"),
+        (b"VWOK".to_vec(), "closed during the wire handshake"),
+        (Vec::new(), "closed during the wire handshake"),
+    ];
+    for (verdict, want) in hostile {
+        let (client_io, mut server_io) = byte_pair(16);
+        let server = std::thread::spawn(move || {
+            // Read (and discard) the hello, then send the scripted bytes
+            // and close.
+            let mut seen = 0usize;
+            let mut chunk = [0u8; 64];
+            while seen < 8 {
+                match server_io.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => seen += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::yield_now()
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            let mut done = 0;
+            while done < verdict.len() {
+                match server_io.write(&verdict[done..]) {
+                    Ok(n) => done += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::yield_now()
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        });
+        let err = WireClient::binary(Box::new(client_io))
+            .err()
+            .unwrap_or_else(|| panic!("handshake accepted {want:?}"));
+        let msg = err.to_string();
+        assert!(msg.contains(want), "verdict {want:?}: got {msg}");
+        server.join().unwrap();
+    }
+}

@@ -1,59 +1,50 @@
-//! Serve the VCommand protocol over TCP: newline-delimited JSON, one
-//! reply line per request line — the visualizer-facing endpoint of the
-//! paper's §4.2 message flow, backed by a `vserve::Server`.
+//! Serve the VCommand protocol over TCP — the visualizer-facing
+//! endpoint of the paper's §4.2 message flow, backed by a
+//! `vserve::Server` behind the evented `WirePump`.
+//!
+//! One listening socket serves both wire framings: a client that opens
+//! with the binary hello (`WireClient::binary`) gets length-prefixed
+//! frames after a version handshake; anything else is treated as the
+//! legacy newline-delimited JSON. All connections are driven by a
+//! single poll thread with per-client fair queuing — no thread per
+//! connection.
 //!
 //! ```text
 //! cargo run --example serve_tcp                        # smoke run, then exit
 //! cargo run --example serve_tcp -- --hold 0.0.0.0:9000 # keep serving
 //! ```
 //!
-//! With `--hold`, talk to it from another terminal:
+//! With `--hold`, the legacy framing means you can still talk to it
+//! from another terminal with nothing but netcat:
 //!
 //! ```text
 //! printf '%s\n' '{"command":"vplot_request","viewcl":"..."}' | nc 127.0.0.1 9000
 //! ```
 //!
-//! The run is self-demonstrating: after binding, the example connects an
-//! in-process smoke client over the same TCP surface, requests a figure
-//! twice around a stop event, and prints what came back (a full plot,
-//! then a delta). Without `--hold` it then shuts the server down
-//! gracefully and exits, which is what the CI smoke run relies on.
+//! The run is self-demonstrating: after binding, the example connects
+//! an in-process binary-framed smoke client over the same TCP surface,
+//! requests a figure twice around a stop event, prints what came back
+//! (a full plot, then a delta), then proves the newline-JSON path still
+//! answers on the very same port. Without `--hold` it then shuts the
+//! server down gracefully and exits, which is what the CI smoke run
+//! relies on.
 
-use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 
 use ksim::workload::{build, WorkloadConfig};
 use vbridge::{CacheConfig, LatencyProfile};
 use visualinux::proto::VCommand;
 use visualinux::Session;
-use vserve::{serve_transport, Replica, ReplicaEvent, ServeConfig, Server, Transport};
+use vserve::{
+    Replica, ReplicaEvent, ServeConfig, Server, SingleSession, StreamIo, WireClient,
+    WireConfig, WirePump,
+};
 
-/// Newline-delimited JSON over a socket.
-struct TcpTransport {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl TcpTransport {
-    fn new(stream: TcpStream) -> std::io::Result<TcpTransport> {
-        Ok(TcpTransport {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: stream,
-        })
-    }
-}
-
-impl Transport for TcpTransport {
-    fn recv(&mut self) -> std::io::Result<Option<String>> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        Ok((n > 0).then(|| line.trim_end_matches(['\r', '\n']).to_string()))
-    }
-
-    fn send(&mut self, line: &str) -> std::io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")
-    }
+/// A nonblocking TCP stream as a pump lane / client codec substrate.
+fn tcp_io(stream: TcpStream) -> std::io::Result<StreamIo<TcpStream>> {
+    stream.set_nodelay(true)?;
+    stream.set_nonblocking(true)?;
+    Ok(StreamIo::new(stream))
 }
 
 fn main() -> std::io::Result<()> {
@@ -68,7 +59,10 @@ fn main() -> std::io::Result<()> {
     }
     let listener = TcpListener::bind(&addr)?;
     let addr = listener.local_addr()?;
-    println!("vserve: listening on {addr} (newline-delimited VCommand JSON)");
+    println!(
+        "vserve: listening on {addr} (binary framed wire v{}, newline-JSON auto-detected)",
+        visualinux::proto::VERSION
+    );
 
     let session = Session::builder(build(&WorkloadConfig::default()))
         .profile(LatencyProfile::gdb_qemu())
@@ -84,22 +78,28 @@ fn main() -> std::io::Result<()> {
     );
     let handle = server.handle();
 
-    // Acceptor: one thread per connection, each pumping its socket
-    // against a queue-backed Connection.
+    // One evented pump drives every connection from a single thread.
+    let pump = WirePump::new(
+        Box::new(SingleSession::new(handle.clone())),
+        WireConfig::default(),
+    );
+    let ph = pump.handle();
+    let pump_thread = std::thread::spawn(move || pump.run());
+
+    // Acceptor: hands sockets to the pump and goes back to accepting.
+    let accept_handle = ph.clone();
     std::thread::spawn(move || {
         for stream in listener.incoming() {
             let Ok(stream) = stream else { continue };
-            let conn = handle.connect();
-            std::thread::spawn(move || {
-                if let Ok(mut t) = TcpTransport::new(stream) {
-                    let _ = serve_transport(&conn, &mut t);
-                }
-            });
+            let Ok(io) = tcp_io(stream) else { continue };
+            if accept_handle.add(Box::new(io)).is_err() {
+                break; // pump shut down
+            }
         }
     });
 
-    // Smoke client: prove the endpoint works end to end, deltas included.
-    let handle = server.handle();
+    // Smoke client: prove the endpoint works end to end — handshake,
+    // full plot, delta — over the binary framing.
     let smoke = std::thread::spawn(move || {
         let done = handle.clone();
         let fig = visualinux::figures::by_id("fig3-4").expect("figure exists");
@@ -107,16 +107,17 @@ fn main() -> std::io::Result<()> {
         // the same task addresses the server's image holds.
         let (_, _, roots) = build(&WorkloadConfig::default()).finish();
         let stream = TcpStream::connect(addr).expect("connect to ourselves");
-        let mut t = TcpTransport::new(stream).expect("transport");
+        let io = tcp_io(stream).expect("nonblocking socket");
+        let mut client = WireClient::binary(Box::new(io)).expect("wire handshake");
+        println!("smoke: negotiated {} framing", client.framing_name());
         let mut replica = Replica::new();
         let request = VCommand::VplotRequest {
             viewcl: fig.viewcl.to_string(),
-        }
-        .to_json();
+        };
 
         for round in 0..2u64 {
-            t.send(&request).expect("send");
-            let reply = t.recv().expect("recv").expect("reply");
+            client.send(&request).expect("send");
+            let reply = client.recv().expect("recv").expect("reply");
             match replica.apply_line(&reply).expect("protocol") {
                 ReplicaEvent::Full { .. } => {
                     println!(
@@ -146,6 +147,18 @@ fn main() -> std::io::Result<()> {
                     .expect("stop event");
             }
         }
+
+        // The same port still answers the legacy newline-JSON framing:
+        // no hello, first byte '{', auto-detected per connection.
+        let stream = TcpStream::connect(addr).expect("connect (lines)");
+        let io = tcp_io(stream).expect("nonblocking socket");
+        let mut lines = WireClient::lines(Box::new(io));
+        lines
+            .send(&VCommand::VctrlFocus { addr: 0 })
+            .expect("send over lines framing");
+        let reply = lines.recv().expect("recv").expect("reply");
+        println!("smoke: lines framing still answers: {reply}");
+
         if !hold {
             done.shutdown();
         }
@@ -154,5 +167,13 @@ fn main() -> std::io::Result<()> {
     // The engine owns the session and must run on this thread.
     server.run();
     smoke.join().expect("smoke client");
+    ph.shutdown();
+    let wire = pump_thread.join().expect("pump");
+    println!(
+        "wire: {} lanes ({} binary, {} lines), {} frames in / {} out, {} sweeps",
+        wire.accepted, wire.hello_binary, wire.hello_lines, wire.frames_in, wire.frames_out,
+        wire.sweeps
+    );
+    wire.reconcile().expect("wire books balance");
     Ok(())
 }

@@ -5,8 +5,9 @@
 //! `Deserialize` traits. Supported shapes are exactly what this workspace
 //! uses: named-field structs, newtype/tuple structs, and enums with unit,
 //! newtype, tuple, and struct variants. Supported attributes:
-//! `#[serde(skip)]` on fields, and `#[serde(tag = "...")]` plus
-//! `#[serde(rename_all = "snake_case")]` on enums.
+//! `#[serde(skip)]` and `#[serde(default)]` on fields, and
+//! `#[serde(tag = "...")]` plus `#[serde(rename_all = "snake_case")]`
+//! on enums.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -14,6 +15,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -175,8 +177,9 @@ fn parse_container_attr(stream: &TokenStream, attrs: &mut ContainerAttrs) {
     }
 }
 
-/// Whether an attribute token stream is `serde(skip)` (or contains `skip`).
-fn attr_is_skip(stream: &TokenStream) -> bool {
+/// Whether an attribute token stream is `serde(...)` containing the
+/// given bare word (e.g. `skip`, `default`).
+fn attr_has_word(stream: &TokenStream, word: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
     if tokens.len() < 2 {
         return false;
@@ -184,7 +187,7 @@ fn attr_is_skip(stream: &TokenStream) -> bool {
     if let (TokenTree::Ident(id), TokenTree::Group(g)) = (&tokens[0], &tokens[1]) {
         if id.to_string() == "serde" {
             return g.stream().into_iter().any(|t| match t {
-                TokenTree::Ident(i) => i.to_string() == "skip",
+                TokenTree::Ident(i) => i.to_string() == word,
                 _ => false,
             });
         }
@@ -198,11 +201,13 @@ fn parse_fields(tokens: &[TokenTree]) -> Vec<Field> {
     while i < tokens.len() {
         // Collect field attributes.
         let mut skip = false;
+        let mut default = false;
         loop {
             match tokens.get(i) {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                        skip |= attr_is_skip(&g.stream());
+                        skip |= attr_has_word(&g.stream(), "skip");
+                        default |= attr_has_word(&g.stream(), "default");
                     }
                     i += 2;
                 }
@@ -241,7 +246,11 @@ fn parse_fields(tokens: &[TokenTree]) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -455,6 +464,14 @@ fn gen_deserialize(input: &Input) -> String {
                         "{}: ::core::default::Default::default(),\n",
                         f.name
                     ));
+                } else if f.default {
+                    s.push_str(&format!(
+                        "{0}: match o.get(\"{0}\") {{\n\
+                         Some(v) => ::serde::Deserialize::deserialize_value(v)\
+                         .map_err(|e| e.in_field(\"{0}\"))?,\n\
+                         None => ::core::default::Default::default(),\n}},\n",
+                        f.name
+                    ));
                 } else {
                     s.push_str(&format!(
                         "{0}: ::serde::Deserialize::deserialize_value(\
@@ -503,6 +520,14 @@ fn gen_named_variant_ctor(name: &str, v: &Variant, fields: &[Field], src: &str) 
         if f.skip {
             s.push_str(&format!(
                 "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else if f.default {
+            s.push_str(&format!(
+                "{0}: match {src}.get(\"{0}\") {{\n\
+                 Some(v) => ::serde::Deserialize::deserialize_value(v)\
+                 .map_err(|e| e.in_field(\"{0}\"))?,\n\
+                 None => ::core::default::Default::default(),\n}},\n",
                 f.name
             ));
         } else {
